@@ -1,0 +1,65 @@
+// Shared helpers for the chart-reproduction benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "sim/simulation.h"
+#include "topology/builders.h"
+#include "workload/generators.h"
+
+namespace gryphon::bench {
+
+/// Wall-clock stopwatch in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The paper's simulation workload (Section 4.1): random equality
+/// subscriptions over the synthetic schema, with per-region locality of
+/// interest on the Figure 6 topology, and zipf-valued events.
+struct PaperWorkload {
+  Figure6Topology topo;
+  SchemaPtr schema;
+  SubscriptionWorkloadConfig sub_config;
+  std::vector<SimSubscription> subscriptions;
+  std::vector<Event> events;
+
+  PaperWorkload(std::size_t attributes, std::size_t values, double decay,
+                std::size_t n_subscriptions, std::size_t n_events, std::uint64_t seed)
+      : topo(make_figure6()),
+        schema(make_synthetic_schema(attributes, values)),
+        sub_config{0.98, decay, 1.0} {
+    Rng rng(seed);
+    SubscriptionGenerator gen(schema, sub_config);
+    subscriptions.reserve(n_subscriptions);
+    for (std::size_t i = 0; i < n_subscriptions; ++i) {
+      const ClientId client = topo.subscribers[rng.below(topo.subscribers.size())];
+      const auto region = static_cast<std::uint32_t>(
+          topo.region_of[static_cast<std::size_t>(topo.network.client_home(client).value)]);
+      const auto perm = locality_permutation(values, region);
+      subscriptions.push_back(SimSubscription{SubscriptionId{static_cast<std::int64_t>(i)},
+                                              gen.generate(rng, &perm), client});
+    }
+    EventGenerator ev_gen(schema);
+    events.reserve(n_events);
+    for (std::size_t i = 0; i < n_events; ++i) events.push_back(ev_gen.generate(rng));
+  }
+};
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace gryphon::bench

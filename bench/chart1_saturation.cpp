@@ -1,0 +1,73 @@
+// Chart 1 — "Saturation points": the event publish rate at which the broker
+// network becomes overloaded, for flooding vs link matching, as the number
+// of subscriptions varies.
+//
+// Paper parameters (Section 4.1, Network Loading Results): Figure 6
+// topology (39 brokers, 10 subscribing clients per broker), event schema of
+// 10 attributes (2 used for factoring) with 5 values each, subscriptions
+// with first-attribute non-* probability 0.98 decaying by 0.85 per
+// attribute (~0.1% selectivity), zipf values with per-region locality, 500
+// published events, Poisson arrivals.
+//
+// Expected shape: flooding saturates at a much lower publish rate than link
+// matching for every subscription count, with the largest gap at high
+// selectivity. A second sweep with low-selectivity ("broad") subscriptions
+// shows the gap narrowing, as the paper notes.
+#include "bench_util.h"
+
+#include "sim/saturation.h"
+
+namespace gryphon {
+namespace {
+
+using bench::PaperWorkload;
+
+double saturation_rate(const PaperWorkload& workload, Protocol protocol) {
+  PstMatcherOptions matcher_options;
+  matcher_options.factoring_levels = 2;
+  SimConfig config;
+  config.protocol = protocol;
+  config.verify_deliveries = false;
+  config.drain_limit = ticks_from_seconds(5);
+  BrokerSimulation sim(workload.topo.network, workload.schema,
+                       workload.topo.publisher_brokers, workload.subscriptions,
+                       matcher_options, config);
+
+  SaturationConfig sat;
+  sat.min_rate = 20.0;
+  sat.max_rate = 4e6;
+  sat.relative_tolerance = 0.06;
+  sat.events = workload.events.size();
+  const auto result = find_saturation_rate(sat, [&](double rate, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto schedule = make_poisson_schedule(workload.topo.publisher_brokers,
+                                                workload.events.size(), rate, rng);
+    return sim.run(workload.events, schedule);
+  });
+  return result.saturation_rate;
+}
+
+void sweep(const char* label, double decay) {
+  bench::print_header(std::string("Chart 1: saturation publish rate (events/sec) — ") + label);
+  std::printf("%14s %16s %16s %8s\n", "subscriptions", "flooding", "link-matching", "ratio");
+  for (const std::size_t subs : {250u, 500u, 1000u, 2000u, 4000u, 8000u}) {
+    PaperWorkload workload(10, 5, decay, subs, 500, /*seed=*/1000 + subs);
+    const double flooding = saturation_rate(workload, Protocol::kFlooding);
+    const double link_matching = saturation_rate(workload, Protocol::kLinkMatching);
+    std::printf("%14zu %16.0f %16.0f %7.1fx\n", subs, flooding, link_matching,
+                flooding > 0 ? link_matching / flooding : 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gryphon
+
+int main() {
+  // Paper setting: very selective subscriptions (decay 0.85, ~0.1% match).
+  gryphon::sweep("selective subscriptions (paper setting, ~0.1% selectivity)", 0.85);
+  // Broad subscriptions: events are distributed widely, most links carry
+  // most events, and the two protocols converge ("the difference is not as
+  // great", Section 4.1).
+  gryphon::sweep("broad subscriptions (low selectivity)", 0.35);
+  return 0;
+}

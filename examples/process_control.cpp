@@ -1,0 +1,158 @@
+// Process control over TCP: the paper's second target domain (Sections 1
+// and 6). Two plant brokers on real loopback TCP; sensors publish telemetry
+// into a "telemetry" information space; an alarm console subscribes to
+// dangerous operating ranges, an auditor logs everything from one unit, and
+// a flaky dashboard exercises disconnect/replay.
+//
+//   $ ./process_control
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "broker/broker.h"
+#include "broker/client.h"
+#include "broker/tcp_transport.h"
+#include "topology/builders.h"
+
+using namespace gryphon;
+
+namespace {
+
+/// Breaks the transport/handler construction cycle.
+struct Relay : TransportHandler {
+  TransportHandler* target{nullptr};
+  void on_connect(ConnId c) override { target->on_connect(c); }
+  void on_frame(ConnId c, std::span<const std::uint8_t> f) override { target->on_frame(c, f); }
+  void on_disconnect(ConnId c) override { target->on_disconnect(c); }
+};
+
+void wait_for_subscription(Client& client, std::uint64_t token) {
+  for (int i = 0; i < 500 && !client.subscription_id(token); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace
+
+int main() {
+  const SchemaPtr telemetry =
+      make_schema("telemetry", {Attribute{"unit", AttributeType::kString, {}},
+                                Attribute{"sensor", AttributeType::kString, {}},
+                                Attribute{"celsius", AttributeType::kDouble, {}},
+                                Attribute{"bar", AttributeType::kDouble, {}}});
+
+  // Two brokers: the plant floor and the control room.
+  const BrokerNetwork topology = make_line(2, ticks_from_millis(5), 0, 0);
+  Relay floor_relay, control_relay;
+  TcpTransport floor_transport(floor_relay);
+  TcpTransport control_transport(control_relay);
+  Broker floor(BrokerId{0}, topology, {telemetry}, floor_transport);
+  Broker control(BrokerId{1}, topology, {telemetry}, control_transport);
+  floor_relay.target = &floor;
+  control_relay.target = &control;
+  const std::uint16_t floor_port = floor_transport.listen(0);
+  const std::uint16_t control_port = control_transport.listen(0);
+  floor.attach_broker_link(floor_transport.connect("127.0.0.1", control_port), BrokerId{1});
+  std::printf("plant floor broker on :%u, control room broker on :%u\n\n", floor_port,
+              control_port);
+
+  // The alarm console (control room) wants dangerous readings only.
+  Relay alarm_relay;
+  TcpTransport alarm_transport(alarm_relay);
+  Client alarms("alarm-console", alarm_transport, {telemetry});
+  alarm_relay.target = &alarms;
+  alarms.bind(alarm_transport.connect("127.0.0.1", control_port));
+  wait_for_subscription(alarms, alarms.subscribe(0, "celsius > 90"));
+  wait_for_subscription(alarms, alarms.subscribe(0, "bar > 8.5"));
+
+  // The auditor (control room) wants everything from reactor-2.
+  Relay audit_relay;
+  TcpTransport audit_transport(audit_relay);
+  Client auditor("auditor", audit_transport, {telemetry});
+  audit_relay.target = &auditor;
+  auditor.bind(audit_transport.connect("127.0.0.1", control_port));
+  wait_for_subscription(auditor, auditor.subscribe(0, "unit = 'reactor-2'"));
+
+  // Give the subscriptions a moment to propagate to the plant floor.
+  for (int i = 0; i < 500 && floor.subscription_count() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Sensors on the plant floor.
+  Relay sensor_relay;
+  TcpTransport sensor_transport(sensor_relay);
+  Client sensors("sensor-gateway", sensor_transport, {telemetry});
+  sensor_relay.target = &sensors;
+  sensors.bind(sensor_transport.connect("127.0.0.1", floor_port));
+
+  struct Reading {
+    const char* unit;
+    const char* sensor;
+    double celsius;
+    double bar;
+  };
+  const Reading readings[] = {
+      {"reactor-1", "t-101", 72.0, 4.2},  {"reactor-1", "t-102", 93.5, 4.1},
+      {"reactor-2", "t-201", 65.0, 3.9},  {"reactor-2", "p-202", 66.0, 9.1},
+      {"boiler-7", "t-701", 88.0, 8.49},  {"reactor-2", "t-203", 64.0, 4.0},
+  };
+  for (const Reading& r : readings) {
+    sensors.publish(0, Event(telemetry, {Value(r.unit), Value(r.sensor), Value(r.celsius),
+                                         Value(r.bar)}));
+  }
+
+  alarms.wait_for_deliveries(2, 5000);
+  auditor.wait_for_deliveries(3, 5000);
+
+  std::printf("alarm console (celsius > 90 OR bar > 8.5):\n");
+  for (const auto& d : alarms.take_deliveries()) {
+    std::printf("  ALARM %s\n", d.event.to_text().c_str());
+  }
+  std::printf("auditor (unit = reactor-2):\n");
+  for (const auto& d : auditor.take_deliveries()) {
+    std::printf("  log %s\n", d.event.to_text().c_str());
+  }
+
+  // A dashboard that crashes and reconnects: the event log replays what it
+  // missed (Section 4.2's transient-failure handling).
+  {
+    auto dash_relay = std::make_unique<Relay>();
+    auto dash_transport = std::make_unique<TcpTransport>(*dash_relay);
+    auto dashboard = std::make_unique<Client>("dashboard", *dash_transport,
+                                              std::vector<SchemaPtr>{telemetry});
+    dash_relay->target = dashboard.get();
+    dashboard->bind(dash_transport->connect("127.0.0.1", control_port));
+    wait_for_subscription(*dashboard, dashboard->subscribe(0, "unit = 'boiler-7'"));
+    for (int i = 0; i < 500 && floor.subscription_count() < 4; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    dash_transport->shutdown();  // crash
+    dashboard.reset();
+    dash_transport.reset();
+  }
+  sensors.publish(0, Event(telemetry, {Value("boiler-7"), Value("t-702"), Value(91.0),
+                                       Value(8.6)}));
+  for (int i = 0; i < 500 && control.client_log_size("dashboard") < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  Relay dash_relay2;
+  TcpTransport dash_transport2(dash_relay2);
+  Client dashboard2("dashboard", dash_transport2, {telemetry});
+  dash_relay2.target = &dashboard2;
+  dashboard2.bind(dash_transport2.connect("127.0.0.1", control_port));
+  dashboard2.wait_for_deliveries(1, 5000);
+  std::printf("dashboard after reconnect (replayed from the event log):\n");
+  for (const auto& d : dashboard2.take_deliveries()) {
+    std::printf("  replay %s\n", d.event.to_text().c_str());
+  }
+
+  dash_transport2.shutdown();
+  sensor_transport.shutdown();
+  audit_transport.shutdown();
+  alarm_transport.shutdown();
+  control_transport.shutdown();
+  floor_transport.shutdown();
+  return 0;
+}

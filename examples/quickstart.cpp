@@ -1,0 +1,59 @@
+// Quickstart: one broker, one subscriber, one publisher, in-process.
+//
+//   $ ./quickstart
+//
+// Shows the core public API end to end: define an information space
+// (schema), run a Broker over a Transport, connect Clients, register a
+// content-based subscription from predicate text, publish events, and
+// receive exactly the matching ones.
+#include <cstdio>
+
+#include "broker/broker.h"
+#include "broker/client.h"
+#include "broker/inproc_transport.h"
+#include "topology/builders.h"
+
+using namespace gryphon;
+
+int main() {
+  // 1. The information space: every event is [issue, price, volume].
+  const SchemaPtr schema =
+      make_schema("trades", {Attribute{"issue", AttributeType::kString, {}},
+                             Attribute{"price", AttributeType::kDouble, {}},
+                             Attribute{"volume", AttributeType::kInt, {}}});
+
+  // 2. A broker network with a single broker node (no inter-broker links)
+  //    and an in-process transport.
+  const BrokerNetwork topology = make_line(/*brokers=*/1, /*delay=*/0,
+                                           /*clients_per_broker=*/0, /*client_delay=*/0);
+  InProcNetwork net;
+  auto* broker_endpoint = net.create_endpoint("broker");
+  Broker broker(BrokerId{0}, topology, {schema}, *broker_endpoint);
+  broker_endpoint->set_handler(&broker);
+
+  // 3. A subscriber with the paper's example predicate (Section 1).
+  auto* sub_endpoint = net.create_endpoint("alice");
+  Client alice("alice", *sub_endpoint, {schema});
+  sub_endpoint->set_handler(&alice);
+  alice.bind(net.connect("alice", "broker"));
+  net.pump();
+  alice.subscribe(0, "issue = \"IBM\" & price < 120 & volume > 1000");
+  net.pump();
+
+  // 4. A publisher posts three trades; only one satisfies the predicate.
+  auto* pub_endpoint = net.create_endpoint("bob");
+  Client bob("bob", *pub_endpoint, {schema});
+  pub_endpoint->set_handler(&bob);
+  bob.bind(net.connect("bob", "broker"));
+  net.pump();
+  bob.publish(0, Event(schema, {Value("IBM"), Value(119.5), Value(3000)}));  // match
+  bob.publish(0, Event(schema, {Value("IBM"), Value(121.0), Value(3000)}));  // price too high
+  bob.publish(0, Event(schema, {Value("HP"), Value(50.0), Value(9999)}));    // wrong issue
+  net.pump();
+
+  // 5. Alice received exactly the matching trade.
+  for (const auto& delivery : alice.take_deliveries()) {
+    std::printf("alice received: %s\n", delivery.event.to_text().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// WAN multicast: drives the paper's Figure 6 simulation directly from the
+// public API — 39 brokers in three intercontinental trees, 390 subscribing
+// clients with regional locality of interest — and prints a side-by-side
+// load profile of link matching, flooding, and match-first for the same
+// event stream.
+//
+//   $ ./wan_multicast [subscriptions] [events] [rate]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/zipf.h"
+#include "sim/simulation.h"
+#include "topology/builders.h"
+#include "workload/generators.h"
+
+using namespace gryphon;
+
+int main(int argc, char** argv) {
+  const std::size_t n_subscriptions = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+  const std::size_t n_events = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 500;
+  const double rate = argc > 3 ? std::strtod(argv[3], nullptr) : 100.0;
+
+  const Figure6Topology topo = make_figure6();
+  const SchemaPtr schema = make_synthetic_schema(10, 5);
+  std::printf("Figure 6 WAN: %zu brokers, %zu subscribing clients, 3 publishers\n",
+              topo.network.broker_count(), topo.network.client_count());
+  std::printf("workload: %zu subscriptions (~0.1%% selectivity), %zu events @ %.0f/sec\n\n",
+              n_subscriptions, n_events, rate);
+
+  Rng rng(2024);
+  SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.98, 0.85, 1.0});
+  std::vector<SimSubscription> subscriptions;
+  for (std::size_t i = 0; i < n_subscriptions; ++i) {
+    const ClientId client = topo.subscribers[rng.below(topo.subscribers.size())];
+    const auto region = static_cast<std::uint32_t>(
+        topo.region_of[static_cast<std::size_t>(topo.network.client_home(client).value)]);
+    const auto perm = locality_permutation(5, region);
+    subscriptions.push_back(SimSubscription{SubscriptionId{static_cast<std::int64_t>(i)},
+                                            gen.generate(rng, &perm), client});
+  }
+  EventGenerator ev_gen(schema);
+  std::vector<Event> events;
+  for (std::size_t i = 0; i < n_events; ++i) events.push_back(ev_gen.generate(rng));
+
+  PstMatcherOptions matcher_options;
+  matcher_options.factoring_levels = 2;
+
+  std::printf("%15s %12s %12s %13s %12s %10s %10s\n", "protocol", "broker msgs",
+              "client msgs", "bytes", "steps", "latency ms", "max util");
+  for (const Protocol protocol :
+       {Protocol::kLinkMatching, Protocol::kFlooding, Protocol::kMatchFirst}) {
+    SimConfig config;
+    config.protocol = protocol;
+    BrokerSimulation sim(topo.network, schema, topo.publisher_brokers, subscriptions,
+                         matcher_options, config);
+    Rng sched_rng(7);
+    const auto schedule =
+        make_poisson_schedule(topo.publisher_brokers, events.size(), rate, sched_rng);
+    const SimResult result = sim.run(events, schedule);
+    std::printf("%15s %12llu %12llu %13llu %12llu %10.1f %10.3f%s\n", to_string(protocol),
+                static_cast<unsigned long long>(result.broker_messages),
+                static_cast<unsigned long long>(result.client_messages),
+                static_cast<unsigned long long>(result.bytes_on_wire),
+                static_cast<unsigned long long>(result.total_matching_steps),
+                result.mean_delivery_latency_ms, result.max_utilization,
+                result.overloaded ? "  OVERLOADED" : "");
+  }
+  std::printf("\nAll protocols deliver the identical destination set; they differ only in\n"
+              "where the matching work happens and how many copies cross the WAN.\n");
+  return 0;
+}

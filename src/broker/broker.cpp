@@ -1,0 +1,320 @@
+#include "broker/broker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gryphon {
+
+Broker::Broker(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaPtr> spaces,
+               Transport& transport, Options options)
+    : core_(self, topology, std::move(spaces), options.matcher),
+      transport_(&transport),
+      options_(options) {}
+
+Ticks Broker::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  return ticks_from_micros(static_cast<double>(micros));
+}
+
+void Broker::attach_broker_link(ConnId conn, BrokerId peer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  conns_[conn] = ConnState{ConnKind::kBroker, {}, peer};
+  broker_conns_[peer] = conn;
+  transport_->send(conn, wire::encode(wire::HelloBroker{core_.self()}));
+  sync_subscriptions_to(conn);
+}
+
+void Broker::sync_subscriptions_to(ConnId conn) {
+  // State synchronization on link (re-)establishment: replay every known
+  // subscription replica to the peer. The receiver deduplicates by id, so
+  // resending after a reconnect is harmless, and subscriptions registered
+  // before the link came up (or while it was down) still reach everyone.
+  core_.for_each_subscription([&](std::uint16_t space, SubscriptionId id, BrokerId owner,
+                                  const Subscription& subscription) {
+    transport_->send(conn, wire::encode(wire::SubPropagate{
+                               id, owner, space, encode_subscription(subscription)}));
+  });
+}
+
+void Broker::on_connect(ConnId conn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  conns_.emplace(conn, ConnState{});  // kind resolved by the hello frame
+}
+
+void Broker::on_disconnect(ConnId conn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = conns_.find(conn);
+  if (it == conns_.end()) return;
+  const ConnState state = it->second;
+  conns_.erase(it);
+  if (state.kind == ConnKind::kClient) {
+    const auto client = clients_.find(state.client_name);
+    if (client != clients_.end() && client->second->conn == conn) {
+      client->second->conn = kInvalidConn;  // offline; log keeps accumulating
+    }
+  } else if (state.kind == ConnKind::kBroker) {
+    const auto link = broker_conns_.find(state.peer);
+    if (link != broker_conns_.end() && link->second == conn) broker_conns_.erase(link);
+  }
+}
+
+void Broker::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  try {
+    switch (wire::peek_type(frame)) {
+      case wire::FrameType::kHelloClient:
+        handle_hello_client(conn, wire::decode_hello_client(frame));
+        break;
+      case wire::FrameType::kHelloBroker:
+        handle_hello_broker(conn, wire::decode_hello_broker(frame));
+        break;
+      case wire::FrameType::kSubscribe:
+        handle_subscribe(conn, wire::decode_subscribe(frame));
+        break;
+      case wire::FrameType::kUnsubscribe:
+        handle_unsubscribe(conn, wire::decode_unsubscribe(frame));
+        break;
+      case wire::FrameType::kPublish:
+        handle_publish(conn, wire::decode_publish(frame));
+        break;
+      case wire::FrameType::kAck:
+        handle_ack(conn, wire::decode_ack(frame));
+        break;
+      case wire::FrameType::kSubPropagate:
+        handle_sub_propagate(conn, wire::decode_sub_propagate(frame));
+        break;
+      case wire::FrameType::kUnsubPropagate:
+        handle_unsub_propagate(conn, wire::decode_unsub_propagate(frame));
+        break;
+      case wire::FrameType::kEventForward:
+        handle_event_forward(conn, wire::decode_event_forward(frame));
+        break;
+      default:
+        GRYPHON_WARN("broker") << "broker " << core_.self() << ": unexpected frame type";
+        break;
+    }
+  } catch (const std::exception& e) {
+    GRYPHON_WARN("broker") << "broker " << core_.self() << ": bad frame: " << e.what();
+    send_error(conn, 0, e.what());
+  }
+}
+
+void Broker::handle_hello_client(ConnId conn, const wire::HelloClient& hello) {
+  auto& record = clients_[hello.name];
+  if (!record) record = std::make_unique<ClientRecord>();
+  record->conn = conn;
+  conns_[conn] = ConnState{ConnKind::kClient, hello.name, BrokerId{}};
+  transport_->send(conn, wire::encode(wire::HelloAck{record->log.acked_seq()}));
+  send_quench_state(conn);
+  // Replay everything the client has not seen (transient-failure recovery).
+  const std::uint64_t after = std::max(hello.last_seq, record->log.acked_seq());
+  for (const EventLog::Entry* entry : record->log.unacknowledged(after)) {
+    transport_->send(conn, wire::encode(wire::Deliver{entry->seq, entry->space, entry->event}));
+  }
+}
+
+void Broker::handle_hello_broker(ConnId conn, const wire::HelloBroker& hello) {
+  conns_[conn] = ConnState{ConnKind::kBroker, {}, hello.broker};
+  broker_conns_[hello.broker] = conn;
+  sync_subscriptions_to(conn);
+}
+
+void Broker::handle_subscribe(ConnId conn, const wire::SubscribeReq& req) {
+  const auto it = conns_.find(conn);
+  if (it == conns_.end() || it->second.kind != ConnKind::kClient) {
+    send_error(conn, req.token, "subscribe before hello");
+    return;
+  }
+  if (req.space >= core_.space_count()) {
+    send_error(conn, req.token, "unknown information space");
+    return;
+  }
+  Subscription subscription = decode_subscription(core_.schema(req.space), req.subscription);
+  const SubscriptionId id{
+      static_cast<std::int64_t>((static_cast<std::uint64_t>(core_.self().value) << 40) |
+                                next_sub_counter_++)};
+  const std::size_t count_before = core_.subscription_count(req.space);
+  core_.add_subscription(req.space, id, subscription, core_.self());
+  auto& client = clients_.at(it->second.client_name);
+  client->subscriptions.push_back(id);
+  local_sub_client_[id] = it->second.client_name;
+  local_sub_space_[id] = req.space;
+  ++stats_.subscriptions_active;
+  transport_->send(conn, wire::encode(wire::SubscribeAck{req.token, id}));
+  propagate_subscription(
+      wire::SubPropagate{id, core_.self(), req.space, req.subscription}, kInvalidConn);
+  maybe_broadcast_quench(req.space, count_before);
+}
+
+void Broker::handle_unsubscribe(ConnId conn, const wire::Unsubscribe& req) {
+  const auto it = conns_.find(conn);
+  if (it == conns_.end() || it->second.kind != ConnKind::kClient) return;
+  const auto space_it = local_sub_space_.find(req.id);
+  const std::size_t count_before =
+      space_it == local_sub_space_.end() ? 0 : core_.subscription_count(space_it->second);
+  const std::uint16_t space = space_it == local_sub_space_.end() ? 0 : space_it->second;
+  if (!core_.remove_subscription(req.id)) return;
+  --stats_.subscriptions_active;
+  auto& client = clients_.at(it->second.client_name);
+  auto& subs = client->subscriptions;
+  subs.erase(std::remove(subs.begin(), subs.end(), req.id), subs.end());
+  local_sub_client_.erase(req.id);
+  local_sub_space_.erase(req.id);
+  propagate_unsubscription(wire::UnsubPropagate{req.id}, kInvalidConn);
+  maybe_broadcast_quench(space, count_before);
+}
+
+void Broker::handle_publish(ConnId conn, const wire::Publish& publish) {
+  const auto it = conns_.find(conn);
+  if (it == conns_.end() || it->second.kind != ConnKind::kClient) {
+    send_error(conn, 0, "publish before hello");
+    return;
+  }
+  if (publish.space >= core_.space_count()) {
+    send_error(conn, 0, "unknown information space");
+    return;
+  }
+  const Event event = decode_event(core_.schema(publish.space), publish.event);
+  ++stats_.events_published;
+  process_event(publish.space, event, publish.event, core_.self());
+}
+
+void Broker::handle_ack(ConnId conn, const wire::Ack& ack) {
+  const auto it = conns_.find(conn);
+  if (it == conns_.end() || it->second.kind != ConnKind::kClient) return;
+  clients_.at(it->second.client_name)->log.acknowledge(ack.seq);
+}
+
+void Broker::handle_sub_propagate(ConnId conn, const wire::SubPropagate& prop) {
+  if (core_.has_subscription(prop.id)) return;  // flooding deduplication
+  if (prop.space >= core_.space_count()) return;
+  const Subscription subscription =
+      decode_subscription(core_.schema(prop.space), prop.subscription);
+  const std::size_t count_before = core_.subscription_count(prop.space);
+  core_.add_subscription(prop.space, prop.id, subscription, prop.owner);
+  ++stats_.subscriptions_active;
+  propagate_subscription(prop, conn);
+  maybe_broadcast_quench(prop.space, count_before);
+}
+
+void Broker::handle_unsub_propagate(ConnId conn, const wire::UnsubPropagate& prop) {
+  const auto space = core_.space_of(prop.id);
+  if (!space.has_value()) return;  // already gone: stop the flood
+  const std::size_t count_before = core_.subscription_count(*space);
+  if (!core_.remove_subscription(prop.id)) return;
+  --stats_.subscriptions_active;
+  propagate_unsubscription(prop, conn);
+  maybe_broadcast_quench(*space, count_before);
+}
+
+void Broker::handle_event_forward(ConnId conn, const wire::EventForward& fwd) {
+  (void)conn;
+  if (fwd.space >= core_.space_count()) return;
+  const Event event = decode_event(core_.schema(fwd.space), fwd.event);
+  ++stats_.events_relayed;
+  process_event(fwd.space, event, fwd.event, fwd.tree_root);
+}
+
+void Broker::process_event(std::uint16_t space, const Event& event,
+                           const std::vector<std::uint8_t>& encoded, BrokerId tree_root) {
+  const BrokerCore::Decision decision = core_.route(space, event, tree_root);
+  stats_.matching_steps += decision.steps;
+
+  for (const BrokerId peer : decision.forward) {
+    const auto link = broker_conns_.find(peer);
+    if (link == broker_conns_.end()) {
+      GRYPHON_WARN("broker") << "broker " << core_.self() << ": link to " << peer << " is down";
+      continue;
+    }
+    transport_->send(link->second, wire::encode(wire::EventForward{tree_root, space, encoded}));
+    ++stats_.events_forwarded;
+  }
+
+  if (decision.deliver_locally) {
+    // Fan out to local subscribers; one copy per client even when several
+    // of its subscriptions match.
+    std::vector<std::string> targets;
+    for (const SubscriptionId id : core_.match_local(space, event)) {
+      const auto named = local_sub_client_.find(id);
+      if (named != local_sub_client_.end()) targets.push_back(named->second);
+    }
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    for (const std::string& name : targets) {
+      deliver_to_client(*clients_.at(name), space, encoded);
+    }
+  }
+}
+
+void Broker::deliver_to_client(ClientRecord& client, std::uint16_t space,
+                               std::vector<std::uint8_t> encoded) {
+  const std::uint64_t seq = client.log.append(space, std::move(encoded), now());
+  ++stats_.events_delivered;
+  if (client.conn != kInvalidConn) {
+    transport_->send(client.conn,
+                     wire::encode(wire::Deliver{seq, space, client.log.back().event}));
+  }
+}
+
+void Broker::propagate_subscription(const wire::SubPropagate& prop, ConnId except) {
+  for (const auto& [peer, conn] : broker_conns_) {
+    (void)peer;
+    if (conn != except) transport_->send(conn, wire::encode(prop));
+  }
+}
+
+void Broker::propagate_unsubscription(const wire::UnsubPropagate& prop, ConnId except) {
+  for (const auto& [peer, conn] : broker_conns_) {
+    (void)peer;
+    if (conn != except) transport_->send(conn, wire::encode(prop));
+  }
+}
+
+void Broker::send_error(ConnId conn, std::uint64_t token, std::string message) {
+  transport_->send(conn, wire::encode(wire::ErrorFrame{token, std::move(message)}));
+}
+
+void Broker::send_quench_state(ConnId conn) {
+  for (std::uint16_t space = 0; space < core_.space_count(); ++space) {
+    transport_->send(
+        conn, wire::encode(wire::Quench{space, core_.subscription_count(space) > 0}));
+  }
+}
+
+void Broker::maybe_broadcast_quench(std::uint16_t space, std::size_t count_before) {
+  const std::size_t count_after = core_.subscription_count(space);
+  const bool was_active = count_before > 0;
+  const bool is_active = count_after > 0;
+  if (was_active == is_active) return;
+  const auto frame = wire::encode(wire::Quench{space, is_active});
+  for (const auto& [name, client] : clients_) {
+    (void)name;
+    if (client->conn != kInvalidConn) transport_->send(client->conn, frame);
+  }
+}
+
+std::size_t Broker::collect_garbage() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t collected = 0;
+  const Ticks t = now();
+  for (auto& [name, client] : clients_) {
+    (void)name;
+    collected += client->log.collect(t, options_.log_retention);
+  }
+  return collected;
+}
+
+Broker::Stats Broker::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::uint64_t Broker::client_log_size(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = clients_.find(name);
+  return it == clients_.end() ? 0 : it->second->log.size();
+}
+
+}  // namespace gryphon

@@ -1,0 +1,136 @@
+// The broker node (paper Section 4.2, Figure 7).
+//
+// Components, mirroring the paper's figure: the matching engine (BrokerCore:
+// subscription manager + parallel search trees + trit annotations), an event
+// parser (the binary codec, un-marshaling events against the pre-defined
+// event schema), the client protocol (hello / subscribe / publish / deliver
+// / ack, with a per-client event log that replays deliveries missed across
+// transient disconnects and a garbage collector bounding the logs), the
+// broker protocol (subscription propagation and link-matched event
+// forwarding), and a connection manager over the pluggable transport.
+//
+// Subscriptions are replicated to every broker by flooding with id-based
+// deduplication; published events are multicast hop-by-hop with the link
+// matching protocol (the publisher's broker is the spanning-tree root).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/broker_core.h"
+#include "broker/event_log.h"
+#include "broker/transport.h"
+#include "broker/wire.h"
+
+namespace gryphon {
+
+class Broker : public TransportHandler {
+ public:
+  struct Options {
+    PstMatcherOptions matcher;
+    /// Unacknowledged log entries older than this are garbage collected.
+    Ticks log_retention{ticks_from_seconds(3600)};
+  };
+
+  Broker(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaPtr> spaces,
+         Transport& transport, Options options);
+  Broker(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaPtr> spaces,
+         Transport& transport)
+      : Broker(self, topology, std::move(spaces), transport, Options()) {}
+
+  [[nodiscard]] BrokerId self() const { return core_.self(); }
+  /// Direct core access; safe only when no transport thread can be
+  /// delivering frames (deterministic pumped transports, or quiesced TCP).
+  [[nodiscard]] const BrokerCore& core() const { return core_; }
+  /// Thread-safe subscription count (for polling from other threads).
+  [[nodiscard]] std::size_t subscription_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return core_.subscription_count();
+  }
+
+  /// Registers an *outbound* broker link this node initiated: sends the
+  /// broker hello so the peer can bind the reverse mapping.
+  void attach_broker_link(ConnId conn, BrokerId peer);
+
+  // TransportHandler:
+  void on_connect(ConnId conn) override;
+  void on_frame(ConnId conn, std::span<const std::uint8_t> frame) override;
+  void on_disconnect(ConnId conn) override;
+
+  /// The periodic log garbage collector; returns entries collected.
+  std::size_t collect_garbage();
+
+  struct Stats {
+    std::uint64_t events_published{0};   // local client publications
+    std::uint64_t events_forwarded{0};   // copies sent to neighbor brokers
+    std::uint64_t events_delivered{0};   // copies delivered to local clients
+    std::uint64_t events_relayed{0};     // EventForward frames handled
+    std::uint64_t subscriptions_active{0};
+    std::uint64_t matching_steps{0};
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Test hook: the current sequence state of a named client's log.
+  [[nodiscard]] std::uint64_t client_log_size(const std::string& name) const;
+
+ private:
+  enum class ConnKind : std::uint8_t { kUnknown, kClient, kBroker };
+  struct ConnState {
+    ConnKind kind{ConnKind::kUnknown};
+    std::string client_name;  // kClient
+    BrokerId peer;            // kBroker
+  };
+  struct ClientRecord {
+    ConnId conn{kInvalidConn};  // kInvalidConn while offline
+    EventLog log;
+    std::vector<SubscriptionId> subscriptions;
+  };
+
+  [[nodiscard]] Ticks now() const;
+  void handle_hello_client(ConnId conn, const wire::HelloClient& hello);
+  void handle_hello_broker(ConnId conn, const wire::HelloBroker& hello);
+  void handle_subscribe(ConnId conn, const wire::SubscribeReq& req);
+  void handle_unsubscribe(ConnId conn, const wire::Unsubscribe& req);
+  void handle_publish(ConnId conn, const wire::Publish& publish);
+  void handle_ack(ConnId conn, const wire::Ack& ack);
+  void handle_sub_propagate(ConnId conn, const wire::SubPropagate& prop);
+  void handle_unsub_propagate(ConnId conn, const wire::UnsubPropagate& prop);
+  void handle_event_forward(ConnId conn, const wire::EventForward& fwd);
+
+  /// Shared by local publications and forwarded events: route, forward,
+  /// deliver locally.
+  void process_event(std::uint16_t space, const Event& event,
+                     const std::vector<std::uint8_t>& encoded, BrokerId tree_root);
+  void deliver_to_client(ClientRecord& client, std::uint16_t space,
+                         std::vector<std::uint8_t> encoded);
+  void sync_subscriptions_to(ConnId conn);
+  /// Broadcasts a quench update to every connected client when a space
+  /// transitions between "has subscribers" and "has none" (Elvin-style
+  /// quenching, paper Section 5).
+  void maybe_broadcast_quench(std::uint16_t space, std::size_t count_before);
+  void send_quench_state(ConnId conn);
+  void propagate_subscription(const wire::SubPropagate& prop, ConnId except);
+  void propagate_unsubscription(const wire::UnsubPropagate& prop, ConnId except);
+  void send_error(ConnId conn, std::uint64_t token, std::string message);
+
+  mutable std::mutex mutex_;
+  BrokerCore core_;
+  Transport* transport_;
+  Options options_;
+  std::unordered_map<ConnId, ConnState> conns_;
+  std::unordered_map<std::string, std::unique_ptr<ClientRecord>> clients_;
+  std::unordered_map<SubscriptionId, std::string> local_sub_client_;
+  std::unordered_map<SubscriptionId, std::uint16_t> local_sub_space_;
+  std::unordered_map<BrokerId, ConnId> broker_conns_;
+  std::uint64_t next_sub_counter_{1};
+  Stats stats_;
+  std::chrono::steady_clock::time_point epoch_{std::chrono::steady_clock::now()};
+};
+
+}  // namespace gryphon

@@ -1,0 +1,185 @@
+#include "broker/broker_core.h"
+
+#include <stdexcept>
+
+namespace gryphon {
+
+BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
+                       std::vector<SchemaPtr> spaces, PstMatcherOptions matcher_options)
+    : self_(self), topology_(&topology), routing_(topology) {
+  if (!self.valid() || static_cast<std::size_t>(self.value) >= topology.broker_count()) {
+    throw std::invalid_argument("BrokerCore: bad self id");
+  }
+  if (spaces.empty()) throw std::invalid_argument("BrokerCore: need at least one space");
+
+  const auto& ports = topology.ports(self);
+  for (const auto& port : ports) {
+    if (port.kind != BrokerNetwork::PortKind::kBroker) {
+      throw std::invalid_argument(
+          "BrokerCore: the static topology must contain brokers only (clients attach "
+          "dynamically)");
+    }
+    neighbors_.push_back(port.peer_broker);
+  }
+  link_count_ = ports.size() + 1;  // + pseudo-local
+  const LinkIndex local_link{static_cast<LinkIndex::rep_type>(ports.size())};
+
+  for (std::size_t r = 0; r < topology.broker_count(); ++r) {
+    const BrokerId root{static_cast<BrokerId::rep_type>(r)};
+    trees_.emplace(root, std::make_unique<SpanningTree>(topology, routing_, root));
+  }
+
+  // Deduplicate spanning trees by their owner-broker -> link map at self.
+  std::map<std::vector<LinkIndex::rep_type>, Group*> by_signature;
+  const std::size_t n = topology.broker_count();
+  for (const auto& [root, tree] : trees_) {
+    std::vector<LinkIndex::rep_type> signature;
+    signature.reserve(n);
+    for (std::size_t d = 0; d < n; ++d) {
+      const BrokerId dest{static_cast<BrokerId::rep_type>(d)};
+      signature.push_back(dest == self_ ? local_link.value
+                                        : tree->tree_next_hop(self_, dest).value);
+    }
+    Group*& group = by_signature[signature];
+    if (group == nullptr) {
+      auto owned = std::make_unique<Group>();
+      owned->representative = tree.get();
+      const SpanningTree* rep = tree.get();
+      owned->link_of = [this, rep, local_link](SubscriptionId id) {
+        const BrokerId owner = owner_of(id);
+        return owner == self_ ? local_link : rep->tree_next_hop(self_, owner);
+      };
+      group = owned.get();
+      groups_.push_back(std::move(owned));
+    }
+    group_of_root_.emplace(root, group);
+
+    // Initialization mask: Maybe toward tree children (any broker may have
+    // subscribers) and on the pseudo-local link; No elsewhere.
+    TritVector mask(link_count_, Trit::No);
+    for (std::size_t pi = 0; pi < ports.size(); ++pi) {
+      const BrokerId peer = ports[pi].peer_broker;
+      if (tree->parent(peer) == self_) mask.set(pi, Trit::Maybe);
+    }
+    mask.set(local_link, Trit::Maybe);
+    init_masks_.emplace(root, std::move(mask));
+  }
+
+  spaces_.reserve(spaces.size());
+  for (SchemaPtr& schema : spaces) {
+    Space space;
+    if (!schema) throw std::invalid_argument("BrokerCore: null schema");
+    space.matcher = std::make_unique<PstMatcher>(schema, matcher_options);
+    space.local_matcher = std::make_unique<PstMatcher>(schema, matcher_options);
+    space.schema = std::move(schema);
+    spaces_.push_back(std::move(space));
+  }
+  space_counts_.assign(spaces_.size(), 0);
+}
+
+const BrokerCore::Space& BrokerCore::space_at(std::uint16_t space) const {
+  if (space >= spaces_.size()) throw std::invalid_argument("BrokerCore: bad space index");
+  return spaces_[space];
+}
+
+const SchemaPtr& BrokerCore::schema(std::uint16_t space) const { return space_at(space).schema; }
+
+void BrokerCore::apply_touched(std::uint16_t space, const PstMatcher::TouchedTrees& touched) {
+  (void)space;
+  for (const auto& group : groups_) {
+    for (const auto& t : touched) {
+      auto it = group->annotations.find(t.tree);
+      if (it == group->annotations.end()) {
+        group->annotations.emplace(
+            t.tree, std::make_unique<AnnotatedPst>(*t.tree, link_count_, group->link_of));
+      } else {
+        it->second->apply(t.mutation);
+      }
+    }
+  }
+}
+
+void BrokerCore::add_subscription(std::uint16_t space, SubscriptionId id,
+                                  const Subscription& subscription, BrokerId owner) {
+  const Space& sp = space_at(space);
+  if (registry_.contains(id)) throw std::invalid_argument("BrokerCore: duplicate subscription");
+  if (!owner.valid() || static_cast<std::size_t>(owner.value) >= topology_->broker_count()) {
+    throw std::invalid_argument("BrokerCore: bad owner broker");
+  }
+  registry_.emplace(id, Registered{space, owner});
+  PstMatcher::TouchedTrees touched;
+  try {
+    touched = sp.matcher->add_with_result(id, subscription);
+  } catch (...) {
+    registry_.erase(id);
+    throw;
+  }
+  apply_touched(space, touched);
+  if (owner == self_) sp.local_matcher->add(id, subscription);
+  ++space_counts_[space];
+}
+
+bool BrokerCore::remove_subscription(SubscriptionId id) {
+  const auto it = registry_.find(id);
+  if (it == registry_.end()) return false;
+  const Registered reg = it->second;
+  const Space& sp = spaces_[reg.space];
+  const PstMatcher::TouchedTrees touched = sp.matcher->remove_with_result(id);
+  apply_touched(reg.space, touched);
+  if (reg.owner == self_) sp.local_matcher->remove(id);
+  registry_.erase(it);
+  --space_counts_[reg.space];
+  return true;
+}
+
+BrokerId BrokerCore::owner_of(SubscriptionId id) const {
+  const auto it = registry_.find(id);
+  if (it == registry_.end()) throw std::invalid_argument("BrokerCore: unknown subscription");
+  return it->second.owner;
+}
+
+BrokerCore::Decision BrokerCore::route(std::uint16_t space, const Event& event,
+                                       BrokerId tree_root) const {
+  const Space& sp = space_at(space);
+  const auto group_it = group_of_root_.find(tree_root);
+  if (group_it == group_of_root_.end()) {
+    throw std::invalid_argument("BrokerCore::route: unknown tree root");
+  }
+  Decision decision;
+  const Pst* tree = sp.matcher->tree_for_event(event);
+  if (sp.matcher->options().factoring_levels > 0) ++decision.steps;
+  // No tree, or a tree with no subscriptions (annotations are created on
+  // first subscribe): nothing can match anywhere in the network.
+  if (tree == nullptr || tree->subscription_count() == 0) return decision;
+
+  const auto ann_it = group_it->second->annotations.find(tree);
+  if (ann_it == group_it->second->annotations.end()) {
+    throw std::logic_error("BrokerCore::route: missing annotation");
+  }
+  const LinkMatchResult lm = link_match(*ann_it->second, event, init_masks_.at(tree_root));
+  decision.steps += lm.steps;
+  for (const LinkIndex link : lm.mask.yes_links()) {
+    if (static_cast<std::size_t>(link.value) == link_count_ - 1) {
+      decision.deliver_locally = true;
+    } else {
+      decision.forward.push_back(neighbors_[static_cast<std::size_t>(link.value)]);
+    }
+  }
+  return decision;
+}
+
+std::vector<SubscriptionId> BrokerCore::match_local(std::uint16_t space,
+                                                    const Event& event) const {
+  std::vector<SubscriptionId> out;
+  space_at(space).local_matcher->match(event, out);
+  return out;
+}
+
+std::vector<SubscriptionId> BrokerCore::match_all(std::uint16_t space,
+                                                  const Event& event) const {
+  std::vector<SubscriptionId> out;
+  space_at(space).matcher->match(event, out);
+  return out;
+}
+
+}  // namespace gryphon

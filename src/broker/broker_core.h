@@ -1,0 +1,137 @@
+// BrokerCore: the transport-free matching/routing engine of one broker node.
+//
+// Holds, per information space, the network-wide subscription set organized
+// as a PST (every broker has a copy of all subscriptions — Section 3.1),
+// trit-annotated for this broker's outgoing links. Link positions 0..m-1
+// are this broker's inter-broker ports in the shared topology; position m
+// is a pseudo-link standing for "some local subscriber" — when it refines
+// to Yes, the owning Broker fans out to the matching local clients through
+// the client protocol (brokers "forward messages to its subscribers based
+// on their subscriptions", Section 1).
+//
+// Subscription destinations here are *owner brokers* (the broker a
+// subscriber is attached to), so clients can come and go without touching
+// other brokers' annotations.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/pst_matcher.h"
+#include "routing/annotated_pst.h"
+#include "routing/link_matcher.h"
+#include "topology/network.h"
+#include "topology/routing_table.h"
+#include "topology/spanning_tree.h"
+
+namespace gryphon {
+
+class BrokerCore {
+ public:
+  /// `topology` must contain brokers and inter-broker links only (clients
+  /// attach dynamically through the Broker layer and are not part of the
+  /// static routing topology). Every broker is a potential spanning-tree
+  /// root (any broker may host publishers).
+  BrokerCore(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaPtr> spaces,
+             PstMatcherOptions matcher_options = PstMatcherOptions());
+
+  [[nodiscard]] BrokerId self() const { return self_; }
+  [[nodiscard]] std::size_t space_count() const { return spaces_.size(); }
+  [[nodiscard]] const SchemaPtr& schema(std::uint16_t space) const;
+  /// Neighbor broker on each inter-broker port, in port order.
+  [[nodiscard]] const std::vector<BrokerId>& neighbors() const { return neighbors_; }
+
+  /// Registers a subscription replica. `owner` is the broker whose client
+  /// created it. Throws on duplicate id / bad space / schema mismatch.
+  void add_subscription(std::uint16_t space, SubscriptionId id, const Subscription& subscription,
+                        BrokerId owner);
+  /// Removes a replica; false when unknown.
+  bool remove_subscription(SubscriptionId id);
+  [[nodiscard]] bool has_subscription(SubscriptionId id) const {
+    return registry_.contains(id);
+  }
+  [[nodiscard]] std::size_t subscription_count() const { return registry_.size(); }
+  /// Subscription replicas registered for one information space.
+  [[nodiscard]] std::size_t subscription_count(std::uint16_t space) const {
+    return space_counts_.at(space);
+  }
+
+  struct Decision {
+    std::vector<BrokerId> forward;  // neighbor brokers that need the event
+    bool deliver_locally{false};    // some subscriber of this broker may match
+    std::uint64_t steps{0};         // matching steps spent
+  };
+
+  /// The link-matching forwarding decision for an event published via the
+  /// spanning tree rooted at `tree_root`.
+  [[nodiscard]] Decision route(std::uint16_t space, const Event& event,
+                               BrokerId tree_root) const;
+
+  /// Locally-owned subscriptions matching the event (client fan-out).
+  [[nodiscard]] std::vector<SubscriptionId> match_local(std::uint16_t space,
+                                                        const Event& event) const;
+
+  /// All subscriptions (network-wide replica set) matching the event.
+  [[nodiscard]] std::vector<SubscriptionId> match_all(std::uint16_t space,
+                                                      const Event& event) const;
+
+  /// Owner broker of a subscription; throws when unknown.
+  [[nodiscard]] BrokerId owner_of(SubscriptionId id) const;
+
+  /// Information space of a subscription; nullopt when unknown.
+  [[nodiscard]] std::optional<std::uint16_t> space_of(SubscriptionId id) const {
+    const auto it = registry_.find(id);
+    if (it == registry_.end()) return std::nullopt;
+    return it->second.space;
+  }
+
+  /// Iterates every registered subscription replica:
+  /// fn(space, id, owner, subscription). Used for state synchronization
+  /// when a broker link is (re-)established.
+  template <typename Fn>
+  void for_each_subscription(Fn&& fn) const {
+    for (const auto& [id, reg] : registry_) {
+      const Subscription* subscription = spaces_[reg.space].matcher->find_subscription(id);
+      if (subscription != nullptr) fn(reg.space, id, reg.owner, *subscription);
+    }
+  }
+
+ private:
+  struct Group {
+    const SpanningTree* representative{nullptr};
+    SubscriptionLinkFn link_of;
+    std::unordered_map<const Pst*, std::unique_ptr<AnnotatedPst>> annotations;
+  };
+  struct Space {
+    SchemaPtr schema;
+    std::unique_ptr<PstMatcher> matcher;        // all subscriptions
+    std::unique_ptr<PstMatcher> local_matcher;  // subscriptions owned here
+  };
+  struct Registered {
+    std::uint16_t space;
+    BrokerId owner;
+  };
+
+  void apply_touched(std::uint16_t space, const PstMatcher::TouchedTrees& touched);
+  [[nodiscard]] const Space& space_at(std::uint16_t space) const;
+
+  BrokerId self_;
+  const BrokerNetwork* topology_;
+  RoutingTable routing_;
+  std::map<BrokerId, std::unique_ptr<SpanningTree>> trees_;
+  std::vector<BrokerId> neighbors_;
+  std::size_t link_count_{0};  // broker ports + 1 pseudo-local
+  std::vector<Space> spaces_;
+  // Groups and masks are shared across spaces (they depend on topology and
+  // owner mapping only). Annotations within a group are keyed by Pst*.
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::unordered_map<BrokerId, Group*> group_of_root_;
+  std::unordered_map<BrokerId, TritVector> init_masks_;
+  std::unordered_map<SubscriptionId, Registered> registry_;
+  std::vector<std::size_t> space_counts_;
+};
+
+}  // namespace gryphon

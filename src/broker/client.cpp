@@ -1,0 +1,181 @@
+#include "broker/client.h"
+
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace gryphon {
+
+Client::Client(std::string name, Transport& transport, std::vector<SchemaPtr> spaces,
+               Options options)
+    : name_(std::move(name)), transport_(&transport), spaces_(std::move(spaces)),
+      options_(options) {
+  if (name_.empty()) throw std::invalid_argument("Client: empty name");
+  if (spaces_.empty()) throw std::invalid_argument("Client: need at least one space");
+}
+
+void Client::bind(ConnId conn) {
+  std::uint64_t last;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn_ = conn;
+    last = last_seq_;
+  }
+  transport_->send(conn, wire::encode(wire::HelloClient{name_, last}));
+}
+
+bool Client::connected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return conn_ != kInvalidConn;
+}
+
+std::uint64_t Client::last_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_seq_;
+}
+
+std::uint64_t Client::subscribe(std::uint16_t space, const Subscription& subscription) {
+  if (space >= spaces_.size()) throw std::invalid_argument("Client::subscribe: bad space");
+  std::uint64_t token;
+  ConnId conn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    token = next_token_++;
+    conn = conn_;
+  }
+  if (conn == kInvalidConn) throw std::runtime_error("Client::subscribe: not connected");
+  transport_->send(conn, wire::encode(wire::SubscribeReq{
+                             token, space, encode_subscription(subscription)}));
+  return token;
+}
+
+std::uint64_t Client::subscribe(std::uint16_t space, std::string_view predicate) {
+  if (space >= spaces_.size()) throw std::invalid_argument("Client::subscribe: bad space");
+  return subscribe(space, parse_subscription(spaces_[space], predicate));
+}
+
+std::vector<std::uint64_t> Client::subscribe_predicate(std::uint16_t space,
+                                                       std::string_view predicate) {
+  if (space >= spaces_.size()) {
+    throw std::invalid_argument("Client::subscribe_predicate: bad space");
+  }
+  std::vector<std::uint64_t> tokens;
+  for (const Subscription& arm : parse_disjunction(spaces_[space], predicate)) {
+    tokens.push_back(subscribe(space, arm));
+  }
+  return tokens;
+}
+
+std::optional<SubscriptionId> Client::subscription_id(std::uint64_t token) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = acked_subscriptions_.find(token);
+  if (it == acked_subscriptions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Client::unsubscribe(SubscriptionId id) {
+  ConnId conn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn = conn_;
+  }
+  if (conn == kInvalidConn) throw std::runtime_error("Client::unsubscribe: not connected");
+  transport_->send(conn, wire::encode(wire::Unsubscribe{id}));
+}
+
+void Client::publish(std::uint16_t space, const Event& event) {
+  if (space >= spaces_.size()) throw std::invalid_argument("Client::publish: bad space");
+  ConnId conn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn = conn_;
+  }
+  if (conn == kInvalidConn) throw std::runtime_error("Client::publish: not connected");
+  transport_->send(conn, wire::encode(wire::Publish{space, encode_event(event)}));
+}
+
+std::vector<Client::Delivery> Client::take_deliveries() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Delivery> out(std::make_move_iterator(deliveries_.begin()),
+                            std::make_move_iterator(deliveries_.end()));
+  deliveries_.clear();
+  return out;
+}
+
+bool Client::wait_for_deliveries(std::size_t count, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [&] { return deliveries_.size() >= count; });
+}
+
+std::vector<std::string> Client::take_errors() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::move(errors_);
+}
+
+bool Client::space_has_subscribers(std::uint16_t space) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = quench_.find(space);
+  return it == quench_.end() ? true : it->second;
+}
+
+void Client::on_connect(ConnId) {}
+
+void Client::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
+  try {
+    switch (wire::peek_type(frame)) {
+      case wire::FrameType::kHelloAck:
+        break;  // nothing to do: replay follows as ordinary deliveries
+      case wire::FrameType::kSubscribeAck: {
+        const auto ack = wire::decode_subscribe_ack(frame);
+        std::lock_guard<std::mutex> lock(mutex_);
+        acked_subscriptions_[ack.token] = ack.id;
+        break;
+      }
+      case wire::FrameType::kDeliver: {
+        const auto deliver = wire::decode_deliver(frame);
+        if (deliver.space >= spaces_.size()) break;
+        Delivery delivery{deliver.space, deliver.seq,
+                          decode_event(spaces_[deliver.space], deliver.event)};
+        bool fresh = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          // Replays can resend already-seen events; drop duplicates but
+          // still acknowledge them so the broker can collect its log.
+          if (deliver.seq > last_seq_) {
+            last_seq_ = deliver.seq;
+            deliveries_.push_back(std::move(delivery));
+            fresh = true;
+          }
+        }
+        if (fresh) cv_.notify_all();
+        if (options_.auto_ack) transport_->send(conn, wire::encode(wire::Ack{deliver.seq}));
+        break;
+      }
+      case wire::FrameType::kError: {
+        const auto error = wire::decode_error(frame);
+        std::lock_guard<std::mutex> lock(mutex_);
+        errors_.push_back(error.message);
+        break;
+      }
+      case wire::FrameType::kQuench: {
+        const auto quench = wire::decode_quench(frame);
+        std::lock_guard<std::mutex> lock(mutex_);
+        quench_[quench.space] = quench.has_subscribers;
+        break;
+      }
+      default:
+        GRYPHON_WARN("client") << name_ << ": unexpected frame";
+        break;
+    }
+  } catch (const std::exception& e) {
+    GRYPHON_WARN("client") << name_ << ": bad frame: " << e.what();
+  }
+}
+
+void Client::on_disconnect(ConnId conn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (conn_ == conn) conn_ = kInvalidConn;
+}
+
+}  // namespace gryphon

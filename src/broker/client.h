@@ -1,0 +1,116 @@
+// The client library: a publisher/subscriber endpoint.
+//
+// A client connects to one broker, announces itself by name (identity
+// persists across reconnects so the broker's event log can replay missed
+// deliveries), registers content-based subscriptions, publishes events, and
+// receives matched events. Acknowledgements are sent automatically by
+// default, driving the broker-side log garbage collection.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/transport.h"
+#include "broker/wire.h"
+#include "event/parser.h"
+
+namespace gryphon {
+
+class Client : public TransportHandler {
+ public:
+  struct Options {
+    /// Acknowledge every delivery immediately.
+    bool auto_ack{true};
+  };
+
+  /// One schema per information space, same order as the broker's.
+  Client(std::string name, Transport& transport, std::vector<SchemaPtr> spaces,
+         Options options);
+  Client(std::string name, Transport& transport, std::vector<SchemaPtr> spaces)
+      : Client(std::move(name), transport, std::move(spaces), Options()) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Binds to an established connection (the owner dials the broker through
+  /// the transport) and sends the client hello, including the last sequence
+  /// number seen so the broker replays exactly the missed suffix.
+  void bind(ConnId conn);
+
+  [[nodiscard]] bool connected() const;
+  [[nodiscard]] std::uint64_t last_seq() const;
+
+  /// Registers a subscription; returns the request token. The broker's
+  /// acknowledgement (carrying the SubscriptionId) is surfaced through
+  /// subscription_id(token) once it arrives.
+  std::uint64_t subscribe(std::uint16_t space, const Subscription& subscription);
+  /// Convenience: parses predicate text against the space's schema.
+  /// Disjunctions ("a = 1 | b > 2") are decomposed into one subscription
+  /// per arm; the returned tokens correspond to the arms in order. The
+  /// broker still delivers at most one copy of a matching event.
+  std::vector<std::uint64_t> subscribe_predicate(std::uint16_t space, std::string_view predicate);
+  /// As subscribe_predicate but for a single-conjunction predicate;
+  /// returns its one token.
+  std::uint64_t subscribe(std::uint16_t space, std::string_view predicate);
+
+  /// The broker-assigned id for an acknowledged subscribe request.
+  [[nodiscard]] std::optional<SubscriptionId> subscription_id(std::uint64_t token) const;
+
+  void unsubscribe(SubscriptionId id);
+
+  void publish(std::uint16_t space, const Event& event);
+
+  /// A delivered event with its space and broker sequence number.
+  struct Delivery {
+    std::uint16_t space{0};
+    std::uint64_t seq{0};
+    Event event;
+  };
+
+  /// Drains everything delivered so far.
+  std::vector<Delivery> take_deliveries();
+
+  /// Blocks until at least `count` deliveries are buffered or `timeout_ms`
+  /// elapses; true on success. (Pumped transports deliver synchronously, so
+  /// tests on InProcNetwork never actually block here.)
+  bool wait_for_deliveries(std::size_t count, int timeout_ms);
+
+  /// Error frames received from the broker (malformed requests etc).
+  std::vector<std::string> take_errors();
+
+  /// Quenching (Elvin-style, paper Section 5): true when the broker has
+  /// reported at least one subscriber for the space. A publisher may use
+  /// this to suppress event generation entirely while nobody listens.
+  /// Defaults to true until the broker says otherwise (never drops events
+  /// on a stale view).
+  [[nodiscard]] bool space_has_subscribers(std::uint16_t space) const;
+
+  // TransportHandler:
+  void on_connect(ConnId conn) override;
+  void on_frame(ConnId conn, std::span<const std::uint8_t> frame) override;
+  void on_disconnect(ConnId conn) override;
+
+ private:
+  std::string name_;
+  Transport* transport_;
+  std::vector<SchemaPtr> spaces_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  ConnId conn_{kInvalidConn};
+  std::uint64_t last_seq_{0};
+  std::uint64_t next_token_{1};
+  std::unordered_map<std::uint64_t, SubscriptionId> acked_subscriptions_;
+  std::deque<Delivery> deliveries_;
+  std::vector<std::string> errors_;
+  std::unordered_map<std::uint16_t, bool> quench_;  // space -> has subscribers
+};
+
+}  // namespace gryphon

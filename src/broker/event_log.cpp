@@ -1,0 +1,38 @@
+#include "broker/event_log.h"
+
+namespace gryphon {
+
+std::uint64_t EventLog::append(std::uint16_t space, std::vector<std::uint8_t> event, Ticks now) {
+  Entry entry;
+  entry.seq = next_seq_++;
+  entry.space = space;
+  entry.event = std::move(event);
+  entry.logged_at = now;
+  entries_.push_back(std::move(entry));
+  return entries_.back().seq;
+}
+
+void EventLog::acknowledge(std::uint64_t seq) {
+  if (seq <= acked_) return;
+  acked_ = seq;
+  while (!entries_.empty() && entries_.front().seq <= acked_) entries_.pop_front();
+}
+
+std::vector<const EventLog::Entry*> EventLog::unacknowledged(std::uint64_t after) const {
+  std::vector<const Entry*> out;
+  for (const Entry& entry : entries_) {
+    if (entry.seq > after) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::size_t EventLog::collect(Ticks now, Ticks retention) {
+  std::size_t collected = 0;
+  while (!entries_.empty() && entries_.front().logged_at + retention < now) {
+    entries_.pop_front();
+    ++collected;
+  }
+  return collected;
+}
+
+}  // namespace gryphon

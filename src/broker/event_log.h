@@ -1,0 +1,59 @@
+// Per-client event log (paper Section 4.2).
+//
+// "These protocol objects are robust enough to handle transient failures of
+// connections by maintaining an event log per client. Once a client
+// re-connects after a failure, the client protocol object delivers the
+// events received while the client was dis-connected. A garbage collector
+// periodically cleans up the log."
+//
+// The log assigns a monotonically increasing sequence number per delivered
+// event. Clients acknowledge cumulatively; acknowledged entries are garbage
+// collected, as are entries older than a retention horizon (the periodic
+// collector), bounding memory when a client never returns.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/time.h"
+
+namespace gryphon {
+
+class EventLog {
+ public:
+  struct Entry {
+    std::uint64_t seq{0};
+    std::uint16_t space{0};
+    std::vector<std::uint8_t> event;  // codec-encoded
+    Ticks logged_at{0};
+  };
+
+  /// Appends an event; returns its sequence number (starting at 1).
+  std::uint64_t append(std::uint16_t space, std::vector<std::uint8_t> event, Ticks now);
+
+  /// Cumulative acknowledgement: entries with seq <= acked are collected.
+  void acknowledge(std::uint64_t seq);
+
+  /// Entries the client has not acknowledged, with seq > after.
+  [[nodiscard]] std::vector<const Entry*> unacknowledged(std::uint64_t after = 0) const;
+
+  /// The most recently appended entry. Precondition: !empty().
+  [[nodiscard]] const Entry& back() const { return entries_.back(); }
+
+  /// The periodic garbage collector: drops entries logged before
+  /// `now - retention`, even if unacknowledged. Returns how many died.
+  std::size_t collect(Ticks now, Ticks retention);
+
+  [[nodiscard]] std::uint64_t last_seq() const { return next_seq_ - 1; }
+  [[nodiscard]] std::uint64_t acked_seq() const { return acked_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+ private:
+  std::deque<Entry> entries_;
+  std::uint64_t next_seq_{1};
+  std::uint64_t acked_{0};
+};
+
+}  // namespace gryphon

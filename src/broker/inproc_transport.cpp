@@ -1,0 +1,114 @@
+#include "broker/inproc_transport.h"
+
+#include <stdexcept>
+
+namespace gryphon {
+
+void InProcEndpoint::send(ConnId conn, std::vector<std::uint8_t> frame) {
+  network_->enqueue(this, conn, std::move(frame));
+}
+
+void InProcEndpoint::close(ConnId conn) { network_->close_from(this, conn); }
+
+InProcEndpoint* InProcNetwork::create_endpoint(const std::string& name) {
+  auto it = endpoints_.find(name);
+  if (it == endpoints_.end()) {
+    it = endpoints_.emplace(name, std::unique_ptr<InProcEndpoint>(new InProcEndpoint(this, name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+ConnId InProcNetwork::connect(const std::string& from, const std::string& to) {
+  const auto from_it = endpoints_.find(from);
+  const auto to_it = endpoints_.find(to);
+  if (from_it == endpoints_.end() || to_it == endpoints_.end()) {
+    throw std::invalid_argument("InProcNetwork::connect: unknown endpoint");
+  }
+  Pipe pipe;
+  pipe.a = from_it->second.get();
+  pipe.b = to_it->second.get();
+  pipe.a_conn = next_conn_++;
+  pipe.b_conn = next_conn_++;
+  pipe.open = true;
+  const std::size_t index = pipes_.size();
+  pipes_.push_back(pipe);
+  conn_to_pipe_[pipe.a_conn] = index;
+  conn_to_pipe_[pipe.b_conn] = index;
+  if (pipe.b->handler_ != nullptr) pipe.b->handler_->on_connect(pipe.b_conn);
+  return pipe.a_conn;
+}
+
+InProcNetwork::Pipe* InProcNetwork::find_pipe(InProcEndpoint* side, ConnId conn, bool& is_a) {
+  const auto it = conn_to_pipe_.find(conn);
+  if (it == conn_to_pipe_.end()) return nullptr;
+  Pipe& pipe = pipes_[it->second];
+  if (pipe.a_conn == conn && pipe.a == side) {
+    is_a = true;
+    return &pipe;
+  }
+  if (pipe.b_conn == conn && pipe.b == side) {
+    is_a = false;
+    return &pipe;
+  }
+  return nullptr;
+}
+
+void InProcNetwork::enqueue(InProcEndpoint* sender, ConnId conn,
+                            std::vector<std::uint8_t> frame) {
+  bool is_a = false;
+  Pipe* pipe = find_pipe(sender, conn, is_a);
+  if (pipe == nullptr || !pipe->open) return;  // sends on dead connections are dropped
+  QueuedFrame q;
+  q.pipe = static_cast<std::size_t>(pipe - pipes_.data());
+  q.from_a = is_a;
+  q.frame = std::move(frame);
+  queue_.push_back(std::move(q));
+}
+
+void InProcNetwork::close_from(InProcEndpoint* side, ConnId conn) {
+  bool is_a = false;
+  Pipe* pipe = find_pipe(side, conn, is_a);
+  if (pipe == nullptr || !pipe->open) return;
+  pipe->open = false;
+  // Both sides observe the disconnect; queued frames for this pipe die.
+  const std::size_t index = static_cast<std::size_t>(pipe - pipes_.data());
+  for (auto& q : queue_) {
+    if (q.pipe == index) q.frame.clear();  // tombstone; skipped at delivery
+  }
+  InProcEndpoint* other = is_a ? pipe->b : pipe->a;
+  const ConnId other_conn = is_a ? pipe->b_conn : pipe->a_conn;
+  if (other->handler_ != nullptr) other->handler_->on_disconnect(other_conn);
+  if (side->handler_ != nullptr) side->handler_->on_disconnect(conn);
+}
+
+void InProcNetwork::drop(const std::string& endpoint, ConnId conn) {
+  const auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end()) throw std::invalid_argument("InProcNetwork::drop: unknown endpoint");
+  close_from(it->second.get(), conn);
+}
+
+std::size_t InProcNetwork::pump_some(std::size_t limit) {
+  std::size_t delivered = 0;
+  while (delivered < limit && !queue_.empty()) {
+    QueuedFrame q = std::move(queue_.front());
+    queue_.pop_front();
+    Pipe& pipe = pipes_[q.pipe];
+    if (!pipe.open || q.frame.empty()) continue;  // dropped connection tombstone
+    InProcEndpoint* dest = q.from_a ? pipe.b : pipe.a;
+    const ConnId dest_conn = q.from_a ? pipe.b_conn : pipe.a_conn;
+    if (dest->handler_ != nullptr) {
+      dest->handler_->on_frame(dest_conn, q.frame);
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+std::size_t InProcNetwork::pump() {
+  std::size_t total = 0;
+  while (!queue_.empty()) total += pump_some(queue_.size());
+  return total;
+}
+
+}  // namespace gryphon

@@ -1,0 +1,96 @@
+// In-process transport: a deterministic message bus.
+//
+// Endpoints register by name on a shared InProcNetwork. connect() creates a
+// connection pair; send() enqueues frames on the network's global queue;
+// pump() delivers them in FIFO order on the caller's thread. Determinism
+// makes multi-broker integration tests reproducible, and "drop" hooks allow
+// failure injection (a dropped connection exercises the event-log replay
+// path of the client protocol).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/transport.h"
+
+namespace gryphon {
+
+class InProcNetwork;
+
+/// One endpoint (a broker or a client). Owned by the network; use
+/// InProcNetwork::create_endpoint.
+class InProcEndpoint final : public Transport {
+ public:
+  void set_handler(TransportHandler* handler) { handler_ = handler; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void send(ConnId conn, std::vector<std::uint8_t> frame) override;
+  void close(ConnId conn) override;
+
+ private:
+  friend class InProcNetwork;
+  InProcEndpoint(InProcNetwork* network, std::string name)
+      : network_(network), name_(std::move(name)) {}
+
+  InProcNetwork* network_;
+  std::string name_;
+  TransportHandler* handler_{nullptr};
+};
+
+class InProcNetwork {
+ public:
+  /// Creates (or returns the existing) endpoint with this name. The network
+  /// owns it; pointers stay valid for the network's lifetime.
+  InProcEndpoint* create_endpoint(const std::string& name);
+
+  /// Establishes a connection from `from` to `to`. Returns the ConnId valid
+  /// at `from`'s side; `to` observes on_connect with its own ConnId.
+  /// Throws std::invalid_argument for unknown endpoints.
+  ConnId connect(const std::string& from, const std::string& to);
+
+  /// Severs a connection (simulated transient failure): both sides observe
+  /// on_disconnect; queued frames on it are dropped.
+  void drop(const std::string& endpoint, ConnId conn);
+
+  /// Delivers queued frames in FIFO order until quiescent. Returns the
+  /// number of frames delivered.
+  std::size_t pump();
+
+  /// Delivers at most `limit` frames (partial pump, for interleaving tests).
+  std::size_t pump_some(std::size_t limit);
+
+  /// Frames currently queued.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Pipe {
+    InProcEndpoint* a{nullptr};
+    ConnId a_conn{kInvalidConn};
+    InProcEndpoint* b{nullptr};
+    ConnId b_conn{kInvalidConn};
+    bool open{false};
+  };
+  struct QueuedFrame {
+    std::size_t pipe{0};
+    bool from_a{false};
+    std::vector<std::uint8_t> frame;
+  };
+
+  friend class InProcEndpoint;
+  void enqueue(InProcEndpoint* sender, ConnId conn, std::vector<std::uint8_t> frame);
+  void close_from(InProcEndpoint* side, ConnId conn);
+  Pipe* find_pipe(InProcEndpoint* side, ConnId conn, bool& is_a);
+
+  std::unordered_map<std::string, std::unique_ptr<InProcEndpoint>> endpoints_;
+  std::vector<Pipe> pipes_;
+  // Maps (endpoint, conn) -> pipe index; conn ids are globally unique here.
+  std::unordered_map<ConnId, std::size_t> conn_to_pipe_;
+  std::deque<QueuedFrame> queue_;
+  ConnId next_conn_{1};
+};
+
+}  // namespace gryphon

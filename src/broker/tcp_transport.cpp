@@ -1,0 +1,262 @@
+#include "broker/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace gryphon {
+
+namespace {
+
+bool read_exact(int fd, std::uint8_t* buffer, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, buffer + got, size - got, 0);
+    if (n <= 0) return false;
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* buffer, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, buffer + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TransportHandler& handler, Options options)
+    : handler_(&handler), options_(options) {
+  for (std::size_t i = 0; i < options_.sender_threads; ++i) {
+    senders_.emplace_back([this] { sender_loop(); });
+  }
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+std::uint16_t TcpTransport::listen(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("TcpTransport: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("TcpTransport: bind() failed");
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("TcpTransport: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    listen_fd_ = fd;
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return ntohs(addr.sin_port);
+}
+
+ConnId TcpTransport::connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("TcpTransport: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("TcpTransport: bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("TcpTransport: connect() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return register_fd(fd);
+}
+
+ConnId TcpTransport::register_fd(int fd) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const ConnId id = next_conn_++;
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->reader = std::thread([this, id, fd] { reader_loop(id, fd); });
+  conns_.emplace(id, std::move(conn));
+  return id;
+}
+
+void TcpTransport::accept_loop() {
+  while (true) {
+    int fd;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_ || listen_fd_ < 0) return;
+      fd = listen_fd_;
+    }
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    const int accepted = ::accept(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    if (accepted < 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(accepted, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const ConnId id = register_fd(accepted);
+    handler_->on_connect(id);
+  }
+}
+
+void TcpTransport::reader_loop(ConnId id, int fd) {
+  std::vector<std::uint8_t> frame;
+  while (true) {
+    std::uint8_t header[4];
+    if (!read_exact(fd, header, sizeof(header))) break;
+    const std::uint32_t size = static_cast<std::uint32_t>(header[0]) |
+                               (static_cast<std::uint32_t>(header[1]) << 8) |
+                               (static_cast<std::uint32_t>(header[2]) << 16) |
+                               (static_cast<std::uint32_t>(header[3]) << 24);
+    if (size == 0 || size > options_.max_frame_bytes) {
+      GRYPHON_WARN("tcp") << "conn " << id << ": bad frame size " << size;
+      break;
+    }
+    frame.resize(size);
+    if (!read_exact(fd, frame.data(), size)) break;
+    handler_->on_frame(id, frame);
+  }
+  bool notify;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = conns_.find(id);
+    notify = it != conns_.end() && !it->second->closed && !stopping_;
+    if (it != conns_.end()) {
+      it->second->closed = true;
+      ::shutdown(it->second->fd, SHUT_RDWR);
+    }
+  }
+  if (notify) handler_->on_disconnect(id);
+}
+
+void TcpTransport::send(ConnId conn, std::vector<std::uint8_t> frame) {
+  std::vector<std::uint8_t> packet;
+  packet.reserve(frame.size() + 4);
+  const auto size = static_cast<std::uint32_t>(frame.size());
+  packet.push_back(static_cast<std::uint8_t>(size));
+  packet.push_back(static_cast<std::uint8_t>(size >> 8));
+  packet.push_back(static_cast<std::uint8_t>(size >> 16));
+  packet.push_back(static_cast<std::uint8_t>(size >> 24));
+  packet.insert(packet.end(), frame.begin(), frame.end());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = conns_.find(conn);
+    if (it == conns_.end() || it->second->closed) return;  // silent drop, by contract
+    it->second->outgoing.push_back(std::move(packet));
+    if (!it->second->draining) {
+      it->second->draining = true;
+      dirty_.push_back(conn);
+    }
+  }
+  send_cv_.notify_one();
+}
+
+void TcpTransport::sender_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    send_cv_.wait(lock, [&] { return stopping_ || !dirty_.empty(); });
+    if (stopping_) return;
+    const ConnId id = dirty_.front();
+    dirty_.pop_front();
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn& conn = *it->second;
+    // Drain this connection's queue; `draining` keeps other senders off it
+    // so frame order is preserved.
+    while (!conn.outgoing.empty() && !conn.closed) {
+      std::vector<std::uint8_t> packet = std::move(conn.outgoing.front());
+      conn.outgoing.pop_front();
+      const int fd = conn.fd;
+      lock.unlock();
+      const bool ok = write_all(fd, packet.data(), packet.size());
+      lock.lock();
+      if (!ok) {
+        conn.closed = true;
+        ::shutdown(conn.fd, SHUT_RDWR);  // reader observes and reports
+        break;
+      }
+    }
+    conn.draining = false;
+  }
+}
+
+void TcpTransport::close(ConnId conn) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  close_locked(conn, lock);
+}
+
+void TcpTransport::close_locked(ConnId id, std::unique_lock<std::mutex>& lock) {
+  (void)lock;
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  it->second->closed = true;
+  ::shutdown(it->second->fd, SHUT_RDWR);
+}
+
+void TcpTransport::shutdown() {
+  std::vector<std::thread> readers;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (auto& [id, conn] : conns_) {
+      (void)id;
+      conn->closed = true;
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  send_cv_.notify_all();
+  for (std::thread& t : senders_) {
+    if (t.joinable()) t.join();
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (auto& [id, conn] : conns_) {
+      (void)id;
+      readers.push_back(std::move(conn->reader));
+    }
+  }
+  for (std::thread& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto& [id, conn] : conns_) {
+    (void)id;
+    ::close(conn->fd);
+  }
+  conns_.clear();
+}
+
+}  // namespace gryphon

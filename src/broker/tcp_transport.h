@@ -1,0 +1,82 @@
+// TCP/IP transport.
+//
+// Frames are length-prefixed (u32 little-endian, then the frame bytes).
+// Sending is asynchronous, exactly as the paper describes (Section 4.2):
+// send() enqueues the frame on the connection's outgoing queue and returns;
+// a pool of sending threads monitors the queues and drains them to the
+// sockets. One reader thread per connection parses inbound frames; an
+// acceptor thread serves the listening socket.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/transport.h"
+
+namespace gryphon {
+
+class TcpTransport final : public Transport {
+ public:
+  struct Options {
+    std::size_t sender_threads{2};
+    /// Frames larger than this are treated as protocol corruption.
+    std::uint32_t max_frame_bytes{16u * 1024 * 1024};
+  };
+
+  explicit TcpTransport(TransportHandler& handler, Options options);
+  explicit TcpTransport(TransportHandler& handler) : TcpTransport(handler, Options()) {}
+  ~TcpTransport() override;
+
+  /// Starts listening on 127.0.0.1:`port` (0 picks an ephemeral port).
+  /// Returns the bound port. Throws std::runtime_error on failure.
+  std::uint16_t listen(std::uint16_t port);
+
+  /// Dials host:port; returns the connection id. Throws on failure.
+  ConnId connect(const std::string& host, std::uint16_t port);
+
+  void send(ConnId conn, std::vector<std::uint8_t> frame) override;
+  void close(ConnId conn) override;
+
+  /// Stops the acceptor, closes every connection, joins all threads.
+  /// Called by the destructor; safe to call twice.
+  void shutdown();
+
+ private:
+  struct Conn {
+    int fd{-1};
+    std::deque<std::vector<std::uint8_t>> outgoing;
+    bool draining{false};  // a sender thread currently owns this queue
+    bool closed{false};
+    std::thread reader;
+  };
+
+  ConnId register_fd(int fd);
+  void reader_loop(ConnId id, int fd);
+  void sender_loop();
+  void accept_loop();
+  void close_locked(ConnId id, std::unique_lock<std::mutex>& lock);
+
+  TransportHandler* handler_;
+  Options options_;
+
+  std::mutex mutex_;
+  std::condition_variable send_cv_;
+  std::unordered_map<ConnId, std::unique_ptr<Conn>> conns_;
+  std::deque<ConnId> dirty_;  // connections with queued frames
+  ConnId next_conn_{1};
+  bool stopping_{false};
+
+  int listen_fd_{-1};
+  std::thread acceptor_;
+  std::vector<std::thread> senders_;
+  std::vector<std::thread> finished_readers_;
+};
+
+}  // namespace gryphon

@@ -1,0 +1,239 @@
+#include "broker/wire.h"
+
+namespace gryphon::wire {
+
+namespace {
+
+Encoder begin(FrameType type) {
+  Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(type));
+  return enc;
+}
+
+Decoder open(std::span<const std::uint8_t> frame, FrameType expected) {
+  Decoder dec(frame);
+  const auto type = dec.get_u8();
+  if (type != static_cast<std::uint8_t>(expected)) {
+    throw CodecError("wire: unexpected frame type " + std::to_string(type));
+  }
+  return dec;
+}
+
+}  // namespace
+
+FrameType peek_type(std::span<const std::uint8_t> frame) {
+  if (frame.empty()) throw CodecError("wire: empty frame");
+  return static_cast<FrameType>(frame[0]);
+}
+
+std::vector<std::uint8_t> encode(const HelloClient& m) {
+  Encoder enc = begin(FrameType::kHelloClient);
+  enc.put_string(m.name);
+  enc.put_u64(m.last_seq);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const HelloBroker& m) {
+  Encoder enc = begin(FrameType::kHelloBroker);
+  enc.put_u32(static_cast<std::uint32_t>(m.broker.value));
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const HelloAck& m) {
+  Encoder enc = begin(FrameType::kHelloAck);
+  enc.put_u64(m.resume_from);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const SubscribeReq& m) {
+  Encoder enc = begin(FrameType::kSubscribe);
+  enc.put_u64(m.token);
+  enc.put_u16(m.space);
+  enc.put_bytes(m.subscription);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const SubscribeAck& m) {
+  Encoder enc = begin(FrameType::kSubscribeAck);
+  enc.put_u64(m.token);
+  enc.put_i64(m.id.value);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const Unsubscribe& m) {
+  Encoder enc = begin(FrameType::kUnsubscribe);
+  enc.put_i64(m.id.value);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const Publish& m) {
+  Encoder enc = begin(FrameType::kPublish);
+  enc.put_u16(m.space);
+  enc.put_bytes(m.event);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const Deliver& m) {
+  Encoder enc = begin(FrameType::kDeliver);
+  enc.put_u64(m.seq);
+  enc.put_u16(m.space);
+  enc.put_bytes(m.event);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const Ack& m) {
+  Encoder enc = begin(FrameType::kAck);
+  enc.put_u64(m.seq);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const SubPropagate& m) {
+  Encoder enc = begin(FrameType::kSubPropagate);
+  enc.put_i64(m.id.value);
+  enc.put_u32(static_cast<std::uint32_t>(m.owner.value));
+  enc.put_u16(m.space);
+  enc.put_bytes(m.subscription);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const UnsubPropagate& m) {
+  Encoder enc = begin(FrameType::kUnsubPropagate);
+  enc.put_i64(m.id.value);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const EventForward& m) {
+  Encoder enc = begin(FrameType::kEventForward);
+  enc.put_u32(static_cast<std::uint32_t>(m.tree_root.value));
+  enc.put_u16(m.space);
+  enc.put_bytes(m.event);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const ErrorFrame& m) {
+  Encoder enc = begin(FrameType::kError);
+  enc.put_u64(m.token);
+  enc.put_string(m.message);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const Quench& m) {
+  Encoder enc = begin(FrameType::kQuench);
+  enc.put_u16(m.space);
+  enc.put_u8(m.has_subscribers ? 1 : 0);
+  return enc.take();
+}
+
+HelloClient decode_hello_client(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kHelloClient);
+  HelloClient m;
+  m.name = dec.get_string();
+  m.last_seq = dec.get_u64();
+  return m;
+}
+
+HelloBroker decode_hello_broker(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kHelloBroker);
+  HelloBroker m;
+  m.broker = BrokerId{static_cast<BrokerId::rep_type>(dec.get_u32())};
+  return m;
+}
+
+HelloAck decode_hello_ack(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kHelloAck);
+  HelloAck m;
+  m.resume_from = dec.get_u64();
+  return m;
+}
+
+SubscribeReq decode_subscribe(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kSubscribe);
+  SubscribeReq m;
+  m.token = dec.get_u64();
+  m.space = dec.get_u16();
+  m.subscription = dec.get_bytes();
+  return m;
+}
+
+SubscribeAck decode_subscribe_ack(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kSubscribeAck);
+  SubscribeAck m;
+  m.token = dec.get_u64();
+  m.id = SubscriptionId{dec.get_i64()};
+  return m;
+}
+
+Unsubscribe decode_unsubscribe(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kUnsubscribe);
+  Unsubscribe m;
+  m.id = SubscriptionId{dec.get_i64()};
+  return m;
+}
+
+Publish decode_publish(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kPublish);
+  Publish m;
+  m.space = dec.get_u16();
+  m.event = dec.get_bytes();
+  return m;
+}
+
+Deliver decode_deliver(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kDeliver);
+  Deliver m;
+  m.seq = dec.get_u64();
+  m.space = dec.get_u16();
+  m.event = dec.get_bytes();
+  return m;
+}
+
+Ack decode_ack(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kAck);
+  Ack m;
+  m.seq = dec.get_u64();
+  return m;
+}
+
+SubPropagate decode_sub_propagate(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kSubPropagate);
+  SubPropagate m;
+  m.id = SubscriptionId{dec.get_i64()};
+  m.owner = BrokerId{static_cast<BrokerId::rep_type>(dec.get_u32())};
+  m.space = dec.get_u16();
+  m.subscription = dec.get_bytes();
+  return m;
+}
+
+UnsubPropagate decode_unsub_propagate(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kUnsubPropagate);
+  UnsubPropagate m;
+  m.id = SubscriptionId{dec.get_i64()};
+  return m;
+}
+
+EventForward decode_event_forward(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kEventForward);
+  EventForward m;
+  m.tree_root = BrokerId{static_cast<BrokerId::rep_type>(dec.get_u32())};
+  m.space = dec.get_u16();
+  m.event = dec.get_bytes();
+  return m;
+}
+
+ErrorFrame decode_error(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kError);
+  ErrorFrame m;
+  m.token = dec.get_u64();
+  m.message = dec.get_string();
+  return m;
+}
+
+Quench decode_quench(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kQuench);
+  Quench m;
+  m.space = dec.get_u16();
+  m.has_subscribers = dec.get_u8() != 0;
+  return m;
+}
+
+}  // namespace gryphon::wire

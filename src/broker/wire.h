@@ -1,0 +1,135 @@
+// The broker wire protocol.
+//
+// Every frame is a type byte followed by a type-specific payload encoded
+// with the binary codec (event/codec.h). On stream transports (TCP) frames
+// are length-prefixed; datagram-style transports (in-process) carry them
+// whole. A broker node implements both the broker-to-client protocol
+// (hello/subscribe/publish/deliver/ack) and the broker-to-broker protocol
+// (subscription propagation and event forwarding) — paper Section 4.2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "event/codec.h"
+#include "event/event.h"
+#include "event/subscription.h"
+
+namespace gryphon::wire {
+
+enum class FrameType : std::uint8_t {
+  kHelloClient = 1,   // client -> broker: name, last delivered seq seen
+  kHelloBroker = 2,   // broker -> broker: sender's broker id
+  kHelloAck = 3,      // broker -> client: accepted, replay begins after this
+  kSubscribe = 4,     // client -> broker: token, space, subscription
+  kSubscribeAck = 5,  // broker -> client: token, assigned subscription id
+  kUnsubscribe = 6,   // client -> broker: subscription id
+  kPublish = 7,       // client -> broker: space, event
+  kDeliver = 8,       // broker -> client: seq, space, event
+  kAck = 9,           // client -> broker: cumulative seq
+  kSubPropagate = 10, // broker -> broker: id, owner broker, space, subscription
+  kUnsubPropagate = 11,  // broker -> broker: id
+  kEventForward = 12,    // broker -> broker: spanning-tree root, space, event
+  kError = 13,           // broker -> client: token, message
+  kQuench = 14,          // broker -> client: space, whether any subscriber exists
+};
+
+struct HelloClient {
+  std::string name;
+  std::uint64_t last_seq{0};
+};
+struct HelloBroker {
+  BrokerId broker;
+};
+struct HelloAck {
+  std::uint64_t resume_from{0};
+};
+struct SubscribeReq {
+  std::uint64_t token{0};
+  std::uint16_t space{0};
+  std::vector<std::uint8_t> subscription;  // codec-encoded Subscription
+};
+struct SubscribeAck {
+  std::uint64_t token{0};
+  SubscriptionId id;
+};
+struct Unsubscribe {
+  SubscriptionId id;
+};
+struct Publish {
+  std::uint16_t space{0};
+  std::vector<std::uint8_t> event;  // codec-encoded Event
+};
+struct Deliver {
+  std::uint64_t seq{0};
+  std::uint16_t space{0};
+  std::vector<std::uint8_t> event;
+};
+struct Ack {
+  std::uint64_t seq{0};
+};
+struct SubPropagate {
+  SubscriptionId id;
+  BrokerId owner;
+  std::uint16_t space{0};
+  std::vector<std::uint8_t> subscription;
+};
+struct UnsubPropagate {
+  SubscriptionId id;
+};
+struct EventForward {
+  BrokerId tree_root;
+  std::uint16_t space{0};
+  std::vector<std::uint8_t> event;
+};
+struct ErrorFrame {
+  std::uint64_t token{0};
+  std::string message;
+};
+/// Quenching (cf. Elvin, discussed in the paper's related work): brokers
+/// tell connected clients whether an information space currently has any
+/// subscriber at all, so publishers can suppress event generation entirely
+/// when nobody is listening.
+struct Quench {
+  std::uint16_t space{0};
+  bool has_subscribers{false};
+};
+
+/// Reads the type byte without consuming the payload.
+FrameType peek_type(std::span<const std::uint8_t> frame);
+
+std::vector<std::uint8_t> encode(const HelloClient&);
+std::vector<std::uint8_t> encode(const HelloBroker&);
+std::vector<std::uint8_t> encode(const HelloAck&);
+std::vector<std::uint8_t> encode(const SubscribeReq&);
+std::vector<std::uint8_t> encode(const SubscribeAck&);
+std::vector<std::uint8_t> encode(const Unsubscribe&);
+std::vector<std::uint8_t> encode(const Publish&);
+std::vector<std::uint8_t> encode(const Deliver&);
+std::vector<std::uint8_t> encode(const Ack&);
+std::vector<std::uint8_t> encode(const SubPropagate&);
+std::vector<std::uint8_t> encode(const UnsubPropagate&);
+std::vector<std::uint8_t> encode(const EventForward&);
+std::vector<std::uint8_t> encode(const ErrorFrame&);
+std::vector<std::uint8_t> encode(const Quench&);
+
+/// Each decode throws CodecError on malformed input or type mismatch.
+HelloClient decode_hello_client(std::span<const std::uint8_t> frame);
+HelloBroker decode_hello_broker(std::span<const std::uint8_t> frame);
+HelloAck decode_hello_ack(std::span<const std::uint8_t> frame);
+SubscribeReq decode_subscribe(std::span<const std::uint8_t> frame);
+SubscribeAck decode_subscribe_ack(std::span<const std::uint8_t> frame);
+Unsubscribe decode_unsubscribe(std::span<const std::uint8_t> frame);
+Publish decode_publish(std::span<const std::uint8_t> frame);
+Deliver decode_deliver(std::span<const std::uint8_t> frame);
+Ack decode_ack(std::span<const std::uint8_t> frame);
+SubPropagate decode_sub_propagate(std::span<const std::uint8_t> frame);
+UnsubPropagate decode_unsub_propagate(std::span<const std::uint8_t> frame);
+EventForward decode_event_forward(std::span<const std::uint8_t> frame);
+ErrorFrame decode_error(std::span<const std::uint8_t> frame);
+Quench decode_quench(std::span<const std::uint8_t> frame);
+
+}  // namespace gryphon::wire

@@ -1,0 +1,55 @@
+// Strongly-typed identifiers used throughout the library.
+//
+// Each id type is a distinct struct wrapping an integer so that a BrokerId
+// cannot be accidentally passed where a ClientId is expected. Ids are cheap
+// value types, hashable, totally ordered, and printable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace gryphon {
+
+/// CRTP-free tagged integer id. `Tag` only serves to make distinct types.
+template <typename Tag, typename Rep = std::int32_t>
+struct TypedId {
+  using rep_type = Rep;
+
+  Rep value{-1};
+
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(Rep v) : value(v) {}
+
+  /// True when the id has been assigned (ids are allocated from 0 upward).
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) { return a.value == b.value; }
+  friend constexpr bool operator!=(TypedId a, TypedId b) { return a.value != b.value; }
+  friend constexpr bool operator<(TypedId a, TypedId b) { return a.value < b.value; }
+  friend constexpr bool operator<=(TypedId a, TypedId b) { return a.value <= b.value; }
+  friend constexpr bool operator>(TypedId a, TypedId b) { return a.value > b.value; }
+  friend constexpr bool operator>=(TypedId a, TypedId b) { return a.value >= b.value; }
+
+  friend std::ostream& operator<<(std::ostream& os, TypedId id) { return os << id.value; }
+};
+
+/// Identifies a broker node within a broker network.
+using BrokerId = TypedId<struct BrokerIdTag>;
+/// Identifies a client (publisher or subscriber) attached to some broker.
+using ClientId = TypedId<struct ClientIdTag>;
+/// Identifies a subscription registered in the network.
+using SubscriptionId = TypedId<struct SubscriptionIdTag, std::int64_t>;
+/// A broker-local outgoing link index (position in that broker's trit vectors).
+using LinkIndex = TypedId<struct LinkIndexTag>;
+
+}  // namespace gryphon
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<gryphon::TypedId<Tag, Rep>> {
+  size_t operator()(gryphon::TypedId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// The broker prototype and the simulator both log through this sink; tests
+// raise the threshold to keep output quiet. Thread-safe: a single mutex
+// serializes writes (logging is not on the hot path — matching is).
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace gryphon {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Writes one formatted line ("[level] component: message") to stderr.
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+/// Stream-style helper: collects the message then emits it on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define GRYPHON_LOG(level, component)                      \
+  if (::gryphon::log_level() > (level)) {                  \
+  } else                                                   \
+    ::gryphon::detail::LogStream((level), (component))
+
+#define GRYPHON_DEBUG(component) GRYPHON_LOG(::gryphon::LogLevel::kDebug, component)
+#define GRYPHON_INFO(component) GRYPHON_LOG(::gryphon::LogLevel::kInfo, component)
+#define GRYPHON_WARN(component) GRYPHON_LOG(::gryphon::LogLevel::kWarn, component)
+#define GRYPHON_ERROR(component) GRYPHON_LOG(::gryphon::LogLevel::kError, component)
+
+}  // namespace gryphon

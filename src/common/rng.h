@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (workload generators, the network
+// simulator, property tests) draw from this engine so that every experiment
+// is reproducible from a single seed. The engine is xoshiro256**, seeded via
+// splitmix64 as recommended by its authors.
+#pragma once
+
+#include <cstdint>
+
+namespace gryphon {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** engine. Satisfies the essentials of UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept;
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Fork an independent stream (useful to decorrelate generator components).
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace gryphon

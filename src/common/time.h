@@ -1,0 +1,37 @@
+// Virtual time.
+//
+// The simulator measures time in "ticks" of a virtual clock, each tick
+// corresponding to about 12 microseconds (paper Section 4.1). Link delays in
+// the topology are expressed in ticks so the topology and simulator agree.
+#pragma once
+
+#include <cstdint>
+
+namespace gryphon {
+
+using Ticks = std::int64_t;
+
+/// Microseconds represented by one tick (paper: "about 12 microseconds").
+inline constexpr double kMicrosPerTick = 12.0;
+
+constexpr Ticks ticks_from_micros(double micros) noexcept {
+  return static_cast<Ticks>(micros / kMicrosPerTick + 0.5);
+}
+
+constexpr Ticks ticks_from_millis(double millis) noexcept {
+  return ticks_from_micros(millis * 1000.0);
+}
+
+constexpr double ticks_to_micros(Ticks t) noexcept {
+  return static_cast<double>(t) * kMicrosPerTick;
+}
+
+constexpr double ticks_to_millis(Ticks t) noexcept { return ticks_to_micros(t) / 1000.0; }
+
+constexpr double ticks_to_seconds(Ticks t) noexcept { return ticks_to_micros(t) / 1e6; }
+
+constexpr Ticks ticks_from_seconds(double seconds) noexcept {
+  return ticks_from_micros(seconds * 1e6);
+}
+
+}  // namespace gryphon

@@ -1,0 +1,43 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gryphon {
+
+Zipf::Zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("Zipf: domain size must be >= 1");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::uint32_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double Zipf::pmf(std::uint32_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+std::vector<std::uint32_t> locality_permutation(std::size_t n, std::uint32_t region) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  if (n == 0) return perm;
+  const std::uint32_t offset =
+      static_cast<std::uint32_t>((static_cast<std::uint64_t>(region) * n) / 3 % n);
+  std::rotate(perm.begin(), perm.begin() + offset, perm.end());
+  return perm;
+}
+
+}  // namespace gryphon

@@ -1,0 +1,43 @@
+// Zipf-distributed sampling over a finite domain {0, 1, ..., n-1}.
+//
+// The paper (Section 4.1) generates both event attribute values and non-*
+// subscription values from a zipf distribution; "locality of interest" is
+// modeled by permuting the rank order per region so different regions favour
+// different values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gryphon {
+
+/// Samples ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^s.
+/// An optional permutation maps ranks to domain values, so distinct regions
+/// can share one Zipf object family but prefer different concrete values.
+class Zipf {
+ public:
+  /// Builds the sampler. `n` must be >= 1; `s` is the skew exponent
+  /// (s = 0 degenerates to uniform; the classic zipf has s = 1).
+  Zipf(std::size_t n, double s = 1.0);
+
+  /// Number of values in the domain.
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+  /// Draws a value in [0, size()). Most-probable value is 0 (rank order).
+  std::uint32_t sample(Rng& rng) const;
+
+  /// Probability mass of a given rank.
+  [[nodiscard]] double pmf(std::uint32_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1.0
+};
+
+/// A rank->value permutation for modeling regional locality of interest.
+/// Region r rotates the value order by an offset derived from r, so the hot
+/// values of one region are the cold values of another.
+std::vector<std::uint32_t> locality_permutation(std::size_t n, std::uint32_t region);
+
+}  // namespace gryphon

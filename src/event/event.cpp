@@ -1,0 +1,61 @@
+#include "event/event.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gryphon {
+
+Event::Event(SchemaPtr schema) : schema_(std::move(schema)) {
+  if (!schema_) throw std::invalid_argument("Event: null schema");
+  values_.resize(schema_->attribute_count());
+}
+
+Event::Event(SchemaPtr schema, std::vector<Value> values) : schema_(std::move(schema)) {
+  if (!schema_) throw std::invalid_argument("Event: null schema");
+  if (values.size() != schema_->attribute_count()) {
+    throw std::invalid_argument("Event: arity mismatch for schema '" + schema_->name() + "'");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!schema_->accepts(i, values[i])) {
+      throw std::invalid_argument("Event: value " + values[i].to_text() +
+                                  " rejected for attribute '" + schema_->attribute(i).name + "'");
+    }
+  }
+  values_ = std::move(values);
+}
+
+void Event::set(std::size_t index, Value value) {
+  if (index >= values_.size()) throw std::out_of_range("Event::set: index out of range");
+  if (!schema_->accepts(index, value)) {
+    throw std::invalid_argument("Event::set: value " + value.to_text() +
+                                " rejected for attribute '" + schema_->attribute(index).name +
+                                "'");
+  }
+  values_[index] = std::move(value);
+}
+
+void Event::set(std::string_view name, Value value) {
+  const auto index = schema_->index_of(name);
+  if (!index) throw std::invalid_argument("Event::set: unknown attribute");
+  set(*index, std::move(value));
+}
+
+bool Event::complete() const {
+  for (const Value& v : values_) {
+    if (!v.is_set()) return false;
+  }
+  return true;
+}
+
+std::string Event::to_text() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << schema_->attribute(i).name << ": " << values_[i].to_text();
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace gryphon

@@ -1,0 +1,50 @@
+// Published events.
+//
+// An event is a complete assignment of values to every attribute of its
+// schema. Events are the unit of publication, matching, and routing.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "event/schema.h"
+#include "event/value.h"
+
+namespace gryphon {
+
+class Event {
+ public:
+  /// Constructs an event with all slots unset; fill via set().
+  explicit Event(SchemaPtr schema);
+
+  /// Constructs a complete event from positional values.
+  /// Throws std::invalid_argument on arity or type/domain mismatch.
+  Event(SchemaPtr schema, std::vector<Value> values);
+
+  [[nodiscard]] const SchemaPtr& schema() const { return schema_; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] const Value& value(std::size_t index) const { return values_[index]; }
+  [[nodiscard]] const std::vector<Value>& values() const { return values_; }
+
+  /// Sets one attribute by index; throws on type/domain mismatch.
+  void set(std::size_t index, Value value);
+  /// Sets one attribute by name; throws on unknown attribute.
+  void set(std::string_view name, Value value);
+
+  /// True when every slot is set.
+  [[nodiscard]] bool complete() const;
+
+  /// Rendering such as {issue: "IBM", price: 119, volume: 3000}.
+  [[nodiscard]] std::string to_text() const;
+
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.schema_ == b.schema_ && a.values_ == b.values_;
+  }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Value> values_;
+};
+
+}  // namespace gryphon

@@ -1,0 +1,48 @@
+// Text predicate parser.
+//
+// Grammar (conjunctions only, matching the paper's subscription language):
+//
+//   predicate := term ( '&' term )*            // '&&' and 'and' also accepted
+//   term      := ident op literal
+//   op        := '=' | '==' | '!=' | '<' | '<=' | '>' | '>='
+//   literal   := integer | float | 'quoted string' | "quoted string"
+//              | true | false
+//
+// Multiple comparisons on one attribute are folded into a single
+// AttributeTest when they describe an interval (e.g. price > 100 & price
+// <= 120); contradictory or unfoldable combinations are errors.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "event/subscription.h"
+
+namespace gryphon {
+
+/// Thrown on malformed predicate text; what() pinpoints the offending token.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Parses a predicate against `schema`. Throws ParseError on syntax errors
+/// and std::invalid_argument on semantic errors (unknown attribute, type
+/// mismatch, contradictory tests).
+Subscription parse_subscription(const SchemaPtr& schema, std::string_view text);
+
+/// Parses a disjunction of conjunctions:
+///
+///   disjunction := predicate ( '|' predicate )*     // '||' and 'or' too
+///
+/// Content-based subscriptions are conjunctive (each is one PST path), so a
+/// disjunctive predicate is decomposed into one Subscription per arm; a
+/// subscriber registers them all and receives events matching any arm (the
+/// broker delivers one copy per client regardless of how many arms match).
+std::vector<Subscription> parse_disjunction(const SchemaPtr& schema, std::string_view text);
+
+/// Parses an event literal like {issue: "IBM", price: 119.5, volume: 3000}.
+/// Attributes may appear in any order but all must be present.
+Event parse_event(const SchemaPtr& schema, std::string_view text);
+
+}  // namespace gryphon

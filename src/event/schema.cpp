@@ -1,0 +1,63 @@
+#include "event/schema.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gryphon {
+
+EventSchema::EventSchema(std::string name, std::vector<Attribute> attributes)
+    : name_(std::move(name)), attributes_(std::move(attributes)) {
+  if (attributes_.empty()) throw std::invalid_argument("EventSchema: needs >= 1 attribute");
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    const Attribute& attr = attributes_[i];
+    if (attr.name.empty()) throw std::invalid_argument("EventSchema: empty attribute name");
+    if (!index_.emplace(attr.name, i).second) {
+      throw std::invalid_argument("EventSchema: duplicate attribute '" + attr.name + "'");
+    }
+    for (const Value& v : attr.domain) {
+      if (!v.matches_type(attr.type)) {
+        throw std::invalid_argument("EventSchema: domain value type mismatch for '" + attr.name +
+                                    "'");
+      }
+    }
+  }
+}
+
+std::optional<std::size_t> EventSchema::index_of(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool EventSchema::accepts(std::size_t index, const Value& value) const {
+  if (index >= attributes_.size()) return false;
+  const Attribute& attr = attributes_[index];
+  if (!value.matches_type(attr.type)) return false;
+  if (attr.has_finite_domain()) {
+    return std::find(attr.domain.begin(), attr.domain.end(), value) != attr.domain.end();
+  }
+  return true;
+}
+
+SchemaPtr make_schema(std::string name, std::vector<Attribute> attributes) {
+  return std::make_shared<const EventSchema>(std::move(name), std::move(attributes));
+}
+
+SchemaPtr make_synthetic_schema(std::size_t count, std::size_t values_per_attribute,
+                                std::string name) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Attribute a;
+    a.name = "a" + std::to_string(i + 1);
+    a.type = AttributeType::kInt;
+    a.domain.reserve(values_per_attribute);
+    for (std::size_t v = 0; v < values_per_attribute; ++v) {
+      a.domain.emplace_back(static_cast<std::int64_t>(v));
+    }
+    attrs.push_back(std::move(a));
+  }
+  return make_schema(std::move(name), std::move(attrs));
+}
+
+}  // namespace gryphon

@@ -1,0 +1,69 @@
+// Event schemas: the typed attribute layout of an information space.
+//
+// A broker network may host multiple information spaces; each is described by
+// one EventSchema (paper Section 1 and 4.2). Attributes are ordered — the
+// parallel search tree tests them level by level in a configurable order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "event/value.h"
+
+namespace gryphon {
+
+/// One attribute of a schema. An attribute may declare a finite enumerated
+/// domain; declared domains enable the factoring optimization (Section 2.1),
+/// which must enumerate every possible value of a factored attribute.
+struct Attribute {
+  std::string name;
+  AttributeType type{AttributeType::kInt};
+  /// Optional closed domain. When present, every event/subscription value for
+  /// this attribute must be a member.
+  std::vector<Value> domain;
+
+  [[nodiscard]] bool has_finite_domain() const { return !domain.empty(); }
+};
+
+/// Immutable, shareable schema. Brokers, matchers, and codecs hold
+/// shared_ptr<const EventSchema> so events stay valid independent of the
+/// registry that created the schema.
+class EventSchema {
+ public:
+  EventSchema(std::string name, std::vector<Attribute> attributes);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t attribute_count() const { return attributes_.size(); }
+  [[nodiscard]] const Attribute& attribute(std::size_t index) const { return attributes_[index]; }
+  [[nodiscard]] const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of an attribute by name, or nullopt when unknown.
+  [[nodiscard]] std::optional<std::size_t> index_of(std::string_view name) const;
+
+  /// Validates that `value` is acceptable for the attribute at `index`:
+  /// type matches and, when a finite domain is declared, the value is in it.
+  [[nodiscard]] bool accepts(std::size_t index, const Value& value) const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+using SchemaPtr = std::shared_ptr<const EventSchema>;
+
+/// Convenience factory.
+SchemaPtr make_schema(std::string name, std::vector<Attribute> attributes);
+
+/// A schema with `count` integer attributes named "a1".."aN", each with the
+/// finite domain {0..valuesPerAttribute-1}. This is the synthetic schema shape
+/// used throughout the paper's evaluation (Section 4.1).
+SchemaPtr make_synthetic_schema(std::size_t count, std::size_t values_per_attribute,
+                                std::string name = "synthetic");
+
+}  // namespace gryphon

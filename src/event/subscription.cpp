@@ -1,0 +1,205 @@
+#include "event/subscription.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gryphon {
+
+AttributeTest AttributeTest::equals(Value v) {
+  AttributeTest t;
+  t.kind = TestKind::kEquals;
+  t.operand = std::move(v);
+  return t;
+}
+
+AttributeTest AttributeTest::not_equals(Value v) {
+  AttributeTest t;
+  t.kind = TestKind::kNotEquals;
+  t.operand = std::move(v);
+  return t;
+}
+
+AttributeTest AttributeTest::less_than(Value v, bool inclusive) {
+  AttributeTest t;
+  t.kind = TestKind::kRange;
+  t.hi = std::move(v);
+  t.hi_inclusive = inclusive;
+  return t;
+}
+
+AttributeTest AttributeTest::greater_than(Value v, bool inclusive) {
+  AttributeTest t;
+  t.kind = TestKind::kRange;
+  t.lo = std::move(v);
+  t.lo_inclusive = inclusive;
+  return t;
+}
+
+AttributeTest AttributeTest::between(Value lo, Value hi, bool lo_inclusive, bool hi_inclusive) {
+  AttributeTest t;
+  t.kind = TestKind::kRange;
+  t.lo = std::move(lo);
+  t.hi = std::move(hi);
+  t.lo_inclusive = lo_inclusive;
+  t.hi_inclusive = hi_inclusive;
+  return t;
+}
+
+bool AttributeTest::accepts(const Value& v) const {
+  switch (kind) {
+    case TestKind::kDontCare:
+      return true;
+    case TestKind::kEquals:
+      return v == operand;
+    case TestKind::kNotEquals:
+      return v != operand;
+    case TestKind::kRange: {
+      if (lo) {
+        if (lo_inclusive ? v < *lo : v <= *lo) return false;
+      }
+      if (hi) {
+        if (hi_inclusive ? v > *hi : v >= *hi) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool operator==(const AttributeTest& a, const AttributeTest& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case TestKind::kDontCare: return true;
+    case TestKind::kEquals:
+    case TestKind::kNotEquals: return a.operand == b.operand;
+    case TestKind::kRange:
+      // Inclusivity of an absent bound is meaningless; ignore it.
+      return a.lo == b.lo && a.hi == b.hi &&
+             (!a.lo.has_value() || a.lo_inclusive == b.lo_inclusive) &&
+             (!a.hi.has_value() || a.hi_inclusive == b.hi_inclusive);
+  }
+  return false;
+}
+
+std::string AttributeTest::to_text(const std::string& attribute_name) const {
+  std::ostringstream os;
+  switch (kind) {
+    case TestKind::kDontCare:
+      os << attribute_name << " = *";
+      break;
+    case TestKind::kEquals:
+      os << attribute_name << " = " << operand.to_text();
+      break;
+    case TestKind::kNotEquals:
+      os << attribute_name << " != " << operand.to_text();
+      break;
+    case TestKind::kRange:
+      // Emit the conjunction form so the output re-parses (see parser.h).
+      if (lo && hi) {
+        os << attribute_name << (lo_inclusive ? " >= " : " > ") << lo->to_text() << " & "
+           << attribute_name << (hi_inclusive ? " <= " : " < ") << hi->to_text();
+      } else if (lo) {
+        os << attribute_name << (lo_inclusive ? " >= " : " > ") << lo->to_text();
+      } else if (hi) {
+        os << attribute_name << (hi_inclusive ? " <= " : " < ") << hi->to_text();
+      } else {
+        os << attribute_name << " = *";
+      }
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+void validate_test(const EventSchema& schema, std::size_t index, const AttributeTest& test) {
+  const Attribute& attr = schema.attribute(index);
+  const auto check = [&](const Value& v) {
+    if (!v.matches_type(attr.type)) {
+      throw std::invalid_argument("Subscription: operand " + v.to_text() +
+                                  " has wrong type for attribute '" + attr.name + "'");
+    }
+  };
+  switch (test.kind) {
+    case TestKind::kDontCare:
+      break;
+    case TestKind::kEquals:
+    case TestKind::kNotEquals:
+      check(test.operand);
+      if (attr.has_finite_domain() && !schema.accepts(index, test.operand)) {
+        throw std::invalid_argument("Subscription: operand " + test.operand.to_text() +
+                                    " outside the domain of '" + attr.name + "'");
+      }
+      break;
+    case TestKind::kRange:
+      if (!test.lo && !test.hi) {
+        throw std::invalid_argument("Subscription: unbounded range test on '" + attr.name + "'");
+      }
+      if (attr.type == AttributeType::kBool) {
+        throw std::invalid_argument("Subscription: range test on bool attribute '" + attr.name +
+                                    "'");
+      }
+      if (test.lo) check(*test.lo);
+      if (test.hi) check(*test.hi);
+      if (test.lo && test.hi && *test.hi < *test.lo) {
+        throw std::invalid_argument("Subscription: empty range on '" + attr.name + "'");
+      }
+      break;
+  }
+}
+}  // namespace
+
+Subscription::Subscription(SchemaPtr schema, std::vector<AttributeTest> tests)
+    : schema_(std::move(schema)), tests_(std::move(tests)) {
+  if (!schema_) throw std::invalid_argument("Subscription: null schema");
+  if (tests_.size() != schema_->attribute_count()) {
+    throw std::invalid_argument("Subscription: arity mismatch for schema '" + schema_->name() +
+                                "'");
+  }
+  for (std::size_t i = 0; i < tests_.size(); ++i) validate_test(*schema_, i, tests_[i]);
+}
+
+Subscription Subscription::match_all(SchemaPtr schema) {
+  std::vector<AttributeTest> tests(schema->attribute_count());
+  return Subscription(std::move(schema), std::move(tests));
+}
+
+std::size_t Subscription::specific_test_count() const {
+  std::size_t n = 0;
+  for (const AttributeTest& t : tests_) {
+    if (!t.is_dont_care()) ++n;
+  }
+  return n;
+}
+
+bool Subscription::matches(const Event& event) const {
+  for (std::size_t i = 0; i < tests_.size(); ++i) {
+    if (!tests_[i].accepts(event.value(i))) return false;
+  }
+  return true;
+}
+
+bool Subscription::equality_only() const {
+  for (const AttributeTest& t : tests_) {
+    if (t.kind != TestKind::kDontCare && t.kind != TestKind::kEquals) return false;
+  }
+  return true;
+}
+
+std::string Subscription::to_text() const {
+  std::ostringstream os;
+  os << '(';
+  bool first = true;
+  bool any = false;
+  for (std::size_t i = 0; i < tests_.size(); ++i) {
+    if (tests_[i].is_dont_care()) continue;
+    if (!first) os << " & ";
+    os << tests_[i].to_text(schema_->attribute(i).name);
+    first = false;
+    any = true;
+  }
+  if (!any) os << "*";
+  os << ')';
+  return os.str();
+}
+
+}  // namespace gryphon

@@ -1,0 +1,94 @@
+// Content-based subscriptions.
+//
+// A subscription is a conjunction of tests over the attributes of one event
+// schema, e.g. (issue="IBM" & price < 120 & volume > 1000). Attributes not
+// mentioned are "don't care" (the paper's `*`). Following the paper, at most
+// one test applies per attribute; the parser folds multiple comparisons on
+// the same attribute into a single interval test where possible.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "event/event.h"
+#include "event/schema.h"
+#include "event/value.h"
+
+namespace gryphon {
+
+/// The kind of test attached to one attribute position.
+enum class TestKind : std::uint8_t {
+  kDontCare = 0,  // the `*` branch — matches anything
+  kEquals = 1,    // attribute == operand
+  kNotEquals = 2, // attribute != operand
+  kRange = 3,     // lo (<|<=) attribute (<|<=) hi, either side may be open
+};
+
+/// One per-attribute test. For kRange, missing bounds are open (unbounded).
+struct AttributeTest {
+  TestKind kind{TestKind::kDontCare};
+  Value operand;                 // for kEquals / kNotEquals
+  std::optional<Value> lo;       // for kRange
+  std::optional<Value> hi;       // for kRange
+  bool lo_inclusive{true};
+  bool hi_inclusive{true};
+
+  static AttributeTest dont_care() { return {}; }
+  static AttributeTest equals(Value v);
+  static AttributeTest not_equals(Value v);
+  static AttributeTest less_than(Value v, bool inclusive = false);
+  static AttributeTest greater_than(Value v, bool inclusive = false);
+  static AttributeTest between(Value lo, Value hi, bool lo_inclusive = true,
+                               bool hi_inclusive = true);
+
+  [[nodiscard]] bool is_dont_care() const { return kind == TestKind::kDontCare; }
+
+  /// Evaluates the test against a concrete value.
+  [[nodiscard]] bool accepts(const Value& v) const;
+
+  /// Structural equality (used to share PST branches between subscriptions).
+  friend bool operator==(const AttributeTest& a, const AttributeTest& b);
+
+  [[nodiscard]] std::string to_text(const std::string& attribute_name) const;
+};
+
+/// An immutable conjunction of per-attribute tests over a schema.
+class Subscription {
+ public:
+  /// `tests` is positional: tests[i] applies to schema attribute i.
+  /// Throws std::invalid_argument on arity mismatch or type/domain errors.
+  Subscription(SchemaPtr schema, std::vector<AttributeTest> tests);
+
+  /// The all-don't-care subscription: matches every event of the schema.
+  static Subscription match_all(SchemaPtr schema);
+
+  [[nodiscard]] const SchemaPtr& schema() const { return schema_; }
+  [[nodiscard]] const std::vector<AttributeTest>& tests() const { return tests_; }
+  [[nodiscard]] const AttributeTest& test(std::size_t index) const { return tests_[index]; }
+
+  /// Number of non-* tests (selectivity indicator).
+  [[nodiscard]] std::size_t specific_test_count() const;
+
+  /// Full predicate evaluation against an event.
+  [[nodiscard]] bool matches(const Event& event) const;
+
+  /// True when every test is an equality or a don't-care. Trit annotation of
+  /// the PST (paper Section 3.1) is defined for this class of subscriptions.
+  [[nodiscard]] bool equality_only() const;
+
+  /// Rendering such as (issue = "IBM" & price < 120).
+  [[nodiscard]] std::string to_text() const;
+
+  friend bool operator==(const Subscription& a, const Subscription& b) {
+    return a.schema_ == b.schema_ && a.tests_ == b.tests_;
+  }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<AttributeTest> tests_;
+};
+
+}  // namespace gryphon

@@ -1,0 +1,29 @@
+#include "matching/attribute_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gryphon {
+
+std::vector<std::size_t> identity_order(const SchemaPtr& schema) {
+  std::vector<std::size_t> order(schema->attribute_count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return order;
+}
+
+std::vector<std::size_t> order_by_fewest_dont_cares(const SchemaPtr& schema,
+                                                    std::span<const Subscription> sample) {
+  std::vector<std::size_t> dont_cares(schema->attribute_count(), 0);
+  for (const Subscription& sub : sample) {
+    for (std::size_t i = 0; i < schema->attribute_count(); ++i) {
+      if (sub.test(i).is_dont_care()) ++dont_cares[i];
+    }
+  }
+  std::vector<std::size_t> order = identity_order(schema);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return dont_cares[a] < dont_cares[b];
+  });
+  return order;
+}
+
+}  // namespace gryphon

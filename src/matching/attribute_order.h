@@ -1,0 +1,24 @@
+// Attribute-ordering heuristic for the parallel search tree.
+//
+// "performance seems to be better if the attributes near the root are chosen
+// to have the fewest number of subscriptions labeled with a *" (Section 2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "event/subscription.h"
+
+namespace gryphon {
+
+/// Returns a permutation of attribute indices, fewest-don't-care first.
+/// Ties break toward the original schema order. An empty sample returns the
+/// identity order.
+std::vector<std::size_t> order_by_fewest_dont_cares(const SchemaPtr& schema,
+                                                    std::span<const Subscription> sample);
+
+/// The identity order 0..n-1 for a schema.
+std::vector<std::size_t> identity_order(const SchemaPtr& schema);
+
+}  // namespace gryphon

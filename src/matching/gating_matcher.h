@@ -1,0 +1,59 @@
+// The gating-test predicate matcher of Hanson et al. (SIGMOD 1990),
+// discussed in the paper's related-work section [9].
+//
+// At subscribe time, one test of each subscription is chosen as the gating
+// test; the rest are residual. At match time, the event's value for each
+// attribute selects the subscriptions whose gating test it satisfies, and
+// their residual tests are then evaluated in full.
+//
+// Gating test selection: the first equality test if any (indexed by a hash
+// on (attribute, value) — O(1) candidate lookup), otherwise the first non-*
+// test (kept in a per-attribute scan list), otherwise the subscription is a
+// match-all and lands on an always-candidate list.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "matching/matcher.h"
+
+namespace gryphon {
+
+class GatingMatcher : public Matcher {
+ public:
+  explicit GatingMatcher(SchemaPtr schema);
+
+  void add(SubscriptionId id, const Subscription& subscription) override;
+  bool remove(SubscriptionId id) override;
+  void match(const Event& event, std::vector<SubscriptionId>& out,
+             MatchStats* stats = nullptr) const override;
+  [[nodiscard]] std::size_t subscription_count() const override { return registry_.size(); }
+
+ private:
+  struct EqKey {
+    std::size_t attribute;
+    Value value;
+    friend bool operator==(const EqKey& a, const EqKey& b) {
+      return a.attribute == b.attribute && a.value == b.value;
+    }
+  };
+  struct EqKeyHash {
+    std::size_t operator()(const EqKey& k) const noexcept {
+      return k.value.hash() * 1099511628211ULL + k.attribute;
+    }
+  };
+  struct ScanEntry {
+    SubscriptionId id;
+    AttributeTest gate;
+  };
+
+  static void erase_id(std::vector<SubscriptionId>& v, SubscriptionId id);
+
+  SchemaPtr schema_;
+  std::unordered_map<SubscriptionId, Subscription> registry_;
+  std::unordered_map<EqKey, std::vector<SubscriptionId>, EqKeyHash> eq_gates_;
+  std::vector<std::vector<ScanEntry>> scan_gates_;  // one list per attribute
+  std::vector<SubscriptionId> match_all_;
+};
+
+}  // namespace gryphon

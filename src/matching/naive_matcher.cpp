@@ -1,0 +1,37 @@
+#include "matching/naive_matcher.h"
+
+#include <stdexcept>
+
+namespace gryphon {
+
+void NaiveMatcher::add(SubscriptionId id, const Subscription& subscription) {
+  if (index_.contains(id)) throw std::invalid_argument("NaiveMatcher::add: duplicate id");
+  index_.emplace(id, entries_.size());
+  entries_.emplace_back(id, subscription);
+}
+
+bool NaiveMatcher::remove(SubscriptionId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  const std::size_t pos = it->second;
+  index_.erase(it);
+  if (pos != entries_.size() - 1) {
+    entries_[pos] = std::move(entries_.back());
+    index_[entries_[pos].first] = pos;
+  }
+  entries_.pop_back();
+  return true;
+}
+
+void NaiveMatcher::match(const Event& event, std::vector<SubscriptionId>& out,
+                         MatchStats* stats) const {
+  for (const auto& [id, sub] : entries_) {
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      stats->tests_evaluated += sub.tests().size();
+    }
+    if (sub.matches(event)) out.push_back(id);
+  }
+}
+
+}  // namespace gryphon

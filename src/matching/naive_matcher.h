@@ -1,0 +1,24 @@
+// Brute-force baseline: evaluate every subscription against every event.
+#pragma once
+
+#include <unordered_map>
+
+#include "matching/matcher.h"
+
+namespace gryphon {
+
+class NaiveMatcher : public Matcher {
+ public:
+  void add(SubscriptionId id, const Subscription& subscription) override;
+  bool remove(SubscriptionId id) override;
+  void match(const Event& event, std::vector<SubscriptionId>& out,
+             MatchStats* stats = nullptr) const override;
+  [[nodiscard]] std::size_t subscription_count() const override { return entries_.size(); }
+
+ private:
+  // Insertion-ordered storage keeps match output deterministic.
+  std::vector<std::pair<SubscriptionId, Subscription>> entries_;
+  std::unordered_map<SubscriptionId, std::size_t> index_;
+};
+
+}  // namespace gryphon

@@ -1,0 +1,134 @@
+#include "matching/psg.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "event/codec.h"
+
+namespace gryphon {
+
+namespace {
+
+/// Canonical byte key of a node whose children are already interned: two
+/// structurally identical subgraphs serialize identically.
+std::string node_key(const std::vector<std::pair<Value, std::int32_t>>& eq,
+                     const std::vector<std::pair<AttributeTest, std::int32_t>>& other,
+                     std::int32_t star, int level, const std::vector<SubscriptionId>& subs) {
+  Encoder enc;
+  enc.put_u32(static_cast<std::uint32_t>(level));
+  enc.put_u32(static_cast<std::uint32_t>(star));
+  enc.put_u32(static_cast<std::uint32_t>(eq.size()));
+  for (const auto& [value, child] : eq) {
+    enc.put_value(value);
+    enc.put_u32(static_cast<std::uint32_t>(child));
+  }
+  enc.put_u32(static_cast<std::uint32_t>(other.size()));
+  for (const auto& [test, child] : other) {
+    enc.put_test(test);
+    enc.put_u32(static_cast<std::uint32_t>(child));
+  }
+  enc.put_u32(static_cast<std::uint32_t>(subs.size()));
+  for (const SubscriptionId id : subs) enc.put_i64(id.value);
+  const auto& bytes = enc.buffer();
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+}  // namespace
+
+FrozenPsg::FrozenPsg(const Pst& tree)
+    : schema_(tree.schema()),
+      order_(tree.order()),
+      options_(tree.options()),
+      source_nodes_(tree.live_node_count()),
+      subscription_count_(tree.subscription_count()) {
+  std::unordered_map<std::string, NodeId> interned;
+
+  // Bottom-up conversion; recursion depth is bounded by the level count.
+  const auto convert = [&](const auto& self, Pst::NodeId n) -> NodeId {
+    // Structural trivial-test elimination: star-only chains vanish; the
+    // parent's edge points straight at the first node that tests anything.
+    while (!tree.is_leaf(n) && tree.eq_children(n).empty() &&
+           tree.other_children(n).empty() && tree.star_child(n) != Pst::kNoNode) {
+      n = tree.star_child(n);
+    }
+    Node node;
+    node.level = tree.level(n);
+    if (tree.is_leaf(n)) {
+      const auto subs = tree.subscribers(n);
+      node.subs.assign(subs.begin(), subs.end());
+      std::sort(node.subs.begin(), node.subs.end());
+    } else {
+      for (const auto& [value, child] : tree.eq_children(n)) {
+        node.eq.emplace_back(value, self(self, child));
+      }
+      for (const auto& [test, child] : tree.other_children(n)) {
+        node.other.emplace_back(test, self(self, child));
+      }
+      if (tree.star_child(n) != Pst::kNoNode) node.star = self(self, tree.star_child(n));
+    }
+    const std::string key = node_key(node.eq, node.other, node.star, node.level, node.subs);
+    const auto it = interned.find(key);
+    if (it != interned.end()) return it->second;
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    interned.emplace(key, id);
+    return id;
+  };
+  root_ = convert(convert, tree.root());
+  stamps_.assign(nodes_.size(), 0);
+}
+
+std::size_t FrozenPsg::memory_bytes() const {
+  std::size_t total = nodes_.capacity() * sizeof(Node) + stamps_.capacity() * sizeof(std::uint32_t);
+  for (const Node& node : nodes_) {
+    total += node.eq.capacity() * sizeof(std::pair<Value, NodeId>);
+    total += node.other.capacity() * sizeof(std::pair<AttributeTest, NodeId>);
+    total += node.subs.capacity() * sizeof(SubscriptionId);
+  }
+  return total;
+}
+
+void FrozenPsg::match(const Event& event, std::vector<SubscriptionId>& out,
+                      MatchStats* stats) const {
+  if (subscription_count_ == 0 || root_ < 0) return;
+  if (++current_stamp_ == 0) {  // stamp wrapped: reset the scratch array
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    current_stamp_ = 1;
+  }
+  const std::uint32_t stamp = current_stamp_;
+  const std::size_t leaf_level = order_.size();
+
+  std::vector<NodeId> stack{root_};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    // Memoization: a shared node reached along a second path contributes
+    // nothing new (leaf subscriber sets are unioned).
+    if (stamps_[static_cast<std::size_t>(n)] == stamp) continue;
+    stamps_[static_cast<std::size_t>(n)] = stamp;
+    if (stats != nullptr) ++stats->nodes_visited;
+
+    const Node& node = nodes_[n];
+    if (static_cast<std::size_t>(node.level) == leaf_level) {
+      out.insert(out.end(), node.subs.begin(), node.subs.end());
+      continue;
+    }
+    const Value& v = event.value(order_[static_cast<std::size_t>(node.level)]);
+    if (options_.delayed_star && node.star >= 0) stack.push_back(node.star);
+    for (const auto& [test, child] : node.other) {
+      if (stats != nullptr) ++stats->tests_evaluated;
+      if (test.accepts(v)) stack.push_back(child);
+    }
+    if (!node.eq.empty()) {
+      if (stats != nullptr) ++stats->tests_evaluated;
+      const auto it = std::lower_bound(
+          node.eq.begin(), node.eq.end(), v,
+          [](const auto& entry, const Value& key) { return entry.first < key; });
+      if (it != node.eq.end() && it->first == v) stack.push_back(it->second);
+    }
+    if (!options_.delayed_star && node.star >= 0) stack.push_back(node.star);
+  }
+}
+
+}  // namespace gryphon

@@ -1,0 +1,80 @@
+// The parallel search graph (PSG).
+//
+// The paper notes (Section 2.1) that "under certain circumstances, after
+// applying optimizations, the parallel search tree will no longer be a tree
+// but instead a directed acyclic graph". A FrozenPsg is an immutable
+// snapshot of a Pst with those optimizations applied structurally:
+//
+//  * star-only chains are collapsed away entirely (trivial-test
+//    elimination applied to the structure, not at match time): an edge may
+//    jump several levels, and each surviving node stores the level it
+//    actually tests. Under the paper's workloads — where most trailing
+//    attributes are don't-care — this removes the majority of nodes;
+//  * isomorphic subgraphs are merged by hash-consing. Because every
+//    subscription id lives at exactly one leaf, distinct leaves never
+//    merge, so this fires only for id-free structure; it is what makes the
+//    result a DAG rather than a tree when it applies;
+//  * matching memoizes visited nodes per event (sound on a DAG: the union
+//    of leaf subscriber sets is path-independent), so a shared node is
+//    expanded at most once.
+//
+// The PSG is a read-only index: build it from a Pst snapshot, rebuild after
+// bulk changes. The mutable Pst remains the source of truth (and the trit
+// annotation layer stays on the tree, whose unique parent spines make
+// incremental annotation possible).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matching/pst.h"
+
+namespace gryphon {
+
+class FrozenPsg {
+ public:
+  /// Snapshots `tree` (which may be mutated or destroyed afterwards).
+  explicit FrozenPsg(const Pst& tree);
+
+  /// Appends every matched subscription id to `out` (no duplicates).
+  /// `stats->nodes_visited` counts distinct node expansions — revisits of
+  /// shared nodes are memoized away.
+  void match(const Event& event, std::vector<SubscriptionId>& out,
+             MatchStats* stats = nullptr) const;
+
+  /// Number of DAG nodes (<= the tree's live node count).
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Live nodes in the source tree at snapshot time, for compression ratios.
+  [[nodiscard]] std::size_t source_node_count() const { return source_nodes_; }
+
+  [[nodiscard]] std::size_t subscription_count() const { return subscription_count_; }
+
+  /// Approximate heap footprint of the graph structure.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  using NodeId = std::int32_t;
+  struct Node {
+    int level{0};
+    NodeId star{-1};
+    std::vector<std::pair<Value, NodeId>> eq;                // sorted by value
+    std::vector<std::pair<AttributeTest, NodeId>> other;
+    std::vector<SubscriptionId> subs;  // leaves only, sorted
+  };
+
+  NodeId intern(Node node);
+
+  const SchemaPtr schema_;
+  std::vector<std::size_t> order_;
+  Pst::Options options_;
+  std::vector<Node> nodes_;
+  NodeId root_{-1};
+  std::size_t source_nodes_{0};
+  std::size_t subscription_count_{0};
+  // Per-match memoization stamps (mutable scratch, sized to nodes_).
+  mutable std::vector<std::uint32_t> stamps_;
+  mutable std::uint32_t current_stamp_{0};
+};
+
+}  // namespace gryphon

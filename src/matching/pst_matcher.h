@@ -1,0 +1,125 @@
+// PstMatcher: the paper's full matching engine — a parallel search tree with
+// the factoring optimization layered on top (Section 2.1).
+//
+// Factoring: the first `factoring_levels` attributes of the configured order
+// become an index. A separate subtree is built for each combination of values
+// of the factored attributes; subscriptions that don't pin a factored
+// attribute (don't-care or a multi-value test) are replicated across every
+// matching combination — trading space for skipped search steps, exactly as
+// the paper describes. Factored attributes must declare finite domains.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/matcher.h"
+#include "matching/pst.h"
+
+namespace gryphon {
+
+/// Computes factoring bucket keys for events and subscriptions.
+class FactoringIndex {
+ public:
+  using Key = std::vector<Value>;
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t h = 0xcbf29ce484222325ULL;
+      for (const Value& v : k) h = (h ^ v.hash()) * 1099511628211ULL;
+      return h;
+    }
+  };
+
+  /// `factored` lists the schema attribute indices consumed by the index.
+  /// Throws std::invalid_argument if any lacks a finite domain.
+  FactoringIndex(SchemaPtr schema, std::vector<std::size_t> factored);
+
+  [[nodiscard]] const std::vector<std::size_t>& factored_attributes() const { return factored_; }
+
+  /// The single bucket an event belongs to.
+  [[nodiscard]] Key event_key(const Event& event) const;
+
+  /// Every bucket a subscription must live in: the cartesian product of the
+  /// domain values accepted by its test on each factored attribute.
+  [[nodiscard]] std::vector<Key> subscription_keys(const Subscription& subscription) const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<std::size_t> factored_;
+};
+
+struct PstMatcherOptions {
+  /// Full permutation of schema attribute indices; empty selects the schema
+  /// declaration order. See order_by_fewest_dont_cares() for the paper's
+  /// recommended heuristic.
+  std::vector<std::size_t> attribute_order;
+  /// How many leading attributes of the order are factored (0 = none).
+  std::size_t factoring_levels{0};
+  Pst::Options tree;
+};
+
+class PstMatcher : public Matcher {
+ public:
+  explicit PstMatcher(SchemaPtr schema, PstMatcherOptions options = PstMatcherOptions());
+
+  void add(SubscriptionId id, const Subscription& subscription) override;
+  bool remove(SubscriptionId id) override;
+  void match(const Event& event, std::vector<SubscriptionId>& out,
+             MatchStats* stats = nullptr) const override;
+  [[nodiscard]] std::size_t subscription_count() const override { return registry_.size(); }
+
+  [[nodiscard]] const SchemaPtr& schema() const { return schema_; }
+  [[nodiscard]] const PstMatcherOptions& options() const { return options_; }
+  [[nodiscard]] const Subscription* find_subscription(SubscriptionId id) const;
+
+  // --- rich mutation interface for the link-matching layer ---
+
+  /// One (tree, spine) pair touched by a mutation. `tree_created` marks a
+  /// bucket tree that did not exist before the call.
+  struct TouchedTree {
+    Pst* tree;
+    Pst::Mutation mutation;
+    bool tree_created{false};
+  };
+  using TouchedTrees = std::vector<TouchedTree>;
+
+  /// As add()/remove(), additionally reporting every touched tree so callers
+  /// maintaining per-tree state (trit annotations) can update incrementally.
+  TouchedTrees add_with_result(SubscriptionId id, const Subscription& subscription);
+  TouchedTrees remove_with_result(SubscriptionId id);
+
+  /// The tree an event would be matched against (nullptr when the event's
+  /// factoring bucket holds no subscriptions).
+  [[nodiscard]] const Pst* tree_for_event(const Event& event) const;
+  [[nodiscard]] Pst* tree_for_event(const Event& event);
+
+  /// Invokes `fn(Pst&)` for every live tree (the single tree when factoring
+  /// is off, each bucket tree otherwise).
+  template <typename Fn>
+  void for_each_tree(Fn&& fn) {
+    if (single_tree_) {
+      fn(*single_tree_);
+      return;
+    }
+    for (auto& [key, tree] : buckets_) fn(*tree);
+  }
+
+  [[nodiscard]] std::size_t tree_count() const {
+    return single_tree_ ? 1 : buckets_.size();
+  }
+
+ private:
+  [[nodiscard]] std::unique_ptr<Pst> make_tree() const;
+
+  SchemaPtr schema_;
+  PstMatcherOptions options_;
+  std::vector<std::size_t> residual_order_;  // attribute order minus factored prefix
+  std::unique_ptr<FactoringIndex> factoring_;  // null when factoring off
+  std::unique_ptr<Pst> single_tree_;           // used when factoring off
+  std::unordered_map<FactoringIndex::Key, std::unique_ptr<Pst>, FactoringIndex::KeyHash>
+      buckets_;
+  std::unordered_map<SubscriptionId, Subscription> registry_;
+};
+
+}  // namespace gryphon

@@ -1,0 +1,185 @@
+#include "routing/annotated_pst.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace gryphon {
+
+AnnotatedPst::AnnotatedPst(const Pst& tree, std::size_t link_count, SubscriptionLinkFn link_of)
+    : tree_(&tree), link_count_(link_count), link_of_(std::move(link_of)) {
+  if (!link_of_) throw std::invalid_argument("AnnotatedPst: null link function");
+  if (link_count_ == 0) throw std::invalid_argument("AnnotatedPst: zero links");
+  rebuild();
+}
+
+TritVector AnnotatedPst::compute_leaf(Pst::NodeId node) const {
+  TritVector v(link_count_, Trit::No);
+  for (const SubscriptionId sub : tree_->subscribers(node)) {
+    const LinkIndex link = link_of_(sub);
+    if (!link.valid() || static_cast<std::size_t>(link.value) >= link_count_) {
+      throw std::logic_error("AnnotatedPst: subscription resolved to a bad link");
+    }
+    v.set(link, Trit::Yes);
+  }
+  return v;
+}
+
+TritVector AnnotatedPst::compute_interior(Pst::NodeId node) const {
+  const auto eq = tree_->eq_children(node);
+  const auto other = tree_->other_children(node);
+
+  // Alternative-combine the non-star branches, including the implicit
+  // all-No alternative for event values with no branch. The implicit
+  // alternative is skippable only when the equality branches cover the
+  // attribute's whole finite domain and no general (range / not-equals)
+  // branches exist.
+  //
+  // The paper restricts annotation to equality-only trees (Section 3.1) and
+  // defers the general case to a "parallel search graph". The treatment
+  // here is the sound conservative generalization: general branches join
+  // the Alternative combine, and because they force the implicit all-No
+  // alternative, the merge can only produce Maybe or No for them — a Yes
+  // can then only arise from the `*` branch's Parallel combine. Overlapping
+  // branches firing simultaneously never break soundness: Yes still means
+  // "some subscriber on this link must match", No still means "none can".
+  TritVector alt;
+  bool first = true;
+  if (!tree_->eq_children_cover_domain(node)) {
+    alt = TritVector(link_count_, Trit::No);
+    first = false;
+  }
+  const auto fold = [&](Pst::NodeId child) {
+    if (first) {
+      alt = TritVector(link_count_, Trit::No);
+      alt.parallel_with(annotation(child));  // copy via identity (P with all-No)
+      first = false;
+    } else {
+      alt.alternative_with(annotation(child));
+    }
+  };
+  for (const auto& [value, child] : eq) {
+    (void)value;
+    fold(child);
+  }
+  for (const auto& [test, child] : other) {
+    (void)test;
+    fold(child);
+  }
+  if (first) alt = TritVector(link_count_, Trit::No);  // no branches at all
+
+  const Pst::NodeId star = tree_->star_child(node);
+  if (star != Pst::kNoNode) alt.parallel_with(annotation(star));
+  return alt;
+}
+
+TritVector AnnotatedPst::compute(Pst::NodeId node) const {
+  return tree_->is_leaf(node) ? compute_leaf(node) : compute_interior(node);
+}
+
+void AnnotatedPst::store(Pst::NodeId node, const TritVector& v) {
+  std::copy(v.span().begin(), v.span().end(),
+            flat_.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(node) *
+                                                        link_count_));
+}
+
+void AnnotatedPst::ensure_capacity() {
+  if (tree_->node_slot_count() * link_count_ > flat_.size()) {
+    flat_.resize(tree_->node_slot_count() * link_count_, Trit::No);
+  }
+}
+
+void AnnotatedPst::recompute_subtree(Pst::NodeId node) {
+  // Iterative post-order to survive deep trees.
+  struct Frame {
+    Pst::NodeId node;
+    bool expanded;
+  };
+  std::vector<Frame> stack{{node, false}};
+  while (!stack.empty()) {
+    // Copy: pushes below may reallocate the stack and invalidate references.
+    const Frame top = stack.back();
+    if (top.expanded || tree_->is_leaf(top.node)) {
+      store(top.node, compute(top.node));
+      stack.pop_back();
+      continue;
+    }
+    stack.back().expanded = true;
+    for (const auto& [value, child] : tree_->eq_children(top.node)) {
+      (void)value;
+      stack.push_back({child, false});
+    }
+    for (const auto& [test, child] : tree_->other_children(top.node)) {
+      (void)test;
+      stack.push_back({child, false});
+    }
+    if (tree_->star_child(top.node) != Pst::kNoNode) {
+      stack.push_back({tree_->star_child(top.node), false});
+    }
+  }
+}
+
+void AnnotatedPst::rebuild() {
+  flat_.assign(tree_->node_slot_count() * link_count_, Trit::No);
+  recompute_subtree(tree_->root());
+  epoch_ = tree_->epoch();
+}
+
+void AnnotatedPst::recompute_spine(Pst::NodeId from) {
+  Pst::NodeId node = from;
+  while (node != Pst::kNoNode) {
+    const TritVector fresh = compute(node);
+    if (fresh.equals(annotation(node))) break;  // no change propagates upward
+    store(node, fresh);
+    node = tree_->parent(node);
+  }
+  epoch_ = tree_->epoch();
+}
+
+void AnnotatedPst::apply(const Pst::Mutation& mutation) {
+  ensure_capacity();
+  // Zero pruned rows so a later arena reuse of the slot can never alias a
+  // stale annotation. With that guarantee, a node whose freshly computed
+  // row equals its stored row is genuinely unchanged (a node's row always
+  // contains a Yes or Maybe once any subscriber is reachable below it, so
+  // an all-No fresh slot can't accidentally match), and the early exit of
+  // recompute_spine is sound.
+  const TritVector zero(link_count_, Trit::No);
+  for (const Pst::NodeId freed : mutation.freed) store(freed, zero);
+  const Pst::NodeId start = mutation.leaf != Pst::kNoNode ? mutation.leaf : mutation.start;
+  if (start == Pst::kNoNode) {
+    epoch_ = tree_->epoch();
+    return;
+  }
+  recompute_spine(start);
+}
+
+void AnnotatedPst::check_consistency() const {
+  AnnotatedPst fresh(*tree_, link_count_, link_of_);
+  std::vector<Pst::NodeId> stack{tree_->root()};
+  while (!stack.empty()) {
+    const Pst::NodeId n = stack.back();
+    stack.pop_back();
+    const TritSpan have = annotation(n);
+    const TritSpan want = fresh.annotation(n);
+    if (!std::equal(have.begin(), have.end(), want.begin(), want.end())) {
+      std::string have_s, want_s;
+      for (const Trit t : have) have_s.push_back(to_char(t));
+      for (const Trit t : want) want_s.push_back(to_char(t));
+      throw std::logic_error("AnnotatedPst: incremental annotation diverged at node " +
+                             std::to_string(n) + " (have " + have_s + ", want " + want_s + ")");
+    }
+    if (tree_->is_leaf(n)) continue;
+    for (const auto& [value, child] : tree_->eq_children(n)) {
+      (void)value;
+      stack.push_back(child);
+    }
+    for (const auto& [test, child] : tree_->other_children(n)) {
+      (void)test;
+      stack.push_back(child);
+    }
+    if (tree_->star_child(n) != Pst::kNoNode) stack.push_back(tree_->star_child(n));
+  }
+}
+
+}  // namespace gryphon

@@ -1,0 +1,180 @@
+#include "routing/content_router.h"
+
+#include <stdexcept>
+
+namespace gryphon {
+
+ContentRoutingNetwork::ContentRoutingNetwork(const BrokerNetwork& network, SchemaPtr schema,
+                                             std::vector<BrokerId> tree_roots,
+                                             PstMatcherOptions matcher_options)
+    : network_(&network), schema_(std::move(schema)), routing_(network) {
+  if (tree_roots.empty()) {
+    throw std::invalid_argument("ContentRoutingNetwork: need at least one tree root");
+  }
+  matcher_ = std::make_unique<PstMatcher>(schema_, std::move(matcher_options));
+
+  for (const BrokerId root : tree_roots) {
+    if (!trees_.contains(root)) {
+      trees_.emplace(root, std::make_unique<SpanningTree>(network, routing_, root));
+    }
+  }
+
+  const std::size_t n = network.broker_count();
+  broker_states_.resize(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    const BrokerId broker{static_cast<BrokerId::rep_type>(b)};
+    BrokerState& state = broker_states_[b];
+    state.link_count = network.ports(broker).size();
+    // Group spanning trees by their destination->link map at this broker.
+    std::map<std::vector<LinkIndex::rep_type>, Group*> by_signature;
+    for (const auto& [root, tree] : trees_) {
+      std::vector<LinkIndex::rep_type> signature;
+      signature.reserve(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        signature.push_back(
+            tree->tree_next_hop(broker, BrokerId{static_cast<BrokerId::rep_type>(d)}).value);
+      }
+      Group*& group = by_signature[signature];
+      if (group == nullptr) {
+        auto owned = std::make_unique<Group>();
+        owned->representative = tree.get();
+        const SpanningTree* rep = tree.get();
+        owned->link_of = [this, rep, broker](SubscriptionId id) {
+          return rep->tree_next_hop_to_client(broker, destinations_.at(id));
+        };
+        group = owned.get();
+        state.groups.push_back(std::move(owned));
+      }
+      state.group_of_root.emplace(root, group);
+
+      // Initialization mask: Maybe on links with descendant destinations.
+      const auto& ports = network.ports(broker);
+      TritVector mask(ports.size(), Trit::No);
+      for (std::size_t pi = 0; pi < ports.size(); ++pi) {
+        if (tree->downstream_client_count(broker, LinkIndex{static_cast<LinkIndex::rep_type>(
+                                                      pi)}) > 0) {
+          mask.set(pi, Trit::Maybe);
+        }
+      }
+      state.init_masks.emplace(root, std::move(mask));
+    }
+  }
+}
+
+const SpanningTree& ContentRoutingNetwork::spanning_tree(BrokerId root) const {
+  const auto it = trees_.find(root);
+  if (it == trees_.end()) {
+    throw std::invalid_argument("ContentRoutingNetwork: unknown spanning tree root");
+  }
+  return *it->second;
+}
+
+void ContentRoutingNetwork::apply_touched(const PstMatcher::TouchedTrees& touched) {
+  for (BrokerState& state : broker_states_) {
+    for (const auto& group : state.groups) {
+      for (const auto& t : touched) {
+        auto it = group->annotations.find(t.tree);
+        if (it == group->annotations.end()) {
+          // A new factoring bucket tree: build its annotation from scratch
+          // (it already reflects the mutation).
+          group->annotations.emplace(
+              t.tree,
+              std::make_unique<AnnotatedPst>(*t.tree, state.link_count, group->link_of));
+        } else {
+          it->second->apply(t.mutation);
+        }
+      }
+    }
+  }
+}
+
+void ContentRoutingNetwork::subscribe(SubscriptionId id, const Subscription& subscription,
+                                      ClientId subscriber) {
+  if (!subscriber.valid() ||
+      static_cast<std::size_t>(subscriber.value) >= network_->client_count()) {
+    throw std::invalid_argument("ContentRoutingNetwork::subscribe: bad subscriber");
+  }
+  if (destinations_.contains(id)) {
+    throw std::invalid_argument("ContentRoutingNetwork::subscribe: duplicate id");
+  }
+  destinations_.emplace(id, subscriber);
+  PstMatcher::TouchedTrees touched;
+  try {
+    touched = matcher_->add_with_result(id, subscription);
+  } catch (...) {
+    destinations_.erase(id);
+    throw;
+  }
+  apply_touched(touched);
+}
+
+bool ContentRoutingNetwork::unsubscribe(SubscriptionId id) {
+  if (!destinations_.contains(id)) return false;
+  const PstMatcher::TouchedTrees touched = matcher_->remove_with_result(id);
+  apply_touched(touched);
+  destinations_.erase(id);
+  return true;
+}
+
+ClientId ContentRoutingNetwork::destination_of(SubscriptionId id) const {
+  const auto it = destinations_.find(id);
+  if (it == destinations_.end()) {
+    throw std::invalid_argument("ContentRoutingNetwork: unknown subscription");
+  }
+  return it->second;
+}
+
+ContentRoutingNetwork::RouteResult ContentRoutingNetwork::route(BrokerId broker,
+                                                                const Event& event,
+                                                                BrokerId tree_root) const {
+  const BrokerState& state = broker_states_.at(static_cast<std::size_t>(broker.value));
+  const auto group_it = state.group_of_root.find(tree_root);
+  if (group_it == state.group_of_root.end()) {
+    throw std::invalid_argument("ContentRoutingNetwork::route: unknown tree root");
+  }
+  RouteResult result;
+  const Pst* tree = matcher_->tree_for_event(event);
+  if (matcher_->options().factoring_levels > 0) ++result.steps;  // bucket index probe
+  // No tree, or a tree with no subscriptions (annotations are created on
+  // first subscribe): no subscription anywhere can match this event.
+  if (tree == nullptr || tree->subscription_count() == 0) return result;
+
+  const auto ann_it = group_it->second->annotations.find(tree);
+  if (ann_it == group_it->second->annotations.end()) {
+    throw std::logic_error("ContentRoutingNetwork::route: missing annotation for tree");
+  }
+  const LinkMatchResult lm =
+      link_match(*ann_it->second, event, state.init_masks.at(tree_root));
+  result.links = lm.mask.yes_links();
+  result.steps += lm.steps;
+  return result;
+}
+
+std::vector<SubscriptionId> ContentRoutingNetwork::match(const Event& event,
+                                                         MatchStats* stats) const {
+  std::vector<SubscriptionId> out;
+  matcher_->match(event, out, stats);
+  return out;
+}
+
+const TritVector& ContentRoutingNetwork::initialization_mask(BrokerId broker,
+                                                             BrokerId tree_root) const {
+  return broker_states_.at(static_cast<std::size_t>(broker.value)).init_masks.at(tree_root);
+}
+
+std::size_t ContentRoutingNetwork::annotation_group_count(BrokerId broker) const {
+  return broker_states_.at(static_cast<std::size_t>(broker.value)).groups.size();
+}
+
+void ContentRoutingNetwork::check_consistency() const {
+  for (const BrokerState& state : broker_states_) {
+    for (const auto& group : state.groups) {
+      for (const auto& [tree, annotated] : group->annotations) {
+        (void)tree;
+        annotated->check_consistency();
+      }
+    }
+  }
+}
+
+}  // namespace gryphon

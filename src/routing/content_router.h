@@ -1,0 +1,115 @@
+// ContentRoutingNetwork: the complete link-matching control plane for a
+// broker network (paper Section 3).
+//
+// Every broker in the network holds a copy of all subscriptions organized
+// into a PST (Section 3.1). This class keeps ONE shared PstMatcher (the
+// trees are identical at every broker anyway) and, per broker:
+//   * one trit-annotation set per distinct destination->link map. On
+//     acyclic ("tree-like") networks every spanning tree induces the same
+//     map, so brokers hold a single annotation set; with lateral links a
+//     broker holds one per distinct map, deduplicated by signature — the
+//     "virtual links" refinement sketched in the paper's footnote 1;
+//   * one initialization mask per spanning tree (Section 3.2): Maybe on
+//     links leading to descendant destinations, No elsewhere.
+//
+// route(broker, event, tree_root) performs the mask-refinement search of
+// Section 3.3 and returns the links (broker links and local client links)
+// the event must be forwarded on.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/pst_matcher.h"
+#include "routing/annotated_pst.h"
+#include "routing/link_matcher.h"
+#include "routing/trit.h"
+#include "topology/network.h"
+#include "topology/routing_table.h"
+#include "topology/spanning_tree.h"
+
+namespace gryphon {
+
+class ContentRoutingNetwork {
+ public:
+  /// `tree_roots` are the brokers that host publishers — one spanning tree
+  /// is built per entry (Section 3.2: "at worst, there will be one spanning
+  /// tree for each broker that has publisher neighbors").
+  ContentRoutingNetwork(const BrokerNetwork& network, SchemaPtr schema,
+                        std::vector<BrokerId> tree_roots,
+                        PstMatcherOptions matcher_options = PstMatcherOptions());
+
+  [[nodiscard]] const BrokerNetwork& network() const { return *network_; }
+  [[nodiscard]] const RoutingTable& routing() const { return routing_; }
+  [[nodiscard]] const SpanningTree& spanning_tree(BrokerId root) const;
+  [[nodiscard]] const PstMatcher& matcher() const { return *matcher_; }
+  [[nodiscard]] const SchemaPtr& schema() const { return schema_; }
+  [[nodiscard]] std::size_t subscription_count() const {
+    return matcher_->subscription_count();
+  }
+
+  /// Registers a subscription for `subscriber` network-wide: the shared PST
+  /// is extended and every broker's annotations are updated incrementally.
+  void subscribe(SubscriptionId id, const Subscription& subscription, ClientId subscriber);
+
+  /// Removes a subscription network-wide; false when the id is unknown.
+  bool unsubscribe(SubscriptionId id);
+
+  [[nodiscard]] ClientId destination_of(SubscriptionId id) const;
+
+  struct RouteResult {
+    /// Ports of `broker` (broker links and client links) with a final Yes.
+    std::vector<LinkIndex> links;
+    /// Matching steps spent at this broker (node visitations + index probe).
+    std::uint64_t steps{0};
+  };
+
+  /// The per-hop forwarding decision of the link-matching protocol: which
+  /// of `broker`'s links should carry `event`, published via the spanning
+  /// tree rooted at `tree_root`.
+  [[nodiscard]] RouteResult route(BrokerId broker, const Event& event,
+                                  BrokerId tree_root) const;
+
+  /// Centralized matching (Section 2): the full destination list, as the
+  /// match-first baseline would compute at the publisher's broker.
+  [[nodiscard]] std::vector<SubscriptionId> match(const Event& event,
+                                                  MatchStats* stats = nullptr) const;
+
+  /// The initialization mask of `broker` for the given spanning tree.
+  [[nodiscard]] const TritVector& initialization_mask(BrokerId broker,
+                                                      BrokerId tree_root) const;
+
+  /// Distinct annotation sets held by a broker (1 on acyclic networks).
+  [[nodiscard]] std::size_t annotation_group_count(BrokerId broker) const;
+
+  /// Test hook: re-derives every annotation from scratch and compares with
+  /// the incrementally maintained state. Throws std::logic_error on drift.
+  void check_consistency() const;
+
+ private:
+  struct Group {
+    const SpanningTree* representative{nullptr};
+    SubscriptionLinkFn link_of;
+    std::unordered_map<const Pst*, std::unique_ptr<AnnotatedPst>> annotations;
+  };
+  struct BrokerState {
+    std::size_t link_count{0};
+    std::vector<std::unique_ptr<Group>> groups;
+    std::unordered_map<BrokerId, Group*> group_of_root;
+    std::unordered_map<BrokerId, TritVector> init_masks;
+  };
+
+  void apply_touched(const PstMatcher::TouchedTrees& touched);
+
+  const BrokerNetwork* network_;
+  SchemaPtr schema_;
+  RoutingTable routing_;
+  std::map<BrokerId, std::unique_ptr<SpanningTree>> trees_;
+  std::unique_ptr<PstMatcher> matcher_;
+  std::unordered_map<SubscriptionId, ClientId> destinations_;
+  std::vector<BrokerState> broker_states_;
+};
+
+}  // namespace gryphon

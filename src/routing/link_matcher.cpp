@@ -1,0 +1,108 @@
+#include "routing/link_matcher.h"
+
+#include <stdexcept>
+
+namespace gryphon {
+
+namespace {
+
+class Search {
+ public:
+  Search(const AnnotatedPst& annotated, const Event& event)
+      : annotated_(annotated),
+        tree_(annotated.tree()),
+        event_(event),
+        tte_(tree_.options().trivial_test_elimination),
+        delayed_star_(tree_.options().delayed_star) {}
+
+  TritVector run(Pst::NodeId node, TritVector mask) {
+    // Trivial-test elimination: a star-only node's annotation equals its
+    // star child's, so the chain refines nothing and performs no test.
+    if (tte_) {
+      while (!tree_.is_leaf(node) && is_star_only(node)) node = tree_.star_child(node);
+    }
+    ++steps_;
+
+    // Step 2: refinement against this node's annotation.
+    mask.refine_with(annotated_.annotation(node));
+    if (!mask.has_maybe()) return mask;
+
+    if (tree_.is_leaf(node)) {
+      // A leaf annotation holds only Yes/No, so refinement above cannot
+      // leave a Maybe; defensive for robustness.
+      mask.maybes_to_no();
+      return mask;
+    }
+
+    // Step 3: perform the test, subsearch each selected child.
+    const std::size_t attr = tree_.order()[static_cast<std::size_t>(tree_.level(node))];
+    const Value& v = event_.value(attr);
+
+    const auto subsearch = [&](Pst::NodeId child) {
+      const TritVector result = run(child, mask);
+      mask.promote_yes_from(result);
+    };
+
+    const Pst::NodeId star = tree_.star_child(node);
+    if (!delayed_star_ && star != Pst::kNoNode) subsearch(star);
+
+    if (mask.has_maybe()) {
+      for (const auto& [test, child] : tree_.other_children(node)) {
+        if (test.accepts(v)) {
+          subsearch(child);
+          if (!mask.has_maybe()) break;
+        }
+      }
+    }
+    if (mask.has_maybe()) {
+      const auto eq = tree_.eq_children(node);
+      const auto it = std::lower_bound(
+          eq.begin(), eq.end(), v,
+          [](const auto& entry, const Value& key) { return entry.first < key; });
+      if (it != eq.end() && it->first == v) subsearch(it->second);
+    }
+    if (delayed_star_ && star != Pst::kNoNode && mask.has_maybe()) subsearch(star);
+
+    mask.maybes_to_no();
+    return mask;
+  }
+
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+ private:
+  [[nodiscard]] bool is_star_only(Pst::NodeId node) const {
+    return tree_.eq_children(node).empty() && tree_.other_children(node).empty() &&
+           tree_.star_child(node) != Pst::kNoNode;
+  }
+
+  const AnnotatedPst& annotated_;
+  const Pst& tree_;
+  const Event& event_;
+  bool tte_;
+  bool delayed_star_;
+  std::uint64_t steps_{0};
+};
+
+}  // namespace
+
+LinkMatchResult link_match(const AnnotatedPst& annotated, const Event& event,
+                           const TritVector& initialization_mask) {
+  if (initialization_mask.size() != annotated.link_count()) {
+    throw std::invalid_argument("link_match: mask width != link count");
+  }
+  if (!annotated.in_sync()) {
+    throw std::logic_error("link_match: annotation is stale (missed tree mutation)");
+  }
+  LinkMatchResult result;
+  if (!initialization_mask.has_maybe()) {
+    // Nothing downstream could ever match; the mask is already final.
+    result.mask = initialization_mask;
+    return result;
+  }
+  Search search(annotated, event);
+  result.mask = search.run(annotated.tree().root(), initialization_mask);
+  result.steps = search.steps();
+  return result;
+}
+
+}  // namespace gryphon

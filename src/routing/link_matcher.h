@@ -1,0 +1,43 @@
+// The link-matching search (paper Section 3.3).
+//
+// Given an event, an annotated PST, and the initialization mask of the
+// publisher's spanning tree, refine the mask until every trit is Yes or No:
+//
+//  1. mask := initialization mask;
+//  2. at the current node, every Maybe in the mask is replaced by the
+//     node's annotation trit; a fully refined mask ends the search;
+//  3. otherwise the node's test selects 0, 1, or 2 children; each child is
+//     subsearched with a copy of the current mask; on each return, Maybes
+//     with a Yes in the subsearch result become Yes; after all children,
+//     remaining Maybes become No;
+//  4. the event is sent on every link whose final trit is Yes.
+//
+// Two search-order refinements from Section 2.1 apply here: trivial-test
+// elimination skips star-only chains (their annotations are identities),
+// and delayed branching subsearches value branches before the `*` branch so
+// a mask fully refined by value branches prunes the `*` subtree. Remaining
+// subsearches are skipped as soon as the current mask has no Maybe left —
+// they could only re-derive Yes trits the mask already has.
+#pragma once
+
+#include "event/event.h"
+#include "matching/matcher.h"
+#include "routing/annotated_pst.h"
+#include "routing/trit.h"
+
+namespace gryphon {
+
+struct LinkMatchResult {
+  /// Fully refined mask: Yes marks every link to forward the event on.
+  TritVector mask;
+  /// Matching steps — node visitations, the unit reported in Chart 2.
+  std::uint64_t steps{0};
+};
+
+/// Runs the search. `initialization_mask` must have one trit per broker link
+/// (same width as the annotation). The tree's Options govern trivial-test
+/// elimination and delayed branching.
+LinkMatchResult link_match(const AnnotatedPst& annotated, const Event& event,
+                           const TritVector& initialization_mask);
+
+}  // namespace gryphon

@@ -1,0 +1,90 @@
+#include "routing/trit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gryphon {
+
+TritVector TritVector::from_string(std::string_view text) {
+  TritVector v(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    switch (text[i]) {
+      case 'Y': case 'y': v.trits_[i] = Trit::Yes; break;
+      case 'N': case 'n': v.trits_[i] = Trit::No; break;
+      case 'M': case 'm': v.trits_[i] = Trit::Maybe; break;
+      default: throw std::invalid_argument("TritVector::from_string: bad character");
+    }
+  }
+  return v;
+}
+
+namespace {
+void check_same_size(const TritVector& a, TritSpan b) {
+  if (a.size() != b.size()) throw std::invalid_argument("TritVector: size mismatch");
+}
+}  // namespace
+
+void TritVector::alternative_with(TritSpan other) {
+  check_same_size(*this, other);
+  for (std::size_t i = 0; i < trits_.size(); ++i) {
+    trits_[i] = alternative_combine(trits_[i], other[i]);
+  }
+}
+
+void TritVector::parallel_with(TritSpan other) {
+  check_same_size(*this, other);
+  for (std::size_t i = 0; i < trits_.size(); ++i) {
+    trits_[i] = parallel_combine(trits_[i], other[i]);
+  }
+}
+
+void TritVector::refine_with(TritSpan annotation) {
+  check_same_size(*this, annotation);
+  for (std::size_t i = 0; i < trits_.size(); ++i) {
+    if (trits_[i] == Trit::Maybe) trits_[i] = annotation[i];
+  }
+}
+
+void TritVector::promote_yes_from(const TritVector& subsearch_result) {
+  check_same_size(*this, subsearch_result);
+  for (std::size_t i = 0; i < trits_.size(); ++i) {
+    if (trits_[i] == Trit::Maybe && subsearch_result.trits_[i] == Trit::Yes) {
+      trits_[i] = Trit::Yes;
+    }
+  }
+}
+
+void TritVector::maybes_to_no() {
+  for (Trit& t : trits_) {
+    if (t == Trit::Maybe) t = Trit::No;
+  }
+}
+
+bool TritVector::has_maybe() const {
+  return std::find(trits_.begin(), trits_.end(), Trit::Maybe) != trits_.end();
+}
+
+bool TritVector::any_yes() const {
+  return std::find(trits_.begin(), trits_.end(), Trit::Yes) != trits_.end();
+}
+
+std::size_t TritVector::count(Trit t) const {
+  return static_cast<std::size_t>(std::count(trits_.begin(), trits_.end(), t));
+}
+
+std::vector<LinkIndex> TritVector::yes_links() const {
+  std::vector<LinkIndex> out;
+  for (std::size_t i = 0; i < trits_.size(); ++i) {
+    if (trits_[i] == Trit::Yes) out.push_back(LinkIndex{static_cast<LinkIndex::rep_type>(i)});
+  }
+  return out;
+}
+
+std::string TritVector::to_string() const {
+  std::string s;
+  s.reserve(trits_.size());
+  for (const Trit t : trits_) s.push_back(to_char(t));
+  return s;
+}
+
+}  // namespace gryphon

@@ -1,0 +1,103 @@
+// Trits and trit vectors (paper Section 3).
+//
+// A trit is Yes / No / Maybe. Each broker annotates every PST node with a
+// trit vector holding one trit per outgoing link: Yes — a search reaching
+// this node is guaranteed to match a subscriber reachable through the link;
+// No — it definitely will not; Maybe — further searching must decide.
+//
+// The two combine operators of Figure 4:
+//   Alternative Combine — merges annotations of sibling value-branches
+//     (mutually exclusive alternatives): the least specific result wins,
+//     i.e. A(x, y) = x when x == y, Maybe otherwise.
+//   Parallel Combine — merges the value-branch result with the `*` branch
+//     (both searched in parallel): the most liberal result wins, i.e.
+//     P = max under the order No < Maybe < Yes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace gryphon {
+
+enum class Trit : std::uint8_t { No = 0, Maybe = 1, Yes = 2 };
+
+/// Read-only view over a stored trit vector (annotations are stored flat,
+/// one row per PST node, to keep per-node overhead at one byte per link).
+using TritSpan = std::span<const Trit>;
+
+constexpr Trit alternative_combine(Trit a, Trit b) noexcept {
+  return a == b ? a : Trit::Maybe;
+}
+
+constexpr Trit parallel_combine(Trit a, Trit b) noexcept { return a > b ? a : b; }
+
+constexpr char to_char(Trit t) noexcept {
+  return t == Trit::Yes ? 'Y' : (t == Trit::No ? 'N' : 'M');
+}
+
+/// A fixed-width vector of trits, one per outgoing link of a broker.
+class TritVector {
+ public:
+  TritVector() = default;
+  explicit TritVector(std::size_t size, Trit fill = Trit::No) : trits_(size, fill) {}
+
+  /// Parse from a string like "YMN" (test convenience).
+  static TritVector from_string(std::string_view text);
+
+  [[nodiscard]] std::size_t size() const { return trits_.size(); }
+  [[nodiscard]] Trit at(std::size_t i) const { return trits_[i]; }
+  void set(std::size_t i, Trit t) { trits_[i] = t; }
+  [[nodiscard]] Trit at(LinkIndex link) const {
+    return trits_[static_cast<std::size_t>(link.value)];
+  }
+  void set(LinkIndex link, Trit t) { trits_[static_cast<std::size_t>(link.value)] = t; }
+
+  void fill(Trit t) { std::fill(trits_.begin(), trits_.end(), t); }
+
+  [[nodiscard]] TritSpan span() const { return TritSpan(trits_); }
+  operator TritSpan() const { return span(); }  // NOLINT(google-explicit-constructor)
+
+  /// this[i] = Alternative(this[i], other[i]).
+  void alternative_with(TritSpan other);
+  /// this[i] = Parallel(this[i], other[i]).
+  void parallel_with(TritSpan other);
+
+  /// Mask refinement (Section 3.3, step 2): every Maybe in this mask is
+  /// replaced by the corresponding annotation trit.
+  void refine_with(TritSpan annotation);
+
+  /// Subsearch merge (step 3): every Maybe in this mask with a Yes in the
+  /// returned subsearch mask becomes Yes.
+  void promote_yes_from(const TritVector& subsearch_result);
+
+  /// Step 3 epilogue: remaining Maybes become No.
+  void maybes_to_no();
+
+  [[nodiscard]] bool has_maybe() const;
+  [[nodiscard]] bool any_yes() const;
+  [[nodiscard]] std::size_t count(Trit t) const;
+
+  /// Indices of Yes positions — the links to forward the event on.
+  [[nodiscard]] std::vector<LinkIndex> yes_links() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool equals(TritSpan other) const {
+    return trits_.size() == other.size() &&
+           std::equal(trits_.begin(), trits_.end(), other.begin());
+  }
+
+  friend bool operator==(const TritVector& a, const TritVector& b) {
+    return a.trits_ == b.trits_;
+  }
+  friend bool operator!=(const TritVector& a, const TritVector& b) { return !(a == b); }
+
+ private:
+  std::vector<Trit> trits_;
+};
+
+}  // namespace gryphon

@@ -1,0 +1,52 @@
+#include "sim/saturation.h"
+
+#include <stdexcept>
+
+namespace gryphon {
+
+SaturationResult find_saturation_rate(
+    const SaturationConfig& config,
+    const std::function<SimResult(double rate, std::uint64_t seed)>& run_at_rate) {
+  if (!(config.min_rate > 0) || !(config.max_rate > config.min_rate)) {
+    throw std::invalid_argument("find_saturation_rate: bad rate bounds");
+  }
+  SaturationResult result;
+
+  double lo = config.min_rate;   // sustained (assumed)
+  double hi = config.max_rate;   // overloaded (assumed)
+
+  // Establish the bracket: if even min_rate overloads, report it as 0; if
+  // max_rate is sustained, report max_rate (the caller should widen).
+  SimResult at_lo = run_at_rate(lo, config.seed);
+  ++result.simulations_run;
+  if (at_lo.overloaded) {
+    result.saturation_rate = 0.0;
+    result.at_saturation = at_lo;
+    return result;
+  }
+  SimResult at_hi = run_at_rate(hi, config.seed);
+  ++result.simulations_run;
+  if (!at_hi.overloaded) {
+    result.saturation_rate = hi;
+    result.at_saturation = at_hi;
+    return result;
+  }
+
+  SimResult best = at_lo;
+  while ((hi - lo) / hi > config.relative_tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    SimResult at_mid = run_at_rate(mid, config.seed);
+    ++result.simulations_run;
+    if (at_mid.overloaded) {
+      hi = mid;
+    } else {
+      lo = mid;
+      best = at_mid;
+    }
+  }
+  result.saturation_rate = lo;
+  result.at_saturation = best;
+  return result;
+}
+
+}  // namespace gryphon

@@ -1,0 +1,36 @@
+// Saturation search (Chart 1).
+//
+// For a fixed topology, subscription set, and protocol, find the highest
+// event publish rate the broker network sustains without overload: binary
+// search on the rate, running one simulation per probe.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "workload/generators.h"
+
+namespace gryphon {
+
+struct SaturationConfig {
+  double min_rate{10.0};      // events/second — assumed sustainable
+  double max_rate{20000.0};   // events/second — assumed overloaded
+  double relative_tolerance{0.08};
+  std::size_t events{500};    // paper: "The number of events published is 500"
+  std::uint64_t seed{42};
+};
+
+struct SaturationResult {
+  double saturation_rate{0.0};      // highest sustained rate found
+  std::size_t simulations_run{0};
+  SimResult at_saturation;          // result of the last sustained run
+};
+
+/// `run_at_rate` runs one simulation with the given aggregate publish rate
+/// and returns its result; the search assumes overload is monotone in rate.
+SaturationResult find_saturation_rate(
+    const SaturationConfig& config,
+    const std::function<SimResult(double rate, std::uint64_t seed)>& run_at_rate);
+
+}  // namespace gryphon

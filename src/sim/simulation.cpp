@@ -1,0 +1,373 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gryphon {
+
+const char* to_string(Protocol protocol) noexcept {
+  switch (protocol) {
+    case Protocol::kLinkMatching: return "link-matching";
+    case Protocol::kFlooding: return "flooding";
+    case Protocol::kMatchFirst: return "match-first";
+  }
+  return "?";
+}
+
+namespace {
+
+struct SimMessage {
+  std::size_t event_index{0};
+  BrokerId tree_root;
+  int hops{0};                  // brokers visited once this broker processes it
+  std::uint64_t steps_acc{0};   // matching steps accumulated upstream
+  Ticks publish_time{0};
+  std::vector<ClientId> dests;  // match-first only
+};
+
+struct QueueEntry {
+  Ticks time{0};
+  std::uint64_t seq{0};
+  enum class Kind : std::uint8_t { kArrival, kCompletion, kBackground } kind{Kind::kArrival};
+  BrokerId broker;
+  SimMessage message;
+
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+BrokerSimulation::BrokerSimulation(const BrokerNetwork& network, SchemaPtr schema,
+                                   std::vector<BrokerId> publisher_brokers,
+                                   const std::vector<SimSubscription>& subscriptions,
+                                   PstMatcherOptions matcher_options, SimConfig config)
+    : network_(&network),
+      schema_(std::move(schema)),
+      publisher_brokers_(std::move(publisher_brokers)),
+      config_(config) {
+  crn_ = std::make_unique<ContentRoutingNetwork>(network, schema_, publisher_brokers_,
+                                                 matcher_options);
+  for (const SimSubscription& s : subscriptions) {
+    crn_->subscribe(s.id, s.subscription, s.subscriber);
+  }
+  if (config_.protocol == Protocol::kFlooding) {
+    local_matchers_.resize(network.broker_count());
+    for (std::size_t b = 0; b < network.broker_count(); ++b) {
+      local_matchers_[b] = std::make_unique<PstMatcher>(schema_, matcher_options);
+    }
+    for (const SimSubscription& s : subscriptions) {
+      const BrokerId home = network.client_home(s.subscriber);
+      local_matchers_[static_cast<std::size_t>(home.value)]->add(s.id, s.subscription);
+    }
+  }
+  // Rough wire size of one event: 8 bytes per attribute plus a frame header.
+  event_payload_bytes_ = schema_->attribute_count() * 8 + 16;
+}
+
+SimResult BrokerSimulation::run(const std::vector<Event>& events,
+                                const std::vector<PublishRecord>& schedule) {
+  SimResult result;
+  result.protocol = config_.protocol;
+  result.events_published = schedule.size();
+  if (schedule.empty()) return result;
+
+  const std::size_t broker_count = network_->broker_count();
+
+  // Expected destination set per event (centralized matching ground truth).
+  std::vector<std::vector<ClientId>> expected(events.size());
+  std::vector<std::vector<ClientId>> match_first_dests(events.size());
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    MatchStats stats;
+    const auto subs = crn_->match(events[e], &stats);
+    result.centralized_steps += stats.nodes_visited;
+    std::vector<ClientId> dests;
+    dests.reserve(subs.size());
+    for (const SubscriptionId id : subs) dests.push_back(crn_->destination_of(id));
+    std::sort(dests.begin(), dests.end());
+    dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+    expected[e] = dests;
+    if (config_.protocol == Protocol::kMatchFirst) match_first_dests[e] = dests;
+  }
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  std::uint64_t seq = 0;
+
+  Ticks last_publish = 0;
+  for (const PublishRecord& record : schedule) {
+    if (record.event_index >= events.size()) {
+      throw std::invalid_argument("BrokerSimulation::run: bad event index in schedule");
+    }
+    SimMessage msg;
+    msg.event_index = record.event_index;
+    msg.tree_root = record.broker;
+    msg.hops = 0;
+    msg.publish_time = record.time;
+    if (config_.protocol == Protocol::kMatchFirst) {
+      msg.dests = match_first_dests[record.event_index];
+    }
+    queue.push(QueueEntry{record.time, seq++, QueueEntry::Kind::kArrival, record.broker,
+                          std::move(msg)});
+    last_publish = std::max(last_publish, record.time);
+  }
+  const Ticks deadline = last_publish + config_.drain_limit;
+
+  // Background publishers: untracked messages that only burn broker CPU.
+  if (config_.background_rate_per_broker > 0) {
+    Rng bg_rng(config_.background_seed);
+    const double ticks_per_second = 1e6 / kMicrosPerTick;
+    const double rate_per_tick = config_.background_rate_per_broker / ticks_per_second;
+    for (std::size_t b = 0; b < broker_count; ++b) {
+      Ticks t = 0;
+      while (true) {
+        t += std::max<Ticks>(1, static_cast<Ticks>(bg_rng.exponential(rate_per_tick)));
+        if (t > last_publish) break;
+        queue.push(QueueEntry{t, seq++, QueueEntry::Kind::kBackground,
+                              BrokerId{static_cast<BrokerId::rep_type>(b)}, {}});
+      }
+    }
+  }
+
+  std::vector<Ticks> busy_until(broker_count, 0);
+  std::vector<double> busy_accum(broker_count, 0.0);
+  std::vector<std::size_t> backlog(broker_count, 0);
+
+  // Delivered clients per event (sorted later for verification).
+  std::vector<std::vector<ClientId>> delivered(events.size());
+  std::unordered_set<std::uint64_t> link_copies;  // (event, broker, port) keys
+
+  double latency_sum_ms = 0.0;
+
+  const auto deliver = [&](const SimMessage& msg, ClientId client, Ticks at) {
+    ++result.deliveries;
+    delivered[msg.event_index].push_back(client);
+    latency_sum_ms += ticks_to_millis(at - msg.publish_time);
+    auto& hop = result.per_hop[msg.hops];
+    ++hop.deliveries;
+    hop.cumulative_steps += msg.steps_acc;
+  };
+
+  const auto note_copy = [&](const SimMessage& msg, BrokerId broker, LinkIndex port) {
+    if (!config_.verify_single_copy_per_link) return;
+    const std::uint64_t key = (static_cast<std::uint64_t>(msg.event_index) << 24) ^
+                              (static_cast<std::uint64_t>(broker.value) << 8) ^
+                              static_cast<std::uint64_t>(port.value);
+    if (!link_copies.insert(key).second) ++result.duplicate_link_copies;
+  };
+
+  while (!queue.empty()) {
+    QueueEntry entry = queue.top();
+    queue.pop();
+    const std::size_t b = static_cast<std::size_t>(entry.broker.value);
+
+    if (entry.kind == QueueEntry::Kind::kCompletion) {
+      --backlog[b];
+      continue;
+    }
+    if (entry.time > deadline) {
+      result.overloaded = true;
+      result.drained = false;
+      result.end_time = entry.time;
+      break;
+    }
+
+    ++backlog[b];
+    result.max_backlog = std::max<std::uint64_t>(result.max_backlog, backlog[b]);
+    if (backlog[b] >= config_.overload_backlog_threshold) result.overloaded = true;
+
+    if (entry.kind == QueueEntry::Kind::kBackground) {
+      const Ticks start = std::max(entry.time, busy_until[b]);
+      const Ticks done =
+          start + std::max<Ticks>(1, static_cast<Ticks>(config_.background_cost_ticks + 0.5));
+      busy_until[b] = done;
+      busy_accum[b] += static_cast<double>(done - start);
+      queue.push(QueueEntry{done, seq++, QueueEntry::Kind::kCompletion, entry.broker, {}});
+      continue;
+    }
+
+    SimMessage msg = std::move(entry.message);
+    ++msg.hops;
+
+    // Decide forwarding and compute the CPU cost of this message.
+    double cost = config_.base_cost_ticks;
+    std::vector<std::pair<LinkIndex, SimMessage>> forwards;
+    std::vector<ClientId> local_deliveries;
+    std::uint64_t steps_here = 0;
+    const Event& event = events[msg.event_index];
+    const auto& ports = network_->ports(entry.broker);
+
+    switch (config_.protocol) {
+      case Protocol::kLinkMatching: {
+        const auto route = crn_->route(entry.broker, event, msg.tree_root);
+        steps_here = route.steps;
+        for (const LinkIndex link : route.links) {
+          const auto& port = ports[static_cast<std::size_t>(link.value)];
+          if (port.kind == BrokerNetwork::PortKind::kClient) {
+            local_deliveries.push_back(port.peer_client);
+          } else {
+            SimMessage fwd = msg;
+            fwd.steps_acc += steps_here;
+            forwards.emplace_back(link, std::move(fwd));
+          }
+        }
+        break;
+      }
+      case Protocol::kFlooding: {
+        const PstMatcher& local = *local_matchers_[b];
+        std::vector<SubscriptionId> matched;
+        MatchStats stats;
+        local.match(event, matched, &stats);
+        steps_here = stats.nodes_visited;
+        for (const SubscriptionId id : matched) {
+          local_deliveries.push_back(crn_->destination_of(id));
+        }
+        std::sort(local_deliveries.begin(), local_deliveries.end());
+        local_deliveries.erase(std::unique(local_deliveries.begin(), local_deliveries.end()),
+                               local_deliveries.end());
+        const SpanningTree& tree = crn_->spanning_tree(msg.tree_root);
+        for (const BrokerId child : tree.children(entry.broker)) {
+          SimMessage fwd = msg;
+          fwd.steps_acc += steps_here;
+          fwd.dests.clear();
+          forwards.emplace_back(network_->port_to_broker(entry.broker, child), std::move(fwd));
+        }
+        break;
+      }
+      case Protocol::kMatchFirst: {
+        if (msg.hops == 1) {
+          // The publisher's broker already carries the full destination
+          // list; it paid the centralized matching cost.
+          MatchStats stats;
+          std::vector<SubscriptionId> scratch;
+          crn_->matcher().match(event, scratch, &stats);
+          steps_here = stats.nodes_visited;
+        } else {
+          cost += config_.per_destination_cost_ticks * static_cast<double>(msg.dests.size());
+        }
+        // Split the destination list by next hop.
+        std::unordered_map<LinkIndex::rep_type, std::vector<ClientId>> split;
+        for (const ClientId dest : msg.dests) {
+          if (network_->client_home(dest) == entry.broker) {
+            local_deliveries.push_back(dest);
+          } else {
+            const LinkIndex hop = crn_->routing().next_hop_to_client(entry.broker, dest);
+            split[hop.value].push_back(dest);
+          }
+        }
+        for (auto& [link_value, dests] : split) {
+          SimMessage fwd = msg;
+          fwd.steps_acc += steps_here;
+          fwd.dests = std::move(dests);
+          forwards.emplace_back(LinkIndex{link_value}, std::move(fwd));
+        }
+        break;
+      }
+    }
+    result.total_matching_steps += steps_here;
+    cost += config_.step_cost_ticks * static_cast<double>(steps_here);
+    cost += config_.send_cost_ticks *
+            static_cast<double>(forwards.size() + local_deliveries.size());
+
+    const Ticks start = std::max(entry.time, busy_until[b]);
+    const Ticks done = start + std::max<Ticks>(1, static_cast<Ticks>(cost + 0.5));
+    busy_until[b] = done;
+    busy_accum[b] += static_cast<double>(done - start);
+    result.end_time = std::max(result.end_time, done);
+    queue.push(QueueEntry{done, seq++, QueueEntry::Kind::kCompletion, entry.broker, {}});
+
+    msg.steps_acc += steps_here;
+
+    for (auto& [link, fwd] : forwards) {
+      const auto& port = ports[static_cast<std::size_t>(link.value)];
+      note_copy(fwd, entry.broker, link);
+      result.broker_messages += 1;
+      result.bytes_on_wire += event_payload_bytes_ + 8 * fwd.dests.size();
+      queue.push(QueueEntry{done + port.delay, seq++, QueueEntry::Kind::kArrival,
+                            port.peer_broker, std::move(fwd)});
+    }
+    for (const ClientId client : local_deliveries) {
+      const LinkIndex port_index = network_->client_port(client);
+      note_copy(msg, entry.broker, port_index);
+      result.client_messages += 1;
+      result.bytes_on_wire += event_payload_bytes_;
+      deliver(msg, client, done + network_->client_delay(client));
+    }
+  }
+
+  // Verification against centralized matching (scheduled events only — the
+  // event list may contain entries no schedule row published).
+  std::vector<bool> published(events.size(), false);
+  for (const PublishRecord& record : schedule) published[record.event_index] = true;
+  if (config_.verify_deliveries) {
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      if (!published[e]) continue;
+      auto& got = delivered[e];
+      std::sort(got.begin(), got.end());
+      for (std::size_t i = 1; i < got.size(); ++i) {
+        if (got[i] == got[i - 1]) ++result.duplicate_deliveries;
+      }
+      got.erase(std::unique(got.begin(), got.end()), got.end());
+      const auto& want = expected[e];
+      std::size_t gi = 0, wi = 0;
+      while (gi < got.size() || wi < want.size()) {
+        if (gi == got.size()) {
+          ++result.missing_deliveries;
+          ++wi;
+        } else if (wi == want.size()) {
+          ++result.spurious_deliveries;
+          ++gi;
+        } else if (got[gi] == want[wi]) {
+          ++gi;
+          ++wi;
+        } else if (got[gi] < want[wi]) {
+          ++result.spurious_deliveries;
+          ++gi;
+        } else {
+          ++result.missing_deliveries;
+          ++wi;
+        }
+      }
+    }
+    if (!result.drained) {
+      // An aborted run inevitably misses deliveries; they are counted above.
+      result.missing_deliveries = std::max<std::uint64_t>(result.missing_deliveries, 1);
+    }
+  }
+
+  if (result.deliveries > 0) {
+    result.mean_delivery_latency_ms = latency_sum_ms / static_cast<double>(result.deliveries);
+  }
+  const double window = static_cast<double>(std::max<Ticks>(1, last_publish));
+  for (std::size_t b = 0; b < broker_count; ++b) {
+    result.max_utilization = std::max(result.max_utilization, busy_accum[b] / window);
+  }
+  return result;
+}
+
+std::vector<PublishRecord> make_poisson_schedule(const std::vector<BrokerId>& publisher_brokers,
+                                                 std::size_t count, double events_per_second,
+                                                 Rng& rng) {
+  if (publisher_brokers.empty()) {
+    throw std::invalid_argument("make_poisson_schedule: no publisher brokers");
+  }
+  if (events_per_second <= 0) {
+    throw std::invalid_argument("make_poisson_schedule: rate must be > 0");
+  }
+  const double ticks_per_second = 1e6 / kMicrosPerTick;
+  const double rate_per_tick = events_per_second / ticks_per_second;
+  std::vector<PublishRecord> schedule;
+  schedule.reserve(count);
+  Ticks t = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += std::max<Ticks>(1, static_cast<Ticks>(rng.exponential(rate_per_tick)));
+    schedule.push_back(PublishRecord{t, publisher_brokers[i % publisher_brokers.size()], i});
+  }
+  return schedule;
+}
+
+}  // namespace gryphon

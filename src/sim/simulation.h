@@ -1,0 +1,158 @@
+// Discrete-event simulation of a broker network (paper Section 4.1).
+//
+// Time advances in ticks of a virtual clock (~12 us). An event spends time
+// traversing links (hop delay), waiting in a broker's input queue, being
+// matched (CPU cost proportional to matching steps), and being sent
+// (software latency per outgoing copy). Each broker is a single-server FIFO
+// queue; a broker is overloaded when its input queue grows beyond what the
+// processor can drain (Section 4.1, "Network Loading Results").
+//
+// Three routing protocols are simulated over identical topologies and
+// workloads:
+//   * kLinkMatching — the paper's protocol: each broker runs the
+//     mask-refinement search and forwards on Yes links only;
+//   * kFlooding     — events follow the whole spanning tree to every broker,
+//     which matches against its local clients' subscriptions only;
+//   * kMatchFirst   — the full destination list is computed at the
+//     publisher's broker and attached to the message; relays split the list
+//     by next hop (the "match-first" straw man of Sections 1 and 5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "matching/pst_matcher.h"
+#include "routing/content_router.h"
+#include "topology/network.h"
+
+namespace gryphon {
+
+enum class Protocol : std::uint8_t { kLinkMatching = 0, kFlooding = 1, kMatchFirst = 2 };
+
+const char* to_string(Protocol protocol) noexcept;
+
+/// One subscription in a simulation setup.
+struct SimSubscription {
+  SubscriptionId id;
+  Subscription subscription;
+  ClientId subscriber;
+};
+
+/// One scheduled publication: `event_index` into the event list handed to
+/// run(), injected at the given broker at the given virtual time.
+struct PublishRecord {
+  Ticks time{0};
+  BrokerId broker;
+  std::size_t event_index{0};
+};
+
+struct SimConfig {
+  Protocol protocol{Protocol::kLinkMatching};
+  /// CPU cost, in ticks, of one matching step (node visitation). The paper
+  /// estimates "a few microseconds" per step; 0.25 ticks = 3 us.
+  double step_cost_ticks{0.25};
+  /// CPU cost of pushing one outgoing copy through the transport.
+  double send_cost_ticks{4.0};
+  /// Fixed per-message receive/parse cost. Calibrated so transport costs
+  /// outweigh matching (Section 4.2: a 200 MHz broker tops out near 14,000
+  /// events/sec, ~70 us per message; 6 ticks = 72 us).
+  double base_cost_ticks{6.0};
+  /// Match-first only: per-destination list handling cost at relays.
+  double per_destination_cost_ticks{0.25};
+  /// Background load (Section 4.1: besides the tracked publishers, other
+  /// publishing clients "simply load the brokers by publishing messages
+  /// that take up CPU time at the brokers"). Each broker additionally
+  /// receives untracked messages at this Poisson rate (events/second),
+  /// each consuming `background_cost_ticks` of CPU and nothing else.
+  double background_rate_per_broker{0.0};
+  double background_cost_ticks{8.0};
+  std::uint64_t background_seed{0xb0b0};
+  /// A broker whose input queue reaches this length is overloaded.
+  std::size_t overload_backlog_threshold{100};
+  /// Give the network this long after the last publication to drain;
+  /// failing to drain also marks the run overloaded.
+  Ticks drain_limit{ticks_from_seconds(60)};
+  /// Check the delivered set of every event against centralized matching.
+  bool verify_deliveries{true};
+  /// Check that no (event, link) pair ever carries two copies.
+  bool verify_single_copy_per_link{false};
+};
+
+struct HopStats {
+  std::uint64_t deliveries{0};
+  std::uint64_t cumulative_steps{0};  // matching steps summed over the path
+
+  [[nodiscard]] double mean_steps() const {
+    return deliveries == 0 ? 0.0
+                           : static_cast<double>(cumulative_steps) /
+                                 static_cast<double>(deliveries);
+  }
+};
+
+struct SimResult {
+  Protocol protocol{Protocol::kLinkMatching};
+  std::size_t events_published{0};
+  std::uint64_t deliveries{0};
+  std::uint64_t duplicate_deliveries{0};
+  std::uint64_t missing_deliveries{0};
+  std::uint64_t spurious_deliveries{0};
+  std::uint64_t broker_messages{0};     // broker-to-broker copies sent
+  std::uint64_t client_messages{0};     // broker-to-client copies sent
+  std::uint64_t bytes_on_wire{0};       // sum over all copies (incl. dest lists)
+  std::uint64_t total_matching_steps{0};
+  std::uint64_t centralized_steps{0};   // steps a pure central match would take
+  std::uint64_t max_backlog{0};
+  double max_utilization{0.0};          // busiest broker's busy fraction
+  bool overloaded{false};
+  bool drained{true};
+  Ticks end_time{0};
+  double mean_delivery_latency_ms{0.0};
+  /// Chart 2: deliveries and cumulative matching steps keyed by hop count
+  /// (number of brokers the event visited on its way to the subscriber).
+  std::map<int, HopStats> per_hop;
+  /// Single-copy violations found (only when verify_single_copy_per_link).
+  std::uint64_t duplicate_link_copies{0};
+};
+
+class BrokerSimulation {
+ public:
+  /// Builds the full control plane: one shared PST with per-broker trit
+  /// annotations (link matching), per-broker local matchers (flooding), and
+  /// the routing table (match-first).
+  BrokerSimulation(const BrokerNetwork& network, SchemaPtr schema,
+                   std::vector<BrokerId> publisher_brokers,
+                   const std::vector<SimSubscription>& subscriptions,
+                   PstMatcherOptions matcher_options, SimConfig config);
+
+  /// Runs one simulation. `schedule` entries must be sorted by time and
+  /// reference events in `events`; each publisher broker in the schedule
+  /// must be one of the configured publisher brokers.
+  SimResult run(const std::vector<Event>& events, const std::vector<PublishRecord>& schedule);
+
+  [[nodiscard]] const ContentRoutingNetwork& control_plane() const { return *crn_; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+ private:
+  const BrokerNetwork* network_;
+  SchemaPtr schema_;
+  std::vector<BrokerId> publisher_brokers_;
+  SimConfig config_;
+  std::unique_ptr<ContentRoutingNetwork> crn_;
+  /// Flooding: per-broker matcher over local clients' subscriptions only.
+  std::vector<std::unique_ptr<PstMatcher>> local_matchers_;
+  std::size_t event_payload_bytes_{0};
+};
+
+/// Generates a Poisson publication schedule: `count` events at mean
+/// aggregate rate `events_per_second`, each assigned round-robin to one of
+/// `publisher_brokers`.
+std::vector<PublishRecord> make_poisson_schedule(const std::vector<BrokerId>& publisher_brokers,
+                                                 std::size_t count, double events_per_second,
+                                                 Rng& rng);
+
+}  // namespace gryphon

@@ -1,0 +1,140 @@
+#include "topology/builders.h"
+
+#include <stdexcept>
+
+namespace gryphon {
+
+Figure6Topology make_figure6() { return make_figure6(Figure6Options{}); }
+
+Figure6Topology make_figure6(const Figure6Options& options) {
+  Figure6Topology topo;
+  BrokerNetwork& net = topo.network;
+
+  const Ticks root_delay = ticks_from_millis(options.root_delay_ms);
+  const Ticks interior_delay = ticks_from_millis(options.interior_delay_ms);
+  const Ticks leaf_delay = ticks_from_millis(options.leaf_delay_ms);
+  const Ticks client_delay = ticks_from_millis(options.client_delay_ms);
+  const Ticks lateral_delay = ticks_from_millis(options.lateral_delay_ms);
+
+  topo.interior.resize(3);
+  topo.leaves.resize(3);
+  for (int region = 0; region < 3; ++region) {
+    const BrokerId root = net.add_broker();
+    topo.roots.push_back(root);
+    for (int i = 0; i < 3; ++i) {
+      const BrokerId mid = net.add_broker();
+      topo.interior[static_cast<std::size_t>(region)].push_back(mid);
+      net.connect(root, mid, interior_delay);
+      for (int j = 0; j < 3; ++j) {
+        const BrokerId leaf = net.add_broker();
+        topo.leaves[static_cast<std::size_t>(region)].push_back(leaf);
+        net.connect(mid, leaf, leaf_delay);
+      }
+    }
+  }
+  // Intercontinental triangle between the three roots.
+  net.connect(topo.roots[0], topo.roots[1], root_delay);
+  net.connect(topo.roots[1], topo.roots[2], root_delay);
+  net.connect(topo.roots[0], topo.roots[2], root_delay);
+
+  // Lateral links between interior brokers of neighbouring trees.
+  for (std::size_t l = 0; l < options.lateral_links; ++l) {
+    const std::size_t a_region = l % 3;
+    const std::size_t b_region = (l + 1) % 3;
+    const std::size_t slot = l % 3;
+    net.connect(topo.interior[a_region][slot], topo.interior[b_region][slot], lateral_delay);
+  }
+
+  topo.region_of.resize(net.broker_count());
+  for (std::size_t b = 0; b < net.broker_count(); ++b) {
+    topo.region_of[b] = static_cast<int>(b / 13);
+  }
+
+  for (std::size_t b = 0; b < net.broker_count(); ++b) {
+    for (std::size_t c = 0; c < options.clients_per_broker; ++c) {
+      topo.subscribers.push_back(
+          net.add_client(BrokerId{static_cast<BrokerId::rep_type>(b)}, client_delay));
+    }
+  }
+
+  // P1, P2, P3 publish from leaf brokers in distinct regions (Figure 6 shows
+  // them at the periphery of each tree).
+  topo.publisher_brokers = {topo.leaves[0][0], topo.leaves[1][4], topo.leaves[2][8]};
+  return topo;
+}
+
+BrokerNetwork make_line(std::size_t n, Ticks delay, std::size_t clients_per_broker,
+                        Ticks client_delay) {
+  if (n == 0) throw std::invalid_argument("make_line: n must be >= 1");
+  BrokerNetwork net;
+  for (std::size_t i = 0; i < n; ++i) net.add_broker();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    net.connect(BrokerId{static_cast<BrokerId::rep_type>(i)},
+                BrokerId{static_cast<BrokerId::rep_type>(i + 1)}, delay);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < clients_per_broker; ++c) {
+      net.add_client(BrokerId{static_cast<BrokerId::rep_type>(i)}, client_delay);
+    }
+  }
+  return net;
+}
+
+BrokerNetwork make_star(std::size_t n, Ticks delay, std::size_t clients_per_broker,
+                        Ticks client_delay) {
+  if (n == 0) throw std::invalid_argument("make_star: n must be >= 1");
+  BrokerNetwork net;
+  for (std::size_t i = 0; i < n; ++i) net.add_broker();
+  for (std::size_t i = 1; i < n; ++i) {
+    net.connect(BrokerId{0}, BrokerId{static_cast<BrokerId::rep_type>(i)}, delay);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < clients_per_broker; ++c) {
+      net.add_client(BrokerId{static_cast<BrokerId::rep_type>(i)}, client_delay);
+    }
+  }
+  return net;
+}
+
+BrokerNetwork make_random_tree(std::size_t n, Rng& rng, Ticks min_delay, Ticks max_delay,
+                               std::size_t clients_per_broker, Ticks client_delay) {
+  if (n == 0) throw std::invalid_argument("make_random_tree: n must be >= 1");
+  BrokerNetwork net;
+  net.add_broker();
+  for (std::size_t i = 1; i < n; ++i) {
+    const BrokerId b = net.add_broker();
+    const BrokerId parent{static_cast<BrokerId::rep_type>(rng.below(i))};
+    net.connect(parent, b, rng.between(min_delay, max_delay));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < clients_per_broker; ++c) {
+      net.add_client(BrokerId{static_cast<BrokerId::rep_type>(i)}, client_delay);
+    }
+  }
+  return net;
+}
+
+BrokerNetwork make_random_tree_like(std::size_t n, Rng& rng, Ticks min_delay, Ticks max_delay,
+                                    std::size_t clients_per_broker, Ticks client_delay,
+                                    std::size_t extra_links) {
+  BrokerNetwork net = make_random_tree(n, rng, min_delay, max_delay, clients_per_broker,
+                                       client_delay);
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < extra_links && attempts < extra_links * 20 + 100) {
+    ++attempts;
+    if (n < 2) break;
+    const BrokerId a{static_cast<BrokerId::rep_type>(rng.below(n))};
+    const BrokerId b{static_cast<BrokerId::rep_type>(rng.below(n))};
+    if (a == b) continue;
+    try {
+      net.connect(a, b, rng.between(min_delay, max_delay));
+      ++added;
+    } catch (const std::invalid_argument&) {
+      // duplicate link; try another pair
+    }
+  }
+  return net;
+}
+
+}  // namespace gryphon

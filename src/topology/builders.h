@@ -1,0 +1,70 @@
+// Topology builders: the paper's Figure 6 network and synthetic families
+// used by tests and ablation benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "topology/network.h"
+
+namespace gryphon {
+
+/// The simulated WAN of Figure 6: 39 brokers forming three 13-broker trees
+/// (1 root, 3 interior, 9 leaf brokers each). The three roots are fully
+/// interconnected (intercontinental links); a small number of lateral links
+/// join non-root brokers of adjacent trees so different publishers' events
+/// can take different paths. Ten subscribing clients per broker. Hop delays:
+/// 65 ms between roots, 25 ms root->interior, 10 ms interior->leaf, 1 ms to
+/// clients (Section 4.1).
+struct Figure6Topology {
+  BrokerNetwork network;
+  std::vector<BrokerId> roots;                  // 3
+  std::vector<std::vector<BrokerId>> interior;  // per region, 3 each
+  std::vector<std::vector<BrokerId>> leaves;    // per region, 9 each
+  /// region(broker) in {0,1,2}: which intercontinental tree a broker is in.
+  std::vector<int> region_of;
+  /// The brokers hosting the three tracked publishers P1..P3 (leaf brokers
+  /// in regions 0, 1, and 2 respectively).
+  std::vector<BrokerId> publisher_brokers;
+  /// All subscribing clients, 10 per broker, ordered by broker.
+  std::vector<ClientId> subscribers;
+};
+
+struct Figure6Options {
+  std::size_t clients_per_broker{10};
+  double root_delay_ms{65.0};
+  double interior_delay_ms{25.0};
+  double leaf_delay_ms{10.0};
+  double client_delay_ms{1.0};
+  /// Lateral links between non-root brokers of neighbouring trees.
+  std::size_t lateral_links{2};
+  double lateral_delay_ms{40.0};
+};
+
+Figure6Topology make_figure6();
+Figure6Topology make_figure6(const Figure6Options& options);
+
+/// A path of `n` brokers (b0 - b1 - ... - b(n-1)), uniform delay, with
+/// `clients_per_broker` clients each. Useful for hop-count experiments.
+BrokerNetwork make_line(std::size_t n, Ticks delay, std::size_t clients_per_broker,
+                        Ticks client_delay);
+
+/// One hub broker connected to `n - 1` spokes.
+BrokerNetwork make_star(std::size_t n, Ticks delay, std::size_t clients_per_broker,
+                        Ticks client_delay);
+
+/// A random tree over `n` brokers: broker i (i >= 1) attaches to a uniformly
+/// random earlier broker. Random delays in [min_delay, max_delay].
+BrokerNetwork make_random_tree(std::size_t n, Rng& rng, Ticks min_delay, Ticks max_delay,
+                               std::size_t clients_per_broker, Ticks client_delay);
+
+/// A random "tree-like" graph: a random tree plus `extra_links` additional
+/// random (non-duplicate) links, the general-topology stress case for
+/// per-publisher spanning trees.
+BrokerNetwork make_random_tree_like(std::size_t n, Rng& rng, Ticks min_delay, Ticks max_delay,
+                                    std::size_t clients_per_broker, Ticks client_delay,
+                                    std::size_t extra_links);
+
+}  // namespace gryphon

@@ -1,0 +1,57 @@
+#include "topology/network.h"
+
+namespace gryphon {
+
+BrokerId BrokerNetwork::add_broker() {
+  brokers_.emplace_back();
+  return BrokerId{static_cast<BrokerId::rep_type>(brokers_.size() - 1)};
+}
+
+void BrokerNetwork::connect(BrokerId a, BrokerId b, Ticks delay) {
+  const std::size_t ia = checked(a);
+  const std::size_t ib = checked(b);
+  if (ia == ib) throw std::invalid_argument("BrokerNetwork::connect: self link");
+  if (delay < 0) throw std::invalid_argument("BrokerNetwork::connect: negative delay");
+  for (const Port& p : brokers_[ia].ports) {
+    if (p.kind == PortKind::kBroker && p.peer_broker == b) {
+      throw std::invalid_argument("BrokerNetwork::connect: duplicate link");
+    }
+  }
+  Port pa;
+  pa.kind = PortKind::kBroker;
+  pa.peer_broker = b;
+  pa.delay = delay;
+  brokers_[ia].ports.push_back(pa);
+  Port pb;
+  pb.kind = PortKind::kBroker;
+  pb.peer_broker = a;
+  pb.delay = delay;
+  brokers_[ib].ports.push_back(pb);
+}
+
+ClientId BrokerNetwork::add_client(BrokerId home, Ticks delay) {
+  const std::size_t ih = checked(home);
+  if (delay < 0) throw std::invalid_argument("BrokerNetwork::add_client: negative delay");
+  const ClientId id{static_cast<ClientId::rep_type>(clients_.size())};
+  Port port;
+  port.kind = PortKind::kClient;
+  port.peer_client = id;
+  port.delay = delay;
+  const LinkIndex link{static_cast<LinkIndex::rep_type>(brokers_[ih].ports.size())};
+  brokers_[ih].ports.push_back(port);
+  brokers_[ih].clients.push_back(id);
+  clients_.push_back(ClientRec{home, link, delay});
+  return id;
+}
+
+LinkIndex BrokerNetwork::port_to_broker(BrokerId from, BrokerId to) const {
+  const auto& ports = brokers_.at(checked(from)).ports;
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    if (ports[i].kind == PortKind::kBroker && ports[i].peer_broker == to) {
+      return LinkIndex{static_cast<LinkIndex::rep_type>(i)};
+    }
+  }
+  throw std::invalid_argument("BrokerNetwork::port_to_broker: no such link");
+}
+
+}  // namespace gryphon

@@ -1,0 +1,90 @@
+// The broker network: brokers, inter-broker links, and attached clients.
+//
+// Following the paper (Figure 3), a broker's neighbors may be brokers or
+// clients. Each broker exposes an ordered list of outgoing *ports*; a port's
+// position is the broker-local LinkIndex used as the trit-vector slot for
+// that link in the link-matching protocol. Inter-broker links are symmetric
+// (a port on each side); client links have one port on the home broker.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace gryphon {
+
+class BrokerNetwork {
+ public:
+  enum class PortKind : std::uint8_t { kBroker = 0, kClient = 1 };
+
+  struct Port {
+    PortKind kind{PortKind::kBroker};
+    BrokerId peer_broker;   // valid when kind == kBroker
+    ClientId peer_client;   // valid when kind == kClient
+    Ticks delay{0};         // one-way hop delay
+  };
+
+  /// Adds a broker and returns its id (ids are dense, 0..broker_count-1).
+  BrokerId add_broker();
+
+  /// Adds a symmetric link between two distinct brokers with the given
+  /// one-way hop delay. Returns nothing; each side gains one port.
+  void connect(BrokerId a, BrokerId b, Ticks delay);
+
+  /// Attaches a new client to `home` with the given client-link delay and
+  /// returns its id (dense, 0..client_count-1). The home broker gains a port.
+  ClientId add_client(BrokerId home, Ticks delay);
+
+  [[nodiscard]] std::size_t broker_count() const { return brokers_.size(); }
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+
+  [[nodiscard]] const std::vector<Port>& ports(BrokerId broker) const {
+    return brokers_.at(checked(broker)).ports;
+  }
+  [[nodiscard]] std::size_t port_count(BrokerId broker) const { return ports(broker).size(); }
+
+  [[nodiscard]] BrokerId client_home(ClientId client) const {
+    return clients_.at(static_cast<std::size_t>(client.value)).home;
+  }
+  [[nodiscard]] Ticks client_delay(ClientId client) const {
+    return clients_.at(static_cast<std::size_t>(client.value)).delay;
+  }
+  /// The port index of a client's link on its home broker.
+  [[nodiscard]] LinkIndex client_port(ClientId client) const {
+    return clients_.at(static_cast<std::size_t>(client.value)).port;
+  }
+  /// All clients attached to a broker.
+  [[nodiscard]] const std::vector<ClientId>& clients_of(BrokerId broker) const {
+    return brokers_.at(checked(broker)).clients;
+  }
+
+  /// The port on `from` that leads to neighbor broker `to`; throws
+  /// std::invalid_argument when no direct link exists.
+  [[nodiscard]] LinkIndex port_to_broker(BrokerId from, BrokerId to) const;
+
+ private:
+  struct BrokerRec {
+    std::vector<Port> ports;
+    std::vector<ClientId> clients;
+  };
+  struct ClientRec {
+    BrokerId home;
+    LinkIndex port;
+    Ticks delay{0};
+  };
+
+  [[nodiscard]] std::size_t checked(BrokerId broker) const {
+    if (!broker.valid() || static_cast<std::size_t>(broker.value) >= brokers_.size()) {
+      throw std::out_of_range("BrokerNetwork: bad broker id");
+    }
+    return static_cast<std::size_t>(broker.value);
+  }
+
+  std::vector<BrokerRec> brokers_;
+  std::vector<ClientRec> clients_;
+};
+
+}  // namespace gryphon

@@ -1,0 +1,64 @@
+#include "topology/routing_table.h"
+
+#include <queue>
+#include <tuple>
+
+namespace gryphon {
+
+RoutingTable::RoutingTable(const BrokerNetwork& network)
+    : network_(&network), n_(network.broker_count()) {
+  dist_.assign(n_ * n_, kUnreachable);
+  first_.assign(n_ * n_, LinkIndex{});
+  hops_.assign(n_ * n_, -1);
+
+  // Dijkstra from every source; ties broken by hop count then port order so
+  // every broker derives identical paths (needed for consistent routing).
+  for (std::size_t src = 0; src < n_; ++src) {
+    const BrokerId s{static_cast<BrokerId::rep_type>(src)};
+    using Entry = std::tuple<Ticks, int, std::size_t>;  // dist, hops, node
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist_[at(s, s)] = 0;
+    hops_[at(s, s)] = 0;
+    heap.emplace(0, 0, src);
+    while (!heap.empty()) {
+      const auto [d, h, u] = heap.top();
+      heap.pop();
+      const BrokerId bu{static_cast<BrokerId::rep_type>(u)};
+      if (d != dist_[at(s, bu)] || h != hops_[at(s, bu)]) continue;
+      const auto& ports = network.ports(bu);
+      for (std::size_t pi = 0; pi < ports.size(); ++pi) {
+        const auto& port = ports[pi];
+        if (port.kind != BrokerNetwork::PortKind::kBroker) continue;
+        const BrokerId v = port.peer_broker;
+        const Ticks nd = d + port.delay;
+        const int nh = h + 1;
+        const std::size_t slot = at(s, v);
+        if (nd < dist_[slot] || (nd == dist_[slot] && nh < hops_[slot])) {
+          dist_[slot] = nd;
+          hops_[slot] = nh;
+          // First hop: inherit from u unless u is the source itself.
+          first_[slot] = (u == src) ? LinkIndex{static_cast<LinkIndex::rep_type>(pi)}
+                                    : first_[at(s, bu)];
+          heap.emplace(nd, nh, static_cast<std::size_t>(v.value));
+        }
+      }
+    }
+  }
+}
+
+LinkIndex RoutingTable::next_hop(BrokerId from, BrokerId to) const {
+  if (from == to) return LinkIndex{};
+  return first_[at(from, to)];
+}
+
+LinkIndex RoutingTable::next_hop_to_client(BrokerId from, ClientId client) const {
+  const BrokerId home = network_->client_home(client);
+  if (home == from) return network_->client_port(client);
+  return next_hop(from, home);
+}
+
+Ticks RoutingTable::distance(BrokerId from, BrokerId to) const { return dist_[at(from, to)]; }
+
+int RoutingTable::hop_count(BrokerId from, BrokerId to) const { return hops_[at(from, to)]; }
+
+}  // namespace gryphon

@@ -1,0 +1,54 @@
+// All-pairs shortest-path routing.
+//
+// "each broker constructs a routing table mapping each possible destination
+// to the link which is the next hop along the best path to the destination"
+// (Section 3.2). Best = minimum total hop delay, computed with Dijkstra from
+// every broker.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "topology/network.h"
+
+namespace gryphon {
+
+class RoutingTable {
+ public:
+  static constexpr Ticks kUnreachable = std::numeric_limits<Ticks>::max();
+
+  explicit RoutingTable(const BrokerNetwork& network);
+
+  /// Next-hop port on `from` toward broker `to`. Invalid LinkIndex when
+  /// from == to or `to` is unreachable.
+  [[nodiscard]] LinkIndex next_hop(BrokerId from, BrokerId to) const;
+
+  /// Next-hop port on `from` toward a client: the client's own port when it
+  /// is homed on `from`, otherwise the next hop toward its home broker.
+  [[nodiscard]] LinkIndex next_hop_to_client(BrokerId from, ClientId client) const;
+
+  /// Total best-path delay between brokers (0 for from == to).
+  [[nodiscard]] Ticks distance(BrokerId from, BrokerId to) const;
+
+  /// Number of hops on the best path between brokers (0 for from == to).
+  [[nodiscard]] int hop_count(BrokerId from, BrokerId to) const;
+
+  [[nodiscard]] bool reachable(BrokerId from, BrokerId to) const {
+    return distance(from, to) != kUnreachable;
+  }
+
+ private:
+  [[nodiscard]] std::size_t at(BrokerId from, BrokerId to) const {
+    return static_cast<std::size_t>(from.value) * n_ + static_cast<std::size_t>(to.value);
+  }
+
+  const BrokerNetwork* network_;
+  std::size_t n_{0};
+  std::vector<Ticks> dist_;       // n x n
+  std::vector<LinkIndex> first_;  // n x n next-hop port indices
+  std::vector<int> hops_;         // n x n
+};
+
+}  // namespace gryphon

@@ -1,0 +1,127 @@
+#include "topology/spanning_tree.h"
+
+#include <stdexcept>
+
+namespace gryphon {
+
+SpanningTree::SpanningTree(const BrokerNetwork& network, const RoutingTable& routing,
+                           BrokerId root)
+    : network_(&network), root_(root), n_(network.broker_count()) {
+  if (!root.valid() || static_cast<std::size_t>(root.value) >= n_) {
+    throw std::invalid_argument("SpanningTree: bad root");
+  }
+  parent_.assign(n_, BrokerId{});
+  children_.assign(n_, {});
+  depth_.assign(n_, -1);
+  next_hop_.assign(n_ * n_, LinkIndex{});
+
+  // Parent of b = predecessor of b on the shortest path root -> b, found by
+  // walking next hops from the root. Deterministic tie-breaking in the
+  // routing table makes every walk consistent.
+  depth_[static_cast<std::size_t>(root.value)] = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const BrokerId b{static_cast<BrokerId::rep_type>(i)};
+    if (b == root || !routing.reachable(root, b)) continue;
+    BrokerId cur = root;
+    BrokerId prev = root;
+    int guard = 0;
+    while (cur != b) {
+      const LinkIndex hop = routing.next_hop(cur, b);
+      const auto& port = network.ports(cur).at(static_cast<std::size_t>(hop.value));
+      prev = cur;
+      cur = port.peer_broker;
+      if (++guard > static_cast<int>(n_)) {
+        throw std::logic_error("SpanningTree: routing walk did not terminate");
+      }
+    }
+    parent_[i] = prev;
+    children_[static_cast<std::size_t>(prev.value)].push_back(b);
+  }
+
+  // Depths (parents form a DAG toward the root, so iterate until fixed).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (depth_[i] >= 0 || !parent_[i].valid()) continue;
+      const int pd = depth_[static_cast<std::size_t>(parent_[i].value)];
+      if (pd >= 0) {
+        depth_[i] = pd + 1;
+        progress = true;
+      }
+    }
+  }
+
+  // Tree next hops: default to the parent port; overwrite along each
+  // root-to-destination chain with the downward port.
+  std::vector<LinkIndex> parent_port(n_, LinkIndex{});
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (parent_[i].valid()) {
+      parent_port[i] = network.port_to_broker(BrokerId{static_cast<BrokerId::rep_type>(i)},
+                                              parent_[i]);
+    }
+  }
+  for (std::size_t d = 0; d < n_; ++d) {
+    const BrokerId dest{static_cast<BrokerId::rep_type>(d)};
+    if (depth_[d] < 0) continue;  // unreachable: leave invalid
+    for (std::size_t x = 0; x < n_; ++x) {
+      if (x != d) next_hop_[x * n_ + d] = parent_port[x];
+    }
+    BrokerId below = dest;
+    BrokerId above = parent_[d];
+    while (above.valid()) {
+      next_hop_[static_cast<std::size_t>(above.value) * n_ + d] =
+          network.port_to_broker(above, below);
+      below = above;
+      above = parent_[static_cast<std::size_t>(above.value)];
+    }
+  }
+
+  // Downstream client counts per port.
+  std::vector<std::size_t> subtree_clients(n_, 0);
+  // Accumulate each broker's local clients up its ancestor chain.
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (depth_[i] < 0) continue;
+    const std::size_t local = network.clients_of(BrokerId{static_cast<BrokerId::rep_type>(i)})
+                                  .size();
+    BrokerId walk{static_cast<BrokerId::rep_type>(i)};
+    while (walk.valid()) {
+      subtree_clients[static_cast<std::size_t>(walk.value)] += local;
+      walk = parent_[static_cast<std::size_t>(walk.value)];
+    }
+  }
+  downstream_clients_.assign(n_, {});
+  for (std::size_t i = 0; i < n_; ++i) {
+    const BrokerId b{static_cast<BrokerId::rep_type>(i)};
+    const auto& ports = network.ports(b);
+    downstream_clients_[i].assign(ports.size(), 0);
+    for (std::size_t pi = 0; pi < ports.size(); ++pi) {
+      const auto& port = ports[pi];
+      if (port.kind == BrokerNetwork::PortKind::kClient) {
+        downstream_clients_[i][pi] = 1;
+      } else {
+        const BrokerId peer = port.peer_broker;
+        if (parent_[static_cast<std::size_t>(peer.value)] == b) {
+          downstream_clients_[i][pi] = subtree_clients[static_cast<std::size_t>(peer.value)];
+        }
+      }
+    }
+  }
+}
+
+bool SpanningTree::is_descendant(BrokerId descendant, BrokerId ancestor) const {
+  BrokerId walk = descendant;
+  while (walk.valid()) {
+    if (walk == ancestor) return true;
+    walk = parent_[static_cast<std::size_t>(walk.value)];
+  }
+  return false;
+}
+
+LinkIndex SpanningTree::tree_next_hop_to_client(BrokerId from, ClientId client) const {
+  const BrokerId home = network_->client_home(client);
+  if (home == from) return network_->client_port(client);
+  return tree_next_hop(from, home);
+}
+
+}  // namespace gryphon

@@ -1,0 +1,60 @@
+#include "workload/arrivals.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gryphon {
+
+namespace {
+constexpr double kTicksPerSecond = 1e6 / kMicrosPerTick;
+}
+
+PoissonArrivals::PoissonArrivals(double events_per_second) {
+  if (events_per_second <= 0) throw std::invalid_argument("PoissonArrivals: rate must be > 0");
+  rate_per_tick_ = events_per_second / kTicksPerSecond;
+}
+
+Ticks PoissonArrivals::next_gap(Rng& rng) {
+  return std::max<Ticks>(1, static_cast<Ticks>(rng.exponential(rate_per_tick_)));
+}
+
+BurstyArrivals::BurstyArrivals(double on_events_per_second, double mean_on_seconds,
+                               double mean_off_seconds) {
+  if (on_events_per_second <= 0 || mean_on_seconds <= 0 || mean_off_seconds < 0) {
+    throw std::invalid_argument("BurstyArrivals: bad parameters");
+  }
+  on_rate_per_tick_ = on_events_per_second / kTicksPerSecond;
+  mean_on_ticks_ = std::max<Ticks>(1, ticks_from_seconds(mean_on_seconds));
+  mean_off_ticks_ = ticks_from_seconds(mean_off_seconds);
+}
+
+double BurstyArrivals::mean_rate() const {
+  const double on = static_cast<double>(mean_on_ticks_);
+  const double off = static_cast<double>(mean_off_ticks_);
+  return on_rate_per_tick_ * kTicksPerSecond * (on / (on + off));
+}
+
+Ticks BurstyArrivals::next_gap(Rng& rng) {
+  Ticks gap = 0;
+  while (true) {
+    if (on_remaining_ <= 0) {
+      // Start a new cycle: an OFF pause then an ON window.
+      if (mean_off_ticks_ > 0) {
+        gap += std::max<Ticks>(
+            1, static_cast<Ticks>(rng.exponential(1.0 / static_cast<double>(mean_off_ticks_))));
+      }
+      on_remaining_ = std::max<Ticks>(
+          1, static_cast<Ticks>(rng.exponential(1.0 / static_cast<double>(mean_on_ticks_))));
+    }
+    const Ticks next = std::max<Ticks>(1, static_cast<Ticks>(rng.exponential(on_rate_per_tick_)));
+    if (next <= on_remaining_) {
+      on_remaining_ -= next;
+      return gap + next;
+    }
+    // The ON window expired before the next arrival; burn it and loop.
+    gap += on_remaining_;
+    on_remaining_ = 0;
+  }
+}
+
+}  // namespace gryphon

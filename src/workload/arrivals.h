@@ -1,0 +1,49 @@
+// Event arrival processes.
+//
+// "Events arrive at the publishing brokers according to a Poisson
+// distribution" (Section 4.1). The bursty ON/OFF process supports the
+// paper's future-work question (Section 6: "how our protocol performs with
+// bursty message loads").
+#pragma once
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace gryphon {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Ticks until the next arrival (>= 1).
+  virtual Ticks next_gap(Rng& rng) = 0;
+};
+
+/// Exponential inter-arrival gaps with the given mean rate (events/second).
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double events_per_second);
+  Ticks next_gap(Rng& rng) override;
+
+ private:
+  double rate_per_tick_;
+};
+
+/// Markov-modulated Poisson process: alternating exponentially-distributed
+/// ON periods (arrivals at `on_events_per_second`) and silent OFF periods.
+class BurstyArrivals : public ArrivalProcess {
+ public:
+  BurstyArrivals(double on_events_per_second, double mean_on_seconds, double mean_off_seconds);
+  Ticks next_gap(Rng& rng) override;
+
+  /// The long-run average rate (events/second), for comparing against a
+  /// Poisson process of equal offered load.
+  [[nodiscard]] double mean_rate() const;
+
+ private:
+  double on_rate_per_tick_;
+  Ticks mean_on_ticks_;
+  Ticks mean_off_ticks_;
+  Ticks on_remaining_{0};
+};
+
+}  // namespace gryphon

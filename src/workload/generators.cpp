@@ -1,0 +1,90 @@
+#include "workload/generators.h"
+
+#include <stdexcept>
+
+namespace gryphon {
+
+namespace {
+void require_finite_domains(const EventSchema& schema) {
+  for (const Attribute& attr : schema.attributes()) {
+    if (!attr.has_finite_domain()) {
+      throw std::invalid_argument("workload generator: attribute '" + attr.name +
+                                  "' must declare a finite domain");
+    }
+  }
+}
+
+const Value& pick_value(const Attribute& attr, const Zipf& zipf, Rng& rng,
+                        const std::vector<std::uint32_t>* permutation) {
+  const std::uint32_t rank = zipf.sample(rng);
+  std::uint32_t index = rank;
+  if (permutation != nullptr) {
+    if (permutation->size() != attr.domain.size()) {
+      throw std::invalid_argument("workload generator: permutation size mismatch");
+    }
+    index = (*permutation)[rank];
+  }
+  return attr.domain[index];
+}
+}  // namespace
+
+SubscriptionGenerator::SubscriptionGenerator(SchemaPtr schema, SubscriptionWorkloadConfig config)
+    : schema_(std::move(schema)), config_(config) {
+  if (!schema_) throw std::invalid_argument("SubscriptionGenerator: null schema");
+  require_finite_domains(*schema_);
+  double p = config_.first_non_star_probability;
+  for (const Attribute& attr : schema_->attributes()) {
+    non_star_probability_.push_back(p);
+    p *= config_.non_star_decay;
+    value_zipf_.emplace_back(attr.domain.size(), config_.zipf_skew);
+  }
+}
+
+Subscription SubscriptionGenerator::generate(
+    Rng& rng, const std::vector<std::uint32_t>* region_permutation) const {
+  std::vector<AttributeTest> tests;
+  tests.reserve(schema_->attribute_count());
+  for (std::size_t i = 0; i < schema_->attribute_count(); ++i) {
+    if (rng.chance(non_star_probability_[i])) {
+      tests.push_back(AttributeTest::equals(
+          pick_value(schema_->attribute(i), value_zipf_[i], rng, region_permutation)));
+    } else {
+      tests.push_back(AttributeTest::dont_care());
+    }
+  }
+  return Subscription(schema_, std::move(tests));
+}
+
+EventGenerator::EventGenerator(SchemaPtr schema, double zipf_skew)
+    : schema_(std::move(schema)) {
+  if (!schema_) throw std::invalid_argument("EventGenerator: null schema");
+  require_finite_domains(*schema_);
+  for (const Attribute& attr : schema_->attributes()) {
+    value_zipf_.emplace_back(attr.domain.size(), zipf_skew);
+  }
+}
+
+Event EventGenerator::generate(Rng& rng,
+                               const std::vector<std::uint32_t>* region_permutation) const {
+  std::vector<Value> values;
+  values.reserve(schema_->attribute_count());
+  for (std::size_t i = 0; i < schema_->attribute_count(); ++i) {
+    values.push_back(pick_value(schema_->attribute(i), value_zipf_[i], rng, region_permutation));
+  }
+  return Event(schema_, std::move(values));
+}
+
+double measure_selectivity(const std::vector<Subscription>& subscriptions,
+                           const std::vector<Event>& events) {
+  if (subscriptions.empty() || events.empty()) return 0.0;
+  std::uint64_t matches = 0;
+  for (const Event& event : events) {
+    for (const Subscription& sub : subscriptions) {
+      if (sub.matches(event)) ++matches;
+    }
+  }
+  return static_cast<double>(matches) /
+         (static_cast<double>(subscriptions.size()) * static_cast<double>(events.size()));
+}
+
+}  // namespace gryphon

@@ -1,0 +1,76 @@
+// Random subscription and event generators (paper Section 4.1).
+//
+// Subscriptions: attribute i is non-* with probability p0 * decay^i (the
+// paper uses p0 = 0.98 and decay 0.85 or 0.82); non-* values are drawn from
+// a zipf distribution over the attribute's finite domain. "Locality of
+// interest" is modeled by a per-region rank permutation: subscribers within
+// one subtree of the broker topology share a value-popularity order that
+// differs from the other subtrees'.
+//
+// Events: every attribute value drawn from the zipf distribution (through
+// the publisher region's permutation when locality applies).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "event/event.h"
+#include "event/schema.h"
+#include "event/subscription.h"
+
+namespace gryphon {
+
+struct SubscriptionWorkloadConfig {
+  /// Probability that the first attribute carries a test (paper: 0.98).
+  double first_non_star_probability{0.98};
+  /// Multiplicative decay of that probability per attribute (paper: 0.85
+  /// for the network-loading run, 0.82 for the matching-time run).
+  double non_star_decay{0.85};
+  /// Zipf skew for value selection (1.0 = classic zipf).
+  double zipf_skew{1.0};
+};
+
+/// Generates equality/don't-care subscriptions over a schema whose
+/// attributes all declare finite domains.
+class SubscriptionGenerator {
+ public:
+  SubscriptionGenerator(SchemaPtr schema, SubscriptionWorkloadConfig config);
+
+  /// `region_permutation`, when provided, maps zipf rank -> domain index so
+  /// different regions favour different values; it must be a permutation of
+  /// the attribute domain size (see locality_permutation()).
+  [[nodiscard]] Subscription generate(
+      Rng& rng, const std::vector<std::uint32_t>* region_permutation = nullptr) const;
+
+  [[nodiscard]] const SchemaPtr& schema() const { return schema_; }
+
+ private:
+  SchemaPtr schema_;
+  SubscriptionWorkloadConfig config_;
+  std::vector<double> non_star_probability_;  // per attribute
+  std::vector<Zipf> value_zipf_;              // per attribute
+};
+
+/// Generates complete events with zipf-distributed attribute values.
+class EventGenerator {
+ public:
+  explicit EventGenerator(SchemaPtr schema, double zipf_skew = 1.0);
+
+  [[nodiscard]] Event generate(
+      Rng& rng, const std::vector<std::uint32_t>* region_permutation = nullptr) const;
+
+  [[nodiscard]] const SchemaPtr& schema() const { return schema_; }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Zipf> value_zipf_;
+};
+
+/// Measures the average fraction of `subscriptions` matched by events from
+/// `events` — the "selectivity" the paper quotes (0.1%, 1.3%).
+double measure_selectivity(const std::vector<Subscription>& subscriptions,
+                           const std::vector<Event>& events);
+
+}  // namespace gryphon

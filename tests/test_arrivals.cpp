@@ -1,0 +1,91 @@
+#include "workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+namespace gryphon {
+namespace {
+
+constexpr double kTicksPerSecond = 1e6 / kMicrosPerTick;
+
+TEST(Ticks, Conversions) {
+  EXPECT_EQ(ticks_from_micros(12.0), 1);
+  EXPECT_EQ(ticks_from_millis(1.0), 83);  // 1000 / 12 rounded
+  EXPECT_EQ(ticks_from_millis(65.0), 5417);
+  EXPECT_NEAR(ticks_to_millis(ticks_from_millis(25.0)), 25.0, 0.1);
+  EXPECT_NEAR(ticks_to_seconds(ticks_from_seconds(2.0)), 2.0, 1e-3);
+}
+
+TEST(PoissonArrivals, MeanGapMatchesRate) {
+  PoissonArrivals arrivals(100.0);  // 100 events/second
+  Rng rng(8);
+  const int n = 20000;
+  Ticks total = 0;
+  for (int i = 0; i < n; ++i) total += arrivals.next_gap(rng);
+  const double mean_gap_seconds = static_cast<double>(total) / n / kTicksPerSecond;
+  EXPECT_NEAR(mean_gap_seconds, 0.01, 0.001);
+}
+
+TEST(PoissonArrivals, GapsArePositive) {
+  PoissonArrivals arrivals(1e6);  // extremely fast: gaps clamp to 1 tick
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(arrivals.next_gap(rng), 1);
+}
+
+TEST(PoissonArrivals, RejectsBadRate) {
+  EXPECT_THROW(PoissonArrivals(0.0), std::invalid_argument);
+  EXPECT_THROW(PoissonArrivals(-1.0), std::invalid_argument);
+}
+
+TEST(BurstyArrivals, MeanRateAccountsForOffPeriods) {
+  BurstyArrivals arrivals(200.0, 1.0, 1.0);  // 50% duty cycle
+  EXPECT_NEAR(arrivals.mean_rate(), 100.0, 1.0);
+}
+
+TEST(BurstyArrivals, LongRunRateApproximatesMeanRate) {
+  BurstyArrivals arrivals(200.0, 0.5, 0.5);
+  Rng rng(77);
+  const int n = 20000;
+  Ticks total = 0;
+  for (int i = 0; i < n; ++i) total += arrivals.next_gap(rng);
+  const double seconds = static_cast<double>(total) / kTicksPerSecond;
+  const double rate = n / seconds;
+  EXPECT_NEAR(rate, arrivals.mean_rate(), arrivals.mean_rate() * 0.1);
+}
+
+TEST(BurstyArrivals, BurstierThanPoissonAtSameRate) {
+  // Compare squared-coefficient-of-variation of inter-arrival gaps: the
+  // ON/OFF process must be more variable than Poisson (CV^2 = 1).
+  BurstyArrivals bursty(1000.0, 0.05, 0.45);  // 10% duty cycle
+  Rng rng(5);
+  const int n = 20000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double gap = static_cast<double>(bursty.next_gap(rng));
+    sum += gap;
+    sum_sq += gap * gap;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  const double cv2 = variance / (mean * mean);
+  EXPECT_GT(cv2, 2.0);
+}
+
+TEST(BurstyArrivals, RejectsBadParameters) {
+  EXPECT_THROW(BurstyArrivals(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(BurstyArrivals(10.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(BurstyArrivals(10.0, 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(BurstyArrivals, ZeroOffIsPurePoisson) {
+  BurstyArrivals arrivals(100.0, 1.0, 0.0);
+  EXPECT_NEAR(arrivals.mean_rate(), 100.0, 1e-6);
+  Rng rng(3);
+  const int n = 10000;
+  Ticks total = 0;
+  for (int i = 0; i < n; ++i) total += arrivals.next_gap(rng);
+  const double rate = n / (static_cast<double>(total) / kTicksPerSecond);
+  EXPECT_NEAR(rate, 100.0, 10.0);
+}
+
+}  // namespace
+}  // namespace gryphon

@@ -1,0 +1,164 @@
+#include "broker/broker_core.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "topology/builders.h"
+#include "workload/generators.h"
+
+namespace gryphon {
+namespace {
+
+Subscription sub_eq(const SchemaPtr& schema, std::vector<int> values) {
+  std::vector<AttributeTest> tests;
+  for (const int v : values) {
+    tests.push_back(v < 0 ? AttributeTest::dont_care() : AttributeTest::equals(Value(v)));
+  }
+  return Subscription(schema, std::move(tests));
+}
+
+Event ev(const SchemaPtr& schema, std::vector<int> values) {
+  std::vector<Value> v;
+  for (const int x : values) v.emplace_back(x);
+  return Event(schema, std::move(v));
+}
+
+BrokerNetwork broker_only_line(std::size_t n) { return make_line(n, 10, 0, 1); }
+
+class BrokerCoreTest : public ::testing::Test {
+ protected:
+  SchemaPtr schema_ = make_synthetic_schema(4, 3);
+  BrokerNetwork topo_ = broker_only_line(3);
+};
+
+TEST_F(BrokerCoreTest, RejectsTopologyWithClients) {
+  const auto with_clients = make_line(2, 10, 1, 1);
+  EXPECT_THROW(BrokerCore(BrokerId{0}, with_clients, {schema_}), std::invalid_argument);
+}
+
+TEST_F(BrokerCoreTest, NeighborsFollowPortOrder) {
+  BrokerCore core(BrokerId{1}, topo_, {schema_});
+  EXPECT_EQ(core.neighbors(), (std::vector<BrokerId>{BrokerId{0}, BrokerId{2}}));
+}
+
+TEST_F(BrokerCoreTest, RoutesTowardRemoteOwner) {
+  BrokerCore core(BrokerId{0}, topo_, {schema_});
+  core.add_subscription(0, SubscriptionId{1}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{2});
+
+  const auto hit = core.route(0, ev(schema_, {1, 0, 0, 0}), BrokerId{0});
+  EXPECT_EQ(hit.forward, (std::vector<BrokerId>{BrokerId{1}}));
+  EXPECT_FALSE(hit.deliver_locally);
+
+  const auto miss = core.route(0, ev(schema_, {2, 0, 0, 0}), BrokerId{0});
+  EXPECT_TRUE(miss.forward.empty());
+  EXPECT_FALSE(miss.deliver_locally);
+}
+
+TEST_F(BrokerCoreTest, LocalDeliveryFlagAndMatchLocal) {
+  BrokerCore core(BrokerId{1}, topo_, {schema_});
+  core.add_subscription(0, SubscriptionId{1}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{1});
+  core.add_subscription(0, SubscriptionId{2}, sub_eq(schema_, {1, 2, -1, -1}), BrokerId{1});
+  core.add_subscription(0, SubscriptionId{3}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{0});
+
+  const auto decision = core.route(0, ev(schema_, {1, 2, 0, 0}), BrokerId{1});
+  EXPECT_TRUE(decision.deliver_locally);
+  EXPECT_EQ(decision.forward, (std::vector<BrokerId>{BrokerId{0}}));
+
+  auto local = core.match_local(0, ev(schema_, {1, 2, 0, 0}));
+  std::sort(local.begin(), local.end());
+  EXPECT_EQ(local, (std::vector<SubscriptionId>{SubscriptionId{1}, SubscriptionId{2}}));
+}
+
+TEST_F(BrokerCoreTest, NoUpstreamForwarding) {
+  // Event arrives at broker 2 on the tree rooted at 0; the only subscriber
+  // is at broker 0 (upstream). Broker 2 must not bounce it back.
+  BrokerCore core(BrokerId{2}, topo_, {schema_});
+  core.add_subscription(0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}), BrokerId{0});
+  const auto decision = core.route(0, ev(schema_, {0, 0, 0, 0}), BrokerId{0});
+  EXPECT_TRUE(decision.forward.empty());
+  EXPECT_FALSE(decision.deliver_locally);
+}
+
+TEST_F(BrokerCoreTest, HopByHopDeliveryMatchesCentralMatch) {
+  // Three cores, one per broker, sharing the subscription set; walk events
+  // through route() decisions and compare against match_all ownership.
+  std::vector<std::unique_ptr<BrokerCore>> cores;
+  for (int b = 0; b < 3; ++b) {
+    cores.push_back(std::make_unique<BrokerCore>(BrokerId{b}, topo_,
+                                                 std::vector<SchemaPtr>{schema_}));
+  }
+  Rng rng(88);
+  SubscriptionGenerator gen(schema_, SubscriptionWorkloadConfig{0.9, 0.85, 1.0});
+  for (std::int64_t i = 0; i < 150; ++i) {
+    const auto s = gen.generate(rng);
+    const BrokerId owner{static_cast<BrokerId::rep_type>(rng.below(3))};
+    for (auto& core : cores) core->add_subscription(0, SubscriptionId{i}, s, owner);
+  }
+
+  EventGenerator events(schema_);
+  for (int i = 0; i < 60; ++i) {
+    const Event e = events.generate(rng);
+    for (int root = 0; root < 3; ++root) {
+      std::set<std::int64_t> delivered;
+      std::vector<BrokerId> frontier{BrokerId{root}};
+      std::set<int> visited;
+      while (!frontier.empty()) {
+        const BrokerId at = frontier.back();
+        frontier.pop_back();
+        ASSERT_TRUE(visited.insert(at.value).second);
+        const auto d = cores[static_cast<std::size_t>(at.value)]->route(0, e, BrokerId{root});
+        for (const BrokerId next : d.forward) frontier.push_back(next);
+        if (d.deliver_locally) {
+          for (const SubscriptionId id :
+               cores[static_cast<std::size_t>(at.value)]->match_local(0, e)) {
+            delivered.insert(id.value);
+          }
+        }
+      }
+      std::set<std::int64_t> expected;
+      for (const SubscriptionId id : cores[0]->match_all(0, e)) expected.insert(id.value);
+      EXPECT_EQ(delivered, expected);
+    }
+  }
+}
+
+TEST_F(BrokerCoreTest, MultipleInformationSpaces) {
+  const auto other = make_synthetic_schema(2, 2, "other");
+  BrokerCore core(BrokerId{0}, topo_, {schema_, other});
+  EXPECT_EQ(core.space_count(), 2u);
+  EXPECT_EQ(core.schema(1)->name(), "other");
+  core.add_subscription(1, SubscriptionId{1}, sub_eq(other, {1, -1}), BrokerId{0});
+  EXPECT_TRUE(core.route(1, ev(other, {1, 0}), BrokerId{0}).deliver_locally);
+  EXPECT_FALSE(core.route(0, ev(schema_, {1, 0, 0, 0}), BrokerId{0}).deliver_locally);
+  EXPECT_THROW((void)core.schema(2), std::invalid_argument);
+  EXPECT_THROW(core.add_subscription(5, SubscriptionId{2}, sub_eq(other, {1, -1}), BrokerId{0}),
+               std::invalid_argument);
+}
+
+TEST_F(BrokerCoreTest, RemoveSubscriptionStopsRouting) {
+  BrokerCore core(BrokerId{0}, topo_, {schema_});
+  core.add_subscription(0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}), BrokerId{2});
+  EXPECT_FALSE(core.route(0, ev(schema_, {0, 0, 0, 0}), BrokerId{0}).forward.empty());
+  EXPECT_TRUE(core.remove_subscription(SubscriptionId{1}));
+  EXPECT_TRUE(core.route(0, ev(schema_, {0, 0, 0, 0}), BrokerId{0}).forward.empty());
+  EXPECT_FALSE(core.remove_subscription(SubscriptionId{1}));
+}
+
+TEST_F(BrokerCoreTest, OwnerLookupAndValidation) {
+  BrokerCore core(BrokerId{0}, topo_, {schema_});
+  core.add_subscription(0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}), BrokerId{2});
+  EXPECT_EQ(core.owner_of(SubscriptionId{1}), BrokerId{2});
+  EXPECT_THROW((void)core.owner_of(SubscriptionId{9}), std::invalid_argument);
+  EXPECT_THROW(core.add_subscription(0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}),
+                                     BrokerId{0}),
+               std::invalid_argument);  // duplicate id
+  EXPECT_THROW(core.add_subscription(0, SubscriptionId{2}, sub_eq(schema_, {-1, -1, -1, -1}),
+                                     BrokerId{77}),
+               std::invalid_argument);  // bad owner
+}
+
+}  // namespace
+}  // namespace gryphon

@@ -1,0 +1,137 @@
+#include "event/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "event/parser.h"
+
+namespace gryphon {
+namespace {
+
+SchemaPtr stock_schema() {
+  return make_schema("trades", {Attribute{"issue", AttributeType::kString, {}},
+                                Attribute{"price", AttributeType::kDouble, {}},
+                                Attribute{"volume", AttributeType::kInt, {}},
+                                Attribute{"urgent", AttributeType::kBool, {}}});
+}
+
+TEST(Codec, ScalarRoundTrips) {
+  Encoder enc;
+  enc.put_u8(0xAB);
+  enc.put_u16(0x1234);
+  enc.put_u32(0xDEADBEEF);
+  enc.put_u64(0x0123456789ABCDEFULL);
+  enc.put_i64(-42);
+  enc.put_f64(3.14159);
+  enc.put_string("hello");
+  const auto buffer = enc.take();
+
+  Decoder dec(buffer);
+  EXPECT_EQ(dec.get_u8(), 0xAB);
+  EXPECT_EQ(dec.get_u16(), 0x1234);
+  EXPECT_EQ(dec.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.get_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(dec.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(dec.get_f64(), 3.14159);
+  EXPECT_EQ(dec.get_string(), "hello");
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Codec, LittleEndianLayout) {
+  Encoder enc;
+  enc.put_u32(0x01020304);
+  const auto& buffer = enc.buffer();
+  ASSERT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer[0], 0x04);
+  EXPECT_EQ(buffer[3], 0x01);
+}
+
+TEST(Codec, ValueRoundTrips) {
+  const std::vector<Value> values = {Value(), Value(-7), Value(2.5), Value("IBM"), Value(true),
+                                     Value(false), Value(std::string())};
+  Encoder enc;
+  for (const Value& v : values) enc.put_value(v);
+  const auto buffer = enc.take();
+  Decoder dec(buffer);
+  for (const Value& v : values) EXPECT_EQ(dec.get_value(), v);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Codec, EventRoundTrip) {
+  const auto schema = stock_schema();
+  const Event e(schema, {Value("IBM"), Value(119.5), Value(3000), Value(true)});
+  const auto bytes = encode_event(e);
+  const Event back = decode_event(schema, bytes);
+  EXPECT_TRUE(e == back);
+}
+
+TEST(Codec, EventArityMismatchThrows) {
+  const auto schema = stock_schema();
+  const Event e(schema, {Value("IBM"), Value(1.0), Value(1), Value(false)});
+  const auto bytes = encode_event(e);
+  const auto other = make_schema("s", {Attribute{"a", AttributeType::kInt, {}}});
+  EXPECT_THROW(decode_event(other, bytes), CodecError);
+}
+
+TEST(Codec, SubscriptionRoundTripAllTestKinds) {
+  const auto schema = stock_schema();
+  const Subscription sub(schema, {AttributeTest::equals(Value("IBM")),
+                                  AttributeTest::between(Value(100.0), Value(120.0), false, true),
+                                  AttributeTest::not_equals(Value(3)),
+                                  AttributeTest::dont_care()});
+  const auto bytes = encode_subscription(sub);
+  const Subscription back = decode_subscription(schema, bytes);
+  EXPECT_TRUE(sub == back);
+}
+
+TEST(Codec, ParsedSubscriptionSurvivesRoundTrip) {
+  const auto schema = stock_schema();
+  const auto sub = parse_subscription(schema, "issue='HP' & price>10 & volume<=99");
+  const Subscription back = decode_subscription(schema, encode_subscription(sub));
+  EXPECT_TRUE(sub == back);
+}
+
+TEST(Codec, TruncatedBufferThrows) {
+  const auto schema = stock_schema();
+  const Event e(schema, {Value("IBM"), Value(1.0), Value(1), Value(false)});
+  auto bytes = encode_event(e);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(decode_event(schema, bytes), CodecError);
+}
+
+TEST(Codec, EmptyBufferThrows) {
+  Decoder dec(std::span<const std::uint8_t>{});
+  EXPECT_THROW(dec.get_u8(), CodecError);
+}
+
+TEST(Codec, BadValueTagThrows) {
+  const std::vector<std::uint8_t> bogus = {0x7F};
+  Decoder dec(bogus);
+  EXPECT_THROW(dec.get_value(), CodecError);
+}
+
+TEST(Codec, BadTestKindThrows) {
+  const std::vector<std::uint8_t> bogus = {0x09};
+  Decoder dec(bogus);
+  EXPECT_THROW(dec.get_test(), CodecError);
+}
+
+TEST(Codec, BytesRoundTrip) {
+  Encoder enc;
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 255, 0};
+  enc.put_bytes(payload);
+  const auto buffer = enc.take();
+  Decoder dec(buffer);
+  EXPECT_EQ(dec.get_bytes(), payload);
+}
+
+TEST(Codec, StringWithEmbeddedNull) {
+  Encoder enc;
+  const std::string s("a\0b", 3);
+  enc.put_string(s);
+  const auto buffer = enc.take();
+  Decoder dec(buffer);
+  EXPECT_EQ(dec.get_string(), s);
+}
+
+}  // namespace
+}  // namespace gryphon

@@ -1,0 +1,89 @@
+#include "broker/event_log.h"
+
+#include <gtest/gtest.h>
+
+namespace gryphon {
+namespace {
+
+std::vector<std::uint8_t> payload(std::uint8_t tag) { return {tag, tag, tag}; }
+
+TEST(EventLog, SequencesStartAtOne) {
+  EventLog log;
+  EXPECT_EQ(log.append(0, payload(1), 10), 1u);
+  EXPECT_EQ(log.append(0, payload(2), 11), 2u);
+  EXPECT_EQ(log.last_seq(), 2u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(EventLog, UnacknowledgedReturnsSuffix) {
+  EventLog log;
+  for (std::uint8_t i = 1; i <= 5; ++i) log.append(0, payload(i), i);
+  const auto all = log.unacknowledged();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all.front()->seq, 1u);
+  const auto after3 = log.unacknowledged(3);
+  ASSERT_EQ(after3.size(), 2u);
+  EXPECT_EQ(after3.front()->seq, 4u);
+  EXPECT_EQ(after3.front()->event, payload(4));
+}
+
+TEST(EventLog, CumulativeAckCollects) {
+  EventLog log;
+  for (std::uint8_t i = 1; i <= 5; ++i) log.append(0, payload(i), i);
+  log.acknowledge(3);
+  EXPECT_EQ(log.acked_seq(), 3u);
+  EXPECT_EQ(log.size(), 2u);
+  // Acks never regress.
+  log.acknowledge(2);
+  EXPECT_EQ(log.acked_seq(), 3u);
+  log.acknowledge(5);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.last_seq(), 5u);
+}
+
+TEST(EventLog, SequencesSurviveCollection) {
+  EventLog log;
+  log.append(0, payload(1), 1);
+  log.acknowledge(1);
+  EXPECT_EQ(log.append(0, payload(2), 2), 2u);  // numbering continues
+}
+
+TEST(EventLog, GarbageCollectorDropsOldEntries) {
+  EventLog log;
+  log.append(0, payload(1), 100);
+  log.append(0, payload(2), 200);
+  log.append(0, payload(3), 900);
+  // Retention 500 at time 1000: entries logged before 500 die.
+  EXPECT_EQ(log.collect(1000, 500), 2u);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.unacknowledged().front()->seq, 3u);
+}
+
+TEST(EventLog, CollectorKeepsFreshEntries) {
+  EventLog log;
+  log.append(0, payload(1), 990);
+  EXPECT_EQ(log.collect(1000, 500), 0u);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(EventLog, SpaceTagPreserved) {
+  EventLog log;
+  log.append(7, payload(1), 1);
+  EXPECT_EQ(log.unacknowledged().front()->space, 7u);
+}
+
+TEST(EventLog, ReplayAfterReconnectScenario) {
+  // The paper's transient-failure story: deliveries 1-2 acked, client
+  // disconnects, 3-5 accumulate, client reconnects having seen up to 2.
+  EventLog log;
+  for (std::uint8_t i = 1; i <= 2; ++i) log.append(0, payload(i), i);
+  log.acknowledge(2);
+  for (std::uint8_t i = 3; i <= 5; ++i) log.append(0, payload(i), i);
+  const auto replay = log.unacknowledged(2);
+  ASSERT_EQ(replay.size(), 3u);
+  EXPECT_EQ(replay[0]->seq, 3u);
+  EXPECT_EQ(replay[2]->seq, 5u);
+}
+
+}  // namespace
+}  // namespace gryphon

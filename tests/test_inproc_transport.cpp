@@ -1,0 +1,164 @@
+#include "broker/inproc_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gryphon {
+namespace {
+
+struct Recorder : TransportHandler {
+  std::vector<ConnId> connects;
+  std::vector<std::pair<ConnId, std::vector<std::uint8_t>>> frames;
+  std::vector<ConnId> disconnects;
+
+  void on_connect(ConnId conn) override { connects.push_back(conn); }
+  void on_frame(ConnId conn, std::span<const std::uint8_t> frame) override {
+    frames.emplace_back(conn, std::vector<std::uint8_t>(frame.begin(), frame.end()));
+  }
+  void on_disconnect(ConnId conn) override { disconnects.push_back(conn); }
+};
+
+TEST(InProcTransport, ConnectNotifiesCallee) {
+  InProcNetwork net;
+  Recorder a, b;
+  net.create_endpoint("a")->set_handler(&a);
+  net.create_endpoint("b")->set_handler(&b);
+  const ConnId conn = net.connect("a", "b");
+  EXPECT_GT(conn, 0);
+  ASSERT_EQ(b.connects.size(), 1u);
+  EXPECT_TRUE(a.connects.empty());
+}
+
+TEST(InProcTransport, FramesFlowBothWays) {
+  InProcNetwork net;
+  Recorder a, b;
+  auto* ea = net.create_endpoint("a");
+  auto* eb = net.create_endpoint("b");
+  ea->set_handler(&a);
+  eb->set_handler(&b);
+  const ConnId a_conn = net.connect("a", "b");
+  const ConnId b_conn = b.connects.at(0);
+
+  ea->send(a_conn, {1, 2, 3});
+  eb->send(b_conn, {9});
+  EXPECT_EQ(net.pending(), 2u);
+  EXPECT_EQ(net.pump(), 2u);
+  ASSERT_EQ(b.frames.size(), 1u);
+  EXPECT_EQ(b.frames[0].second, (std::vector<std::uint8_t>{1, 2, 3}));
+  ASSERT_EQ(a.frames.size(), 1u);
+  EXPECT_EQ(a.frames[0].second, (std::vector<std::uint8_t>{9}));
+}
+
+TEST(InProcTransport, FifoOrderPreserved) {
+  InProcNetwork net;
+  Recorder b;
+  auto* ea = net.create_endpoint("a");
+  net.create_endpoint("b")->set_handler(&b);
+  const ConnId conn = net.connect("a", "b");
+  for (std::uint8_t i = 0; i < 10; ++i) ea->send(conn, {i});
+  net.pump();
+  ASSERT_EQ(b.frames.size(), 10u);
+  for (std::uint8_t i = 0; i < 10; ++i) EXPECT_EQ(b.frames[i].second[0], i);
+}
+
+TEST(InProcTransport, PumpSomeDeliversPartially) {
+  InProcNetwork net;
+  Recorder b;
+  auto* ea = net.create_endpoint("a");
+  net.create_endpoint("b")->set_handler(&b);
+  const ConnId conn = net.connect("a", "b");
+  for (std::uint8_t i = 0; i < 5; ++i) ea->send(conn, {i});
+  EXPECT_EQ(net.pump_some(2), 2u);
+  EXPECT_EQ(b.frames.size(), 2u);
+  EXPECT_EQ(net.pending(), 3u);
+}
+
+TEST(InProcTransport, CascadingSendsDuringPumpAreDelivered) {
+  // A handler that replies during on_frame: pump() must drain those too.
+  struct Echo : TransportHandler {
+    InProcEndpoint* self{nullptr};
+    void on_connect(ConnId) override {}
+    void on_frame(ConnId conn, std::span<const std::uint8_t> frame) override {
+      if (frame[0] < 3) {
+        std::vector<std::uint8_t> next(frame.begin(), frame.end());
+        ++next[0];
+        self->send(conn, std::move(next));
+      }
+    }
+    void on_disconnect(ConnId) override {}
+  };
+  InProcNetwork net;
+  Echo a, b;
+  auto* ea = net.create_endpoint("a");
+  auto* eb = net.create_endpoint("b");
+  a.self = ea;
+  b.self = eb;
+  ea->set_handler(&a);
+  eb->set_handler(&b);
+  const ConnId conn = net.connect("a", "b");
+  ea->send(conn, {0});
+  // 0 -> b replies 1 -> a replies 2 -> b replies 3 -> a stops.
+  EXPECT_EQ(net.pump(), 4u);
+  EXPECT_EQ(net.pending(), 0u);
+}
+
+TEST(InProcTransport, DropNotifiesBothSidesAndKillsQueuedFrames) {
+  InProcNetwork net;
+  Recorder a, b;
+  auto* ea = net.create_endpoint("a");
+  net.create_endpoint("b")->set_handler(&b);
+  ea->set_handler(&a);
+  const ConnId conn = net.connect("a", "b");
+  ea->send(conn, {1});
+  net.drop("a", conn);
+  EXPECT_EQ(net.pump(), 0u);  // queued frame died with the connection
+  EXPECT_EQ(a.disconnects.size(), 1u);
+  EXPECT_EQ(b.disconnects.size(), 1u);
+  EXPECT_TRUE(b.frames.empty());
+}
+
+TEST(InProcTransport, SendAfterCloseIsSilentNoOp) {
+  InProcNetwork net;
+  Recorder b;
+  auto* ea = net.create_endpoint("a");
+  net.create_endpoint("b")->set_handler(&b);
+  const ConnId conn = net.connect("a", "b");
+  ea->close(conn);
+  ea->send(conn, {1});
+  EXPECT_EQ(net.pump(), 0u);
+  EXPECT_TRUE(b.frames.empty());
+}
+
+TEST(InProcTransport, ReconnectCreatesFreshConnection) {
+  InProcNetwork net;
+  Recorder a, b;
+  auto* ea = net.create_endpoint("a");
+  net.create_endpoint("b")->set_handler(&b);
+  ea->set_handler(&a);
+  const ConnId first = net.connect("a", "b");
+  net.drop("a", first);
+  const ConnId second = net.connect("a", "b");
+  EXPECT_NE(first, second);
+  ea->send(second, {42});
+  net.pump();
+  ASSERT_EQ(b.frames.size(), 1u);
+}
+
+TEST(InProcTransport, UnknownEndpointThrows) {
+  InProcNetwork net;
+  net.create_endpoint("a");
+  EXPECT_THROW(net.connect("a", "ghost"), std::invalid_argument);
+  EXPECT_THROW(net.drop("ghost", 1), std::invalid_argument);
+}
+
+TEST(InProcTransport, EndpointNamesAreStable) {
+  InProcNetwork net;
+  auto* first = net.create_endpoint("x");
+  auto* again = net.create_endpoint("x");
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(first->name(), "x");
+}
+
+}  // namespace
+}  // namespace gryphon

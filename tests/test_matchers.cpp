@@ -1,0 +1,184 @@
+// Cross-checks the three matcher implementations against each other and
+// against brute-force predicate evaluation on randomized workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.h"
+#include "matching/gating_matcher.h"
+#include "matching/naive_matcher.h"
+#include "matching/pst_matcher.h"
+#include "workload/generators.h"
+
+namespace gryphon {
+namespace {
+
+enum class Kind { kNaive, kGating, kPst, kPstFactored };
+
+std::unique_ptr<Matcher> make_matcher(Kind kind, const SchemaPtr& schema) {
+  switch (kind) {
+    case Kind::kNaive: return std::make_unique<NaiveMatcher>();
+    case Kind::kGating: return std::make_unique<GatingMatcher>(schema);
+    case Kind::kPst: return std::make_unique<PstMatcher>(schema);
+    case Kind::kPstFactored: {
+      PstMatcherOptions options;
+      options.factoring_levels = 2;
+      return std::make_unique<PstMatcher>(schema, options);
+    }
+  }
+  return nullptr;
+}
+
+class MatcherParity : public ::testing::TestWithParam<Kind> {
+ protected:
+  SchemaPtr schema_ = make_synthetic_schema(6, 4);
+};
+
+TEST_P(MatcherParity, AgreesWithBruteForceUnderChurn) {
+  Rng rng(2024);
+  SubscriptionGenerator gen(schema_, SubscriptionWorkloadConfig{0.9, 0.85, 1.0});
+  EventGenerator events(schema_);
+  auto matcher = make_matcher(GetParam(), schema_);
+
+  std::vector<std::pair<SubscriptionId, Subscription>> live;
+  std::int64_t next_id = 0;
+  for (int round = 0; round < 400; ++round) {
+    if (live.empty() || rng.chance(0.65)) {
+      const Subscription s = gen.generate(rng);
+      const SubscriptionId id{next_id++};
+      matcher->add(id, s);
+      live.emplace_back(id, s);
+    } else {
+      const std::size_t pick = rng.below(live.size());
+      EXPECT_TRUE(matcher->remove(live[pick].first));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  EXPECT_EQ(matcher->subscription_count(), live.size());
+
+  for (int i = 0; i < 100; ++i) {
+    const Event e = events.generate(rng);
+    std::vector<SubscriptionId> got;
+    matcher->match(e, got);
+    std::sort(got.begin(), got.end());
+    std::vector<SubscriptionId> want;
+    for (const auto& [id, s] : live) {
+      if (s.matches(e)) want.push_back(id);
+    }
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(MatcherParity, DuplicateAddThrows) {
+  auto matcher = make_matcher(GetParam(), schema_);
+  const auto sub = Subscription::match_all(schema_);
+  matcher->add(SubscriptionId{1}, sub);
+  EXPECT_THROW(matcher->add(SubscriptionId{1}, sub), std::invalid_argument);
+}
+
+TEST_P(MatcherParity, RemoveUnknownReturnsFalse) {
+  auto matcher = make_matcher(GetParam(), schema_);
+  EXPECT_FALSE(matcher->remove(SubscriptionId{404}));
+}
+
+TEST_P(MatcherParity, RangeSubscriptionsSupported) {
+  auto matcher = make_matcher(GetParam(), schema_);
+  std::vector<AttributeTest> tests(6);
+  tests[1] = AttributeTest::between(Value(1), Value(2));
+  tests[4] = AttributeTest::not_equals(Value(0));
+  matcher->add(SubscriptionId{7}, Subscription(schema_, tests));
+
+  const Event hit(schema_, {Value(0), Value(2), Value(0), Value(0), Value(3), Value(0)});
+  const Event miss(schema_, {Value(0), Value(3), Value(0), Value(0), Value(3), Value(0)});
+  std::vector<SubscriptionId> out;
+  matcher->match(hit, out);
+  EXPECT_EQ(out, (std::vector<SubscriptionId>{SubscriptionId{7}}));
+  out.clear();
+  matcher->match(miss, out);
+  EXPECT_TRUE(out.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatchers, MatcherParity,
+                         ::testing::Values(Kind::kNaive, Kind::kGating, Kind::kPst,
+                                           Kind::kPstFactored),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Kind::kNaive: return "Naive";
+                             case Kind::kGating: return "Gating";
+                             case Kind::kPst: return "Pst";
+                             case Kind::kPstFactored: return "PstFactored";
+                           }
+                           return "?";
+                         });
+
+TEST(PstVsNaiveCost, TreeBeatsScanOnSelectiveWorkloads) {
+  const auto schema = make_synthetic_schema(10, 5);
+  Rng rng(5);
+  SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.98, 0.85, 1.0});
+  EventGenerator events(schema);
+  NaiveMatcher naive;
+  PstMatcher pst(schema);
+  for (std::int64_t i = 0; i < 2000; ++i) {
+    const auto s = gen.generate(rng);
+    naive.add(SubscriptionId{i}, s);
+    pst.add(SubscriptionId{i}, s);
+  }
+  MatchStats naive_stats, pst_stats;
+  std::vector<SubscriptionId> out;
+  for (int i = 0; i < 50; ++i) {
+    const Event e = events.generate(rng);
+    out.clear();
+    naive.match(e, out, &naive_stats);
+    out.clear();
+    pst.match(e, out, &pst_stats);
+  }
+  // The PST visits far fewer nodes than the scan visits subscriptions.
+  EXPECT_LT(pst_stats.nodes_visited * 2, naive_stats.nodes_visited);
+}
+
+TEST(GatingMatcher, UsesEqualityIndexWhenAvailable) {
+  const auto schema = make_synthetic_schema(4, 4);
+  GatingMatcher matcher(schema);
+  // 100 subscriptions pinned to a1 values; events probe one value.
+  for (std::int64_t i = 0; i < 100; ++i) {
+    std::vector<AttributeTest> tests(4);
+    tests[0] = AttributeTest::equals(Value(static_cast<int>(i % 4)));
+    matcher.add(SubscriptionId{i}, Subscription(schema, tests));
+  }
+  MatchStats stats;
+  std::vector<SubscriptionId> out;
+  matcher.match(Event(schema, {Value(0), Value(0), Value(0), Value(0)}), out, &stats);
+  EXPECT_EQ(out.size(), 25u);
+  // Only the 25 gated candidates had residuals evaluated.
+  EXPECT_EQ(stats.nodes_visited, 25u);
+}
+
+TEST(GatingMatcher, MatchAllSubscriptionsAlwaysEvaluated) {
+  const auto schema = make_synthetic_schema(3, 3);
+  GatingMatcher matcher(schema);
+  matcher.add(SubscriptionId{1}, Subscription::match_all(schema));
+  std::vector<SubscriptionId> out;
+  matcher.match(Event(schema, {Value(0), Value(1), Value(2)}), out);
+  EXPECT_EQ(out, (std::vector<SubscriptionId>{SubscriptionId{1}}));
+}
+
+TEST(GatingMatcher, RangeGateFallsBackToScanList) {
+  const auto schema = make_synthetic_schema(3, 4);
+  GatingMatcher matcher(schema);
+  std::vector<AttributeTest> tests(3);
+  tests[1] = AttributeTest::greater_than(Value(1));
+  matcher.add(SubscriptionId{9}, Subscription(schema, tests));
+  std::vector<SubscriptionId> out;
+  matcher.match(Event(schema, {Value(0), Value(2), Value(0)}), out);
+  EXPECT_EQ(out, (std::vector<SubscriptionId>{SubscriptionId{9}}));
+  out.clear();
+  matcher.match(Event(schema, {Value(0), Value(1), Value(0)}), out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(matcher.remove(SubscriptionId{9}));
+  EXPECT_EQ(matcher.subscription_count(), 0u);
+}
+
+}  // namespace
+}  // namespace gryphon

@@ -1,0 +1,103 @@
+// Property-based sweep: for random topologies, subscription sets, and
+// events, the link-matching protocol delivers exactly the centrally-matched
+// destination set, with at most one copy per link (TEST_P over seeds).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/content_router.h"
+#include "topology/builders.h"
+#include "workload/generators.h"
+
+namespace gryphon {
+namespace {
+
+struct Params {
+  std::uint64_t seed;
+  bool tree_like;  // add lateral links
+  std::size_t factoring_levels;
+};
+
+class RoutingProperty : public ::testing::TestWithParam<Params> {};
+
+TEST_P(RoutingProperty, ExactDeliveryOnRandomNetworks) {
+  const Params params = GetParam();
+  Rng rng(params.seed);
+  const std::size_t n_brokers = 4 + rng.below(12);
+  const auto net =
+      params.tree_like
+          ? make_random_tree_like(n_brokers, rng, 5, 40, 3, 1, 1 + rng.below(3))
+          : make_random_tree(n_brokers, rng, 5, 40, 3, 1);
+
+  const auto schema = make_synthetic_schema(5 + rng.below(4), 3 + rng.below(3));
+  std::vector<BrokerId> roots;
+  for (std::size_t b = 0; b < n_brokers; b += 1 + rng.below(3)) {
+    roots.push_back(BrokerId{static_cast<BrokerId::rep_type>(b)});
+  }
+  PstMatcherOptions options;
+  options.factoring_levels = params.factoring_levels;
+  ContentRoutingNetwork crn(net, schema, roots, options);
+
+  SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.9, 0.85, 1.0});
+  const std::size_t n_subs = 50 + rng.below(300);
+  for (std::size_t i = 0; i < n_subs; ++i) {
+    const ClientId client{static_cast<ClientId::rep_type>(rng.below(net.client_count()))};
+    crn.subscribe(SubscriptionId{static_cast<std::int64_t>(i)}, gen.generate(rng), client);
+  }
+  // Churn a little: remove a third of them.
+  for (std::size_t i = 0; i < n_subs; i += 3) {
+    crn.unsubscribe(SubscriptionId{static_cast<std::int64_t>(i)});
+  }
+  crn.check_consistency();
+
+  EventGenerator events(schema);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Event e = events.generate(rng);
+    std::set<ClientId::rep_type> expected;
+    for (const SubscriptionId id : crn.match(e)) expected.insert(crn.destination_of(id).value);
+
+    for (const BrokerId root : roots) {
+      std::set<ClientId::rep_type> delivered;
+      std::set<std::pair<int, int>> used_links;  // (broker, port): one copy each
+      std::vector<BrokerId> frontier{root};
+      std::set<int> visited;
+      while (!frontier.empty()) {
+        const BrokerId at = frontier.back();
+        frontier.pop_back();
+        ASSERT_TRUE(visited.insert(at.value).second) << "broker got two copies";
+        const auto result = crn.route(at, e, root);
+        for (const LinkIndex link : result.links) {
+          ASSERT_TRUE(used_links.insert({at.value, link.value}).second)
+              << "link carried two copies";
+          const auto& port = net.ports(at)[static_cast<std::size_t>(link.value)];
+          if (port.kind == BrokerNetwork::PortKind::kClient) {
+            ASSERT_TRUE(delivered.insert(port.peer_client.value).second)
+                << "client delivered twice";
+          } else {
+            frontier.push_back(port.peer_broker);
+          }
+        }
+      }
+      EXPECT_EQ(delivered, expected)
+          << "seed " << params.seed << " root " << root << " event " << e.to_text();
+    }
+  }
+}
+
+std::vector<Params> make_params() {
+  std::vector<Params> out;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    out.push_back({seed, seed % 2 == 0, seed % 4 == 0 ? 1u : 0u});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingProperty, ::testing::ValuesIn(make_params()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed) +
+                                  (info.param.tree_like ? "_lateral" : "_tree") +
+                                  (info.param.factoring_levels > 0 ? "_factored" : "");
+                         });
+
+}  // namespace
+}  // namespace gryphon

@@ -1,0 +1,161 @@
+// The parallel search graph: hash-consed DAG snapshot of the PST.
+#include "matching/psg.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "matching/attribute_order.h"
+#include "workload/generators.h"
+
+namespace gryphon {
+namespace {
+
+Subscription sub_eq(const SchemaPtr& schema, std::vector<int> values) {
+  std::vector<AttributeTest> tests;
+  for (const int v : values) {
+    tests.push_back(v < 0 ? AttributeTest::dont_care() : AttributeTest::equals(Value(v)));
+  }
+  return Subscription(schema, std::move(tests));
+}
+
+Event ev(const SchemaPtr& schema, std::vector<int> values) {
+  std::vector<Value> v;
+  for (const int x : values) v.emplace_back(x);
+  return Event(schema, std::move(v));
+}
+
+std::vector<SubscriptionId> sorted_match(const FrozenPsg& psg, const Event& e,
+                                         MatchStats* stats = nullptr) {
+  std::vector<SubscriptionId> out;
+  psg.match(e, out, stats);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(FrozenPsg, EmptyTreeMatchesNothing) {
+  const auto schema = make_synthetic_schema(3, 3);
+  Pst tree(schema, identity_order(schema));
+  FrozenPsg psg(tree);
+  EXPECT_TRUE(sorted_match(psg, ev(schema, {0, 0, 0})).empty());
+  EXPECT_EQ(psg.subscription_count(), 0u);
+}
+
+TEST(FrozenPsg, SharedSuffixesMerge) {
+  // Two subscriptions differing only at the first attribute: their suffix
+  // subgraphs (a2=2, then don't-cares) are isomorphic and must merge.
+  const auto schema = make_synthetic_schema(4, 3);
+  Pst tree(schema, identity_order(schema));
+  // Distinct ids prevent leaf merging; use identical leaf content instead:
+  // the shared structure here is the star chains between tested levels.
+  tree.add(SubscriptionId{1}, sub_eq(schema, {0, 2, -1, -1}));
+  tree.add(SubscriptionId{2}, sub_eq(schema, {1, 2, -1, -1}));
+  FrozenPsg psg(tree);
+  EXPECT_EQ(psg.source_node_count(), tree.live_node_count());
+  // Tree: root + 2 value nodes + 2 (a2=2) nodes + 2 star chains of 2 + 2
+  // leaves; the leaves differ (different ids) but... they do differ, so
+  // only interior structure can merge. Verify strict reduction.
+  EXPECT_LT(psg.node_count(), psg.source_node_count());
+}
+
+TEST(FrozenPsg, IdenticalLeavesNeverCarryDifferentIds) {
+  // Every id lives at exactly one tree leaf, so merged leaves are safe and
+  // no match can report duplicates.
+  const auto schema = make_synthetic_schema(3, 3);
+  Pst tree(schema, identity_order(schema));
+  for (int a = 0; a < 3; ++a) {
+    tree.add(SubscriptionId{a}, sub_eq(schema, {a, 1, -1}));
+  }
+  FrozenPsg psg(tree);
+  const auto got = sorted_match(psg, ev(schema, {2, 1, 0}));
+  EXPECT_EQ(got, (std::vector<SubscriptionId>{SubscriptionId{2}}));
+}
+
+TEST(FrozenPsg, EquivalentToTreeOnRandomWorkloads) {
+  const auto schema = make_synthetic_schema(8, 4);
+  Rng rng(2027);
+  SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.9, 0.8, 1.0});
+  Pst tree(schema, identity_order(schema));
+  for (std::int64_t i = 0; i < 3000; ++i) {
+    tree.add(SubscriptionId{i}, gen.generate(rng));
+  }
+  FrozenPsg psg(tree);
+  EXPECT_EQ(psg.subscription_count(), 3000u);
+  EXPECT_LE(psg.node_count(), psg.source_node_count());
+
+  EventGenerator events(schema);
+  std::vector<SubscriptionId> tree_out;
+  for (int i = 0; i < 200; ++i) {
+    const Event e = events.generate(rng);
+    tree_out.clear();
+    tree.match(e, tree_out);
+    std::sort(tree_out.begin(), tree_out.end());
+    const auto psg_out = sorted_match(psg, e);
+    ASSERT_EQ(psg_out, tree_out) << "event " << e.to_text();
+    // No duplicates even with shared nodes.
+    EXPECT_TRUE(std::adjacent_find(psg_out.begin(), psg_out.end()) == psg_out.end());
+  }
+}
+
+TEST(FrozenPsg, MemoizationNeverCostsMoreStepsThanTree) {
+  const auto schema = make_synthetic_schema(10, 3);
+  Rng rng(11);
+  SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.95, 0.85, 1.0});
+  Pst tree(schema, identity_order(schema));
+  for (std::int64_t i = 0; i < 5000; ++i) tree.add(SubscriptionId{i}, gen.generate(rng));
+  FrozenPsg psg(tree);
+
+  EventGenerator events(schema);
+  MatchStats tree_stats, psg_stats;
+  std::vector<SubscriptionId> scratch;
+  for (int i = 0; i < 300; ++i) {
+    const Event e = events.generate(rng);
+    scratch.clear();
+    tree.match(e, scratch, &tree_stats);
+    scratch.clear();
+    psg.match(e, scratch, &psg_stats);
+  }
+  EXPECT_LE(psg_stats.nodes_visited, tree_stats.nodes_visited);
+  EXPECT_LT(psg.node_count(), tree.live_node_count());
+}
+
+TEST(FrozenPsg, RangeBranchesSupported) {
+  const auto schema = make_synthetic_schema(3, 4);
+  Pst tree(schema, identity_order(schema));
+  std::vector<AttributeTest> tests(3);
+  tests[0] = AttributeTest::between(Value(1), Value(2));
+  tree.add(SubscriptionId{9}, Subscription(schema, tests));
+  FrozenPsg psg(tree);
+  EXPECT_EQ(sorted_match(psg, ev(schema, {1, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{9}}));
+  EXPECT_TRUE(sorted_match(psg, ev(schema, {3, 0, 0})).empty());
+}
+
+TEST(FrozenPsg, SnapshotIsImmutableUnderSourceMutation) {
+  const auto schema = make_synthetic_schema(3, 3);
+  Pst tree(schema, identity_order(schema));
+  tree.add(SubscriptionId{1}, sub_eq(schema, {0, -1, -1}));
+  FrozenPsg psg(tree);
+  tree.add(SubscriptionId{2}, sub_eq(schema, {0, -1, -1}));
+  tree.remove(SubscriptionId{1}, sub_eq(schema, {0, -1, -1}));
+  // The snapshot still answers from its own state.
+  EXPECT_EQ(sorted_match(psg, ev(schema, {0, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{1}}));
+}
+
+TEST(FrozenPsg, ManyMatchesExerciseStampReuse) {
+  const auto schema = make_synthetic_schema(4, 2);
+  Pst tree(schema, identity_order(schema));
+  tree.add(SubscriptionId{1}, sub_eq(schema, {-1, -1, -1, -1}));
+  FrozenPsg psg(tree);
+  std::vector<SubscriptionId> out;
+  for (int i = 0; i < 10000; ++i) {
+    out.clear();
+    psg.match(ev(schema, {i % 2, 0, 1, 0}), out);
+    ASSERT_EQ(out.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace gryphon

@@ -1,0 +1,307 @@
+#include "matching/pst.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "matching/attribute_order.h"
+#include "workload/generators.h"
+
+namespace gryphon {
+namespace {
+
+std::vector<SubscriptionId> sorted_match(const Pst& tree, const Event& e,
+                                         MatchStats* stats = nullptr) {
+  std::vector<SubscriptionId> out;
+  tree.match(e, out, stats);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Subscription sub_eq(const SchemaPtr& schema, std::vector<int> values /* -1 = don't care */) {
+  std::vector<AttributeTest> tests;
+  for (const int v : values) {
+    tests.push_back(v < 0 ? AttributeTest::dont_care() : AttributeTest::equals(Value(v)));
+  }
+  return Subscription(schema, std::move(tests));
+}
+
+Event ev(const SchemaPtr& schema, std::vector<int> values) {
+  std::vector<Value> v;
+  for (const int x : values) v.emplace_back(x);
+  return Event(schema, std::move(v));
+}
+
+class PstTest : public ::testing::Test {
+ protected:
+  SchemaPtr schema_ = make_synthetic_schema(5, 4);
+};
+
+TEST_F(PstTest, EmptyTreeMatchesNothing) {
+  Pst tree(schema_, identity_order(schema_));
+  EXPECT_TRUE(sorted_match(tree, ev(schema_, {0, 0, 0, 0, 0})).empty());
+  tree.check_invariants();
+}
+
+TEST_F(PstTest, SingleSubscriptionPath) {
+  Pst tree(schema_, identity_order(schema_));
+  tree.add(SubscriptionId{1}, sub_eq(schema_, {1, -1, 3, -1, 2}));
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {1, 0, 3, 0, 2})),
+            (std::vector<SubscriptionId>{SubscriptionId{1}}));
+  EXPECT_TRUE(sorted_match(tree, ev(schema_, {1, 0, 3, 0, 1})).empty());
+  EXPECT_TRUE(sorted_match(tree, ev(schema_, {2, 0, 3, 0, 2})).empty());
+  tree.check_invariants();
+}
+
+TEST_F(PstTest, ParallelSearchFollowsValueAndStar) {
+  // Paper Section 2: at each node the matching value branch AND the `*`
+  // branch are followed — 0, 1, or 2 successors with equality tests.
+  Pst tree(schema_, identity_order(schema_));
+  tree.add(SubscriptionId{1}, sub_eq(schema_, {1, 2, -1, -1, -1}));
+  tree.add(SubscriptionId{2}, sub_eq(schema_, {-1, 2, -1, -1, -1}));
+  tree.add(SubscriptionId{3}, sub_eq(schema_, {1, -1, -1, -1, -1}));
+  tree.add(SubscriptionId{4}, sub_eq(schema_, {-1, -1, -1, -1, -1}));
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {1, 2, 0, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{1}, SubscriptionId{2}, SubscriptionId{3},
+                                         SubscriptionId{4}}));
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {1, 3, 0, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{3}, SubscriptionId{4}}));
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {0, 2, 0, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{2}, SubscriptionId{4}}));
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {0, 0, 0, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{4}}));
+}
+
+TEST_F(PstTest, SharedPrefixesShareNodes) {
+  Pst tree(schema_, identity_order(schema_));
+  tree.add(SubscriptionId{1}, sub_eq(schema_, {1, 2, 3, -1, -1}));
+  const std::size_t nodes_after_first = tree.live_node_count();
+  tree.add(SubscriptionId{2}, sub_eq(schema_, {1, 2, 0, -1, -1}));
+  // Only the suffix below the shared (1, 2) prefix is new: levels 3..5.
+  EXPECT_EQ(tree.live_node_count(), nodes_after_first + 3);
+  tree.check_invariants();
+}
+
+TEST_F(PstTest, MultipleSubscribersAtOneLeaf) {
+  Pst tree(schema_, identity_order(schema_));
+  tree.add(SubscriptionId{1}, sub_eq(schema_, {1, -1, -1, -1, -1}));
+  tree.add(SubscriptionId{2}, sub_eq(schema_, {1, -1, -1, -1, -1}));
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {1, 0, 0, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{1}, SubscriptionId{2}}));
+  EXPECT_EQ(tree.subscription_count(), 2u);
+}
+
+TEST_F(PstTest, DuplicateIdAtLeafThrows) {
+  Pst tree(schema_, identity_order(schema_));
+  tree.add(SubscriptionId{1}, sub_eq(schema_, {1, -1, -1, -1, -1}));
+  EXPECT_THROW(tree.add(SubscriptionId{1}, sub_eq(schema_, {1, -1, -1, -1, -1})),
+               std::invalid_argument);
+}
+
+TEST_F(PstTest, RemoveRestoresMatchSet) {
+  Pst tree(schema_, identity_order(schema_));
+  tree.add(SubscriptionId{1}, sub_eq(schema_, {1, 2, -1, -1, -1}));
+  tree.add(SubscriptionId{2}, sub_eq(schema_, {1, -1, -1, -1, -1}));
+  ASSERT_TRUE(tree.remove(SubscriptionId{1}, sub_eq(schema_, {1, 2, -1, -1, -1})).has_value());
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {1, 2, 0, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{2}}));
+  tree.check_invariants();
+}
+
+TEST_F(PstTest, RemovePrunesEmptyPaths) {
+  Pst tree(schema_, identity_order(schema_));
+  const std::size_t empty_nodes = tree.live_node_count();
+  tree.add(SubscriptionId{1}, sub_eq(schema_, {1, 2, 3, 0, 1}));
+  const auto mutation = tree.remove(SubscriptionId{1}, sub_eq(schema_, {1, 2, 3, 0, 1}));
+  ASSERT_TRUE(mutation.has_value());
+  EXPECT_EQ(tree.live_node_count(), empty_nodes);
+  EXPECT_EQ(mutation->leaf, Pst::kNoNode);       // the leaf itself was pruned
+  EXPECT_EQ(mutation->start, tree.root());       // pruning reached the root
+  EXPECT_EQ(mutation->freed.size(), 5u);
+  tree.check_invariants();
+}
+
+TEST_F(PstTest, RemoveKeepsSharedPrefix) {
+  Pst tree(schema_, identity_order(schema_));
+  tree.add(SubscriptionId{1}, sub_eq(schema_, {1, 2, 3, -1, -1}));
+  tree.add(SubscriptionId{2}, sub_eq(schema_, {1, 2, 0, -1, -1}));
+  tree.remove(SubscriptionId{1}, sub_eq(schema_, {1, 2, 3, -1, -1}));
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {1, 2, 0, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{2}}));
+  tree.check_invariants();
+}
+
+TEST_F(PstTest, RemoveUnknownReturnsNullopt) {
+  Pst tree(schema_, identity_order(schema_));
+  tree.add(SubscriptionId{1}, sub_eq(schema_, {1, -1, -1, -1, -1}));
+  EXPECT_FALSE(tree.remove(SubscriptionId{2}, sub_eq(schema_, {1, -1, -1, -1, -1})).has_value());
+  EXPECT_FALSE(tree.remove(SubscriptionId{1}, sub_eq(schema_, {2, -1, -1, -1, -1})).has_value());
+}
+
+TEST_F(PstTest, ArenaSlotsAreReused) {
+  Pst tree(schema_, identity_order(schema_));
+  tree.add(SubscriptionId{1}, sub_eq(schema_, {1, 1, 1, 1, 1}));
+  const std::size_t slots = tree.node_slot_count();
+  tree.remove(SubscriptionId{1}, sub_eq(schema_, {1, 1, 1, 1, 1}));
+  tree.add(SubscriptionId{2}, sub_eq(schema_, {2, 2, 2, 2, 2}));
+  EXPECT_EQ(tree.node_slot_count(), slots);  // free list satisfied the add
+  tree.check_invariants();
+}
+
+TEST_F(PstTest, RangeBranches) {
+  Pst tree(schema_, identity_order(schema_));
+  std::vector<AttributeTest> tests(5);
+  tests[0] = AttributeTest::between(Value(1), Value(3));
+  tree.add(SubscriptionId{1}, Subscription(schema_, tests));
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {2, 0, 0, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{1}}));
+  EXPECT_TRUE(sorted_match(tree, ev(schema_, {0, 0, 0, 0, 0})).empty());
+  tree.check_invariants();
+}
+
+TEST_F(PstTest, OverlappingRangesBothMatch) {
+  Pst tree(schema_, identity_order(schema_));
+  std::vector<AttributeTest> t1(5), t2(5);
+  t1[0] = AttributeTest::between(Value(0), Value(2));
+  t2[0] = AttributeTest::between(Value(1), Value(3));
+  tree.add(SubscriptionId{1}, Subscription(schema_, t1));
+  tree.add(SubscriptionId{2}, Subscription(schema_, t2));
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {1, 0, 0, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{1}, SubscriptionId{2}}));
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {0, 0, 0, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{1}}));
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {3, 0, 0, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{2}}));
+}
+
+TEST_F(PstTest, IdenticalRangeTestsShareBranch) {
+  Pst tree(schema_, identity_order(schema_));
+  std::vector<AttributeTest> t1(5), t2(5);
+  t1[0] = AttributeTest::between(Value(0), Value(2));
+  t2[0] = AttributeTest::between(Value(0), Value(2));
+  t2[1] = AttributeTest::equals(Value(1));
+  tree.add(SubscriptionId{1}, Subscription(schema_, t1));
+  const std::size_t after_first = tree.live_node_count();
+  tree.add(SubscriptionId{2}, Subscription(schema_, t2));
+  // Shares the range branch at level 0; adds a new path below it.
+  EXPECT_EQ(tree.live_node_count(), after_first + 4);
+}
+
+TEST_F(PstTest, CustomAttributeOrder) {
+  // Test attribute 4 at the root.
+  Pst tree(schema_, {4, 0, 1, 2, 3});
+  tree.add(SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1, 3}));
+  MatchStats stats;
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {0, 0, 0, 0, 3}), &stats),
+            (std::vector<SubscriptionId>{SubscriptionId{1}}));
+  // With the selective attribute at the root and trivial-test elimination,
+  // the search is: root -> (skip star chain) -> leaf = 2 visited nodes.
+  EXPECT_EQ(stats.nodes_visited, 2u);
+}
+
+TEST_F(PstTest, TrivialTestEliminationReducesSteps) {
+  Pst::Options no_tte;
+  no_tte.trivial_test_elimination = false;
+  Pst plain(schema_, identity_order(schema_), no_tte);
+  Pst optimized(schema_, identity_order(schema_));
+  const auto sub = sub_eq(schema_, {1, -1, -1, -1, -1});
+  plain.add(SubscriptionId{1}, sub);
+  optimized.add(SubscriptionId{1}, sub);
+
+  MatchStats plain_stats, opt_stats;
+  const auto e = ev(schema_, {1, 0, 0, 0, 0});
+  EXPECT_EQ(sorted_match(plain, e, &plain_stats), sorted_match(optimized, e, &opt_stats));
+  // Plain visits root + the a1=1 node + the star chain + the leaf (6); the
+  // optimized tree skips the star-only chain entirely: root, then the a1=1
+  // node collapses through the chain onto the leaf.
+  EXPECT_EQ(plain_stats.nodes_visited, 6u);
+  EXPECT_EQ(opt_stats.nodes_visited, 2u);
+}
+
+TEST_F(PstTest, StepCountsGrowSublinearly) {
+  // The companion-paper claim: matching cost grows less than linearly in
+  // the number of subscriptions. Verify the trend on random workloads.
+  Rng rng(7);
+  SubscriptionGenerator gen(schema_, SubscriptionWorkloadConfig{0.9, 0.9, 1.0});
+  EventGenerator events(schema_);
+  Pst tree(schema_, identity_order(schema_));
+  std::int64_t next_id = 0;
+
+  const auto steps_for_100_events = [&] {
+    Rng ev_rng(1234);
+    MatchStats stats;
+    std::vector<SubscriptionId> out;
+    for (int i = 0; i < 100; ++i) {
+      out.clear();
+      tree.match(events.generate(ev_rng), out, &stats);
+    }
+    return stats.nodes_visited;
+  };
+
+  std::vector<Subscription> kept;
+  for (int i = 0; i < 500; ++i) {
+    const auto s = gen.generate(rng);
+    tree.add(SubscriptionId{next_id++}, s);
+  }
+  const auto steps_500 = steps_for_100_events();
+  for (int i = 0; i < 1500; ++i) {
+    tree.add(SubscriptionId{next_id++}, gen.generate(rng));
+  }
+  const auto steps_2000 = steps_for_100_events();
+  // 4x subscriptions must cost well under 4x the steps.
+  EXPECT_LT(static_cast<double>(steps_2000), 3.0 * static_cast<double>(steps_500));
+  tree.check_invariants();
+}
+
+TEST_F(PstTest, RandomizedAddRemoveKeepsInvariantsAndSemantics) {
+  Rng rng(99);
+  SubscriptionGenerator gen(schema_, SubscriptionWorkloadConfig{0.9, 0.85, 1.0});
+  EventGenerator events(schema_);
+  Pst tree(schema_, identity_order(schema_));
+  std::vector<std::pair<SubscriptionId, Subscription>> live;
+  std::int64_t next_id = 0;
+
+  for (int round = 0; round < 300; ++round) {
+    if (live.empty() || rng.chance(0.6)) {
+      const Subscription s = gen.generate(rng);
+      const SubscriptionId id{next_id++};
+      tree.add(id, s);
+      live.emplace_back(id, s);
+    } else {
+      const std::size_t pick = rng.below(live.size());
+      ASSERT_TRUE(tree.remove(live[pick].first, live[pick].second).has_value());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (round % 50 == 0) tree.check_invariants();
+  }
+  tree.check_invariants();
+
+  // Semantics: tree matches exactly the brute-force evaluation.
+  for (int i = 0; i < 50; ++i) {
+    const Event e = events.generate(rng);
+    std::vector<SubscriptionId> expected;
+    for (const auto& [id, s] : live) {
+      if (s.matches(e)) expected.push_back(id);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(sorted_match(tree, e), expected);
+  }
+}
+
+TEST_F(PstTest, OrderValidation) {
+  EXPECT_THROW(Pst(schema_, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(Pst(schema_, {9}), std::invalid_argument);
+  EXPECT_THROW(Pst(nullptr, {}), std::invalid_argument);
+}
+
+TEST_F(PstTest, PartialOrderTreeIgnoresOtherAttributes) {
+  // A tree over a subset of attributes (factoring residue).
+  Pst tree(schema_, {2, 3, 4});
+  tree.add(SubscriptionId{1}, sub_eq(schema_, {1, 1, 3, -1, -1}));  // a1, a2 consumed elsewhere
+  EXPECT_EQ(sorted_match(tree, ev(schema_, {0, 0, 3, 0, 0})),
+            (std::vector<SubscriptionId>{SubscriptionId{1}}));
+}
+
+}  // namespace
+}  // namespace gryphon

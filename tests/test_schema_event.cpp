@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "event/event.h"
+#include "event/schema.h"
+
+namespace gryphon {
+namespace {
+
+SchemaPtr stock_schema() {
+  return make_schema("trades", {Attribute{"issue", AttributeType::kString, {}},
+                                Attribute{"price", AttributeType::kDouble, {}},
+                                Attribute{"volume", AttributeType::kInt, {}}});
+}
+
+TEST(Schema, BasicProperties) {
+  const auto schema = stock_schema();
+  EXPECT_EQ(schema->name(), "trades");
+  EXPECT_EQ(schema->attribute_count(), 3u);
+  EXPECT_EQ(schema->attribute(0).name, "issue");
+  EXPECT_EQ(schema->attribute(1).type, AttributeType::kDouble);
+}
+
+TEST(Schema, IndexLookup) {
+  const auto schema = stock_schema();
+  EXPECT_EQ(schema->index_of("volume"), std::size_t{2});
+  EXPECT_EQ(schema->index_of("nope"), std::nullopt);
+}
+
+TEST(Schema, RejectsEmpty) {
+  EXPECT_THROW(EventSchema("x", {}), std::invalid_argument);
+}
+
+TEST(Schema, RejectsDuplicateAttribute) {
+  EXPECT_THROW(make_schema("x", {Attribute{"a", AttributeType::kInt, {}},
+                                 Attribute{"a", AttributeType::kInt, {}}}),
+               std::invalid_argument);
+}
+
+TEST(Schema, RejectsDomainTypeMismatch) {
+  EXPECT_THROW(make_schema("x", {Attribute{"a", AttributeType::kInt, {Value("str")}}}),
+               std::invalid_argument);
+}
+
+TEST(Schema, AcceptsChecksTypeAndDomain) {
+  const auto schema = make_schema("x", {Attribute{"a", AttributeType::kInt, {Value(0), Value(1)}},
+                                        Attribute{"b", AttributeType::kString, {}}});
+  EXPECT_TRUE(schema->accepts(0, Value(1)));
+  EXPECT_FALSE(schema->accepts(0, Value(2)));    // outside domain
+  EXPECT_FALSE(schema->accepts(0, Value(1.0)));  // wrong type
+  EXPECT_TRUE(schema->accepts(1, Value("anything")));
+  EXPECT_FALSE(schema->accepts(9, Value(1)));  // bad index
+}
+
+TEST(Schema, SyntheticShape) {
+  const auto schema = make_synthetic_schema(10, 5);
+  EXPECT_EQ(schema->attribute_count(), 10u);
+  EXPECT_EQ(schema->attribute(0).name, "a1");
+  EXPECT_EQ(schema->attribute(9).name, "a10");
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(schema->attribute(i).domain.size(), 5u);
+    EXPECT_TRUE(schema->accepts(i, Value(4)));
+    EXPECT_FALSE(schema->accepts(i, Value(5)));
+  }
+}
+
+TEST(Event, PositionalConstruction) {
+  const auto schema = stock_schema();
+  const Event e(schema, {Value("IBM"), Value(119.5), Value(3000)});
+  EXPECT_TRUE(e.complete());
+  EXPECT_EQ(e.value(0).as_string(), "IBM");
+  EXPECT_DOUBLE_EQ(e.value(1).as_double(), 119.5);
+  EXPECT_EQ(e.value(2).as_int(), 3000);
+}
+
+TEST(Event, ArityMismatchThrows) {
+  const auto schema = stock_schema();
+  EXPECT_THROW(Event(schema, {Value("IBM")}), std::invalid_argument);
+}
+
+TEST(Event, TypeMismatchThrows) {
+  const auto schema = stock_schema();
+  EXPECT_THROW(Event(schema, {Value(1), Value(1.0), Value(1)}), std::invalid_argument);
+}
+
+TEST(Event, IncrementalConstruction) {
+  const auto schema = stock_schema();
+  Event e(schema);
+  EXPECT_FALSE(e.complete());
+  e.set("issue", Value("HP"));
+  e.set("price", Value(10.0));
+  EXPECT_FALSE(e.complete());
+  e.set(2, Value(500));
+  EXPECT_TRUE(e.complete());
+}
+
+TEST(Event, SetRejectsBadValues) {
+  const auto schema = stock_schema();
+  Event e(schema);
+  EXPECT_THROW(e.set("price", Value("not a number")), std::invalid_argument);
+  EXPECT_THROW(e.set("ghost", Value(1)), std::invalid_argument);
+  EXPECT_THROW(e.set(17, Value(1)), std::out_of_range);
+}
+
+TEST(Event, DomainEnforcedOnSet) {
+  const auto schema = make_synthetic_schema(2, 3);
+  Event e(schema);
+  EXPECT_THROW(e.set(0, Value(3)), std::invalid_argument);
+  e.set(0, Value(2));
+  EXPECT_EQ(e.value(0).as_int(), 2);
+}
+
+TEST(Event, ToTextReadable) {
+  const auto schema = stock_schema();
+  const Event e(schema, {Value("IBM"), Value(119.0), Value(3000)});
+  EXPECT_EQ(e.to_text(), "{issue: \"IBM\", price: 119, volume: 3000}");
+}
+
+TEST(Event, EqualityIsDeep) {
+  const auto schema = stock_schema();
+  const Event a(schema, {Value("A"), Value(1.0), Value(1)});
+  const Event b(schema, {Value("A"), Value(1.0), Value(1)});
+  const Event c(schema, {Value("B"), Value(1.0), Value(1)});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace gryphon

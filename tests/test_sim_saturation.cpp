@@ -1,0 +1,114 @@
+// Saturation search behaviour (Chart 1 harness).
+#include <gtest/gtest.h>
+
+#include "sim/saturation.h"
+#include "topology/builders.h"
+#include "workload/generators.h"
+
+namespace gryphon {
+namespace {
+
+TEST(Saturation, BinarySearchFindsThresholdOfSyntheticOracle) {
+  // Oracle: overloaded iff rate > 333. The search must bracket that value.
+  SaturationConfig config;
+  config.min_rate = 1.0;
+  config.max_rate = 10000.0;
+  config.relative_tolerance = 0.02;
+  const auto result = find_saturation_rate(config, [](double rate, std::uint64_t) {
+    SimResult r;
+    r.overloaded = rate > 333.0;
+    return r;
+  });
+  EXPECT_GT(result.saturation_rate, 300.0);
+  EXPECT_LE(result.saturation_rate, 333.0);
+  EXPECT_GT(result.simulations_run, 5u);
+}
+
+TEST(Saturation, AlwaysOverloadedReportsZero) {
+  SaturationConfig config;
+  const auto result = find_saturation_rate(config, [](double, std::uint64_t) {
+    SimResult r;
+    r.overloaded = true;
+    return r;
+  });
+  EXPECT_EQ(result.saturation_rate, 0.0);
+  EXPECT_EQ(result.simulations_run, 1u);
+}
+
+TEST(Saturation, NeverOverloadedReportsMaxRate) {
+  SaturationConfig config;
+  config.max_rate = 5000.0;
+  const auto result =
+      find_saturation_rate(config, [](double, std::uint64_t) { return SimResult{}; });
+  EXPECT_EQ(result.saturation_rate, 5000.0);
+}
+
+TEST(Saturation, BadBoundsThrow) {
+  SaturationConfig config;
+  config.min_rate = 100.0;
+  config.max_rate = 50.0;
+  EXPECT_THROW(find_saturation_rate(config, [](double, std::uint64_t) { return SimResult{}; }),
+               std::invalid_argument);
+}
+
+TEST(Saturation, SimulatedBrokerNetworkSaturatesMonotonically) {
+  // An end-to-end check of the Chart 1 machinery with the paper's run size
+  // (500 published events): at a modest rate the network drains, at an
+  // extreme rate it overloads, and the searched saturation rate of link
+  // matching exceeds flooding's (the Chart 1 ordering).
+  Figure6Topology topo = make_figure6();
+  const auto schema = make_synthetic_schema(10, 5);
+  Rng rng(9);
+  SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.98, 0.85, 1.0});
+  std::vector<SimSubscription> subs;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const ClientId client = topo.subscribers[rng.below(topo.subscribers.size())];
+    subs.push_back(SimSubscription{SubscriptionId{i}, gen.generate(rng), client});
+  }
+  EventGenerator ev_gen(schema);
+  std::vector<Event> events;
+  for (int i = 0; i < 500; ++i) events.push_back(ev_gen.generate(rng));
+
+  // The paper's Chart 1 parameters use 2 factoring levels (Section 4.1).
+  PstMatcherOptions matcher_options;
+  matcher_options.factoring_levels = 2;
+
+  const auto run = [&](Protocol protocol, double rate, std::uint64_t seed) {
+    SimConfig config;
+    config.protocol = protocol;
+    config.verify_deliveries = false;
+    config.drain_limit = ticks_from_seconds(5);
+    Rng sched_rng(seed);
+    const auto schedule =
+        make_poisson_schedule(topo.publisher_brokers, events.size(), rate, sched_rng);
+    BrokerSimulation sim(topo.network, schema, topo.publisher_brokers, subs, matcher_options,
+                         config);
+    return sim.run(events, schedule);
+  };
+
+  const auto lm_low = run(Protocol::kLinkMatching, 100.0, 7);
+  EXPECT_FALSE(lm_low.overloaded);
+
+  // At an absurd rate every protocol overloads (inter-arrival ~ 1 tick,
+  // well below any per-event service time).
+  const auto lm_extreme = run(Protocol::kLinkMatching, 2e6, 7);
+  EXPECT_TRUE(lm_extreme.overloaded);
+
+  SaturationConfig sat;
+  sat.min_rate = 50.0;
+  sat.max_rate = 2e6;
+  sat.relative_tolerance = 0.2;
+  sat.events = events.size();
+  const auto lm = find_saturation_rate(sat, [&](double rate, std::uint64_t seed) {
+    return run(Protocol::kLinkMatching, rate, seed);
+  });
+  const auto fl = find_saturation_rate(sat, [&](double rate, std::uint64_t seed) {
+    return run(Protocol::kFlooding, rate, seed);
+  });
+  ASSERT_GT(fl.saturation_rate, 0.0);
+  EXPECT_GT(lm.saturation_rate, fl.saturation_rate)
+      << "link matching must sustain a higher publish rate than flooding";
+}
+
+}  // namespace
+}  // namespace gryphon

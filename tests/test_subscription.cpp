@@ -1,0 +1,161 @@
+#include "event/subscription.h"
+
+#include <gtest/gtest.h>
+
+namespace gryphon {
+namespace {
+
+SchemaPtr stock_schema() {
+  return make_schema("trades", {Attribute{"issue", AttributeType::kString, {}},
+                                Attribute{"price", AttributeType::kDouble, {}},
+                                Attribute{"volume", AttributeType::kInt, {}}});
+}
+
+Event trade(const SchemaPtr& schema, const char* issue, double price, int volume) {
+  return Event(schema, {Value(issue), Value(price), Value(volume)});
+}
+
+TEST(AttributeTest, DontCareAcceptsEverything) {
+  const auto t = AttributeTest::dont_care();
+  EXPECT_TRUE(t.accepts(Value(1)));
+  EXPECT_TRUE(t.accepts(Value("x")));
+  EXPECT_TRUE(t.is_dont_care());
+}
+
+TEST(AttributeTest, Equals) {
+  const auto t = AttributeTest::equals(Value(5));
+  EXPECT_TRUE(t.accepts(Value(5)));
+  EXPECT_FALSE(t.accepts(Value(6)));
+}
+
+TEST(AttributeTest, NotEquals) {
+  const auto t = AttributeTest::not_equals(Value("IBM"));
+  EXPECT_FALSE(t.accepts(Value("IBM")));
+  EXPECT_TRUE(t.accepts(Value("HP")));
+}
+
+TEST(AttributeTest, OpenRanges) {
+  const auto lt = AttributeTest::less_than(Value(120.0));
+  EXPECT_TRUE(lt.accepts(Value(119.9)));
+  EXPECT_FALSE(lt.accepts(Value(120.0)));
+  EXPECT_FALSE(lt.accepts(Value(121.0)));
+
+  const auto le = AttributeTest::less_than(Value(120.0), /*inclusive=*/true);
+  EXPECT_TRUE(le.accepts(Value(120.0)));
+
+  const auto gt = AttributeTest::greater_than(Value(1000));
+  EXPECT_FALSE(gt.accepts(Value(1000)));
+  EXPECT_TRUE(gt.accepts(Value(1001)));
+
+  const auto ge = AttributeTest::greater_than(Value(1000), /*inclusive=*/true);
+  EXPECT_TRUE(ge.accepts(Value(1000)));
+}
+
+TEST(AttributeTest, ClosedRange) {
+  const auto t = AttributeTest::between(Value(10), Value(20));
+  EXPECT_TRUE(t.accepts(Value(10)));
+  EXPECT_TRUE(t.accepts(Value(15)));
+  EXPECT_TRUE(t.accepts(Value(20)));
+  EXPECT_FALSE(t.accepts(Value(9)));
+  EXPECT_FALSE(t.accepts(Value(21)));
+
+  const auto open = AttributeTest::between(Value(10), Value(20), false, false);
+  EXPECT_FALSE(open.accepts(Value(10)));
+  EXPECT_FALSE(open.accepts(Value(20)));
+  EXPECT_TRUE(open.accepts(Value(11)));
+}
+
+TEST(AttributeTest, StructuralEquality) {
+  EXPECT_EQ(AttributeTest::equals(Value(1)), AttributeTest::equals(Value(1)));
+  EXPECT_FALSE(AttributeTest::equals(Value(1)) == AttributeTest::equals(Value(2)));
+  EXPECT_FALSE(AttributeTest::equals(Value(1)) == AttributeTest::not_equals(Value(1)));
+  EXPECT_EQ(AttributeTest::between(Value(1), Value(2)), AttributeTest::between(Value(1), Value(2)));
+  EXPECT_FALSE(AttributeTest::between(Value(1), Value(2)) ==
+               AttributeTest::between(Value(1), Value(2), false));
+  EXPECT_EQ(AttributeTest::dont_care(), AttributeTest::dont_care());
+}
+
+TEST(Subscription, PaperExamplePredicate) {
+  // (issue="IBM" & price < 120 & volume > 1000), from the paper's Section 1.
+  const auto schema = stock_schema();
+  const Subscription sub(schema, {AttributeTest::equals(Value("IBM")),
+                                  AttributeTest::less_than(Value(120.0)),
+                                  AttributeTest::greater_than(Value(1000))});
+  EXPECT_TRUE(sub.matches(trade(schema, "IBM", 119.0, 3000)));
+  EXPECT_FALSE(sub.matches(trade(schema, "HP", 119.0, 3000)));
+  EXPECT_FALSE(sub.matches(trade(schema, "IBM", 120.0, 3000)));
+  EXPECT_FALSE(sub.matches(trade(schema, "IBM", 119.0, 1000)));
+  EXPECT_EQ(sub.specific_test_count(), 3u);
+  EXPECT_FALSE(sub.equality_only());
+}
+
+TEST(Subscription, MatchAll) {
+  const auto schema = stock_schema();
+  const auto sub = Subscription::match_all(schema);
+  EXPECT_TRUE(sub.matches(trade(schema, "X", 0.0, 0)));
+  EXPECT_EQ(sub.specific_test_count(), 0u);
+  EXPECT_TRUE(sub.equality_only());
+  EXPECT_EQ(sub.to_text(), "(*)");
+}
+
+TEST(Subscription, EqualityOnlyDetection) {
+  const auto schema = stock_schema();
+  const Subscription eq_only(schema, {AttributeTest::equals(Value("IBM")),
+                                      AttributeTest::dont_care(), AttributeTest::dont_care()});
+  EXPECT_TRUE(eq_only.equality_only());
+  const Subscription with_range(schema, {AttributeTest::dont_care(),
+                                         AttributeTest::less_than(Value(1.0)),
+                                         AttributeTest::dont_care()});
+  EXPECT_FALSE(with_range.equality_only());
+}
+
+TEST(Subscription, ArityMismatchThrows) {
+  const auto schema = stock_schema();
+  EXPECT_THROW(Subscription(schema, {AttributeTest::dont_care()}), std::invalid_argument);
+}
+
+TEST(Subscription, OperandTypeMismatchThrows) {
+  const auto schema = stock_schema();
+  EXPECT_THROW(Subscription(schema, {AttributeTest::equals(Value(1)),  // issue is string
+                                     AttributeTest::dont_care(), AttributeTest::dont_care()}),
+               std::invalid_argument);
+}
+
+TEST(Subscription, EmptyRangeThrows) {
+  const auto schema = stock_schema();
+  EXPECT_THROW(Subscription(schema, {AttributeTest::dont_care(),
+                                     AttributeTest::between(Value(20.0), Value(10.0)),
+                                     AttributeTest::dont_care()}),
+               std::invalid_argument);
+}
+
+TEST(Subscription, UnboundedRangeThrows) {
+  const auto schema = stock_schema();
+  AttributeTest t;
+  t.kind = TestKind::kRange;  // no bounds at all
+  EXPECT_THROW(Subscription(schema, {AttributeTest::dont_care(), t, AttributeTest::dont_care()}),
+               std::invalid_argument);
+}
+
+TEST(Subscription, RangeOnBoolThrows) {
+  const auto schema = make_schema("s", {Attribute{"flag", AttributeType::kBool, {}}});
+  EXPECT_THROW(Subscription(schema, {AttributeTest::greater_than(Value(true))}),
+               std::invalid_argument);
+}
+
+TEST(Subscription, ToTextRendersTests) {
+  const auto schema = stock_schema();
+  const Subscription sub(schema, {AttributeTest::equals(Value("IBM")),
+                                  AttributeTest::less_than(Value(120.0)),
+                                  AttributeTest::dont_care()});
+  EXPECT_EQ(sub.to_text(), "(issue = \"IBM\" & price < 120)");
+}
+
+TEST(Subscription, DomainEnforced) {
+  const auto schema = make_synthetic_schema(2, 3);
+  EXPECT_THROW(Subscription(schema, {AttributeTest::equals(Value(7)), AttributeTest::dont_care()}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gryphon

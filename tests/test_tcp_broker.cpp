@@ -1,0 +1,274 @@
+// The broker prototype over real TCP/IP on loopback (paper Section 4.2:
+// "broker nodes are implemented ... using TCP/IP as the network protocol").
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+
+#include "broker/broker.h"
+#include "broker/client.h"
+#include "broker/tcp_transport.h"
+#include "topology/builders.h"
+
+namespace gryphon {
+namespace {
+
+SchemaPtr trade_schema() {
+  return make_schema("trades", {Attribute{"issue", AttributeType::kString, {}},
+                                Attribute{"price", AttributeType::kDouble, {}},
+                                Attribute{"volume", AttributeType::kInt, {}}});
+}
+
+/// Breaks the handler/transport construction cycle: the transport is built
+/// against the relay, then the relay is pointed at the real handler.
+struct Relay : TransportHandler {
+  TransportHandler* target{nullptr};
+  void on_connect(ConnId conn) override {
+    if (target != nullptr) target->on_connect(conn);
+  }
+  void on_frame(ConnId conn, std::span<const std::uint8_t> frame) override {
+    if (target != nullptr) target->on_frame(conn, frame);
+  }
+  void on_disconnect(ConnId conn) override {
+    if (target != nullptr) target->on_disconnect(conn);
+  }
+};
+
+struct TcpBrokerNode {
+  Relay relay;
+  TcpTransport transport{relay};
+  std::unique_ptr<Broker> broker;
+  std::uint16_t port{0};
+
+  TcpBrokerNode(BrokerId id, const BrokerNetwork& topo, std::vector<SchemaPtr> spaces) {
+    broker = std::make_unique<Broker>(id, topo, std::move(spaces), transport);
+    relay.target = broker.get();
+    port = transport.listen(0);
+  }
+  ~TcpBrokerNode() { transport.shutdown(); }
+};
+
+struct TcpClientNode {
+  Relay relay;
+  TcpTransport transport{relay};
+  std::unique_ptr<Client> client;
+
+  TcpClientNode(const std::string& name, std::vector<SchemaPtr> spaces, std::uint16_t port) {
+    client = std::make_unique<Client>(name, transport, std::move(spaces));
+    relay.target = client.get();
+    client->bind(transport.connect("127.0.0.1", port));
+  }
+  ~TcpClientNode() { transport.shutdown(); }
+};
+
+TEST(TcpBroker, SingleBrokerPubSub) {
+  const auto schema = trade_schema();
+  const BrokerNetwork topo = make_line(1, 10, 0, 1);
+  TcpBrokerNode node(BrokerId{0}, topo, {schema});
+
+  TcpClientNode sub("sub", {schema}, node.port);
+  const auto token = sub.client->subscribe(0, "issue = \"IBM\" & volume > 100");
+
+  // Wait for the subscribe ack before publishing.
+  for (int i = 0; i < 200 && !sub.client->subscription_id(token); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(sub.client->subscription_id(token).has_value());
+
+  TcpClientNode pub("pub", {schema}, node.port);
+  pub.client->publish(0, Event(schema, {Value("IBM"), Value(10.0), Value(500)}));
+  pub.client->publish(0, Event(schema, {Value("IBM"), Value(10.0), Value(50)}));
+
+  ASSERT_TRUE(sub.client->wait_for_deliveries(1, 3000));
+  const auto got = sub.client->take_deliveries();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].event.value(2).as_int(), 500);
+}
+
+TEST(TcpBroker, TwoBrokersForwardOverTcp) {
+  const auto schema = trade_schema();
+  const BrokerNetwork topo = make_line(2, 10, 0, 1);
+  TcpBrokerNode b0(BrokerId{0}, topo, {schema});
+  TcpBrokerNode b1(BrokerId{1}, topo, {schema});
+
+  // Broker 0 dials broker 1.
+  const ConnId link = b0.transport.connect("127.0.0.1", b1.port);
+  b0.broker->attach_broker_link(link, BrokerId{1});
+
+  TcpClientNode sub("far-sub", {schema}, b1.port);
+  const auto token = sub.client->subscribe(0, "price >= 100");
+  for (int i = 0; i < 200 && !sub.client->subscription_id(token); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(sub.client->subscription_id(token).has_value());
+
+  // Give the subscription a moment to propagate to broker 0.
+  for (int i = 0; i < 200 && b0.broker->subscription_count() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(b0.broker->subscription_count(), 1u);
+
+  TcpClientNode pub("near-pub", {schema}, b0.port);
+  pub.client->publish(0, Event(schema, {Value("A"), Value(150.0), Value(1)}));
+  pub.client->publish(0, Event(schema, {Value("A"), Value(50.0), Value(1)}));
+
+  ASSERT_TRUE(sub.client->wait_for_deliveries(1, 3000));
+  const auto got = sub.client->take_deliveries();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].event.value(1).as_double(), 150.0);
+  EXPECT_EQ(b0.broker->stats().events_forwarded, 1u);
+}
+
+TEST(TcpBroker, ReconnectReplayOverTcp) {
+  const auto schema = trade_schema();
+  const BrokerNetwork topo = make_line(1, 10, 0, 1);
+  TcpBrokerNode node(BrokerId{0}, topo, {schema});
+
+  auto sub = std::make_unique<TcpClientNode>("flaky", std::vector<SchemaPtr>{schema}, node.port);
+  const auto token = sub->client->subscribe(0, "volume > 0");
+  for (int i = 0; i < 200 && !sub->client->subscription_id(token); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(sub->client->subscription_id(token).has_value());
+
+  TcpClientNode pub("pub", {schema}, node.port);
+  pub.client->publish(0, Event(schema, {Value("A"), Value(1.0), Value(1)}));
+  ASSERT_TRUE(sub->client->wait_for_deliveries(1, 3000));
+  sub->client->take_deliveries();
+
+  // Kill the subscriber's transport entirely (simulated crash).
+  sub.reset();
+  // The broker should notice the disconnect and keep logging.
+  pub.client->publish(0, Event(schema, {Value("B"), Value(2.0), Value(2)}));
+  pub.client->publish(0, Event(schema, {Value("C"), Value(3.0), Value(3)}));
+  for (int i = 0; i < 200 && node.broker->client_log_size("flaky") < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(node.broker->client_log_size("flaky"), 2u);
+
+  // Reconnect under the same name; the missed events replay.
+  TcpClientNode again("flaky", {schema}, node.port);
+  ASSERT_TRUE(again.client->wait_for_deliveries(2, 3000));
+  const auto replayed = again.client->take_deliveries();
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].event.value(0).as_string(), "B");
+  EXPECT_EQ(replayed[1].event.value(0).as_string(), "C");
+}
+
+TEST(TcpBroker, ManyFramesPreserveOrder) {
+  const auto schema = trade_schema();
+  const BrokerNetwork topo = make_line(1, 10, 0, 1);
+  TcpBrokerNode node(BrokerId{0}, topo, {schema});
+
+  TcpClientNode sub("sub", {schema}, node.port);
+  const auto token = sub.client->subscribe(0, "volume >= 0");
+  for (int i = 0; i < 200 && !sub.client->subscription_id(token); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(sub.client->subscription_id(token).has_value());
+
+  TcpClientNode pub("pub", {schema}, node.port);
+  constexpr int kEvents = 200;
+  for (int i = 0; i < kEvents; ++i) {
+    pub.client->publish(0, Event(schema, {Value("X"), Value(1.0), Value(i)}));
+  }
+  ASSERT_TRUE(sub.client->wait_for_deliveries(kEvents, 10000));
+  const auto got = sub.client->take_deliveries();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].event.value(2).as_int(), i);
+  }
+}
+
+
+TEST(TcpTransport, GarbageFrameSizeDropsConnection) {
+  // A peer announcing an absurd frame length is protocol corruption: the
+  // transport must drop the connection rather than try to allocate it.
+  struct Recorder : TransportHandler {
+    std::atomic<int> connects{0};
+    std::atomic<int> disconnects{0};
+    void on_connect(ConnId) override { ++connects; }
+    void on_frame(ConnId, std::span<const std::uint8_t>) override {}
+    void on_disconnect(ConnId) override { ++disconnects; }
+  };
+  Recorder recorder;
+  TcpTransport server(recorder);
+  const std::uint16_t port = server.listen(0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  for (int i = 0; i < 200 && recorder.connects.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(recorder.connects.load(), 1);
+
+  const std::uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0x7F};  // ~2 GiB frame
+  ASSERT_EQ(::send(fd, huge, sizeof(huge), 0), 4);
+  for (int i = 0; i < 200 && recorder.disconnects.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(recorder.disconnects.load(), 1);
+  ::close(fd);
+  server.shutdown();
+}
+
+TEST(TcpTransport, ZeroLengthFrameDropsConnection) {
+  struct Recorder : TransportHandler {
+    std::atomic<int> disconnects{0};
+    void on_connect(ConnId) override {}
+    void on_frame(ConnId, std::span<const std::uint8_t>) override {}
+    void on_disconnect(ConnId) override { ++disconnects; }
+  };
+  Recorder recorder;
+  TcpTransport server(recorder);
+  const std::uint16_t port = server.listen(0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::uint8_t zero[4] = {0, 0, 0, 0};
+  ASSERT_EQ(::send(fd, zero, sizeof(zero), 0), 4);
+  for (int i = 0; i < 200 && recorder.disconnects.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(recorder.disconnects.load(), 1);
+  ::close(fd);
+  server.shutdown();
+}
+
+TEST(TcpBroker, MalformedPublishPayloadGetsErrorFrame) {
+  const auto schema = trade_schema();
+  const BrokerNetwork topo = make_line(1, 10, 0, 1);
+  TcpBrokerNode node(BrokerId{0}, topo, {schema});
+
+  TcpClientNode client("messy", {schema}, node.port);
+  // Wait for the hello handshake, then push a publish frame whose payload
+  // is not a valid event encoding.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  client.transport.send(1, wire::encode(wire::Publish{0, {0x01, 0x02}}));
+  for (int i = 0; i < 200; ++i) {
+    if (!client.client->take_errors().empty()) return;  // got the error frame
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  FAIL() << "no error frame received";
+}
+
+}  // namespace
+}  // namespace gryphon

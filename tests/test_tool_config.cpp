@@ -1,0 +1,87 @@
+#include "../tools/tool_config.h"
+
+#include <gtest/gtest.h>
+
+namespace gryphon::tools {
+namespace {
+
+TEST(SchemaSpec, ParsesTypesAndName) {
+  const auto schema =
+      parse_schema_spec("trades issue:string price:double volume:int urgent:bool");
+  EXPECT_EQ(schema->name(), "trades");
+  ASSERT_EQ(schema->attribute_count(), 4u);
+  EXPECT_EQ(schema->attribute(0).type, AttributeType::kString);
+  EXPECT_EQ(schema->attribute(1).type, AttributeType::kDouble);
+  EXPECT_EQ(schema->attribute(2).type, AttributeType::kInt);
+  EXPECT_EQ(schema->attribute(3).type, AttributeType::kBool);
+  EXPECT_FALSE(schema->attribute(2).has_finite_domain());
+}
+
+TEST(SchemaSpec, IntDomain) {
+  const auto schema = parse_schema_spec("synthetic a1:int(0..4) a2:int(2..2)");
+  EXPECT_EQ(schema->attribute(0).domain.size(), 5u);
+  EXPECT_EQ(schema->attribute(1).domain.size(), 1u);
+  EXPECT_TRUE(schema->accepts(0, Value(4)));
+  EXPECT_FALSE(schema->accepts(0, Value(5)));
+}
+
+TEST(SchemaSpec, Errors) {
+  EXPECT_THROW(parse_schema_spec(""), std::invalid_argument);
+  EXPECT_THROW(parse_schema_spec("name"), std::invalid_argument);
+  EXPECT_THROW(parse_schema_spec("name attr"), std::invalid_argument);
+  EXPECT_THROW(parse_schema_spec("name attr:float"), std::invalid_argument);
+  EXPECT_THROW(parse_schema_spec("name a:int(0..x)"), std::invalid_argument);
+  EXPECT_THROW(parse_schema_spec("name a:int(4..0)"), std::invalid_argument);
+  EXPECT_THROW(parse_schema_spec("name a:string(0..4)"), std::invalid_argument);
+  EXPECT_THROW(parse_schema_spec("name a:int(0..4"), std::invalid_argument);
+}
+
+TEST(TopologySpec, LinksAndDelays) {
+  const auto net = parse_topology_spec(3, "0-1:10,1-2:25");
+  EXPECT_EQ(net.broker_count(), 3u);
+  const auto port01 = net.port_to_broker(BrokerId{0}, BrokerId{1});
+  EXPECT_EQ(net.ports(BrokerId{0})[static_cast<std::size_t>(port01.value)].delay,
+            ticks_from_millis(10));
+  const auto port12 = net.port_to_broker(BrokerId{1}, BrokerId{2});
+  EXPECT_EQ(net.ports(BrokerId{1})[static_cast<std::size_t>(port12.value)].delay,
+            ticks_from_millis(25));
+}
+
+TEST(TopologySpec, DefaultDelayAndEmpty) {
+  const auto net = parse_topology_spec(2, "0-1");
+  const auto port = net.port_to_broker(BrokerId{0}, BrokerId{1});
+  EXPECT_EQ(net.ports(BrokerId{0})[static_cast<std::size_t>(port.value)].delay,
+            ticks_from_millis(1));
+  const auto lonely = parse_topology_spec(1, "");
+  EXPECT_EQ(lonely.broker_count(), 1u);
+}
+
+TEST(TopologySpec, Errors) {
+  EXPECT_THROW(parse_topology_spec(2, "01"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec(2, "0-x"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_spec(2, "0-5"), std::out_of_range);
+}
+
+TEST(DialSpec, Parses) {
+  const auto target = parse_dial_spec("2=192.168.1.9:7002");
+  EXPECT_EQ(target.peer, BrokerId{2});
+  EXPECT_EQ(target.host, "192.168.1.9");
+  EXPECT_EQ(target.port, 7002);
+}
+
+TEST(DialSpec, Errors) {
+  EXPECT_THROW(parse_dial_spec("2-127.0.0.1:7002"), std::invalid_argument);
+  EXPECT_THROW(parse_dial_spec("2=127.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_dial_spec("x=127.0.0.1:7002"), std::invalid_argument);
+}
+
+TEST(EndpointSpec, RfindHandlesColonsInHost) {
+  std::string host;
+  std::uint16_t port = 0;
+  parse_endpoint("localhost:8080", host, port);
+  EXPECT_EQ(host, "localhost");
+  EXPECT_EQ(port, 8080);
+}
+
+}  // namespace
+}  // namespace gryphon::tools

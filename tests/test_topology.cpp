@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "topology/builders.h"
+#include "topology/network.h"
+#include "topology/routing_table.h"
+
+namespace gryphon {
+namespace {
+
+TEST(BrokerNetwork, PortsAndClients) {
+  BrokerNetwork net;
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  net.connect(a, b, 10);
+  const ClientId c = net.add_client(a, 1);
+
+  EXPECT_EQ(net.broker_count(), 2u);
+  EXPECT_EQ(net.client_count(), 1u);
+  ASSERT_EQ(net.port_count(a), 2u);
+  EXPECT_EQ(net.ports(a)[0].kind, BrokerNetwork::PortKind::kBroker);
+  EXPECT_EQ(net.ports(a)[0].peer_broker, b);
+  EXPECT_EQ(net.ports(a)[0].delay, 10);
+  EXPECT_EQ(net.ports(a)[1].kind, BrokerNetwork::PortKind::kClient);
+  EXPECT_EQ(net.ports(a)[1].peer_client, c);
+  EXPECT_EQ(net.client_home(c), a);
+  EXPECT_EQ(net.client_port(c).value, 1);
+  EXPECT_EQ(net.clients_of(a), (std::vector<ClientId>{c}));
+  EXPECT_TRUE(net.clients_of(b).empty());
+  EXPECT_EQ(net.port_to_broker(a, b).value, 0);
+  EXPECT_EQ(net.port_to_broker(b, a).value, 0);
+}
+
+TEST(BrokerNetwork, RejectsBadLinks) {
+  BrokerNetwork net;
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  EXPECT_THROW(net.connect(a, a, 1), std::invalid_argument);
+  EXPECT_THROW(net.connect(a, b, -1), std::invalid_argument);
+  net.connect(a, b, 1);
+  EXPECT_THROW(net.connect(a, b, 2), std::invalid_argument);  // duplicate
+  EXPECT_THROW(net.connect(a, BrokerId{7}, 1), std::out_of_range);
+  EXPECT_THROW((void)net.port_to_broker(b, BrokerId{1}), std::invalid_argument);
+}
+
+TEST(RoutingTable, LineTopologyNextHops) {
+  const auto net = make_line(4, 10, 0, 1);
+  RoutingTable routing(net);
+  const BrokerId b0{0}, b1{1}, b2{2}, b3{3};
+  EXPECT_EQ(routing.distance(b0, b3), 30);
+  EXPECT_EQ(routing.hop_count(b0, b3), 3);
+  EXPECT_EQ(routing.distance(b2, b2), 0);
+  // Next hop from 0 toward 3 is the port to 1.
+  EXPECT_EQ(routing.next_hop(b0, b3), net.port_to_broker(b0, b1));
+  EXPECT_EQ(routing.next_hop(b1, b3), net.port_to_broker(b1, b2));
+  EXPECT_EQ(routing.next_hop(b3, b0), net.port_to_broker(b3, b2));
+}
+
+TEST(RoutingTable, PrefersLowerDelayPath) {
+  // Triangle with a slow direct link and a fast two-hop detour.
+  BrokerNetwork net;
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  const BrokerId c = net.add_broker();
+  net.connect(a, b, 100);
+  net.connect(a, c, 10);
+  net.connect(c, b, 10);
+  RoutingTable routing(net);
+  EXPECT_EQ(routing.distance(a, b), 20);
+  EXPECT_EQ(routing.next_hop(a, b), net.port_to_broker(a, c));
+}
+
+TEST(RoutingTable, EqualDelayPrefersFewerHops) {
+  BrokerNetwork net;
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  const BrokerId c = net.add_broker();
+  net.connect(a, b, 20);  // direct, one hop
+  net.connect(a, c, 10);
+  net.connect(c, b, 10);  // detour, same total delay
+  RoutingTable routing(net);
+  EXPECT_EQ(routing.distance(a, b), 20);
+  EXPECT_EQ(routing.hop_count(a, b), 1);
+  EXPECT_EQ(routing.next_hop(a, b), net.port_to_broker(a, b));
+}
+
+TEST(RoutingTable, ClientNextHop) {
+  const auto net = make_line(3, 10, 1, 1);
+  RoutingTable routing(net);
+  const ClientId remote_client = net.clients_of(BrokerId{2})[0];
+  EXPECT_EQ(routing.next_hop_to_client(BrokerId{0}, remote_client),
+            net.port_to_broker(BrokerId{0}, BrokerId{1}));
+  EXPECT_EQ(routing.next_hop_to_client(BrokerId{2}, remote_client),
+            net.client_port(remote_client));
+}
+
+TEST(RoutingTable, DisconnectedComponentsUnreachable) {
+  BrokerNetwork net;
+  const BrokerId a = net.add_broker();
+  const BrokerId b = net.add_broker();
+  RoutingTable routing(net);
+  EXPECT_FALSE(routing.reachable(a, b));
+  EXPECT_TRUE(routing.reachable(a, a));
+}
+
+TEST(Figure6, Shape) {
+  const auto topo = make_figure6();
+  EXPECT_EQ(topo.network.broker_count(), 39u);
+  EXPECT_EQ(topo.network.client_count(), 390u);  // 10 per broker
+  EXPECT_EQ(topo.roots.size(), 3u);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(topo.interior[static_cast<std::size_t>(r)].size(), 3u);
+    EXPECT_EQ(topo.leaves[static_cast<std::size_t>(r)].size(), 9u);
+  }
+  EXPECT_EQ(topo.publisher_brokers.size(), 3u);
+  // Publishers live in three distinct regions.
+  EXPECT_EQ(topo.region_of[static_cast<std::size_t>(topo.publisher_brokers[0].value)], 0);
+  EXPECT_EQ(topo.region_of[static_cast<std::size_t>(topo.publisher_brokers[1].value)], 1);
+  EXPECT_EQ(topo.region_of[static_cast<std::size_t>(topo.publisher_brokers[2].value)], 2);
+}
+
+TEST(Figure6, HopDelays) {
+  const auto topo = make_figure6();
+  const auto& net = topo.network;
+  // Root-to-root links: 65 ms.
+  const auto root_port = net.port_to_broker(topo.roots[0], topo.roots[1]);
+  EXPECT_EQ(net.ports(topo.roots[0])[static_cast<std::size_t>(root_port.value)].delay,
+            ticks_from_millis(65));
+  // Root to interior: 25 ms.
+  const auto mid = topo.interior[0][0];
+  const auto mid_port = net.port_to_broker(topo.roots[0], mid);
+  EXPECT_EQ(net.ports(topo.roots[0])[static_cast<std::size_t>(mid_port.value)].delay,
+            ticks_from_millis(25));
+  // Interior to leaf: 10 ms.
+  const auto leaf = topo.leaves[0][0];
+  const auto leaf_port = net.port_to_broker(mid, leaf);
+  EXPECT_EQ(net.ports(mid)[static_cast<std::size_t>(leaf_port.value)].delay,
+            ticks_from_millis(10));
+  // Client links: 1 ms.
+  EXPECT_EQ(net.client_delay(topo.subscribers[0]), ticks_from_millis(1));
+}
+
+TEST(Figure6, FullyReachableAndLateralLinksExist) {
+  const auto topo = make_figure6();
+  RoutingTable routing(topo.network);
+  for (std::size_t i = 0; i < 39; ++i) {
+    EXPECT_TRUE(routing.reachable(BrokerId{0}, BrokerId{static_cast<BrokerId::rep_type>(i)}));
+  }
+  // Default options add 2 lateral links; total broker-broker edges =
+  // 3 roots * 3 + 9 * 3 interior-leaf... count ports instead: every broker
+  // port count equals tree links + laterals + clients.
+  std::size_t broker_ports = 0;
+  for (std::size_t b = 0; b < 39; ++b) {
+    for (const auto& port : topo.network.ports(BrokerId{static_cast<BrokerId::rep_type>(b)})) {
+      if (port.kind == BrokerNetwork::PortKind::kBroker) ++broker_ports;
+    }
+  }
+  // Tree edges: 3 * 12 = 36; root triangle: 3; laterals: 2. Each edge has
+  // two ports.
+  EXPECT_EQ(broker_ports, 2u * (36 + 3 + 2));
+}
+
+TEST(Builders, StarShape) {
+  const auto net = make_star(5, 7, 2, 1);
+  EXPECT_EQ(net.broker_count(), 5u);
+  EXPECT_EQ(net.client_count(), 10u);
+  RoutingTable routing(net);
+  EXPECT_EQ(routing.hop_count(BrokerId{1}, BrokerId{4}), 2);
+  EXPECT_EQ(routing.distance(BrokerId{1}, BrokerId{4}), 14);
+}
+
+TEST(Builders, RandomTreeConnected) {
+  Rng rng(3);
+  const auto net = make_random_tree(25, rng, 5, 50, 2, 1);
+  RoutingTable routing(net);
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_TRUE(routing.reachable(BrokerId{0}, BrokerId{static_cast<BrokerId::rep_type>(i)}));
+  }
+}
+
+TEST(Builders, TreeLikeAddsExtraLinks) {
+  Rng rng(9);
+  const auto tree = make_random_tree(20, rng, 5, 50, 0, 1);
+  Rng rng2(9);
+  const auto tree_like = make_random_tree_like(20, rng2, 5, 50, 0, 1, 4);
+  std::size_t tree_ports = 0, tree_like_ports = 0;
+  for (std::size_t b = 0; b < 20; ++b) {
+    tree_ports += tree.ports(BrokerId{static_cast<BrokerId::rep_type>(b)}).size();
+    tree_like_ports += tree_like.ports(BrokerId{static_cast<BrokerId::rep_type>(b)}).size();
+  }
+  EXPECT_EQ(tree_like_ports, tree_ports + 2 * 4);
+}
+
+}  // namespace
+}  // namespace gryphon

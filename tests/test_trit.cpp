@@ -1,0 +1,127 @@
+// The trit algebra of paper Figure 4, verified cell by cell.
+#include "routing/trit.h"
+
+#include <gtest/gtest.h>
+
+namespace gryphon {
+namespace {
+
+constexpr Trit Y = Trit::Yes;
+constexpr Trit M = Trit::Maybe;
+constexpr Trit N = Trit::No;
+
+TEST(TritAlgebra, AlternativeCombineTruthTable) {
+  // Figure 4, left table.
+  EXPECT_EQ(alternative_combine(Y, Y), Y);
+  EXPECT_EQ(alternative_combine(Y, M), M);
+  EXPECT_EQ(alternative_combine(Y, N), M);
+  EXPECT_EQ(alternative_combine(M, Y), M);
+  EXPECT_EQ(alternative_combine(M, M), M);
+  EXPECT_EQ(alternative_combine(M, N), M);
+  EXPECT_EQ(alternative_combine(N, Y), M);
+  EXPECT_EQ(alternative_combine(N, M), M);
+  EXPECT_EQ(alternative_combine(N, N), N);
+}
+
+TEST(TritAlgebra, ParallelCombineTruthTable) {
+  // Figure 4, right table.
+  EXPECT_EQ(parallel_combine(Y, Y), Y);
+  EXPECT_EQ(parallel_combine(Y, M), Y);
+  EXPECT_EQ(parallel_combine(Y, N), Y);
+  EXPECT_EQ(parallel_combine(M, Y), Y);
+  EXPECT_EQ(parallel_combine(M, M), M);
+  EXPECT_EQ(parallel_combine(M, N), M);
+  EXPECT_EQ(parallel_combine(N, Y), Y);
+  EXPECT_EQ(parallel_combine(N, M), M);
+  EXPECT_EQ(parallel_combine(N, N), N);
+}
+
+TEST(TritAlgebra, BothCommutativeAndAssociative) {
+  const Trit all[] = {Y, M, N};
+  for (const Trit a : all) {
+    for (const Trit b : all) {
+      EXPECT_EQ(alternative_combine(a, b), alternative_combine(b, a));
+      EXPECT_EQ(parallel_combine(a, b), parallel_combine(b, a));
+      for (const Trit c : all) {
+        EXPECT_EQ(alternative_combine(alternative_combine(a, b), c),
+                  alternative_combine(a, alternative_combine(b, c)));
+        EXPECT_EQ(parallel_combine(parallel_combine(a, b), c),
+                  parallel_combine(a, parallel_combine(b, c)));
+      }
+    }
+  }
+}
+
+TEST(TritVector, FromStringRoundTrip) {
+  const auto v = TritVector::from_string("YMN");
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.at(0), Y);
+  EXPECT_EQ(v.at(1), M);
+  EXPECT_EQ(v.at(2), N);
+  EXPECT_EQ(v.to_string(), "YMN");
+  EXPECT_THROW(TritVector::from_string("YXZ"), std::invalid_argument);
+}
+
+TEST(TritVector, PaperFigure5Example) {
+  // MYY A NYN = MYM; MYM P YYN = YYM.
+  auto alt = TritVector::from_string("MYY");
+  alt.alternative_with(TritVector::from_string("NYN"));
+  EXPECT_EQ(alt.to_string(), "MYM");
+  alt.parallel_with(TritVector::from_string("YYN"));
+  EXPECT_EQ(alt.to_string(), "YYM");
+}
+
+TEST(TritVector, RefineReplacesOnlyMaybes) {
+  auto mask = TritVector::from_string("YMNM");
+  mask.refine_with(TritVector::from_string("NYNY"));
+  EXPECT_EQ(mask.to_string(), "YYNY");
+}
+
+TEST(TritVector, PromoteYesFromSubsearch) {
+  auto mask = TritVector::from_string("MMNM");
+  mask.promote_yes_from(TritVector::from_string("YNNN"));
+  // Only Maybes with a subsearch Yes flip; subsearch No leaves Maybe alone
+  // (another sibling's subsearch may still produce a Yes).
+  EXPECT_EQ(mask.to_string(), "YMNM");
+}
+
+TEST(TritVector, MaybesToNo) {
+  auto mask = TritVector::from_string("YMNM");
+  mask.maybes_to_no();
+  EXPECT_EQ(mask.to_string(), "YNNN");
+}
+
+TEST(TritVector, Queries) {
+  const auto v = TritVector::from_string("YMNY");
+  EXPECT_TRUE(v.has_maybe());
+  EXPECT_TRUE(v.any_yes());
+  EXPECT_EQ(v.count(Trit::Yes), 2u);
+  EXPECT_EQ(v.count(Trit::Maybe), 1u);
+  EXPECT_EQ(v.count(Trit::No), 1u);
+  const auto yes = v.yes_links();
+  ASSERT_EQ(yes.size(), 2u);
+  EXPECT_EQ(yes[0].value, 0);
+  EXPECT_EQ(yes[1].value, 3);
+
+  const auto refined = TritVector::from_string("YNNN");
+  EXPECT_FALSE(refined.has_maybe());
+  EXPECT_FALSE(TritVector::from_string("NNN").any_yes());
+}
+
+TEST(TritVector, SizeMismatchThrows) {
+  auto v = TritVector::from_string("YM");
+  EXPECT_THROW(v.refine_with(TritVector::from_string("Y")), std::invalid_argument);
+  EXPECT_THROW(v.alternative_with(TritVector::from_string("YMN")), std::invalid_argument);
+}
+
+TEST(TritVector, FillAndEquality) {
+  TritVector v(4, Trit::Maybe);
+  EXPECT_EQ(v.to_string(), "MMMM");
+  v.fill(Trit::No);
+  EXPECT_EQ(v, TritVector::from_string("NNNN"));
+  EXPECT_NE(v, TritVector::from_string("NNNY"));
+  EXPECT_TRUE(v.equals(TritVector::from_string("NNNN").span()));
+}
+
+}  // namespace
+}  // namespace gryphon

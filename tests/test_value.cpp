@@ -1,0 +1,105 @@
+#include "event/value.h"
+
+#include <gtest/gtest.h>
+
+namespace gryphon {
+namespace {
+
+TEST(Value, DefaultIsUnset) {
+  Value v;
+  EXPECT_FALSE(v.is_set());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_EQ(v.to_text(), "<unset>");
+}
+
+TEST(Value, IntRoundTrip) {
+  Value v(std::int64_t{42});
+  EXPECT_TRUE(v.is_set());
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_EQ(v.to_text(), "42");
+}
+
+TEST(Value, PlainIntPromotes) {
+  Value v(7);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 7);
+}
+
+TEST(Value, DoubleRoundTrip) {
+  Value v(2.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.as_double(), 2.5);
+}
+
+TEST(Value, StringRoundTrip) {
+  Value v(std::string("IBM"));
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "IBM");
+  EXPECT_EQ(v.to_text(), "\"IBM\"");
+}
+
+TEST(Value, CStringConverts) {
+  Value v("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "hello");
+}
+
+TEST(Value, BoolRoundTrip) {
+  Value t(true), f(false);
+  EXPECT_TRUE(t.is_bool());
+  EXPECT_TRUE(t.as_bool());
+  EXPECT_FALSE(f.as_bool());
+  EXPECT_EQ(t.to_text(), "true");
+  EXPECT_EQ(f.to_text(), "false");
+}
+
+TEST(Value, EqualitySameType) {
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_NE(Value(3), Value(4));
+  EXPECT_EQ(Value("x"), Value("x"));
+  EXPECT_NE(Value("x"), Value("y"));
+}
+
+TEST(Value, EqualityAcrossTypesIsFalse) {
+  EXPECT_NE(Value(1), Value(true));
+  EXPECT_NE(Value(1), Value(1.0));
+  EXPECT_NE(Value(0), Value(std::string()));
+}
+
+TEST(Value, OrderingWithinType) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LE(Value(2), Value(2));
+  EXPECT_GT(Value("b"), Value("a"));
+  EXPECT_GE(Value(3.0), Value(2.5));
+}
+
+TEST(Value, MatchesType) {
+  EXPECT_TRUE(Value(1).matches_type(AttributeType::kInt));
+  EXPECT_FALSE(Value(1).matches_type(AttributeType::kDouble));
+  EXPECT_TRUE(Value(1.0).matches_type(AttributeType::kDouble));
+  EXPECT_TRUE(Value("s").matches_type(AttributeType::kString));
+  EXPECT_TRUE(Value(true).matches_type(AttributeType::kBool));
+  EXPECT_FALSE(Value().matches_type(AttributeType::kInt));
+}
+
+TEST(Value, AsNumberWidens) {
+  EXPECT_DOUBLE_EQ(Value(3).as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_number(), 2.5);
+}
+
+TEST(Value, HashDistinguishesTypes) {
+  // int 1 and bool true must hash differently (distinct branch keys).
+  EXPECT_NE(Value(1).hash(), Value(true).hash());
+  EXPECT_EQ(Value(5).hash(), Value(5).hash());
+}
+
+TEST(AttributeType, Names) {
+  EXPECT_STREQ(to_string(AttributeType::kInt), "int");
+  EXPECT_STREQ(to_string(AttributeType::kDouble), "double");
+  EXPECT_STREQ(to_string(AttributeType::kString), "string");
+  EXPECT_STREQ(to_string(AttributeType::kBool), "bool");
+}
+
+}  // namespace
+}  // namespace gryphon

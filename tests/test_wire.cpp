@@ -1,0 +1,107 @@
+#include "broker/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "event/schema.h"
+
+namespace gryphon {
+namespace {
+
+using namespace wire;
+
+TEST(Wire, HelloClientRoundTrip) {
+  const auto frame = encode(HelloClient{"trader-7", 42});
+  EXPECT_EQ(peek_type(frame), FrameType::kHelloClient);
+  const auto m = decode_hello_client(frame);
+  EXPECT_EQ(m.name, "trader-7");
+  EXPECT_EQ(m.last_seq, 42u);
+}
+
+TEST(Wire, HelloBrokerRoundTrip) {
+  const auto frame = encode(HelloBroker{BrokerId{5}});
+  const auto m = decode_hello_broker(frame);
+  EXPECT_EQ(m.broker, BrokerId{5});
+}
+
+TEST(Wire, HelloAckRoundTrip) {
+  const auto m = decode_hello_ack(encode(HelloAck{99}));
+  EXPECT_EQ(m.resume_from, 99u);
+}
+
+TEST(Wire, SubscribeRoundTrip) {
+  const std::vector<std::uint8_t> sub_bytes = {1, 2, 3};
+  const auto m = decode_subscribe(encode(SubscribeReq{7, 2, sub_bytes}));
+  EXPECT_EQ(m.token, 7u);
+  EXPECT_EQ(m.space, 2u);
+  EXPECT_EQ(m.subscription, sub_bytes);
+}
+
+TEST(Wire, SubscribeAckRoundTrip) {
+  const auto m = decode_subscribe_ack(encode(SubscribeAck{7, SubscriptionId{123456789}}));
+  EXPECT_EQ(m.token, 7u);
+  EXPECT_EQ(m.id, SubscriptionId{123456789});
+}
+
+TEST(Wire, UnsubscribeRoundTrip) {
+  EXPECT_EQ(decode_unsubscribe(encode(Unsubscribe{SubscriptionId{-3}})).id, SubscriptionId{-3});
+}
+
+TEST(Wire, PublishDeliverAckRoundTrip) {
+  const std::vector<std::uint8_t> event_bytes = {9, 8, 7, 6};
+  const auto p = decode_publish(encode(Publish{1, event_bytes}));
+  EXPECT_EQ(p.space, 1u);
+  EXPECT_EQ(p.event, event_bytes);
+  const auto d = decode_deliver(encode(Deliver{55, 1, event_bytes}));
+  EXPECT_EQ(d.seq, 55u);
+  EXPECT_EQ(d.event, event_bytes);
+  EXPECT_EQ(decode_ack(encode(Ack{55})).seq, 55u);
+}
+
+TEST(Wire, SubPropagateRoundTrip) {
+  const std::vector<std::uint8_t> sub_bytes = {4, 4};
+  const auto m =
+      decode_sub_propagate(encode(SubPropagate{SubscriptionId{77}, BrokerId{3}, 0, sub_bytes}));
+  EXPECT_EQ(m.id, SubscriptionId{77});
+  EXPECT_EQ(m.owner, BrokerId{3});
+  EXPECT_EQ(m.subscription, sub_bytes);
+}
+
+TEST(Wire, EventForwardRoundTrip) {
+  const std::vector<std::uint8_t> event_bytes = {1};
+  const auto m = decode_event_forward(encode(EventForward{BrokerId{11}, 4, event_bytes}));
+  EXPECT_EQ(m.tree_root, BrokerId{11});
+  EXPECT_EQ(m.space, 4u);
+}
+
+TEST(Wire, ErrorRoundTrip) {
+  const auto m = decode_error(encode(ErrorFrame{13, "bad predicate"}));
+  EXPECT_EQ(m.token, 13u);
+  EXPECT_EQ(m.message, "bad predicate");
+}
+
+TEST(Wire, TypeMismatchThrows) {
+  const auto frame = encode(Ack{1});
+  EXPECT_THROW(decode_publish(frame), CodecError);
+}
+
+TEST(Wire, EmptyFrameThrows) {
+  EXPECT_THROW(peek_type(std::span<const std::uint8_t>{}), CodecError);
+}
+
+TEST(Wire, TruncatedFrameThrows) {
+  auto frame = encode(HelloClient{"someone", 1});
+  frame.resize(frame.size() / 2);
+  EXPECT_THROW(decode_hello_client(frame), CodecError);
+}
+
+
+TEST(Wire, QuenchRoundTrip) {
+  const auto on = decode_quench(encode(Quench{3, true}));
+  EXPECT_EQ(on.space, 3u);
+  EXPECT_TRUE(on.has_subscribers);
+  const auto off = decode_quench(encode(Quench{0, false}));
+  EXPECT_FALSE(off.has_subscribers);
+}
+
+}  // namespace
+}  // namespace gryphon

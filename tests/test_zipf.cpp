@@ -1,0 +1,87 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace gryphon {
+namespace {
+
+TEST(Zipf, RejectsEmptyDomain) { EXPECT_THROW(Zipf(0), std::invalid_argument); }
+
+TEST(Zipf, SingletonAlwaysZero) {
+  Zipf z(1);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  Zipf z(10, 1.0);
+  double total = 0;
+  for (std::uint32_t k = 0; k < 10; ++k) total += z.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfOutOfRangeIsZero) {
+  Zipf z(4);
+  EXPECT_EQ(z.pmf(4), 0.0);
+  EXPECT_EQ(z.pmf(1000), 0.0);
+}
+
+TEST(Zipf, ClassicRatios) {
+  // With s = 1, pmf(k) proportional to 1/(k+1): pmf(0) = 2 * pmf(1).
+  Zipf z(5, 1.0);
+  EXPECT_NEAR(z.pmf(0) / z.pmf(1), 2.0, 1e-9);
+  EXPECT_NEAR(z.pmf(0) / z.pmf(4), 5.0, 1e-9);
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  Zipf z(8, 0.0);
+  for (std::uint32_t k = 0; k < 8; ++k) EXPECT_NEAR(z.pmf(k), 1.0 / 8.0, 1e-12);
+}
+
+TEST(Zipf, SampleFrequenciesTrackPmf) {
+  Zipf z(5, 1.0);
+  Rng rng(77);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::uint32_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.pmf(k), 0.01) << "rank " << k;
+  }
+}
+
+TEST(Zipf, RankZeroIsMostProbable) {
+  Zipf z(20, 1.2);
+  for (std::uint32_t k = 1; k < 20; ++k) EXPECT_GT(z.pmf(0), z.pmf(k));
+}
+
+TEST(LocalityPermutation, IsAPermutation) {
+  for (std::uint32_t region = 0; region < 3; ++region) {
+    const auto perm = locality_permutation(10, region);
+    std::vector<bool> seen(10, false);
+    for (const auto v : perm) {
+      ASSERT_LT(v, 10u);
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(LocalityPermutation, RegionsFavourDifferentValues) {
+  const auto p0 = locality_permutation(9, 0);
+  const auto p1 = locality_permutation(9, 1);
+  const auto p2 = locality_permutation(9, 2);
+  // The hottest value (rank 0) must differ across the three regions.
+  EXPECT_NE(p0[0], p1[0]);
+  EXPECT_NE(p1[0], p2[0]);
+  EXPECT_NE(p0[0], p2[0]);
+}
+
+TEST(LocalityPermutation, EmptyDomain) {
+  EXPECT_TRUE(locality_permutation(0, 1).empty());
+}
+
+}  // namespace
+}  // namespace gryphon

@@ -1,0 +1,145 @@
+// brokerd — a standalone content-based pub/sub broker over TCP.
+//
+// Usage:
+//   brokerd --id 0 --brokers 3 --links "0-1:10,1-2:25" --listen 7000 ...
+//           [--dial "1=127.0.0.1:7001"]... ...
+//           --schema "trades issue:string price:double volume:int" ...
+//           [--schema "alarms severity:int"]... ...
+//           [--gc-seconds 3600] [--verbose]
+//
+// Every broker in the network must be given the same --brokers/--links
+// topology and the same --schema list (information spaces are positional).
+// A broker dials the peers listed in --dial; the peer side accepts
+// automatically, so each link should be dialed from exactly one end.
+//
+// Example three-node line on one machine:
+//   brokerd --id 0 --brokers 3 --links 0-1,1-2 --listen 7000 --schema "t a:int" &
+//   brokerd --id 1 --brokers 3 --links 0-1,1-2 --listen 7001 ...
+//           --dial 0=127.0.0.1:7000 --schema "t a:int" &
+//   brokerd --id 2 --brokers 3 --links 0-1,1-2 --listen 7002 ...
+//           --dial 1=127.0.0.1:7001 --schema "t a:int" &
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "broker/broker.h"
+#include "broker/tcp_transport.h"
+#include "common/logging.h"
+#include "tool_config.h"
+
+using namespace gryphon;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+struct Relay : TransportHandler {
+  TransportHandler* target{nullptr};
+  void on_connect(ConnId c) override { target->on_connect(c); }
+  void on_frame(ConnId c, std::span<const std::uint8_t> f) override { target->on_frame(c, f); }
+  void on_disconnect(ConnId c) override { target->on_disconnect(c); }
+};
+
+[[noreturn]] void usage(const char* argv0, const char* error) {
+  std::fprintf(stderr, "error: %s\n", error);
+  std::fprintf(stderr,
+               "usage: %s --id N --brokers N --links \"0-1:10,...\" --listen PORT\n"
+               "          [--dial ID=HOST:PORT]... --schema \"NAME attr:type ...\" ...\n"
+               "          [--gc-seconds N] [--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int id = -1;
+  int brokers = -1;
+  std::string links;
+  int listen_port = -1;
+  std::vector<std::string> dials;
+  std::vector<std::string> schemas;
+  int gc_seconds = 3600;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], ("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--id") id = std::atoi(next().c_str());
+    else if (arg == "--brokers") brokers = std::atoi(next().c_str());
+    else if (arg == "--links") links = next();
+    else if (arg == "--listen") listen_port = std::atoi(next().c_str());
+    else if (arg == "--dial") dials.push_back(next());
+    else if (arg == "--schema") schemas.push_back(next());
+    else if (arg == "--gc-seconds") gc_seconds = std::atoi(next().c_str());
+    else if (arg == "--verbose") verbose = true;
+    else usage(argv[0], ("unknown argument " + arg).c_str());
+  }
+  if (id < 0) usage(argv[0], "--id is required");
+  if (brokers <= 0) usage(argv[0], "--brokers is required");
+  if (listen_port < 0) usage(argv[0], "--listen is required");
+  if (schemas.empty()) usage(argv[0], "at least one --schema is required");
+  set_log_level(verbose ? LogLevel::kDebug : LogLevel::kWarn);
+
+  try {
+    std::vector<SchemaPtr> spaces;
+    for (const std::string& spec : schemas) spaces.push_back(tools::parse_schema_spec(spec));
+    const BrokerNetwork topology =
+        tools::parse_topology_spec(static_cast<std::size_t>(brokers), links);
+
+    Broker::Options options;
+    options.log_retention = ticks_from_seconds(gc_seconds);
+    Relay relay;
+    TcpTransport transport(relay);
+    Broker broker(BrokerId{id}, topology, spaces, transport, options);
+    relay.target = &broker;
+    const std::uint16_t port = transport.listen(static_cast<std::uint16_t>(listen_port));
+    std::printf("brokerd: broker %d listening on 127.0.0.1:%u (%zu spaces, %zu brokers)\n", id,
+                port, spaces.size(), static_cast<std::size_t>(brokers));
+
+    for (const std::string& spec : dials) {
+      const auto target = tools::parse_dial_spec(spec);
+      const ConnId conn = transport.connect(target.host, target.port);
+      broker.attach_broker_link(conn, target.peer);
+      std::printf("brokerd: linked to broker %d at %s:%u\n", target.peer.value,
+                  target.host.c_str(), target.port);
+    }
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    auto last_gc = std::chrono::steady_clock::now();
+    while (!g_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_gc > std::chrono::seconds(30)) {
+        const std::size_t collected = broker.collect_garbage();
+        if (collected > 0 && verbose) {
+          std::printf("brokerd: garbage-collected %zu log entries\n", collected);
+        }
+        last_gc = now;
+      }
+    }
+    const auto stats = broker.stats();
+    std::printf(
+        "brokerd: shutting down (published=%llu relayed=%llu forwarded=%llu delivered=%llu "
+        "subscriptions=%llu)\n",
+        static_cast<unsigned long long>(stats.events_published),
+        static_cast<unsigned long long>(stats.events_relayed),
+        static_cast<unsigned long long>(stats.events_forwarded),
+        static_cast<unsigned long long>(stats.events_delivered),
+        static_cast<unsigned long long>(stats.subscriptions_active));
+    transport.shutdown();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "brokerd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,166 @@
+// pubsub — command-line publisher/subscriber client for brokerd.
+//
+// Usage:
+//   pubsub --connect HOST:PORT --name NAME --schema "NAME attr:type ..." ...
+//          [--schema ...] <command>
+//
+// Commands:
+//   sub [--space N] 'PREDICATE'        subscribe and print deliveries until
+//                                      EOF on stdin or --count events arrive
+//   pub [--space N] 'EVENT' ...        publish event literals, e.g.
+//                                      '{issue: "IBM", price: 119.5, volume: 3000}'
+//   pub [--space N] -                  read one event literal per stdin line
+//
+// Examples:
+//   pubsub --connect 127.0.0.1:7002 --name alice ...
+//          --schema "trades issue:string price:double volume:int" ...
+//          sub 'issue = "IBM" & price < 120 | volume > 50000'
+//   pubsub --connect 127.0.0.1:7000 --name feed ...
+//          --schema "trades issue:string price:double volume:int" ...
+//          pub '{issue: "IBM", price: 119.5, volume: 3000}'
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "broker/client.h"
+#include "broker/tcp_transport.h"
+#include "event/parser.h"
+#include "tool_config.h"
+
+using namespace gryphon;
+
+namespace {
+
+struct Relay : TransportHandler {
+  TransportHandler* target{nullptr};
+  void on_connect(ConnId c) override { target->on_connect(c); }
+  void on_frame(ConnId c, std::span<const std::uint8_t> f) override { target->on_frame(c, f); }
+  void on_disconnect(ConnId c) override { target->on_disconnect(c); }
+};
+
+[[noreturn]] void usage(const char* argv0, const char* error) {
+  std::fprintf(stderr, "error: %s\n", error);
+  std::fprintf(stderr,
+               "usage: %s --connect HOST:PORT --name NAME --schema \"...\" [--schema ...]\n"
+               "          sub [--space N] [--count N] 'PREDICATE'\n"
+               "        | pub [--space N] 'EVENT'... | pub [--space N] -\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect_spec;
+  std::string name;
+  std::vector<std::string> schemas;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], ("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--connect") connect_spec = next();
+    else if (arg == "--name") name = next();
+    else if (arg == "--schema") schemas.push_back(next());
+    else break;
+  }
+  if (connect_spec.empty()) usage(argv[0], "--connect is required");
+  if (name.empty()) usage(argv[0], "--name is required");
+  if (schemas.empty()) usage(argv[0], "at least one --schema is required");
+  if (i >= argc) usage(argv[0], "missing command (sub | pub)");
+  const std::string command = argv[i++];
+
+  std::uint16_t space = 0;
+  std::size_t count = 0;  // 0 = unbounded
+  std::vector<std::string> operands;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--space") {
+      if (i + 1 >= argc) usage(argv[0], "missing value for --space");
+      space = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--count") {
+      if (i + 1 >= argc) usage(argv[0], "missing value for --count");
+      count = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      operands.push_back(arg);
+    }
+  }
+
+  try {
+    std::vector<SchemaPtr> spaces;
+    for (const std::string& spec : schemas) spaces.push_back(tools::parse_schema_spec(spec));
+    std::string host;
+    std::uint16_t port = 0;
+    tools::parse_endpoint(connect_spec, host, port);
+
+    Relay relay;
+    TcpTransport transport(relay);
+    Client client(name, transport, spaces);
+    relay.target = &client;
+    client.bind(transport.connect(host, port));
+
+    if (command == "sub") {
+      if (operands.size() != 1) usage(argv[0], "sub takes exactly one predicate");
+      const auto tokens = client.subscribe_predicate(space, operands[0]);
+      for (const auto token : tokens) {
+        for (int spin = 0; spin < 500 && !client.subscription_id(token); ++spin) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(4));
+        }
+        if (!client.subscription_id(token)) {
+          for (const auto& error : client.take_errors()) {
+            std::fprintf(stderr, "pubsub: broker rejected subscription: %s\n", error.c_str());
+          }
+          transport.shutdown();
+          return 1;
+        }
+      }
+      std::fprintf(stderr, "pubsub: subscribed (%zu arm%s); waiting for events...\n",
+                   tokens.size(), tokens.size() == 1 ? "" : "s");
+      std::size_t received = 0;
+      while (count == 0 || received < count) {
+        client.wait_for_deliveries(1, 500);
+        for (auto& delivery : client.take_deliveries()) {
+          std::printf("[space %u, seq %llu] %s\n", delivery.space,
+                      static_cast<unsigned long long>(delivery.seq),
+                      delivery.event.to_text().c_str());
+          std::fflush(stdout);
+          ++received;
+        }
+        if (!client.connected()) {
+          std::fprintf(stderr, "pubsub: disconnected\n");
+          break;
+        }
+      }
+    } else if (command == "pub") {
+      if (operands.empty()) usage(argv[0], "pub needs event literals or '-'");
+      std::size_t published = 0;
+      const auto publish_literal = [&](const std::string& literal) {
+        client.publish(space, parse_event(spaces.at(space), literal));
+        ++published;
+      };
+      if (operands.size() == 1 && operands[0] == "-") {
+        std::string line;
+        while (std::getline(std::cin, line)) {
+          if (!line.empty()) publish_literal(line);
+        }
+      } else {
+        for (const std::string& literal : operands) publish_literal(literal);
+      }
+      // Give the sender pool a moment to flush before tearing down.
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::fprintf(stderr, "pubsub: published %zu event%s\n", published,
+                   published == 1 ? "" : "s");
+    } else {
+      usage(argv[0], ("unknown command '" + command + "'").c_str());
+    }
+    transport.shutdown();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pubsub: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

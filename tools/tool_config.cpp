@@ -1,0 +1,134 @@
+#include "tool_config.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/time.h"
+
+namespace gryphon::tools {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  std::istringstream stream(text);
+  while (std::getline(stream, current, sep)) {
+    if (!current.empty()) out.push_back(current);
+  }
+  return out;
+}
+
+int parse_int(const std::string& text, const char* what) {
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw std::invalid_argument(std::string("bad ") + what + ": '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+SchemaPtr parse_schema_spec(const std::string& spec) {
+  std::istringstream stream(spec);
+  std::string name;
+  if (!(stream >> name)) {
+    throw std::invalid_argument("schema spec: expected \"NAME attr:type ...\"");
+  }
+  std::vector<Attribute> attributes;
+  std::string token;
+  while (stream >> token) {
+    const auto colon = token.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("schema spec: attribute '" + token +
+                                  "' must be NAME:TYPE (types: int, double, string, bool; "
+                                  "int may declare a domain, e.g. a1:int(0..4))");
+    }
+    Attribute attr;
+    attr.name = token.substr(0, colon);
+    std::string type = token.substr(colon + 1);
+    // Optional finite int domain: int(LO..HI).
+    const auto paren = type.find('(');
+    std::string domain;
+    if (paren != std::string::npos) {
+      if (type.back() != ')') throw std::invalid_argument("schema spec: unbalanced '('");
+      domain = type.substr(paren + 1, type.size() - paren - 2);
+      type = type.substr(0, paren);
+    }
+    if (type == "int") {
+      attr.type = AttributeType::kInt;
+    } else if (type == "double") {
+      attr.type = AttributeType::kDouble;
+    } else if (type == "string") {
+      attr.type = AttributeType::kString;
+    } else if (type == "bool") {
+      attr.type = AttributeType::kBool;
+    } else {
+      throw std::invalid_argument("schema spec: unknown type '" + type + "'");
+    }
+    if (!domain.empty()) {
+      if (attr.type != AttributeType::kInt) {
+        throw std::invalid_argument("schema spec: domains are supported for int attributes");
+      }
+      const auto dots = domain.find("..");
+      if (dots == std::string::npos) {
+        throw std::invalid_argument("schema spec: domain must be LO..HI");
+      }
+      const int lo = parse_int(domain.substr(0, dots), "domain bound");
+      const int hi = parse_int(domain.substr(dots + 2), "domain bound");
+      if (hi < lo) throw std::invalid_argument("schema spec: empty domain");
+      for (int v = lo; v <= hi; ++v) attr.domain.emplace_back(static_cast<std::int64_t>(v));
+    }
+    attributes.push_back(std::move(attr));
+  }
+  if (attributes.empty()) {
+    throw std::invalid_argument("schema spec: needs at least one attribute");
+  }
+  return make_schema(name, std::move(attributes));
+}
+
+BrokerNetwork parse_topology_spec(std::size_t broker_count, const std::string& spec) {
+  BrokerNetwork net;
+  for (std::size_t i = 0; i < broker_count; ++i) net.add_broker();
+  for (const std::string& link : split(spec, ',')) {
+    const auto dash = link.find('-');
+    if (dash == std::string::npos) {
+      throw std::invalid_argument("topology spec: link '" + link + "' must be A-B[:DELAY_MS]");
+    }
+    const auto colon = link.find(':', dash);
+    const int a = parse_int(link.substr(0, dash), "broker id");
+    const int b = parse_int(colon == std::string::npos
+                                ? link.substr(dash + 1)
+                                : link.substr(dash + 1, colon - dash - 1),
+                            "broker id");
+    const int delay_ms = colon == std::string::npos
+                             ? 1
+                             : parse_int(link.substr(colon + 1), "delay");
+    net.connect(BrokerId{a}, BrokerId{b}, ticks_from_millis(delay_ms));
+  }
+  return net;
+}
+
+void parse_endpoint(const std::string& spec, std::string& host, std::uint16_t& port) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("endpoint '" + spec + "' must be HOST:PORT");
+  }
+  host = spec.substr(0, colon);
+  port = static_cast<std::uint16_t>(parse_int(spec.substr(colon + 1), "port"));
+}
+
+DialTarget parse_dial_spec(const std::string& spec) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("dial spec '" + spec + "' must be BROKERID=HOST:PORT");
+  }
+  DialTarget target;
+  target.peer = BrokerId{parse_int(spec.substr(0, eq), "broker id")};
+  parse_endpoint(spec.substr(eq + 1), target.host, target.port);
+  return target;
+}
+
+}  // namespace gryphon::tools

@@ -1,0 +1,38 @@
+// Shared command-line configuration parsing for the CLI tools.
+//
+// Schema spec:    "trades issue:string price:double volume:int urgent:bool"
+//                 An int attribute may declare a finite domain:
+//                 "synthetic a1:int(0..4) a2:int(0..4)"
+// Topology spec:  "0-1:10,1-2:25"   (brokerA-brokerB:one-way-delay-ms)
+// Dial spec:      "1=127.0.0.1:7001"
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "event/schema.h"
+#include "topology/network.h"
+
+namespace gryphon::tools {
+
+/// Parses a schema spec; throws std::invalid_argument with a usage hint.
+SchemaPtr parse_schema_spec(const std::string& spec);
+
+/// Parses a topology spec into a broker-only network with `broker_count`
+/// brokers. Delays are milliseconds.
+BrokerNetwork parse_topology_spec(std::size_t broker_count, const std::string& spec);
+
+struct DialTarget {
+  BrokerId peer;
+  std::string host;
+  std::uint16_t port{0};
+};
+
+/// Parses one dial spec "ID=HOST:PORT".
+DialTarget parse_dial_spec(const std::string& spec);
+
+/// Splits a host:port endpoint.
+void parse_endpoint(const std::string& spec, std::string& host, std::uint16_t& port);
+
+}  // namespace gryphon::tools
