@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_attribute_order.dir/ablation_attribute_order.cpp.o"
+  "CMakeFiles/ablation_attribute_order.dir/ablation_attribute_order.cpp.o.d"
+  "ablation_attribute_order"
+  "ablation_attribute_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attribute_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_throughput.dir/broker_throughput.cpp.o"
+  "CMakeFiles/broker_throughput.dir/broker_throughput.cpp.o.d"
+  "broker_throughput"
+  "broker_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chart1_saturation.dir/chart1_saturation.cpp.o"
+  "CMakeFiles/chart1_saturation.dir/chart1_saturation.cpp.o.d"
+  "chart1_saturation"
+  "chart1_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chart1_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

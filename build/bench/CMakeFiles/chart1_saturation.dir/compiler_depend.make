@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chart1_saturation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chart2_matching_steps.dir/chart2_matching_steps.cpp.o"
+  "CMakeFiles/chart2_matching_steps.dir/chart2_matching_steps.cpp.o.d"
+  "chart2_matching_steps"
+  "chart2_matching_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chart2_matching_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

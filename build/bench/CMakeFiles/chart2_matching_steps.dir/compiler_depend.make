@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chart2_matching_steps.
+# This may be replaced when dependencies are built.

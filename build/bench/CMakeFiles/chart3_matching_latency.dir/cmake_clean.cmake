@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chart3_matching_latency.dir/chart3_matching_latency.cpp.o"
+  "CMakeFiles/chart3_matching_latency.dir/chart3_matching_latency.cpp.o.d"
+  "chart3_matching_latency"
+  "chart3_matching_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chart3_matching_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chart3_matching_latency.
+# This may be replaced when dependencies are built.

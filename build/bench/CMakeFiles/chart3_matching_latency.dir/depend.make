@@ -1,0 +1,2 @@
+# Empty dependencies file for chart3_matching_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bursty_loads.dir/ext_bursty_loads.cpp.o"
+  "CMakeFiles/ext_bursty_loads.dir/ext_bursty_loads.cpp.o.d"
+  "ext_bursty_loads"
+  "ext_bursty_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bursty_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_multicast.dir/wan_multicast.cpp.o"
+  "CMakeFiles/wan_multicast.dir/wan_multicast.cpp.o.d"
+  "wan_multicast"
+  "wan_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

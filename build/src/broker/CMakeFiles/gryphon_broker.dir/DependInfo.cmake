@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broker/broker.cpp" "src/broker/CMakeFiles/gryphon_broker.dir/broker.cpp.o" "gcc" "src/broker/CMakeFiles/gryphon_broker.dir/broker.cpp.o.d"
+  "/root/repo/src/broker/broker_core.cpp" "src/broker/CMakeFiles/gryphon_broker.dir/broker_core.cpp.o" "gcc" "src/broker/CMakeFiles/gryphon_broker.dir/broker_core.cpp.o.d"
+  "/root/repo/src/broker/client.cpp" "src/broker/CMakeFiles/gryphon_broker.dir/client.cpp.o" "gcc" "src/broker/CMakeFiles/gryphon_broker.dir/client.cpp.o.d"
+  "/root/repo/src/broker/event_log.cpp" "src/broker/CMakeFiles/gryphon_broker.dir/event_log.cpp.o" "gcc" "src/broker/CMakeFiles/gryphon_broker.dir/event_log.cpp.o.d"
+  "/root/repo/src/broker/inproc_transport.cpp" "src/broker/CMakeFiles/gryphon_broker.dir/inproc_transport.cpp.o" "gcc" "src/broker/CMakeFiles/gryphon_broker.dir/inproc_transport.cpp.o.d"
+  "/root/repo/src/broker/tcp_transport.cpp" "src/broker/CMakeFiles/gryphon_broker.dir/tcp_transport.cpp.o" "gcc" "src/broker/CMakeFiles/gryphon_broker.dir/tcp_transport.cpp.o.d"
+  "/root/repo/src/broker/wire.cpp" "src/broker/CMakeFiles/gryphon_broker.dir/wire.cpp.o" "gcc" "src/broker/CMakeFiles/gryphon_broker.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/gryphon_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/gryphon_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/gryphon_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gryphon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gryphon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_broker.dir/broker.cpp.o"
+  "CMakeFiles/gryphon_broker.dir/broker.cpp.o.d"
+  "CMakeFiles/gryphon_broker.dir/broker_core.cpp.o"
+  "CMakeFiles/gryphon_broker.dir/broker_core.cpp.o.d"
+  "CMakeFiles/gryphon_broker.dir/client.cpp.o"
+  "CMakeFiles/gryphon_broker.dir/client.cpp.o.d"
+  "CMakeFiles/gryphon_broker.dir/event_log.cpp.o"
+  "CMakeFiles/gryphon_broker.dir/event_log.cpp.o.d"
+  "CMakeFiles/gryphon_broker.dir/inproc_transport.cpp.o"
+  "CMakeFiles/gryphon_broker.dir/inproc_transport.cpp.o.d"
+  "CMakeFiles/gryphon_broker.dir/tcp_transport.cpp.o"
+  "CMakeFiles/gryphon_broker.dir/tcp_transport.cpp.o.d"
+  "CMakeFiles/gryphon_broker.dir/wire.cpp.o"
+  "CMakeFiles/gryphon_broker.dir/wire.cpp.o.d"
+  "libgryphon_broker.a"
+  "libgryphon_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_common.dir/logging.cpp.o"
+  "CMakeFiles/gryphon_common.dir/logging.cpp.o.d"
+  "CMakeFiles/gryphon_common.dir/rng.cpp.o"
+  "CMakeFiles/gryphon_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gryphon_common.dir/zipf.cpp.o"
+  "CMakeFiles/gryphon_common.dir/zipf.cpp.o.d"
+  "libgryphon_common.a"
+  "libgryphon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/codec.cpp" "src/event/CMakeFiles/gryphon_event.dir/codec.cpp.o" "gcc" "src/event/CMakeFiles/gryphon_event.dir/codec.cpp.o.d"
+  "/root/repo/src/event/event.cpp" "src/event/CMakeFiles/gryphon_event.dir/event.cpp.o" "gcc" "src/event/CMakeFiles/gryphon_event.dir/event.cpp.o.d"
+  "/root/repo/src/event/parser.cpp" "src/event/CMakeFiles/gryphon_event.dir/parser.cpp.o" "gcc" "src/event/CMakeFiles/gryphon_event.dir/parser.cpp.o.d"
+  "/root/repo/src/event/schema.cpp" "src/event/CMakeFiles/gryphon_event.dir/schema.cpp.o" "gcc" "src/event/CMakeFiles/gryphon_event.dir/schema.cpp.o.d"
+  "/root/repo/src/event/subscription.cpp" "src/event/CMakeFiles/gryphon_event.dir/subscription.cpp.o" "gcc" "src/event/CMakeFiles/gryphon_event.dir/subscription.cpp.o.d"
+  "/root/repo/src/event/value.cpp" "src/event/CMakeFiles/gryphon_event.dir/value.cpp.o" "gcc" "src/event/CMakeFiles/gryphon_event.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gryphon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_event.dir/codec.cpp.o"
+  "CMakeFiles/gryphon_event.dir/codec.cpp.o.d"
+  "CMakeFiles/gryphon_event.dir/event.cpp.o"
+  "CMakeFiles/gryphon_event.dir/event.cpp.o.d"
+  "CMakeFiles/gryphon_event.dir/parser.cpp.o"
+  "CMakeFiles/gryphon_event.dir/parser.cpp.o.d"
+  "CMakeFiles/gryphon_event.dir/schema.cpp.o"
+  "CMakeFiles/gryphon_event.dir/schema.cpp.o.d"
+  "CMakeFiles/gryphon_event.dir/subscription.cpp.o"
+  "CMakeFiles/gryphon_event.dir/subscription.cpp.o.d"
+  "CMakeFiles/gryphon_event.dir/value.cpp.o"
+  "CMakeFiles/gryphon_event.dir/value.cpp.o.d"
+  "libgryphon_event.a"
+  "libgryphon_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

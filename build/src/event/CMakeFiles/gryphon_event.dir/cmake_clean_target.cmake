@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgryphon_event.a"
+)

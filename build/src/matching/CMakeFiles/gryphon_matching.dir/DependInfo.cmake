@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/attribute_order.cpp" "src/matching/CMakeFiles/gryphon_matching.dir/attribute_order.cpp.o" "gcc" "src/matching/CMakeFiles/gryphon_matching.dir/attribute_order.cpp.o.d"
+  "/root/repo/src/matching/gating_matcher.cpp" "src/matching/CMakeFiles/gryphon_matching.dir/gating_matcher.cpp.o" "gcc" "src/matching/CMakeFiles/gryphon_matching.dir/gating_matcher.cpp.o.d"
+  "/root/repo/src/matching/naive_matcher.cpp" "src/matching/CMakeFiles/gryphon_matching.dir/naive_matcher.cpp.o" "gcc" "src/matching/CMakeFiles/gryphon_matching.dir/naive_matcher.cpp.o.d"
+  "/root/repo/src/matching/psg.cpp" "src/matching/CMakeFiles/gryphon_matching.dir/psg.cpp.o" "gcc" "src/matching/CMakeFiles/gryphon_matching.dir/psg.cpp.o.d"
+  "/root/repo/src/matching/pst.cpp" "src/matching/CMakeFiles/gryphon_matching.dir/pst.cpp.o" "gcc" "src/matching/CMakeFiles/gryphon_matching.dir/pst.cpp.o.d"
+  "/root/repo/src/matching/pst_matcher.cpp" "src/matching/CMakeFiles/gryphon_matching.dir/pst_matcher.cpp.o" "gcc" "src/matching/CMakeFiles/gryphon_matching.dir/pst_matcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/gryphon_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gryphon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

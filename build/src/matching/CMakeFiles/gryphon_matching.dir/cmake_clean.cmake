@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_matching.dir/attribute_order.cpp.o"
+  "CMakeFiles/gryphon_matching.dir/attribute_order.cpp.o.d"
+  "CMakeFiles/gryphon_matching.dir/gating_matcher.cpp.o"
+  "CMakeFiles/gryphon_matching.dir/gating_matcher.cpp.o.d"
+  "CMakeFiles/gryphon_matching.dir/naive_matcher.cpp.o"
+  "CMakeFiles/gryphon_matching.dir/naive_matcher.cpp.o.d"
+  "CMakeFiles/gryphon_matching.dir/psg.cpp.o"
+  "CMakeFiles/gryphon_matching.dir/psg.cpp.o.d"
+  "CMakeFiles/gryphon_matching.dir/pst.cpp.o"
+  "CMakeFiles/gryphon_matching.dir/pst.cpp.o.d"
+  "CMakeFiles/gryphon_matching.dir/pst_matcher.cpp.o"
+  "CMakeFiles/gryphon_matching.dir/pst_matcher.cpp.o.d"
+  "libgryphon_matching.a"
+  "libgryphon_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

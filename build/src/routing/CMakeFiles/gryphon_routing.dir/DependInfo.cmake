@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/annotated_pst.cpp" "src/routing/CMakeFiles/gryphon_routing.dir/annotated_pst.cpp.o" "gcc" "src/routing/CMakeFiles/gryphon_routing.dir/annotated_pst.cpp.o.d"
+  "/root/repo/src/routing/content_router.cpp" "src/routing/CMakeFiles/gryphon_routing.dir/content_router.cpp.o" "gcc" "src/routing/CMakeFiles/gryphon_routing.dir/content_router.cpp.o.d"
+  "/root/repo/src/routing/link_matcher.cpp" "src/routing/CMakeFiles/gryphon_routing.dir/link_matcher.cpp.o" "gcc" "src/routing/CMakeFiles/gryphon_routing.dir/link_matcher.cpp.o.d"
+  "/root/repo/src/routing/trit.cpp" "src/routing/CMakeFiles/gryphon_routing.dir/trit.cpp.o" "gcc" "src/routing/CMakeFiles/gryphon_routing.dir/trit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matching/CMakeFiles/gryphon_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gryphon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/gryphon_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gryphon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

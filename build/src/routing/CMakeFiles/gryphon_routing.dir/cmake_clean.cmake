@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_routing.dir/annotated_pst.cpp.o"
+  "CMakeFiles/gryphon_routing.dir/annotated_pst.cpp.o.d"
+  "CMakeFiles/gryphon_routing.dir/content_router.cpp.o"
+  "CMakeFiles/gryphon_routing.dir/content_router.cpp.o.d"
+  "CMakeFiles/gryphon_routing.dir/link_matcher.cpp.o"
+  "CMakeFiles/gryphon_routing.dir/link_matcher.cpp.o.d"
+  "CMakeFiles/gryphon_routing.dir/trit.cpp.o"
+  "CMakeFiles/gryphon_routing.dir/trit.cpp.o.d"
+  "libgryphon_routing.a"
+  "libgryphon_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

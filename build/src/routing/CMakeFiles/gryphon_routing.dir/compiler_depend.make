@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gryphon_routing.
+# This may be replaced when dependencies are built.

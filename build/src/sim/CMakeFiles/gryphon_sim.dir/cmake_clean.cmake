@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_sim.dir/saturation.cpp.o"
+  "CMakeFiles/gryphon_sim.dir/saturation.cpp.o.d"
+  "CMakeFiles/gryphon_sim.dir/simulation.cpp.o"
+  "CMakeFiles/gryphon_sim.dir/simulation.cpp.o.d"
+  "libgryphon_sim.a"
+  "libgryphon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

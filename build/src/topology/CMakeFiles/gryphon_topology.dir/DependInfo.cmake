@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/builders.cpp" "src/topology/CMakeFiles/gryphon_topology.dir/builders.cpp.o" "gcc" "src/topology/CMakeFiles/gryphon_topology.dir/builders.cpp.o.d"
+  "/root/repo/src/topology/network.cpp" "src/topology/CMakeFiles/gryphon_topology.dir/network.cpp.o" "gcc" "src/topology/CMakeFiles/gryphon_topology.dir/network.cpp.o.d"
+  "/root/repo/src/topology/routing_table.cpp" "src/topology/CMakeFiles/gryphon_topology.dir/routing_table.cpp.o" "gcc" "src/topology/CMakeFiles/gryphon_topology.dir/routing_table.cpp.o.d"
+  "/root/repo/src/topology/spanning_tree.cpp" "src/topology/CMakeFiles/gryphon_topology.dir/spanning_tree.cpp.o" "gcc" "src/topology/CMakeFiles/gryphon_topology.dir/spanning_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gryphon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_topology.dir/builders.cpp.o"
+  "CMakeFiles/gryphon_topology.dir/builders.cpp.o.d"
+  "CMakeFiles/gryphon_topology.dir/network.cpp.o"
+  "CMakeFiles/gryphon_topology.dir/network.cpp.o.d"
+  "CMakeFiles/gryphon_topology.dir/routing_table.cpp.o"
+  "CMakeFiles/gryphon_topology.dir/routing_table.cpp.o.d"
+  "CMakeFiles/gryphon_topology.dir/spanning_tree.cpp.o"
+  "CMakeFiles/gryphon_topology.dir/spanning_tree.cpp.o.d"
+  "libgryphon_topology.a"
+  "libgryphon_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

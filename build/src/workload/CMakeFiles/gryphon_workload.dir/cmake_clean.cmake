@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/gryphon_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/gryphon_workload.dir/generators.cpp.o"
+  "CMakeFiles/gryphon_workload.dir/generators.cpp.o.d"
+  "libgryphon_workload.a"
+  "libgryphon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_broker_network.cpp" "tests/CMakeFiles/integration_tests.dir/test_broker_network.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_broker_network.cpp.o.d"
+  "/root/repo/tests/test_property_routing.cpp" "tests/CMakeFiles/integration_tests.dir/test_property_routing.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_property_routing.cpp.o.d"
+  "/root/repo/tests/test_sim_protocols.cpp" "tests/CMakeFiles/integration_tests.dir/test_sim_protocols.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_sim_protocols.cpp.o.d"
+  "/root/repo/tests/test_sim_saturation.cpp" "tests/CMakeFiles/integration_tests.dir/test_sim_saturation.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_sim_saturation.cpp.o.d"
+  "/root/repo/tests/test_simulation_details.cpp" "tests/CMakeFiles/integration_tests.dir/test_simulation_details.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_simulation_details.cpp.o.d"
+  "/root/repo/tests/test_tcp_broker.cpp" "tests/CMakeFiles/integration_tests.dir/test_tcp_broker.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/test_tcp_broker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/broker/CMakeFiles/gryphon_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gryphon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/gryphon_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gryphon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gryphon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/gryphon_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/gryphon_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gryphon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

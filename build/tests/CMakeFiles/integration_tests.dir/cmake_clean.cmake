@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/test_broker_network.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_broker_network.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_property_routing.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_property_routing.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_sim_protocols.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_sim_protocols.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_sim_saturation.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_sim_saturation.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_simulation_details.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_simulation_details.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/test_tcp_broker.cpp.o"
+  "CMakeFiles/integration_tests.dir/test_tcp_broker.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

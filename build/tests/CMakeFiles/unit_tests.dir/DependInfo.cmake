@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_annotated_pst.cpp" "tests/CMakeFiles/unit_tests.dir/test_annotated_pst.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_annotated_pst.cpp.o.d"
+  "/root/repo/tests/test_arrivals.cpp" "tests/CMakeFiles/unit_tests.dir/test_arrivals.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_arrivals.cpp.o.d"
+  "/root/repo/tests/test_attribute_order.cpp" "tests/CMakeFiles/unit_tests.dir/test_attribute_order.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_attribute_order.cpp.o.d"
+  "/root/repo/tests/test_broker_core.cpp" "tests/CMakeFiles/unit_tests.dir/test_broker_core.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_broker_core.cpp.o.d"
+  "/root/repo/tests/test_codec.cpp" "tests/CMakeFiles/unit_tests.dir/test_codec.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_codec.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/unit_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_content_router.cpp" "tests/CMakeFiles/unit_tests.dir/test_content_router.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_content_router.cpp.o.d"
+  "/root/repo/tests/test_event_log.cpp" "tests/CMakeFiles/unit_tests.dir/test_event_log.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_event_log.cpp.o.d"
+  "/root/repo/tests/test_factoring.cpp" "tests/CMakeFiles/unit_tests.dir/test_factoring.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_factoring.cpp.o.d"
+  "/root/repo/tests/test_inproc_transport.cpp" "tests/CMakeFiles/unit_tests.dir/test_inproc_transport.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_inproc_transport.cpp.o.d"
+  "/root/repo/tests/test_link_matcher.cpp" "tests/CMakeFiles/unit_tests.dir/test_link_matcher.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_link_matcher.cpp.o.d"
+  "/root/repo/tests/test_matchers.cpp" "tests/CMakeFiles/unit_tests.dir/test_matchers.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_matchers.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/unit_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_psg.cpp" "tests/CMakeFiles/unit_tests.dir/test_psg.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_psg.cpp.o.d"
+  "/root/repo/tests/test_pst.cpp" "tests/CMakeFiles/unit_tests.dir/test_pst.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_pst.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/unit_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_schema_event.cpp" "tests/CMakeFiles/unit_tests.dir/test_schema_event.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_schema_event.cpp.o.d"
+  "/root/repo/tests/test_spanning_tree.cpp" "tests/CMakeFiles/unit_tests.dir/test_spanning_tree.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_spanning_tree.cpp.o.d"
+  "/root/repo/tests/test_subscription.cpp" "tests/CMakeFiles/unit_tests.dir/test_subscription.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_subscription.cpp.o.d"
+  "/root/repo/tests/test_tool_config.cpp" "tests/CMakeFiles/unit_tests.dir/test_tool_config.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_tool_config.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/unit_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trit.cpp" "tests/CMakeFiles/unit_tests.dir/test_trit.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_trit.cpp.o.d"
+  "/root/repo/tests/test_value.cpp" "tests/CMakeFiles/unit_tests.dir/test_value.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_value.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/unit_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_wire.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/unit_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_workload.cpp.o.d"
+  "/root/repo/tests/test_zipf.cpp" "tests/CMakeFiles/unit_tests.dir/test_zipf.cpp.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/broker/CMakeFiles/gryphon_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gryphon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/gryphon_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gryphon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gryphon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/gryphon_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/gryphon_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gryphon_common.dir/DependInfo.cmake"
+  "/root/repo/build/tools/CMakeFiles/gryphon_tools_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brokerd.dir/brokerd.cpp.o"
+  "CMakeFiles/brokerd.dir/brokerd.cpp.o.d"
+  "brokerd"
+  "brokerd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brokerd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

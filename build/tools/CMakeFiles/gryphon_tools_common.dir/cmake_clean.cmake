@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gryphon_tools_common.dir/tool_config.cpp.o"
+  "CMakeFiles/gryphon_tools_common.dir/tool_config.cpp.o.d"
+  "libgryphon_tools_common.a"
+  "libgryphon_tools_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gryphon_tools_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

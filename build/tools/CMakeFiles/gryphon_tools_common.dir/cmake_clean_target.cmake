@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgryphon_tools_common.a"
+)
