@@ -54,7 +54,7 @@ void run() {
     bench::Stopwatch watch;
     for (const Event& e : probes) {
       out.clear();
-      matcher.match(e, out, &stats);
+      matcher.match_into(e, out, &stats);
     }
     std::printf("%24s %14.1f %14.4f\n", label,
                 static_cast<double>(stats.nodes_visited) / static_cast<double>(probes.size()),

@@ -49,7 +49,7 @@ void factoring_sweep(const Workload& workload) {
     bench::Stopwatch watch;
     for (const Event& e : workload.probes) {
       out.clear();
-      matcher.match(e, out, &stats);
+      matcher.match_into(e, out, &stats);
     }
     std::printf("%16zu %14.1f %14.4f %12zu\n", levels,
                 static_cast<double>(stats.nodes_visited) /

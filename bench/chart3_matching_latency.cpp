@@ -45,14 +45,14 @@ void run() {
     bench::Stopwatch pst_watch;
     for (const Event& e : probes) {
       out.clear();
-      pst.match(e, out, &stats);
+      pst.match_into(e, out, &stats);
     }
     const double pst_seconds = pst_watch.seconds();
 
     bench::Stopwatch naive_watch;
     for (std::size_t i = 0; i < probes.size() / 10; ++i) {  // naive is slow; sample
       out.clear();
-      naive.match(probes[i], out);
+      naive.match_into(probes[i], out);
     }
     const double naive_seconds = naive_watch.seconds() * 10.0;
 

@@ -47,7 +47,7 @@ void BM_PstMatch(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     out.clear();
-    matcher.match(fixture.events[i++ % fixture.events.size()], out);
+    matcher.match_into(fixture.events[i++ % fixture.events.size()], out);
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -64,7 +64,7 @@ void BM_NaiveMatch(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     out.clear();
-    matcher.match(fixture.events[i++ % fixture.events.size()], out);
+    matcher.match_into(fixture.events[i++ % fixture.events.size()], out);
     benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));

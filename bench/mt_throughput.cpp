@@ -1,0 +1,134 @@
+// Multithreaded matching throughput: N threads dispatching events against
+// one BrokerCore snapshot concurrently, sweeping the thread count.
+//
+// The dispatch path shares no mutable state — readers pin an immutable
+// snapshot (one pointer copy under a tiny lock) and carry their own
+// MatchScratch — so throughput should scale linearly until
+// the machine runs out of cores. The sweep intentionally runs past the
+// hardware concurrency (recorded in the JSON) so oversubscribed points are
+// identifiable: on a 1-core container every multi-thread point is
+// timeslicing, not parallelism, and speedups stay ~1.
+//
+// Writes BENCH_mt_throughput.json to the working directory.
+//
+// Usage: mt_throughput [subscriptions] [duration_ms_per_point]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "broker/broker_core.h"
+#include "topology/builders.h"
+
+namespace gryphon {
+namespace {
+
+struct Point {
+  std::size_t threads;
+  std::uint64_t events;
+  double seconds;
+  [[nodiscard]] double events_per_sec() const {
+    return static_cast<double>(events) / seconds;
+  }
+};
+
+Point run_point(const BrokerCore& core, const std::vector<Event>& pool,
+                std::size_t n_threads, int duration_ms) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  bench::Stopwatch watch;
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&, t] {
+      MatchScratch scratch;  // per-thread memoization arena
+      std::uint64_t local = 0;
+      std::size_t i = t * 7919;  // decorrelate the event streams
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int burst = 0; burst < 32; ++burst) {
+          const Event& e = pool[i++ % pool.size()];
+          const auto d = core.dispatch(SpaceId{0}, e, BrokerId{0}, scratch);
+          if (d.steps == 0 && !d.forward.empty()) std::abort();  // keep `d` live
+          ++local;
+        }
+      }
+      total.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : threads) th.join();
+  return Point{n_threads, total.load(), watch.seconds()};
+}
+
+}  // namespace
+}  // namespace gryphon
+
+int main(int argc, char** argv) {
+  using namespace gryphon;
+  const std::size_t n_subs =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 10000;
+  const int duration_ms = argc > 2 ? std::atoi(argv[2]) : 1000;
+
+  const auto schema = make_synthetic_schema(8, 4);
+  const BrokerNetwork topo = make_line(3, 10, 0, 1);
+  BrokerCore core(BrokerId{1}, topo, {schema});
+
+  Rng rng(4242);
+  SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.95, 0.85, 1.0});
+  for (std::size_t i = 0; i < n_subs; ++i) {
+    const BrokerId owner{static_cast<BrokerId::rep_type>(rng.below(3))};
+    core.add_subscription(SpaceId{0}, SubscriptionId{static_cast<std::int64_t>(i)},
+                          gen.generate(rng), owner);
+  }
+  EventGenerator events(schema);
+  std::vector<Event> pool;
+  pool.reserve(4096);
+  for (std::size_t i = 0; i < 4096; ++i) pool.push_back(events.generate(rng));
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  bench::print_header("Multithreaded dispatch throughput (snapshot pinning)");
+  std::printf("subscriptions=%zu  hardware_concurrency=%u  per-point duration=%dms\n",
+              n_subs, hw, duration_ms);
+  std::printf("%8s %16s %14s %10s\n", "threads", "events", "events/sec", "speedup");
+
+  std::vector<Point> points;
+  double base = 0.0;
+  for (const std::size_t t : {1u, 2u, 4u, 8u, 16u}) {
+    const Point p = run_point(core, pool, t, duration_ms);
+    if (t == 1) base = p.events_per_sec();
+    points.push_back(p);
+    std::printf("%8zu %16llu %14.0f %9.2fx\n", p.threads,
+                static_cast<unsigned long long>(p.events), p.events_per_sec(),
+                p.events_per_sec() / base);
+  }
+
+  std::FILE* out = std::fopen("BENCH_mt_throughput.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "mt_throughput: cannot write BENCH_mt_throughput.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"mt_throughput\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"subscriptions\": %zu,\n"
+               "  \"duration_ms_per_point\": %d,\n"
+               "  \"results\": [\n",
+               hw, n_subs, duration_ms);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"events\": %llu, \"seconds\": %.4f, "
+                 "\"events_per_sec\": %.1f, \"speedup_vs_1\": %.3f}%s\n",
+                 p.threads, static_cast<unsigned long long>(p.events), p.seconds,
+                 p.events_per_sec(), p.events_per_sec() / base,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_mt_throughput.json\n");
+  return 0;
+}

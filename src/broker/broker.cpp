@@ -10,12 +10,31 @@ Broker::Broker(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaP
                Transport& transport, Options options)
     : core_(self, topology, std::move(spaces), options.matcher),
       transport_(&transport),
-      options_(options) {}
+      options_(options) {
+  workers_.reserve(options_.match_threads);
+  for (std::size_t i = 0; i < options_.match_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Broker::~Broker() {
+  {
+    std::lock_guard<std::mutex> qlock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
 
 Ticks Broker::now() const {
   const auto elapsed = std::chrono::steady_clock::now() - epoch_;
   const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
   return ticks_from_micros(static_cast<double>(micros));
+}
+
+void Broker::flush() {
+  std::unique_lock<std::mutex> qlock(queue_mutex_);
+  done_cv_.wait(qlock, [&] { return unfinished_events_ == 0; });
 }
 
 void Broker::attach_broker_link(ConnId conn, BrokerId peer) {
@@ -31,7 +50,7 @@ void Broker::sync_subscriptions_to(ConnId conn) {
   // subscription replica to the peer. The receiver deduplicates by id, so
   // resending after a reconnect is harmless, and subscriptions registered
   // before the link came up (or while it was down) still reach everyone.
-  core_.for_each_subscription([&](std::uint16_t space, SubscriptionId id, BrokerId owner,
+  core_.for_each_subscription([&](SpaceId space, SubscriptionId id, BrokerId owner,
                                   const Subscription& subscription) {
     transport_->send(conn, wire::encode(wire::SubPropagate{
                                id, owner, space, encode_subscription(subscription)}));
@@ -127,7 +146,7 @@ void Broker::handle_subscribe(ConnId conn, const wire::SubscribeReq& req) {
     send_error(conn, req.token, "subscribe before hello");
     return;
   }
-  if (req.space >= core_.space_count()) {
+  if (!core_.has_space(req.space)) {
     send_error(conn, req.token, "unknown information space");
     return;
   }
@@ -154,7 +173,7 @@ void Broker::handle_unsubscribe(ConnId conn, const wire::Unsubscribe& req) {
   const auto space_it = local_sub_space_.find(req.id);
   const std::size_t count_before =
       space_it == local_sub_space_.end() ? 0 : core_.subscription_count(space_it->second);
-  const std::uint16_t space = space_it == local_sub_space_.end() ? 0 : space_it->second;
+  const SpaceId space = space_it == local_sub_space_.end() ? SpaceId{0} : space_it->second;
   if (!core_.remove_subscription(req.id)) return;
   --stats_.subscriptions_active;
   auto& client = clients_.at(it->second.client_name);
@@ -172,13 +191,12 @@ void Broker::handle_publish(ConnId conn, const wire::Publish& publish) {
     send_error(conn, 0, "publish before hello");
     return;
   }
-  if (publish.space >= core_.space_count()) {
+  if (!core_.has_space(publish.space)) {
     send_error(conn, 0, "unknown information space");
     return;
   }
-  const Event event = decode_event(core_.schema(publish.space), publish.event);
   ++stats_.events_published;
-  process_event(publish.space, event, publish.event, core_.self());
+  process_event(publish.space, publish.event, core_.self());
 }
 
 void Broker::handle_ack(ConnId conn, const wire::Ack& ack) {
@@ -189,7 +207,7 @@ void Broker::handle_ack(ConnId conn, const wire::Ack& ack) {
 
 void Broker::handle_sub_propagate(ConnId conn, const wire::SubPropagate& prop) {
   if (core_.has_subscription(prop.id)) return;  // flooding deduplication
-  if (prop.space >= core_.space_count()) return;
+  if (!core_.has_space(prop.space)) return;
   const Subscription subscription =
       decode_subscription(core_.schema(prop.space), prop.subscription);
   const std::size_t count_before = core_.subscription_count(prop.space);
@@ -211,15 +229,58 @@ void Broker::handle_unsub_propagate(ConnId conn, const wire::UnsubPropagate& pro
 
 void Broker::handle_event_forward(ConnId conn, const wire::EventForward& fwd) {
   (void)conn;
-  if (fwd.space >= core_.space_count()) return;
-  const Event event = decode_event(core_.schema(fwd.space), fwd.event);
+  if (!core_.has_space(fwd.space)) return;
   ++stats_.events_relayed;
-  process_event(fwd.space, event, fwd.event, fwd.tree_root);
+  process_event(fwd.space, fwd.event, fwd.tree_root);
 }
 
-void Broker::process_event(std::uint16_t space, const Event& event,
-                           const std::vector<std::uint8_t>& encoded, BrokerId tree_root) {
-  const BrokerCore::Decision decision = core_.route(space, event, tree_root);
+void Broker::process_event(SpaceId space, const std::vector<std::uint8_t>& encoded,
+                           BrokerId tree_root) {
+  if (workers_.empty()) {
+    const Event event = decode_event(core_.schema(space), encoded);
+    apply_decision(space, encoded, tree_root, core_.dispatch(space, event, tree_root));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> qlock(queue_mutex_);
+    queue_.push_back(PendingEvent{space, encoded, tree_root});
+    ++unfinished_events_;
+  }
+  queue_cv_.notify_one();
+}
+
+void Broker::worker_loop() {
+  // One memoization arena per worker; the dispatch itself runs against the
+  // core's immutable snapshot, entirely outside the broker mutex.
+  MatchScratch scratch;
+  for (;;) {
+    PendingEvent item;
+    {
+      std::unique_lock<std::mutex> qlock(queue_mutex_);
+      queue_cv_.wait(qlock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      const Event event = decode_event(core_.schema(item.space), item.encoded);
+      const BrokerCore::Decision decision =
+          core_.dispatch(item.space, event, item.tree_root, scratch);
+      std::lock_guard<std::mutex> lock(mutex_);
+      apply_decision(item.space, item.encoded, item.tree_root, decision);
+    } catch (const std::exception& e) {
+      GRYPHON_WARN("broker") << "broker " << core_.self()
+                             << ": dropping undecodable event: " << e.what();
+    }
+    {
+      std::lock_guard<std::mutex> qlock(queue_mutex_);
+      if (--unfinished_events_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void Broker::apply_decision(SpaceId space, const std::vector<std::uint8_t>& encoded,
+                            BrokerId tree_root, const BrokerCore::Decision& decision) {
   stats_.matching_steps += decision.steps;
 
   for (const BrokerId peer : decision.forward) {
@@ -232,11 +293,11 @@ void Broker::process_event(std::uint16_t space, const Event& event,
     ++stats_.events_forwarded;
   }
 
-  if (decision.deliver_locally) {
+  if (!decision.local_matches.empty()) {
     // Fan out to local subscribers; one copy per client even when several
     // of its subscriptions match.
     std::vector<std::string> targets;
-    for (const SubscriptionId id : core_.match_local(space, event)) {
+    for (const SubscriptionId id : decision.local_matches) {
       const auto named = local_sub_client_.find(id);
       if (named != local_sub_client_.end()) targets.push_back(named->second);
     }
@@ -248,7 +309,7 @@ void Broker::process_event(std::uint16_t space, const Event& event,
   }
 }
 
-void Broker::deliver_to_client(ClientRecord& client, std::uint16_t space,
+void Broker::deliver_to_client(ClientRecord& client, SpaceId space,
                                std::vector<std::uint8_t> encoded) {
   const std::uint64_t seq = client.log.append(space, std::move(encoded), now());
   ++stats_.events_delivered;
@@ -277,13 +338,14 @@ void Broker::send_error(ConnId conn, std::uint64_t token, std::string message) {
 }
 
 void Broker::send_quench_state(ConnId conn) {
-  for (std::uint16_t space = 0; space < core_.space_count(); ++space) {
+  for (std::size_t s = 0; s < core_.space_count(); ++s) {
+    const SpaceId space{static_cast<SpaceId::rep_type>(s)};
     transport_->send(
         conn, wire::encode(wire::Quench{space, core_.subscription_count(space) > 0}));
   }
 }
 
-void Broker::maybe_broadcast_quench(std::uint16_t space, std::size_t count_before) {
+void Broker::maybe_broadcast_quench(SpaceId space, std::size_t count_before) {
   const std::size_t count_after = core_.subscription_count(space);
   const bool was_active = count_before > 0;
   const bool is_active = count_after > 0;

@@ -12,14 +12,27 @@
 // Subscriptions are replicated to every broker by flooding with id-based
 // deduplication; published events are multicast hop-by-hop with the link
 // matching protocol (the publisher's broker is the spanning-tree root).
+//
+// Event pipeline: with Options::match_threads == 0 every event is matched
+// and applied synchronously inside the frame handler (deterministic — the
+// historical behavior). With N > 0, a pool of N match workers decodes and
+// dispatches events against the core's published snapshot concurrently,
+// re-acquiring the broker mutex only for the cheap apply step (transport
+// sends, event logs, stats). Matching — the expensive part — then runs in
+// parallel with frame handling and with other matches. Events may be
+// applied out of arrival order across publishers; per-client delivery
+// sequence numbers remain monotonic. flush() quiesces the pipeline.
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +49,8 @@ class Broker : public TransportHandler {
     PstMatcherOptions matcher;
     /// Unacknowledged log entries older than this are garbage collected.
     Ticks log_retention{ticks_from_seconds(3600)};
+    /// Match workers. 0 = synchronous matching inside the frame handler.
+    std::size_t match_threads{0};
   };
 
   Broker(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaPtr> spaces,
@@ -43,6 +58,7 @@ class Broker : public TransportHandler {
   Broker(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaPtr> spaces,
          Transport& transport)
       : Broker(self, topology, std::move(spaces), transport, Options()) {}
+  ~Broker() override;
 
   [[nodiscard]] BrokerId self() const { return core_.self(); }
   /// Direct core access; safe only when no transport thread can be
@@ -53,6 +69,11 @@ class Broker : public TransportHandler {
     std::lock_guard<std::mutex> lock(mutex_);
     return core_.subscription_count();
   }
+
+  /// Blocks until every event enqueued to the match workers so far has been
+  /// dispatched and applied. Immediate when match_threads == 0. Do not call
+  /// from inside a transport callback.
+  void flush();
 
   /// Registers an *outbound* broker link this node initiated: sends the
   /// broker hello so the peer can bind the reverse mapping.
@@ -91,6 +112,11 @@ class Broker : public TransportHandler {
     EventLog log;
     std::vector<SubscriptionId> subscriptions;
   };
+  struct PendingEvent {
+    SpaceId space;
+    std::vector<std::uint8_t> encoded;
+    BrokerId tree_root;
+  };
 
   [[nodiscard]] Ticks now() const;
   void handle_hello_client(ConnId conn, const wire::HelloClient& hello);
@@ -103,17 +129,24 @@ class Broker : public TransportHandler {
   void handle_unsub_propagate(ConnId conn, const wire::UnsubPropagate& prop);
   void handle_event_forward(ConnId conn, const wire::EventForward& fwd);
 
-  /// Shared by local publications and forwarded events: route, forward,
-  /// deliver locally.
-  void process_event(std::uint16_t space, const Event& event,
-                     const std::vector<std::uint8_t>& encoded, BrokerId tree_root);
-  void deliver_to_client(ClientRecord& client, std::uint16_t space,
+  /// Shared by local publications and forwarded events. Synchronous mode:
+  /// decode + dispatch + apply inline (mutex_ held by the caller). Pipeline
+  /// mode: enqueue for the match workers. May throw (decode errors) only in
+  /// synchronous mode.
+  void process_event(SpaceId space, const std::vector<std::uint8_t>& encoded,
+                     BrokerId tree_root);
+  /// Applies a dispatch decision: forwards, delivers, accounts. Caller
+  /// holds mutex_.
+  void apply_decision(SpaceId space, const std::vector<std::uint8_t>& encoded,
+                      BrokerId tree_root, const BrokerCore::Decision& decision);
+  void worker_loop();
+  void deliver_to_client(ClientRecord& client, SpaceId space,
                          std::vector<std::uint8_t> encoded);
   void sync_subscriptions_to(ConnId conn);
   /// Broadcasts a quench update to every connected client when a space
   /// transitions between "has subscribers" and "has none" (Elvin-style
   /// quenching, paper Section 5).
-  void maybe_broadcast_quench(std::uint16_t space, std::size_t count_before);
+  void maybe_broadcast_quench(SpaceId space, std::size_t count_before);
   void send_quench_state(ConnId conn);
   void propagate_subscription(const wire::SubPropagate& prop, ConnId except);
   void propagate_unsubscription(const wire::UnsubPropagate& prop, ConnId except);
@@ -126,11 +159,21 @@ class Broker : public TransportHandler {
   std::unordered_map<ConnId, ConnState> conns_;
   std::unordered_map<std::string, std::unique_ptr<ClientRecord>> clients_;
   std::unordered_map<SubscriptionId, std::string> local_sub_client_;
-  std::unordered_map<SubscriptionId, std::uint16_t> local_sub_space_;
+  std::unordered_map<SubscriptionId, SpaceId> local_sub_space_;
   std::unordered_map<BrokerId, ConnId> broker_conns_;
   std::uint64_t next_sub_counter_{1};
   Stats stats_;
   std::chrono::steady_clock::time_point epoch_{std::chrono::steady_clock::now()};
+
+  // Match-worker pipeline. Lock order: mutex_ before queue_mutex_ (handlers
+  // enqueue while holding mutex_); workers never hold both.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;  // work available / stopping
+  std::condition_variable done_cv_;   // pipeline drained
+  std::deque<PendingEvent> queue_;
+  std::size_t unfinished_events_{0};  // queued + currently dispatching
+  bool stop_{false};
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace gryphon

@@ -22,7 +22,7 @@ BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
     neighbors_.push_back(port.peer_broker);
   }
   link_count_ = ports.size() + 1;  // + pseudo-local
-  const LinkIndex local_link{static_cast<LinkIndex::rep_type>(ports.size())};
+  local_link_ = LinkIndex{static_cast<LinkIndex::rep_type>(ports.size())};
 
   for (std::size_t r = 0; r < topology.broker_count(); ++r) {
     const BrokerId root{static_cast<BrokerId::rep_type>(r)};
@@ -30,29 +30,29 @@ BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
   }
 
   // Deduplicate spanning trees by their owner-broker -> link map at self.
-  std::map<std::vector<LinkIndex::rep_type>, Group*> by_signature;
+  std::map<std::vector<LinkIndex::rep_type>, std::size_t> by_signature;
   const std::size_t n = topology.broker_count();
   for (const auto& [root, tree] : trees_) {
     std::vector<LinkIndex::rep_type> signature;
     signature.reserve(n);
     for (std::size_t d = 0; d < n; ++d) {
       const BrokerId dest{static_cast<BrokerId::rep_type>(d)};
-      signature.push_back(dest == self_ ? local_link.value
+      signature.push_back(dest == self_ ? local_link_.value
                                         : tree->tree_next_hop(self_, dest).value);
     }
-    Group*& group = by_signature[signature];
-    if (group == nullptr) {
+    const auto [it, inserted] = by_signature.emplace(signature, groups_.size());
+    if (inserted) {
       auto owned = std::make_unique<Group>();
       owned->representative = tree.get();
       const SpanningTree* rep = tree.get();
+      const LinkIndex local_link = local_link_;
       owned->link_of = [this, rep, local_link](SubscriptionId id) {
         const BrokerId owner = owner_of(id);
         return owner == self_ ? local_link : rep->tree_next_hop(self_, owner);
       };
-      group = owned.get();
       groups_.push_back(std::move(owned));
     }
-    group_of_root_.emplace(root, group);
+    group_index_of_root_.emplace(root, it->second);
 
     // Initialization mask: Maybe toward tree children (any broker may have
     // subscribers) and on the pseudo-local link; No elsewhere.
@@ -61,7 +61,7 @@ BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
       const BrokerId peer = ports[pi].peer_broker;
       if (tree->parent(peer) == self_) mask.set(pi, Trit::Maybe);
     }
-    mask.set(local_link, Trit::Maybe);
+    mask.set(local_link_, Trit::Maybe);
     init_masks_.emplace(root, std::move(mask));
   }
 
@@ -70,36 +70,46 @@ BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
     Space space;
     if (!schema) throw std::invalid_argument("BrokerCore: null schema");
     space.matcher = std::make_unique<PstMatcher>(schema, matcher_options);
-    space.local_matcher = std::make_unique<PstMatcher>(schema, matcher_options);
     space.schema = std::move(schema);
     spaces_.push_back(std::move(space));
   }
   space_counts_.assign(spaces_.size(), 0);
-}
 
-const BrokerCore::Space& BrokerCore::space_at(std::uint16_t space) const {
-  if (space >= spaces_.size()) throw std::invalid_argument("BrokerCore: bad space index");
-  return spaces_[space];
-}
+  std::vector<SubscriptionLinkFn> link_fns;
+  link_fns.reserve(groups_.size());
+  for (const auto& group : groups_) link_fns.push_back(group->link_of);
+  builder_ = std::make_unique<SnapshotBuilder>(link_count_, local_link_, std::move(link_fns));
 
-const SchemaPtr& BrokerCore::schema(std::uint16_t space) const { return space_at(space).schema; }
-
-void BrokerCore::apply_touched(std::uint16_t space, const PstMatcher::TouchedTrees& touched) {
-  (void)space;
-  for (const auto& group : groups_) {
-    for (const auto& t : touched) {
-      auto it = group->annotations.find(t.tree);
-      if (it == group->annotations.end()) {
-        group->annotations.emplace(
-            t.tree, std::make_unique<AnnotatedPst>(*t.tree, link_count_, group->link_of));
-      } else {
-        it->second->apply(t.mutation);
-      }
-    }
+  // Publish the initial (all-empty) snapshot.
+  auto snapshot = std::make_shared<CoreSnapshot>();
+  snapshot->version = 0;
+  snapshot->spaces.reserve(spaces_.size());
+  for (const Space& sp : spaces_) {
+    snapshot->spaces.push_back(builder_->freeze(*sp.matcher, nullptr));
   }
+  snapshot_.store(std::move(snapshot));
 }
 
-void BrokerCore::add_subscription(std::uint16_t space, SubscriptionId id,
+const BrokerCore::Space& BrokerCore::space_at(SpaceId space) const {
+  if (!space.valid() || static_cast<std::size_t>(space.value) >= spaces_.size()) {
+    throw std::invalid_argument("BrokerCore: bad space index");
+  }
+  return spaces_[static_cast<std::size_t>(space.value)];
+}
+
+const SchemaPtr& BrokerCore::schema(SpaceId space) const { return space_at(space).schema; }
+
+void BrokerCore::publish_snapshot(SpaceId touched) {
+  const auto current = snapshot_.load();
+  auto next = std::make_shared<CoreSnapshot>();
+  next->version = current->version + 1;
+  next->spaces = current->spaces;  // untouched spaces carry over wholesale
+  const auto i = static_cast<std::size_t>(touched.value);
+  next->spaces[i] = builder_->freeze(*spaces_[i].matcher, current->spaces[i].get());
+  snapshot_.store(std::move(next));
+}
+
+void BrokerCore::add_subscription(SpaceId space, SubscriptionId id,
                                   const Subscription& subscription, BrokerId owner) {
   const Space& sp = space_at(space);
   if (registry_.contains(id)) throw std::invalid_argument("BrokerCore: duplicate subscription");
@@ -107,28 +117,24 @@ void BrokerCore::add_subscription(std::uint16_t space, SubscriptionId id,
     throw std::invalid_argument("BrokerCore: bad owner broker");
   }
   registry_.emplace(id, Registered{space, owner});
-  PstMatcher::TouchedTrees touched;
   try {
-    touched = sp.matcher->add_with_result(id, subscription);
+    sp.matcher->add(id, subscription);
   } catch (...) {
     registry_.erase(id);
     throw;
   }
-  apply_touched(space, touched);
-  if (owner == self_) sp.local_matcher->add(id, subscription);
-  ++space_counts_[space];
+  ++space_counts_[static_cast<std::size_t>(space.value)];
+  publish_snapshot(space);
 }
 
 bool BrokerCore::remove_subscription(SubscriptionId id) {
   const auto it = registry_.find(id);
   if (it == registry_.end()) return false;
   const Registered reg = it->second;
-  const Space& sp = spaces_[reg.space];
-  const PstMatcher::TouchedTrees touched = sp.matcher->remove_with_result(id);
-  apply_touched(reg.space, touched);
-  if (reg.owner == self_) sp.local_matcher->remove(id);
+  spaces_[static_cast<std::size_t>(reg.space.value)].matcher->remove(id);
   registry_.erase(it);
-  --space_counts_[reg.space];
+  --space_counts_[static_cast<std::size_t>(reg.space.value)];
+  publish_snapshot(reg.space);
   return true;
 }
 
@@ -138,47 +144,74 @@ BrokerId BrokerCore::owner_of(SubscriptionId id) const {
   return it->second.owner;
 }
 
-BrokerCore::Decision BrokerCore::route(std::uint16_t space, const Event& event,
-                                       BrokerId tree_root) const {
-  const Space& sp = space_at(space);
-  const auto group_it = group_of_root_.find(tree_root);
-  if (group_it == group_of_root_.end()) {
-    throw std::invalid_argument("BrokerCore::route: unknown tree root");
+BrokerCore::Decision BrokerCore::dispatch(SpaceId space, const Event& event, BrokerId tree_root,
+                                          MatchScratch& scratch) const {
+  const auto group_it = group_index_of_root_.find(tree_root);
+  if (group_it == group_index_of_root_.end()) {
+    throw std::invalid_argument("BrokerCore::dispatch: unknown tree root");
+  }
+  if (!space.valid() || static_cast<std::size_t>(space.value) >= spaces_.size()) {
+    throw std::invalid_argument("BrokerCore: bad space index");
   }
   Decision decision;
-  const Pst* tree = sp.matcher->tree_for_event(event);
-  if (sp.matcher->options().factoring_levels > 0) ++decision.steps;
-  // No tree, or a tree with no subscriptions (annotations are created on
-  // first subscribe): nothing can match anywhere in the network.
-  if (tree == nullptr || tree->subscription_count() == 0) return decision;
+  // Pin the snapshot: everything below touches only immutable state, so
+  // concurrent subscription churn can swap in new snapshots freely.
+  const auto snapshot = snapshot_.load();
+  const FrozenSpace& fs = *snapshot->spaces[static_cast<std::size_t>(space.value)];
+  if (fs.factored()) ++decision.steps;  // the bucket index probe
+  const FrozenBucket* bucket = fs.bucket_for(event);
+  // No bucket: nothing can match anywhere in the network.
+  if (bucket == nullptr) return decision;
 
-  const auto ann_it = group_it->second->annotations.find(tree);
-  if (ann_it == group_it->second->annotations.end()) {
-    throw std::logic_error("BrokerCore::route: missing annotation");
-  }
-  const LinkMatchResult lm = link_match(*ann_it->second, event, init_masks_.at(tree_root));
-  decision.steps += lm.steps;
-  for (const LinkIndex link : lm.mask.yes_links()) {
-    if (static_cast<std::size_t>(link.value) == link_count_ - 1) {
-      decision.deliver_locally = true;
-    } else {
+  const AnnotatedPsg& annotated = *bucket->groups[group_it->second];
+  const PsgDispatchResult result = psg_dispatch(annotated, event, init_masks_.at(tree_root),
+                                                scratch, &decision.local_matches);
+  decision.steps += result.steps;
+  decision.deliver_locally = !decision.local_matches.empty();
+  for (const LinkIndex link : result.mask.yes_links()) {
+    if (link != local_link_) {
       decision.forward.push_back(neighbors_[static_cast<std::size_t>(link.value)]);
     }
   }
   return decision;
 }
 
-std::vector<SubscriptionId> BrokerCore::match_local(std::uint16_t space,
-                                                    const Event& event) const {
+BrokerCore::Decision BrokerCore::route(SpaceId space, const Event& event,
+                                       BrokerId tree_root) const {
+  Decision decision = dispatch(space, event, tree_root, thread_match_scratch());
+  decision.local_matches.clear();  // route() reports the forwarding decision only
+  return decision;
+}
+
+std::vector<SubscriptionId> BrokerCore::match_local(SpaceId space, const Event& event) const {
+  // A dispatch whose initialization mask is Maybe only on the pseudo-local
+  // link: the search then descends exactly the subtrees that may hold a
+  // local match. Any group works — the local-link annotation column is the
+  // same in all of them (it never depends on the spanning tree).
+  if (!space.valid() || static_cast<std::size_t>(space.value) >= spaces_.size()) {
+    throw std::invalid_argument("BrokerCore: bad space index");
+  }
   std::vector<SubscriptionId> out;
-  space_at(space).local_matcher->match(event, out);
+  const auto snapshot = snapshot_.load();
+  const FrozenSpace& fs = *snapshot->spaces[static_cast<std::size_t>(space.value)];
+  const FrozenBucket* bucket = fs.bucket_for(event);
+  if (bucket == nullptr) return out;
+  TritVector mask(link_count_, Trit::No);
+  mask.set(local_link_, Trit::Maybe);
+  psg_dispatch(*bucket->groups.front(), event, mask, thread_match_scratch(), &out);
   return out;
 }
 
-std::vector<SubscriptionId> BrokerCore::match_all(std::uint16_t space,
-                                                  const Event& event) const {
+std::vector<SubscriptionId> BrokerCore::match_all(SpaceId space, const Event& event) const {
+  if (!space.valid() || static_cast<std::size_t>(space.value) >= spaces_.size()) {
+    throw std::invalid_argument("BrokerCore: bad space index");
+  }
   std::vector<SubscriptionId> out;
-  space_at(space).matcher->match(event, out);
+  const auto snapshot = snapshot_.load();
+  const FrozenSpace& fs = *snapshot->spaces[static_cast<std::size_t>(space.value)];
+  const FrozenBucket* bucket = fs.bucket_for(event);
+  if (bucket == nullptr) return out;
+  bucket->graph->match(event, out, thread_match_scratch());
   return out;
 }
 

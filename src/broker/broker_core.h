@@ -12,6 +12,17 @@
 // Subscription destinations here are *owner brokers* (the broker a
 // subscriber is attached to), so clients can come and go without touching
 // other brokers' annotations.
+//
+// Threading contract: the control plane (add_subscription /
+// remove_subscription, and the registry reads owner_of / space_of /
+// has_subscription / for_each_subscription) must be externally serialized —
+// the owning Broker's mutex does this. The data plane (dispatch, match_all,
+// and the deprecated route / match_local shims) never blocks beyond a
+// pointer copy and is safe to call from any number of threads concurrently
+// with the control plane: each
+// control-plane change publishes a fresh immutable CoreSnapshot through the
+// SnapshotSlot, and a dispatch pins one snapshot for the duration of the
+// event (see core_snapshot.h).
 #pragma once
 
 #include <map>
@@ -20,9 +31,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "broker/core_snapshot.h"
+#include "matching/match_scratch.h"
 #include "matching/pst_matcher.h"
-#include "routing/annotated_pst.h"
-#include "routing/link_matcher.h"
+#include "routing/psg_annotation.h"
 #include "topology/network.h"
 #include "topology/routing_table.h"
 #include "topology/spanning_tree.h"
@@ -40,49 +52,69 @@ class BrokerCore {
 
   [[nodiscard]] BrokerId self() const { return self_; }
   [[nodiscard]] std::size_t space_count() const { return spaces_.size(); }
-  [[nodiscard]] const SchemaPtr& schema(std::uint16_t space) const;
+  [[nodiscard]] bool has_space(SpaceId space) const {
+    return space.valid() && static_cast<std::size_t>(space.value) < spaces_.size();
+  }
+  [[nodiscard]] const SchemaPtr& schema(SpaceId space) const;
   /// Neighbor broker on each inter-broker port, in port order.
   [[nodiscard]] const std::vector<BrokerId>& neighbors() const { return neighbors_; }
 
   /// Registers a subscription replica. `owner` is the broker whose client
   /// created it. Throws on duplicate id / bad space / schema mismatch.
-  void add_subscription(std::uint16_t space, SubscriptionId id, const Subscription& subscription,
+  /// Publishes a new snapshot before returning.
+  void add_subscription(SpaceId space, SubscriptionId id, const Subscription& subscription,
                         BrokerId owner);
-  /// Removes a replica; false when unknown.
+  /// Removes a replica; false when unknown. Publishes a new snapshot.
   bool remove_subscription(SubscriptionId id);
   [[nodiscard]] bool has_subscription(SubscriptionId id) const {
     return registry_.contains(id);
   }
   [[nodiscard]] std::size_t subscription_count() const { return registry_.size(); }
   /// Subscription replicas registered for one information space.
-  [[nodiscard]] std::size_t subscription_count(std::uint16_t space) const {
-    return space_counts_.at(space);
+  [[nodiscard]] std::size_t subscription_count(SpaceId space) const {
+    return space_counts_.at(static_cast<std::size_t>(space.value));
   }
 
+  /// The full outcome of dispatching one event at this broker.
   struct Decision {
-    std::vector<BrokerId> forward;  // neighbor brokers that need the event
-    bool deliver_locally{false};    // some subscriber of this broker may match
-    std::uint64_t steps{0};         // matching steps spent
+    std::vector<BrokerId> forward;              // neighbor brokers that need the event
+    std::vector<SubscriptionId> local_matches;  // matching subscriptions owned here
+    bool deliver_locally{false};                // == !local_matches.empty()
+    std::uint64_t steps{0};                     // matching steps spent
   };
 
-  /// The link-matching forwarding decision for an event published via the
-  /// spanning tree rooted at `tree_root`.
-  [[nodiscard]] Decision route(std::uint16_t space, const Event& event,
-                               BrokerId tree_root) const;
+  /// Computes the forwarding decision *and* the locally-owned matches for
+  /// an event published via the spanning tree rooted at `tree_root`, in one
+  /// pruned search over the published snapshot. `scratch` provides the
+  /// caller-thread memoization arena; the overload without it uses the
+  /// calling thread's.
+  [[nodiscard]] Decision dispatch(SpaceId space, const Event& event, BrokerId tree_root,
+                                  MatchScratch& scratch) const;
+  [[nodiscard]] Decision dispatch(SpaceId space, const Event& event, BrokerId tree_root) const {
+    return dispatch(space, event, tree_root, thread_match_scratch());
+  }
+
+  /// The link-matching forwarding decision only.
+  [[deprecated("use dispatch(): one search now yields forwarding and local matches")]]
+  [[nodiscard]] Decision route(SpaceId space, const Event& event, BrokerId tree_root) const;
 
   /// Locally-owned subscriptions matching the event (client fan-out).
-  [[nodiscard]] std::vector<SubscriptionId> match_local(std::uint16_t space,
-                                                        const Event& event) const;
+  [[deprecated("use dispatch(): one search now yields forwarding and local matches")]]
+  [[nodiscard]] std::vector<SubscriptionId> match_local(SpaceId space, const Event& event) const;
 
   /// All subscriptions (network-wide replica set) matching the event.
-  [[nodiscard]] std::vector<SubscriptionId> match_all(std::uint16_t space,
-                                                      const Event& event) const;
+  [[nodiscard]] std::vector<SubscriptionId> match_all(SpaceId space, const Event& event) const;
+
+  /// The currently published snapshot (monotonically increasing version).
+  [[nodiscard]] std::uint64_t snapshot_version() const {
+    return snapshot_.load()->version;
+  }
 
   /// Owner broker of a subscription; throws when unknown.
   [[nodiscard]] BrokerId owner_of(SubscriptionId id) const;
 
   /// Information space of a subscription; nullopt when unknown.
-  [[nodiscard]] std::optional<std::uint16_t> space_of(SubscriptionId id) const {
+  [[nodiscard]] std::optional<SpaceId> space_of(SubscriptionId id) const {
     const auto it = registry_.find(id);
     if (it == registry_.end()) return std::nullopt;
     return it->second.space;
@@ -94,7 +126,8 @@ class BrokerCore {
   template <typename Fn>
   void for_each_subscription(Fn&& fn) const {
     for (const auto& [id, reg] : registry_) {
-      const Subscription* subscription = spaces_[reg.space].matcher->find_subscription(id);
+      const Subscription* subscription =
+          spaces_[static_cast<std::size_t>(reg.space.value)].matcher->find_subscription(id);
       if (subscription != nullptr) fn(reg.space, id, reg.owner, *subscription);
     }
   }
@@ -103,20 +136,20 @@ class BrokerCore {
   struct Group {
     const SpanningTree* representative{nullptr};
     SubscriptionLinkFn link_of;
-    std::unordered_map<const Pst*, std::unique_ptr<AnnotatedPst>> annotations;
   };
   struct Space {
     SchemaPtr schema;
-    std::unique_ptr<PstMatcher> matcher;        // all subscriptions
-    std::unique_ptr<PstMatcher> local_matcher;  // subscriptions owned here
+    std::unique_ptr<PstMatcher> matcher;  // all subscriptions; writer-only
   };
   struct Registered {
-    std::uint16_t space;
+    SpaceId space;
     BrokerId owner;
   };
 
-  void apply_touched(std::uint16_t space, const PstMatcher::TouchedTrees& touched);
-  [[nodiscard]] const Space& space_at(std::uint16_t space) const;
+  [[nodiscard]] const Space& space_at(SpaceId space) const;
+  /// Rebuilds the touched space's frozen state (reusing unchanged buckets)
+  /// and atomically publishes a new snapshot. Writer-side only.
+  void publish_snapshot(SpaceId touched);
 
   BrokerId self_;
   const BrokerNetwork* topology_;
@@ -124,14 +157,17 @@ class BrokerCore {
   std::map<BrokerId, std::unique_ptr<SpanningTree>> trees_;
   std::vector<BrokerId> neighbors_;
   std::size_t link_count_{0};  // broker ports + 1 pseudo-local
+  LinkIndex local_link_;
   std::vector<Space> spaces_;
   // Groups and masks are shared across spaces (they depend on topology and
-  // owner mapping only). Annotations within a group are keyed by Pst*.
+  // owner mapping only).
   std::vector<std::unique_ptr<Group>> groups_;
-  std::unordered_map<BrokerId, Group*> group_of_root_;
+  std::unordered_map<BrokerId, std::size_t> group_index_of_root_;
   std::unordered_map<BrokerId, TritVector> init_masks_;
   std::unordered_map<SubscriptionId, Registered> registry_;
   std::vector<std::size_t> space_counts_;
+  std::unique_ptr<SnapshotBuilder> builder_;
+  SnapshotSlot snapshot_;
 };
 
 }  // namespace gryphon

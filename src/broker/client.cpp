@@ -45,7 +45,8 @@ std::uint64_t Client::subscribe(std::uint16_t space, const Subscription& subscri
   }
   if (conn == kInvalidConn) throw std::runtime_error("Client::subscribe: not connected");
   transport_->send(conn, wire::encode(wire::SubscribeReq{
-                             token, space, encode_subscription(subscription)}));
+                             token, SpaceId{static_cast<SpaceId::rep_type>(space)},
+                             encode_subscription(subscription)}));
   return token;
 }
 
@@ -91,7 +92,8 @@ void Client::publish(std::uint16_t space, const Event& event) {
     conn = conn_;
   }
   if (conn == kInvalidConn) throw std::runtime_error("Client::publish: not connected");
-  transport_->send(conn, wire::encode(wire::Publish{space, encode_event(event)}));
+  transport_->send(conn, wire::encode(wire::Publish{SpaceId{static_cast<SpaceId::rep_type>(space)},
+                                                    encode_event(event)}));
 }
 
 std::vector<Client::Delivery> Client::take_deliveries() {
@@ -134,9 +136,10 @@ void Client::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
       }
       case wire::FrameType::kDeliver: {
         const auto deliver = wire::decode_deliver(frame);
-        if (deliver.space >= spaces_.size()) break;
-        Delivery delivery{deliver.space, deliver.seq,
-                          decode_event(spaces_[deliver.space], deliver.event)};
+        const auto space_index = static_cast<std::size_t>(deliver.space.value);
+        if (!deliver.space.valid() || space_index >= spaces_.size()) break;
+        Delivery delivery{static_cast<std::uint16_t>(deliver.space.value), deliver.seq,
+                          decode_event(spaces_[space_index], deliver.event)};
         bool fresh = false;
         {
           std::lock_guard<std::mutex> lock(mutex_);
@@ -161,7 +164,7 @@ void Client::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
       case wire::FrameType::kQuench: {
         const auto quench = wire::decode_quench(frame);
         std::lock_guard<std::mutex> lock(mutex_);
-        quench_[quench.space] = quench.has_subscribers;
+        quench_[static_cast<std::uint16_t>(quench.space.value)] = quench.has_subscribers;
         break;
       }
       default:

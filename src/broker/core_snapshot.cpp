@@ -1,0 +1,54 @@
+#include "broker/core_snapshot.h"
+
+namespace gryphon {
+
+std::shared_ptr<const FrozenBucket> SnapshotBuilder::freeze_bucket(const Pst& tree) const {
+  auto bucket = std::make_shared<FrozenBucket>();
+  bucket->source = &tree;
+  bucket->epoch = tree.epoch();
+  bucket->graph = std::make_unique<const FrozenPsg>(tree);
+  bucket->groups.reserve(group_link_fns_.size());
+  for (const SubscriptionLinkFn& link_of : group_link_fns_) {
+    bucket->groups.push_back(
+        std::make_unique<const AnnotatedPsg>(*bucket->graph, link_count_, link_of, local_link_));
+  }
+  return bucket;
+}
+
+std::shared_ptr<const FrozenSpace> SnapshotBuilder::freeze(const PstMatcher& matcher,
+                                                           const FrozenSpace* previous) const {
+  auto space = std::make_shared<FrozenSpace>();
+  space->factoring_ = matcher.factoring();
+  space->subscription_count_ = matcher.subscription_count();
+  matcher.for_each_bucket([&](const FactoringIndex::Key* key, const Pst& tree) {
+    // Empty bucket trees are dropped from the snapshot: a missing bucket
+    // already means "nothing can match", and skipping them keeps snapshots
+    // small after heavy unsubscribe churn.
+    if (tree.subscription_count() == 0) return;
+    std::shared_ptr<const FrozenBucket> bucket;
+    if (previous != nullptr) {
+      const FrozenBucket* old = nullptr;
+      if (key == nullptr) {
+        old = previous->single_.get();
+      } else {
+        const auto it = previous->buckets_.find(*key);
+        if (it != previous->buckets_.end()) old = it->second.get();
+      }
+      // Reuse: same source tree, no mutations since it was frozen. Tree
+      // objects are never freed while the matcher lives, so pointer
+      // identity plus the mutation epoch is a sound key.
+      if (old != nullptr && old->source == &tree && old->epoch == tree.epoch()) {
+        bucket = key == nullptr ? previous->single_ : previous->buckets_.at(*key);
+      }
+    }
+    if (!bucket) bucket = freeze_bucket(tree);
+    if (key == nullptr) {
+      space->single_ = std::move(bucket);
+    } else {
+      space->buckets_.emplace(*key, std::move(bucket));
+    }
+  });
+  return space;
+}
+
+}  // namespace gryphon

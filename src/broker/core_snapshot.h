@@ -1,0 +1,128 @@
+// Immutable routing state snapshots for the concurrent broker core.
+//
+// A BrokerCore serves two kinds of traffic: a low-rate control plane
+// (subscribe / unsubscribe) and a high-rate data plane (event dispatch).
+// Rather than lock the matching trees around every event, the core keeps
+// its live Pst trees writer-only and publishes an immutable *snapshot* of
+// the derived read-side state after every control-plane change:
+//
+//   CoreSnapshot -> FrozenSpace (per information space)
+//                -> FrozenBucket (per factoring bucket)
+//                -> FrozenPsg + one AnnotatedPsg per spanning-tree group.
+//
+// The current snapshot hangs off a SnapshotSlot in BrokerCore; readers pin
+// it once per event and then touch only deeply-immutable objects, so
+// dispatch never blocks on subscription churn for longer than a pointer
+// copy and any number of threads can match concurrently (each with its own
+// MatchScratch).
+//
+// Rebuild cost is bounded by reuse: an unchanged space is carried into the
+// next snapshot wholesale (shared FrozenSpace), and within a rebuilt space
+// every bucket whose source tree is untouched — identified by its stable
+// Pst pointer plus the tree's mutation epoch — keeps its frozen graph and
+// annotations (shared FrozenBucket). A subscribe therefore refreezes only
+// the buckets its subscription actually lives in.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/psg.h"
+#include "matching/pst_matcher.h"
+#include "routing/psg_annotation.h"
+
+namespace gryphon {
+
+/// One factoring bucket, frozen: the PSG snapshot of the bucket's tree and
+/// its trit annotation for every spanning-tree group of the owning broker.
+/// `source` + `epoch` identify the tree state this was frozen from; they
+/// are used only as a reuse key, never dereferenced by readers.
+struct FrozenBucket {
+  const Pst* source{nullptr};
+  std::uint64_t epoch{0};
+  std::unique_ptr<const FrozenPsg> graph;
+  std::vector<std::unique_ptr<const AnnotatedPsg>> groups;  // one per group index
+};
+
+/// One information space, frozen. Buckets holding no subscriptions are
+/// omitted: a missing bucket means nothing in the network can match.
+class FrozenSpace {
+ public:
+  /// The bucket an event would be matched against, or nullptr.
+  [[nodiscard]] const FrozenBucket* bucket_for(const Event& event) const {
+    if (factoring_ == nullptr) return single_.get();
+    const auto it = buckets_.find(factoring_->event_key(event));
+    return it == buckets_.end() ? nullptr : it->second.get();
+  }
+
+  [[nodiscard]] bool factored() const { return factoring_ != nullptr; }
+  [[nodiscard]] std::size_t subscription_count() const { return subscription_count_; }
+  [[nodiscard]] std::size_t bucket_count() const {
+    return factoring_ != nullptr ? buckets_.size() : (single_ != nullptr ? 1 : 0);
+  }
+
+ private:
+  friend class SnapshotBuilder;
+
+  const FactoringIndex* factoring_{nullptr};  // owned by the core's matcher
+  std::shared_ptr<const FrozenBucket> single_;
+  std::unordered_map<FactoringIndex::Key, std::shared_ptr<const FrozenBucket>,
+                     FactoringIndex::KeyHash>
+      buckets_;
+  std::size_t subscription_count_{0};
+};
+
+/// The read-side state of a whole BrokerCore at one control-plane version.
+struct CoreSnapshot {
+  std::uint64_t version{0};
+  std::vector<std::shared_ptr<const FrozenSpace>> spaces;
+};
+
+/// The publication point: holds the current snapshot, swapped atomically by
+/// the writer, pinned (copied) by readers. A hand-rolled mutexed slot
+/// instead of std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic is a
+/// pointer-packed spinlock whose relaxed unlock ThreadSanitizer cannot
+/// model, and the critical section here — one refcount bump — is the same
+/// cost either way.
+class SnapshotSlot {
+ public:
+  [[nodiscard]] std::shared_ptr<const CoreSnapshot> load() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+  }
+  void store(std::shared_ptr<const CoreSnapshot> next) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = std::move(next);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const CoreSnapshot> current_;
+};
+
+/// Builds FrozenSpace instances for BrokerCore. Stateless besides the
+/// broker-shape parameters; call freeze() under the writer lock.
+class SnapshotBuilder {
+ public:
+  SnapshotBuilder(std::size_t link_count, LinkIndex local_link,
+                  std::vector<SubscriptionLinkFn> group_link_fns)
+      : link_count_(link_count),
+        local_link_(local_link),
+        group_link_fns_(std::move(group_link_fns)) {}
+
+  /// Freezes the current state of `matcher`, reusing buckets from
+  /// `previous` (may be null) whose source tree epoch is unchanged.
+  [[nodiscard]] std::shared_ptr<const FrozenSpace> freeze(const PstMatcher& matcher,
+                                                          const FrozenSpace* previous) const;
+
+ private:
+  [[nodiscard]] std::shared_ptr<const FrozenBucket> freeze_bucket(const Pst& tree) const;
+
+  std::size_t link_count_;
+  LinkIndex local_link_;
+  std::vector<SubscriptionLinkFn> group_link_fns_;
+};
+
+}  // namespace gryphon

@@ -2,7 +2,7 @@
 
 namespace gryphon {
 
-std::uint64_t EventLog::append(std::uint16_t space, std::vector<std::uint8_t> event, Ticks now) {
+std::uint64_t EventLog::append(SpaceId space, std::vector<std::uint8_t> event, Ticks now) {
   Entry entry;
   entry.seq = next_seq_++;
   entry.space = space;

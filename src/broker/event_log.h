@@ -16,6 +16,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/ids.h"
 #include "common/time.h"
 
 namespace gryphon {
@@ -24,13 +25,13 @@ class EventLog {
  public:
   struct Entry {
     std::uint64_t seq{0};
-    std::uint16_t space{0};
+    SpaceId space{0};
     std::vector<std::uint8_t> event;  // codec-encoded
     Ticks logged_at{0};
   };
 
   /// Appends an event; returns its sequence number (starting at 1).
-  std::uint64_t append(std::uint16_t space, std::vector<std::uint8_t> event, Ticks now);
+  std::uint64_t append(SpaceId space, std::vector<std::uint8_t> event, Ticks now);
 
   /// Cumulative acknowledgement: entries with seq <= acked are collected.
   void acknowledge(std::uint64_t seq);

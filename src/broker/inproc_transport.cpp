@@ -11,6 +11,7 @@ void InProcEndpoint::send(ConnId conn, std::vector<std::uint8_t> frame) {
 void InProcEndpoint::close(ConnId conn) { network_->close_from(this, conn); }
 
 InProcEndpoint* InProcNetwork::create_endpoint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = endpoints_.find(name);
   if (it == endpoints_.end()) {
     it = endpoints_.emplace(name, std::unique_ptr<InProcEndpoint>(new InProcEndpoint(this, name)))
@@ -20,23 +21,33 @@ InProcEndpoint* InProcNetwork::create_endpoint(const std::string& name) {
 }
 
 ConnId InProcNetwork::connect(const std::string& from, const std::string& to) {
-  const auto from_it = endpoints_.find(from);
-  const auto to_it = endpoints_.find(to);
-  if (from_it == endpoints_.end() || to_it == endpoints_.end()) {
-    throw std::invalid_argument("InProcNetwork::connect: unknown endpoint");
+  InProcEndpoint* accept_side = nullptr;
+  ConnId accept_conn = kInvalidConn;
+  ConnId result = kInvalidConn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto from_it = endpoints_.find(from);
+    const auto to_it = endpoints_.find(to);
+    if (from_it == endpoints_.end() || to_it == endpoints_.end()) {
+      throw std::invalid_argument("InProcNetwork::connect: unknown endpoint");
+    }
+    Pipe pipe;
+    pipe.a = from_it->second.get();
+    pipe.b = to_it->second.get();
+    pipe.a_conn = next_conn_++;
+    pipe.b_conn = next_conn_++;
+    pipe.open = true;
+    const std::size_t index = pipes_.size();
+    pipes_.push_back(pipe);
+    conn_to_pipe_[pipe.a_conn] = index;
+    conn_to_pipe_[pipe.b_conn] = index;
+    accept_side = pipe.b;
+    accept_conn = pipe.b_conn;
+    result = pipe.a_conn;
   }
-  Pipe pipe;
-  pipe.a = from_it->second.get();
-  pipe.b = to_it->second.get();
-  pipe.a_conn = next_conn_++;
-  pipe.b_conn = next_conn_++;
-  pipe.open = true;
-  const std::size_t index = pipes_.size();
-  pipes_.push_back(pipe);
-  conn_to_pipe_[pipe.a_conn] = index;
-  conn_to_pipe_[pipe.b_conn] = index;
-  if (pipe.b->handler_ != nullptr) pipe.b->handler_->on_connect(pipe.b_conn);
-  return pipe.a_conn;
+  // Callback outside the lock: the handler may immediately send.
+  if (accept_side->handler_ != nullptr) accept_side->handler_->on_connect(accept_conn);
+  return result;
 }
 
 InProcNetwork::Pipe* InProcNetwork::find_pipe(InProcEndpoint* side, ConnId conn, bool& is_a) {
@@ -56,6 +67,7 @@ InProcNetwork::Pipe* InProcNetwork::find_pipe(InProcEndpoint* side, ConnId conn,
 
 void InProcNetwork::enqueue(InProcEndpoint* sender, ConnId conn,
                             std::vector<std::uint8_t> frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
   bool is_a = false;
   Pipe* pipe = find_pipe(sender, conn, is_a);
   if (pipe == nullptr || !pipe->open) return;  // sends on dead connections are dropped
@@ -67,38 +79,62 @@ void InProcNetwork::enqueue(InProcEndpoint* sender, ConnId conn,
 }
 
 void InProcNetwork::close_from(InProcEndpoint* side, ConnId conn) {
-  bool is_a = false;
-  Pipe* pipe = find_pipe(side, conn, is_a);
-  if (pipe == nullptr || !pipe->open) return;
-  pipe->open = false;
-  // Both sides observe the disconnect; queued frames for this pipe die.
-  const std::size_t index = static_cast<std::size_t>(pipe - pipes_.data());
-  for (auto& q : queue_) {
-    if (q.pipe == index) q.frame.clear();  // tombstone; skipped at delivery
+  InProcEndpoint* other = nullptr;
+  ConnId other_conn = kInvalidConn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool is_a = false;
+    Pipe* pipe = find_pipe(side, conn, is_a);
+    if (pipe == nullptr || !pipe->open) return;
+    pipe->open = false;
+    // Both sides observe the disconnect; queued frames for this pipe die.
+    const std::size_t index = static_cast<std::size_t>(pipe - pipes_.data());
+    for (auto& q : queue_) {
+      if (q.pipe == index) q.frame.clear();  // tombstone; skipped at delivery
+    }
+    other = is_a ? pipe->b : pipe->a;
+    other_conn = is_a ? pipe->b_conn : pipe->a_conn;
   }
-  InProcEndpoint* other = is_a ? pipe->b : pipe->a;
-  const ConnId other_conn = is_a ? pipe->b_conn : pipe->a_conn;
   if (other->handler_ != nullptr) other->handler_->on_disconnect(other_conn);
   if (side->handler_ != nullptr) side->handler_->on_disconnect(conn);
 }
 
 void InProcNetwork::drop(const std::string& endpoint, ConnId conn) {
-  const auto it = endpoints_.find(endpoint);
-  if (it == endpoints_.end()) throw std::invalid_argument("InProcNetwork::drop: unknown endpoint");
-  close_from(it->second.get(), conn);
+  InProcEndpoint* side = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = endpoints_.find(endpoint);
+    if (it == endpoints_.end()) {
+      throw std::invalid_argument("InProcNetwork::drop: unknown endpoint");
+    }
+    side = it->second.get();
+  }
+  close_from(side, conn);
 }
 
 std::size_t InProcNetwork::pump_some(std::size_t limit) {
   std::size_t delivered = 0;
-  while (delivered < limit && !queue_.empty()) {
-    QueuedFrame q = std::move(queue_.front());
-    queue_.pop_front();
-    Pipe& pipe = pipes_[q.pipe];
-    if (!pipe.open || q.frame.empty()) continue;  // dropped connection tombstone
-    InProcEndpoint* dest = q.from_a ? pipe.b : pipe.a;
-    const ConnId dest_conn = q.from_a ? pipe.b_conn : pipe.a_conn;
+  while (delivered < limit) {
+    InProcEndpoint* dest = nullptr;
+    ConnId dest_conn = kInvalidConn;
+    std::vector<std::uint8_t> frame;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (!queue_.empty()) {
+        QueuedFrame q = std::move(queue_.front());
+        queue_.pop_front();
+        const Pipe& pipe = pipes_[q.pipe];
+        if (!pipe.open || q.frame.empty()) continue;  // dropped connection tombstone
+        dest = q.from_a ? pipe.b : pipe.a;
+        dest_conn = q.from_a ? pipe.b_conn : pipe.a_conn;
+        frame = std::move(q.frame);
+        break;
+      }
+    }
+    if (dest == nullptr) break;  // queue drained
+    // Deliver outside the lock so the handler can send (or close) freely.
     if (dest->handler_ != nullptr) {
-      dest->handler_->on_frame(dest_conn, q.frame);
+      dest->handler_->on_frame(dest_conn, frame);
       ++delivered;
     }
   }
@@ -107,8 +143,11 @@ std::size_t InProcNetwork::pump_some(std::size_t limit) {
 
 std::size_t InProcNetwork::pump() {
   std::size_t total = 0;
-  while (!queue_.empty()) total += pump_some(queue_.size());
-  return total;
+  for (;;) {
+    const std::size_t n = pump_some(1024);
+    total += n;
+    if (n == 0) return total;
+  }
 }
 
 }  // namespace gryphon

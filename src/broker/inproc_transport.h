@@ -6,11 +6,18 @@
 // makes multi-broker integration tests reproducible, and "drop" hooks allow
 // failure injection (a dropped connection exercises the event-log replay
 // path of the client protocol).
+//
+// Thread safety: sends may arrive from any thread (a broker's match workers
+// send while a test thread pumps), so the shared queue and connection table
+// are mutex-protected. Handler callbacks are always invoked *outside* the
+// network lock — a handler may itself send or close without deadlocking —
+// and on the thread that called pump()/connect()/drop().
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,7 +71,10 @@ class InProcNetwork {
   std::size_t pump_some(std::size_t limit);
 
   /// Frames currently queued.
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
 
  private:
   struct Pipe {
@@ -85,6 +95,7 @@ class InProcNetwork {
   void close_from(InProcEndpoint* side, ConnId conn);
   Pipe* find_pipe(InProcEndpoint* side, ConnId conn, bool& is_a);
 
+  mutable std::mutex mutex_;  // guards all state below
   std::unordered_map<std::string, std::unique_ptr<InProcEndpoint>> endpoints_;
   std::vector<Pipe> pipes_;
   // Maps (endpoint, conn) -> pipe index; conn ids are globally unique here.

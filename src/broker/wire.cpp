@@ -19,6 +19,15 @@ Decoder open(std::span<const std::uint8_t> frame, FrameType expected) {
   return dec;
 }
 
+// Information spaces travel as uint16 on the wire.
+void put_space(Encoder& enc, SpaceId space) {
+  enc.put_u16(static_cast<std::uint16_t>(space.value));
+}
+
+SpaceId get_space(Decoder& dec) {
+  return SpaceId{static_cast<SpaceId::rep_type>(dec.get_u16())};
+}
+
 }  // namespace
 
 FrameType peek_type(std::span<const std::uint8_t> frame) {
@@ -48,7 +57,7 @@ std::vector<std::uint8_t> encode(const HelloAck& m) {
 std::vector<std::uint8_t> encode(const SubscribeReq& m) {
   Encoder enc = begin(FrameType::kSubscribe);
   enc.put_u64(m.token);
-  enc.put_u16(m.space);
+  put_space(enc, m.space);
   enc.put_bytes(m.subscription);
   return enc.take();
 }
@@ -68,7 +77,7 @@ std::vector<std::uint8_t> encode(const Unsubscribe& m) {
 
 std::vector<std::uint8_t> encode(const Publish& m) {
   Encoder enc = begin(FrameType::kPublish);
-  enc.put_u16(m.space);
+  put_space(enc, m.space);
   enc.put_bytes(m.event);
   return enc.take();
 }
@@ -76,7 +85,7 @@ std::vector<std::uint8_t> encode(const Publish& m) {
 std::vector<std::uint8_t> encode(const Deliver& m) {
   Encoder enc = begin(FrameType::kDeliver);
   enc.put_u64(m.seq);
-  enc.put_u16(m.space);
+  put_space(enc, m.space);
   enc.put_bytes(m.event);
   return enc.take();
 }
@@ -91,7 +100,7 @@ std::vector<std::uint8_t> encode(const SubPropagate& m) {
   Encoder enc = begin(FrameType::kSubPropagate);
   enc.put_i64(m.id.value);
   enc.put_u32(static_cast<std::uint32_t>(m.owner.value));
-  enc.put_u16(m.space);
+  put_space(enc, m.space);
   enc.put_bytes(m.subscription);
   return enc.take();
 }
@@ -105,7 +114,7 @@ std::vector<std::uint8_t> encode(const UnsubPropagate& m) {
 std::vector<std::uint8_t> encode(const EventForward& m) {
   Encoder enc = begin(FrameType::kEventForward);
   enc.put_u32(static_cast<std::uint32_t>(m.tree_root.value));
-  enc.put_u16(m.space);
+  put_space(enc, m.space);
   enc.put_bytes(m.event);
   return enc.take();
 }
@@ -119,7 +128,7 @@ std::vector<std::uint8_t> encode(const ErrorFrame& m) {
 
 std::vector<std::uint8_t> encode(const Quench& m) {
   Encoder enc = begin(FrameType::kQuench);
-  enc.put_u16(m.space);
+  put_space(enc, m.space);
   enc.put_u8(m.has_subscribers ? 1 : 0);
   return enc.take();
 }
@@ -150,7 +159,7 @@ SubscribeReq decode_subscribe(std::span<const std::uint8_t> frame) {
   Decoder dec = open(frame, FrameType::kSubscribe);
   SubscribeReq m;
   m.token = dec.get_u64();
-  m.space = dec.get_u16();
+  m.space = get_space(dec);
   m.subscription = dec.get_bytes();
   return m;
 }
@@ -173,7 +182,7 @@ Unsubscribe decode_unsubscribe(std::span<const std::uint8_t> frame) {
 Publish decode_publish(std::span<const std::uint8_t> frame) {
   Decoder dec = open(frame, FrameType::kPublish);
   Publish m;
-  m.space = dec.get_u16();
+  m.space = get_space(dec);
   m.event = dec.get_bytes();
   return m;
 }
@@ -182,7 +191,7 @@ Deliver decode_deliver(std::span<const std::uint8_t> frame) {
   Decoder dec = open(frame, FrameType::kDeliver);
   Deliver m;
   m.seq = dec.get_u64();
-  m.space = dec.get_u16();
+  m.space = get_space(dec);
   m.event = dec.get_bytes();
   return m;
 }
@@ -199,7 +208,7 @@ SubPropagate decode_sub_propagate(std::span<const std::uint8_t> frame) {
   SubPropagate m;
   m.id = SubscriptionId{dec.get_i64()};
   m.owner = BrokerId{static_cast<BrokerId::rep_type>(dec.get_u32())};
-  m.space = dec.get_u16();
+  m.space = get_space(dec);
   m.subscription = dec.get_bytes();
   return m;
 }
@@ -215,7 +224,7 @@ EventForward decode_event_forward(std::span<const std::uint8_t> frame) {
   Decoder dec = open(frame, FrameType::kEventForward);
   EventForward m;
   m.tree_root = BrokerId{static_cast<BrokerId::rep_type>(dec.get_u32())};
-  m.space = dec.get_u16();
+  m.space = get_space(dec);
   m.event = dec.get_bytes();
   return m;
 }
@@ -231,7 +240,7 @@ ErrorFrame decode_error(std::span<const std::uint8_t> frame) {
 Quench decode_quench(std::span<const std::uint8_t> frame) {
   Decoder dec = open(frame, FrameType::kQuench);
   Quench m;
-  m.space = dec.get_u16();
+  m.space = get_space(dec);
   m.has_subscribers = dec.get_u8() != 0;
   return m;
 }

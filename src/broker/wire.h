@@ -49,7 +49,7 @@ struct HelloAck {
 };
 struct SubscribeReq {
   std::uint64_t token{0};
-  std::uint16_t space{0};
+  SpaceId space{0};
   std::vector<std::uint8_t> subscription;  // codec-encoded Subscription
 };
 struct SubscribeAck {
@@ -60,12 +60,12 @@ struct Unsubscribe {
   SubscriptionId id;
 };
 struct Publish {
-  std::uint16_t space{0};
+  SpaceId space{0};
   std::vector<std::uint8_t> event;  // codec-encoded Event
 };
 struct Deliver {
   std::uint64_t seq{0};
-  std::uint16_t space{0};
+  SpaceId space{0};
   std::vector<std::uint8_t> event;
 };
 struct Ack {
@@ -74,7 +74,7 @@ struct Ack {
 struct SubPropagate {
   SubscriptionId id;
   BrokerId owner;
-  std::uint16_t space{0};
+  SpaceId space{0};
   std::vector<std::uint8_t> subscription;
 };
 struct UnsubPropagate {
@@ -82,7 +82,7 @@ struct UnsubPropagate {
 };
 struct EventForward {
   BrokerId tree_root;
-  std::uint16_t space{0};
+  SpaceId space{0};
   std::vector<std::uint8_t> event;
 };
 struct ErrorFrame {
@@ -94,7 +94,7 @@ struct ErrorFrame {
 /// subscriber at all, so publishers can suppress event generation entirely
 /// when nobody is listening.
 struct Quench {
-  std::uint16_t space{0};
+  SpaceId space{0};
   bool has_subscribers{false};
 };
 

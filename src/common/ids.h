@@ -42,6 +42,9 @@ using ClientId = TypedId<struct ClientIdTag>;
 using SubscriptionId = TypedId<struct SubscriptionIdTag, std::int64_t>;
 /// A broker-local outgoing link index (position in that broker's trit vectors).
 using LinkIndex = TypedId<struct LinkIndexTag>;
+/// Identifies an information space (event schema + its subscriptions). Spaces
+/// are small dense integers; the wire encodes them as uint16.
+using SpaceId = TypedId<struct SpaceIdTag>;
 
 }  // namespace gryphon
 

@@ -70,8 +70,8 @@ bool GatingMatcher::remove(SubscriptionId id) {
   return true;
 }
 
-void GatingMatcher::match(const Event& event, std::vector<SubscriptionId>& out,
-                          MatchStats* stats) const {
+void GatingMatcher::match_into(const Event& event, std::vector<SubscriptionId>& out,
+                               MatchStats* stats) const {
   const auto evaluate_residual = [&](SubscriptionId id) {
     const Subscription& sub = registry_.at(id);
     if (stats != nullptr) {
@@ -93,6 +93,12 @@ void GatingMatcher::match(const Event& event, std::vector<SubscriptionId>& out,
     }
   }
   for (const SubscriptionId id : match_all_) evaluate_residual(id);
+}
+
+MatchResult GatingMatcher::match(const Event& event) const {
+  MatchResult result;
+  match_into(event, result.ids, &result.stats);
+  return result;
 }
 
 }  // namespace gryphon

@@ -1,0 +1,60 @@
+// Per-thread scratch state for matching against frozen (immutable) search
+// structures.
+//
+// A FrozenPsg memoizes node visits per event so a DAG node shared between
+// several paths is expanded at most once. The memoization stamps used to
+// live inside the graph as `mutable` members, which made even const matching
+// single-threaded. They now live here: each matching thread owns one
+// MatchScratch and passes it down through FrozenPsg / BrokerCore::dispatch,
+// so any number of threads can match against one shared snapshot
+// concurrently with zero synchronization.
+//
+// One MatchScratch may be reused across different graphs and events: stamps
+// are versioned, so "visited" marks from a previous match (or a previous
+// graph) can never leak into the current one.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace gryphon {
+
+class MatchScratch {
+ public:
+  /// Starts a new match over a structure with `node_count` nodes. After this
+  /// call every node reads as unvisited.
+  void begin(std::size_t node_count) {
+    if (stamps_.size() < node_count) stamps_.resize(node_count, 0);
+    if (++current_ == 0) {  // stamp wrapped: reset the whole array once
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      current_ = 1;
+    }
+  }
+
+  /// Marks `node` visited; returns true when it was NOT yet visited in the
+  /// current match (i.e. the caller should expand it).
+  bool visit(std::size_t node) {
+    if (stamps_[node] == current_) return false;
+    stamps_[node] = current_;
+    return true;
+  }
+
+  /// True when `node` was already visited in the current match.
+  [[nodiscard]] bool visited(std::size_t node) const { return stamps_[node] == current_; }
+
+ private:
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t current_{0};
+};
+
+/// The calling thread's lazily-created scratch, for convenience overloads
+/// that do not thread an explicit MatchScratch through. Hot multi-threaded
+/// paths (broker match workers, benchmarks) should own their scratch
+/// explicitly instead of paying the thread-local lookup per match.
+inline MatchScratch& thread_match_scratch() {
+  thread_local MatchScratch scratch;
+  return scratch;
+}
+
+}  // namespace gryphon

@@ -7,6 +7,10 @@
 //  * NaiveMatcher  — brute-force linear scan (the obvious baseline);
 //  * GatingMatcher — the predicate-indexing algorithm of Hanson et al. [9],
 //                    discussed in the paper's related-work section.
+//
+// match() returns a MatchResult value (ids + cost counters). Implementations
+// additionally expose a non-virtual match_into() that appends into a
+// caller-owned vector for allocation-free hot loops.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +36,13 @@ struct MatchStats {
   }
 };
 
+/// The outcome of matching one event: the satisfied subscription ids (order
+/// unspecified, no duplicates) and the work spent finding them.
+struct MatchResult {
+  std::vector<SubscriptionId> ids;
+  MatchStats stats;
+};
+
 class Matcher {
  public:
   virtual ~Matcher() = default;
@@ -43,10 +54,8 @@ class Matcher {
   /// Removes a subscription; returns false when the id is unknown.
   virtual bool remove(SubscriptionId id) = 0;
 
-  /// Appends the ids of all subscriptions satisfied by `event` to `out`
-  /// (order unspecified, no duplicates). `stats` may be null.
-  virtual void match(const Event& event, std::vector<SubscriptionId>& out,
-                     MatchStats* stats = nullptr) const = 0;
+  /// Matches one event, returning the satisfied ids and the cost counters.
+  [[nodiscard]] virtual MatchResult match(const Event& event) const = 0;
 
   [[nodiscard]] virtual std::size_t subscription_count() const = 0;
 };

@@ -23,8 +23,8 @@ bool NaiveMatcher::remove(SubscriptionId id) {
   return true;
 }
 
-void NaiveMatcher::match(const Event& event, std::vector<SubscriptionId>& out,
-                         MatchStats* stats) const {
+void NaiveMatcher::match_into(const Event& event, std::vector<SubscriptionId>& out,
+                              MatchStats* stats) const {
   for (const auto& [id, sub] : entries_) {
     if (stats != nullptr) {
       ++stats->nodes_visited;
@@ -32,6 +32,12 @@ void NaiveMatcher::match(const Event& event, std::vector<SubscriptionId>& out,
     }
     if (sub.matches(event)) out.push_back(id);
   }
+}
+
+MatchResult NaiveMatcher::match(const Event& event) const {
+  MatchResult result;
+  match_into(event, result.ids, &result.stats);
+  return result;
 }
 
 }  // namespace gryphon

@@ -11,8 +11,10 @@ class NaiveMatcher : public Matcher {
  public:
   void add(SubscriptionId id, const Subscription& subscription) override;
   bool remove(SubscriptionId id) override;
-  void match(const Event& event, std::vector<SubscriptionId>& out,
-             MatchStats* stats = nullptr) const override;
+  [[nodiscard]] MatchResult match(const Event& event) const override;
+  /// Allocation-free variant: appends matches to `out`.
+  void match_into(const Event& event, std::vector<SubscriptionId>& out,
+                  MatchStats* stats = nullptr) const;
   [[nodiscard]] std::size_t subscription_count() const override { return entries_.size(); }
 
  private:

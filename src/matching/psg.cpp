@@ -45,6 +45,8 @@ FrozenPsg::FrozenPsg(const Pst& tree)
   std::unordered_map<std::string, NodeId> interned;
 
   // Bottom-up conversion; recursion depth is bounded by the level count.
+  // Children are interned before their parent, so child ids are strictly
+  // smaller than parent ids (see node_count() contract).
   const auto convert = [&](const auto& self, Pst::NodeId n) -> NodeId {
     // Structural trivial-test elimination: star-only chains vanish; the
     // parent's edge points straight at the first node that tests anything.
@@ -76,11 +78,28 @@ FrozenPsg::FrozenPsg(const Pst& tree)
     return id;
   };
   root_ = convert(convert, tree.root());
-  stamps_.assign(nodes_.size(), 0);
+}
+
+bool FrozenPsg::eq_children_cover_domain(NodeId n) const {
+  const Node& node = nodes_[static_cast<std::size_t>(n)];
+  if (!node.other.empty()) return false;
+  if (is_leaf(n)) return false;
+  const Attribute& attr = schema_->attribute(order_[static_cast<std::size_t>(node.level)]);
+  if (!attr.has_finite_domain()) return false;
+  if (node.eq.size() != attr.domain.size()) return false;
+  // eq is sorted and value-unique; equal sizes make a subset check a cover
+  // check.
+  for (const Value& v : attr.domain) {
+    const auto it = std::lower_bound(
+        node.eq.begin(), node.eq.end(), v,
+        [](const auto& entry, const Value& key) { return entry.first < key; });
+    if (it == node.eq.end() || !(it->first == v)) return false;
+  }
+  return true;
 }
 
 std::size_t FrozenPsg::memory_bytes() const {
-  std::size_t total = nodes_.capacity() * sizeof(Node) + stamps_.capacity() * sizeof(std::uint32_t);
+  std::size_t total = nodes_.capacity() * sizeof(Node);
   for (const Node& node : nodes_) {
     total += node.eq.capacity() * sizeof(std::pair<Value, NodeId>);
     total += node.other.capacity() * sizeof(std::pair<AttributeTest, NodeId>);
@@ -90,45 +109,11 @@ std::size_t FrozenPsg::memory_bytes() const {
 }
 
 void FrozenPsg::match(const Event& event, std::vector<SubscriptionId>& out,
-                      MatchStats* stats) const {
-  if (subscription_count_ == 0 || root_ < 0) return;
-  if (++current_stamp_ == 0) {  // stamp wrapped: reset the scratch array
-    std::fill(stamps_.begin(), stamps_.end(), 0);
-    current_stamp_ = 1;
-  }
-  const std::uint32_t stamp = current_stamp_;
-  const std::size_t leaf_level = order_.size();
-
-  std::vector<NodeId> stack{root_};
-  while (!stack.empty()) {
-    const NodeId n = stack.back();
-    stack.pop_back();
-    // Memoization: a shared node reached along a second path contributes
-    // nothing new (leaf subscriber sets are unioned).
-    if (stamps_[static_cast<std::size_t>(n)] == stamp) continue;
-    stamps_[static_cast<std::size_t>(n)] = stamp;
-    if (stats != nullptr) ++stats->nodes_visited;
-
-    const Node& node = nodes_[n];
-    if (static_cast<std::size_t>(node.level) == leaf_level) {
-      out.insert(out.end(), node.subs.begin(), node.subs.end());
-      continue;
-    }
-    const Value& v = event.value(order_[static_cast<std::size_t>(node.level)]);
-    if (options_.delayed_star && node.star >= 0) stack.push_back(node.star);
-    for (const auto& [test, child] : node.other) {
-      if (stats != nullptr) ++stats->tests_evaluated;
-      if (test.accepts(v)) stack.push_back(child);
-    }
-    if (!node.eq.empty()) {
-      if (stats != nullptr) ++stats->tests_evaluated;
-      const auto it = std::lower_bound(
-          node.eq.begin(), node.eq.end(), v,
-          [](const auto& entry, const Value& key) { return entry.first < key; });
-      if (it != node.eq.end() && it->first == v) stack.push_back(it->second);
-    }
-    if (!options_.delayed_star && node.star >= 0) stack.push_back(node.star);
-  }
+                      MatchScratch& scratch, MatchStats* stats) const {
+  visit(event, scratch, stats, [&](NodeId leaf) {
+    const Node& node = nodes_[static_cast<std::size_t>(leaf)];
+    out.insert(out.end(), node.subs.begin(), node.subs.end());
+  });
 }
 
 }  // namespace gryphon

@@ -16,34 +16,92 @@
 //    result a DAG rather than a tree when it applies;
 //  * matching memoizes visited nodes per event (sound on a DAG: the union
 //    of leaf subscriber sets is path-independent), so a shared node is
-//    expanded at most once.
+//    expanded at most once. The memoization stamps live in a caller-owned
+//    per-thread MatchScratch, never in the graph itself: a FrozenPsg is
+//    deeply immutable after construction, so any number of threads may
+//    match against one instance concurrently.
 //
 // The PSG is a read-only index: build it from a Pst snapshot, rebuild after
-// bulk changes. The mutable Pst remains the source of truth (and the trit
-// annotation layer stays on the tree, whose unique parent spines make
-// incremental annotation possible).
+// bulk changes. The mutable Pst remains the source of truth. The structural
+// accessors (root/level/children/subscribers) exist for layers that walk
+// the graph themselves — the snapshot trit annotation (routing/) computes
+// per-link annotation rows bottom-up over these nodes.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "matching/match_scratch.h"
 #include "matching/pst.h"
 
 namespace gryphon {
 
 class FrozenPsg {
  public:
+  using NodeId = std::int32_t;
+  static constexpr NodeId kNoNode = -1;
+
   /// Snapshots `tree` (which may be mutated or destroyed afterwards).
   explicit FrozenPsg(const Pst& tree);
 
-  /// Appends every matched subscription id to `out` (no duplicates).
+  /// Appends every matched subscription id to `out` (no duplicates), using
+  /// the caller's scratch for memoization. Thread-safe: concurrent calls
+  /// with distinct scratches never touch shared mutable state.
   /// `stats->nodes_visited` counts distinct node expansions — revisits of
   /// shared nodes are memoized away.
-  void match(const Event& event, std::vector<SubscriptionId>& out,
+  void match(const Event& event, std::vector<SubscriptionId>& out, MatchScratch& scratch,
              MatchStats* stats = nullptr) const;
 
-  /// Number of DAG nodes (<= the tree's live node count).
+  /// Convenience overload using the calling thread's scratch.
+  void match(const Event& event, std::vector<SubscriptionId>& out,
+             MatchStats* stats = nullptr) const {
+    match(event, out, thread_match_scratch(), stats);
+  }
+
+  /// The parallel search, delivering each reached leaf to `leaf_fn(NodeId)`
+  /// exactly once (memoized on the scratch). match() is visit() plus an
+  /// append of `subscribers(leaf)`; other layers substitute their own leaf
+  /// payloads (e.g. the broker snapshot's locally-owned subscriber lists).
+  template <typename LeafFn>
+  void visit(const Event& event, MatchScratch& scratch, MatchStats* stats,
+             LeafFn&& leaf_fn) const;
+
+  // --- structural introspection (snapshot annotation layer, tests) ---
+
+  [[nodiscard]] NodeId root() const { return root_; }
+  /// The schema attribute level this node tests; leaves sit at order().size().
+  [[nodiscard]] int level(NodeId n) const { return nodes_[static_cast<std::size_t>(n)].level; }
+  [[nodiscard]] bool is_leaf(NodeId n) const {
+    return static_cast<std::size_t>(nodes_[static_cast<std::size_t>(n)].level) == order_.size();
+  }
+  [[nodiscard]] NodeId star_child(NodeId n) const {
+    return nodes_[static_cast<std::size_t>(n)].star;
+  }
+  [[nodiscard]] std::span<const std::pair<Value, NodeId>> eq_children(NodeId n) const {
+    return nodes_[static_cast<std::size_t>(n)].eq;
+  }
+  [[nodiscard]] std::span<const std::pair<AttributeTest, NodeId>> other_children(NodeId n) const {
+    return nodes_[static_cast<std::size_t>(n)].other;
+  }
+  [[nodiscard]] std::span<const SubscriptionId> subscribers(NodeId n) const {
+    return nodes_[static_cast<std::size_t>(n)].subs;
+  }
+  /// As Pst::eq_children_cover_domain: true when the node's equality
+  /// branches cover the full declared finite domain of its attribute and no
+  /// general branches exist (the annotation layer's implicit all-No
+  /// alternative is then skippable).
+  [[nodiscard]] bool eq_children_cover_domain(NodeId n) const;
+
+  /// Node ids are assigned bottom-up: every child id is strictly smaller
+  /// than its parent's, so a forward scan over [0, node_count()) visits
+  /// children before parents. The annotation builder relies on this.
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  [[nodiscard]] const SchemaPtr& schema() const { return schema_; }
+  [[nodiscard]] const std::vector<std::size_t>& order() const { return order_; }
+  /// Options of the source tree (delayed branching governs search order).
+  [[nodiscard]] const Pst::Options& options() const { return options_; }
 
   /// Live nodes in the source tree at snapshot time, for compression ratios.
   [[nodiscard]] std::size_t source_node_count() const { return source_nodes_; }
@@ -54,7 +112,6 @@ class FrozenPsg {
   [[nodiscard]] std::size_t memory_bytes() const;
 
  private:
-  using NodeId = std::int32_t;
   struct Node {
     int level{0};
     NodeId star{-1};
@@ -63,8 +120,6 @@ class FrozenPsg {
     std::vector<SubscriptionId> subs;  // leaves only, sorted
   };
 
-  NodeId intern(Node node);
-
   const SchemaPtr schema_;
   std::vector<std::size_t> order_;
   Pst::Options options_;
@@ -72,9 +127,44 @@ class FrozenPsg {
   NodeId root_{-1};
   std::size_t source_nodes_{0};
   std::size_t subscription_count_{0};
-  // Per-match memoization stamps (mutable scratch, sized to nodes_).
-  mutable std::vector<std::uint32_t> stamps_;
-  mutable std::uint32_t current_stamp_{0};
 };
+
+template <typename LeafFn>
+void FrozenPsg::visit(const Event& event, MatchScratch& scratch, MatchStats* stats,
+                      LeafFn&& leaf_fn) const {
+  if (subscription_count_ == 0 || root_ < 0) return;
+  scratch.begin(nodes_.size());
+  const std::size_t leaf_level = order_.size();
+
+  std::vector<NodeId> stack{root_};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    // Memoization: a shared node reached along a second path contributes
+    // nothing new (leaf subscriber sets are unioned).
+    if (!scratch.visit(static_cast<std::size_t>(n))) continue;
+    if (stats != nullptr) ++stats->nodes_visited;
+
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (static_cast<std::size_t>(node.level) == leaf_level) {
+      leaf_fn(n);
+      continue;
+    }
+    const Value& v = event.value(order_[static_cast<std::size_t>(node.level)]);
+    if (options_.delayed_star && node.star >= 0) stack.push_back(node.star);
+    for (const auto& [test, child] : node.other) {
+      if (stats != nullptr) ++stats->tests_evaluated;
+      if (test.accepts(v)) stack.push_back(child);
+    }
+    if (!node.eq.empty()) {
+      if (stats != nullptr) ++stats->tests_evaluated;
+      const auto it = std::lower_bound(
+          node.eq.begin(), node.eq.end(), v,
+          [](const auto& entry, const Value& key) { return entry.first < key; });
+      if (it != node.eq.end() && it->first == v) stack.push_back(it->second);
+    }
+    if (!options_.delayed_star && node.star >= 0) stack.push_back(node.star);
+  }
+}
 
 }  // namespace gryphon

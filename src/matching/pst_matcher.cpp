@@ -157,12 +157,18 @@ Pst* PstMatcher::tree_for_event(const Event& event) {
   return const_cast<Pst*>(std::as_const(*this).tree_for_event(event));
 }
 
-void PstMatcher::match(const Event& event, std::vector<SubscriptionId>& out,
-                       MatchStats* stats) const {
+void PstMatcher::match_into(const Event& event, std::vector<SubscriptionId>& out,
+                            MatchStats* stats) const {
   const Pst* tree = tree_for_event(event);
   if (factoring_ && stats != nullptr) ++stats->nodes_visited;  // the index probe
   if (tree == nullptr) return;
   tree->match(event, out, stats);
+}
+
+MatchResult PstMatcher::match(const Event& event) const {
+  MatchResult result;
+  match_into(event, result.ids, &result.stats);
+  return result;
 }
 
 }  // namespace gryphon

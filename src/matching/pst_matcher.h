@@ -65,8 +65,10 @@ class PstMatcher : public Matcher {
 
   void add(SubscriptionId id, const Subscription& subscription) override;
   bool remove(SubscriptionId id) override;
-  void match(const Event& event, std::vector<SubscriptionId>& out,
-             MatchStats* stats = nullptr) const override;
+  [[nodiscard]] MatchResult match(const Event& event) const override;
+  /// Allocation-free variant: appends matches to `out`.
+  void match_into(const Event& event, std::vector<SubscriptionId>& out,
+                  MatchStats* stats = nullptr) const;
   [[nodiscard]] std::size_t subscription_count() const override { return registry_.size(); }
 
   [[nodiscard]] const SchemaPtr& schema() const { return schema_; }
@@ -108,6 +110,20 @@ class PstMatcher : public Matcher {
   [[nodiscard]] std::size_t tree_count() const {
     return single_tree_ ? 1 : buckets_.size();
   }
+
+  /// Invokes `fn(const FactoringIndex::Key*, const Pst&)` for every live
+  /// tree. The key pointer is null for the single (unfactored) tree.
+  template <typename Fn>
+  void for_each_bucket(Fn&& fn) const {
+    if (single_tree_) {
+      fn(static_cast<const FactoringIndex::Key*>(nullptr), *single_tree_);
+      return;
+    }
+    for (const auto& [key, tree] : buckets_) fn(&key, *tree);
+  }
+
+  /// The factoring index, or nullptr when factoring is off.
+  [[nodiscard]] const FactoringIndex* factoring() const { return factoring_.get(); }
 
  private:
   [[nodiscard]] std::unique_ptr<Pst> make_tree() const;

@@ -153,7 +153,7 @@ ContentRoutingNetwork::RouteResult ContentRoutingNetwork::route(BrokerId broker,
 std::vector<SubscriptionId> ContentRoutingNetwork::match(const Event& event,
                                                          MatchStats* stats) const {
   std::vector<SubscriptionId> out;
-  matcher_->match(event, out, stats);
+  matcher_->match_into(event, out, stats);
   return out;
 }
 

@@ -1,0 +1,186 @@
+#include "routing/psg_annotation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gryphon {
+
+AnnotatedPsg::AnnotatedPsg(const FrozenPsg& graph, std::size_t link_count,
+                           const SubscriptionLinkFn& link_of, LinkIndex local_link)
+    : graph_(&graph), link_count_(link_count), local_link_(local_link) {
+  if (!link_of) throw std::invalid_argument("AnnotatedPsg: null link function");
+  if (link_count_ == 0) throw std::invalid_argument("AnnotatedPsg: zero links");
+  const std::size_t n_nodes = graph.node_count();
+  flat_.assign(n_nodes * link_count_, Trit::No);
+  local_subs_.resize(n_nodes);
+
+  const auto store = [&](FrozenPsg::NodeId n, const TritVector& v) {
+    std::copy(v.span().begin(), v.span().end(),
+              flat_.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(n) *
+                                                          link_count_));
+  };
+
+  // Children carry strictly smaller ids than parents (FrozenPsg contract),
+  // so one forward pass computes every row bottom-up.
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const auto n = static_cast<FrozenPsg::NodeId>(i);
+    if (graph.is_leaf(n)) {
+      TritVector v(link_count_, Trit::No);
+      for (const SubscriptionId sub : graph.subscribers(n)) {
+        const LinkIndex link = link_of(sub);
+        if (!link.valid() || static_cast<std::size_t>(link.value) >= link_count_) {
+          throw std::logic_error("AnnotatedPsg: subscription resolved to a bad link");
+        }
+        v.set(link, Trit::Yes);
+        if (local_link_.valid() && link == local_link_) local_subs_[i].push_back(sub);
+      }
+      store(n, v);
+      continue;
+    }
+    // Alternative-combine the non-star branches, seeded with the implicit
+    // all-No alternative unless the equality branches cover the attribute's
+    // whole finite domain with no general branches (same treatment as
+    // AnnotatedPst — see annotated_pst.cpp for the soundness argument).
+    TritVector alt;
+    bool first = true;
+    if (!graph.eq_children_cover_domain(n)) {
+      alt = TritVector(link_count_, Trit::No);
+      first = false;
+    }
+    const auto fold = [&](FrozenPsg::NodeId child) {
+      if (first) {
+        alt = TritVector(link_count_, Trit::No);
+        alt.parallel_with(annotation(child));  // copy via identity (P with all-No)
+        first = false;
+      } else {
+        alt.alternative_with(annotation(child));
+      }
+    };
+    for (const auto& [value, child] : graph.eq_children(n)) {
+      (void)value;
+      fold(child);
+    }
+    for (const auto& [test, child] : graph.other_children(n)) {
+      (void)test;
+      fold(child);
+    }
+    if (first) alt = TritVector(link_count_, Trit::No);  // no branches at all
+    const FrozenPsg::NodeId star = graph.star_child(n);
+    if (star != FrozenPsg::kNoNode) alt.parallel_with(annotation(star));
+    store(n, alt);
+  }
+}
+
+namespace {
+
+// The link-matching search of Section 3.3 over the frozen graph, extended
+// with local-match enumeration. Star-only chains were eliminated
+// structurally when the graph was frozen, so no trivial-test skipping is
+// needed here; delayed branching still orders the `*` subsearch last.
+class DispatchSearch {
+ public:
+  DispatchSearch(const AnnotatedPsg& annotated, const Event& event, MatchScratch& scratch,
+                 std::vector<SubscriptionId>* local_out)
+      : annotated_(annotated),
+        graph_(annotated.graph()),
+        event_(event),
+        scratch_(scratch),
+        local_out_(local_out),
+        local_(annotated.local_link()),
+        delayed_star_(graph_.options().delayed_star) {}
+
+  TritVector run(FrozenPsg::NodeId node, TritVector mask) {
+    ++steps_;
+    // Step 2: refinement against this node's annotation.
+    mask.refine_with(annotated_.annotation(node));
+    // Stamping marks "local matches at or below this node are collected by
+    // this call": a later path reaching the shared node skips local work,
+    // which is sound because the leaf union below it is path-independent.
+    const bool local_here = wants_local(node);
+    if (local_here) scratch_.visit(static_cast<std::size_t>(node));
+
+    if (graph_.is_leaf(node)) {
+      if (local_here) {
+        const auto& subs = annotated_.local_subscribers(node);
+        local_out_->insert(local_out_->end(), subs.begin(), subs.end());
+      }
+      mask.maybes_to_no();
+      return mask;
+    }
+    if (!mask.has_maybe() && !local_here) return mask;  // nothing left to decide below
+
+    // Step 3: perform the test, subsearch each selected child that can
+    // still contribute — a Maybe to resolve, or uncollected local matches.
+    const std::size_t attr = graph_.order()[static_cast<std::size_t>(graph_.level(node))];
+    const Value& v = event_.value(attr);
+
+    const auto subsearch = [&](FrozenPsg::NodeId child) {
+      if (!mask.has_maybe() && !(local_here && wants_local(child))) return;
+      mask.promote_yes_from(run(child, mask));
+    };
+
+    const FrozenPsg::NodeId star = graph_.star_child(node);
+    if (!delayed_star_ && star != FrozenPsg::kNoNode) subsearch(star);
+    for (const auto& [test, child] : graph_.other_children(node)) {
+      if (test.accepts(v)) subsearch(child);
+    }
+    const auto eq = graph_.eq_children(node);
+    if (!eq.empty()) {
+      const auto it = std::lower_bound(
+          eq.begin(), eq.end(), v,
+          [](const auto& entry, const Value& key) { return entry.first < key; });
+      if (it != eq.end() && it->first == v) subsearch(it->second);
+    }
+    if (delayed_star_ && star != FrozenPsg::kNoNode) subsearch(star);
+
+    mask.maybes_to_no();
+    return mask;
+  }
+
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+ private:
+  [[nodiscard]] bool wants_local(FrozenPsg::NodeId node) const {
+    return local_out_ != nullptr && local_.valid() &&
+           !scratch_.visited(static_cast<std::size_t>(node)) &&
+           annotated_.annotation(node)[static_cast<std::size_t>(local_.value)] != Trit::No;
+  }
+
+  const AnnotatedPsg& annotated_;
+  const FrozenPsg& graph_;
+  const Event& event_;
+  MatchScratch& scratch_;
+  std::vector<SubscriptionId>* local_out_;
+  LinkIndex local_;
+  bool delayed_star_;
+  std::uint64_t steps_{0};
+};
+
+}  // namespace
+
+PsgDispatchResult psg_dispatch(const AnnotatedPsg& annotated, const Event& event,
+                               const TritVector& initialization_mask, MatchScratch& scratch,
+                               std::vector<SubscriptionId>* local_out) {
+  if (initialization_mask.size() != annotated.link_count()) {
+    throw std::invalid_argument("psg_dispatch: mask width != link count");
+  }
+  PsgDispatchResult result;
+  const FrozenPsg& graph = annotated.graph();
+  if (graph.subscription_count() == 0 || graph.root() < 0) {
+    result.mask = initialization_mask;
+    result.mask.maybes_to_no();  // nothing downstream can match
+    return result;
+  }
+  const bool want_local = local_out != nullptr && annotated.local_link().valid();
+  if (!initialization_mask.has_maybe() && !want_local) {
+    result.mask = initialization_mask;  // already final, and no local work
+    return result;
+  }
+  scratch.begin(graph.node_count());
+  DispatchSearch search(annotated, event, scratch, local_out);
+  result.mask = search.run(graph.root(), initialization_mask);
+  result.steps = search.steps();
+  return result;
+}
+
+}  // namespace gryphon

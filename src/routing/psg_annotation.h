@@ -1,0 +1,94 @@
+// Trit annotation of a frozen parallel search graph, plus the combined
+// dispatch search that refines a link mask and enumerates local matches in
+// one pruned walk.
+//
+// AnnotatedPst (annotated_pst.h) annotates the *mutable* Pst and follows it
+// incrementally; it powers the simulator's long-lived routers. AnnotatedPsg
+// instead annotates an immutable FrozenPsg snapshot, is itself immutable
+// after construction, and therefore needs no synchronization: any number of
+// threads may run psg_dispatch() against one instance concurrently, each
+// with its own MatchScratch. The broker's snapshot-published routing state
+// (broker/core_snapshot.h) is built from these.
+//
+// Annotation semantics are identical to AnnotatedPst (paper Section 3.1):
+// leaves get Yes at the link of each subscriber, interiors fold value
+// branches with Alternative Combine (seeded with the implicit all-No
+// alternative unless the equality branches cover the attribute's finite
+// domain and no general branches exist) and merge the `*` branch with
+// Parallel Combine. The annotation is well defined on the hash-consed DAG:
+// merged nodes have byte-identical subtrees — including leaf subscriber
+// ids — so every path to a shared node yields the same row. Rows are
+// computed in one forward pass over node ids, relying on FrozenPsg's
+// bottom-up id contract (children strictly smaller than parents).
+//
+// One link is distinguished as the *local* link (the broker's pseudo-link
+// for subscriptions owned by directly attached clients). For each leaf the
+// locally-owned subscriber ids are precomputed so the dispatch search can
+// enumerate local matches without a second walk.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "matching/match_scratch.h"
+#include "matching/psg.h"
+#include "routing/annotated_pst.h"  // SubscriptionLinkFn
+#include "routing/trit.h"
+
+namespace gryphon {
+
+class AnnotatedPsg {
+ public:
+  /// Builds the full annotation over `graph`, which must outlive this
+  /// object. `local_link` selects which link's leaf subscribers are
+  /// precomputed for local enumeration; pass an invalid LinkIndex when the
+  /// caller never wants local lists.
+  AnnotatedPsg(const FrozenPsg& graph, std::size_t link_count,
+               const SubscriptionLinkFn& link_of, LinkIndex local_link = LinkIndex{});
+
+  [[nodiscard]] const FrozenPsg& graph() const { return *graph_; }
+  [[nodiscard]] std::size_t link_count() const { return link_count_; }
+  [[nodiscard]] LinkIndex local_link() const { return local_link_; }
+
+  /// The annotation row of a node.
+  [[nodiscard]] TritSpan annotation(FrozenPsg::NodeId node) const {
+    return TritSpan(flat_.data() + static_cast<std::size_t>(node) * link_count_, link_count_);
+  }
+
+  /// The subscriber ids at leaf `node` owned by the local link (empty for
+  /// interior nodes and when no local link was configured).
+  [[nodiscard]] const std::vector<SubscriptionId>& local_subscribers(
+      FrozenPsg::NodeId node) const {
+    return local_subs_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  const FrozenPsg* graph_;
+  std::size_t link_count_;
+  LinkIndex local_link_;
+  std::vector<Trit> flat_;  // node_count rows of link_count trits
+  std::vector<std::vector<SubscriptionId>> local_subs_;
+};
+
+/// The outcome of one combined dispatch search.
+struct PsgDispatchResult {
+  /// Fully refined mask: Yes marks every link to forward the event on.
+  TritVector mask;
+  /// Matching steps — node visitations, the paper's Chart 2 unit.
+  std::uint64_t steps{0};
+};
+
+/// Runs the link-matching search of Section 3.3 over the annotated graph,
+/// simultaneously enumerating local matches when `local_out` is non-null:
+/// a subtree is descended iff the mask still has a Maybe or the local-link
+/// annotation says a not-yet-collected local subscriber may match below.
+/// Local enumeration is memoized on `scratch` (a shared DAG node
+/// contributes its leaves once), so `local_out` receives no duplicates.
+///
+/// Thread-safe: concurrent calls with distinct scratches share only the
+/// immutable annotation.
+PsgDispatchResult psg_dispatch(const AnnotatedPsg& annotated, const Event& event,
+                               const TritVector& initialization_mask, MatchScratch& scratch,
+                               std::vector<SubscriptionId>* local_out);
+
+}  // namespace gryphon

@@ -221,7 +221,7 @@ SimResult BrokerSimulation::run(const std::vector<Event>& events,
         const PstMatcher& local = *local_matchers_[b];
         std::vector<SubscriptionId> matched;
         MatchStats stats;
-        local.match(event, matched, &stats);
+        local.match_into(event, matched, &stats);
         steps_here = stats.nodes_visited;
         for (const SubscriptionId id : matched) {
           local_deliveries.push_back(crn_->destination_of(id));
@@ -244,7 +244,7 @@ SimResult BrokerSimulation::run(const std::vector<Event>& events,
           // list; it paid the centralized matching cost.
           MatchStats stats;
           std::vector<SubscriptionId> scratch;
-          crn_->matcher().match(event, scratch, &stats);
+          crn_->matcher().match_into(event, scratch, &stats);
           steps_here = stats.nodes_visited;
         } else {
           cost += config_.per_destination_cost_ticks * static_cast<double>(msg.dests.size());

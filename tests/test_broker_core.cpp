@@ -12,6 +12,8 @@
 namespace gryphon {
 namespace {
 
+constexpr SpaceId kSpace0{0};
+
 Subscription sub_eq(const SchemaPtr& schema, std::vector<int> values) {
   std::vector<AttributeTest> tests;
   for (const int v : values) {
@@ -46,45 +48,68 @@ TEST_F(BrokerCoreTest, NeighborsFollowPortOrder) {
 
 TEST_F(BrokerCoreTest, RoutesTowardRemoteOwner) {
   BrokerCore core(BrokerId{0}, topo_, {schema_});
-  core.add_subscription(0, SubscriptionId{1}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{2});
+  core.add_subscription(kSpace0, SubscriptionId{1}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{2});
 
-  const auto hit = core.route(0, ev(schema_, {1, 0, 0, 0}), BrokerId{0});
+  const auto hit = core.dispatch(kSpace0, ev(schema_, {1, 0, 0, 0}), BrokerId{0});
   EXPECT_EQ(hit.forward, (std::vector<BrokerId>{BrokerId{1}}));
   EXPECT_FALSE(hit.deliver_locally);
+  EXPECT_TRUE(hit.local_matches.empty());
 
-  const auto miss = core.route(0, ev(schema_, {2, 0, 0, 0}), BrokerId{0});
+  const auto miss = core.dispatch(kSpace0, ev(schema_, {2, 0, 0, 0}), BrokerId{0});
   EXPECT_TRUE(miss.forward.empty());
   EXPECT_FALSE(miss.deliver_locally);
 }
 
-TEST_F(BrokerCoreTest, LocalDeliveryFlagAndMatchLocal) {
+TEST_F(BrokerCoreTest, DispatchYieldsLocalMatches) {
   BrokerCore core(BrokerId{1}, topo_, {schema_});
-  core.add_subscription(0, SubscriptionId{1}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{1});
-  core.add_subscription(0, SubscriptionId{2}, sub_eq(schema_, {1, 2, -1, -1}), BrokerId{1});
-  core.add_subscription(0, SubscriptionId{3}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{0});
+  core.add_subscription(kSpace0, SubscriptionId{1}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{1});
+  core.add_subscription(kSpace0, SubscriptionId{2}, sub_eq(schema_, {1, 2, -1, -1}), BrokerId{1});
+  core.add_subscription(kSpace0, SubscriptionId{3}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{0});
 
-  const auto decision = core.route(0, ev(schema_, {1, 2, 0, 0}), BrokerId{1});
+  auto decision = core.dispatch(kSpace0, ev(schema_, {1, 2, 0, 0}), BrokerId{1});
   EXPECT_TRUE(decision.deliver_locally);
   EXPECT_EQ(decision.forward, (std::vector<BrokerId>{BrokerId{0}}));
 
-  auto local = core.match_local(0, ev(schema_, {1, 2, 0, 0}));
+  std::sort(decision.local_matches.begin(), decision.local_matches.end());
+  EXPECT_EQ(decision.local_matches,
+            (std::vector<SubscriptionId>{SubscriptionId{1}, SubscriptionId{2}}));
+}
+
+TEST_F(BrokerCoreTest, DeprecatedShimsAgreeWithDispatch) {
+  BrokerCore core(BrokerId{1}, topo_, {schema_});
+  core.add_subscription(kSpace0, SubscriptionId{1}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{1});
+  core.add_subscription(kSpace0, SubscriptionId{3}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{0});
+
+  const Event e = ev(schema_, {1, 2, 0, 0});
+  const auto decision = core.dispatch(kSpace0, e, BrokerId{1});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto routed = core.route(kSpace0, e, BrokerId{1});
+  auto local = core.match_local(kSpace0, e);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(routed.forward, decision.forward);
+  EXPECT_EQ(routed.deliver_locally, decision.deliver_locally);
+  EXPECT_TRUE(routed.local_matches.empty());  // route() drops the match list
   std::sort(local.begin(), local.end());
-  EXPECT_EQ(local, (std::vector<SubscriptionId>{SubscriptionId{1}, SubscriptionId{2}}));
+  auto from_dispatch = decision.local_matches;
+  std::sort(from_dispatch.begin(), from_dispatch.end());
+  EXPECT_EQ(local, from_dispatch);
 }
 
 TEST_F(BrokerCoreTest, NoUpstreamForwarding) {
   // Event arrives at broker 2 on the tree rooted at 0; the only subscriber
   // is at broker 0 (upstream). Broker 2 must not bounce it back.
   BrokerCore core(BrokerId{2}, topo_, {schema_});
-  core.add_subscription(0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}), BrokerId{0});
-  const auto decision = core.route(0, ev(schema_, {0, 0, 0, 0}), BrokerId{0});
+  core.add_subscription(kSpace0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}),
+                        BrokerId{0});
+  const auto decision = core.dispatch(kSpace0, ev(schema_, {0, 0, 0, 0}), BrokerId{0});
   EXPECT_TRUE(decision.forward.empty());
   EXPECT_FALSE(decision.deliver_locally);
 }
 
 TEST_F(BrokerCoreTest, HopByHopDeliveryMatchesCentralMatch) {
   // Three cores, one per broker, sharing the subscription set; walk events
-  // through route() decisions and compare against match_all ownership.
+  // through dispatch() decisions and compare against match_all ownership.
   std::vector<std::unique_ptr<BrokerCore>> cores;
   for (int b = 0; b < 3; ++b) {
     cores.push_back(std::make_unique<BrokerCore>(BrokerId{b}, topo_,
@@ -95,7 +120,7 @@ TEST_F(BrokerCoreTest, HopByHopDeliveryMatchesCentralMatch) {
   for (std::int64_t i = 0; i < 150; ++i) {
     const auto s = gen.generate(rng);
     const BrokerId owner{static_cast<BrokerId::rep_type>(rng.below(3))};
-    for (auto& core : cores) core->add_subscription(0, SubscriptionId{i}, s, owner);
+    for (auto& core : cores) core->add_subscription(kSpace0, SubscriptionId{i}, s, owner);
   }
 
   EventGenerator events(schema_);
@@ -109,17 +134,14 @@ TEST_F(BrokerCoreTest, HopByHopDeliveryMatchesCentralMatch) {
         const BrokerId at = frontier.back();
         frontier.pop_back();
         ASSERT_TRUE(visited.insert(at.value).second);
-        const auto d = cores[static_cast<std::size_t>(at.value)]->route(0, e, BrokerId{root});
+        const auto d =
+            cores[static_cast<std::size_t>(at.value)]->dispatch(kSpace0, e, BrokerId{root});
         for (const BrokerId next : d.forward) frontier.push_back(next);
-        if (d.deliver_locally) {
-          for (const SubscriptionId id :
-               cores[static_cast<std::size_t>(at.value)]->match_local(0, e)) {
-            delivered.insert(id.value);
-          }
-        }
+        EXPECT_EQ(d.deliver_locally, !d.local_matches.empty());
+        for (const SubscriptionId id : d.local_matches) delivered.insert(id.value);
       }
       std::set<std::int64_t> expected;
-      for (const SubscriptionId id : cores[0]->match_all(0, e)) expected.insert(id.value);
+      for (const SubscriptionId id : cores[0]->match_all(kSpace0, e)) expected.insert(id.value);
       EXPECT_EQ(delivered, expected);
     }
   }
@@ -129,34 +151,50 @@ TEST_F(BrokerCoreTest, MultipleInformationSpaces) {
   const auto other = make_synthetic_schema(2, 2, "other");
   BrokerCore core(BrokerId{0}, topo_, {schema_, other});
   EXPECT_EQ(core.space_count(), 2u);
-  EXPECT_EQ(core.schema(1)->name(), "other");
-  core.add_subscription(1, SubscriptionId{1}, sub_eq(other, {1, -1}), BrokerId{0});
-  EXPECT_TRUE(core.route(1, ev(other, {1, 0}), BrokerId{0}).deliver_locally);
-  EXPECT_FALSE(core.route(0, ev(schema_, {1, 0, 0, 0}), BrokerId{0}).deliver_locally);
-  EXPECT_THROW((void)core.schema(2), std::invalid_argument);
-  EXPECT_THROW(core.add_subscription(5, SubscriptionId{2}, sub_eq(other, {1, -1}), BrokerId{0}),
-               std::invalid_argument);
+  EXPECT_EQ(core.schema(SpaceId{1})->name(), "other");
+  core.add_subscription(SpaceId{1}, SubscriptionId{1}, sub_eq(other, {1, -1}), BrokerId{0});
+  EXPECT_TRUE(core.dispatch(SpaceId{1}, ev(other, {1, 0}), BrokerId{0}).deliver_locally);
+  EXPECT_FALSE(
+      core.dispatch(kSpace0, ev(schema_, {1, 0, 0, 0}), BrokerId{0}).deliver_locally);
+  EXPECT_THROW((void)core.schema(SpaceId{2}), std::invalid_argument);
+  EXPECT_THROW(
+      core.add_subscription(SpaceId{5}, SubscriptionId{2}, sub_eq(other, {1, -1}), BrokerId{0}),
+      std::invalid_argument);
 }
 
 TEST_F(BrokerCoreTest, RemoveSubscriptionStopsRouting) {
   BrokerCore core(BrokerId{0}, topo_, {schema_});
-  core.add_subscription(0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}), BrokerId{2});
-  EXPECT_FALSE(core.route(0, ev(schema_, {0, 0, 0, 0}), BrokerId{0}).forward.empty());
+  core.add_subscription(kSpace0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}),
+                        BrokerId{2});
+  EXPECT_FALSE(core.dispatch(kSpace0, ev(schema_, {0, 0, 0, 0}), BrokerId{0}).forward.empty());
   EXPECT_TRUE(core.remove_subscription(SubscriptionId{1}));
-  EXPECT_TRUE(core.route(0, ev(schema_, {0, 0, 0, 0}), BrokerId{0}).forward.empty());
+  EXPECT_TRUE(core.dispatch(kSpace0, ev(schema_, {0, 0, 0, 0}), BrokerId{0}).forward.empty());
   EXPECT_FALSE(core.remove_subscription(SubscriptionId{1}));
+}
+
+TEST_F(BrokerCoreTest, SnapshotVersionAdvancesWithControlPlane) {
+  BrokerCore core(BrokerId{0}, topo_, {schema_});
+  const auto v0 = core.snapshot_version();
+  core.add_subscription(kSpace0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}),
+                        BrokerId{0});
+  const auto v1 = core.snapshot_version();
+  EXPECT_GT(v1, v0);
+  EXPECT_TRUE(core.remove_subscription(SubscriptionId{1}));
+  EXPECT_GT(core.snapshot_version(), v1);
 }
 
 TEST_F(BrokerCoreTest, OwnerLookupAndValidation) {
   BrokerCore core(BrokerId{0}, topo_, {schema_});
-  core.add_subscription(0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}), BrokerId{2});
+  core.add_subscription(kSpace0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}),
+                        BrokerId{2});
   EXPECT_EQ(core.owner_of(SubscriptionId{1}), BrokerId{2});
+  EXPECT_EQ(core.space_of(SubscriptionId{1}), kSpace0);
   EXPECT_THROW((void)core.owner_of(SubscriptionId{9}), std::invalid_argument);
-  EXPECT_THROW(core.add_subscription(0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}),
-                                     BrokerId{0}),
+  EXPECT_THROW(core.add_subscription(kSpace0, SubscriptionId{1},
+                                     sub_eq(schema_, {-1, -1, -1, -1}), BrokerId{0}),
                std::invalid_argument);  // duplicate id
-  EXPECT_THROW(core.add_subscription(0, SubscriptionId{2}, sub_eq(schema_, {-1, -1, -1, -1}),
-                                     BrokerId{77}),
+  EXPECT_THROW(core.add_subscription(kSpace0, SubscriptionId{2},
+                                     sub_eq(schema_, {-1, -1, -1, -1}), BrokerId{77}),
                std::invalid_argument);  // bad owner
 }
 

@@ -211,7 +211,7 @@ TEST(BrokerNetwork, PublishBeforeHelloIsRejected) {
   endpoint->set_handler(&rogue);
   const ConnId conn = bed.net.connect("rogue", "broker0");
   // Skip bind(): publish without a hello.
-  endpoint->send(conn, wire::encode(wire::Publish{0, encode_event(bed.trade("X", 1.0, 1))}));
+  endpoint->send(conn, wire::encode(wire::Publish{SpaceId{0}, encode_event(bed.trade("X", 1.0, 1))}));
   bed.net.pump();
   const auto errors = rogue.take_errors();
   ASSERT_EQ(errors.size(), 1u);

@@ -9,15 +9,15 @@ std::vector<std::uint8_t> payload(std::uint8_t tag) { return {tag, tag, tag}; }
 
 TEST(EventLog, SequencesStartAtOne) {
   EventLog log;
-  EXPECT_EQ(log.append(0, payload(1), 10), 1u);
-  EXPECT_EQ(log.append(0, payload(2), 11), 2u);
+  EXPECT_EQ(log.append(SpaceId{0}, payload(1), 10), 1u);
+  EXPECT_EQ(log.append(SpaceId{0}, payload(2), 11), 2u);
   EXPECT_EQ(log.last_seq(), 2u);
   EXPECT_EQ(log.size(), 2u);
 }
 
 TEST(EventLog, UnacknowledgedReturnsSuffix) {
   EventLog log;
-  for (std::uint8_t i = 1; i <= 5; ++i) log.append(0, payload(i), i);
+  for (std::uint8_t i = 1; i <= 5; ++i) log.append(SpaceId{0}, payload(i), i);
   const auto all = log.unacknowledged();
   ASSERT_EQ(all.size(), 5u);
   EXPECT_EQ(all.front()->seq, 1u);
@@ -29,7 +29,7 @@ TEST(EventLog, UnacknowledgedReturnsSuffix) {
 
 TEST(EventLog, CumulativeAckCollects) {
   EventLog log;
-  for (std::uint8_t i = 1; i <= 5; ++i) log.append(0, payload(i), i);
+  for (std::uint8_t i = 1; i <= 5; ++i) log.append(SpaceId{0}, payload(i), i);
   log.acknowledge(3);
   EXPECT_EQ(log.acked_seq(), 3u);
   EXPECT_EQ(log.size(), 2u);
@@ -43,16 +43,16 @@ TEST(EventLog, CumulativeAckCollects) {
 
 TEST(EventLog, SequencesSurviveCollection) {
   EventLog log;
-  log.append(0, payload(1), 1);
+  log.append(SpaceId{0}, payload(1), 1);
   log.acknowledge(1);
-  EXPECT_EQ(log.append(0, payload(2), 2), 2u);  // numbering continues
+  EXPECT_EQ(log.append(SpaceId{0}, payload(2), 2), 2u);  // numbering continues
 }
 
 TEST(EventLog, GarbageCollectorDropsOldEntries) {
   EventLog log;
-  log.append(0, payload(1), 100);
-  log.append(0, payload(2), 200);
-  log.append(0, payload(3), 900);
+  log.append(SpaceId{0}, payload(1), 100);
+  log.append(SpaceId{0}, payload(2), 200);
+  log.append(SpaceId{0}, payload(3), 900);
   // Retention 500 at time 1000: entries logged before 500 die.
   EXPECT_EQ(log.collect(1000, 500), 2u);
   EXPECT_EQ(log.size(), 1u);
@@ -61,24 +61,24 @@ TEST(EventLog, GarbageCollectorDropsOldEntries) {
 
 TEST(EventLog, CollectorKeepsFreshEntries) {
   EventLog log;
-  log.append(0, payload(1), 990);
+  log.append(SpaceId{0}, payload(1), 990);
   EXPECT_EQ(log.collect(1000, 500), 0u);
   EXPECT_EQ(log.size(), 1u);
 }
 
 TEST(EventLog, SpaceTagPreserved) {
   EventLog log;
-  log.append(7, payload(1), 1);
-  EXPECT_EQ(log.unacknowledged().front()->space, 7u);
+  log.append(SpaceId{7}, payload(1), 1);
+  EXPECT_EQ(log.unacknowledged().front()->space, SpaceId{7});
 }
 
 TEST(EventLog, ReplayAfterReconnectScenario) {
   // The paper's transient-failure story: deliveries 1-2 acked, client
   // disconnects, 3-5 accumulate, client reconnects having seen up to 2.
   EventLog log;
-  for (std::uint8_t i = 1; i <= 2; ++i) log.append(0, payload(i), i);
+  for (std::uint8_t i = 1; i <= 2; ++i) log.append(SpaceId{0}, payload(i), i);
   log.acknowledge(2);
-  for (std::uint8_t i = 3; i <= 5; ++i) log.append(0, payload(i), i);
+  for (std::uint8_t i = 3; i <= 5; ++i) log.append(SpaceId{0}, payload(i), i);
   const auto replay = log.unacknowledged(2);
   ASSERT_EQ(replay.size(), 3u);
   EXPECT_EQ(replay[0]->seq, 3u);

@@ -77,8 +77,8 @@ TEST(PstMatcherFactoring, ProbeCostDropsWithFactoring) {
     const Event e = events.generate(rng);
     a.clear();
     b.clear();
-    flat.match(e, a, &flat_stats);
-    factored.match(e, b, &factored_stats);
+    flat.match_into(e, a, &flat_stats);
+    factored.match_into(e, b, &factored_stats);
     std::sort(a.begin(), a.end());
     std::sort(b.begin(), b.end());
     ASSERT_EQ(a, b);
@@ -119,7 +119,7 @@ TEST(PstMatcherFactoring, EventInEmptyBucketMatchesNothing) {
 
   EXPECT_EQ(matcher.tree_for_event(Event(schema, {Value(1), Value(0), Value(0)})), nullptr);
   std::vector<SubscriptionId> out;
-  matcher.match(Event(schema, {Value(1), Value(0), Value(0)}), out);
+  matcher.match_into(Event(schema, {Value(1), Value(0), Value(0)}), out);
   EXPECT_TRUE(out.empty());
 }
 
@@ -133,7 +133,7 @@ TEST(PstMatcherFactoring, RemoveCleansAllReplicas) {
   const auto touched = matcher.remove_with_result(SubscriptionId{1});
   EXPECT_EQ(touched.size(), 9u);
   std::vector<SubscriptionId> out;
-  matcher.match(Event(schema, {Value(0), Value(1), Value(2)}), out);
+  matcher.match_into(Event(schema, {Value(0), Value(1), Value(2)}), out);
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(matcher.subscription_count(), 0u);
 }
@@ -156,10 +156,10 @@ TEST(PstMatcherFactoring, FullyFactoredTreeStillMatches) {
   tests[0] = AttributeTest::equals(Value(1));
   matcher.add(SubscriptionId{5}, Subscription(schema, tests));
   std::vector<SubscriptionId> out;
-  matcher.match(Event(schema, {Value(1), Value(0)}), out);
+  matcher.match_into(Event(schema, {Value(1), Value(0)}), out);
   EXPECT_EQ(out, (std::vector<SubscriptionId>{SubscriptionId{5}}));
   out.clear();
-  matcher.match(Event(schema, {Value(0), Value(0)}), out);
+  matcher.match_into(Event(schema, {Value(0), Value(0)}), out);
   EXPECT_TRUE(out.empty());
 }
 

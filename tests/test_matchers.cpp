@@ -59,8 +59,7 @@ TEST_P(MatcherParity, AgreesWithBruteForceUnderChurn) {
 
   for (int i = 0; i < 100; ++i) {
     const Event e = events.generate(rng);
-    std::vector<SubscriptionId> got;
-    matcher->match(e, got);
+    std::vector<SubscriptionId> got = matcher->match(e).ids;
     std::sort(got.begin(), got.end());
     std::vector<SubscriptionId> want;
     for (const auto& [id, s] : live) {
@@ -92,12 +91,8 @@ TEST_P(MatcherParity, RangeSubscriptionsSupported) {
 
   const Event hit(schema_, {Value(0), Value(2), Value(0), Value(0), Value(3), Value(0)});
   const Event miss(schema_, {Value(0), Value(3), Value(0), Value(0), Value(3), Value(0)});
-  std::vector<SubscriptionId> out;
-  matcher->match(hit, out);
-  EXPECT_EQ(out, (std::vector<SubscriptionId>{SubscriptionId{7}}));
-  out.clear();
-  matcher->match(miss, out);
-  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(matcher->match(hit).ids, (std::vector<SubscriptionId>{SubscriptionId{7}}));
+  EXPECT_TRUE(matcher->match(miss).ids.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMatchers, MatcherParity,
@@ -130,9 +125,9 @@ TEST(PstVsNaiveCost, TreeBeatsScanOnSelectiveWorkloads) {
   for (int i = 0; i < 50; ++i) {
     const Event e = events.generate(rng);
     out.clear();
-    naive.match(e, out, &naive_stats);
+    naive.match_into(e, out, &naive_stats);
     out.clear();
-    pst.match(e, out, &pst_stats);
+    pst.match_into(e, out, &pst_stats);
   }
   // The PST visits far fewer nodes than the scan visits subscriptions.
   EXPECT_LT(pst_stats.nodes_visited * 2, naive_stats.nodes_visited);
@@ -149,7 +144,7 @@ TEST(GatingMatcher, UsesEqualityIndexWhenAvailable) {
   }
   MatchStats stats;
   std::vector<SubscriptionId> out;
-  matcher.match(Event(schema, {Value(0), Value(0), Value(0), Value(0)}), out, &stats);
+  matcher.match_into(Event(schema, {Value(0), Value(0), Value(0), Value(0)}), out, &stats);
   EXPECT_EQ(out.size(), 25u);
   // Only the 25 gated candidates had residuals evaluated.
   EXPECT_EQ(stats.nodes_visited, 25u);
@@ -160,7 +155,7 @@ TEST(GatingMatcher, MatchAllSubscriptionsAlwaysEvaluated) {
   GatingMatcher matcher(schema);
   matcher.add(SubscriptionId{1}, Subscription::match_all(schema));
   std::vector<SubscriptionId> out;
-  matcher.match(Event(schema, {Value(0), Value(1), Value(2)}), out);
+  matcher.match_into(Event(schema, {Value(0), Value(1), Value(2)}), out);
   EXPECT_EQ(out, (std::vector<SubscriptionId>{SubscriptionId{1}}));
 }
 
@@ -171,10 +166,10 @@ TEST(GatingMatcher, RangeGateFallsBackToScanList) {
   tests[1] = AttributeTest::greater_than(Value(1));
   matcher.add(SubscriptionId{9}, Subscription(schema, tests));
   std::vector<SubscriptionId> out;
-  matcher.match(Event(schema, {Value(0), Value(2), Value(0)}), out);
+  matcher.match_into(Event(schema, {Value(0), Value(2), Value(0)}), out);
   EXPECT_EQ(out, (std::vector<SubscriptionId>{SubscriptionId{9}}));
   out.clear();
-  matcher.match(Event(schema, {Value(0), Value(1), Value(0)}), out);
+  matcher.match_into(Event(schema, {Value(0), Value(1), Value(0)}), out);
   EXPECT_TRUE(out.empty());
   EXPECT_TRUE(matcher.remove(SubscriptionId{9}));
   EXPECT_EQ(matcher.subscription_count(), 0u);

@@ -262,7 +262,7 @@ TEST(TcpBroker, MalformedPublishPayloadGetsErrorFrame) {
   // Wait for the hello handshake, then push a publish frame whose payload
   // is not a valid event encoding.
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  client.transport.send(1, wire::encode(wire::Publish{0, {0x01, 0x02}}));
+  client.transport.send(1, wire::encode(wire::Publish{SpaceId{0}, {0x01, 0x02}}));
   for (int i = 0; i < 200; ++i) {
     if (!client.client->take_errors().empty()) return;  // got the error frame
     std::this_thread::sleep_for(std::chrono::milliseconds(5));

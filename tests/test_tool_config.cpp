@@ -83,5 +83,13 @@ TEST(EndpointSpec, RfindHandlesColonsInHost) {
   EXPECT_EQ(port, 8080);
 }
 
+TEST(ThreadCountSpec, ParsesNumbersAndAuto) {
+  EXPECT_EQ(parse_thread_count("0"), 0u);
+  EXPECT_EQ(parse_thread_count("8"), 8u);
+  EXPECT_GE(parse_thread_count("auto"), 1u);
+  EXPECT_THROW(parse_thread_count("-1"), std::invalid_argument);
+  EXPECT_THROW(parse_thread_count("eight"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace gryphon::tools

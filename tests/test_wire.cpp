@@ -30,9 +30,9 @@ TEST(Wire, HelloAckRoundTrip) {
 
 TEST(Wire, SubscribeRoundTrip) {
   const std::vector<std::uint8_t> sub_bytes = {1, 2, 3};
-  const auto m = decode_subscribe(encode(SubscribeReq{7, 2, sub_bytes}));
+  const auto m = decode_subscribe(encode(SubscribeReq{7, SpaceId{2}, sub_bytes}));
   EXPECT_EQ(m.token, 7u);
-  EXPECT_EQ(m.space, 2u);
+  EXPECT_EQ(m.space, SpaceId{2});
   EXPECT_EQ(m.subscription, sub_bytes);
 }
 
@@ -48,10 +48,10 @@ TEST(Wire, UnsubscribeRoundTrip) {
 
 TEST(Wire, PublishDeliverAckRoundTrip) {
   const std::vector<std::uint8_t> event_bytes = {9, 8, 7, 6};
-  const auto p = decode_publish(encode(Publish{1, event_bytes}));
-  EXPECT_EQ(p.space, 1u);
+  const auto p = decode_publish(encode(Publish{SpaceId{1}, event_bytes}));
+  EXPECT_EQ(p.space, SpaceId{1});
   EXPECT_EQ(p.event, event_bytes);
-  const auto d = decode_deliver(encode(Deliver{55, 1, event_bytes}));
+  const auto d = decode_deliver(encode(Deliver{55, SpaceId{1}, event_bytes}));
   EXPECT_EQ(d.seq, 55u);
   EXPECT_EQ(d.event, event_bytes);
   EXPECT_EQ(decode_ack(encode(Ack{55})).seq, 55u);
@@ -60,7 +60,7 @@ TEST(Wire, PublishDeliverAckRoundTrip) {
 TEST(Wire, SubPropagateRoundTrip) {
   const std::vector<std::uint8_t> sub_bytes = {4, 4};
   const auto m =
-      decode_sub_propagate(encode(SubPropagate{SubscriptionId{77}, BrokerId{3}, 0, sub_bytes}));
+      decode_sub_propagate(encode(SubPropagate{SubscriptionId{77}, BrokerId{3}, SpaceId{0}, sub_bytes}));
   EXPECT_EQ(m.id, SubscriptionId{77});
   EXPECT_EQ(m.owner, BrokerId{3});
   EXPECT_EQ(m.subscription, sub_bytes);
@@ -68,9 +68,9 @@ TEST(Wire, SubPropagateRoundTrip) {
 
 TEST(Wire, EventForwardRoundTrip) {
   const std::vector<std::uint8_t> event_bytes = {1};
-  const auto m = decode_event_forward(encode(EventForward{BrokerId{11}, 4, event_bytes}));
+  const auto m = decode_event_forward(encode(EventForward{BrokerId{11}, SpaceId{4}, event_bytes}));
   EXPECT_EQ(m.tree_root, BrokerId{11});
-  EXPECT_EQ(m.space, 4u);
+  EXPECT_EQ(m.space, SpaceId{4});
 }
 
 TEST(Wire, ErrorRoundTrip) {
@@ -96,10 +96,10 @@ TEST(Wire, TruncatedFrameThrows) {
 
 
 TEST(Wire, QuenchRoundTrip) {
-  const auto on = decode_quench(encode(Quench{3, true}));
-  EXPECT_EQ(on.space, 3u);
+  const auto on = decode_quench(encode(Quench{SpaceId{3}, true}));
+  EXPECT_EQ(on.space, SpaceId{3});
   EXPECT_TRUE(on.has_subscribers);
-  const auto off = decode_quench(encode(Quench{0, false}));
+  const auto off = decode_quench(encode(Quench{SpaceId{0}, false}));
   EXPECT_FALSE(off.has_subscribers);
 }
 

@@ -5,7 +5,7 @@
 //           [--dial "1=127.0.0.1:7001"]... ...
 //           --schema "trades issue:string price:double volume:int" ...
 //           [--schema "alarms severity:int"]... ...
-//           [--gc-seconds 3600] [--verbose]
+//           [--gc-seconds 3600] [--match-threads N|auto] [--verbose]
 //
 // Every broker in the network must be given the same --brokers/--links
 // topology and the same --schema list (information spaces are positional).
@@ -50,7 +50,7 @@ struct Relay : TransportHandler {
   std::fprintf(stderr,
                "usage: %s --id N --brokers N --links \"0-1:10,...\" --listen PORT\n"
                "          [--dial ID=HOST:PORT]... --schema \"NAME attr:type ...\" ...\n"
-               "          [--gc-seconds N] [--verbose]\n",
+               "          [--gc-seconds N] [--match-threads N|auto] [--verbose]\n",
                argv0);
   std::exit(2);
 }
@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> dials;
   std::vector<std::string> schemas;
   int gc_seconds = 3600;
+  std::string match_threads = "0";
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -80,6 +81,7 @@ int main(int argc, char** argv) {
     else if (arg == "--dial") dials.push_back(next());
     else if (arg == "--schema") schemas.push_back(next());
     else if (arg == "--gc-seconds") gc_seconds = std::atoi(next().c_str());
+    else if (arg == "--match-threads") match_threads = next();
     else if (arg == "--verbose") verbose = true;
     else usage(argv[0], ("unknown argument " + arg).c_str());
   }
@@ -97,13 +99,16 @@ int main(int argc, char** argv) {
 
     Broker::Options options;
     options.log_retention = ticks_from_seconds(gc_seconds);
+    options.match_threads = tools::parse_thread_count(match_threads);
     Relay relay;
     TcpTransport transport(relay);
     Broker broker(BrokerId{id}, topology, spaces, transport, options);
     relay.target = &broker;
     const std::uint16_t port = transport.listen(static_cast<std::uint16_t>(listen_port));
-    std::printf("brokerd: broker %d listening on 127.0.0.1:%u (%zu spaces, %zu brokers)\n", id,
-                port, spaces.size(), static_cast<std::size_t>(brokers));
+    std::printf(
+        "brokerd: broker %d listening on 127.0.0.1:%u (%zu spaces, %zu brokers, "
+        "%zu match threads)\n",
+        id, port, spaces.size(), static_cast<std::size_t>(brokers), options.match_threads);
 
     for (const std::string& spec : dials) {
       const auto target = tools::parse_dial_spec(spec);

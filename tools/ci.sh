@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Local CI: release build + full test suite, then AddressSanitizer and
+# ThreadSanitizer passes. The sanitizer builds live in their own build
+# directories so they never pollute the primary one.
+#
+#   tools/ci.sh             # release + asan + tsan
+#   tools/ci.sh release     # just the release leg
+#   tools/ci.sh tsan        # just the ThreadSanitizer leg
+#
+# The TSan leg runs the dedicated concurrency_tests binary (the snapshot /
+# worker-pipeline races are what TSan is here to catch); the ASan and
+# release legs run everything.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+LEGS=("${@:-release asan tsan}")
+[[ $# -eq 0 ]] && LEGS=(release asan tsan)
+
+run_leg() {
+  local leg="$1" dir sanitize
+  case "$leg" in
+    release) dir=build          sanitize=""        ;;
+    asan)    dir=build-asan     sanitize="address" ;;
+    tsan)    dir=build-tsan     sanitize="thread"  ;;
+    *) echo "ci.sh: unknown leg '$leg' (release|asan|tsan)" >&2; exit 2 ;;
+  esac
+
+  echo "=== [$leg] configure + build ==="
+  cmake -B "$dir" -S . -DGRYPHON_SANITIZE="$sanitize" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+
+  echo "=== [$leg] test ==="
+  if [[ "$leg" == tsan ]]; then
+    # TSan slows execution ~10x; focus on the threading tests.
+    TSAN_OPTIONS="halt_on_error=1" \
+      ctest --test-dir "$dir" --output-on-failure -R ConcurrentMatching
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+  fi
+}
+
+for leg in ${LEGS[@]}; do
+  run_leg "$leg"
+done
+echo "ci.sh: all legs passed"

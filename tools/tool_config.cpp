@@ -3,6 +3,7 @@
 #include <charconv>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "common/time.h"
 
@@ -129,6 +130,16 @@ DialTarget parse_dial_spec(const std::string& spec) {
   target.peer = BrokerId{parse_int(spec.substr(0, eq), "broker id")};
   parse_endpoint(spec.substr(eq + 1), target.host, target.port);
   return target;
+}
+
+std::size_t parse_thread_count(const std::string& spec) {
+  if (spec == "auto") {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+  const int value = parse_int(spec, "thread count");
+  if (value < 0) throw std::invalid_argument("thread count must be >= 0");
+  return static_cast<std::size_t>(value);
 }
 
 }  // namespace gryphon::tools

@@ -32,6 +32,10 @@ struct DialTarget {
 /// Parses one dial spec "ID=HOST:PORT".
 DialTarget parse_dial_spec(const std::string& spec);
 
+/// Parses a worker-thread count: a non-negative integer, or "auto" for the
+/// hardware concurrency (at least 1). 0 means synchronous matching.
+std::size_t parse_thread_count(const std::string& spec);
+
 /// Splits a host:port endpoint.
 void parse_endpoint(const std::string& spec, std::string& host, std::uint16_t& port);
 
