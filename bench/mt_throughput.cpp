@@ -2,7 +2,8 @@
 // one BrokerCore snapshot concurrently, sweeping the thread count.
 //
 // The dispatch path shares no mutable state — readers pin an immutable
-// snapshot (one pointer copy under a tiny lock) and carry their own
+// snapshot (one pointer copy under a tiny lock) whose buckets hold the
+// compiled flat kernel (matching/compiled_pst.h) and carry their own
 // MatchScratch — so throughput should scale linearly until
 // the machine runs out of cores. The sweep intentionally runs past the
 // hardware concurrency (recorded in the JSON) so oversubscribed points are
@@ -90,10 +91,21 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < 4096; ++i) pool.push_back(events.generate(rng));
 
   const unsigned hw = std::thread::hardware_concurrency();
+  // With a single core (or when hardware_concurrency is unknown, reported as
+  // 0) every multi-thread point is pure timeslicing: speedups are
+  // meaningless, so the table column is suppressed and the JSON carries
+  // "scaling_valid": false for downstream tooling.
+  const bool scaling_valid = hw > 1;
   bench::print_header("Multithreaded dispatch throughput (snapshot pinning)");
   std::printf("subscriptions=%zu  hardware_concurrency=%u  per-point duration=%dms\n",
               n_subs, hw, duration_ms);
-  std::printf("%8s %16s %14s %10s\n", "threads", "events", "events/sec", "speedup");
+  if (!scaling_valid) {
+    std::printf("single hardware thread: scaling numbers are not meaningful "
+                "(scaling_valid=false)\n");
+    std::printf("%8s %16s %14s\n", "threads", "events", "events/sec");
+  } else {
+    std::printf("%8s %16s %14s %10s\n", "threads", "events", "events/sec", "speedup");
+  }
 
   std::vector<Point> points;
   double base = 0.0;
@@ -101,9 +113,14 @@ int main(int argc, char** argv) {
     const Point p = run_point(core, pool, t, duration_ms);
     if (t == 1) base = p.events_per_sec();
     points.push_back(p);
-    std::printf("%8zu %16llu %14.0f %9.2fx\n", p.threads,
-                static_cast<unsigned long long>(p.events), p.events_per_sec(),
-                p.events_per_sec() / base);
+    if (!scaling_valid) {
+      std::printf("%8zu %16llu %14.0f\n", p.threads,
+                  static_cast<unsigned long long>(p.events), p.events_per_sec());
+    } else {
+      std::printf("%8zu %16llu %14.0f %9.2fx\n", p.threads,
+                  static_cast<unsigned long long>(p.events), p.events_per_sec(),
+                  p.events_per_sec() / base);
+    }
   }
 
   std::FILE* out = std::fopen("BENCH_mt_throughput.json", "w");
@@ -113,19 +130,24 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out,
                "{\n  \"bench\": \"mt_throughput\",\n"
+               "  \"kernel\": \"compiled\",\n"
                "  \"hardware_concurrency\": %u,\n"
+               "  \"scaling_valid\": %s,\n"
                "  \"subscriptions\": %zu,\n"
                "  \"duration_ms_per_point\": %d,\n"
                "  \"results\": [\n",
-               hw, n_subs, duration_ms);
+               hw, scaling_valid ? "true" : "false", n_subs, duration_ms);
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     std::fprintf(out,
                  "    {\"threads\": %zu, \"events\": %llu, \"seconds\": %.4f, "
-                 "\"events_per_sec\": %.1f, \"speedup_vs_1\": %.3f}%s\n",
+                 "\"events_per_sec\": %.1f",
                  p.threads, static_cast<unsigned long long>(p.events), p.seconds,
-                 p.events_per_sec(), p.events_per_sec() / base,
-                 i + 1 < points.size() ? "," : "");
+                 p.events_per_sec());
+    if (scaling_valid) {
+      std::fprintf(out, ", \"speedup_vs_1\": %.3f", p.events_per_sec() / base);
+    }
+    std::fprintf(out, "}%s\n", i + 1 < points.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

@@ -159,13 +159,13 @@ BrokerCore::Decision BrokerCore::dispatch(SpaceId space, const Event& event, Bro
   const auto snapshot = snapshot_.load();
   const FrozenSpace& fs = *snapshot->spaces[static_cast<std::size_t>(space.value)];
   if (fs.factored()) ++decision.steps;  // the bucket index probe
-  const FrozenBucket* bucket = fs.bucket_for(event);
+  const FrozenBucket* bucket = fs.bucket_for(event, scratch.factoring_key());
   // No bucket: nothing can match anywhere in the network.
   if (bucket == nullptr) return decision;
 
-  const AnnotatedPsg& annotated = *bucket->groups[group_it->second];
-  const PsgDispatchResult result = psg_dispatch(annotated, event, init_masks_.at(tree_root),
-                                                scratch, &decision.local_matches);
+  const CompiledDispatchResult result =
+      compiled_dispatch(*bucket->annotations, group_it->second, event,
+                        init_masks_.at(tree_root), scratch, &decision.local_matches);
   decision.steps += result.steps;
   decision.deliver_locally = !decision.local_matches.empty();
   for (const LinkIndex link : result.mask.yes_links()) {
@@ -176,42 +176,17 @@ BrokerCore::Decision BrokerCore::dispatch(SpaceId space, const Event& event, Bro
   return decision;
 }
 
-BrokerCore::Decision BrokerCore::route(SpaceId space, const Event& event,
-                                       BrokerId tree_root) const {
-  Decision decision = dispatch(space, event, tree_root, thread_match_scratch());
-  decision.local_matches.clear();  // route() reports the forwarding decision only
-  return decision;
-}
-
-std::vector<SubscriptionId> BrokerCore::match_local(SpaceId space, const Event& event) const {
-  // A dispatch whose initialization mask is Maybe only on the pseudo-local
-  // link: the search then descends exactly the subtrees that may hold a
-  // local match. Any group works — the local-link annotation column is the
-  // same in all of them (it never depends on the spanning tree).
-  if (!space.valid() || static_cast<std::size_t>(space.value) >= spaces_.size()) {
-    throw std::invalid_argument("BrokerCore: bad space index");
-  }
-  std::vector<SubscriptionId> out;
-  const auto snapshot = snapshot_.load();
-  const FrozenSpace& fs = *snapshot->spaces[static_cast<std::size_t>(space.value)];
-  const FrozenBucket* bucket = fs.bucket_for(event);
-  if (bucket == nullptr) return out;
-  TritVector mask(link_count_, Trit::No);
-  mask.set(local_link_, Trit::Maybe);
-  psg_dispatch(*bucket->groups.front(), event, mask, thread_match_scratch(), &out);
-  return out;
-}
-
 std::vector<SubscriptionId> BrokerCore::match_all(SpaceId space, const Event& event) const {
   if (!space.valid() || static_cast<std::size_t>(space.value) >= spaces_.size()) {
     throw std::invalid_argument("BrokerCore: bad space index");
   }
   std::vector<SubscriptionId> out;
+  MatchScratch& scratch = thread_match_scratch();
   const auto snapshot = snapshot_.load();
   const FrozenSpace& fs = *snapshot->spaces[static_cast<std::size_t>(space.value)];
-  const FrozenBucket* bucket = fs.bucket_for(event);
+  const FrozenBucket* bucket = fs.bucket_for(event, scratch.factoring_key());
   if (bucket == nullptr) return out;
-  bucket->graph->match(event, out, thread_match_scratch());
+  bucket->kernel->match(event, out, scratch);
   return out;
 }
 

@@ -16,13 +16,14 @@
 // Threading contract: the control plane (add_subscription /
 // remove_subscription, and the registry reads owner_of / space_of /
 // has_subscription / for_each_subscription) must be externally serialized —
-// the owning Broker's mutex does this. The data plane (dispatch, match_all,
-// and the deprecated route / match_local shims) never blocks beyond a
-// pointer copy and is safe to call from any number of threads concurrently
-// with the control plane: each
-// control-plane change publishes a fresh immutable CoreSnapshot through the
-// SnapshotSlot, and a dispatch pins one snapshot for the duration of the
-// event (see core_snapshot.h).
+// the owning Broker's mutex does this. The data plane (dispatch, match_all)
+// never blocks beyond a pointer copy and is safe to call from any number of
+// threads concurrently with the control plane: each control-plane change
+// compiles the touched trees into a fresh immutable CoreSnapshot published
+// through the SnapshotSlot, and a dispatch pins one snapshot for the
+// duration of the event (see core_snapshot.h). Dispatch and match_all run
+// on the compiled flat kernel (matching/compiled_pst.h); the mutable trees
+// are writer-only.
 #pragma once
 
 #include <map>
@@ -34,7 +35,7 @@
 #include "broker/core_snapshot.h"
 #include "matching/match_scratch.h"
 #include "matching/pst_matcher.h"
-#include "routing/psg_annotation.h"
+#include "routing/compiled_annotation.h"
 #include "topology/network.h"
 #include "topology/routing_table.h"
 #include "topology/spanning_tree.h"
@@ -93,14 +94,6 @@ class BrokerCore {
   [[nodiscard]] Decision dispatch(SpaceId space, const Event& event, BrokerId tree_root) const {
     return dispatch(space, event, tree_root, thread_match_scratch());
   }
-
-  /// The link-matching forwarding decision only.
-  [[deprecated("use dispatch(): one search now yields forwarding and local matches")]]
-  [[nodiscard]] Decision route(SpaceId space, const Event& event, BrokerId tree_root) const;
-
-  /// Locally-owned subscriptions matching the event (client fan-out).
-  [[deprecated("use dispatch(): one search now yields forwarding and local matches")]]
-  [[nodiscard]] std::vector<SubscriptionId> match_local(SpaceId space, const Event& event) const;
 
   /// All subscriptions (network-wide replica set) matching the event.
   [[nodiscard]] std::vector<SubscriptionId> match_all(SpaceId space, const Event& event) const;

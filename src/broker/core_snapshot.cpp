@@ -6,12 +6,14 @@ std::shared_ptr<const FrozenBucket> SnapshotBuilder::freeze_bucket(const Pst& tr
   auto bucket = std::make_shared<FrozenBucket>();
   bucket->source = &tree;
   bucket->epoch = tree.epoch();
-  bucket->graph = std::make_unique<const FrozenPsg>(tree);
-  bucket->groups.reserve(group_link_fns_.size());
-  for (const SubscriptionLinkFn& link_of : group_link_fns_) {
-    bucket->groups.push_back(
-        std::make_unique<const AnnotatedPsg>(*bucket->graph, link_count_, link_of, local_link_));
-  }
+  // Compile: Pst -> FrozenPsg (structural optimization) -> CompiledPst
+  // (flat kernel). The intermediate graph is discarded — readers only ever
+  // see the compiled form.
+  const FrozenPsg graph(tree);
+  bucket->kernel = std::make_unique<const CompiledPst>(graph);
+  bucket->annotations = std::make_unique<const CompiledAnnotation>(
+      *bucket->kernel, link_count_, std::span<const SubscriptionLinkFn>(group_link_fns_),
+      local_link_);
   return bucket;
 }
 

@@ -8,7 +8,14 @@
 //
 //   CoreSnapshot -> FrozenSpace (per information space)
 //                -> FrozenBucket (per factoring bucket)
-//                -> FrozenPsg + one AnnotatedPsg per spanning-tree group.
+//                -> CompiledPst + CompiledAnnotation (all groups).
+//
+// Freezing a bucket *compiles* its tree: the mutable Pst is snapshotted
+// into a FrozenPsg (star-chain collapse, hash-consing), flattened into a
+// CompiledPst — the struct-of-arrays kernel with interned u64 equality
+// keys — and annotated with the flat per-group trit rows of
+// CompiledAnnotation. The intermediate FrozenPsg is discarded; readers only
+// ever touch the compiled form.
 //
 // The current snapshot hangs off a SnapshotSlot in BrokerCore; readers pin
 // it once per event and then touch only deeply-immutable objects, so
@@ -16,12 +23,12 @@
 // copy and any number of threads can match concurrently (each with its own
 // MatchScratch).
 //
-// Rebuild cost is bounded by reuse: an unchanged space is carried into the
-// next snapshot wholesale (shared FrozenSpace), and within a rebuilt space
-// every bucket whose source tree is untouched — identified by its stable
-// Pst pointer plus the tree's mutation epoch — keeps its frozen graph and
-// annotations (shared FrozenBucket). A subscribe therefore refreezes only
-// the buckets its subscription actually lives in.
+// Rebuild (= recompile) cost is bounded by reuse: an unchanged space is
+// carried into the next snapshot wholesale (shared FrozenSpace), and within
+// a rebuilt space every bucket whose source tree is untouched — identified
+// by its stable Pst pointer plus the tree's mutation epoch — keeps its
+// compiled kernel and annotations (shared FrozenBucket). A subscribe
+// therefore recompiles only the buckets its subscription actually lives in.
 #pragma once
 
 #include <memory>
@@ -29,31 +36,42 @@
 #include <unordered_map>
 #include <vector>
 
-#include "matching/psg.h"
+#include "matching/compiled_pst.h"
 #include "matching/pst_matcher.h"
-#include "routing/psg_annotation.h"
+#include "routing/compiled_annotation.h"
 
 namespace gryphon {
 
-/// One factoring bucket, frozen: the PSG snapshot of the bucket's tree and
-/// its trit annotation for every spanning-tree group of the owning broker.
-/// `source` + `epoch` identify the tree state this was frozen from; they
-/// are used only as a reuse key, never dereferenced by readers.
+/// One factoring bucket, frozen and compiled: the flat match kernel of the
+/// bucket's tree and its trit annotations for every spanning-tree group of
+/// the owning broker. `source` + `epoch` identify the tree state this was
+/// compiled from; they are used only as a reuse key, never dereferenced by
+/// readers.
 struct FrozenBucket {
   const Pst* source{nullptr};
   std::uint64_t epoch{0};
-  std::unique_ptr<const FrozenPsg> graph;
-  std::vector<std::unique_ptr<const AnnotatedPsg>> groups;  // one per group index
+  std::unique_ptr<const CompiledPst> kernel;
+  std::unique_ptr<const CompiledAnnotation> annotations;
 };
 
 /// One information space, frozen. Buckets holding no subscriptions are
 /// omitted: a missing bucket means nothing in the network can match.
 class FrozenSpace {
  public:
-  /// The bucket an event would be matched against, or nullptr.
+  /// The bucket an event would be matched against, or nullptr. The
+  /// overload taking a scratch key (MatchScratch::factoring_key()) is the
+  /// hot path: it assigns into the reused buffer instead of allocating a
+  /// fresh vector of Value copies per event.
   [[nodiscard]] const FrozenBucket* bucket_for(const Event& event) const {
     if (factoring_ == nullptr) return single_.get();
     const auto it = buckets_.find(factoring_->event_key(event));
+    return it == buckets_.end() ? nullptr : it->second.get();
+  }
+  [[nodiscard]] const FrozenBucket* bucket_for(const Event& event,
+                                               FactoringIndex::Key& scratch_key) const {
+    if (factoring_ == nullptr) return single_.get();
+    factoring_->event_key_into(event, scratch_key);
+    const auto it = buckets_.find(scratch_key);
     return it == buckets_.end() ? nullptr : it->second.get();
   }
 

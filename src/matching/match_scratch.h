@@ -12,11 +12,17 @@
 // One MatchScratch may be reused across different graphs and events: stamps
 // are versioned, so "visited" marks from a previous match (or a previous
 // graph) can never leak into the current one.
+//
+// The scratch also owns the other per-dispatch buffers the compiled kernel
+// needs — the resolved equality-key vector, the factoring key, and the DFS
+// node stack — so a warm dispatch performs no heap allocation at all.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <vector>
+
+#include "event/value.h"
 
 namespace gryphon {
 
@@ -43,9 +49,22 @@ class MatchScratch {
   /// True when `node` was already visited in the current match.
   [[nodiscard]] bool visited(std::size_t node) const { return stamps_[node] == current_; }
 
+  /// Resolved per-level equality keys (CompiledPst::resolve output).
+  [[nodiscard]] std::vector<std::uint64_t>& value_keys() { return value_keys_; }
+
+  /// Reusable factoring key (FactoringIndex::event_key_into output). Values
+  /// are assigned element-wise, so string capacity is reused across events.
+  [[nodiscard]] std::vector<Value>& factoring_key() { return factoring_key_; }
+
+  /// Reusable DFS stack for the compiled kernel's iterative walk.
+  [[nodiscard]] std::vector<std::int32_t>& node_stack() { return node_stack_; }
+
  private:
   std::vector<std::uint32_t> stamps_;
   std::uint32_t current_{0};
+  std::vector<std::uint64_t> value_keys_;
+  std::vector<Value> factoring_key_;
+  std::vector<std::int32_t> node_stack_;
 };
 
 /// The calling thread's lazily-created scratch, for convenience overloads

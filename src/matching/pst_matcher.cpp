@@ -25,9 +25,15 @@ FactoringIndex::FactoringIndex(SchemaPtr schema, std::vector<std::size_t> factor
 
 FactoringIndex::Key FactoringIndex::event_key(const Event& event) const {
   Key key;
-  key.reserve(factored_.size());
-  for (const std::size_t attr : factored_) key.push_back(event.value(attr));
+  event_key_into(event, key);
   return key;
+}
+
+void FactoringIndex::event_key_into(const Event& event, Key& out) const {
+  out.resize(factored_.size());
+  // Element-wise assignment: a string slot reuses its existing capacity,
+  // so a warm scratch key allocates nothing.
+  for (std::size_t i = 0; i < factored_.size(); ++i) out[i] = event.value(factored_[i]);
 }
 
 std::vector<FactoringIndex::Key> FactoringIndex::subscription_keys(
@@ -153,15 +159,49 @@ const Pst* PstMatcher::tree_for_event(const Event& event) const {
   return it == buckets_.end() ? nullptr : it->second.get();
 }
 
+const Pst* PstMatcher::tree_for_event(const Event& event,
+                                      FactoringIndex::Key& scratch_key) const {
+  if (single_tree_) return single_tree_.get();
+  factoring_->event_key_into(event, scratch_key);
+  const auto it = buckets_.find(scratch_key);
+  return it == buckets_.end() ? nullptr : it->second.get();
+}
+
 Pst* PstMatcher::tree_for_event(const Event& event) {
   return const_cast<Pst*>(std::as_const(*this).tree_for_event(event));
 }
 
+std::shared_ptr<const CompiledPst> PstMatcher::compiled_for(const Pst& tree) const {
+  std::lock_guard<std::mutex> lock(compile_mutex_);
+  CompiledEntry& entry = compiled_[&tree];
+  const std::uint64_t epoch = tree.epoch();
+  if (entry.kernel && entry.epoch == epoch) return entry.kernel;
+  if (entry.epoch != epoch) {
+    entry.epoch = epoch;
+    entry.stable_matches = 0;
+    entry.kernel.reset();
+  }
+  if (++entry.stable_matches < kCompileThreshold) return nullptr;
+  entry.kernel = std::make_shared<const CompiledPst>(FrozenPsg(tree));
+  return entry.kernel;
+}
+
 void PstMatcher::match_into(const Event& event, std::vector<SubscriptionId>& out,
                             MatchStats* stats) const {
-  const Pst* tree = tree_for_event(event);
+  match_into(event, out, thread_match_scratch(), stats);
+}
+
+void PstMatcher::match_into(const Event& event, std::vector<SubscriptionId>& out,
+                            MatchScratch& scratch, MatchStats* stats) const {
+  const Pst* tree = tree_for_event(event, scratch.factoring_key());
   if (factoring_ && stats != nullptr) ++stats->nodes_visited;  // the index probe
   if (tree == nullptr) return;
+  if (options_.compiled_kernel) {
+    if (const auto kernel = compiled_for(*tree)) {
+      kernel->match(event, out, scratch, stats);
+      return;
+    }
+  }
   tree->match(event, out, stats);
 }
 

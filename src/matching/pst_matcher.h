@@ -10,9 +10,12 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "matching/compiled_pst.h"
+#include "matching/match_scratch.h"
 #include "matching/matcher.h"
 #include "matching/pst.h"
 
@@ -40,6 +43,11 @@ class FactoringIndex {
   /// The single bucket an event belongs to.
   [[nodiscard]] Key event_key(const Event& event) const;
 
+  /// As event_key, into a caller-owned buffer: values are assigned
+  /// element-wise so a reused key (MatchScratch::factoring_key()) performs
+  /// no heap allocation on the hot dispatch path.
+  void event_key_into(const Event& event, Key& out) const;
+
   /// Every bucket a subscription must live in: the cartesian product of the
   /// domain values accepted by its test on each factored attribute.
   [[nodiscard]] std::vector<Key> subscription_keys(const Subscription& subscription) const;
@@ -56,6 +64,11 @@ struct PstMatcherOptions {
   std::vector<std::size_t> attribute_order;
   /// How many leading attributes of the order are factored (0 = none).
   std::size_t factoring_levels{0};
+  /// Match through the compiled flat kernel (CompiledPst) once a bucket
+  /// tree has proven stable — see PstMatcher::kCompileThreshold. Off means
+  /// every match walks the mutable tree directly (the pre-compilation
+  /// behaviour; benchmarks compare the two).
+  bool compiled_kernel{true};
   Pst::Options tree;
 };
 
@@ -66,9 +79,21 @@ class PstMatcher : public Matcher {
   void add(SubscriptionId id, const Subscription& subscription) override;
   bool remove(SubscriptionId id) override;
   [[nodiscard]] MatchResult match(const Event& event) const override;
-  /// Allocation-free variant: appends matches to `out`.
+  /// Allocation-free variant: appends matches to `out`. The overload with a
+  /// scratch is the hot path (no thread-local lookup, reused buffers).
   void match_into(const Event& event, std::vector<SubscriptionId>& out,
                   MatchStats* stats = nullptr) const;
+  void match_into(const Event& event, std::vector<SubscriptionId>& out, MatchScratch& scratch,
+                  MatchStats* stats = nullptr) const;
+
+  /// A bucket tree is compiled lazily, after this many consecutive matches
+  /// at an unchanged mutation epoch: interleaved add/match traffic keeps
+  /// walking the mutable tree (compiling per mutation would be O(tree) per
+  /// op), while phased workloads — bulk subscribe, then dispatch — pay one
+  /// compile and stay on the flat kernel. The snapshot engine
+  /// (broker/core_snapshot.h) does not use this hysteresis: it compiles
+  /// eagerly at publication, where the rebuild is already batched.
+  static constexpr unsigned kCompileThreshold = 4;
   [[nodiscard]] std::size_t subscription_count() const override { return registry_.size(); }
 
   [[nodiscard]] const SchemaPtr& schema() const { return schema_; }
@@ -92,8 +117,11 @@ class PstMatcher : public Matcher {
   TouchedTrees remove_with_result(SubscriptionId id);
 
   /// The tree an event would be matched against (nullptr when the event's
-  /// factoring bucket holds no subscriptions).
+  /// factoring bucket holds no subscriptions). The overload taking a
+  /// scratch key avoids allocating the factoring key per event.
   [[nodiscard]] const Pst* tree_for_event(const Event& event) const;
+  [[nodiscard]] const Pst* tree_for_event(const Event& event,
+                                          FactoringIndex::Key& scratch_key) const;
   [[nodiscard]] Pst* tree_for_event(const Event& event);
 
   /// Invokes `fn(Pst&)` for every live tree (the single tree when factoring
@@ -126,7 +154,22 @@ class PstMatcher : public Matcher {
   [[nodiscard]] const FactoringIndex* factoring() const { return factoring_.get(); }
 
  private:
+  /// Per-tree compile state. Bucket Pst objects are never freed while the
+  /// matcher lives (see remove_with_result), so the tree pointer is a
+  /// stable key; the mutation epoch invalidates stale kernels.
+  struct CompiledEntry {
+    std::uint64_t epoch{0};
+    unsigned stable_matches{0};
+    std::shared_ptr<const CompiledPst> kernel;
+  };
+
   [[nodiscard]] std::unique_ptr<Pst> make_tree() const;
+  /// The compiled kernel for `tree` at its current epoch, or nullptr while
+  /// the hysteresis counter is still warming up. Thread-compatible with
+  /// concurrent const matching: the cache is guarded by compile_mutex_, and
+  /// a returned kernel stays valid (shared_ptr) even if a concurrent epoch
+  /// bump replaces the cache entry.
+  [[nodiscard]] std::shared_ptr<const CompiledPst> compiled_for(const Pst& tree) const;
 
   SchemaPtr schema_;
   PstMatcherOptions options_;
@@ -136,6 +179,8 @@ class PstMatcher : public Matcher {
   std::unordered_map<FactoringIndex::Key, std::unique_ptr<Pst>, FactoringIndex::KeyHash>
       buckets_;
   std::unordered_map<SubscriptionId, Subscription> registry_;
+  mutable std::mutex compile_mutex_;
+  mutable std::unordered_map<const Pst*, CompiledEntry> compiled_;
 };
 
 }  // namespace gryphon

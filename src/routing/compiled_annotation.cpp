@@ -1,0 +1,220 @@
+#include "routing/compiled_annotation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "event/event.h"
+
+namespace gryphon {
+
+CompiledAnnotation::CompiledAnnotation(const CompiledPst& kernel, std::size_t link_count,
+                                       std::span<const SubscriptionLinkFn> group_link_fns,
+                                       LinkIndex local_link)
+    : kernel_(&kernel),
+      link_count_(link_count),
+      group_count_(group_link_fns.size()),
+      node_count_(kernel.node_count()),
+      local_link_(local_link) {
+  if (link_count_ == 0) throw std::invalid_argument("CompiledAnnotation: zero links");
+  if (group_count_ == 0) throw std::invalid_argument("CompiledAnnotation: zero groups");
+  rows_.assign(group_count_ * node_count_ * link_count_, Trit::No);
+  local_slices_.assign(node_count_, {0, 0});
+
+  // The shared local-subscriber arena: the local-link column never depends
+  // on the spanning tree (every group maps owner == self to local_link), so
+  // any group's link function identifies the local subscribers.
+  if (local_link_.valid()) {
+    const SubscriptionLinkFn& link_of = group_link_fns.front();
+    if (!link_of) throw std::invalid_argument("CompiledAnnotation: null link function");
+    for (std::size_t i = 0; i < node_count_; ++i) {
+      const auto n = static_cast<CompiledPst::NodeId>(i);
+      if (!kernel.is_leaf(n)) continue;
+      const auto begin = static_cast<std::uint32_t>(local_subs_.size());
+      for (const SubscriptionId sub : kernel.subscribers(n)) {
+        if (link_of(sub) == local_link_) local_subs_.push_back(sub);
+      }
+      local_slices_[i] = {begin, static_cast<std::uint32_t>(local_subs_.size()) - begin};
+    }
+  }
+
+  for (std::size_t g = 0; g < group_count_; ++g) {
+    const SubscriptionLinkFn& link_of = group_link_fns[g];
+    if (!link_of) throw std::invalid_argument("CompiledAnnotation: null link function");
+    Trit* const base = rows_.data() + g * node_count_ * link_count_;
+    const auto row_of = [&](CompiledPst::NodeId n) {
+      return TritSpan(base + static_cast<std::size_t>(n) * link_count_, link_count_);
+    };
+    const auto store = [&](CompiledPst::NodeId n, const TritVector& v) {
+      std::copy(v.span().begin(), v.span().end(),
+                base + static_cast<std::size_t>(n) * link_count_);
+    };
+
+    // One forward pass over the bottom-up order computes every row with its
+    // children's rows already final.
+    for (const CompiledPst::NodeId n : kernel.bottom_up_order()) {
+      if (kernel.is_leaf(n)) {
+        TritVector v(link_count_, Trit::No);
+        for (const SubscriptionId sub : kernel.subscribers(n)) {
+          const LinkIndex link = link_of(sub);
+          if (!link.valid() || static_cast<std::size_t>(link.value) >= link_count_) {
+            throw std::logic_error("CompiledAnnotation: subscription resolved to a bad link");
+          }
+          v.set(link, Trit::Yes);
+        }
+        store(n, v);
+        continue;
+      }
+      // Alternative-combine the non-star branches, seeded with the implicit
+      // all-No alternative unless the equality branches cover the whole
+      // finite domain (flag precomputed at kernel compile time; same
+      // soundness argument as AnnotatedPst / AnnotatedPsg).
+      TritVector alt;
+      bool first = true;
+      if (!kernel.covers_domain(n)) {
+        alt = TritVector(link_count_, Trit::No);
+        first = false;
+      }
+      const auto fold = [&](CompiledPst::NodeId child) {
+        if (first) {
+          alt = TritVector(link_count_, Trit::No);
+          alt.parallel_with(row_of(child));  // copy via identity (P with all-No)
+          first = false;
+        } else {
+          alt.alternative_with(row_of(child));
+        }
+      };
+      for (const CompiledPst::NodeId child : kernel.eq_targets(n)) fold(child);
+      for (const CompiledPst::NodeId child : kernel.other_targets(n)) fold(child);
+      if (first) alt = TritVector(link_count_, Trit::No);  // no branches at all
+      const CompiledPst::NodeId star = kernel.star_child(n);
+      if (star != CompiledPst::kNoNode) alt.parallel_with(row_of(star));
+      store(n, alt);
+    }
+  }
+}
+
+namespace {
+
+// The Section 3.3 search over the compiled kernel. Control flow mirrors
+// psg_dispatch's DispatchSearch exactly (the differential test depends on
+// bit-identical results); the differences are purely representational —
+// equality tests consume the pre-resolved key vector, and annotation rows /
+// branch tables come from flat arenas.
+class CompiledDispatchSearch {
+ public:
+  CompiledDispatchSearch(const CompiledAnnotation& annotated, std::size_t group,
+                         const Event& event, const std::uint64_t* keys, MatchScratch& scratch,
+                         std::vector<SubscriptionId>* local_out)
+      : annotated_(annotated),
+        kernel_(annotated.kernel()),
+        group_(group),
+        event_(event),
+        keys_(keys),
+        scratch_(scratch),
+        local_out_(local_out),
+        local_(annotated.local_link()),
+        delayed_star_(kernel_.delayed_star()) {}
+
+  TritVector run(CompiledPst::NodeId node, TritVector mask) {
+    ++steps_;
+    // Step 2: refinement against this node's annotation.
+    mask.refine_with(annotated_.annotation(group_, node));
+    // Stamping marks "local matches at or below this node are collected by
+    // this call" — sound on the DAG because the leaf union below a shared
+    // node is path-independent.
+    const bool local_here = wants_local(node);
+    if (local_here) scratch_.visit(static_cast<std::size_t>(node));
+
+    if (kernel_.is_leaf(node)) {
+      if (local_here) {
+        const auto subs = annotated_.local_subscribers(node);
+        local_out_->insert(local_out_->end(), subs.begin(), subs.end());
+      }
+      mask.maybes_to_no();
+      return mask;
+    }
+    if (!mask.has_maybe() && !local_here) return mask;  // nothing left to decide below
+
+    // Step 3: perform the test, subsearch each selected child that can
+    // still contribute — a Maybe to resolve, or uncollected local matches.
+    const auto subsearch = [&](CompiledPst::NodeId child) {
+      if (!mask.has_maybe() && !(local_here && wants_local(child))) return;
+      mask.promote_yes_from(run(child, mask));
+    };
+
+    const CompiledPst::NodeId star = kernel_.star_child(node);
+    if (!delayed_star_ && star != CompiledPst::kNoNode) subsearch(star);
+    const auto other_tests = kernel_.other_tests(node);
+    if (!other_tests.empty()) {
+      const Value& v = event_.value(kernel_.order()[static_cast<std::size_t>(kernel_.level(node))]);
+      const auto other_targets = kernel_.other_targets(node);
+      for (std::size_t i = 0; i < other_tests.size(); ++i) {
+        if (other_tests[i].accepts(v)) subsearch(other_targets[i]);
+      }
+    }
+    const CompiledPst::NodeId eq =
+        kernel_.eq_child(node, keys_[static_cast<std::size_t>(kernel_.level(node))]);
+    if (eq != CompiledPst::kNoNode) subsearch(eq);
+    if (delayed_star_ && star != CompiledPst::kNoNode) subsearch(star);
+
+    mask.maybes_to_no();
+    return mask;
+  }
+
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+ private:
+  [[nodiscard]] bool wants_local(CompiledPst::NodeId node) const {
+    return local_out_ != nullptr && local_.valid() &&
+           !scratch_.visited(static_cast<std::size_t>(node)) &&
+           annotated_.annotation(group_, node)[static_cast<std::size_t>(local_.value)] !=
+               Trit::No;
+  }
+
+  const CompiledAnnotation& annotated_;
+  const CompiledPst& kernel_;
+  std::size_t group_;
+  const Event& event_;
+  const std::uint64_t* keys_;
+  MatchScratch& scratch_;
+  std::vector<SubscriptionId>* local_out_;
+  LinkIndex local_;
+  bool delayed_star_;
+  std::uint64_t steps_{0};
+};
+
+}  // namespace
+
+CompiledDispatchResult compiled_dispatch(const CompiledAnnotation& annotated, std::size_t group,
+                                         const Event& event,
+                                         const TritVector& initialization_mask,
+                                         MatchScratch& scratch,
+                                         std::vector<SubscriptionId>* local_out) {
+  if (initialization_mask.size() != annotated.link_count()) {
+    throw std::invalid_argument("compiled_dispatch: mask width != link count");
+  }
+  if (group >= annotated.group_count()) {
+    throw std::invalid_argument("compiled_dispatch: bad group index");
+  }
+  CompiledDispatchResult result;
+  const CompiledPst& kernel = annotated.kernel();
+  if (kernel.subscription_count() == 0 || kernel.root() < 0) {
+    result.mask = initialization_mask;
+    result.mask.maybes_to_no();  // nothing downstream can match
+    return result;
+  }
+  const bool want_local = local_out != nullptr && annotated.local_link().valid();
+  if (!initialization_mask.has_maybe() && !want_local) {
+    result.mask = initialization_mask;  // already final, and no local work
+    return result;
+  }
+  kernel.resolve(event, scratch.value_keys());
+  scratch.begin(kernel.node_count());
+  CompiledDispatchSearch search(annotated, group, event, scratch.value_keys().data(), scratch,
+                                local_out);
+  result.mask = search.run(kernel.root(), initialization_mask);
+  result.steps = search.steps();
+  return result;
+}
+
+}  // namespace gryphon

@@ -75,25 +75,25 @@ TEST_F(BrokerCoreTest, DispatchYieldsLocalMatches) {
             (std::vector<SubscriptionId>{SubscriptionId{1}, SubscriptionId{2}}));
 }
 
-TEST_F(BrokerCoreTest, DeprecatedShimsAgreeWithDispatch) {
+TEST_F(BrokerCoreTest, DispatchLocalMatchesAgreeWithMatchAll) {
+  // dispatch() is the one data-plane entry point (the route()/match_local()
+  // shims are gone): its local-match list must be exactly the locally-owned
+  // subset of the network-wide match set.
   BrokerCore core(BrokerId{1}, topo_, {schema_});
   core.add_subscription(kSpace0, SubscriptionId{1}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{1});
   core.add_subscription(kSpace0, SubscriptionId{3}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{0});
 
   const Event e = ev(schema_, {1, 2, 0, 0});
   const auto decision = core.dispatch(kSpace0, e, BrokerId{1});
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto routed = core.route(kSpace0, e, BrokerId{1});
-  auto local = core.match_local(kSpace0, e);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(routed.forward, decision.forward);
-  EXPECT_EQ(routed.deliver_locally, decision.deliver_locally);
-  EXPECT_TRUE(routed.local_matches.empty());  // route() drops the match list
-  std::sort(local.begin(), local.end());
+  std::vector<SubscriptionId> expected_local;
+  for (const SubscriptionId id : core.match_all(kSpace0, e)) {
+    if (core.owner_of(id) == core.self()) expected_local.push_back(id);
+  }
   auto from_dispatch = decision.local_matches;
   std::sort(from_dispatch.begin(), from_dispatch.end());
-  EXPECT_EQ(local, from_dispatch);
+  std::sort(expected_local.begin(), expected_local.end());
+  EXPECT_EQ(from_dispatch, expected_local);
+  EXPECT_EQ(decision.deliver_locally, !expected_local.empty());
 }
 
 TEST_F(BrokerCoreTest, NoUpstreamForwarding) {

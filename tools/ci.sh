@@ -1,21 +1,26 @@
 #!/usr/bin/env bash
 # Local CI: release build + full test suite, then AddressSanitizer and
-# ThreadSanitizer passes. The sanitizer builds live in their own build
-# directories so they never pollute the primary one.
+# ThreadSanitizer passes, then a perf smoke over the matching kernels. The
+# sanitizer builds live in their own build directories so they never pollute
+# the primary one.
 #
-#   tools/ci.sh             # release + asan + tsan
+#   tools/ci.sh             # release + asan + tsan + perf
 #   tools/ci.sh release     # just the release leg
 #   tools/ci.sh tsan        # just the ThreadSanitizer leg
+#   tools/ci.sh perf        # just the kernel perf smoke
 #
 # The TSan leg runs the dedicated concurrency_tests binary (the snapshot /
 # worker-pipeline races are what TSan is here to catch); the ASan and
-# release legs run everything.
+# release legs run everything. The perf leg reuses the release build to run
+# micro_bench on the compiled-vs-mutable kernel pair plus the standalone
+# compiled_pst_bench, leaving BENCH_micro_kernels.json and
+# BENCH_compiled_pst.json at the repo root as uploadable artifacts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
-LEGS=("${@:-release asan tsan}")
-[[ $# -eq 0 ]] && LEGS=(release asan tsan)
+LEGS=("${@:-release asan tsan perf}")
+[[ $# -eq 0 ]] && LEGS=(release asan tsan perf)
 
 run_leg() {
   local leg="$1" dir sanitize
@@ -23,12 +28,29 @@ run_leg() {
     release) dir=build          sanitize=""        ;;
     asan)    dir=build-asan     sanitize="address" ;;
     tsan)    dir=build-tsan     sanitize="thread"  ;;
-    *) echo "ci.sh: unknown leg '$leg' (release|asan|tsan)" >&2; exit 2 ;;
+    perf)    dir=build          sanitize=""        ;;
+    *) echo "ci.sh: unknown leg '$leg' (release|asan|tsan|perf)" >&2; exit 2 ;;
   esac
 
   echo "=== [$leg] configure + build ==="
   cmake -B "$dir" -S . -DGRYPHON_SANITIZE="$sanitize" >/dev/null
   cmake --build "$dir" -j "$JOBS"
+
+  if [[ "$leg" == perf ]]; then
+    echo "=== [perf] kernel smoke: micro_bench compiled vs mutable ==="
+    "$dir/bench/micro_bench" \
+      --benchmark_filter='PstMatch(Compiled|Mutable)' \
+      --benchmark_min_time=0.2 \
+      --benchmark_out=BENCH_micro_kernels.json \
+      --benchmark_out_format=json
+    echo "=== [perf] kernel smoke: compiled_pst_bench ==="
+    # Trimmed point (2k subs, few passes) — the smoke guards against the
+    # compiled path regressing below the mutable walk, not absolute numbers;
+    # run the binary with no args for the full 10k acceptance measurement.
+    "$dir/bench/compiled_pst_bench" 2000 500 5
+    echo "perf artifacts: BENCH_micro_kernels.json BENCH_compiled_pst.json"
+    return
+  fi
 
   echo "=== [$leg] test ==="
   if [[ "$leg" == tsan ]]; then
