@@ -19,7 +19,7 @@ Broker::Broker(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaP
 
 Broker::~Broker() {
   {
-    std::lock_guard<std::mutex> qlock(queue_mutex_);
+    MutexLock qlock(queue_mutex_);
     stop_ = true;
   }
   queue_cv_.notify_all();
@@ -33,12 +33,12 @@ Ticks Broker::now() const {
 }
 
 void Broker::flush() {
-  std::unique_lock<std::mutex> qlock(queue_mutex_);
-  done_cv_.wait(qlock, [&] { return unfinished_events_ == 0; });
+  MutexUniqueLock qlock(queue_mutex_);
+  while (unfinished_events_ != 0) done_cv_.wait(qlock.native());
 }
 
 void Broker::attach_broker_link(ConnId conn, BrokerId peer) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   conns_[conn] = ConnState{ConnKind::kBroker, {}, peer};
   broker_conns_[peer] = conn;
   transport_->send(conn, wire::encode(wire::HelloBroker{core_.self()}));
@@ -46,6 +46,7 @@ void Broker::attach_broker_link(ConnId conn, BrokerId peer) {
 }
 
 void Broker::sync_subscriptions_to(ConnId conn) {
+  core_.control_plane().assert_serialized();  // serialized by mutex_
   // State synchronization on link (re-)establishment: replay every known
   // subscription replica to the peer. The receiver deduplicates by id, so
   // resending after a reconnect is harmless, and subscriptions registered
@@ -58,12 +59,12 @@ void Broker::sync_subscriptions_to(ConnId conn) {
 }
 
 void Broker::on_connect(ConnId conn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   conns_.emplace(conn, ConnState{});  // kind resolved by the hello frame
 }
 
 void Broker::on_disconnect(ConnId conn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = conns_.find(conn);
   if (it == conns_.end()) return;
   const ConnState state = it->second;
@@ -80,7 +81,7 @@ void Broker::on_disconnect(ConnId conn) {
 }
 
 void Broker::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   try {
     switch (wire::peek_type(frame)) {
       case wire::FrameType::kHelloClient:
@@ -141,6 +142,7 @@ void Broker::handle_hello_broker(ConnId conn, const wire::HelloBroker& hello) {
 }
 
 void Broker::handle_subscribe(ConnId conn, const wire::SubscribeReq& req) {
+  core_.control_plane().assert_serialized();  // serialized by mutex_
   const auto it = conns_.find(conn);
   if (it == conns_.end() || it->second.kind != ConnKind::kClient) {
     send_error(conn, req.token, "subscribe before hello");
@@ -168,6 +170,7 @@ void Broker::handle_subscribe(ConnId conn, const wire::SubscribeReq& req) {
 }
 
 void Broker::handle_unsubscribe(ConnId conn, const wire::Unsubscribe& req) {
+  core_.control_plane().assert_serialized();  // serialized by mutex_
   const auto it = conns_.find(conn);
   if (it == conns_.end() || it->second.kind != ConnKind::kClient) return;
   const auto space_it = local_sub_space_.find(req.id);
@@ -206,6 +209,7 @@ void Broker::handle_ack(ConnId conn, const wire::Ack& ack) {
 }
 
 void Broker::handle_sub_propagate(ConnId conn, const wire::SubPropagate& prop) {
+  core_.control_plane().assert_serialized();  // serialized by mutex_
   if (core_.has_subscription(prop.id)) return;  // flooding deduplication
   if (!core_.has_space(prop.space)) return;
   const Subscription subscription =
@@ -218,6 +222,7 @@ void Broker::handle_sub_propagate(ConnId conn, const wire::SubPropagate& prop) {
 }
 
 void Broker::handle_unsub_propagate(ConnId conn, const wire::UnsubPropagate& prop) {
+  core_.control_plane().assert_serialized();  // serialized by mutex_
   const auto space = core_.space_of(prop.id);
   if (!space.has_value()) return;  // already gone: stop the flood
   const std::size_t count_before = core_.subscription_count(*space);
@@ -242,7 +247,7 @@ void Broker::process_event(SpaceId space, const std::vector<std::uint8_t>& encod
     return;
   }
   {
-    std::lock_guard<std::mutex> qlock(queue_mutex_);
+    MutexLock qlock(queue_mutex_);
     queue_.push_back(PendingEvent{space, encoded, tree_root});
     ++unfinished_events_;
   }
@@ -256,8 +261,8 @@ void Broker::worker_loop() {
   for (;;) {
     PendingEvent item;
     {
-      std::unique_lock<std::mutex> qlock(queue_mutex_);
-      queue_cv_.wait(qlock, [&] { return stop_ || !queue_.empty(); });
+      MutexUniqueLock qlock(queue_mutex_);
+      while (!stop_ && queue_.empty()) queue_cv_.wait(qlock.native());
       if (queue_.empty()) return;  // stopping and drained
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -266,14 +271,14 @@ void Broker::worker_loop() {
       const Event event = decode_event(core_.schema(item.space), item.encoded);
       const BrokerCore::Decision decision =
           core_.dispatch(item.space, event, item.tree_root, scratch);
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       apply_decision(item.space, item.encoded, item.tree_root, decision);
     } catch (const std::exception& e) {
       GRYPHON_WARN("broker") << "broker " << core_.self()
                              << ": dropping undecodable event: " << e.what();
     }
     {
-      std::lock_guard<std::mutex> qlock(queue_mutex_);
+      MutexLock qlock(queue_mutex_);
       if (--unfinished_events_ == 0) done_cv_.notify_all();
     }
   }
@@ -338,6 +343,7 @@ void Broker::send_error(ConnId conn, std::uint64_t token, std::string message) {
 }
 
 void Broker::send_quench_state(ConnId conn) {
+  core_.control_plane().assert_serialized();  // serialized by mutex_
   for (std::size_t s = 0; s < core_.space_count(); ++s) {
     const SpaceId space{static_cast<SpaceId::rep_type>(s)};
     transport_->send(
@@ -346,6 +352,7 @@ void Broker::send_quench_state(ConnId conn) {
 }
 
 void Broker::maybe_broadcast_quench(SpaceId space, std::size_t count_before) {
+  core_.control_plane().assert_serialized();  // serialized by mutex_
   const std::size_t count_after = core_.subscription_count(space);
   const bool was_active = count_before > 0;
   const bool is_active = count_after > 0;
@@ -358,7 +365,7 @@ void Broker::maybe_broadcast_quench(SpaceId space, std::size_t count_before) {
 }
 
 std::size_t Broker::collect_garbage() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::size_t collected = 0;
   const Ticks t = now();
   for (auto& [name, client] : clients_) {
@@ -369,12 +376,12 @@ std::size_t Broker::collect_garbage() {
 }
 
 Broker::Stats Broker::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 std::uint64_t Broker::client_log_size(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = clients_.find(name);
   return it == clients_.end() ? 0 : it->second->log.size();
 }

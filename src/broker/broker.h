@@ -30,7 +30,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -40,6 +39,7 @@
 #include "broker/event_log.h"
 #include "broker/transport.h"
 #include "broker/wire.h"
+#include "common/mutex.h"
 
 namespace gryphon {
 
@@ -65,27 +65,28 @@ class Broker : public TransportHandler {
   /// delivering frames (deterministic pumped transports, or quiesced TCP).
   [[nodiscard]] const BrokerCore& core() const { return core_; }
   /// Thread-safe subscription count (for polling from other threads).
-  [[nodiscard]] std::size_t subscription_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t subscription_count() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    core_.control_plane().assert_serialized();  // serialized by mutex_
     return core_.subscription_count();
   }
 
   /// Blocks until every event enqueued to the match workers so far has been
   /// dispatched and applied. Immediate when match_threads == 0. Do not call
   /// from inside a transport callback.
-  void flush();
+  void flush() EXCLUDES(mutex_, queue_mutex_);
 
   /// Registers an *outbound* broker link this node initiated: sends the
   /// broker hello so the peer can bind the reverse mapping.
-  void attach_broker_link(ConnId conn, BrokerId peer);
+  void attach_broker_link(ConnId conn, BrokerId peer) EXCLUDES(mutex_);
 
   // TransportHandler:
-  void on_connect(ConnId conn) override;
-  void on_frame(ConnId conn, std::span<const std::uint8_t> frame) override;
-  void on_disconnect(ConnId conn) override;
+  void on_connect(ConnId conn) override EXCLUDES(mutex_);
+  void on_frame(ConnId conn, std::span<const std::uint8_t> frame) override EXCLUDES(mutex_);
+  void on_disconnect(ConnId conn) override EXCLUDES(mutex_);
 
   /// The periodic log garbage collector; returns entries collected.
-  std::size_t collect_garbage();
+  std::size_t collect_garbage() EXCLUDES(mutex_);
 
   struct Stats {
     std::uint64_t events_published{0};   // local client publications
@@ -95,10 +96,10 @@ class Broker : public TransportHandler {
     std::uint64_t subscriptions_active{0};
     std::uint64_t matching_steps{0};
   };
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const EXCLUDES(mutex_);
 
   /// Test hook: the current sequence state of a named client's log.
-  [[nodiscard]] std::uint64_t client_log_size(const std::string& name) const;
+  [[nodiscard]] std::uint64_t client_log_size(const std::string& name) const EXCLUDES(mutex_);
 
  private:
   enum class ConnKind : std::uint8_t { kUnknown, kClient, kBroker };
@@ -119,60 +120,63 @@ class Broker : public TransportHandler {
   };
 
   [[nodiscard]] Ticks now() const;
-  void handle_hello_client(ConnId conn, const wire::HelloClient& hello);
-  void handle_hello_broker(ConnId conn, const wire::HelloBroker& hello);
-  void handle_subscribe(ConnId conn, const wire::SubscribeReq& req);
-  void handle_unsubscribe(ConnId conn, const wire::Unsubscribe& req);
-  void handle_publish(ConnId conn, const wire::Publish& publish);
-  void handle_ack(ConnId conn, const wire::Ack& ack);
-  void handle_sub_propagate(ConnId conn, const wire::SubPropagate& prop);
-  void handle_unsub_propagate(ConnId conn, const wire::UnsubPropagate& prop);
-  void handle_event_forward(ConnId conn, const wire::EventForward& fwd);
+  void handle_hello_client(ConnId conn, const wire::HelloClient& hello) REQUIRES(mutex_);
+  void handle_hello_broker(ConnId conn, const wire::HelloBroker& hello) REQUIRES(mutex_);
+  void handle_subscribe(ConnId conn, const wire::SubscribeReq& req) REQUIRES(mutex_);
+  void handle_unsubscribe(ConnId conn, const wire::Unsubscribe& req) REQUIRES(mutex_);
+  void handle_publish(ConnId conn, const wire::Publish& publish) REQUIRES(mutex_);
+  void handle_ack(ConnId conn, const wire::Ack& ack) REQUIRES(mutex_);
+  void handle_sub_propagate(ConnId conn, const wire::SubPropagate& prop) REQUIRES(mutex_);
+  void handle_unsub_propagate(ConnId conn, const wire::UnsubPropagate& prop) REQUIRES(mutex_);
+  void handle_event_forward(ConnId conn, const wire::EventForward& fwd) REQUIRES(mutex_);
 
   /// Shared by local publications and forwarded events. Synchronous mode:
   /// decode + dispatch + apply inline (mutex_ held by the caller). Pipeline
   /// mode: enqueue for the match workers. May throw (decode errors) only in
   /// synchronous mode.
   void process_event(SpaceId space, const std::vector<std::uint8_t>& encoded,
-                     BrokerId tree_root);
-  /// Applies a dispatch decision: forwards, delivers, accounts. Caller
-  /// holds mutex_.
+                     BrokerId tree_root) REQUIRES(mutex_);
+  /// Applies a dispatch decision: forwards, delivers, accounts.
   void apply_decision(SpaceId space, const std::vector<std::uint8_t>& encoded,
-                      BrokerId tree_root, const BrokerCore::Decision& decision);
-  void worker_loop();
+                      BrokerId tree_root, const BrokerCore::Decision& decision)
+      REQUIRES(mutex_);
+  void worker_loop() EXCLUDES(mutex_, queue_mutex_);
   void deliver_to_client(ClientRecord& client, SpaceId space,
-                         std::vector<std::uint8_t> encoded);
-  void sync_subscriptions_to(ConnId conn);
+                         std::vector<std::uint8_t> encoded) REQUIRES(mutex_);
+  void sync_subscriptions_to(ConnId conn) REQUIRES(mutex_);
   /// Broadcasts a quench update to every connected client when a space
   /// transitions between "has subscribers" and "has none" (Elvin-style
   /// quenching, paper Section 5).
-  void maybe_broadcast_quench(SpaceId space, std::size_t count_before);
-  void send_quench_state(ConnId conn);
-  void propagate_subscription(const wire::SubPropagate& prop, ConnId except);
-  void propagate_unsubscription(const wire::UnsubPropagate& prop, ConnId except);
+  void maybe_broadcast_quench(SpaceId space, std::size_t count_before) REQUIRES(mutex_);
+  void send_quench_state(ConnId conn) REQUIRES(mutex_);
+  void propagate_subscription(const wire::SubPropagate& prop, ConnId except) REQUIRES(mutex_);
+  void propagate_unsubscription(const wire::UnsubPropagate& prop, ConnId except)
+      REQUIRES(mutex_);
   void send_error(ConnId conn, std::uint64_t token, std::string message);
 
-  mutable std::mutex mutex_;
+  // Lock order: mutex_ before queue_mutex_ (handlers enqueue while holding
+  // mutex_); workers never hold both. Declared to the analysis via
+  // ACQUIRED_BEFORE, so an inverted acquisition is a compile error.
+  mutable Mutex mutex_ ACQUIRED_BEFORE(queue_mutex_);
   BrokerCore core_;
   Transport* transport_;
   Options options_;
-  std::unordered_map<ConnId, ConnState> conns_;
-  std::unordered_map<std::string, std::unique_ptr<ClientRecord>> clients_;
-  std::unordered_map<SubscriptionId, std::string> local_sub_client_;
-  std::unordered_map<SubscriptionId, SpaceId> local_sub_space_;
-  std::unordered_map<BrokerId, ConnId> broker_conns_;
-  std::uint64_t next_sub_counter_{1};
-  Stats stats_;
+  std::unordered_map<ConnId, ConnState> conns_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::unique_ptr<ClientRecord>> clients_ GUARDED_BY(mutex_);
+  std::unordered_map<SubscriptionId, std::string> local_sub_client_ GUARDED_BY(mutex_);
+  std::unordered_map<SubscriptionId, SpaceId> local_sub_space_ GUARDED_BY(mutex_);
+  std::unordered_map<BrokerId, ConnId> broker_conns_ GUARDED_BY(mutex_);
+  std::uint64_t next_sub_counter_ GUARDED_BY(mutex_){1};
+  Stats stats_ GUARDED_BY(mutex_);
   std::chrono::steady_clock::time_point epoch_{std::chrono::steady_clock::now()};
 
-  // Match-worker pipeline. Lock order: mutex_ before queue_mutex_ (handlers
-  // enqueue while holding mutex_); workers never hold both.
-  std::mutex queue_mutex_;
+  // Match-worker pipeline.
+  Mutex queue_mutex_;
   std::condition_variable queue_cv_;  // work available / stopping
   std::condition_variable done_cv_;   // pipeline drained
-  std::deque<PendingEvent> queue_;
-  std::size_t unfinished_events_{0};  // queued + currently dispatching
-  bool stop_{false};
+  std::deque<PendingEvent> queue_ GUARDED_BY(queue_mutex_);
+  std::size_t unfinished_events_ GUARDED_BY(queue_mutex_){0};  // queued + dispatching
+  bool stop_ GUARDED_BY(queue_mutex_){false};
   std::vector<std::thread> workers_;
 };
 

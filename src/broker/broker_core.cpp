@@ -7,6 +7,9 @@ namespace gryphon {
 BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
                        std::vector<SchemaPtr> spaces, PstMatcherOptions matcher_options)
     : self_(self), topology_(&topology), routing_(topology) {
+  // Construction is single-threaded by the language; state that once for
+  // the whole body so guarded members can be initialized.
+  control_plane_.assert_serialized();
   if (!self.valid() || static_cast<std::size_t>(self.value) >= topology.broker_count()) {
     throw std::invalid_argument("BrokerCore: bad self id");
   }
@@ -47,6 +50,10 @@ BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
       const SpanningTree* rep = tree.get();
       const LinkIndex local_link = local_link_;
       owned->link_of = [this, rep, local_link](SubscriptionId id) {
+        // Group link functions run only inside snapshot freezing, which the
+        // control plane serializes; the lambda re-states that for the
+        // analysis (lambdas do not inherit the caller's capability set).
+        control_plane_.assert_serialized();
         const BrokerId owner = owner_of(id);
         return owner == self_ ? local_link : rep->tree_next_hop(self_, owner);
       };
@@ -81,13 +88,10 @@ BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
   builder_ = std::make_unique<SnapshotBuilder>(link_count_, local_link_, std::move(link_fns));
 
   // Publish the initial (all-empty) snapshot.
-  auto snapshot = std::make_shared<CoreSnapshot>();
-  snapshot->version = 0;
-  snapshot->spaces.reserve(spaces_.size());
-  for (const Space& sp : spaces_) {
-    snapshot->spaces.push_back(builder_->freeze(*sp.matcher, nullptr));
-  }
-  snapshot_.store(std::move(snapshot));
+  std::vector<const PstMatcher*> matchers;
+  matchers.reserve(spaces_.size());
+  for (const Space& sp : spaces_) matchers.push_back(sp.matcher.get());
+  snapshot_.store(builder_->initial_snapshot(matchers));
 }
 
 const BrokerCore::Space& BrokerCore::space_at(SpaceId space) const {
@@ -101,12 +105,8 @@ const SchemaPtr& BrokerCore::schema(SpaceId space) const { return space_at(space
 
 void BrokerCore::publish_snapshot(SpaceId touched) {
   const auto current = snapshot_.load();
-  auto next = std::make_shared<CoreSnapshot>();
-  next->version = current->version + 1;
-  next->spaces = current->spaces;  // untouched spaces carry over wholesale
   const auto i = static_cast<std::size_t>(touched.value);
-  next->spaces[i] = builder_->freeze(*spaces_[i].matcher, current->spaces[i].get());
-  snapshot_.store(std::move(next));
+  snapshot_.store(builder_->next_snapshot(*current, i, *spaces_[i].matcher));
 }
 
 void BrokerCore::add_subscription(SpaceId space, SubscriptionId id,

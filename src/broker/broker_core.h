@@ -24,6 +24,13 @@
 // duration of the event (see core_snapshot.h). Dispatch and match_all run
 // on the compiled flat kernel (matching/compiled_pst.h); the mutable trees
 // are writer-only.
+//
+// The contract is machine-checked: control-plane methods carry
+// REQUIRES(control_plane_) on a ControlPlaneCapability, so a Clang build
+// with -Werror=thread-safety rejects any call path that has not either
+// locked the serializing mutex and asserted the capability (what Broker
+// does) or asserted single-threaded ownership (what tests and the simulator
+// do). See docs/static-analysis.md.
 #pragma once
 
 #include <map>
@@ -33,6 +40,7 @@
 #include <vector>
 
 #include "broker/core_snapshot.h"
+#include "common/thread_annotations.h"
 #include "matching/match_scratch.h"
 #include "matching/pst_matcher.h"
 #include "routing/compiled_annotation.h"
@@ -41,6 +49,20 @@
 #include "topology/spanning_tree.h"
 
 namespace gryphon {
+
+/// A zero-cost capability standing for "the BrokerCore control plane is
+/// serialized". BrokerCore owns no lock of its own: the real exclusion is
+/// external (the owning Broker's mutex_, or plain single-threaded use), so
+/// callers state it to the analysis by calling assert_serialized() after
+/// establishing whichever invariant applies. Clang's -Wthread-safety then
+/// proves every control-plane call site sits on a serialized path; at
+/// runtime the capability is an empty object.
+class CAPABILITY("control_plane") ControlPlaneCapability {
+ public:
+  /// Declares that the calling scope is on the serialized control-plane
+  /// path (lock held, or provably single-threaded). No runtime effect.
+  void assert_serialized() const ASSERT_CAPABILITY(this) {}
+};
 
 class BrokerCore {
  public:
@@ -60,19 +82,30 @@ class BrokerCore {
   /// Neighbor broker on each inter-broker port, in port order.
   [[nodiscard]] const std::vector<BrokerId>& neighbors() const { return neighbors_; }
 
+  /// The capability serializing this core's control plane. Hold the owning
+  /// broker's mutex (or be provably single-threaded), then
+  /// `core.control_plane().assert_serialized()` to unlock the writer API
+  /// for the current scope.
+  [[nodiscard]] ControlPlaneCapability& control_plane() const
+      RETURN_CAPABILITY(control_plane_) {
+    return control_plane_;
+  }
+
   /// Registers a subscription replica. `owner` is the broker whose client
   /// created it. Throws on duplicate id / bad space / schema mismatch.
   /// Publishes a new snapshot before returning.
   void add_subscription(SpaceId space, SubscriptionId id, const Subscription& subscription,
-                        BrokerId owner);
+                        BrokerId owner) REQUIRES(control_plane_);
   /// Removes a replica; false when unknown. Publishes a new snapshot.
-  bool remove_subscription(SubscriptionId id);
-  [[nodiscard]] bool has_subscription(SubscriptionId id) const {
+  bool remove_subscription(SubscriptionId id) REQUIRES(control_plane_);
+  [[nodiscard]] bool has_subscription(SubscriptionId id) const REQUIRES(control_plane_) {
     return registry_.contains(id);
   }
-  [[nodiscard]] std::size_t subscription_count() const { return registry_.size(); }
+  [[nodiscard]] std::size_t subscription_count() const REQUIRES(control_plane_) {
+    return registry_.size();
+  }
   /// Subscription replicas registered for one information space.
-  [[nodiscard]] std::size_t subscription_count(SpaceId space) const {
+  [[nodiscard]] std::size_t subscription_count(SpaceId space) const REQUIRES(control_plane_) {
     return space_counts_.at(static_cast<std::size_t>(space.value));
   }
 
@@ -104,10 +137,11 @@ class BrokerCore {
   }
 
   /// Owner broker of a subscription; throws when unknown.
-  [[nodiscard]] BrokerId owner_of(SubscriptionId id) const;
+  [[nodiscard]] BrokerId owner_of(SubscriptionId id) const REQUIRES(control_plane_);
 
   /// Information space of a subscription; nullopt when unknown.
-  [[nodiscard]] std::optional<SpaceId> space_of(SubscriptionId id) const {
+  [[nodiscard]] std::optional<SpaceId> space_of(SubscriptionId id) const
+      REQUIRES(control_plane_) {
     const auto it = registry_.find(id);
     if (it == registry_.end()) return std::nullopt;
     return it->second.space;
@@ -117,7 +151,7 @@ class BrokerCore {
   /// fn(space, id, owner, subscription). Used for state synchronization
   /// when a broker link is (re-)established.
   template <typename Fn>
-  void for_each_subscription(Fn&& fn) const {
+  void for_each_subscription(Fn&& fn) const REQUIRES(control_plane_) {
     for (const auto& [id, reg] : registry_) {
       const Subscription* subscription =
           spaces_[static_cast<std::size_t>(reg.space.value)].matcher->find_subscription(id);
@@ -142,7 +176,7 @@ class BrokerCore {
   [[nodiscard]] const Space& space_at(SpaceId space) const;
   /// Rebuilds the touched space's frozen state (reusing unchanged buckets)
   /// and atomically publishes a new snapshot. Writer-side only.
-  void publish_snapshot(SpaceId touched);
+  void publish_snapshot(SpaceId touched) REQUIRES(control_plane_);
 
   BrokerId self_;
   const BrokerNetwork* topology_;
@@ -157,8 +191,9 @@ class BrokerCore {
   std::vector<std::unique_ptr<Group>> groups_;
   std::unordered_map<BrokerId, std::size_t> group_index_of_root_;
   std::unordered_map<BrokerId, TritVector> init_masks_;
-  std::unordered_map<SubscriptionId, Registered> registry_;
-  std::vector<std::size_t> space_counts_;
+  mutable ControlPlaneCapability control_plane_;
+  std::unordered_map<SubscriptionId, Registered> registry_ GUARDED_BY(control_plane_);
+  std::vector<std::size_t> space_counts_ GUARDED_BY(control_plane_);
   std::unique_ptr<SnapshotBuilder> builder_;
   SnapshotSlot snapshot_;
 };

@@ -17,7 +17,7 @@ Client::Client(std::string name, Transport& transport, std::vector<SchemaPtr> sp
 void Client::bind(ConnId conn) {
   std::uint64_t last;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     conn_ = conn;
     last = last_seq_;
   }
@@ -25,12 +25,12 @@ void Client::bind(ConnId conn) {
 }
 
 bool Client::connected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return conn_ != kInvalidConn;
 }
 
 std::uint64_t Client::last_seq() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return last_seq_;
 }
 
@@ -39,7 +39,7 @@ std::uint64_t Client::subscribe(std::uint16_t space, const Subscription& subscri
   std::uint64_t token;
   ConnId conn;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     token = next_token_++;
     conn = conn_;
   }
@@ -68,7 +68,7 @@ std::vector<std::uint64_t> Client::subscribe_predicate(std::uint16_t space,
 }
 
 std::optional<SubscriptionId> Client::subscription_id(std::uint64_t token) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = acked_subscriptions_.find(token);
   if (it == acked_subscriptions_.end()) return std::nullopt;
   return it->second;
@@ -77,7 +77,7 @@ std::optional<SubscriptionId> Client::subscription_id(std::uint64_t token) const
 void Client::unsubscribe(SubscriptionId id) {
   ConnId conn;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     conn = conn_;
   }
   if (conn == kInvalidConn) throw std::runtime_error("Client::unsubscribe: not connected");
@@ -88,7 +88,7 @@ void Client::publish(std::uint16_t space, const Event& event) {
   if (space >= spaces_.size()) throw std::invalid_argument("Client::publish: bad space");
   ConnId conn;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     conn = conn_;
   }
   if (conn == kInvalidConn) throw std::runtime_error("Client::publish: not connected");
@@ -97,7 +97,7 @@ void Client::publish(std::uint16_t space, const Event& event) {
 }
 
 std::vector<Client::Delivery> Client::take_deliveries() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<Delivery> out(std::make_move_iterator(deliveries_.begin()),
                             std::make_move_iterator(deliveries_.end()));
   deliveries_.clear();
@@ -105,18 +105,24 @@ std::vector<Client::Delivery> Client::take_deliveries() {
 }
 
 bool Client::wait_for_deliveries(std::size_t count, int timeout_ms) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                      [&] { return deliveries_.size() >= count; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  MutexUniqueLock lock(mutex_);
+  while (deliveries_.size() < count) {
+    if (cv_.wait_until(lock.native(), deadline) == std::cv_status::timeout) {
+      return deliveries_.size() >= count;
+    }
+  }
+  return true;
 }
 
 std::vector<std::string> Client::take_errors() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return std::move(errors_);
 }
 
 bool Client::space_has_subscribers(std::uint16_t space) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = quench_.find(space);
   return it == quench_.end() ? true : it->second;
 }
@@ -130,7 +136,7 @@ void Client::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
         break;  // nothing to do: replay follows as ordinary deliveries
       case wire::FrameType::kSubscribeAck: {
         const auto ack = wire::decode_subscribe_ack(frame);
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         acked_subscriptions_[ack.token] = ack.id;
         break;
       }
@@ -142,7 +148,7 @@ void Client::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
                           decode_event(spaces_[space_index], deliver.event)};
         bool fresh = false;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          MutexLock lock(mutex_);
           // Replays can resend already-seen events; drop duplicates but
           // still acknowledge them so the broker can collect its log.
           if (deliver.seq > last_seq_) {
@@ -157,13 +163,13 @@ void Client::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
       }
       case wire::FrameType::kError: {
         const auto error = wire::decode_error(frame);
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         errors_.push_back(error.message);
         break;
       }
       case wire::FrameType::kQuench: {
         const auto quench = wire::decode_quench(frame);
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         quench_[static_cast<std::uint16_t>(quench.space.value)] = quench.has_subscribers;
         break;
       }
@@ -177,7 +183,7 @@ void Client::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
 }
 
 void Client::on_disconnect(ConnId conn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (conn_ == conn) conn_ = kInvalidConn;
 }
 

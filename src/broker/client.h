@@ -11,7 +11,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -19,6 +18,7 @@
 
 #include "broker/transport.h"
 #include "broker/wire.h"
+#include "common/mutex.h"
 #include "event/parser.h"
 
 namespace gryphon {
@@ -102,15 +102,16 @@ class Client : public TransportHandler {
   std::vector<SchemaPtr> spaces_;
   Options options_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable cv_;
-  ConnId conn_{kInvalidConn};
-  std::uint64_t last_seq_{0};
-  std::uint64_t next_token_{1};
-  std::unordered_map<std::uint64_t, SubscriptionId> acked_subscriptions_;
-  std::deque<Delivery> deliveries_;
-  std::vector<std::string> errors_;
-  std::unordered_map<std::uint16_t, bool> quench_;  // space -> has subscribers
+  ConnId conn_ GUARDED_BY(mutex_){kInvalidConn};
+  std::uint64_t last_seq_ GUARDED_BY(mutex_){0};
+  std::uint64_t next_token_ GUARDED_BY(mutex_){1};
+  std::unordered_map<std::uint64_t, SubscriptionId> acked_subscriptions_ GUARDED_BY(mutex_);
+  std::deque<Delivery> deliveries_ GUARDED_BY(mutex_);
+  std::vector<std::string> errors_ GUARDED_BY(mutex_);
+  // space -> has subscribers
+  std::unordered_map<std::uint16_t, bool> quench_ GUARDED_BY(mutex_);
 };
 
 }  // namespace gryphon

@@ -53,4 +53,24 @@ std::shared_ptr<const FrozenSpace> SnapshotBuilder::freeze(const PstMatcher& mat
   return space;
 }
 
+std::shared_ptr<const CoreSnapshot> SnapshotBuilder::initial_snapshot(
+    const std::vector<const PstMatcher*>& matchers) const {
+  auto snapshot = std::make_shared<CoreSnapshot>();
+  snapshot->version = 0;
+  snapshot->spaces.reserve(matchers.size());
+  for (const PstMatcher* matcher : matchers) {
+    snapshot->spaces.push_back(freeze(*matcher, nullptr));
+  }
+  return snapshot;
+}
+
+std::shared_ptr<const CoreSnapshot> SnapshotBuilder::next_snapshot(
+    const CoreSnapshot& current, std::size_t touched, const PstMatcher& matcher) const {
+  auto next = std::make_shared<CoreSnapshot>();
+  next->version = current.version + 1;
+  next->spaces = current.spaces;  // untouched spaces carry over wholesale
+  next->spaces[touched] = freeze(matcher, current.spaces[touched].get());
+  return next;
+}
+
 }  // namespace gryphon

@@ -32,10 +32,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "matching/compiled_pst.h"
 #include "matching/pst_matcher.h"
 #include "routing/compiled_annotation.h"
@@ -107,21 +107,25 @@ struct CoreSnapshot {
 class SnapshotSlot {
  public:
   [[nodiscard]] std::shared_ptr<const CoreSnapshot> load() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return current_;
   }
   void store(std::shared_ptr<const CoreSnapshot> next) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     current_ = std::move(next);
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::shared_ptr<const CoreSnapshot> current_;
+  mutable Mutex mutex_;
+  std::shared_ptr<const CoreSnapshot> current_ GUARDED_BY(mutex_);
 };
 
-/// Builds FrozenSpace instances for BrokerCore. Stateless besides the
-/// broker-shape parameters; call freeze() under the writer lock.
+/// Builds FrozenSpace instances and assembles CoreSnapshots for BrokerCore.
+/// Stateless besides the broker-shape parameters; call the build methods
+/// under the writer serialization. This is the *only* place CoreSnapshots
+/// are constructed — tools/check_planes.py enforces that statically, so
+/// every snapshot the data plane can ever pin went through the compile/reuse
+/// pipeline below.
 class SnapshotBuilder {
  public:
   SnapshotBuilder(std::size_t link_count, LinkIndex local_link,
@@ -134,6 +138,15 @@ class SnapshotBuilder {
   /// `previous` (may be null) whose source tree epoch is unchanged.
   [[nodiscard]] std::shared_ptr<const FrozenSpace> freeze(const PstMatcher& matcher,
                                                           const FrozenSpace* previous) const;
+
+  /// The initial (version 0) snapshot: every space frozen from scratch.
+  [[nodiscard]] std::shared_ptr<const CoreSnapshot> initial_snapshot(
+      const std::vector<const PstMatcher*>& matchers) const;
+
+  /// The successor of `current`: space `touched` is re-frozen (reusing its
+  /// unchanged buckets), every other space carries over wholesale.
+  [[nodiscard]] std::shared_ptr<const CoreSnapshot> next_snapshot(
+      const CoreSnapshot& current, std::size_t touched, const PstMatcher& matcher) const;
 
  private:
   [[nodiscard]] std::shared_ptr<const FrozenBucket> freeze_bucket(const Pst& tree) const;

@@ -11,7 +11,7 @@ void InProcEndpoint::send(ConnId conn, std::vector<std::uint8_t> frame) {
 void InProcEndpoint::close(ConnId conn) { network_->close_from(this, conn); }
 
 InProcEndpoint* InProcNetwork::create_endpoint(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = endpoints_.find(name);
   if (it == endpoints_.end()) {
     it = endpoints_.emplace(name, std::unique_ptr<InProcEndpoint>(new InProcEndpoint(this, name)))
@@ -25,7 +25,7 @@ ConnId InProcNetwork::connect(const std::string& from, const std::string& to) {
   ConnId accept_conn = kInvalidConn;
   ConnId result = kInvalidConn;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto from_it = endpoints_.find(from);
     const auto to_it = endpoints_.find(to);
     if (from_it == endpoints_.end() || to_it == endpoints_.end()) {
@@ -67,7 +67,7 @@ InProcNetwork::Pipe* InProcNetwork::find_pipe(InProcEndpoint* side, ConnId conn,
 
 void InProcNetwork::enqueue(InProcEndpoint* sender, ConnId conn,
                             std::vector<std::uint8_t> frame) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   bool is_a = false;
   Pipe* pipe = find_pipe(sender, conn, is_a);
   if (pipe == nullptr || !pipe->open) return;  // sends on dead connections are dropped
@@ -82,7 +82,7 @@ void InProcNetwork::close_from(InProcEndpoint* side, ConnId conn) {
   InProcEndpoint* other = nullptr;
   ConnId other_conn = kInvalidConn;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     bool is_a = false;
     Pipe* pipe = find_pipe(side, conn, is_a);
     if (pipe == nullptr || !pipe->open) return;
@@ -102,7 +102,7 @@ void InProcNetwork::close_from(InProcEndpoint* side, ConnId conn) {
 void InProcNetwork::drop(const std::string& endpoint, ConnId conn) {
   InProcEndpoint* side = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = endpoints_.find(endpoint);
     if (it == endpoints_.end()) {
       throw std::invalid_argument("InProcNetwork::drop: unknown endpoint");
@@ -119,7 +119,7 @@ std::size_t InProcNetwork::pump_some(std::size_t limit) {
     ConnId dest_conn = kInvalidConn;
     std::vector<std::uint8_t> frame;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       while (!queue_.empty()) {
         QueuedFrame q = std::move(queue_.front());
         queue_.pop_front();

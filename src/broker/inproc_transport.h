@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "broker/transport.h"
+#include "common/mutex.h"
 
 namespace gryphon {
 
@@ -72,7 +72,7 @@ class InProcNetwork {
 
   /// Frames currently queued.
   [[nodiscard]] std::size_t pending() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return queue_.size();
   }
 
@@ -93,15 +93,16 @@ class InProcNetwork {
   friend class InProcEndpoint;
   void enqueue(InProcEndpoint* sender, ConnId conn, std::vector<std::uint8_t> frame);
   void close_from(InProcEndpoint* side, ConnId conn);
-  Pipe* find_pipe(InProcEndpoint* side, ConnId conn, bool& is_a);
+  Pipe* find_pipe(InProcEndpoint* side, ConnId conn, bool& is_a) REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;  // guards all state below
-  std::unordered_map<std::string, std::unique_ptr<InProcEndpoint>> endpoints_;
-  std::vector<Pipe> pipes_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<InProcEndpoint>> endpoints_
+      GUARDED_BY(mutex_);
+  std::vector<Pipe> pipes_ GUARDED_BY(mutex_);
   // Maps (endpoint, conn) -> pipe index; conn ids are globally unique here.
-  std::unordered_map<ConnId, std::size_t> conn_to_pipe_;
-  std::deque<QueuedFrame> queue_;
-  ConnId next_conn_{1};
+  std::unordered_map<ConnId, std::size_t> conn_to_pipe_ GUARDED_BY(mutex_);
+  std::deque<QueuedFrame> queue_ GUARDED_BY(mutex_);
+  ConnId next_conn_ GUARDED_BY(mutex_){1};
 };
 
 }  // namespace gryphon

@@ -66,7 +66,7 @@ std::uint16_t TcpTransport::listen(std::uint16_t port) {
   socklen_t len = sizeof(addr);
   ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     listen_fd_ = fd;
   }
   acceptor_ = std::thread([this] { accept_loop(); });
@@ -93,7 +93,7 @@ ConnId TcpTransport::connect(const std::string& host, std::uint16_t port) {
 }
 
 ConnId TcpTransport::register_fd(int fd) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexUniqueLock lock(mutex_);
   const ConnId id = next_conn_++;
   auto conn = std::make_unique<Conn>();
   conn->fd = fd;
@@ -106,7 +106,7 @@ void TcpTransport::accept_loop() {
   while (true) {
     int fd;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_ || listen_fd_ < 0) return;
       fd = listen_fd_;
     }
@@ -114,7 +114,7 @@ void TcpTransport::accept_loop() {
     socklen_t len = sizeof(addr);
     const int accepted = ::accept(fd, reinterpret_cast<sockaddr*>(&addr), &len);
     if (accepted < 0) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) return;
       continue;
     }
@@ -144,7 +144,7 @@ void TcpTransport::reader_loop(ConnId id, int fd) {
   }
   bool notify;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexUniqueLock lock(mutex_);
     const auto it = conns_.find(id);
     notify = it != conns_.end() && !it->second->closed && !stopping_;
     if (it != conns_.end()) {
@@ -165,7 +165,7 @@ void TcpTransport::send(ConnId conn, std::vector<std::uint8_t> frame) {
   packet.push_back(static_cast<std::uint8_t>(size >> 24));
   packet.insert(packet.end(), frame.begin(), frame.end());
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = conns_.find(conn);
     if (it == conns_.end() || it->second->closed) return;  // silent drop, by contract
     it->second->outgoing.push_back(std::move(packet));
@@ -178,9 +178,9 @@ void TcpTransport::send(ConnId conn, std::vector<std::uint8_t> frame) {
 }
 
 void TcpTransport::sender_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexUniqueLock lock(mutex_);
   while (true) {
-    send_cv_.wait(lock, [&] { return stopping_ || !dirty_.empty(); });
+    while (!stopping_ && dirty_.empty()) send_cv_.wait(lock.native());
     if (stopping_) return;
     const ConnId id = dirty_.front();
     dirty_.pop_front();
@@ -207,12 +207,11 @@ void TcpTransport::sender_loop() {
 }
 
 void TcpTransport::close(ConnId conn) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  close_locked(conn, lock);
+  MutexLock lock(mutex_);
+  close_locked(conn);
 }
 
-void TcpTransport::close_locked(ConnId id, std::unique_lock<std::mutex>& lock) {
-  (void)lock;
+void TcpTransport::close_locked(ConnId id) {
   const auto it = conns_.find(id);
   if (it == conns_.end()) return;
   it->second->closed = true;
@@ -222,7 +221,7 @@ void TcpTransport::close_locked(ConnId id, std::unique_lock<std::mutex>& lock) {
 void TcpTransport::shutdown() {
   std::vector<std::thread> readers;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexUniqueLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
     if (listen_fd_ >= 0) {
@@ -242,7 +241,7 @@ void TcpTransport::shutdown() {
   }
   if (acceptor_.joinable()) acceptor_.join();
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexUniqueLock lock(mutex_);
     for (auto& [id, conn] : conns_) {
       (void)id;
       readers.push_back(std::move(conn->reader));
@@ -251,7 +250,7 @@ void TcpTransport::shutdown() {
   for (std::thread& t : readers) {
     if (t.joinable()) t.join();
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexUniqueLock lock(mutex_);
   for (auto& [id, conn] : conns_) {
     (void)id;
     ::close(conn->fd);

@@ -12,13 +12,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "broker/transport.h"
+#include "common/mutex.h"
 
 namespace gryphon {
 
@@ -57,26 +57,25 @@ class TcpTransport final : public Transport {
     std::thread reader;
   };
 
-  ConnId register_fd(int fd);
+  ConnId register_fd(int fd) EXCLUDES(mutex_);
   void reader_loop(ConnId id, int fd);
-  void sender_loop();
-  void accept_loop();
-  void close_locked(ConnId id, std::unique_lock<std::mutex>& lock);
+  void sender_loop() EXCLUDES(mutex_);
+  void accept_loop() EXCLUDES(mutex_);
+  void close_locked(ConnId id) REQUIRES(mutex_);
 
   TransportHandler* handler_;
   Options options_;
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable send_cv_;
-  std::unordered_map<ConnId, std::unique_ptr<Conn>> conns_;
-  std::deque<ConnId> dirty_;  // connections with queued frames
-  ConnId next_conn_{1};
-  bool stopping_{false};
+  std::unordered_map<ConnId, std::unique_ptr<Conn>> conns_ GUARDED_BY(mutex_);
+  std::deque<ConnId> dirty_ GUARDED_BY(mutex_);  // connections with queued frames
+  ConnId next_conn_ GUARDED_BY(mutex_){1};
+  bool stopping_ GUARDED_BY(mutex_){false};
 
-  int listen_fd_{-1};
+  int listen_fd_ GUARDED_BY(mutex_){-1};
   std::thread acceptor_;
   std::vector<std::thread> senders_;
-  std::vector<std::thread> finished_readers_;
 };
 
 }  // namespace gryphon

@@ -2,14 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
 
 namespace gryphon {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,7 +30,7 @@ LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
 
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
   if (level < log_level()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());

@@ -1,0 +1,79 @@
+// Capability-annotated mutex wrappers for Clang's thread-safety analysis.
+//
+// libstdc++ ships std::mutex without capability attributes, so code locking
+// a raw std::mutex is invisible to -Wthread-safety. These zero-overhead
+// wrappers carry the attributes; all shared-state owners in this codebase
+// (Broker, BrokerCore, SnapshotSlot, Client, the transports) hold their
+// locks through them so the analysis can prove the discipline documented in
+// docs/concurrency.md and docs/static-analysis.md.
+//
+//   Mutex mu;                          int value GUARDED_BY(mu);
+//   { MutexLock lock(mu); value = 1; }            // ok
+//   value = 2;                                    // compile error on Clang
+//
+// Condition-variable waits use MutexUniqueLock::native() with an explicit
+// predicate loop (`while (!pred()) cv.wait(lock.native());`) instead of the
+// predicate-lambda overloads: the analysis does not propagate the held
+// capability set into lambda bodies, while the explicit loop keeps every
+// guarded access inside the annotated function scope.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace gryphon {
+
+/// std::mutex with the capability attribute. Same size, same cost.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped mutex, for std::unique_lock / condition-variable plumbing.
+  /// Only MutexUniqueLock should need this.
+  [[nodiscard]] std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::lock_guard over a Mutex (scoped, non-movable, always locked).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) ACQUIRE(m) : m_(&m) { m_->lock(); }
+  ~MutexLock() RELEASE() { m_->unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* m_;
+};
+
+/// std::unique_lock over a Mutex: relockable (sender loops that drop the
+/// lock around I/O) and exposing the native lock for condition variables.
+class SCOPED_CAPABILITY MutexUniqueLock {
+ public:
+  explicit MutexUniqueLock(Mutex& m) ACQUIRE(m) : lock_(m.native()) {}
+  ~MutexUniqueLock() RELEASE() {}
+  MutexUniqueLock(const MutexUniqueLock&) = delete;
+  MutexUniqueLock& operator=(const MutexUniqueLock&) = delete;
+
+  void lock() ACQUIRE() { lock_.lock(); }
+  void unlock() RELEASE() { lock_.unlock(); }
+
+  /// For condition_variable::wait; the capability is considered held across
+  /// the wait, which matches the lock state whenever guarded members are
+  /// actually read (the predicate runs locked).
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace gryphon

@@ -1,0 +1,83 @@
+// Clang thread-safety-analysis capability macros.
+//
+// These turn the concurrency contract documented in docs/concurrency.md into
+// compile-time facts: members carry GUARDED_BY(mutex), functions carry
+// REQUIRES / ACQUIRE / RELEASE, and a Clang build with
+// -Wthread-safety -Werror=thread-safety (enabled automatically for the src/
+// libraries, see src/CMakeLists.txt) rejects any access that violates the
+// locking discipline. Under GCC (or any compiler without the capability
+// attributes) every macro expands to nothing, so the annotations cost
+// nothing and change nothing.
+//
+// libstdc++'s std::mutex carries no capability attributes, so the analysis
+// cannot see through it; annotated code must hold locks through the wrapper
+// types in common/mutex.h (gryphon::Mutex / MutexLock / MutexUniqueLock).
+//
+// The negative-compilation probe (tests/negative/thread_safety_probe.cpp,
+// driven from tests/CMakeLists.txt) asserts that an unguarded write to a
+// GUARDED_BY member fails to compile under Clang, so these macros can never
+// silently rot into no-ops.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define GRYPHON_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef GRYPHON_THREAD_ANNOTATION
+#define GRYPHON_THREAD_ANNOTATION(x)  // not Clang: annotations compile away
+#endif
+
+/// Marks a type as a capability (a lock). `x` names the capability kind in
+/// diagnostics, e.g. CAPABILITY("mutex").
+#define CAPABILITY(x) GRYPHON_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (std::lock_guard-shaped classes).
+#define SCOPED_CAPABILITY GRYPHON_THREAD_ANNOTATION(scoped_lockable)
+
+/// The member may only be accessed while holding the given capability.
+#define GUARDED_BY(x) GRYPHON_THREAD_ANNOTATION(guarded_by(x))
+
+/// The data *pointed to* by the member may only be accessed while holding
+/// the given capability (the pointer itself is unguarded).
+#define PT_GUARDED_BY(x) GRYPHON_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations: this capability must be acquired before /
+/// after the listed ones. Detects ordering cycles at compile time.
+#define ACQUIRED_BEFORE(...) GRYPHON_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) GRYPHON_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the listed capabilities
+/// exclusively (REQUIRES) or at least shared (REQUIRES_SHARED).
+#define REQUIRES(...) GRYPHON_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) GRYPHON_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the listed capabilities and holds /
+/// releases them on return.
+#define ACQUIRE(...) GRYPHON_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) GRYPHON_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) GRYPHON_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) GRYPHON_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function attempts to acquire the capability; the first argument is
+/// the return value indicating success.
+#define TRY_ACQUIRE(...) GRYPHON_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The function may not be called while holding the listed capabilities
+/// (deadlock prevention on re-entry).
+#define EXCLUDES(...) GRYPHON_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares (without runtime effect) that the calling thread holds the
+/// capability — for invariants the analysis cannot see, e.g. external
+/// serialization by an owning object's mutex.
+#define ASSERT_CAPABILITY(x) GRYPHON_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the given capability; lets accessor
+/// functions participate in capability expressions.
+#define RETURN_CAPABILITY(x) GRYPHON_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Use only with a comment
+/// explaining why the discipline holds anyway; every use counts against the
+/// NOLINT budget in docs/static-analysis.md.
+#define NO_THREAD_SAFETY_ANALYSIS GRYPHON_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -172,7 +172,7 @@ Pst* PstMatcher::tree_for_event(const Event& event) {
 }
 
 std::shared_ptr<const CompiledPst> PstMatcher::compiled_for(const Pst& tree) const {
-  std::lock_guard<std::mutex> lock(compile_mutex_);
+  MutexLock lock(compile_mutex_);
   CompiledEntry& entry = compiled_[&tree];
   const std::uint64_t epoch = tree.epoch();
   if (entry.kernel && entry.epoch == epoch) return entry.kernel;

@@ -10,10 +10,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "matching/compiled_pst.h"
 #include "matching/match_scratch.h"
 #include "matching/matcher.h"
@@ -179,8 +179,8 @@ class PstMatcher : public Matcher {
   std::unordered_map<FactoringIndex::Key, std::unique_ptr<Pst>, FactoringIndex::KeyHash>
       buckets_;
   std::unordered_map<SubscriptionId, Subscription> registry_;
-  mutable std::mutex compile_mutex_;
-  mutable std::unordered_map<const Pst*, CompiledEntry> compiled_;
+  mutable Mutex compile_mutex_;
+  mutable std::unordered_map<const Pst*, CompiledEntry> compiled_ GUARDED_BY(compile_mutex_);
 };
 
 }  // namespace gryphon

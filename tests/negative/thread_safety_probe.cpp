@@ -1,0 +1,39 @@
+// Negative-compilation probe for the thread-safety gate (tests/CMakeLists
+// runs this through try_compile twice on Clang): without TS_VIOLATE it must
+// compile under -Werror=thread-safety; with TS_VIOLATE it reads a
+// GUARDED_BY member without holding the lock and must be *rejected*. A
+// probe that compiles both ways means the analysis is silently off — the
+// configure step fails hard in that case, so the contract cannot rot
+// unnoticed.
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    gryphon::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int read() {
+#if defined(TS_VIOLATE)
+    return value_;  // unguarded: -Werror=thread-safety must reject this
+#else
+    gryphon::MutexLock lock(mutex_);
+    return value_;
+#endif
+  }
+
+ private:
+  gryphon::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_){0};
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.read() == 1 ? 0 : 1;
+}

@@ -144,6 +144,14 @@ TEST(TcpBroker, ReconnectReplayOverTcp) {
   ASSERT_TRUE(sub->client->wait_for_deliveries(1, 3000));
   sub->client->take_deliveries();
 
+  // The delivery ack travels back asynchronously; wait until the broker has
+  // collected the logged entry, or the simulated crash below can race the
+  // ack away and "A" replays alongside "B"/"C".
+  for (int i = 0; i < 600 && node.broker->client_log_size("flaky") != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(node.broker->client_log_size("flaky"), 0u);
+
   // Kill the subscriber's transport entirely (simulated crash).
   sub.reset();
   // The broker should notice the disconnect and keep logging.

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Static plane-separation checker for the broker core.
+
+The concurrency design (docs/static-analysis.md, docs/concurrency.md) splits
+the broker into a serialized *control plane* (mutable Pst trees, the
+subscription registry, snapshot publication) and a lock-free *data plane*
+(event dispatch over pinned immutable CoreSnapshots). Clang's thread-safety
+analysis proves the locking side of that contract; this checker proves the
+*reachability* side, which capability analysis cannot see:
+
+Rule 1 — data-plane purity. Data-plane code must never reference a
+    mutable-Pst write API or a control-plane member. Enforced over the
+    fully data-plane translation units (the compiled kernel and its
+    annotations) and over the brace-extracted bodies of the mixed-TU
+    data-plane entry points (BrokerCore::dispatch / match_all,
+    PstMatcher::match / match_into).
+
+Rule 2 — snapshot provenance. No code outside src/broker/core_snapshot.*
+    may construct a CoreSnapshot. Every snapshot the data plane can pin
+    must therefore have gone through SnapshotBuilder's compile/reuse
+    pipeline.
+
+Comments and string literals are stripped before matching, so prose about
+the contract does not trip the checker. Exit status 0 when clean, 1 with
+file:line diagnostics otherwise.
+
+Usage: check_planes.py [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Tokens the data plane must never reference: the mutable-matcher write
+# API, the control-plane registry state, and the snapshot write side.
+FORBIDDEN_IN_DATA_PLANE = [
+    "add_with_result",
+    "remove_with_result",
+    "add_subscription",
+    "remove_subscription",
+    "publish_snapshot",
+    "registry_",
+    "space_counts_",
+    "builder_",
+    "snapshot_.store",
+]
+
+# Translation units that are data-plane in their entirety.
+DATA_PLANE_FILES = [
+    "src/matching/compiled_pst.h",
+    "src/matching/compiled_pst.cpp",
+    "src/routing/compiled_annotation.h",
+    "src/routing/compiled_annotation.cpp",
+]
+
+# (file, qualified function name) pairs whose *bodies* are data-plane even
+# though the surrounding TU also holds control-plane code.
+DATA_PLANE_FUNCTIONS = [
+    ("src/broker/broker_core.cpp", "BrokerCore::dispatch"),
+    ("src/broker/broker_core.cpp", "BrokerCore::match_all"),
+    ("src/matching/pst_matcher.cpp", "PstMatcher::match"),
+    ("src/matching/pst_matcher.cpp", "PstMatcher::match_into"),
+]
+
+# Construction of the snapshot root type, allowed only here.
+SNAPSHOT_HOME = ("src/broker/core_snapshot.h", "src/broker/core_snapshot.cpp")
+CONSTRUCT_RE = re.compile(
+    r"(make_shared\s*<\s*(?:const\s+)?CoreSnapshot\s*>"  # make_shared<CoreSnapshot>
+    r"|new\s+CoreSnapshot\b"                             # new CoreSnapshot
+    r"|\bCoreSnapshot\s*[({])"                           # CoreSnapshot{...} / (...)
+)
+
+SCAN_DIRS = ("src/broker", "src/matching", "src/routing")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure
+    (newlines survive so reported line numbers match the source)."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+            out.append(" ")
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def extract_function_bodies(code: str, qualified_name: str) -> list[tuple[int, str]]:
+    """All brace-delimited bodies of `qualified_name` definitions (covers
+    overloads). Returns (start_line, body_text) pairs; body line structure
+    is preserved. `code` must already be comment/string-stripped."""
+    bodies: list[tuple[int, str]] = []
+    pattern = re.compile(re.escape(qualified_name) + r"\s*\(")
+    for m in pattern.finditer(code):
+        # Walk to the end of the parameter list, then find the opening
+        # brace of the definition (skip declarations ending in ';').
+        depth, i = 0, m.end() - 1
+        while i < len(code):
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        j = i + 1
+        while j < len(code) and code[j] not in "{;":
+            j += 1
+        if j >= len(code) or code[j] == ";":
+            continue  # declaration, not a definition
+        start = j
+        depth = 0
+        while j < len(code):
+            if code[j] == "{":
+                depth += 1
+            elif code[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        body = code[start : j + 1]
+        bodies.append((code.count("\n", 0, start) + 1, body))
+    return bodies
+
+
+def find_tokens(body: str, tokens: list[str], line_offset: int) -> list[tuple[int, str]]:
+    hits = []
+    for lineno, line in enumerate(body.splitlines(), start=line_offset):
+        for token in tokens:
+            if token in line:
+                hits.append((lineno, token))
+    return hits
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root to scan")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root)
+
+    errors: list[str] = []
+
+    # Rule 1a: fully data-plane translation units.
+    for rel in DATA_PLANE_FILES:
+        path = root / rel
+        if not path.is_file():
+            errors.append(f"{rel}: data-plane file missing (stale checker config?)")
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        for lineno, token in find_tokens(code, FORBIDDEN_IN_DATA_PLANE, 1):
+            errors.append(
+                f"{rel}:{lineno}: data-plane TU references control-plane "
+                f"token '{token}'"
+            )
+
+    # Rule 1b: data-plane function bodies inside mixed TUs.
+    for rel, fn in DATA_PLANE_FUNCTIONS:
+        path = root / rel
+        if not path.is_file():
+            errors.append(f"{rel}: file with data-plane function {fn} missing")
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        bodies = extract_function_bodies(code, fn)
+        if not bodies:
+            errors.append(f"{rel}: no definition of data-plane function {fn} found")
+        for start_line, body in bodies:
+            for lineno, token in find_tokens(body, FORBIDDEN_IN_DATA_PLANE, start_line):
+                errors.append(
+                    f"{rel}:{lineno}: data-plane function {fn} references "
+                    f"control-plane token '{token}'"
+                )
+
+    # Rule 2: CoreSnapshot construction stays inside core_snapshot.*.
+    for scan_dir in SCAN_DIRS:
+        base = root / scan_dir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cpp"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            if rel in SNAPSHOT_HOME:
+                continue
+            code = strip_comments_and_strings(path.read_text())
+            for lineno, line in enumerate(code.splitlines(), start=1):
+                if CONSTRUCT_RE.search(line):
+                    errors.append(
+                        f"{rel}:{lineno}: CoreSnapshot constructed outside "
+                        f"core_snapshot.* (go through SnapshotBuilder)"
+                    )
+
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"check_planes: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_planes: plane separation holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

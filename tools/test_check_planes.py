@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Self-test for tools/check_planes.py (run by the ci.sh lint leg and
+registered in ctest as `check_planes_selftest`).
+
+Builds throwaway source trees in a temp directory — one clean, plus one
+per violation class — and asserts the checker's exit status and
+diagnostics against each. Runs the checker through its CLI so the exit
+codes and --root plumbing are covered too.
+"""
+
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CHECKER = pathlib.Path(__file__).resolve().parent / "check_planes.py"
+
+# A minimal tree the checker accepts: every configured data-plane TU and
+# function present, no forbidden references.
+CLEAN_TREE = {
+    "src/matching/compiled_pst.h": "struct CompiledPst { int match; };\n",
+    "src/matching/compiled_pst.cpp": "int compiled_match() { return 1; }\n",
+    "src/routing/compiled_annotation.h": "struct CompiledAnnotation {};\n",
+    "src/routing/compiled_annotation.cpp": "int annotate() { return 2; }\n",
+    "src/broker/core_snapshot.h": (
+        "struct CoreSnapshot { int version; };\n"
+        "struct SnapshotBuilder { CoreSnapshot build(); };\n"
+    ),
+    "src/broker/core_snapshot.cpp": (
+        "CoreSnapshot SnapshotBuilder::build() { return CoreSnapshot{1}; }\n"
+    ),
+    "src/broker/broker_core.cpp": (
+        "int BrokerCore::dispatch(int event) {\n"
+        "  if (event > 0) { return event; }\n"
+        "  return 0;\n"
+        "}\n"
+        "int BrokerCore::match_all(int event) { return event; }\n"
+        "void BrokerCore::add_subscription(int id) { registry_.insert(id); }\n"
+    ),
+    "src/matching/pst_matcher.cpp": (
+        "void PstMatcher::match(int event) const { (void)event; }\n"
+        "void PstMatcher::match_into(int event, int out) const {\n"
+        "  (void)event; (void)out;\n"
+        "}\n"
+    ),
+}
+
+
+def run_checker(root: pathlib.Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(CHECKER), "--root", str(root)],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+def write_tree(root: pathlib.Path, overrides=None) -> None:
+    files = dict(CLEAN_TREE)
+    if overrides:
+        files.update(overrides)
+    for rel, content in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+
+
+class CheckPlanesTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = pathlib.Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def test_clean_tree_passes(self):
+        write_tree(self.root)
+        result = run_checker(self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("plane separation holds", result.stdout)
+
+    def test_forbidden_token_in_data_plane_tu(self):
+        write_tree(
+            self.root,
+            {
+                "src/matching/compiled_pst.cpp": (
+                    "int compiled_match() { return add_with_result(1); }\n"
+                )
+            },
+        )
+        result = run_checker(self.root)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("compiled_pst.cpp:1", result.stderr)
+        self.assertIn("add_with_result", result.stderr)
+
+    def test_forbidden_token_in_data_plane_function_body(self):
+        write_tree(
+            self.root,
+            {
+                "src/broker/broker_core.cpp": (
+                    "int BrokerCore::dispatch(int event) {\n"
+                    "  publish_snapshot(event);\n"
+                    "  return 0;\n"
+                    "}\n"
+                    "int BrokerCore::match_all(int event) { return event; }\n"
+                )
+            },
+        )
+        result = run_checker(self.root)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("broker_core.cpp:2", result.stderr)
+        self.assertIn("BrokerCore::dispatch", result.stderr)
+        self.assertIn("publish_snapshot", result.stderr)
+
+    def test_control_plane_function_in_same_tu_is_allowed(self):
+        # add_subscription touching registry_ lives in the same TU as
+        # dispatch; only the data-plane *bodies* are constrained.
+        write_tree(self.root)
+        result = run_checker(self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_snapshot_construction_outside_home_rejected(self):
+        write_tree(
+            self.root,
+            {
+                "src/broker/broker_core.cpp": (
+                    CLEAN_TREE["src/broker/broker_core.cpp"]
+                    + "void BrokerCore::rebuild() {\n"
+                    "  auto s = std::make_shared<CoreSnapshot>();\n"
+                    "}\n"
+                )
+            },
+        )
+        result = run_checker(self.root)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("CoreSnapshot constructed outside", result.stderr)
+
+    def test_brace_init_construction_rejected(self):
+        write_tree(
+            self.root,
+            {
+                "src/routing/psg_annotation.cpp": (
+                    "int f() { auto s = CoreSnapshot{2}; return s.version; }\n"
+                )
+            },
+        )
+        result = run_checker(self.root)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("psg_annotation.cpp:1", result.stderr)
+
+    def test_comments_and_strings_ignored(self):
+        write_tree(
+            self.root,
+            {
+                "src/matching/compiled_pst.cpp": (
+                    "// prose about add_with_result and publish_snapshot\n"
+                    "/* registry_ and new CoreSnapshot in a block comment */\n"
+                    'const char* k = "snapshot_.store(CoreSnapshot{})";\n'
+                    "int compiled_match() { return 1; }\n"
+                )
+            },
+        )
+        result = run_checker(self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_missing_data_plane_function_reported(self):
+        write_tree(
+            self.root,
+            {
+                "src/broker/broker_core.cpp": (
+                    "int BrokerCore::match_all(int event) { return event; }\n"
+                )
+            },
+        )
+        result = run_checker(self.root)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no definition of data-plane function", result.stderr)
+
+    def test_declaration_is_not_a_body(self):
+        # A declaration of dispatch (ends in ';') must not be brace-scanned;
+        # the definition after it still is.
+        write_tree(
+            self.root,
+            {
+                "src/broker/broker_core.cpp": (
+                    "int BrokerCore::dispatch(int event);\n"
+                    "int BrokerCore::dispatch(int event) { return event; }\n"
+                    "int BrokerCore::match_all(int event) { return event; }\n"
+                )
+            },
+        )
+        result = run_checker(self.root)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_real_repo_is_clean(self):
+        repo = CHECKER.parent.parent
+        result = run_checker(repo)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
