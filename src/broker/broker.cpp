@@ -1,16 +1,36 @@
 #include "broker/broker.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace gryphon {
 
+namespace {
+
+// A fresh epoch per process: a restarted broker must never be confused with
+// its previous incarnation, or peers would misapply old sequence state to
+// the new session. Wall-clock nanoseconds mixed with the broker id is
+// plenty; tests pin Options::session_epoch for determinism.
+std::uint64_t derive_session_epoch(BrokerId self) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+  const std::uint64_t mixed =
+      static_cast<std::uint64_t>(ns) ^ (static_cast<std::uint64_t>(self.value) << 56);
+  return mixed | 1;  // never 0 (0 means "unknown epoch" on the wire)
+}
+
+}  // namespace
+
 Broker::Broker(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaPtr> spaces,
                Transport& transport, Options options)
     : core_(self, topology, std::move(spaces), options.matcher),
       transport_(&transport),
-      options_(options) {
+      options_(std::move(options)),
+      session_epoch_(options_.session_epoch != 0 ? options_.session_epoch
+                                                 : derive_session_epoch(self)) {
   workers_.reserve(options_.match_threads);
   for (std::size_t i = 0; i < options_.match_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -27,6 +47,7 @@ Broker::~Broker() {
 }
 
 Ticks Broker::now() const {
+  if (options_.clock) return options_.clock();
   const auto elapsed = std::chrono::steady_clock::now() - epoch_;
   const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
   return ticks_from_micros(static_cast<double>(micros));
@@ -40,17 +61,23 @@ void Broker::flush() {
 void Broker::attach_broker_link(ConnId conn, BrokerId peer) {
   MutexLock lock(mutex_);
   conns_[conn] = ConnState{ConnKind::kBroker, {}, peer};
-  broker_conns_[peer] = conn;
-  transport_->send(conn, wire::encode(wire::HelloBroker{core_.self()}));
+  LinkSession& session = links_[peer];
+  session.conn = conn;
+  session.dead = false;  // an explicit attach always revives the link
+  session.last_recv = now();
+  transport_->send(conn, wire::encode(wire::HelloBroker{core_.self(), session_epoch_,
+                                                        session.in_epoch, session.in_seq}));
+  session.last_send = now();
   sync_subscriptions_to(conn);
 }
 
 void Broker::sync_subscriptions_to(ConnId conn) {
   core_.control_plane().assert_serialized();  // serialized by mutex_
   // State synchronization on link (re-)establishment: replay every known
-  // subscription replica to the peer. The receiver deduplicates by id, so
-  // resending after a reconnect is harmless, and subscriptions registered
-  // before the link came up (or while it was down) still reach everyone.
+  // subscription replica to the peer. The receiver deduplicates by id and
+  // answers tombstoned ids with an UnsubPropagate, so resending after a
+  // reconnect is harmless, subscriptions registered while the link was down
+  // still reach everyone, and stale replicas get reconciled away.
   core_.for_each_subscription([&](SpaceId space, SubscriptionId id, BrokerId owner,
                                   const Subscription& subscription) {
     transport_->send(conn, wire::encode(wire::SubPropagate{
@@ -75,50 +102,84 @@ void Broker::on_disconnect(ConnId conn) {
       client->second->conn = kInvalidConn;  // offline; log keeps accumulating
     }
   } else if (state.kind == ConnKind::kBroker) {
-    const auto link = broker_conns_.find(state.peer);
-    if (link != broker_conns_.end() && link->second == conn) broker_conns_.erase(link);
+    const auto link = links_.find(state.peer);
+    if (link != links_.end() && link->second.conn == conn) {
+      link->second.conn = kInvalidConn;  // session survives; forwards queue up
+      ++stats_.link_flaps;
+    }
   }
 }
 
 void Broker::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
-  MutexLock lock(mutex_);
-  try {
-    switch (wire::peek_type(frame)) {
-      case wire::FrameType::kHelloClient:
-        handle_hello_client(conn, wire::decode_hello_client(frame));
-        break;
-      case wire::FrameType::kHelloBroker:
-        handle_hello_broker(conn, wire::decode_hello_broker(frame));
-        break;
-      case wire::FrameType::kSubscribe:
-        handle_subscribe(conn, wire::decode_subscribe(frame));
-        break;
-      case wire::FrameType::kUnsubscribe:
-        handle_unsubscribe(conn, wire::decode_unsubscribe(frame));
-        break;
-      case wire::FrameType::kPublish:
-        handle_publish(conn, wire::decode_publish(frame));
-        break;
-      case wire::FrameType::kAck:
-        handle_ack(conn, wire::decode_ack(frame));
-        break;
-      case wire::FrameType::kSubPropagate:
-        handle_sub_propagate(conn, wire::decode_sub_propagate(frame));
-        break;
-      case wire::FrameType::kUnsubPropagate:
-        handle_unsub_propagate(conn, wire::decode_unsub_propagate(frame));
-        break;
-      case wire::FrameType::kEventForward:
-        handle_event_forward(conn, wire::decode_event_forward(frame));
-        break;
-      default:
-        GRYPHON_WARN("broker") << "broker " << core_.self() << ": unexpected frame type";
-        break;
+  bool drop_conn = false;
+  {
+    MutexLock lock(mutex_);
+    {
+      // Any inbound frame proves the link is alive.
+      const auto it = conns_.find(conn);
+      if (it != conns_.end() && it->second.kind == ConnKind::kBroker) {
+        const auto link = links_.find(it->second.peer);
+        if (link != links_.end() && link->second.conn == conn) {
+          link->second.last_recv = now();
+        }
+      }
     }
-  } catch (const std::exception& e) {
-    GRYPHON_WARN("broker") << "broker " << core_.self() << ": bad frame: " << e.what();
-    send_error(conn, 0, e.what());
+    try {
+      switch (wire::peek_type(frame)) {
+        case wire::FrameType::kHelloClient:
+          handle_hello_client(conn, wire::decode_hello_client(frame));
+          break;
+        case wire::FrameType::kHelloBroker:
+          handle_hello_broker(conn, wire::decode_hello_broker(frame));
+          break;
+        case wire::FrameType::kSubscribe:
+          handle_subscribe(conn, wire::decode_subscribe(frame));
+          break;
+        case wire::FrameType::kUnsubscribe:
+          handle_unsubscribe(conn, wire::decode_unsubscribe(frame));
+          break;
+        case wire::FrameType::kPublish:
+          handle_publish(conn, wire::decode_publish(frame));
+          break;
+        case wire::FrameType::kAck:
+          handle_ack(conn, wire::decode_ack(frame));
+          break;
+        case wire::FrameType::kSubPropagate:
+          handle_sub_propagate(conn, wire::decode_sub_propagate(frame));
+          break;
+        case wire::FrameType::kUnsubPropagate:
+          handle_unsub_propagate(conn, wire::decode_unsub_propagate(frame));
+          break;
+        case wire::FrameType::kEventForward:
+          handle_event_forward(conn, wire::decode_event_forward(frame));
+          break;
+        case wire::FrameType::kBrokerAck:
+          handle_broker_ack(conn, wire::decode_broker_ack(frame));
+          break;
+        case wire::FrameType::kLinkHeartbeat:
+          handle_link_heartbeat(conn, wire::decode_link_heartbeat(frame));
+          break;
+        default:
+          // Unknown type byte, or a frame a broker must never receive
+          // (kDeliver, kError, ...): a protocol violation, same as garbage.
+          throw CodecError("unexpected frame type " +
+                           std::to_string(static_cast<unsigned>(frame[0])));
+      }
+    } catch (const std::exception& e) {
+      // A malformed or hostile frame must never take the broker down — and
+      // once a stream is misframed nothing after it can be trusted either:
+      // count it, log it, and drop the connection. Reliable sessions
+      // (client logs, link sessions) resume on reconnect.
+      ++stats_.frames_rejected;
+      GRYPHON_WARN("broker") << "broker " << core_.self()
+                             << ": rejecting malformed frame on conn " << conn << ": "
+                             << e.what() << " (dropping connection)";
+      drop_conn = true;
+    }
   }
+  // Close outside the broker mutex: deterministic transports invoke
+  // on_disconnect synchronously on this thread, which re-enters mutex_.
+  if (drop_conn) transport_->close(conn);
 }
 
 void Broker::handle_hello_client(ConnId conn, const wire::HelloClient& hello) {
@@ -126,7 +187,8 @@ void Broker::handle_hello_client(ConnId conn, const wire::HelloClient& hello) {
   if (!record) record = std::make_unique<ClientRecord>();
   record->conn = conn;
   conns_[conn] = ConnState{ConnKind::kClient, hello.name, BrokerId{}};
-  transport_->send(conn, wire::encode(wire::HelloAck{record->log.acked_seq()}));
+  transport_->send(conn, wire::encode(wire::HelloAck{record->log.acked_seq(),
+                                                     record->log.truncated_through()}));
   send_quench_state(conn);
   // Replay everything the client has not seen (transient-failure recovery).
   const std::uint64_t after = std::max(hello.last_seq, record->log.acked_seq());
@@ -136,9 +198,65 @@ void Broker::handle_hello_client(ConnId conn, const wire::HelloClient& hello) {
 }
 
 void Broker::handle_hello_broker(ConnId conn, const wire::HelloBroker& hello) {
+  // The end that did not dial (conn not yet bound to a broker) replies with
+  // its own hello and a subscription sync; the initiator already sent both
+  // in attach_broker_link(). Each side then replays from the peer's report.
+  const auto existing = conns_.find(conn);
+  const bool responder =
+      existing == conns_.end() || existing->second.kind != ConnKind::kBroker;
   conns_[conn] = ConnState{ConnKind::kBroker, {}, hello.broker};
-  broker_conns_[hello.broker] = conn;
-  sync_subscriptions_to(conn);
+  LinkSession& session = links_[hello.broker];
+  session.conn = conn;
+  session.dead = false;  // the peer reached us: the link is back
+  session.last_recv = now();
+  if (hello.epoch != session.in_epoch) {
+    // New peer incarnation: its forward numbering restarted.
+    session.in_epoch = hello.epoch;
+    session.in_seq = 0;
+  }
+  if (responder) {
+    transport_->send(conn, wire::encode(wire::HelloBroker{core_.self(), session_epoch_,
+                                                          session.in_epoch, session.in_seq}));
+    session.last_send = now();
+    sync_subscriptions_to(conn);
+  }
+  replay_forwards_to(session, hello);
+}
+
+void Broker::replay_forwards_to(LinkSession& session, const wire::HelloBroker& hello) {
+  std::uint64_t after = session.out_log.acked_seq();
+  if (hello.peer_epoch_seen == session_epoch_) {
+    // The peer's counters refer to this session: treat its report as a
+    // cumulative ack (acks lost in the disconnect are recovered here).
+    session.out_log.acknowledge(hello.peer_last_seq);
+    after = std::max(after, hello.peer_last_seq);
+  }
+  if (session.out_log.truncated_through() > after) {
+    GRYPHON_WARN("broker") << "broker " << core_.self() << ": link to " << hello.broker
+                           << " replay window truncated: forwards (" << after << ", "
+                           << session.out_log.truncated_through() << "] are gone";
+  }
+  // The lowest sequence the replay below can still produce. A peer whose
+  // inbound counter sits under this would wait forever for frames that no
+  // longer exist — either because retention GC truncated them, or because
+  // the peer restarted (fresh counters) while our numbering kept going.
+  // Declare the baseline first so the receiver rebases before the replay
+  // arrives (handle_link_heartbeat does the rebase).
+  const std::uint64_t baseline = std::max(after, session.out_log.truncated_through());
+  const std::uint64_t peer_known =
+      hello.peer_epoch_seen == session_epoch_ ? hello.peer_last_seq : 0;
+  if (baseline > peer_known) {
+    transport_->send(session.conn,
+                     wire::encode(wire::LinkHeartbeat{session_epoch_, baseline}));
+  }
+  for (const EventLog::Entry* entry : session.out_log.unacknowledged(baseline)) {
+    transport_->send(session.conn,
+                     wire::encode(wire::EventForward{entry->origin, entry->space, entry->event,
+                                                     session_epoch_, entry->seq}));
+    ++stats_.retransmits;
+  }
+  session.last_send = now();
+  session.last_resend = now();
 }
 
 void Broker::handle_subscribe(ConnId conn, const wire::SubscribeReq& req) {
@@ -179,6 +297,7 @@ void Broker::handle_unsubscribe(ConnId conn, const wire::Unsubscribe& req) {
   const SpaceId space = space_it == local_sub_space_.end() ? SpaceId{0} : space_it->second;
   if (!core_.remove_subscription(req.id)) return;
   --stats_.subscriptions_active;
+  record_tombstone(req.id);
   auto& client = clients_.at(it->second.client_name);
   auto& subs = client->subscriptions;
   subs.erase(std::remove(subs.begin(), subs.end(), req.id), subs.end());
@@ -199,7 +318,15 @@ void Broker::handle_publish(ConnId conn, const wire::Publish& publish) {
     return;
   }
   ++stats_.events_published;
-  process_event(publish.space, publish.event, core_.self());
+  try {
+    process_event(publish.space, publish.event, core_.self());
+  } catch (const std::exception& e) {
+    // The frame itself was well-formed; the event payload just does not
+    // decode against the space's schema. That is a client-plane error,
+    // answered on the client protocol instead of dropping the connection.
+    ++stats_.frames_rejected;
+    send_error(conn, 0, e.what());
+  }
 }
 
 void Broker::handle_ack(ConnId conn, const wire::Ack& ack) {
@@ -210,6 +337,12 @@ void Broker::handle_ack(ConnId conn, const wire::Ack& ack) {
 
 void Broker::handle_sub_propagate(ConnId conn, const wire::SubPropagate& prop) {
   core_.control_plane().assert_serialized();  // serialized by mutex_
+  if (tombstones_.contains(prop.id)) {
+    // A stale replica from a peer that missed the unsubscription (e.g. its
+    // reconnect re-flood): answer with the removal instead of resurrecting.
+    transport_->send(conn, wire::encode(wire::UnsubPropagate{prop.id}));
+    return;
+  }
   if (core_.has_subscription(prop.id)) return;  // flooding deduplication
   if (!core_.has_space(prop.space)) return;
   const Subscription subscription =
@@ -223,20 +356,92 @@ void Broker::handle_sub_propagate(ConnId conn, const wire::SubPropagate& prop) {
 
 void Broker::handle_unsub_propagate(ConnId conn, const wire::UnsubPropagate& prop) {
   core_.control_plane().assert_serialized();  // serialized by mutex_
+  record_tombstone(prop.id);  // even if already gone: a peer may re-flood it
   const auto space = core_.space_of(prop.id);
   if (!space.has_value()) return;  // already gone: stop the flood
   const std::size_t count_before = core_.subscription_count(*space);
   if (!core_.remove_subscription(prop.id)) return;
   --stats_.subscriptions_active;
+  const auto named = local_sub_client_.find(prop.id);
+  if (named != local_sub_client_.end()) {
+    auto& subs = clients_.at(named->second)->subscriptions;
+    subs.erase(std::remove(subs.begin(), subs.end(), prop.id), subs.end());
+    local_sub_client_.erase(prop.id);
+    local_sub_space_.erase(prop.id);
+  }
   propagate_unsubscription(prop, conn);
   maybe_broadcast_quench(*space, count_before);
 }
 
 void Broker::handle_event_forward(ConnId conn, const wire::EventForward& fwd) {
-  (void)conn;
+  const auto it = conns_.find(conn);
+  if (it == conns_.end() || it->second.kind != ConnKind::kBroker) return;
+  LinkSession& session = links_[it->second.peer];
+  if (fwd.epoch != session.in_epoch) {
+    // The peer restarted mid-stream (no hello seen yet): adopt its new
+    // numbering from scratch.
+    session.in_epoch = fwd.epoch;
+    session.in_seq = 0;
+  }
+  if (fwd.seq <= session.in_seq) {
+    // Retransmission of something already consumed (our ack was lost or
+    // late). Re-ack so the sender's window advances.
+    ++stats_.duplicates_dropped;
+    send_broker_ack(session);
+    return;
+  }
+  if (fwd.seq != session.in_seq + 1) {
+    // A gap: frames in between were lost or reordered. Go-back-N — drop
+    // and re-ack the last in-order seq; the sender retransmits the rest.
+    send_broker_ack(session);
+    return;
+  }
+  session.in_seq = fwd.seq;
+  send_broker_ack(session);
   if (!core_.has_space(fwd.space)) return;
   ++stats_.events_relayed;
   process_event(fwd.space, fwd.event, fwd.tree_root);
+}
+
+void Broker::handle_broker_ack(ConnId conn, const wire::BrokerAck& ack) {
+  const auto it = conns_.find(conn);
+  if (it == conns_.end() || it->second.kind != ConnKind::kBroker) return;
+  const auto link = links_.find(it->second.peer);
+  if (link == links_.end()) return;
+  if (ack.epoch != session_epoch_) return;  // ack for a previous incarnation
+  LinkSession& session = link->second;
+  if (ack.seq > session.out_log.acked_seq()) {
+    session.out_log.acknowledge(ack.seq);
+    session.last_resend = now();  // progress: restart the go-back-N timer
+  }
+}
+
+void Broker::handle_link_heartbeat(ConnId conn, const wire::LinkHeartbeat& hb) {
+  const auto it = conns_.find(conn);
+  if (it == conns_.end() || it->second.kind != ConnKind::kBroker) return;
+  LinkSession& session = links_[it->second.peer];
+  if (hb.epoch != session.in_epoch) {
+    session.in_epoch = hb.epoch;
+    session.in_seq = 0;
+  }
+  if (hb.truncated_through > session.in_seq) {
+    // The peer can no longer produce anything at or below this baseline
+    // (retention GC truncated it, or our counters are fresh while its
+    // numbering kept going). Waiting would stall the link forever: rebase
+    // and resume from there.
+    GRYPHON_INFO("broker") << "broker " << core_.self() << ": rebasing link from "
+                           << it->second.peer << " to seq " << hb.truncated_through
+                           << " (was " << session.in_seq << ")";
+    session.in_seq = hb.truncated_through;
+    send_broker_ack(session);
+  }
+}
+
+void Broker::send_broker_ack(LinkSession& session) {
+  if (session.conn == kInvalidConn) return;
+  transport_->send(session.conn,
+                   wire::encode(wire::BrokerAck{session.in_epoch, session.in_seq}));
+  session.last_send = now();
 }
 
 void Broker::process_event(SpaceId space, const std::vector<std::uint8_t>& encoded,
@@ -276,6 +481,8 @@ void Broker::worker_loop() {
     } catch (const std::exception& e) {
       GRYPHON_WARN("broker") << "broker " << core_.self()
                              << ": dropping undecodable event: " << e.what();
+      MutexLock lock(mutex_);
+      ++stats_.frames_rejected;
     }
     {
       MutexLock qlock(queue_mutex_);
@@ -289,12 +496,28 @@ void Broker::apply_decision(SpaceId space, const std::vector<std::uint8_t>& enco
   stats_.matching_steps += decision.steps;
 
   for (const BrokerId peer : decision.forward) {
-    const auto link = broker_conns_.find(peer);
-    if (link == broker_conns_.end()) {
-      GRYPHON_WARN("broker") << "broker " << core_.self() << ": link to " << peer << " is down";
+    LinkSession& session = links_[peer];
+    if (session.dead) {
+      // The supervisor gave this link up: degrade gracefully rather than
+      // queue forever.
+      ++stats_.forwards_dropped_dead_link;
+      GRYPHON_WARN("broker") << "broker " << core_.self() << ": link to " << peer
+                             << " is dead; dropping forward";
       continue;
     }
-    transport_->send(link->second, wire::encode(wire::EventForward{tree_root, space, encoded}));
+    // Log first, send second: the log is the source of truth the session
+    // replays or retransmits from, whether or not the link is up right now.
+    const bool was_idle = session.out_log.empty();
+    const std::uint64_t seq = session.out_log.append(space, encoded, now(), tree_root);
+    if (was_idle) session.last_resend = now();  // window opened: arm the timer
+    if (session.conn == kInvalidConn) {
+      GRYPHON_WARN("broker") << "broker " << core_.self() << ": link to " << peer
+                             << " is down; forward " << seq << " queued for replay";
+      continue;
+    }
+    transport_->send(session.conn, wire::encode(wire::EventForward{tree_root, space, encoded,
+                                                                   session_epoch_, seq}));
+    session.last_send = now();
     ++stats_.events_forwarded;
   }
 
@@ -325,16 +548,30 @@ void Broker::deliver_to_client(ClientRecord& client, SpaceId space,
 }
 
 void Broker::propagate_subscription(const wire::SubPropagate& prop, ConnId except) {
-  for (const auto& [peer, conn] : broker_conns_) {
+  for (auto& [peer, session] : links_) {
     (void)peer;
-    if (conn != except) transport_->send(conn, wire::encode(prop));
+    if (session.conn != kInvalidConn && session.conn != except) {
+      transport_->send(session.conn, wire::encode(prop));
+    }
   }
 }
 
 void Broker::propagate_unsubscription(const wire::UnsubPropagate& prop, ConnId except) {
-  for (const auto& [peer, conn] : broker_conns_) {
+  for (auto& [peer, session] : links_) {
     (void)peer;
-    if (conn != except) transport_->send(conn, wire::encode(prop));
+    if (session.conn != kInvalidConn && session.conn != except) {
+      transport_->send(session.conn, wire::encode(prop));
+    }
+  }
+}
+
+void Broker::record_tombstone(SubscriptionId id) {
+  if (options_.unsub_tombstone_cap == 0) return;
+  if (!tombstones_.insert(id).second) return;
+  tombstone_fifo_.push_back(id);
+  while (tombstone_fifo_.size() > options_.unsub_tombstone_cap) {
+    tombstones_.erase(tombstone_fifo_.front());
+    tombstone_fifo_.pop_front();
   }
 }
 
@@ -372,7 +609,84 @@ std::size_t Broker::collect_garbage() {
     (void)name;
     collected += client->log.collect(t, options_.log_retention);
   }
+  for (auto& [peer, session] : links_) {
+    const std::uint64_t before = session.out_log.truncated_through();
+    collected += session.out_log.collect(t, options_.log_retention);
+    if (session.out_log.truncated_through() > before) {
+      GRYPHON_WARN("broker") << "broker " << core_.self() << ": retention GC truncated link "
+                             << peer << " replay window through "
+                             << session.out_log.truncated_through();
+    }
+  }
   return collected;
+}
+
+void Broker::tick_links(Ticks now_ticks) {
+  MutexLock lock(mutex_);
+  for (auto& [peer, session] : links_) {
+    (void)peer;
+    if (session.conn == kInvalidConn || session.dead) continue;
+    const auto unacked = session.out_log.unacknowledged();
+    if (!unacked.empty() &&
+        now_ticks - session.last_resend >= options_.link_retransmit_timeout) {
+      // Go-back-N: the whole unacked window goes again.
+      for (const EventLog::Entry* entry : unacked) {
+        transport_->send(session.conn,
+                         wire::encode(wire::EventForward{entry->origin, entry->space,
+                                                         entry->event, session_epoch_,
+                                                         entry->seq}));
+        ++stats_.retransmits;
+      }
+      session.last_resend = now_ticks;
+      session.last_send = now_ticks;
+    }
+    if (now_ticks - session.last_send >= options_.link_heartbeat_interval) {
+      transport_->send(session.conn,
+                       wire::encode(wire::LinkHeartbeat{
+                           session_epoch_, session.out_log.truncated_through()}));
+      session.last_send = now_ticks;
+    }
+  }
+}
+
+bool Broker::link_up(BrokerId peer) const {
+  MutexLock lock(mutex_);
+  const auto it = links_.find(peer);
+  return it != links_.end() && it->second.conn != kInvalidConn;
+}
+
+std::optional<Ticks> Broker::link_last_activity(BrokerId peer) const {
+  MutexLock lock(mutex_);
+  const auto it = links_.find(peer);
+  if (it == links_.end()) return std::nullopt;
+  return it->second.last_recv;
+}
+
+void Broker::drop_link(BrokerId peer) {
+  ConnId conn = kInvalidConn;
+  {
+    MutexLock lock(mutex_);
+    const auto it = links_.find(peer);
+    if (it != links_.end()) conn = it->second.conn;
+  }
+  // Close outside the mutex (see on_frame).
+  if (conn != kInvalidConn) transport_->close(conn);
+}
+
+void Broker::mark_link_dead(BrokerId peer) {
+  ConnId conn = kInvalidConn;
+  {
+    MutexLock lock(mutex_);
+    LinkSession& session = links_[peer];
+    conn = session.conn;
+    session.conn = kInvalidConn;
+    session.dead = true;
+    const std::size_t lost = session.out_log.drop_all();
+    stats_.forwards_dropped_dead_link += lost;
+    GRYPHON_WARN("broker") << "broker " << core_.self() << ": declaring link to " << peer
+                           << " dead (" << lost << " queued forwards dropped)";
+  }
+  if (conn != kInvalidConn) transport_->close(conn);
 }
 
 Broker::Stats Broker::stats() const {

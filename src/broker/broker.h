@@ -13,6 +13,17 @@
 // deduplication; published events are multicast hop-by-hop with the link
 // matching protocol (the publisher's broker is the spanning-tree root).
 //
+// Broker links are robust to transient failures, symmetrically with the
+// client plane (docs/fault-tolerance.md): each broker<->broker link carries
+// a *session* — forwards are sequenced per neighbor under a per-process
+// epoch, logged until the peer's cumulative BrokerAck, retransmitted
+// go-back-N when acks stall (tick_links), deduplicated and re-ordered at the
+// receiver, and replayed after a reconnect handshake that also reconciles
+// the subscription replica set (id-deduplicated re-flood, with unsubscribe
+// tombstones so a stale replica cannot resurrect a removed subscription).
+// Malformed frames never take the broker down: they are counted, logged,
+// and the offending connection is dropped.
+//
 // Event pipeline: with Options::match_threads == 0 every event is matched
 // and applied synchronously inside the frame handler (deterministic — the
 // historical behavior). With N > 0, a pool of N match workers decodes and
@@ -30,9 +41,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "broker/broker_core.h"
@@ -47,10 +60,27 @@ class Broker : public TransportHandler {
  public:
   struct Options {
     PstMatcherOptions matcher;
-    /// Unacknowledged log entries older than this are garbage collected.
+    /// Unacknowledged log entries older than this are garbage collected
+    /// (client delivery logs and broker-link forward logs alike).
     Ticks log_retention{ticks_from_seconds(3600)};
     /// Match workers. 0 = synchronous matching inside the frame handler.
     std::size_t match_threads{0};
+    /// Link-session epoch; 0 derives one from the wall clock at
+    /// construction. Restarted brokers must come up with a fresh epoch so
+    /// peers never misapply old sequence state; tests pin it for
+    /// determinism.
+    std::uint64_t session_epoch{0};
+    /// Go-back-N: unacked forwards older than this are retransmitted by
+    /// tick_links().
+    Ticks link_retransmit_timeout{ticks_from_millis(50)};
+    /// tick_links() sends a heartbeat on links idle (outbound) this long.
+    Ticks link_heartbeat_interval{ticks_from_millis(500)};
+    /// Unsubscribe tombstones retained (FIFO eviction); they stop a
+    /// reconnect re-flood from resurrecting a removed subscription.
+    std::size_t unsub_tombstone_cap{4096};
+    /// Test hook: overrides the broker's clock (ticks). Default: real
+    /// steady-clock time since construction.
+    std::function<Ticks()> clock;
   };
 
   Broker(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaPtr> spaces,
@@ -77,7 +107,9 @@ class Broker : public TransportHandler {
   void flush() EXCLUDES(mutex_, queue_mutex_);
 
   /// Registers an *outbound* broker link this node initiated: sends the
-  /// broker hello so the peer can bind the reverse mapping.
+  /// broker hello so the peer can bind the reverse mapping. Re-attaching
+  /// after a drop resumes the existing link session (unacked forwards
+  /// replay once the peer's hello reply reports what it already has).
   void attach_broker_link(ConnId conn, BrokerId peer) EXCLUDES(mutex_);
 
   // TransportHandler:
@@ -85,8 +117,31 @@ class Broker : public TransportHandler {
   void on_frame(ConnId conn, std::span<const std::uint8_t> frame) override EXCLUDES(mutex_);
   void on_disconnect(ConnId conn) override EXCLUDES(mutex_);
 
-  /// The periodic log garbage collector; returns entries collected.
+  /// The periodic log garbage collector; returns entries collected (client
+  /// delivery logs plus broker-link forward logs).
   std::size_t collect_garbage() EXCLUDES(mutex_);
+
+  /// Drives link-session maintenance: retransmits unacked forwards whose
+  /// ack has stalled past Options::link_retransmit_timeout (go-back-N) and
+  /// sends heartbeats on outbound-idle links. Deterministic given `now`;
+  /// the LinkSupervisor calls this every tick.
+  void tick_links(Ticks now) EXCLUDES(mutex_);
+
+  /// The broker's clock (Options::clock if set); what tick_links expects.
+  [[nodiscard]] Ticks clock_now() const { return now(); }
+
+  // Link-state introspection and control for the LinkSupervisor.
+  [[nodiscard]] bool link_up(BrokerId peer) const EXCLUDES(mutex_);
+  /// Ticks of the last inbound frame on the peer's link; nullopt when the
+  /// link has never been up.
+  [[nodiscard]] std::optional<Ticks> link_last_activity(BrokerId peer) const EXCLUDES(mutex_);
+  /// Closes the peer's connection (both sides observe a disconnect). Used
+  /// by the supervisor when a link goes silent past the idle timeout.
+  void drop_link(BrokerId peer) EXCLUDES(mutex_);
+  /// Marks a link permanently dead (redial budget exhausted): its forward
+  /// log is purged and future forwards to it are counted and dropped
+  /// instead of retained. attach_broker_link() revives it.
+  void mark_link_dead(BrokerId peer) EXCLUDES(mutex_);
 
   struct Stats {
     std::uint64_t events_published{0};   // local client publications
@@ -95,6 +150,12 @@ class Broker : public TransportHandler {
     std::uint64_t events_relayed{0};     // EventForward frames handled
     std::uint64_t subscriptions_active{0};
     std::uint64_t matching_steps{0};
+    // Robustness counters (docs/fault-tolerance.md).
+    std::uint64_t retransmits{0};            // forwards re-sent (timeout or handshake)
+    std::uint64_t duplicates_dropped{0};     // already-consumed forwards discarded
+    std::uint64_t link_flaps{0};             // broker-link disconnects observed
+    std::uint64_t frames_rejected{0};        // malformed frames dropped
+    std::uint64_t forwards_dropped_dead_link{0};  // forwards lost to a dead link
   };
   [[nodiscard]] Stats stats() const EXCLUDES(mutex_);
 
@@ -113,6 +174,19 @@ class Broker : public TransportHandler {
     EventLog log;
     std::vector<SubscriptionId> subscriptions;
   };
+  /// Per-neighbor link session. Outlives any one connection: the forward
+  /// log, sequence counters, and inbound dedup state persist across drops
+  /// so a reconnect resumes where the link left off.
+  struct LinkSession {
+    ConnId conn{kInvalidConn};  // kInvalidConn while the link is down
+    bool dead{false};           // supervisor gave up; forwards are dropped
+    EventLog out_log;           // sequenced forwards awaiting the peer's ack
+    Ticks last_send{0};         // last outbound frame (heartbeat scheduling)
+    Ticks last_resend{0};       // last (re)transmission of the unacked window
+    Ticks last_recv{0};         // last inbound frame (idle detection)
+    std::uint64_t in_epoch{0};  // peer epoch the inbound counter refers to
+    std::uint64_t in_seq{0};    // highest forward seq consumed from the peer
+  };
   struct PendingEvent {
     SpaceId space;
     std::vector<std::uint8_t> encoded;
@@ -129,6 +203,8 @@ class Broker : public TransportHandler {
   void handle_sub_propagate(ConnId conn, const wire::SubPropagate& prop) REQUIRES(mutex_);
   void handle_unsub_propagate(ConnId conn, const wire::UnsubPropagate& prop) REQUIRES(mutex_);
   void handle_event_forward(ConnId conn, const wire::EventForward& fwd) REQUIRES(mutex_);
+  void handle_broker_ack(ConnId conn, const wire::BrokerAck& ack) REQUIRES(mutex_);
+  void handle_link_heartbeat(ConnId conn, const wire::LinkHeartbeat& hb) REQUIRES(mutex_);
 
   /// Shared by local publications and forwarded events. Synchronous mode:
   /// decode + dispatch + apply inline (mutex_ held by the caller). Pipeline
@@ -144,6 +220,12 @@ class Broker : public TransportHandler {
   void deliver_to_client(ClientRecord& client, SpaceId space,
                          std::vector<std::uint8_t> encoded) REQUIRES(mutex_);
   void sync_subscriptions_to(ConnId conn) REQUIRES(mutex_);
+  /// Replays the peer-unseen suffix of the link's forward log and updates
+  /// its ack state from the peer's handshake report.
+  void replay_forwards_to(LinkSession& session, const wire::HelloBroker& hello)
+      REQUIRES(mutex_);
+  void send_broker_ack(LinkSession& session) REQUIRES(mutex_);
+  void record_tombstone(SubscriptionId id) REQUIRES(mutex_);
   /// Broadcasts a quench update to every connected client when a space
   /// transitions between "has subscribers" and "has none" (Elvin-style
   /// quenching, paper Section 5).
@@ -161,11 +243,14 @@ class Broker : public TransportHandler {
   BrokerCore core_;
   Transport* transport_;
   Options options_;
+  std::uint64_t session_epoch_;
   std::unordered_map<ConnId, ConnState> conns_ GUARDED_BY(mutex_);
   std::unordered_map<std::string, std::unique_ptr<ClientRecord>> clients_ GUARDED_BY(mutex_);
   std::unordered_map<SubscriptionId, std::string> local_sub_client_ GUARDED_BY(mutex_);
   std::unordered_map<SubscriptionId, SpaceId> local_sub_space_ GUARDED_BY(mutex_);
-  std::unordered_map<BrokerId, ConnId> broker_conns_ GUARDED_BY(mutex_);
+  std::unordered_map<BrokerId, LinkSession> links_ GUARDED_BY(mutex_);
+  std::unordered_set<SubscriptionId> tombstones_ GUARDED_BY(mutex_);
+  std::deque<SubscriptionId> tombstone_fifo_ GUARDED_BY(mutex_);
   std::uint64_t next_sub_counter_ GUARDED_BY(mutex_){1};
   Stats stats_ GUARDED_BY(mutex_);
   std::chrono::steady_clock::time_point epoch_{std::chrono::steady_clock::now()};

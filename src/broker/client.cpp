@@ -34,6 +34,11 @@ std::uint64_t Client::last_seq() const {
   return last_seq_;
 }
 
+std::uint64_t Client::replay_truncated_through() const {
+  MutexLock lock(mutex_);
+  return replay_truncated_through_;
+}
+
 std::uint64_t Client::subscribe(std::uint16_t space, const Subscription& subscription) {
   if (space >= spaces_.size()) throw std::invalid_argument("Client::subscribe: bad space");
   std::uint64_t token;
@@ -132,8 +137,19 @@ void Client::on_connect(ConnId) {}
 void Client::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
   try {
     switch (wire::peek_type(frame)) {
-      case wire::FrameType::kHelloAck:
-        break;  // nothing to do: replay follows as ordinary deliveries
+      case wire::FrameType::kHelloAck: {
+        // Replay follows as ordinary deliveries; the ack itself only
+        // matters when it reports a truncated replay window.
+        const auto ack = wire::decode_hello_ack(frame);
+        MutexLock lock(mutex_);
+        replay_truncated_through_ = ack.truncated_through;
+        if (ack.truncated_through > last_seq_) {
+          GRYPHON_WARN("client")
+              << name_ << ": broker lost deliveries (" << last_seq_ << ", "
+              << ack.truncated_through << "] to retention GC; replay has a hole";
+        }
+        break;
+      }
       case wire::FrameType::kSubscribeAck: {
         const auto ack = wire::decode_subscribe_ack(frame);
         MutexLock lock(mutex_);

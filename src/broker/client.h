@@ -46,6 +46,13 @@ class Client : public TransportHandler {
   [[nodiscard]] bool connected() const;
   [[nodiscard]] std::uint64_t last_seq() const;
 
+  /// Highest delivery sequence the broker reported as lost to retention GC
+  /// while this client was away (from the HelloAck; 0 = nothing lost). If
+  /// this exceeds the last sequence seen before reconnecting, deliveries in
+  /// (last_seq, replay_truncated_through] are gone for good — the replay
+  /// has a hole the application may need to repair out of band.
+  [[nodiscard]] std::uint64_t replay_truncated_through() const;
+
   /// Registers a subscription; returns the request token. The broker's
   /// acknowledgement (carrying the SubscriptionId) is surfaced through
   /// subscription_id(token) once it arrives.
@@ -106,6 +113,7 @@ class Client : public TransportHandler {
   std::condition_variable cv_;
   ConnId conn_ GUARDED_BY(mutex_){kInvalidConn};
   std::uint64_t last_seq_ GUARDED_BY(mutex_){0};
+  std::uint64_t replay_truncated_through_ GUARDED_BY(mutex_){0};
   std::uint64_t next_token_ GUARDED_BY(mutex_){1};
   std::unordered_map<std::uint64_t, SubscriptionId> acked_subscriptions_ GUARDED_BY(mutex_);
   std::deque<Delivery> deliveries_ GUARDED_BY(mutex_);

@@ -2,12 +2,14 @@
 
 namespace gryphon {
 
-std::uint64_t EventLog::append(SpaceId space, std::vector<std::uint8_t> event, Ticks now) {
+std::uint64_t EventLog::append(SpaceId space, std::vector<std::uint8_t> event, Ticks now,
+                               BrokerId origin) {
   Entry entry;
   entry.seq = next_seq_++;
   entry.space = space;
   entry.event = std::move(event);
   entry.logged_at = now;
+  entry.origin = origin;
   entries_.push_back(std::move(entry));
   return entries_.back().seq;
 }
@@ -29,10 +31,23 @@ std::vector<const EventLog::Entry*> EventLog::unacknowledged(std::uint64_t after
 std::size_t EventLog::collect(Ticks now, Ticks retention) {
   std::size_t collected = 0;
   while (!entries_.empty() && entries_.front().logged_at + retention < now) {
+    if (entries_.front().seq > acked_) truncated_through_ = entries_.front().seq;
     entries_.pop_front();
     ++collected;
   }
   return collected;
+}
+
+std::size_t EventLog::drop_all() {
+  std::size_t lost = 0;
+  for (const Entry& entry : entries_) {
+    if (entry.seq > acked_) {
+      truncated_through_ = entry.seq;
+      ++lost;
+    }
+  }
+  entries_.clear();
+  return lost;
 }
 
 }  // namespace gryphon

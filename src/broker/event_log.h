@@ -1,4 +1,4 @@
-// Per-client event log (paper Section 4.2).
+// Per-consumer event log (paper Section 4.2).
 //
 // "These protocol objects are robust enough to handle transient failures of
 // connections by maintaining an event log per client. Once a client
@@ -7,9 +7,19 @@
 // periodically cleans up the log."
 //
 // The log assigns a monotonically increasing sequence number per delivered
-// event. Clients acknowledge cumulatively; acknowledged entries are garbage
-// collected, as are entries older than a retention horizon (the periodic
-// collector), bounding memory when a client never returns.
+// event. Consumers acknowledge cumulatively; acknowledged entries are
+// garbage collected, as are entries older than a retention horizon (the
+// periodic collector), bounding memory when a consumer never returns.
+//
+// One class serves both replay planes: the client protocol logs Deliver
+// frames per client, and the broker protocol logs EventForward frames per
+// neighbor broker (each entry then also records the spanning-tree origin the
+// forward was multicast under, so a replay reconstructs the original frame).
+//
+// When the retention collector drops entries that were never acknowledged,
+// the loss is recorded: truncated_through() is the highest sequence number
+// lost that way, so a reconnecting consumer can be told its replay window
+// was truncated instead of the gap passing silently.
 #pragma once
 
 #include <cstdint>
@@ -28,15 +38,19 @@ class EventLog {
     SpaceId space{0};
     std::vector<std::uint8_t> event;  // codec-encoded
     Ticks logged_at{0};
+    /// Spanning-tree root the event was multicast under; only meaningful
+    /// for broker-link logs (client logs leave it invalid).
+    BrokerId origin{};
   };
 
   /// Appends an event; returns its sequence number (starting at 1).
-  std::uint64_t append(SpaceId space, std::vector<std::uint8_t> event, Ticks now);
+  std::uint64_t append(SpaceId space, std::vector<std::uint8_t> event, Ticks now,
+                       BrokerId origin = BrokerId{});
 
   /// Cumulative acknowledgement: entries with seq <= acked are collected.
   void acknowledge(std::uint64_t seq);
 
-  /// Entries the client has not acknowledged, with seq > after.
+  /// Entries the consumer has not acknowledged, with seq > after.
   [[nodiscard]] std::vector<const Entry*> unacknowledged(std::uint64_t after = 0) const;
 
   /// The most recently appended entry. Precondition: !empty().
@@ -44,7 +58,18 @@ class EventLog {
 
   /// The periodic garbage collector: drops entries logged before
   /// `now - retention`, even if unacknowledged. Returns how many died.
+  /// Unacknowledged losses are recorded in truncated_through().
   std::size_t collect(Ticks now, Ticks retention);
+
+  /// Drops every retained entry (a consumer declared permanently gone).
+  /// Unacknowledged losses are recorded in truncated_through(); returns the
+  /// number of unacknowledged entries lost.
+  std::size_t drop_all();
+
+  /// Highest sequence number ever lost while unacknowledged (0 when replay
+  /// has never been truncated). A consumer resuming from seq < this value
+  /// has a hole in its replay window: [its seq + 1, truncated_through()].
+  [[nodiscard]] std::uint64_t truncated_through() const { return truncated_through_; }
 
   [[nodiscard]] std::uint64_t last_seq() const { return next_seq_ - 1; }
   [[nodiscard]] std::uint64_t acked_seq() const { return acked_; }
@@ -55,6 +80,7 @@ class EventLog {
   std::deque<Entry> entries_;
   std::uint64_t next_seq_{1};
   std::uint64_t acked_{0};
+  std::uint64_t truncated_through_{0};
 };
 
 }  // namespace gryphon

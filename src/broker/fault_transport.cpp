@@ -1,0 +1,123 @@
+#include "broker/fault_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gryphon {
+
+bool FaultInjectingTransport::eligible(const std::vector<std::uint8_t>& frame) const {
+  if (options_.fault_frame_types.empty()) return true;
+  if (frame.empty()) return true;
+  return std::find(options_.fault_frame_types.begin(), options_.fault_frame_types.end(),
+                   frame[0]) != options_.fault_frame_types.end();
+}
+
+void FaultInjectingTransport::collect_released(std::vector<HeldFrame>& out) {
+  auto it = held_.begin();
+  while (it != held_.end()) {
+    if (it->release_after == 0 || --it->release_after == 0) {
+      out.push_back(std::move(*it));
+      it = held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FaultInjectingTransport::send(ConnId conn, std::vector<std::uint8_t> frame) {
+  // Decide every frame's fate under the lock; perform the actual sends
+  // outside it (HeldFrame with release_after 0 = send now).
+  std::vector<HeldFrame> to_send;
+  {
+    MutexLock lock(mutex_);
+    if (severed_.contains(conn)) {
+      ++counters_.severed_out;
+      return;
+    }
+    // This send counts as one pass-through step for every held frame.
+    collect_released(to_send);
+    if (eligible(frame)) {
+      if (options_.drop_rate > 0 && rng_.chance(options_.drop_rate)) {
+        ++counters_.dropped;
+        frame.clear();
+      } else if (options_.duplicate_rate > 0 && rng_.chance(options_.duplicate_rate)) {
+        ++counters_.duplicated;
+        to_send.push_back(HeldFrame{conn, frame, 0});
+      } else if (options_.delay_rate > 0 && rng_.chance(options_.delay_rate)) {
+        ++counters_.delayed;
+        const auto lo = static_cast<std::int64_t>(options_.delay_min_frames);
+        const auto hi =
+            static_cast<std::int64_t>(std::max(options_.delay_max_frames,
+                                               options_.delay_min_frames));
+        held_.push_back(HeldFrame{conn, std::move(frame),
+                                  static_cast<std::uint32_t>(rng_.between(lo, hi))});
+        frame.clear();
+      }
+    }
+    if (!frame.empty()) to_send.push_back(HeldFrame{conn, std::move(frame), 0});
+  }
+  for (HeldFrame& held : to_send) {
+    inner_->send(held.conn, std::move(held.frame));
+  }
+}
+
+void FaultInjectingTransport::close(ConnId conn) {
+  {
+    MutexLock lock(mutex_);
+    std::erase_if(held_, [conn](const HeldFrame& held) { return held.conn == conn; });
+  }
+  inner_->close(conn);
+}
+
+void FaultInjectingTransport::on_connect(ConnId conn) {
+  if (handler_ != nullptr) handler_->on_connect(conn);
+}
+
+void FaultInjectingTransport::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
+  {
+    MutexLock lock(mutex_);
+    if (severed_.contains(conn)) {
+      ++counters_.severed_in;
+      return;
+    }
+  }
+  if (handler_ != nullptr) handler_->on_frame(conn, frame);
+}
+
+void FaultInjectingTransport::on_disconnect(ConnId conn) {
+  {
+    MutexLock lock(mutex_);
+    severed_.erase(conn);
+    std::erase_if(held_, [conn](const HeldFrame& held) { return held.conn == conn; });
+  }
+  if (handler_ != nullptr) handler_->on_disconnect(conn);
+}
+
+void FaultInjectingTransport::sever(ConnId conn) {
+  MutexLock lock(mutex_);
+  severed_.insert(conn);
+  std::erase_if(held_, [conn](const HeldFrame& held) { return held.conn == conn; });
+}
+
+void FaultInjectingTransport::heal(ConnId conn) {
+  MutexLock lock(mutex_);
+  severed_.erase(conn);
+}
+
+void FaultInjectingTransport::heal_all() {
+  MutexLock lock(mutex_);
+  severed_.clear();
+}
+
+void FaultInjectingTransport::flush_delayed() {
+  std::vector<HeldFrame> to_send;
+  {
+    MutexLock lock(mutex_);
+    to_send.swap(held_);
+  }
+  for (HeldFrame& held : to_send) {
+    inner_->send(held.conn, std::move(held.frame));
+  }
+}
+
+}  // namespace gryphon

@@ -1,0 +1,113 @@
+// Deterministic fault injection for transports (the chaos harness).
+//
+// FaultInjectingTransport is a decorator that sits between a node (broker or
+// client) and its real transport, on both paths:
+//
+//   node --send()--> FaultInjectingTransport --send()--> inner transport
+//   inner transport --on_frame()--> FaultInjectingTransport --on_frame()--> node
+//
+// Outbound frames are subjected to seeded, reproducible faults: dropped,
+// duplicated, or delayed (held back and released behind later frames, i.e.
+// reordered). Individual connections can be severed — a severed connection
+// black-holes frames in *both* directions at this decorator, so severing one
+// side of a broker pair partitions the link without either transport
+// noticing — and healed again. A frame-type filter restricts faults to the
+// frames under test (e.g. only EventForward/BrokerAck/LinkHeartbeat, leaving
+// the handshake plane clean).
+//
+// Everything is driven by one Rng from Options::seed: the same seed, wiring,
+// and frame sequence reproduces the same faults, which is what lets chaos
+// tests assert exact delivery multisets against a no-fault oracle.
+//
+// Thread safety: fate decisions take an internal mutex; the inner send and
+// the handler callbacks are invoked outside it (the handler may re-enter
+// send()).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "broker/transport.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+
+namespace gryphon {
+
+class FaultInjectingTransport final : public Transport, public TransportHandler {
+ public:
+  struct Options {
+    std::uint64_t seed{1};
+    /// Probability an eligible outbound frame is silently dropped.
+    double drop_rate{0.0};
+    /// Probability an eligible outbound frame is sent twice.
+    double duplicate_rate{0.0};
+    /// Probability an eligible outbound frame is held back and released
+    /// only after delay_min..delay_max later sends (reordering).
+    double delay_rate{0.0};
+    std::uint32_t delay_min_frames{1};
+    std::uint32_t delay_max_frames{4};
+    /// Frame type bytes eligible for faults; empty = every frame.
+    std::vector<std::uint8_t> fault_frame_types;
+  };
+
+  struct Counters {
+    std::uint64_t dropped{0};
+    std::uint64_t duplicated{0};
+    std::uint64_t delayed{0};
+    std::uint64_t severed_out{0};  // outbound frames eaten by a severed conn
+    std::uint64_t severed_in{0};   // inbound frames eaten by a severed conn
+  };
+
+  FaultInjectingTransport(Transport& inner, Options options)
+      : inner_(&inner), options_(std::move(options)), rng_(options_.seed) {}
+
+  /// The node the decorator delivers inbound traffic to.
+  void set_handler(TransportHandler* handler) { handler_ = handler; }
+
+  // Transport (outbound path):
+  void send(ConnId conn, std::vector<std::uint8_t> frame) override EXCLUDES(mutex_);
+  void close(ConnId conn) override EXCLUDES(mutex_);
+
+  // TransportHandler (inbound path):
+  void on_connect(ConnId conn) override;
+  void on_frame(ConnId conn, std::span<const std::uint8_t> frame) override EXCLUDES(mutex_);
+  void on_disconnect(ConnId conn) override EXCLUDES(mutex_);
+
+  /// Black-holes the connection in both directions until heal()/heal_all().
+  /// Held (delayed) frames for it are discarded.
+  void sever(ConnId conn) EXCLUDES(mutex_);
+  void heal(ConnId conn) EXCLUDES(mutex_);
+  void heal_all() EXCLUDES(mutex_);
+
+  /// Releases every held (delayed) frame immediately, in hold order. Used
+  /// to quiesce a chaos run before comparing against the oracle.
+  void flush_delayed() EXCLUDES(mutex_);
+
+  [[nodiscard]] Counters counters() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return counters_;
+  }
+
+ private:
+  struct HeldFrame {
+    ConnId conn{kInvalidConn};
+    std::vector<std::uint8_t> frame;
+    std::uint32_t release_after{0};  // pass-through sends remaining
+  };
+
+  [[nodiscard]] bool eligible(const std::vector<std::uint8_t>& frame) const REQUIRES(mutex_);
+  /// Decrements hold counters and moves expired frames into `out`.
+  void collect_released(std::vector<HeldFrame>& out) REQUIRES(mutex_);
+
+  Transport* inner_;
+  TransportHandler* handler_{nullptr};
+  Options options_;
+  mutable Mutex mutex_;
+  Rng rng_ GUARDED_BY(mutex_);
+  Counters counters_ GUARDED_BY(mutex_);
+  std::unordered_set<ConnId> severed_ GUARDED_BY(mutex_);
+  std::vector<HeldFrame> held_ GUARDED_BY(mutex_);
+};
+
+}  // namespace gryphon

@@ -1,0 +1,108 @@
+#include "broker/link_supervisor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gryphon {
+
+LinkSupervisor::LinkSupervisor(Broker& broker, DialFn dial, Options options)
+    : broker_(&broker), dial_(std::move(dial)), options_(options), rng_(options.seed) {}
+
+LinkSupervisor::~LinkSupervisor() { stop(); }
+
+void LinkSupervisor::supervise(BrokerId peer) {
+  MutexLock lock(mutex_);
+  PeerState& state = peers_[peer];
+  state.dead = false;
+  state.failures = 0;
+  state.backoff = 0;
+  state.next_dial = 0;  // eligible at the next tick
+}
+
+Ticks LinkSupervisor::next_backoff(PeerState& state) {
+  state.backoff = state.backoff == 0 ? options_.backoff_initial
+                                     : std::min(state.backoff * 2, options_.backoff_max);
+  const auto jitter = static_cast<Ticks>(static_cast<double>(state.backoff) *
+                                         options_.jitter * rng_.uniform());
+  return state.backoff + jitter;
+}
+
+void LinkSupervisor::tick(Ticks now) {
+  // Session maintenance first: heartbeats keep healthy links' activity
+  // clocks fresh, so only genuinely silent links trip the idle check below.
+  broker_->tick_links(now);
+  MutexLock lock(mutex_);
+  for (auto& [peer, state] : peers_) {
+    if (state.dead) continue;
+    if (broker_->link_up(peer)) {
+      const auto last = broker_->link_last_activity(peer);
+      if (last.has_value() && now - *last >= options_.idle_timeout) {
+        // Silent past the deadline: the peer or the path is gone even
+        // though the transport has not noticed. Tear it down and let the
+        // redial machinery (and the session handshake) recover.
+        GRYPHON_WARN("supervisor")
+            << "broker " << broker_->self() << ": link to " << peer
+            << " idle for " << (now - *last) << " ticks; dropping";
+        broker_->drop_link(peer);
+        state.backoff = 0;
+        state.next_dial = now;  // first redial is immediate
+      } else {
+        state.failures = 0;
+        state.backoff = 0;
+      }
+      continue;
+    }
+    if (now < state.next_dial) continue;
+    ++state.dial_attempts;
+    const ConnId conn = dial_(peer);
+    if (conn != kInvalidConn) {
+      broker_->attach_broker_link(conn, peer);
+      state.failures = 0;
+      state.backoff = 0;
+      continue;
+    }
+    ++state.failures;
+    if (options_.redial_budget != 0 && state.failures >= options_.redial_budget) {
+      GRYPHON_WARN("supervisor")
+          << "broker " << broker_->self() << ": giving up on link to " << peer << " after "
+          << state.failures << " failed dials";
+      state.dead = true;
+      broker_->mark_link_dead(peer);
+      continue;
+    }
+    state.next_dial = now + next_backoff(state);
+  }
+}
+
+void LinkSupervisor::start(std::chrono::milliseconds period) {
+  stop();
+  stopping_.store(false);
+  thread_ = std::thread([this, period] {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      tick(broker_->clock_now());
+      std::this_thread::sleep_for(period);
+    }
+  });
+}
+
+void LinkSupervisor::stop() {
+  stopping_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+LinkSupervisor::LinkStatus LinkSupervisor::status(BrokerId peer) const {
+  LinkStatus out;
+  out.up = broker_->link_up(peer);
+  MutexLock lock(mutex_);
+  const auto it = peers_.find(peer);
+  if (it != peers_.end()) {
+    out.dead = it->second.dead;
+    out.consecutive_failures = it->second.failures;
+    out.dial_attempts = it->second.dial_attempts;
+    out.next_dial = it->second.next_dial;
+  }
+  return out;
+}
+
+}  // namespace gryphon

@@ -1,0 +1,110 @@
+// Broker-link supervision: failure detection and recovery.
+//
+// A LinkSupervisor watches the broker links this node is responsible for
+// dialing and keeps them alive (docs/fault-tolerance.md):
+//
+//  - Dead-link detection. Every tick it drives Broker::tick_links (which
+//    retransmits stalled forwards and heartbeats idle links) and checks each
+//    supervised link's inbound-activity clock. A link silent past
+//    Options::idle_timeout is presumed partitioned and force-dropped, which
+//    moves it into the redial state machine.
+//  - Supervised redial. Down links are redialed with exponential backoff
+//    plus deterministic seeded jitter (so a fleet of brokers does not
+//    thundering-herd a recovering peer). A successful dial re-attaches the
+//    link and the broker session handshake replays whatever the drop lost.
+//  - Giving up. After Options::redial_budget consecutive failures the link
+//    is declared dead: Broker::mark_link_dead purges its forward log and
+//    subsequent forwards degrade to counted drops instead of unbounded
+//    queueing. supervise() (or an inbound dial from the peer) revives it.
+//
+// The supervisor is deterministic: tick(now) is pure in the injected clock,
+// so tests drive it with a fake clock. start()/stop() run the same tick loop
+// on a background thread against the broker's real clock for daemon use.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+
+#include "broker/broker.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+
+namespace gryphon {
+
+class LinkSupervisor {
+ public:
+  /// Dials a peer broker, returning the new connection or kInvalidConn on
+  /// failure. The supervisor attaches the link on success.
+  using DialFn = std::function<ConnId(BrokerId)>;
+
+  struct Options {
+    /// A link with no inbound frame for this long is presumed dead and
+    /// dropped. Must comfortably exceed the broker's heartbeat interval.
+    Ticks idle_timeout{ticks_from_seconds(2)};
+    /// First redial delay; doubles per consecutive failure.
+    Ticks backoff_initial{ticks_from_millis(20)};
+    /// Backoff ceiling.
+    Ticks backoff_max{ticks_from_seconds(5)};
+    /// Uniform jitter fraction added to each backoff (0.25 = up to +25%).
+    double jitter{0.25};
+    /// Consecutive dial failures tolerated before the link is declared
+    /// dead. 0 = never give up.
+    std::uint32_t redial_budget{0};
+    /// Seed for the jitter stream (deterministic tests).
+    std::uint64_t seed{0x5eed5eedULL};
+  };
+
+  LinkSupervisor(Broker& broker, DialFn dial, Options options);
+  ~LinkSupervisor();
+
+  LinkSupervisor(const LinkSupervisor&) = delete;
+  LinkSupervisor& operator=(const LinkSupervisor&) = delete;
+
+  /// Adds a peer to the supervised set (idempotent; revives a dead link).
+  /// The first tick dials it if it is not already up.
+  void supervise(BrokerId peer) EXCLUDES(mutex_);
+
+  /// One supervision round at the given instant: drives the broker's link
+  /// maintenance, drops idle links, and redials down links whose backoff
+  /// has elapsed.
+  void tick(Ticks now) EXCLUDES(mutex_);
+
+  /// Runs tick(broker.clock_now()) every `period` on a background thread.
+  void start(std::chrono::milliseconds period);
+  void stop();
+
+  struct LinkStatus {
+    bool up{false};
+    bool dead{false};
+    std::uint32_t consecutive_failures{0};
+    std::uint64_t dial_attempts{0};
+    Ticks next_dial{0};
+  };
+  [[nodiscard]] LinkStatus status(BrokerId peer) const EXCLUDES(mutex_);
+
+ private:
+  struct PeerState {
+    bool dead{false};
+    std::uint32_t failures{0};
+    std::uint64_t dial_attempts{0};
+    Ticks backoff{0};
+    Ticks next_dial{0};  // 0 = dial at the next tick
+  };
+
+  [[nodiscard]] Ticks next_backoff(PeerState& state) REQUIRES(mutex_);
+
+  Broker* broker_;
+  DialFn dial_;
+  Options options_;
+  mutable Mutex mutex_;
+  std::unordered_map<BrokerId, PeerState> peers_ GUARDED_BY(mutex_);
+  Rng rng_ GUARDED_BY(mutex_);
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace gryphon

@@ -45,12 +45,16 @@ std::vector<std::uint8_t> encode(const HelloClient& m) {
 std::vector<std::uint8_t> encode(const HelloBroker& m) {
   Encoder enc = begin(FrameType::kHelloBroker);
   enc.put_u32(static_cast<std::uint32_t>(m.broker.value));
+  enc.put_u64(m.epoch);
+  enc.put_u64(m.peer_epoch_seen);
+  enc.put_u64(m.peer_last_seq);
   return enc.take();
 }
 
 std::vector<std::uint8_t> encode(const HelloAck& m) {
   Encoder enc = begin(FrameType::kHelloAck);
   enc.put_u64(m.resume_from);
+  enc.put_u64(m.truncated_through);
   return enc.take();
 }
 
@@ -116,6 +120,22 @@ std::vector<std::uint8_t> encode(const EventForward& m) {
   enc.put_u32(static_cast<std::uint32_t>(m.tree_root.value));
   put_space(enc, m.space);
   enc.put_bytes(m.event);
+  enc.put_u64(m.epoch);
+  enc.put_u64(m.seq);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const BrokerAck& m) {
+  Encoder enc = begin(FrameType::kBrokerAck);
+  enc.put_u64(m.epoch);
+  enc.put_u64(m.seq);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const LinkHeartbeat& m) {
+  Encoder enc = begin(FrameType::kLinkHeartbeat);
+  enc.put_u64(m.epoch);
+  enc.put_u64(m.truncated_through);
   return enc.take();
 }
 
@@ -145,6 +165,9 @@ HelloBroker decode_hello_broker(std::span<const std::uint8_t> frame) {
   Decoder dec = open(frame, FrameType::kHelloBroker);
   HelloBroker m;
   m.broker = BrokerId{static_cast<BrokerId::rep_type>(dec.get_u32())};
+  m.epoch = dec.get_u64();
+  m.peer_epoch_seen = dec.get_u64();
+  m.peer_last_seq = dec.get_u64();
   return m;
 }
 
@@ -152,6 +175,7 @@ HelloAck decode_hello_ack(std::span<const std::uint8_t> frame) {
   Decoder dec = open(frame, FrameType::kHelloAck);
   HelloAck m;
   m.resume_from = dec.get_u64();
+  m.truncated_through = dec.get_u64();
   return m;
 }
 
@@ -226,6 +250,24 @@ EventForward decode_event_forward(std::span<const std::uint8_t> frame) {
   m.tree_root = BrokerId{static_cast<BrokerId::rep_type>(dec.get_u32())};
   m.space = get_space(dec);
   m.event = dec.get_bytes();
+  m.epoch = dec.get_u64();
+  m.seq = dec.get_u64();
+  return m;
+}
+
+BrokerAck decode_broker_ack(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kBrokerAck);
+  BrokerAck m;
+  m.epoch = dec.get_u64();
+  m.seq = dec.get_u64();
+  return m;
+}
+
+LinkHeartbeat decode_link_heartbeat(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kLinkHeartbeat);
+  LinkHeartbeat m;
+  m.epoch = dec.get_u64();
+  m.truncated_through = dec.get_u64();
   return m;
 }
 

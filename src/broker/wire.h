@@ -32,20 +32,35 @@ enum class FrameType : std::uint8_t {
   kAck = 9,           // client -> broker: cumulative seq
   kSubPropagate = 10, // broker -> broker: id, owner broker, space, subscription
   kUnsubPropagate = 11,  // broker -> broker: id
-  kEventForward = 12,    // broker -> broker: spanning-tree root, space, event
+  kEventForward = 12,    // broker -> broker: session-sequenced forwarded event
   kError = 13,           // broker -> client: token, message
   kQuench = 14,          // broker -> client: space, whether any subscriber exists
+  kBrokerAck = 15,       // broker -> broker: cumulative ack of forwards on a link
+  kLinkHeartbeat = 16,   // broker -> broker: link liveness probe
 };
 
 struct HelloClient {
   std::string name;
   std::uint64_t last_seq{0};
 };
+/// The broker-link handshake, sent by both ends when a link comes up. It
+/// identifies the sender and its link-session epoch (fresh per process so a
+/// restarted broker is never confused with its previous incarnation), and
+/// reports the receiver-side state of the *reverse* direction — the highest
+/// forward sequence this broker has consumed from the peer, and under which
+/// of the peer's epochs — so the peer can replay exactly the unacked suffix.
 struct HelloBroker {
   BrokerId broker;
+  std::uint64_t epoch{0};            // sender's link-session epoch
+  std::uint64_t peer_epoch_seen{0};  // peer epoch the counters below refer to
+  std::uint64_t peer_last_seq{0};    // last forward seq consumed from the peer
 };
 struct HelloAck {
   std::uint64_t resume_from{0};
+  /// Highest delivery sequence lost to retention GC while unacknowledged
+  /// (0 = none). A client whose last seen seq is below this has a hole in
+  /// its replay: events in (last_seq, truncated_through] are gone for good.
+  std::uint64_t truncated_through{0};
 };
 struct SubscribeReq {
   std::uint64_t token{0};
@@ -80,10 +95,34 @@ struct SubPropagate {
 struct UnsubPropagate {
   SubscriptionId id;
 };
+/// A forwarded event on a broker link. Forwards are sequenced per sender
+/// link session ({epoch, seq} with seq starting at 1): the receiver
+/// delivers in order exactly once, acknowledges cumulatively (BrokerAck),
+/// and drops duplicates/out-of-order frames, which the sender's
+/// log-backed go-back-N retransmission eventually fills in.
 struct EventForward {
   BrokerId tree_root;
   SpaceId space{0};
   std::vector<std::uint8_t> event;
+  std::uint64_t epoch{0};
+  std::uint64_t seq{0};
+};
+/// Cumulative acknowledgement of EventForward frames received on a link:
+/// "I have consumed every forward of yours up to seq under your epoch".
+struct BrokerAck {
+  std::uint64_t epoch{0};
+  std::uint64_t seq{0};
+};
+/// Link liveness probe; any inbound frame refreshes the link's activity
+/// clock, heartbeats just guarantee a minimum inbound rate on idle links so
+/// a silent partition is distinguishable from silence. It also advertises
+/// the sender's replay-window truncation point: if retention GC dropped
+/// unacked forwards, a receiver still waiting below that point would stall
+/// forever on a gap go-back-N can no longer fill — the heartbeat lets it
+/// skip ahead (accepting the recorded loss) and resume.
+struct LinkHeartbeat {
+  std::uint64_t epoch{0};
+  std::uint64_t truncated_through{0};
 };
 struct ErrorFrame {
   std::uint64_t token{0};
@@ -115,6 +154,8 @@ std::vector<std::uint8_t> encode(const UnsubPropagate&);
 std::vector<std::uint8_t> encode(const EventForward&);
 std::vector<std::uint8_t> encode(const ErrorFrame&);
 std::vector<std::uint8_t> encode(const Quench&);
+std::vector<std::uint8_t> encode(const BrokerAck&);
+std::vector<std::uint8_t> encode(const LinkHeartbeat&);
 
 /// Each decode throws CodecError on malformed input or type mismatch.
 HelloClient decode_hello_client(std::span<const std::uint8_t> frame);
@@ -131,5 +172,7 @@ UnsubPropagate decode_unsub_propagate(std::span<const std::uint8_t> frame);
 EventForward decode_event_forward(std::span<const std::uint8_t> frame);
 ErrorFrame decode_error(std::span<const std::uint8_t> frame);
 Quench decode_quench(std::span<const std::uint8_t> frame);
+BrokerAck decode_broker_ack(std::span<const std::uint8_t> frame);
+LinkHeartbeat decode_link_heartbeat(std::span<const std::uint8_t> frame);
 
 }  // namespace gryphon::wire

@@ -72,6 +72,67 @@ TEST(EventLog, SpaceTagPreserved) {
   EXPECT_EQ(log.unacknowledged().front()->space, SpaceId{7});
 }
 
+TEST(EventLog, CollectorRecordsTruncatedReplayWindow) {
+  // Retention GC dropping *unacknowledged* entries must not silently
+  // shrink the replay window: the gap is recorded so a reconnecting
+  // consumer can be told what it lost.
+  EventLog log;
+  log.append(SpaceId{0}, payload(1), 100);
+  log.append(SpaceId{0}, payload(2), 200);
+  log.append(SpaceId{0}, payload(3), 900);
+  EXPECT_EQ(log.truncated_through(), 0u);
+  EXPECT_EQ(log.collect(1000, 500), 2u);  // entries 1 and 2 die unacked
+  EXPECT_EQ(log.truncated_through(), 2u);
+  // A consumer resuming from seq 0 has a hole [1, 2]; one resuming from
+  // seq >= 2 lost nothing.
+  EXPECT_LT(0u, log.truncated_through());
+}
+
+TEST(EventLog, CollectingAcknowledgedEntriesIsNotTruncation) {
+  EventLog log;
+  log.append(SpaceId{0}, payload(1), 100);
+  log.append(SpaceId{0}, payload(2), 200);
+  log.acknowledge(2);
+  log.append(SpaceId{0}, payload(3), 900);
+  // Nothing unacked is old enough to die: no truncation.
+  EXPECT_EQ(log.collect(1000, 500), 0u);
+  EXPECT_EQ(log.truncated_through(), 0u);
+}
+
+TEST(EventLog, TruncationIsMonotonic) {
+  EventLog log;
+  for (std::uint8_t i = 1; i <= 4; ++i) {
+    log.append(SpaceId{0}, payload(i), static_cast<Ticks>(i) * 100);
+  }
+  EXPECT_EQ(log.collect(700, 500), 1u);  // entry 1 dies
+  EXPECT_EQ(log.truncated_through(), 1u);
+  EXPECT_EQ(log.collect(900, 500), 2u);  // entries 2 and 3 die
+  EXPECT_EQ(log.truncated_through(), 3u);
+}
+
+TEST(EventLog, DropAllCountsAndRecordsUnackedLoss) {
+  EventLog log;
+  for (std::uint8_t i = 1; i <= 5; ++i) log.append(SpaceId{0}, payload(i), i);
+  log.acknowledge(2);
+  EXPECT_EQ(log.drop_all(), 3u);  // 3, 4, 5 were unacked
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.truncated_through(), 5u);
+  // Sequence numbering continues across the purge.
+  EXPECT_EQ(log.append(SpaceId{0}, payload(6), 6), 6u);
+}
+
+TEST(EventLog, OriginTagPreservedForLinkLogs) {
+  // Broker-link logs stash the spanning-tree root so a replayed
+  // EventForward reconstructs the original frame.
+  EventLog log;
+  log.append(SpaceId{1}, payload(1), 1, BrokerId{7});
+  log.append(SpaceId{1}, payload(2), 2);  // client logs leave it invalid
+  const auto entries = log.unacknowledged();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0]->origin, BrokerId{7});
+  EXPECT_FALSE(entries[1]->origin.valid());
+}
+
 TEST(EventLog, ReplayAfterReconnectScenario) {
   // The paper's transient-failure story: deliveries 1-2 acked, client
   // disconnects, 3-5 accumulate, client reconnects having seen up to 2.

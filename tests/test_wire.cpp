@@ -18,14 +18,18 @@ TEST(Wire, HelloClientRoundTrip) {
 }
 
 TEST(Wire, HelloBrokerRoundTrip) {
-  const auto frame = encode(HelloBroker{BrokerId{5}});
+  const auto frame = encode(HelloBroker{BrokerId{5}, 0xabcdef12u, 0x1234u, 777u});
   const auto m = decode_hello_broker(frame);
   EXPECT_EQ(m.broker, BrokerId{5});
+  EXPECT_EQ(m.epoch, 0xabcdef12u);
+  EXPECT_EQ(m.peer_epoch_seen, 0x1234u);
+  EXPECT_EQ(m.peer_last_seq, 777u);
 }
 
 TEST(Wire, HelloAckRoundTrip) {
-  const auto m = decode_hello_ack(encode(HelloAck{99}));
+  const auto m = decode_hello_ack(encode(HelloAck{99, 42}));
   EXPECT_EQ(m.resume_from, 99u);
+  EXPECT_EQ(m.truncated_through, 42u);
 }
 
 TEST(Wire, SubscribeRoundTrip) {
@@ -68,9 +72,24 @@ TEST(Wire, SubPropagateRoundTrip) {
 
 TEST(Wire, EventForwardRoundTrip) {
   const std::vector<std::uint8_t> event_bytes = {1};
-  const auto m = decode_event_forward(encode(EventForward{BrokerId{11}, SpaceId{4}, event_bytes}));
+  const auto m = decode_event_forward(
+      encode(EventForward{BrokerId{11}, SpaceId{4}, event_bytes, 9001u, 17u}));
   EXPECT_EQ(m.tree_root, BrokerId{11});
   EXPECT_EQ(m.space, SpaceId{4});
+  EXPECT_EQ(m.epoch, 9001u);
+  EXPECT_EQ(m.seq, 17u);
+}
+
+TEST(Wire, BrokerAckRoundTrip) {
+  const auto m = decode_broker_ack(encode(BrokerAck{31337u, 12u}));
+  EXPECT_EQ(m.epoch, 31337u);
+  EXPECT_EQ(m.seq, 12u);
+}
+
+TEST(Wire, LinkHeartbeatRoundTrip) {
+  const auto m = decode_link_heartbeat(encode(LinkHeartbeat{88u, 6u}));
+  EXPECT_EQ(m.epoch, 88u);
+  EXPECT_EQ(m.truncated_through, 6u);
 }
 
 TEST(Wire, ErrorRoundTrip) {

@@ -1,0 +1,265 @@
+// Wire-codec robustness (docs/fault-tolerance.md): the decoder is the
+// broker's first line of defense against corrupt or hostile bytes, so it
+// must (a) round-trip every frame type faithfully and (b) reject truncated,
+// oversized, and garbage input with CodecError — never crash or read out of
+// bounds. The suite runs under the ASan/UBSan CI legs, which turn any OOB
+// access into a hard failure.
+#include "broker/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gryphon {
+namespace {
+
+using namespace wire;
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> out(rng.below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+std::string random_string(Rng& rng, std::size_t max_len) {
+  std::string out(rng.below(max_len + 1), '\0');
+  for (auto& c : out) c = static_cast<char>('a' + rng.below(26));
+  return out;
+}
+
+/// Decodes a frame with the decoder matching its type byte. Returns false
+/// when the type byte matches no frame (the caller expects a throw from
+/// peek_type-style handling instead).
+bool decode_by_type(const std::vector<std::uint8_t>& frame) {
+  switch (static_cast<FrameType>(frame.at(0))) {
+    case FrameType::kHelloClient: (void)decode_hello_client(frame); return true;
+    case FrameType::kHelloBroker: (void)decode_hello_broker(frame); return true;
+    case FrameType::kHelloAck: (void)decode_hello_ack(frame); return true;
+    case FrameType::kSubscribe: (void)decode_subscribe(frame); return true;
+    case FrameType::kSubscribeAck: (void)decode_subscribe_ack(frame); return true;
+    case FrameType::kUnsubscribe: (void)decode_unsubscribe(frame); return true;
+    case FrameType::kPublish: (void)decode_publish(frame); return true;
+    case FrameType::kDeliver: (void)decode_deliver(frame); return true;
+    case FrameType::kAck: (void)decode_ack(frame); return true;
+    case FrameType::kSubPropagate: (void)decode_sub_propagate(frame); return true;
+    case FrameType::kUnsubPropagate: (void)decode_unsub_propagate(frame); return true;
+    case FrameType::kEventForward: (void)decode_event_forward(frame); return true;
+    case FrameType::kError: (void)decode_error(frame); return true;
+    case FrameType::kQuench: (void)decode_quench(frame); return true;
+    case FrameType::kBrokerAck: (void)decode_broker_ack(frame); return true;
+    case FrameType::kLinkHeartbeat: (void)decode_link_heartbeat(frame); return true;
+  }
+  return false;
+}
+
+TEST(WireRobustness, RoundTripPropertyAllFrameTypes) {
+  Rng rng(0xf00dULL);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto u64 = [&] { return rng(); };
+    const auto space = [&] {
+      return SpaceId{static_cast<SpaceId::rep_type>(rng.below(1 << 16))};
+    };
+    const auto broker = [&] {
+      return BrokerId{static_cast<BrokerId::rep_type>(rng.below(1U << 31))};
+    };
+    const auto sub = [&] { return SubscriptionId{rng.between(-(1LL << 40), 1LL << 40)}; };
+
+    {
+      const HelloClient in{random_string(rng, 32), u64()};
+      const auto out = decode_hello_client(encode(in));
+      EXPECT_EQ(out.name, in.name);
+      EXPECT_EQ(out.last_seq, in.last_seq);
+    }
+    {
+      const HelloBroker in{broker(), u64(), u64(), u64()};
+      const auto out = decode_hello_broker(encode(in));
+      EXPECT_EQ(out.broker, in.broker);
+      EXPECT_EQ(out.epoch, in.epoch);
+      EXPECT_EQ(out.peer_epoch_seen, in.peer_epoch_seen);
+      EXPECT_EQ(out.peer_last_seq, in.peer_last_seq);
+    }
+    {
+      const HelloAck in{u64(), u64()};
+      const auto out = decode_hello_ack(encode(in));
+      EXPECT_EQ(out.resume_from, in.resume_from);
+      EXPECT_EQ(out.truncated_through, in.truncated_through);
+    }
+    {
+      const SubscribeReq in{u64(), space(), random_bytes(rng, 64)};
+      const auto out = decode_subscribe(encode(in));
+      EXPECT_EQ(out.token, in.token);
+      EXPECT_EQ(out.space, in.space);
+      EXPECT_EQ(out.subscription, in.subscription);
+    }
+    {
+      const SubscribeAck in{u64(), sub()};
+      const auto out = decode_subscribe_ack(encode(in));
+      EXPECT_EQ(out.token, in.token);
+      EXPECT_EQ(out.id, in.id);
+    }
+    {
+      const Unsubscribe in{sub()};
+      EXPECT_EQ(decode_unsubscribe(encode(in)).id, in.id);
+    }
+    {
+      const Publish in{space(), random_bytes(rng, 64)};
+      const auto out = decode_publish(encode(in));
+      EXPECT_EQ(out.space, in.space);
+      EXPECT_EQ(out.event, in.event);
+    }
+    {
+      const Deliver in{u64(), space(), random_bytes(rng, 64)};
+      const auto out = decode_deliver(encode(in));
+      EXPECT_EQ(out.seq, in.seq);
+      EXPECT_EQ(out.space, in.space);
+      EXPECT_EQ(out.event, in.event);
+    }
+    {
+      const Ack in{u64()};
+      EXPECT_EQ(decode_ack(encode(in)).seq, in.seq);
+    }
+    {
+      const SubPropagate in{sub(), broker(), space(), random_bytes(rng, 64)};
+      const auto out = decode_sub_propagate(encode(in));
+      EXPECT_EQ(out.id, in.id);
+      EXPECT_EQ(out.owner, in.owner);
+      EXPECT_EQ(out.space, in.space);
+      EXPECT_EQ(out.subscription, in.subscription);
+    }
+    {
+      const UnsubPropagate in{sub()};
+      EXPECT_EQ(decode_unsub_propagate(encode(in)).id, in.id);
+    }
+    {
+      const EventForward in{broker(), space(), random_bytes(rng, 64), u64(), u64()};
+      const auto out = decode_event_forward(encode(in));
+      EXPECT_EQ(out.tree_root, in.tree_root);
+      EXPECT_EQ(out.space, in.space);
+      EXPECT_EQ(out.event, in.event);
+      EXPECT_EQ(out.epoch, in.epoch);
+      EXPECT_EQ(out.seq, in.seq);
+    }
+    {
+      const BrokerAck in{u64(), u64()};
+      const auto out = decode_broker_ack(encode(in));
+      EXPECT_EQ(out.epoch, in.epoch);
+      EXPECT_EQ(out.seq, in.seq);
+    }
+    {
+      const LinkHeartbeat in{u64(), u64()};
+      const auto out = decode_link_heartbeat(encode(in));
+      EXPECT_EQ(out.epoch, in.epoch);
+      EXPECT_EQ(out.truncated_through, in.truncated_through);
+    }
+    {
+      const ErrorFrame in{u64(), random_string(rng, 48)};
+      const auto out = decode_error(encode(in));
+      EXPECT_EQ(out.token, in.token);
+      EXPECT_EQ(out.message, in.message);
+    }
+    {
+      const Quench in{space(), rng.chance(0.5)};
+      const auto out = decode_quench(encode(in));
+      EXPECT_EQ(out.space, in.space);
+      EXPECT_EQ(out.has_subscribers, in.has_subscribers);
+    }
+  }
+}
+
+TEST(WireRobustness, EveryStrictPrefixThrows) {
+  // Each decoder consumes its payload exactly, so a frame missing even one
+  // trailing byte must be rejected — no partial parses, no OOB reads.
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      encode(HelloClient{"truncate-me", 17}),
+      encode(HelloBroker{BrokerId{3}, 1, 2, 3}),
+      encode(HelloAck{5, 2}),
+      encode(SubscribeReq{9, SpaceId{1}, {1, 2, 3, 4}}),
+      encode(SubscribeAck{9, SubscriptionId{1234}}),
+      encode(Unsubscribe{SubscriptionId{-5}}),
+      encode(Publish{SpaceId{0}, {9, 9, 9}}),
+      encode(Deliver{7, SpaceId{0}, {1}}),
+      encode(Ack{21}),
+      encode(SubPropagate{SubscriptionId{8}, BrokerId{2}, SpaceId{0}, {3, 3}}),
+      encode(UnsubPropagate{SubscriptionId{8}}),
+      encode(EventForward{BrokerId{1}, SpaceId{0}, {5, 5}, 11, 12}),
+      encode(BrokerAck{11, 12}),
+      encode(LinkHeartbeat{11, 3}),
+      encode(ErrorFrame{1, "boom"}),
+      encode(Quench{SpaceId{2}, true}),
+  };
+  EXPECT_THROW(peek_type(std::span<const std::uint8_t>{}), CodecError);
+  for (const auto& frame : frames) {
+    // len = 0 is peek_type's empty-frame path (checked once above); from 1
+    // on the type byte survives, so the matching field decoder runs and
+    // must reject the incomplete payload.
+    for (std::size_t len = 1; len < frame.size(); ++len) {
+      const std::vector<std::uint8_t> prefix(
+          frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(len));
+      EXPECT_THROW((void)decode_by_type(prefix), CodecError)
+          << "frame type " << static_cast<unsigned>(frame[0]) << " prefix length " << len;
+    }
+  }
+}
+
+TEST(WireRobustness, OversizedLengthPrefixThrows) {
+  // A length prefix larger than the remaining buffer must throw, not read
+  // past the end. Layout: type byte, u16 space, u32 payload length.
+  std::vector<std::uint8_t> frame = {
+      static_cast<std::uint8_t>(FrameType::kPublish), 0x00, 0x00,
+      0xff, 0xff, 0xff, 0xff,  // length = 2^32 - 1
+      0x01, 0x02, 0x03};
+  EXPECT_THROW(decode_publish(frame), CodecError);
+
+  // Same for a string field (HelloClient: type byte then string length).
+  std::vector<std::uint8_t> hello = {
+      static_cast<std::uint8_t>(FrameType::kHelloClient),
+      0xf0, 0xff, 0xff, 0xff,  // string length just under 2^32
+      'h', 'i'};
+  EXPECT_THROW(decode_hello_client(hello), CodecError);
+}
+
+TEST(WireRobustness, GarbageBuffersNeverCrash) {
+  // Fuzz every decoder with random buffers: any outcome except a clean
+  // parse must be CodecError. ASan/UBSan legs verify no OOB underneath.
+  Rng rng(0xdeadbeefULL);
+  std::size_t parsed = 0;
+  std::size_t rejected = 0;
+  for (int iter = 0; iter < 5000; ++iter) {
+    auto buffer = random_bytes(rng, 48);
+    if (!buffer.empty()) {
+      // Bias half the runs toward valid type bytes so the field decoders
+      // actually get exercised instead of failing at the type check.
+      if (rng.chance(0.5)) buffer[0] = static_cast<std::uint8_t>(1 + rng.below(16));
+    }
+    try {
+      if (buffer.empty()) {
+        (void)peek_type(buffer);
+        FAIL() << "peek_type accepted an empty frame";
+      } else if (decode_by_type(buffer)) {
+        ++parsed;
+      } else {
+        ++rejected;  // type byte outside the protocol: nothing to decode
+      }
+    } catch (const CodecError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  // Tiny frames with a no-payload-ish type can legitimately parse; the
+  // point is that nothing else escaped.
+  EXPECT_EQ(parsed + rejected, 5000u);
+}
+
+TEST(WireRobustness, TypeConfusionThrows) {
+  // Well-formed frame, wrong decoder: must throw, not misparse.
+  const auto frame = encode(BrokerAck{1, 2});
+  EXPECT_THROW((void)decode_event_forward(frame), CodecError);
+  EXPECT_THROW((void)decode_hello_broker(frame), CodecError);
+  EXPECT_THROW((void)decode_ack(frame), CodecError);
+}
+
+}  // namespace
+}  // namespace gryphon

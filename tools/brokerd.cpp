@@ -6,11 +6,19 @@
 //           --schema "trades issue:string price:double volume:int" ...
 //           [--schema "alarms severity:int"]... ...
 //           [--gc-seconds 3600] [--match-threads N|auto] [--verbose]
+//           [--link-rto-ms 50] [--link-heartbeat-ms 500]
+//           [--link-idle-timeout-ms 2000] [--redial-backoff-ms 20]
+//           [--redial-backoff-max-ms 5000] [--redial-budget 0]
 //
 // Every broker in the network must be given the same --brokers/--links
 // topology and the same --schema list (information spaces are positional).
 // A broker dials the peers listed in --dial; the peer side accepts
 // automatically, so each link should be dialed from exactly one end.
+// Dialed links are supervised (docs/fault-tolerance.md): heartbeats keep
+// them alive, a link idle past --link-idle-timeout-ms is dropped and
+// redialed with exponential backoff, and after --redial-budget consecutive
+// failures (0 = never) the link is declared dead and forwards to it are
+// dropped with a counter instead of queueing forever.
 //
 // Example three-node line on one machine:
 //   brokerd --id 0 --brokers 3 --links 0-1,1-2 --listen 7000 --schema "t a:int" &
@@ -18,14 +26,17 @@
 //           --dial 0=127.0.0.1:7000 --schema "t a:int" &
 //   brokerd --id 2 --brokers 3 --links 0-1,1-2 --listen 7002 ...
 //           --dial 1=127.0.0.1:7001 --schema "t a:int" &
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <thread>
+#include <unordered_map>
 
 #include "broker/broker.h"
+#include "broker/link_supervisor.h"
 #include "broker/tcp_transport.h"
 #include "common/logging.h"
 #include "tool_config.h"
@@ -50,7 +61,10 @@ struct Relay : TransportHandler {
   std::fprintf(stderr,
                "usage: %s --id N --brokers N --links \"0-1:10,...\" --listen PORT\n"
                "          [--dial ID=HOST:PORT]... --schema \"NAME attr:type ...\" ...\n"
-               "          [--gc-seconds N] [--match-threads N|auto] [--verbose]\n",
+               "          [--gc-seconds N] [--match-threads N|auto] [--verbose]\n"
+               "          [--link-rto-ms N] [--link-heartbeat-ms N]\n"
+               "          [--link-idle-timeout-ms N] [--redial-backoff-ms N]\n"
+               "          [--redial-backoff-max-ms N] [--redial-budget N]\n",
                argv0);
   std::exit(2);
 }
@@ -67,6 +81,12 @@ int main(int argc, char** argv) {
   int gc_seconds = 3600;
   std::string match_threads = "0";
   bool verbose = false;
+  int link_rto_ms = 50;
+  int link_heartbeat_ms = 500;
+  int link_idle_timeout_ms = 2000;
+  int redial_backoff_ms = 20;
+  int redial_backoff_max_ms = 5000;
+  int redial_budget = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -83,6 +103,12 @@ int main(int argc, char** argv) {
     else if (arg == "--gc-seconds") gc_seconds = std::atoi(next().c_str());
     else if (arg == "--match-threads") match_threads = next();
     else if (arg == "--verbose") verbose = true;
+    else if (arg == "--link-rto-ms") link_rto_ms = std::atoi(next().c_str());
+    else if (arg == "--link-heartbeat-ms") link_heartbeat_ms = std::atoi(next().c_str());
+    else if (arg == "--link-idle-timeout-ms") link_idle_timeout_ms = std::atoi(next().c_str());
+    else if (arg == "--redial-backoff-ms") redial_backoff_ms = std::atoi(next().c_str());
+    else if (arg == "--redial-backoff-max-ms") redial_backoff_max_ms = std::atoi(next().c_str());
+    else if (arg == "--redial-budget") redial_budget = std::atoi(next().c_str());
     else usage(argv[0], ("unknown argument " + arg).c_str());
   }
   if (id < 0) usage(argv[0], "--id is required");
@@ -100,6 +126,8 @@ int main(int argc, char** argv) {
     Broker::Options options;
     options.log_retention = ticks_from_seconds(gc_seconds);
     options.match_threads = tools::parse_thread_count(match_threads);
+    options.link_retransmit_timeout = ticks_from_millis(link_rto_ms);
+    options.link_heartbeat_interval = ticks_from_millis(link_heartbeat_ms);
     Relay relay;
     TcpTransport transport(relay);
     Broker broker(BrokerId{id}, topology, spaces, transport, options);
@@ -110,13 +138,40 @@ int main(int argc, char** argv) {
         "%zu match threads)\n",
         id, port, spaces.size(), static_cast<std::size_t>(brokers), options.match_threads);
 
+    // Dialed links are owned by the supervisor: it makes the initial dial
+    // on its first tick and keeps redialing (with backoff) whenever the
+    // link drops or goes idle, so a peer that is down at startup or dies
+    // mid-run no longer takes this broker with it.
+    std::unordered_map<BrokerId, tools::DialTarget> dial_targets;
     for (const std::string& spec : dials) {
       const auto target = tools::parse_dial_spec(spec);
-      const ConnId conn = transport.connect(target.host, target.port);
-      broker.attach_broker_link(conn, target.peer);
-      std::printf("brokerd: linked to broker %d at %s:%u\n", target.peer.value,
-                  target.host.c_str(), target.port);
+      dial_targets[target.peer] = target;
     }
+    LinkSupervisor::Options sup_options;
+    sup_options.idle_timeout = ticks_from_millis(link_idle_timeout_ms);
+    sup_options.backoff_initial = ticks_from_millis(redial_backoff_ms);
+    sup_options.backoff_max = ticks_from_millis(redial_backoff_max_ms);
+    sup_options.redial_budget = static_cast<std::uint32_t>(redial_budget);
+    LinkSupervisor supervisor(
+        broker,
+        [&](BrokerId peer) -> ConnId {
+          const auto it = dial_targets.find(peer);
+          if (it == dial_targets.end()) return kInvalidConn;
+          try {
+            const ConnId conn = transport.connect(it->second.host, it->second.port);
+            std::printf("brokerd: linked to broker %d at %s:%u\n", peer.value,
+                        it->second.host.c_str(), it->second.port);
+            return conn;
+          } catch (const std::exception& e) {
+            GRYPHON_WARN("brokerd") << "dial to broker " << peer.value
+                                    << " failed: " << e.what();
+            return kInvalidConn;
+          }
+        },
+        sup_options);
+    for (const auto& [peer, target] : dial_targets) supervisor.supervise(peer);
+    supervisor.start(std::chrono::milliseconds(
+        std::max(1, std::min(link_heartbeat_ms, link_idle_timeout_ms) / 4)));
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
@@ -132,6 +187,7 @@ int main(int argc, char** argv) {
         last_gc = now;
       }
     }
+    supervisor.stop();
     const auto stats = broker.stats();
     std::printf(
         "brokerd: shutting down (published=%llu relayed=%llu forwarded=%llu delivered=%llu "
@@ -141,6 +197,14 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.events_forwarded),
         static_cast<unsigned long long>(stats.events_delivered),
         static_cast<unsigned long long>(stats.subscriptions_active));
+    std::printf(
+        "brokerd: link health (retransmits=%llu duplicates_dropped=%llu link_flaps=%llu "
+        "frames_rejected=%llu forwards_dropped_dead_link=%llu)\n",
+        static_cast<unsigned long long>(stats.retransmits),
+        static_cast<unsigned long long>(stats.duplicates_dropped),
+        static_cast<unsigned long long>(stats.link_flaps),
+        static_cast<unsigned long long>(stats.frames_rejected),
+        static_cast<unsigned long long>(stats.forwards_dropped_dead_link));
     transport.shutdown();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "brokerd: %s\n", e.what());

@@ -4,10 +4,11 @@
 # matching kernels, and the static-analysis lint leg (plane-separation
 # checker + clang-tidy). See docs/static-analysis.md for the full matrix.
 #
-#   tools/ci.sh             # release + asan + ubsan + tsan + perf + lint
+#   tools/ci.sh             # release + asan + ubsan + tsan + chaos + perf + lint
 #   tools/ci.sh release     # just the release leg
 #   tools/ci.sh tsan        # just the ThreadSanitizer leg
 #   tools/ci.sh asan ubsan  # any subset, in order
+#   tools/ci.sh chaos       # fault-injection sweep over extra seeds
 #
 # The TSan leg runs the tests labeled `concurrency` (the snapshot /
 # worker-pipeline races are what TSan is here to catch); the ASan, UBSan
@@ -25,7 +26,7 @@ JOBS="${JOBS:-$(nproc)}"
 if [[ $# -gt 0 ]]; then
   LEGS=("$@")
 else
-  LEGS=(release asan ubsan tsan perf lint)
+  LEGS=(release asan ubsan tsan chaos perf lint)
 fi
 
 # NOLINT budget enforced alongside clang-tidy (policy in .clang-tidy).
@@ -74,10 +75,11 @@ run_leg() {
     asan)    dir=build-asan     sanitize="address"   ;;
     ubsan)   dir=build-ubsan    sanitize="undefined" ;;
     tsan)    dir=build-tsan     sanitize="thread"    ;;
+    chaos)   dir=build          sanitize=""          ;;
     perf)    dir=build          sanitize=""          ;;
     lint)    run_lint; return ;;
     *)
-      echo "ci.sh: unknown leg '$leg' (release|asan|ubsan|tsan|perf|lint)" >&2
+      echo "ci.sh: unknown leg '$leg' (release|asan|ubsan|tsan|chaos|perf|lint)" >&2
       exit 2
       ;;
   esac
@@ -85,6 +87,21 @@ run_leg() {
   echo "=== [$leg] configure + build ==="
   cmake -B "$dir" -S . -DGRYPHON_SANITIZE="$sanitize" >/dev/null
   cmake --build "$dir" -j "$JOBS"
+
+  if [[ "$leg" == chaos ]]; then
+    # Fault-injection sweep (docs/fault-tolerance.md): the chaos suite runs
+    # its three baked-in seeds every time; GRYPHON_CHAOS_SEED adds one more
+    # per pass, so this leg widens the explored fault schedules on every
+    # run while staying reproducible from the log.
+    # Run the binary directly: ctest pins --gtest_filter to the test names
+    # discovered at build time, which would silently skip the env seed's
+    # instantiations.
+    for seed in 11 42 20260806; do
+      echo "=== [chaos] fault-injection suite, extra seed $seed ==="
+      GRYPHON_CHAOS_SEED="$seed" "$dir/tests/chaos_tests"
+    done
+    return
+  fi
 
   if [[ "$leg" == perf ]]; then
     echo "=== [perf] kernel smoke: micro_bench compiled vs mutable ==="
