@@ -1,22 +1,32 @@
-// Multithreaded matching throughput: N threads dispatching events against
-// one BrokerCore snapshot concurrently, sweeping the thread count.
+// Multithreaded matching throughput: N threads dispatching event batches
+// against one sharded BrokerCore snapshot concurrently, sweeping
+// threads = shards.
 //
-// The dispatch path shares no mutable state — readers pin an immutable
-// snapshot (one pointer copy under a tiny lock) whose buckets hold the
-// compiled flat kernel (matching/compiled_pst.h) and carry their own
-// MatchScratch — so throughput should scale linearly until
-// the machine runs out of cores. The sweep intentionally runs past the
-// hardware concurrency (recorded in the JSON) so oversubscribed points are
-// identifiable: on a 1-core container every multi-thread point is
-// timeslicing, not parallelism, and speedups stay ~1.
+// The dispatch path shares no mutable state — each batch pins an immutable
+// snapshot (one pointer copy under a tiny lock) whose per-shard buckets
+// hold the compiled flat kernel (matching/compiled_pst.h), and every
+// DispatchBatch owns its MatchScratch — so throughput should scale
+// linearly until the machine runs out of cores. The schema is factored
+// (factoring_levels = 2) so the compiled state actually partitions into
+// shards; each point rebuilds the core with shards = threads and reports
+// how many events landed in each shard (Decision::shard).
+//
+// Honesty contract: scaling numbers are only claims about parallel
+// hardware. When hardware_concurrency < threads the point is
+// oversubscribed timeslicing, and on a 1-core (or unknown-concurrency)
+// host no point is parallel at all, so the JSON carries
+// "scaling_valid": false plus a human-readable "results_invalid_reason",
+// speedup columns are suppressed, and downstream tooling (ci.sh perf leg)
+// skips regression comparison entirely.
 //
 // Writes BENCH_mt_throughput.json to the working directory.
 //
-// Usage: mt_throughput [subscriptions] [duration_ms_per_point]
+// Usage: mt_throughput [subscriptions] [duration_ms_per_point] [max_threads]
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -27,34 +37,67 @@
 namespace gryphon {
 namespace {
 
+constexpr std::size_t kBatchSize = 32;
+
 struct Point {
   std::size_t threads;
+  std::size_t shards;
   std::uint64_t events;
   double seconds;
+  std::vector<std::uint64_t> per_shard_events;
   [[nodiscard]] double events_per_sec() const {
     return static_cast<double>(events) / seconds;
   }
 };
 
-Point run_point(const BrokerCore& core, const std::vector<Event>& pool,
+/// Builds a core whose factored space is partitioned into `shards`
+/// data-plane shards, loaded with the same deterministic subscription set
+/// at every point of the sweep.
+std::unique_ptr<BrokerCore> make_core(const SchemaPtr& schema, const BrokerNetwork& topo,
+                                      std::size_t n_subs, std::size_t shards) {
+  PstMatcherOptions matcher;
+  matcher.factoring_levels = 2;  // shard_of() partitions by factoring key
+  auto core = std::make_unique<BrokerCore>(BrokerId{1}, topo,
+                                           std::vector<SchemaPtr>{schema}, matcher, shards);
+  Rng rng(4242);
+  SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.95, 0.85, 1.0});
+  for (std::size_t i = 0; i < n_subs; ++i) {
+    const BrokerId owner{static_cast<BrokerId::rep_type>(rng.below(3))};
+    core->add_subscription(SpaceId{0}, SubscriptionId{static_cast<std::int64_t>(i)},
+                           gen.generate(rng), owner);
+  }
+  return core;
+}
+
+Point run_point(const SchemaPtr& schema, const BrokerNetwork& topo,
+                const std::vector<Event>& pool, std::size_t n_subs,
                 std::size_t n_threads, int duration_ms) {
+  const auto core = make_core(schema, topo, n_subs, n_threads);
+  const std::size_t shard_count = core->shard_count(SpaceId{0});
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> total{0};
+  std::vector<std::vector<std::uint64_t>> shard_counts(
+      n_threads, std::vector<std::uint64_t>(shard_count, 0));
   std::vector<std::thread> threads;
   threads.reserve(n_threads);
   bench::Stopwatch watch;
   for (std::size_t t = 0; t < n_threads; ++t) {
     threads.emplace_back([&, t] {
-      MatchScratch scratch;  // per-thread memoization arena
+      DispatchBatch batch;  // owns the per-thread memoization arena
+      std::vector<std::uint64_t>& my_shards = shard_counts[t];
       std::uint64_t local = 0;
       std::size_t i = t * 7919;  // decorrelate the event streams
       while (!stop.load(std::memory_order_relaxed)) {
-        for (int burst = 0; burst < 32; ++burst) {
-          const Event& e = pool[i++ % pool.size()];
-          const auto d = core.dispatch(SpaceId{0}, e, BrokerId{0}, scratch);
-          if (d.steps == 0 && !d.forward.empty()) std::abort();  // keep `d` live
-          ++local;
+        batch.clear();
+        for (std::size_t b = 0; b < kBatchSize; ++b) {
+          batch.add(SpaceId{0}, pool[i++ % pool.size()], BrokerId{0});
         }
+        const std::span<const Decision> decisions = core->dispatch(batch);
+        for (const Decision& d : decisions) {
+          if (d.steps == 0 && !d.forward.empty()) std::abort();  // keep `d` live
+          ++my_shards[d.shard];
+        }
+        local += decisions.size();
       }
       total.fetch_add(local, std::memory_order_relaxed);
     });
@@ -62,7 +105,12 @@ Point run_point(const BrokerCore& core, const std::vector<Event>& pool,
   std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
   stop.store(true, std::memory_order_relaxed);
   for (auto& th : threads) th.join();
-  return Point{n_threads, total.load(), watch.seconds()};
+  Point p{n_threads, shard_count, total.load(), watch.seconds(), {}};
+  p.per_shard_events.assign(shard_count, 0);
+  for (const auto& counts : shard_counts) {
+    for (std::size_t s = 0; s < shard_count; ++s) p.per_shard_events[s] += counts[s];
+  }
+  return p;
 }
 
 }  // namespace
@@ -73,53 +121,58 @@ int main(int argc, char** argv) {
   const std::size_t n_subs =
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 10000;
   const int duration_ms = argc > 2 ? std::atoi(argv[2]) : 1000;
+  const std::size_t max_threads =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 16;
 
   const auto schema = make_synthetic_schema(8, 4);
   const BrokerNetwork topo = make_line(3, 10, 0, 1);
-  BrokerCore core(BrokerId{1}, topo, {schema});
 
-  Rng rng(4242);
-  SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.95, 0.85, 1.0});
-  for (std::size_t i = 0; i < n_subs; ++i) {
-    const BrokerId owner{static_cast<BrokerId::rep_type>(rng.below(3))};
-    core.add_subscription(SpaceId{0}, SubscriptionId{static_cast<std::int64_t>(i)},
-                          gen.generate(rng), owner);
-  }
+  Rng rng(99);
   EventGenerator events(schema);
   std::vector<Event> pool;
   pool.reserve(4096);
   for (std::size_t i = 0; i < 4096; ++i) pool.push_back(events.generate(rng));
 
   const unsigned hw = std::thread::hardware_concurrency();
-  // With a single core (or when hardware_concurrency is unknown, reported as
-  // 0) every multi-thread point is pure timeslicing: speedups are
-  // meaningless, so the table column is suppressed and the JSON carries
-  // "scaling_valid": false for downstream tooling.
+  // With a single core (or when hardware_concurrency is unknown, reported
+  // as 0) every multi-thread point is pure timeslicing, so no scaling
+  // claim is published at all; on real multi-core hosts, only points with
+  // threads <= hardware_concurrency carry a speedup.
   const bool scaling_valid = hw > 1;
-  bench::print_header("Multithreaded dispatch throughput (snapshot pinning)");
-  std::printf("subscriptions=%zu  hardware_concurrency=%u  per-point duration=%dms\n",
-              n_subs, hw, duration_ms);
+  const char* invalid_reason =
+      hw == 0 ? "hardware_concurrency unknown (reported 0): parallelism unmeasurable"
+              : "single hardware thread: multi-thread points are timeslicing, not scaling";
+  bench::print_header("Multithreaded sharded batch dispatch throughput");
+  std::printf(
+      "subscriptions=%zu  hardware_concurrency=%u  per-point duration=%dms  "
+      "batch=%zu  shards=threads\n",
+      n_subs, hw, duration_ms, kBatchSize);
   if (!scaling_valid) {
-    std::printf("single hardware thread: scaling numbers are not meaningful "
-                "(scaling_valid=false)\n");
-    std::printf("%8s %16s %14s\n", "threads", "events", "events/sec");
+    std::printf("%s (scaling_valid=false)\n", invalid_reason);
+    std::printf("%8s %8s %16s %14s\n", "threads", "shards", "events", "events/sec");
   } else {
-    std::printf("%8s %16s %14s %10s\n", "threads", "events", "events/sec", "speedup");
+    std::printf("%8s %8s %16s %14s %10s\n", "threads", "shards", "events", "events/sec",
+                "speedup");
   }
 
   std::vector<Point> points;
   double base = 0.0;
   for (const std::size_t t : {1u, 2u, 4u, 8u, 16u}) {
-    const Point p = run_point(core, pool, t, duration_ms);
+    if (t > max_threads) continue;
+    const Point p = run_point(schema, topo, pool, n_subs, t, duration_ms);
     if (t == 1) base = p.events_per_sec();
     points.push_back(p);
     if (!scaling_valid) {
-      std::printf("%8zu %16llu %14.0f\n", p.threads,
+      std::printf("%8zu %8zu %16llu %14.0f\n", p.threads, p.shards,
                   static_cast<unsigned long long>(p.events), p.events_per_sec());
-    } else {
-      std::printf("%8zu %16llu %14.0f %9.2fx\n", p.threads,
+    } else if (p.threads <= hw) {
+      std::printf("%8zu %8zu %16llu %14.0f %9.2fx\n", p.threads, p.shards,
                   static_cast<unsigned long long>(p.events), p.events_per_sec(),
                   p.events_per_sec() / base);
+    } else {
+      std::printf("%8zu %8zu %16llu %14.0f %10s\n", p.threads, p.shards,
+                  static_cast<unsigned long long>(p.events), p.events_per_sec(),
+                  "oversub");
     }
   }
 
@@ -131,23 +184,37 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "{\n  \"bench\": \"mt_throughput\",\n"
                "  \"kernel\": \"compiled\",\n"
+               "  \"dispatch\": \"sharded_batch\",\n"
                "  \"hardware_concurrency\": %u,\n"
-               "  \"scaling_valid\": %s,\n"
+               "  \"scaling_valid\": %s,\n",
+               hw, scaling_valid ? "true" : "false");
+  if (!scaling_valid) {
+    std::fprintf(out, "  \"results_invalid_reason\": \"%s\",\n", invalid_reason);
+  }
+  std::fprintf(out,
                "  \"subscriptions\": %zu,\n"
                "  \"duration_ms_per_point\": %d,\n"
+               "  \"batch_size\": %zu,\n"
                "  \"results\": [\n",
-               hw, scaling_valid ? "true" : "false", n_subs, duration_ms);
+               n_subs, duration_ms, kBatchSize);
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     std::fprintf(out,
-                 "    {\"threads\": %zu, \"events\": %llu, \"seconds\": %.4f, "
-                 "\"events_per_sec\": %.1f",
-                 p.threads, static_cast<unsigned long long>(p.events), p.seconds,
+                 "    {\"threads\": %zu, \"shards\": %zu, \"events\": %llu, "
+                 "\"seconds\": %.4f, \"events_per_sec\": %.1f",
+                 p.threads, p.shards, static_cast<unsigned long long>(p.events), p.seconds,
                  p.events_per_sec());
-    if (scaling_valid) {
+    // A speedup is a parallel-hardware claim: emitted only when this host
+    // can actually run the point's threads simultaneously.
+    if (scaling_valid && p.threads <= hw) {
       std::fprintf(out, ", \"speedup_vs_1\": %.3f", p.events_per_sec() / base);
     }
-    std::fprintf(out, "}%s\n", i + 1 < points.size() ? "," : "");
+    std::fprintf(out, ", \"per_shard_events\": [");
+    for (std::size_t s = 0; s < p.per_shard_events.size(); ++s) {
+      std::fprintf(out, "%s%llu", s == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(p.per_shard_events[s]));
+    }
+    std::fprintf(out, "]}%s\n", i + 1 < points.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

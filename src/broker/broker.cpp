@@ -26,7 +26,7 @@ std::uint64_t derive_session_epoch(BrokerId self) {
 
 Broker::Broker(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaPtr> spaces,
                Transport& transport, Options options)
-    : core_(self, topology, std::move(spaces), options.matcher),
+    : core_(self, topology, std::move(spaces), options.matcher, options.shards),
       transport_(&transport),
       options_(std::move(options)),
       session_epoch_(options_.session_epoch != 0 ? options_.session_epoch
@@ -78,11 +78,14 @@ void Broker::sync_subscriptions_to(ConnId conn) {
   // answers tombstoned ids with an UnsubPropagate, so resending after a
   // reconnect is harmless, subscriptions registered while the link was down
   // still reach everyone, and stale replicas get reconciled away.
+  std::vector<std::vector<std::uint8_t>> frames;
   core_.for_each_subscription([&](SpaceId space, SubscriptionId id, BrokerId owner,
                                   const Subscription& subscription) {
-    transport_->send(conn, wire::encode(wire::SubPropagate{
-                               id, owner, space, encode_subscription(subscription)}));
+    frames.push_back(wire::encode(
+        wire::SubPropagate{id, owner, space, encode_subscription(subscription)}));
   });
+  // The whole replica set goes out as one coalesced flush.
+  if (!frames.empty()) transport_->send_batch(conn, std::move(frames));
 }
 
 void Broker::on_connect(ConnId conn) {
@@ -246,15 +249,16 @@ void Broker::replay_forwards_to(LinkSession& session, const wire::HelloBroker& h
   const std::uint64_t peer_known =
       hello.peer_epoch_seen == session_epoch_ ? hello.peer_last_seq : 0;
   if (baseline > peer_known) {
-    transport_->send(session.conn,
-                     wire::encode(wire::LinkHeartbeat{session_epoch_, baseline}));
+    queue_link_frame(session, wire::encode(wire::LinkHeartbeat{session_epoch_, baseline}));
   }
   for (const EventLog::Entry* entry : session.out_log.unacknowledged(baseline)) {
-    transport_->send(session.conn,
+    queue_link_frame(session,
                      wire::encode(wire::EventForward{entry->origin, entry->space, entry->event,
                                                      session_epoch_, entry->seq}));
     ++stats_.retransmits;
   }
+  // One coalesced flush for the baseline + replay suffix.
+  flush_link_egress();
   session.last_send = now();
   session.last_resend = now();
 }
@@ -447,8 +451,14 @@ void Broker::send_broker_ack(LinkSession& session) {
 void Broker::process_event(SpaceId space, const std::vector<std::uint8_t>& encoded,
                            BrokerId tree_root) {
   if (workers_.empty()) {
+    // Deterministic mode: a one-event batch through the same batch-first
+    // dispatch path the workers use, applied and flushed inline.
     const Event event = decode_event(core_.schema(space), encoded);
-    apply_decision(space, encoded, tree_root, core_.dispatch(space, event, tree_root));
+    sync_batch_.clear();
+    sync_batch_.add(space, event, tree_root);
+    const std::span<const BrokerCore::Decision> decisions = core_.dispatch(sync_batch_);
+    apply_decision(space, encoded, tree_root, decisions[0]);
+    flush_link_egress();
     return;
   }
   {
@@ -460,33 +470,70 @@ void Broker::process_event(SpaceId space, const std::vector<std::uint8_t>& encod
 }
 
 void Broker::worker_loop() {
-  // One memoization arena per worker; the dispatch itself runs against the
-  // core's immutable snapshot, entirely outside the broker mutex.
-  MatchScratch scratch;
+  // Per-worker batch context (it owns the memoization arena); the dispatch
+  // itself runs against the core's immutable snapshot, entirely outside
+  // the broker mutex.
+  const std::size_t batch_max = std::max<std::size_t>(1, options_.match_batch_max);
+  DispatchBatch batch;
+  std::vector<PendingEvent> items;
+  std::vector<Event> events;
+  std::vector<std::size_t> staged;  // item index per staged (decodable) event
   for (;;) {
-    PendingEvent item;
+    items.clear();
     {
       MutexUniqueLock qlock(queue_mutex_);
       while (!stop_ && queue_.empty()) queue_cv_.wait(qlock.native());
       if (queue_.empty()) return;  // stopping and drained
-      item = std::move(queue_.front());
-      queue_.pop_front();
+      const std::size_t take = std::min(queue_.size(), batch_max);
+      for (std::size_t i = 0; i < take; ++i) {
+        items.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
     }
-    try {
-      const Event event = decode_event(core_.schema(item.space), item.encoded);
-      const BrokerCore::Decision decision =
-          core_.dispatch(item.space, event, item.tree_root, scratch);
+    // Decode and validate the whole batch outside all locks. Bad events
+    // (undecodable payload, unknown tree root off the wire) are rejected
+    // individually so they cannot poison the rest of the batch.
+    std::size_t rejected = 0;
+    events.clear();
+    events.reserve(items.size());  // no reallocation: the batch borrows &events[i]
+    staged.clear();
+    batch.clear();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (!core_.known_tree_root(items[i].tree_root)) {
+        GRYPHON_WARN("broker") << "broker " << core_.self()
+                               << ": dropping event with unknown tree root "
+                               << items[i].tree_root;
+        ++rejected;
+        continue;
+      }
+      try {
+        events.push_back(decode_event(core_.schema(items[i].space), items[i].encoded));
+      } catch (const std::exception& e) {
+        GRYPHON_WARN("broker") << "broker " << core_.self()
+                               << ": dropping undecodable event: " << e.what();
+        ++rejected;
+        continue;
+      }
+      batch.add(items[i].space, events.back(), items[i].tree_root);
+      staged.push_back(i);
+    }
+    // One snapshot pin and one shard-grouped match pass for the batch...
+    const std::span<const BrokerCore::Decision> decisions = core_.dispatch(batch);
+    {
+      // ...then one mutex hold applying every decision, with the resulting
+      // link frames coalesced into one flush per neighbor.
       MutexLock lock(mutex_);
-      apply_decision(item.space, item.encoded, item.tree_root, decision);
-    } catch (const std::exception& e) {
-      GRYPHON_WARN("broker") << "broker " << core_.self()
-                             << ": dropping undecodable event: " << e.what();
-      MutexLock lock(mutex_);
-      ++stats_.frames_rejected;
+      stats_.frames_rejected += rejected;
+      for (std::size_t j = 0; j < staged.size(); ++j) {
+        const PendingEvent& item = items[staged[j]];
+        apply_decision(item.space, item.encoded, item.tree_root, decisions[j]);
+      }
+      flush_link_egress();
     }
     {
       MutexLock qlock(queue_mutex_);
-      if (--unfinished_events_ == 0) done_cv_.notify_all();
+      unfinished_events_ -= items.size();
+      if (unfinished_events_ == 0) done_cv_.notify_all();
     }
   }
 }
@@ -515,9 +562,8 @@ void Broker::apply_decision(SpaceId space, const std::vector<std::uint8_t>& enco
                              << " is down; forward " << seq << " queued for replay";
       continue;
     }
-    transport_->send(session.conn, wire::encode(wire::EventForward{tree_root, space, encoded,
-                                                                   session_epoch_, seq}));
-    session.last_send = now();
+    queue_link_frame(session, wire::encode(wire::EventForward{tree_root, space, encoded,
+                                                              session_epoch_, seq}));
     ++stats_.events_forwarded;
   }
 
@@ -534,6 +580,23 @@ void Broker::apply_decision(SpaceId space, const std::vector<std::uint8_t>& enco
     for (const std::string& name : targets) {
       deliver_to_client(*clients_.at(name), space, encoded);
     }
+  }
+}
+
+void Broker::queue_link_frame(LinkSession& session, std::vector<std::uint8_t> frame) {
+  session.egress.push_back(std::move(frame));
+  session.last_send = now();
+}
+
+void Broker::flush_link_egress() {
+  for (auto& [peer, session] : links_) {
+    (void)peer;
+    if (session.egress.empty()) continue;
+    // A disconnect cannot race us here (on_disconnect needs mutex_), and a
+    // dead/downed link never has staged egress — frames are only queued on
+    // live connections within the current hold.
+    transport_->send_batch(session.conn, std::move(session.egress));
+    session.egress.clear();
   }
 }
 
@@ -629,9 +692,10 @@ void Broker::tick_links(Ticks now_ticks) {
     const auto unacked = session.out_log.unacknowledged();
     if (!unacked.empty() &&
         now_ticks - session.last_resend >= options_.link_retransmit_timeout) {
-      // Go-back-N: the whole unacked window goes again.
+      // Go-back-N: the whole unacked window goes again, staged and then
+      // flushed below as one coalesced write per neighbor.
       for (const EventLog::Entry* entry : unacked) {
-        transport_->send(session.conn,
+        queue_link_frame(session,
                          wire::encode(wire::EventForward{entry->origin, entry->space,
                                                          entry->event, session_epoch_,
                                                          entry->seq}));
@@ -641,12 +705,13 @@ void Broker::tick_links(Ticks now_ticks) {
       session.last_send = now_ticks;
     }
     if (now_ticks - session.last_send >= options_.link_heartbeat_interval) {
-      transport_->send(session.conn,
+      queue_link_frame(session,
                        wire::encode(wire::LinkHeartbeat{
                            session_epoch_, session.out_log.truncated_through()}));
       session.last_send = now_ticks;
     }
   }
+  flush_link_egress();
 }
 
 bool Broker::link_up(BrokerId peer) const {

@@ -26,12 +26,15 @@
 //
 // Event pipeline: with Options::match_threads == 0 every event is matched
 // and applied synchronously inside the frame handler (deterministic — the
-// historical behavior). With N > 0, a pool of N match workers decodes and
-// dispatches events against the core's published snapshot concurrently,
-// re-acquiring the broker mutex only for the cheap apply step (transport
-// sends, event logs, stats). Matching — the expensive part — then runs in
-// parallel with frame handling and with other matches. Events may be
-// applied out of arrival order across publishers; per-client delivery
+// historical behavior), one-event batches through the same batch-first
+// dispatch API the workers use. With N > 0, a pool of N match workers
+// drains events in batches (up to Options::match_batch_max per wakeup):
+// each batch is decoded outside all locks, dispatched against one pinned
+// core snapshot (events grouped by serving shard), and applied under a
+// single broker-mutex hold whose link frames coalesce into one
+// send_batch flush per neighbor. Matching — the expensive part — then
+// runs in parallel with frame handling and with other matches. Events may
+// be applied out of arrival order across publishers; per-client delivery
 // sequence numbers remain monotonic. flush() quiesces the pipeline.
 #pragma once
 
@@ -65,6 +68,15 @@ class Broker : public TransportHandler {
     Ticks log_retention{ticks_from_seconds(3600)};
     /// Match workers. 0 = synchronous matching inside the frame handler.
     std::size_t match_threads{0};
+    /// Data-plane shards per factored space (clamped to >= 1): the core's
+    /// compiled buckets are partitioned so concurrent match workers tend to
+    /// touch disjoint shard tables. Meaningless without factoring
+    /// (Options::matcher.factoring_levels > 0).
+    std::size_t shards{1};
+    /// Events a match worker drains per wakeup into one DispatchBatch
+    /// (clamped to >= 1). The batch amortizes snapshot pinning, codec work,
+    /// and the apply-side mutex over up to this many events.
+    std::size_t match_batch_max{32};
     /// Link-session epoch; 0 derives one from the wall clock at
     /// construction. Restarted brokers must come up with a fresh epoch so
     /// peers never misapply old sequence state; tests pin it for
@@ -186,6 +198,10 @@ class Broker : public TransportHandler {
     Ticks last_recv{0};         // last inbound frame (idle detection)
     std::uint64_t in_epoch{0};  // peer epoch the inbound counter refers to
     std::uint64_t in_seq{0};    // highest forward seq consumed from the peer
+    /// Frames staged for the next coalesced flush (queue_link_frame /
+    /// flush_link_egress): a batch of forwards or a retransmit window
+    /// reaches the transport as one send_batch instead of per-frame sends.
+    std::vector<std::vector<std::uint8_t>> egress;
   };
   struct PendingEvent {
     SpaceId space;
@@ -217,6 +233,15 @@ class Broker : public TransportHandler {
                       BrokerId tree_root, const BrokerCore::Decision& decision)
       REQUIRES(mutex_);
   void worker_loop() EXCLUDES(mutex_, queue_mutex_);
+  /// Stages a link frame on the session's egress buffer. The frames queued
+  /// during one mutex_ hold MUST be flushed by flush_link_egress() before
+  /// the hold ends, or they would interleave out of order with direct
+  /// sends from later holds.
+  void queue_link_frame(LinkSession& session, std::vector<std::uint8_t> frame)
+      REQUIRES(mutex_);
+  /// Hands every session's staged egress to the transport as one
+  /// send_batch per neighbor (the coalesced writev-style flush).
+  void flush_link_egress() REQUIRES(mutex_);
   void deliver_to_client(ClientRecord& client, SpaceId space,
                          std::vector<std::uint8_t> encoded) REQUIRES(mutex_);
   void sync_subscriptions_to(ConnId conn) REQUIRES(mutex_);
@@ -253,6 +278,10 @@ class Broker : public TransportHandler {
   std::deque<SubscriptionId> tombstone_fifo_ GUARDED_BY(mutex_);
   std::uint64_t next_sub_counter_ GUARDED_BY(mutex_){1};
   Stats stats_ GUARDED_BY(mutex_);
+  /// Batch context for the synchronous (match_threads == 0) path, so the
+  /// deterministic mode exercises the same batch-first dispatch API as the
+  /// worker pipeline. Workers own their own per-thread batches.
+  DispatchBatch sync_batch_ GUARDED_BY(mutex_);
   std::chrono::steady_clock::time_point epoch_{std::chrono::steady_clock::now()};
 
   // Match-worker pipeline.

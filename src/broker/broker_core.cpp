@@ -1,11 +1,13 @@
 #include "broker/broker_core.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gryphon {
 
 BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
-                       std::vector<SchemaPtr> spaces, PstMatcherOptions matcher_options)
+                       std::vector<SchemaPtr> spaces, PstMatcherOptions matcher_options,
+                       std::size_t data_plane_shards)
     : self_(self), topology_(&topology), routing_(topology) {
   // Construction is single-threaded by the language; state that once for
   // the whole body so guarded members can be initialized.
@@ -85,7 +87,8 @@ BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
   std::vector<SubscriptionLinkFn> link_fns;
   link_fns.reserve(groups_.size());
   for (const auto& group : groups_) link_fns.push_back(group->link_of);
-  builder_ = std::make_unique<SnapshotBuilder>(link_count_, local_link_, std::move(link_fns));
+  builder_ = std::make_unique<SnapshotBuilder>(link_count_, local_link_, std::move(link_fns),
+                                               data_plane_shards);
 
   // Publish the initial (all-empty) snapshot.
   std::vector<const PstMatcher*> matchers;
@@ -144,36 +147,93 @@ BrokerId BrokerCore::owner_of(SubscriptionId id) const {
   return it->second.owner;
 }
 
+void BrokerCore::dispatch_pinned(const CoreSnapshot& snapshot, SpaceId space, const Event& event,
+                                 BrokerId tree_root, MatchScratch& scratch,
+                                 Decision& out) const {
+  out.reset();
+  const FrozenSpace& fs = *snapshot.spaces[static_cast<std::size_t>(space.value)];
+  if (fs.factored()) ++out.steps;  // the bucket index probe
+  const std::size_t shard = fs.shard_of(event, scratch.factoring_key());
+  out.shard = static_cast<std::uint32_t>(shard);
+  // shard_of left the event's factoring key in the scratch buffer.
+  const FrozenBucket* bucket = fs.bucket_in_shard(shard, scratch.factoring_key());
+  // No bucket: nothing can match anywhere in the network.
+  if (bucket == nullptr) return;
+
+  const CompiledDispatchResult result =
+      compiled_dispatch(*bucket->annotations, group_index_of_root_.at(tree_root), event,
+                        init_masks_.at(tree_root), scratch, &out.local_matches);
+  out.steps += result.steps;
+  out.deliver_locally = !out.local_matches.empty();
+  for (const LinkIndex link : result.mask.yes_links()) {
+    if (link != local_link_) {
+      out.forward.push_back(neighbors_[static_cast<std::size_t>(link.value)]);
+    }
+  }
+}
+
+std::span<const BrokerCore::Decision> BrokerCore::dispatch(DispatchBatch& batch) const {
+  const std::size_t n = batch.items_.size();
+  if (batch.decisions_.size() < n) batch.decisions_.resize(n);
+  if (n == 0) return {};
+  for (const DispatchBatch::Item& item : batch.items_) {
+    if (!group_index_of_root_.contains(item.tree_root)) {
+      throw std::invalid_argument("BrokerCore::dispatch: unknown tree root");
+    }
+    if (!has_space(item.space)) throw std::invalid_argument("BrokerCore: bad space index");
+  }
+  // Pin the snapshot once for the whole batch: everything below touches
+  // only immutable state, so concurrent subscription churn can swap in new
+  // snapshots freely while we drain.
+  const auto snapshot = snapshot_.load();
+  // Visit events grouped by (space, serving shard) so each shard's
+  // compiled tables stay hot across consecutive matches. The grouping key
+  // is precomputed here; decisions are still written at each event's
+  // staging index, so the result span is in add() order.
+  batch.order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.order_[i] = static_cast<std::uint32_t>(i);
+    const DispatchBatch::Item& item = batch.items_[i];
+    const FrozenSpace& fs = *snapshot->spaces[static_cast<std::size_t>(item.space.value)];
+    batch.decisions_[i].shard =
+        static_cast<std::uint32_t>(fs.shard_of(*item.event, batch.scratch_.factoring_key()));
+  }
+  std::stable_sort(batch.order_.begin(), batch.order_.end(),
+                   [&batch](std::uint32_t a, std::uint32_t b) {
+                     const auto key = [&batch](std::uint32_t i) {
+                       return std::make_pair(batch.items_[i].space.value,
+                                             batch.decisions_[i].shard);
+                     };
+                     return key(a) < key(b);
+                   });
+  for (const std::uint32_t i : batch.order_) {
+    const DispatchBatch::Item& item = batch.items_[i];
+    dispatch_pinned(*snapshot, item.space, *item.event, item.tree_root, batch.scratch_,
+                    batch.decisions_[i]);
+  }
+  return batch.decisions();
+}
+
 BrokerCore::Decision BrokerCore::dispatch(SpaceId space, const Event& event, BrokerId tree_root,
                                           MatchScratch& scratch) const {
-  const auto group_it = group_index_of_root_.find(tree_root);
-  if (group_it == group_index_of_root_.end()) {
+  if (!group_index_of_root_.contains(tree_root)) {
     throw std::invalid_argument("BrokerCore::dispatch: unknown tree root");
   }
   if (!space.valid() || static_cast<std::size_t>(space.value) >= spaces_.size()) {
     throw std::invalid_argument("BrokerCore: bad space index");
   }
   Decision decision;
-  // Pin the snapshot: everything below touches only immutable state, so
-  // concurrent subscription churn can swap in new snapshots freely.
   const auto snapshot = snapshot_.load();
-  const FrozenSpace& fs = *snapshot->spaces[static_cast<std::size_t>(space.value)];
-  if (fs.factored()) ++decision.steps;  // the bucket index probe
-  const FrozenBucket* bucket = fs.bucket_for(event, scratch.factoring_key());
-  // No bucket: nothing can match anywhere in the network.
-  if (bucket == nullptr) return decision;
-
-  const CompiledDispatchResult result =
-      compiled_dispatch(*bucket->annotations, group_it->second, event,
-                        init_masks_.at(tree_root), scratch, &decision.local_matches);
-  decision.steps += result.steps;
-  decision.deliver_locally = !decision.local_matches.empty();
-  for (const LinkIndex link : result.mask.yes_links()) {
-    if (link != local_link_) {
-      decision.forward.push_back(neighbors_[static_cast<std::size_t>(link.value)]);
-    }
-  }
+  dispatch_pinned(*snapshot, space, event, tree_root, scratch, decision);
   return decision;
+}
+
+std::size_t BrokerCore::shard_count(SpaceId space) const {
+  if (!space.valid() || static_cast<std::size_t>(space.value) >= spaces_.size()) {
+    throw std::invalid_argument("BrokerCore: bad space index");
+  }
+  const auto snapshot = snapshot_.load();
+  return snapshot->spaces[static_cast<std::size_t>(space.value)]->shard_count();
 }
 
 std::vector<SubscriptionId> BrokerCore::match_all(SpaceId space, const Event& event) const {

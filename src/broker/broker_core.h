@@ -36,10 +36,12 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "broker/core_snapshot.h"
+#include "broker/dispatch_batch.h"
 #include "common/thread_annotations.h"
 #include "matching/match_scratch.h"
 #include "matching/pst_matcher.h"
@@ -70,8 +72,12 @@ class BrokerCore {
   /// attach dynamically through the Broker layer and are not part of the
   /// static routing topology). Every broker is a potential spanning-tree
   /// root (any broker may host publishers).
+  /// `data_plane_shards` partitions each factored space's compiled buckets
+  /// into that many independently matchable shards (clamped to >= 1);
+  /// unfactored spaces always have one effective shard.
   BrokerCore(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaPtr> spaces,
-             PstMatcherOptions matcher_options = PstMatcherOptions());
+             PstMatcherOptions matcher_options = PstMatcherOptions(),
+             std::size_t data_plane_shards = 1);
 
   [[nodiscard]] BrokerId self() const { return self_; }
   [[nodiscard]] std::size_t space_count() const { return spaces_.size(); }
@@ -81,6 +87,13 @@ class BrokerCore {
   [[nodiscard]] const SchemaPtr& schema(SpaceId space) const;
   /// Neighbor broker on each inter-broker port, in port order.
   [[nodiscard]] const std::vector<BrokerId>& neighbors() const { return neighbors_; }
+  /// Whether `root` names a spanning tree this core can dispatch on (any
+  /// broker in the topology). Immutable after construction, so callers can
+  /// validate events before staging them into a DispatchBatch instead of
+  /// letting one bad event poison a whole batch with an exception.
+  [[nodiscard]] bool known_tree_root(BrokerId root) const {
+    return group_index_of_root_.contains(root);
+  }
 
   /// The capability serializing this core's control plane. Hold the owning
   /// broker's mutex (or be provably single-threaded), then
@@ -109,24 +122,30 @@ class BrokerCore {
     return space_counts_.at(static_cast<std::size_t>(space.value));
   }
 
-  /// The full outcome of dispatching one event at this broker.
-  struct Decision {
-    std::vector<BrokerId> forward;              // neighbor brokers that need the event
-    std::vector<SubscriptionId> local_matches;  // matching subscriptions owned here
-    bool deliver_locally{false};                // == !local_matches.empty()
-    std::uint64_t steps{0};                     // matching steps spent
-  };
+  /// The full outcome of dispatching one event at this broker. Defined in
+  /// broker/dispatch_batch.h next to the batch context that carries it.
+  using Decision = gryphon::Decision;
 
-  /// Computes the forwarding decision *and* the locally-owned matches for
-  /// an event published via the spanning tree rooted at `tree_root`, in one
-  /// pruned search over the published snapshot. `scratch` provides the
-  /// caller-thread memoization arena; the overload without it uses the
-  /// calling thread's.
+  /// Dispatches every event staged in `batch` against one pinned snapshot:
+  /// the forwarding decision *and* the locally-owned matches for each
+  /// event, published via its spanning tree, in one pruned search per
+  /// event. This is the native call shape of the data plane — the snapshot
+  /// is pinned once for the whole batch and events are matched grouped by
+  /// (space, serving shard) so each shard's compiled tables stay hot. The
+  /// returned span lives in `batch`, one Decision per staged event in
+  /// add() order, valid until the batch is cleared or re-dispatched.
+  std::span<const Decision> dispatch(DispatchBatch& batch) const;
+
+  /// Scalar shim over the batch path for call sites that genuinely handle
+  /// one event (tests, the simulator). `scratch` provides the caller-thread
+  /// memoization arena; there is deliberately no scratch-defaulting
+  /// overload — batch contexts own scratch now (see DispatchBatch).
   [[nodiscard]] Decision dispatch(SpaceId space, const Event& event, BrokerId tree_root,
                                   MatchScratch& scratch) const;
-  [[nodiscard]] Decision dispatch(SpaceId space, const Event& event, BrokerId tree_root) const {
-    return dispatch(space, event, tree_root, thread_match_scratch());
-  }
+
+  /// Shards serving one space in the published snapshot (1 unless the
+  /// space is factored and the core was built with data_plane_shards > 1).
+  [[nodiscard]] std::size_t shard_count(SpaceId space) const;
 
   /// All subscriptions (network-wide replica set) matching the event.
   [[nodiscard]] std::vector<SubscriptionId> match_all(SpaceId space, const Event& event) const;
@@ -177,6 +196,10 @@ class BrokerCore {
   /// Rebuilds the touched space's frozen state (reusing unchanged buckets)
   /// and atomically publishes a new snapshot. Writer-side only.
   void publish_snapshot(SpaceId touched) REQUIRES(control_plane_);
+  /// Matches one event against an already-pinned snapshot and fills `out`.
+  /// The shared hot path under both dispatch shapes; data-plane pure.
+  void dispatch_pinned(const CoreSnapshot& snapshot, SpaceId space, const Event& event,
+                       BrokerId tree_root, MatchScratch& scratch, Decision& out) const;
 
   BrokerId self_;
   const BrokerNetwork* topology_;

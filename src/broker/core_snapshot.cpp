@@ -6,6 +6,7 @@ std::shared_ptr<const FrozenBucket> SnapshotBuilder::freeze_bucket(const Pst& tr
   auto bucket = std::make_shared<FrozenBucket>();
   bucket->source = &tree;
   bucket->epoch = tree.epoch();
+  bucket->subscriptions = tree.subscription_count();
   // Compile: Pst -> FrozenPsg (structural optimization) -> CompiledPst
   // (flat kernel). The intermediate graph is discarded — readers only ever
   // see the compiled form.
@@ -22,32 +23,42 @@ std::shared_ptr<const FrozenSpace> SnapshotBuilder::freeze(const PstMatcher& mat
   auto space = std::make_shared<FrozenSpace>();
   space->factoring_ = matcher.factoring();
   space->subscription_count_ = matcher.subscription_count();
+  space->router_ = router_;
+  if (space->factoring_ != nullptr) {
+    space->shards_.resize(router_.shard_count());
+  }
   matcher.for_each_bucket([&](const FactoringIndex::Key* key, const Pst& tree) {
     // Empty bucket trees are dropped from the snapshot: a missing bucket
     // already means "nothing can match", and skipping them keeps snapshots
     // small after heavy unsubscribe churn.
     if (tree.subscription_count() == 0) return;
+    // Shard placement is deterministic in the key, so both the reuse probe
+    // into `previous` and the emplace below land in the same shard index.
+    const std::size_t shard = key == nullptr ? 0 : router_.shard_of_key(*key);
     std::shared_ptr<const FrozenBucket> bucket;
     if (previous != nullptr) {
       const FrozenBucket* old = nullptr;
       if (key == nullptr) {
         old = previous->single_.get();
-      } else {
-        const auto it = previous->buckets_.find(*key);
-        if (it != previous->buckets_.end()) old = it->second.get();
+      } else if (shard < previous->shards_.size()) {
+        const auto& old_buckets = previous->shards_[shard].buckets;
+        const auto it = old_buckets.find(*key);
+        if (it != old_buckets.end()) old = it->second.get();
       }
       // Reuse: same source tree, no mutations since it was frozen. Tree
       // objects are never freed while the matcher lives, so pointer
       // identity plus the mutation epoch is a sound key.
       if (old != nullptr && old->source == &tree && old->epoch == tree.epoch()) {
-        bucket = key == nullptr ? previous->single_ : previous->buckets_.at(*key);
+        bucket = key == nullptr ? previous->single_
+                                : previous->shards_[shard].buckets.at(*key);
       }
     }
     if (!bucket) bucket = freeze_bucket(tree);
     if (key == nullptr) {
       space->single_ = std::move(bucket);
     } else {
-      space->buckets_.emplace(*key, std::move(bucket));
+      space->shards_[shard].subscription_count += tree.subscription_count();
+      space->shards_[shard].buckets.emplace(*key, std::move(bucket));
     }
   });
   return space;

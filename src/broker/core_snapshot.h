@@ -7,6 +7,7 @@
 // the derived read-side state after every control-plane change:
 //
 //   CoreSnapshot -> FrozenSpace (per information space)
+//                -> shard      (per factoring-key hash slice)
 //                -> FrozenBucket (per factoring bucket)
 //                -> CompiledPst + CompiledAnnotation (all groups).
 //
@@ -17,8 +18,18 @@
 // CompiledAnnotation. The intermediate FrozenPsg is discarded; readers only
 // ever touch the compiled form.
 //
+// Sharding: a factored space's buckets are partitioned into
+// `shard_count` independently matchable shards by hashing the factoring
+// key (matching/shard_router.h). Placement is a pure function of the key,
+// so the builder (distributing buckets below) and batch dispatch (grouping
+// events by serving shard) agree without coordination. An unfactored space
+// has one bucket and one effective shard. The two-level split mirrors the
+// control-plane/data-plane idiom of SNIPPETS.md's cuckoo router: the
+// mutable control plane assembles the shards, the immutable hot plane is
+// what the existing SnapshotSlot swap publishes.
+//
 // The current snapshot hangs off a SnapshotSlot in BrokerCore; readers pin
-// it once per event and then touch only deeply-immutable objects, so
+// it once per event batch and then touch only deeply-immutable objects, so
 // dispatch never blocks on subscription churn for longer than a pointer
 // copy and any number of threads can match concurrently (each with its own
 // MatchScratch).
@@ -27,7 +38,8 @@
 // carried into the next snapshot wholesale (shared FrozenSpace), and within
 // a rebuilt space every bucket whose source tree is untouched — identified
 // by its stable Pst pointer plus the tree's mutation epoch — keeps its
-// compiled kernel and annotations (shared FrozenBucket). A subscribe
+// compiled kernel and annotations (shared FrozenBucket). Shard placement is
+// deterministic, so the reuse probe looks in exactly one shard. A subscribe
 // therefore recompiles only the buckets its subscription actually lives in.
 #pragma once
 
@@ -38,6 +50,7 @@
 #include "common/mutex.h"
 #include "matching/compiled_pst.h"
 #include "matching/pst_matcher.h"
+#include "matching/shard_router.h"
 #include "routing/compiled_annotation.h"
 
 namespace gryphon {
@@ -50,45 +63,95 @@ namespace gryphon {
 struct FrozenBucket {
   const Pst* source{nullptr};
   std::uint64_t epoch{0};
+  std::size_t subscriptions{0};
   std::unique_ptr<const CompiledPst> kernel;
   std::unique_ptr<const CompiledAnnotation> annotations;
 };
 
-/// One information space, frozen. Buckets holding no subscriptions are
-/// omitted: a missing bucket means nothing in the network can match.
+/// One information space, frozen and sharded. Buckets holding no
+/// subscriptions are omitted: a missing bucket means nothing in the network
+/// can match.
 class FrozenSpace {
  public:
+  /// Shards of this space: 1 for unfactored spaces, the builder's
+  /// configured count otherwise.
+  [[nodiscard]] std::size_t shard_count() const {
+    return factoring_ == nullptr ? 1 : shards_.size();
+  }
+
+  /// The shard that would serve `event`. Computes the factoring key into
+  /// the reused scratch buffer; 0 for unfactored spaces.
+  [[nodiscard]] std::size_t shard_of(const Event& event,
+                                     FactoringIndex::Key& scratch_key) const {
+    if (factoring_ == nullptr) return 0;
+    factoring_->event_key_into(event, scratch_key);
+    return router_.shard_of_key(scratch_key);
+  }
+
   /// The bucket an event would be matched against, or nullptr. The
   /// overload taking a scratch key (MatchScratch::factoring_key()) is the
   /// hot path: it assigns into the reused buffer instead of allocating a
   /// fresh vector of Value copies per event.
   [[nodiscard]] const FrozenBucket* bucket_for(const Event& event) const {
     if (factoring_ == nullptr) return single_.get();
-    const auto it = buckets_.find(factoring_->event_key(event));
-    return it == buckets_.end() ? nullptr : it->second.get();
+    FactoringIndex::Key key = factoring_->event_key(event);
+    return find_bucket(key);
   }
   [[nodiscard]] const FrozenBucket* bucket_for(const Event& event,
                                                FactoringIndex::Key& scratch_key) const {
     if (factoring_ == nullptr) return single_.get();
     factoring_->event_key_into(event, scratch_key);
-    const auto it = buckets_.find(scratch_key);
-    return it == buckets_.end() ? nullptr : it->second.get();
+    return find_bucket(scratch_key);
+  }
+
+  /// As bucket_for, when the caller already computed the serving shard
+  /// (batch dispatch resolves shard_of first to group events by shard).
+  /// `scratch_key` must still hold the event's factoring key.
+  [[nodiscard]] const FrozenBucket* bucket_in_shard(
+      std::size_t shard, const FactoringIndex::Key& scratch_key) const {
+    if (factoring_ == nullptr) return single_.get();
+    const auto& buckets = shards_[shard].buckets;
+    const auto it = buckets.find(scratch_key);
+    return it == buckets.end() ? nullptr : it->second.get();
   }
 
   [[nodiscard]] bool factored() const { return factoring_ != nullptr; }
   [[nodiscard]] std::size_t subscription_count() const { return subscription_count_; }
+  /// Subscription replicas living in one shard's buckets (replicated
+  /// subscriptions count once per bucket they occupy).
+  [[nodiscard]] std::size_t shard_subscription_count(std::size_t shard) const {
+    if (factoring_ == nullptr) return single_ != nullptr ? single_->subscriptions : 0;
+    return shards_[shard].subscription_count;
+  }
   [[nodiscard]] std::size_t bucket_count() const {
-    return factoring_ != nullptr ? buckets_.size() : (single_ != nullptr ? 1 : 0);
+    if (factoring_ == nullptr) return single_ != nullptr ? 1 : 0;
+    std::size_t n = 0;
+    for (const Shard& shard : shards_) n += shard.buckets.size();
+    return n;
   }
 
  private:
   friend class SnapshotBuilder;
 
+  /// One shard's slice of the bucket table. Deeply immutable once the
+  /// builder publishes the owning snapshot.
+  struct Shard {
+    std::unordered_map<FactoringIndex::Key, std::shared_ptr<const FrozenBucket>,
+                       FactoringIndex::KeyHash>
+        buckets;
+    std::size_t subscription_count{0};
+  };
+
+  [[nodiscard]] const FrozenBucket* find_bucket(const FactoringIndex::Key& key) const {
+    const auto& buckets = shards_[router_.shard_of_key(key)].buckets;
+    const auto it = buckets.find(key);
+    return it == buckets.end() ? nullptr : it->second.get();
+  }
+
   const FactoringIndex* factoring_{nullptr};  // owned by the core's matcher
-  std::shared_ptr<const FrozenBucket> single_;
-  std::unordered_map<FactoringIndex::Key, std::shared_ptr<const FrozenBucket>,
-                     FactoringIndex::KeyHash>
-      buckets_;
+  ShardRouter router_{1};
+  std::shared_ptr<const FrozenBucket> single_;  // unfactored spaces only
+  std::vector<Shard> shards_;                   // factored spaces only
   std::size_t subscription_count_{0};
 };
 
@@ -129,10 +192,14 @@ class SnapshotSlot {
 class SnapshotBuilder {
  public:
   SnapshotBuilder(std::size_t link_count, LinkIndex local_link,
-                  std::vector<SubscriptionLinkFn> group_link_fns)
+                  std::vector<SubscriptionLinkFn> group_link_fns,
+                  std::size_t shard_count = 1)
       : link_count_(link_count),
         local_link_(local_link),
-        group_link_fns_(std::move(group_link_fns)) {}
+        group_link_fns_(std::move(group_link_fns)),
+        router_(shard_count) {}
+
+  [[nodiscard]] std::size_t shard_count() const { return router_.shard_count(); }
 
   /// Freezes the current state of `matcher`, reusing buckets from
   /// `previous` (may be null) whose source tree epoch is unchanged.
@@ -154,6 +221,7 @@ class SnapshotBuilder {
   std::size_t link_count_;
   LinkIndex local_link_;
   std::vector<SubscriptionLinkFn> group_link_fns_;
+  ShardRouter router_;
 };
 
 }  // namespace gryphon

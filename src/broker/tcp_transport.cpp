@@ -35,6 +35,19 @@ bool write_all(int fd, const std::uint8_t* buffer, std::size_t size) {
   return true;
 }
 
+// Length-prefix framing: u32 little-endian size, then the frame bytes.
+std::vector<std::uint8_t> frame_packet(const std::vector<std::uint8_t>& frame) {
+  std::vector<std::uint8_t> packet;
+  packet.reserve(frame.size() + 4);
+  const auto size = static_cast<std::uint32_t>(frame.size());
+  packet.push_back(static_cast<std::uint8_t>(size));
+  packet.push_back(static_cast<std::uint8_t>(size >> 8));
+  packet.push_back(static_cast<std::uint8_t>(size >> 16));
+  packet.push_back(static_cast<std::uint8_t>(size >> 24));
+  packet.insert(packet.end(), frame.begin(), frame.end());
+  return packet;
+}
+
 }  // namespace
 
 TcpTransport::TcpTransport(TransportHandler& handler, Options options)
@@ -156,19 +169,34 @@ void TcpTransport::reader_loop(ConnId id, int fd) {
 }
 
 void TcpTransport::send(ConnId conn, std::vector<std::uint8_t> frame) {
-  std::vector<std::uint8_t> packet;
-  packet.reserve(frame.size() + 4);
-  const auto size = static_cast<std::uint32_t>(frame.size());
-  packet.push_back(static_cast<std::uint8_t>(size));
-  packet.push_back(static_cast<std::uint8_t>(size >> 8));
-  packet.push_back(static_cast<std::uint8_t>(size >> 16));
-  packet.push_back(static_cast<std::uint8_t>(size >> 24));
-  packet.insert(packet.end(), frame.begin(), frame.end());
+  std::vector<std::uint8_t> packet = frame_packet(frame);
   {
     MutexLock lock(mutex_);
     const auto it = conns_.find(conn);
     if (it == conns_.end() || it->second->closed) return;  // silent drop, by contract
     it->second->outgoing.push_back(std::move(packet));
+    if (!it->second->draining) {
+      it->second->draining = true;
+      dirty_.push_back(conn);
+    }
+  }
+  send_cv_.notify_one();
+}
+
+void TcpTransport::send_batch(ConnId conn, std::vector<std::vector<std::uint8_t>> frames) {
+  if (frames.empty()) return;
+  // Frame the packets outside the lock, enqueue them all under one lock
+  // hold, and wake one sender for the whole flush.
+  std::vector<std::vector<std::uint8_t>> packets;
+  packets.reserve(frames.size());
+  for (const std::vector<std::uint8_t>& frame : frames) packets.push_back(frame_packet(frame));
+  {
+    MutexLock lock(mutex_);
+    const auto it = conns_.find(conn);
+    if (it == conns_.end() || it->second->closed) return;  // silent drop, by contract
+    for (std::vector<std::uint8_t>& packet : packets) {
+      it->second->outgoing.push_back(std::move(packet));
+    }
     if (!it->second->draining) {
       it->second->draining = true;
       dirty_.push_back(conn);
@@ -188,13 +216,25 @@ void TcpTransport::sender_loop() {
     if (it == conns_.end()) continue;
     Conn& conn = *it->second;
     // Drain this connection's queue; `draining` keeps other senders off it
-    // so frame order is preserved.
+    // so frame order is preserved. Adjacent queued packets are gathered
+    // into one buffer (up to coalesce_bytes) so a batch flush reaches the
+    // socket as a single write instead of one syscall per frame — every
+    // packet already carries its own length prefix, so the receiver's
+    // framing is unaffected by how writes are grouped.
+    std::vector<std::uint8_t> gather;
     while (!conn.outgoing.empty() && !conn.closed) {
-      std::vector<std::uint8_t> packet = std::move(conn.outgoing.front());
+      gather.clear();
+      gather.swap(conn.outgoing.front());
       conn.outgoing.pop_front();
+      while (!conn.outgoing.empty() &&
+             gather.size() + conn.outgoing.front().size() <= options_.coalesce_bytes) {
+        const std::vector<std::uint8_t>& next = conn.outgoing.front();
+        gather.insert(gather.end(), next.begin(), next.end());
+        conn.outgoing.pop_front();
+      }
       const int fd = conn.fd;
       lock.unlock();
-      const bool ok = write_all(fd, packet.data(), packet.size());
+      const bool ok = write_all(fd, gather.data(), gather.size());
       lock.lock();
       if (!ok) {
         conn.closed = true;

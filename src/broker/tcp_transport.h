@@ -28,6 +28,9 @@ class TcpTransport final : public Transport {
     std::size_t sender_threads{2};
     /// Frames larger than this are treated as protocol corruption.
     std::uint32_t max_frame_bytes{16u * 1024 * 1024};
+    /// Senders gather adjacent queued packets into one socket write up to
+    /// this many bytes (writev-style coalescing; 0 disables gathering).
+    std::size_t coalesce_bytes{64u * 1024};
   };
 
   explicit TcpTransport(TransportHandler& handler, Options options);
@@ -42,6 +45,11 @@ class TcpTransport final : public Transport {
   ConnId connect(const std::string& host, std::uint16_t port);
 
   void send(ConnId conn, std::vector<std::uint8_t> frame) override;
+  /// Enqueues every frame under one queue lock and wakes one sender, so a
+  /// coalesced link flush costs one lock round-trip instead of one per
+  /// frame. The sender side then gathers adjacent queued packets into a
+  /// single socket write (see sender_loop).
+  void send_batch(ConnId conn, std::vector<std::vector<std::uint8_t>> frames) override;
   void close(ConnId conn) override;
 
   /// Stops the acceptor, closes every connection, joins all threads.

@@ -47,6 +47,17 @@ class Transport {
   /// disconnect callback governs cleanup).
   virtual void send(ConnId conn, std::vector<std::uint8_t> frame) = 0;
 
+  /// Enqueues a group of frames for one connection as a single flush.
+  /// Ordering is exactly `send` called per frame in sequence; the batch
+  /// form lets implementations amortize queue locking and coalesce the
+  /// frames into one writev-style wire write (each frame keeps its own
+  /// length prefix, so receiver framing is unchanged). The default is the
+  /// per-frame loop — decorators (fault injection) and deterministic test
+  /// transports inherit per-frame semantics unchanged.
+  virtual void send_batch(ConnId conn, std::vector<std::vector<std::uint8_t>> frames) {
+    for (std::vector<std::uint8_t>& frame : frames) send(conn, std::move(frame));
+  }
+
   /// Closes the connection; the peer observes a disconnect.
   virtual void close(ConnId conn) = 0;
 

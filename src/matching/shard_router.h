@@ -1,0 +1,44 @@
+// ShardRouter: deterministic factoring-key -> shard placement for the
+// sharded data plane.
+//
+// The broker partitions each factored information space into independently
+// matchable shards: every factoring bucket is owned by exactly one shard,
+// chosen here by hashing the bucket's factoring key. Placement is a pure
+// function of (key, shard_count), so the control plane (SnapshotBuilder,
+// distributing buckets at freeze time) and the data plane (batch dispatch,
+// grouping events by the shard that will serve them) always agree without
+// sharing any mutable state.
+//
+// Unfactored spaces have a single bucket and therefore a single effective
+// shard; shard_of_* returns 0 for them by construction (shard_count == 1).
+//
+// This is a fully data-plane translation unit (tools/check_planes.py): it
+// must never reference mutable-matcher or control-plane state.
+#pragma once
+
+#include <cstddef>
+
+#include "matching/pst_matcher.h"
+
+namespace gryphon {
+
+class ShardRouter {
+ public:
+  /// `shard_count` is clamped to at least 1 (0 would make every modulo UB).
+  explicit ShardRouter(std::size_t shard_count)
+      : shard_count_(shard_count == 0 ? 1 : shard_count) {}
+
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+
+  /// The shard owning a factoring bucket. Uses the same hash the bucket
+  /// maps key on (FactoringIndex::KeyHash), so co-sharded buckets stay
+  /// cache-adjacent in the per-shard tables.
+  [[nodiscard]] std::size_t shard_of_key(const FactoringIndex::Key& key) const {
+    return FactoringIndex::KeyHash{}(key) % shard_count_;
+  }
+
+ private:
+  std::size_t shard_count_;
+};
+
+}  // namespace gryphon

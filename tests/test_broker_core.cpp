@@ -30,6 +30,16 @@ Event ev(const SchemaPtr& schema, std::vector<int> values) {
 
 BrokerNetwork broker_only_line(std::size_t n) { return make_line(n, 10, 0, 1); }
 
+/// One-event dispatch through the batch-first API (the only dispatch entry
+/// besides the explicit-scratch scalar shim). Returns a copy so the batch
+/// can go out of scope.
+BrokerCore::Decision dispatch1(const BrokerCore& core, SpaceId space, const Event& e,
+                               BrokerId tree_root) {
+  DispatchBatch batch;
+  batch.add(space, e, tree_root);
+  return core.dispatch(batch)[0];
+}
+
 class BrokerCoreTest : public ::testing::Test {
  protected:
   SchemaPtr schema_ = make_synthetic_schema(4, 3);
@@ -50,12 +60,12 @@ TEST_F(BrokerCoreTest, RoutesTowardRemoteOwner) {
   BrokerCore core(BrokerId{0}, topo_, {schema_});
   core.add_subscription(kSpace0, SubscriptionId{1}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{2});
 
-  const auto hit = core.dispatch(kSpace0, ev(schema_, {1, 0, 0, 0}), BrokerId{0});
+  const auto hit = dispatch1(core, kSpace0, ev(schema_, {1, 0, 0, 0}), BrokerId{0});
   EXPECT_EQ(hit.forward, (std::vector<BrokerId>{BrokerId{1}}));
   EXPECT_FALSE(hit.deliver_locally);
   EXPECT_TRUE(hit.local_matches.empty());
 
-  const auto miss = core.dispatch(kSpace0, ev(schema_, {2, 0, 0, 0}), BrokerId{0});
+  const auto miss = dispatch1(core, kSpace0, ev(schema_, {2, 0, 0, 0}), BrokerId{0});
   EXPECT_TRUE(miss.forward.empty());
   EXPECT_FALSE(miss.deliver_locally);
 }
@@ -66,7 +76,7 @@ TEST_F(BrokerCoreTest, DispatchYieldsLocalMatches) {
   core.add_subscription(kSpace0, SubscriptionId{2}, sub_eq(schema_, {1, 2, -1, -1}), BrokerId{1});
   core.add_subscription(kSpace0, SubscriptionId{3}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{0});
 
-  auto decision = core.dispatch(kSpace0, ev(schema_, {1, 2, 0, 0}), BrokerId{1});
+  auto decision = dispatch1(core, kSpace0, ev(schema_, {1, 2, 0, 0}), BrokerId{1});
   EXPECT_TRUE(decision.deliver_locally);
   EXPECT_EQ(decision.forward, (std::vector<BrokerId>{BrokerId{0}}));
 
@@ -84,7 +94,7 @@ TEST_F(BrokerCoreTest, DispatchLocalMatchesAgreeWithMatchAll) {
   core.add_subscription(kSpace0, SubscriptionId{3}, sub_eq(schema_, {1, -1, -1, -1}), BrokerId{0});
 
   const Event e = ev(schema_, {1, 2, 0, 0});
-  const auto decision = core.dispatch(kSpace0, e, BrokerId{1});
+  const auto decision = dispatch1(core, kSpace0, e, BrokerId{1});
   std::vector<SubscriptionId> expected_local;
   for (const SubscriptionId id : core.match_all(kSpace0, e)) {
     if (core.owner_of(id) == core.self()) expected_local.push_back(id);
@@ -102,7 +112,7 @@ TEST_F(BrokerCoreTest, NoUpstreamForwarding) {
   BrokerCore core(BrokerId{2}, topo_, {schema_});
   core.add_subscription(kSpace0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}),
                         BrokerId{0});
-  const auto decision = core.dispatch(kSpace0, ev(schema_, {0, 0, 0, 0}), BrokerId{0});
+  const auto decision = dispatch1(core, kSpace0, ev(schema_, {0, 0, 0, 0}), BrokerId{0});
   EXPECT_TRUE(decision.forward.empty());
   EXPECT_FALSE(decision.deliver_locally);
 }
@@ -135,7 +145,7 @@ TEST_F(BrokerCoreTest, HopByHopDeliveryMatchesCentralMatch) {
         frontier.pop_back();
         ASSERT_TRUE(visited.insert(at.value).second);
         const auto d =
-            cores[static_cast<std::size_t>(at.value)]->dispatch(kSpace0, e, BrokerId{root});
+            dispatch1(*cores[static_cast<std::size_t>(at.value)], kSpace0, e, BrokerId{root});
         for (const BrokerId next : d.forward) frontier.push_back(next);
         EXPECT_EQ(d.deliver_locally, !d.local_matches.empty());
         for (const SubscriptionId id : d.local_matches) delivered.insert(id.value);
@@ -153,9 +163,9 @@ TEST_F(BrokerCoreTest, MultipleInformationSpaces) {
   EXPECT_EQ(core.space_count(), 2u);
   EXPECT_EQ(core.schema(SpaceId{1})->name(), "other");
   core.add_subscription(SpaceId{1}, SubscriptionId{1}, sub_eq(other, {1, -1}), BrokerId{0});
-  EXPECT_TRUE(core.dispatch(SpaceId{1}, ev(other, {1, 0}), BrokerId{0}).deliver_locally);
+  EXPECT_TRUE(dispatch1(core, SpaceId{1}, ev(other, {1, 0}), BrokerId{0}).deliver_locally);
   EXPECT_FALSE(
-      core.dispatch(kSpace0, ev(schema_, {1, 0, 0, 0}), BrokerId{0}).deliver_locally);
+      dispatch1(core, kSpace0, ev(schema_, {1, 0, 0, 0}), BrokerId{0}).deliver_locally);
   EXPECT_THROW((void)core.schema(SpaceId{2}), std::invalid_argument);
   EXPECT_THROW(
       core.add_subscription(SpaceId{5}, SubscriptionId{2}, sub_eq(other, {1, -1}), BrokerId{0}),
@@ -166,9 +176,9 @@ TEST_F(BrokerCoreTest, RemoveSubscriptionStopsRouting) {
   BrokerCore core(BrokerId{0}, topo_, {schema_});
   core.add_subscription(kSpace0, SubscriptionId{1}, sub_eq(schema_, {-1, -1, -1, -1}),
                         BrokerId{2});
-  EXPECT_FALSE(core.dispatch(kSpace0, ev(schema_, {0, 0, 0, 0}), BrokerId{0}).forward.empty());
+  EXPECT_FALSE(dispatch1(core, kSpace0, ev(schema_, {0, 0, 0, 0}), BrokerId{0}).forward.empty());
   EXPECT_TRUE(core.remove_subscription(SubscriptionId{1}));
-  EXPECT_TRUE(core.dispatch(kSpace0, ev(schema_, {0, 0, 0, 0}), BrokerId{0}).forward.empty());
+  EXPECT_TRUE(dispatch1(core, kSpace0, ev(schema_, {0, 0, 0, 0}), BrokerId{0}).forward.empty());
   EXPECT_FALSE(core.remove_subscription(SubscriptionId{1}));
 }
 

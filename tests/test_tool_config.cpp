@@ -91,5 +91,115 @@ TEST(ThreadCountSpec, ParsesNumbersAndAuto) {
   EXPECT_THROW(parse_thread_count("eight"), std::invalid_argument);
 }
 
+std::vector<std::string> minimal_args() {
+  return {"--id", "0", "--brokers", "2", "--links", "0-1",
+          "--listen", "7000", "--schema", "t a:int"};
+}
+
+TEST(BrokerConfigSpec, MinimalDefaults) {
+  const BrokerConfig config = parse_broker_config(minimal_args());
+  EXPECT_EQ(config.id, 0);
+  EXPECT_EQ(config.brokers, 2u);
+  EXPECT_EQ(config.listen_port, 7000);
+  ASSERT_EQ(config.schemas.size(), 1u);
+  EXPECT_EQ(config.schemas[0]->name(), "t");
+  EXPECT_EQ(config.match_threads, 0u);
+  EXPECT_EQ(config.shards, 1u);
+  EXPECT_EQ(config.batch_max, 32u);
+  EXPECT_EQ(config.gc_seconds, 3600);
+  EXPECT_FALSE(config.verbose);
+  EXPECT_EQ(config.link_rto_ms, 50);
+  EXPECT_EQ(config.link_heartbeat_ms, 500);
+  EXPECT_EQ(config.link_idle_timeout_ms, 2000);
+  EXPECT_EQ(config.redial_backoff_ms, 20);
+  EXPECT_EQ(config.redial_backoff_max_ms, 5000);
+  EXPECT_EQ(config.redial_budget, 0);
+  EXPECT_EQ(config.topology().broker_count(), 2u);
+}
+
+TEST(BrokerConfigSpec, AllFlagFamiliesParse) {
+  auto args = minimal_args();
+  for (const char* extra :
+       {"--dial", "1=127.0.0.1:7001", "--schema", "u b:double", "--match-threads", "auto",
+        "--shards", "4", "--batch-max", "64", "--gc-seconds", "60", "--verbose",
+        "--link-rto-ms", "25", "--link-heartbeat-ms", "100", "--link-idle-timeout-ms", "400",
+        "--redial-backoff-ms", "10", "--redial-backoff-max-ms", "1000",
+        "--redial-budget", "3"}) {
+    args.emplace_back(extra);
+  }
+  const BrokerConfig config = parse_broker_config(args);
+  ASSERT_EQ(config.dials.size(), 1u);
+  EXPECT_EQ(config.dials[0].peer, BrokerId{1});
+  EXPECT_EQ(config.schemas.size(), 2u);
+  EXPECT_GE(config.match_threads, 1u);  // "auto" resolves to >= 1
+  EXPECT_EQ(config.shards, 4u);
+  EXPECT_EQ(config.batch_max, 64u);
+  EXPECT_EQ(config.gc_seconds, 60);
+  EXPECT_TRUE(config.verbose);
+  EXPECT_EQ(config.link_rto_ms, 25);
+  EXPECT_EQ(config.link_heartbeat_ms, 100);
+  EXPECT_EQ(config.link_idle_timeout_ms, 400);
+  EXPECT_EQ(config.redial_backoff_ms, 10);
+  EXPECT_EQ(config.redial_backoff_max_ms, 1000);
+  EXPECT_EQ(config.redial_budget, 3);
+}
+
+TEST(BrokerConfigSpec, RequiredFlagsEnforced) {
+  const auto without = [](const std::string& flag) {
+    std::vector<std::string> args;
+    const auto all = minimal_args();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (all[i] == flag) {
+        ++i;  // skip the flag's value too
+        continue;
+      }
+      args.push_back(all[i]);
+    }
+    return args;
+  };
+  EXPECT_THROW(parse_broker_config(without("--id")), std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(without("--brokers")), std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(without("--listen")), std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(without("--schema")), std::invalid_argument);
+}
+
+TEST(BrokerConfigSpec, ErrorMessagesNameTheFlag) {
+  auto args = minimal_args();
+  args.insert(args.end(), {"--shards", "0"});
+  try {
+    parse_broker_config(args);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--shards"), std::string::npos) << e.what();
+  }
+}
+
+TEST(BrokerConfigSpec, RejectsInvalidValues) {
+  const auto with = [](std::initializer_list<const char*> extra) {
+    auto args = minimal_args();
+    for (const char* a : extra) args.emplace_back(a);
+    return args;
+  };
+  EXPECT_THROW(parse_broker_config(with({"--shards", "0"})), std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(with({"--batch-max", "0"})), std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(with({"--batch-max", "-3"})), std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(with({"--link-rto-ms", "0"})), std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(with({"--listen", "70000"})), std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(with({"--redial-budget", "-1"})), std::invalid_argument);
+  // Cross-field checks.
+  EXPECT_THROW(parse_broker_config(with({"--redial-backoff-ms", "500",
+                                         "--redial-backoff-max-ms", "100"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(with({"--dial", "7=127.0.0.1:7007"})),
+               std::invalid_argument);
+  // --id must be inside the topology.
+  EXPECT_THROW(parse_broker_config({"--id", "5", "--brokers", "2", "--links", "0-1",
+                                    "--listen", "7000", "--schema", "t a:int"}),
+               std::invalid_argument);
+  // Unknown flags and missing values are named.
+  EXPECT_THROW(parse_broker_config(with({"--bogus"})), std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(with({"--shards"})), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace gryphon::tools

@@ -6,9 +6,14 @@
 //           --schema "trades issue:string price:double volume:int" ...
 //           [--schema "alarms severity:int"]... ...
 //           [--gc-seconds 3600] [--match-threads N|auto] [--verbose]
+//           [--shards N] [--batch-max N]
 //           [--link-rto-ms 50] [--link-heartbeat-ms 500]
 //           [--link-idle-timeout-ms 2000] [--redial-backoff-ms 20]
 //           [--redial-backoff-max-ms 5000] [--redial-budget 0]
+//
+// Flags are parsed and validated by tools::parse_broker_config (one entry
+// point for the whole flag surface; see tool_config.h), so every
+// diagnostic here is a BrokerConfig error message plus the usage text.
 //
 // Every broker in the network must be given the same --brokers/--links
 // topology and the same --schema list (information spaces are positional).
@@ -19,6 +24,10 @@
 // redialed with exponential backoff, and after --redial-budget consecutive
 // failures (0 = never) the link is declared dead and forwards to it are
 // dropped with a counter instead of queueing forever.
+//
+// --shards partitions each factored space's compiled matching state into
+// independently matchable shards; --batch-max bounds how many events one
+// match worker drains into a single DispatchBatch (docs/concurrency.md).
 //
 // Example three-node line on one machine:
 //   brokerd --id 0 --brokers 3 --links 0-1,1-2 --listen 7000 --schema "t a:int" &
@@ -31,7 +40,6 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
-#include <cstring>
 #include <thread>
 #include <unordered_map>
 
@@ -62,6 +70,7 @@ struct Relay : TransportHandler {
                "usage: %s --id N --brokers N --links \"0-1:10,...\" --listen PORT\n"
                "          [--dial ID=HOST:PORT]... --schema \"NAME attr:type ...\" ...\n"
                "          [--gc-seconds N] [--match-threads N|auto] [--verbose]\n"
+               "          [--shards N] [--batch-max N]\n"
                "          [--link-rto-ms N] [--link-heartbeat-ms N]\n"
                "          [--link-idle-timeout-ms N] [--redial-backoff-ms N]\n"
                "          [--redial-backoff-max-ms N] [--redial-budget N]\n",
@@ -72,86 +81,47 @@ struct Relay : TransportHandler {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int id = -1;
-  int brokers = -1;
-  std::string links;
-  int listen_port = -1;
-  std::vector<std::string> dials;
-  std::vector<std::string> schemas;
-  int gc_seconds = 3600;
-  std::string match_threads = "0";
-  bool verbose = false;
-  int link_rto_ms = 50;
-  int link_heartbeat_ms = 500;
-  int link_idle_timeout_ms = 2000;
-  int redial_backoff_ms = 20;
-  int redial_backoff_max_ms = 5000;
-  int redial_budget = 0;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0], ("missing value for " + arg).c_str());
-      return argv[++i];
-    };
-    if (arg == "--id") id = std::atoi(next().c_str());
-    else if (arg == "--brokers") brokers = std::atoi(next().c_str());
-    else if (arg == "--links") links = next();
-    else if (arg == "--listen") listen_port = std::atoi(next().c_str());
-    else if (arg == "--dial") dials.push_back(next());
-    else if (arg == "--schema") schemas.push_back(next());
-    else if (arg == "--gc-seconds") gc_seconds = std::atoi(next().c_str());
-    else if (arg == "--match-threads") match_threads = next();
-    else if (arg == "--verbose") verbose = true;
-    else if (arg == "--link-rto-ms") link_rto_ms = std::atoi(next().c_str());
-    else if (arg == "--link-heartbeat-ms") link_heartbeat_ms = std::atoi(next().c_str());
-    else if (arg == "--link-idle-timeout-ms") link_idle_timeout_ms = std::atoi(next().c_str());
-    else if (arg == "--redial-backoff-ms") redial_backoff_ms = std::atoi(next().c_str());
-    else if (arg == "--redial-backoff-max-ms") redial_backoff_max_ms = std::atoi(next().c_str());
-    else if (arg == "--redial-budget") redial_budget = std::atoi(next().c_str());
-    else usage(argv[0], ("unknown argument " + arg).c_str());
+  tools::BrokerConfig config;
+  try {
+    config = tools::parse_broker_config(std::vector<std::string>(argv + 1, argv + argc));
+  } catch (const std::exception& e) {
+    usage(argv[0], e.what());
   }
-  if (id < 0) usage(argv[0], "--id is required");
-  if (brokers <= 0) usage(argv[0], "--brokers is required");
-  if (listen_port < 0) usage(argv[0], "--listen is required");
-  if (schemas.empty()) usage(argv[0], "at least one --schema is required");
-  set_log_level(verbose ? LogLevel::kDebug : LogLevel::kWarn);
+  set_log_level(config.verbose ? LogLevel::kDebug : LogLevel::kWarn);
 
   try {
-    std::vector<SchemaPtr> spaces;
-    for (const std::string& spec : schemas) spaces.push_back(tools::parse_schema_spec(spec));
-    const BrokerNetwork topology =
-        tools::parse_topology_spec(static_cast<std::size_t>(brokers), links);
+    const BrokerNetwork topology = config.topology();
 
     Broker::Options options;
-    options.log_retention = ticks_from_seconds(gc_seconds);
-    options.match_threads = tools::parse_thread_count(match_threads);
-    options.link_retransmit_timeout = ticks_from_millis(link_rto_ms);
-    options.link_heartbeat_interval = ticks_from_millis(link_heartbeat_ms);
+    options.log_retention = ticks_from_seconds(config.gc_seconds);
+    options.match_threads = config.match_threads;
+    options.shards = config.shards;
+    options.match_batch_max = config.batch_max;
+    options.link_retransmit_timeout = ticks_from_millis(config.link_rto_ms);
+    options.link_heartbeat_interval = ticks_from_millis(config.link_heartbeat_ms);
     Relay relay;
     TcpTransport transport(relay);
-    Broker broker(BrokerId{id}, topology, spaces, transport, options);
+    Broker broker(BrokerId{config.id}, topology, config.schemas, transport, options);
     relay.target = &broker;
-    const std::uint16_t port = transport.listen(static_cast<std::uint16_t>(listen_port));
+    const std::uint16_t port =
+        transport.listen(static_cast<std::uint16_t>(config.listen_port));
     std::printf(
         "brokerd: broker %d listening on 127.0.0.1:%u (%zu spaces, %zu brokers, "
-        "%zu match threads)\n",
-        id, port, spaces.size(), static_cast<std::size_t>(brokers), options.match_threads);
+        "%zu match threads, %zu shards, batch %zu)\n",
+        config.id, port, config.schemas.size(), config.brokers, config.match_threads,
+        config.shards, config.batch_max);
 
     // Dialed links are owned by the supervisor: it makes the initial dial
     // on its first tick and keeps redialing (with backoff) whenever the
     // link drops or goes idle, so a peer that is down at startup or dies
     // mid-run no longer takes this broker with it.
     std::unordered_map<BrokerId, tools::DialTarget> dial_targets;
-    for (const std::string& spec : dials) {
-      const auto target = tools::parse_dial_spec(spec);
-      dial_targets[target.peer] = target;
-    }
+    for (const tools::DialTarget& target : config.dials) dial_targets[target.peer] = target;
     LinkSupervisor::Options sup_options;
-    sup_options.idle_timeout = ticks_from_millis(link_idle_timeout_ms);
-    sup_options.backoff_initial = ticks_from_millis(redial_backoff_ms);
-    sup_options.backoff_max = ticks_from_millis(redial_backoff_max_ms);
-    sup_options.redial_budget = static_cast<std::uint32_t>(redial_budget);
+    sup_options.idle_timeout = ticks_from_millis(config.link_idle_timeout_ms);
+    sup_options.backoff_initial = ticks_from_millis(config.redial_backoff_ms);
+    sup_options.backoff_max = ticks_from_millis(config.redial_backoff_max_ms);
+    sup_options.redial_budget = static_cast<std::uint32_t>(config.redial_budget);
     LinkSupervisor supervisor(
         broker,
         [&](BrokerId peer) -> ConnId {
@@ -170,8 +140,8 @@ int main(int argc, char** argv) {
         },
         sup_options);
     for (const auto& [peer, target] : dial_targets) supervisor.supervise(peer);
-    supervisor.start(std::chrono::milliseconds(
-        std::max(1, std::min(link_heartbeat_ms, link_idle_timeout_ms) / 4)));
+    supervisor.start(std::chrono::milliseconds(std::max(
+        1, std::min(config.link_heartbeat_ms, config.link_idle_timeout_ms) / 4)));
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
@@ -181,7 +151,7 @@ int main(int argc, char** argv) {
       const auto now = std::chrono::steady_clock::now();
       if (now - last_gc > std::chrono::seconds(30)) {
         const std::size_t collected = broker.collect_garbage();
-        if (collected > 0 && verbose) {
+        if (collected > 0 && config.verbose) {
           std::printf("brokerd: garbage-collected %zu log entries\n", collected);
         }
         last_gc = now;

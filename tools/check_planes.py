@@ -10,9 +10,10 @@ analysis proves the locking side of that contract; this checker proves the
 
 Rule 1 — data-plane purity. Data-plane code must never reference a
     mutable-Pst write API or a control-plane member. Enforced over the
-    fully data-plane translation units (the compiled kernel and its
-    annotations) and over the brace-extracted bodies of the mixed-TU
-    data-plane entry points (BrokerCore::dispatch / match_all,
+    fully data-plane translation units (the compiled kernel, its
+    annotations, the shard router, and the batch context) and over the
+    brace-extracted bodies of the mixed-TU data-plane entry points
+    (BrokerCore::dispatch / dispatch_pinned / match_all,
     PstMatcher::match / match_into).
 
 Rule 2 — snapshot provenance. No code outside src/broker/core_snapshot.*
@@ -52,14 +53,19 @@ FORBIDDEN_IN_DATA_PLANE = [
 DATA_PLANE_FILES = [
     "src/matching/compiled_pst.h",
     "src/matching/compiled_pst.cpp",
+    "src/matching/shard_router.h",
     "src/routing/compiled_annotation.h",
     "src/routing/compiled_annotation.cpp",
+    "src/broker/dispatch_batch.h",
 ]
 
 # (file, qualified function name) pairs whose *bodies* are data-plane even
 # though the surrounding TU also holds control-plane code.
 DATA_PLANE_FUNCTIONS = [
     ("src/broker/broker_core.cpp", "BrokerCore::dispatch"),
+    # The "dispatch" pattern matches only whole names, so the per-event
+    # kernel behind the batch entry point needs its own entry.
+    ("src/broker/broker_core.cpp", "BrokerCore::dispatch_pinned"),
     ("src/broker/broker_core.cpp", "BrokerCore::match_all"),
     ("src/matching/pst_matcher.cpp", "PstMatcher::match"),
     ("src/matching/pst_matcher.cpp", "PstMatcher::match_into"),

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Local CI: release build + full test suite, sanitizer passes (ASan, UBSan,
 # TSan — each pure, in its own build directory), a perf smoke over the
-# matching kernels, and the static-analysis lint leg (plane-separation
+# matching kernels, a multi-core scaling check over the sharded batch
+# dispatch pipeline, and the static-analysis lint leg (plane-separation
 # checker + clang-tidy). See docs/static-analysis.md for the full matrix.
 #
-#   tools/ci.sh             # release + asan + ubsan + tsan + chaos + perf + lint
+#   tools/ci.sh             # release + asan + ubsan + tsan + chaos + perf +
+#                           # scaling + lint
 #   tools/ci.sh release     # just the release leg
 #   tools/ci.sh tsan        # just the ThreadSanitizer leg
 #   tools/ci.sh asan ubsan  # any subset, in order
 #   tools/ci.sh chaos       # fault-injection sweep over extra seeds
+#   tools/ci.sh scaling     # mt_throughput sharded-dispatch scaling check
 #
 # The TSan leg runs the tests labeled `concurrency` (the snapshot /
 # worker-pipeline races are what TSan is here to catch); the ASan, UBSan
@@ -26,7 +29,7 @@ JOBS="${JOBS:-$(nproc)}"
 if [[ $# -gt 0 ]]; then
   LEGS=("$@")
 else
-  LEGS=(release asan ubsan tsan chaos perf lint)
+  LEGS=(release asan ubsan tsan chaos perf scaling lint)
 fi
 
 # NOLINT budget enforced alongside clang-tidy (policy in .clang-tidy).
@@ -77,9 +80,10 @@ run_leg() {
     tsan)    dir=build-tsan     sanitize="thread"    ;;
     chaos)   dir=build          sanitize=""          ;;
     perf)    dir=build          sanitize=""          ;;
+    scaling) dir=build          sanitize=""          ;;
     lint)    run_lint; return ;;
     *)
-      echo "ci.sh: unknown leg '$leg' (release|asan|ubsan|tsan|chaos|perf|lint)" >&2
+      echo "ci.sh: unknown leg '$leg' (release|asan|ubsan|tsan|chaos|perf|scaling|lint)" >&2
       exit 2
       ;;
   esac
@@ -115,7 +119,62 @@ run_leg() {
     # compiled path regressing below the mutable walk, not absolute numbers;
     # run the binary with no args for the full 10k acceptance measurement.
     "$dir/bench/compiled_pst_bench" 2000 500 5
-    echo "perf artifacts: BENCH_micro_kernels.json BENCH_compiled_pst.json"
+    echo "=== [perf] dispatch smoke: mt_throughput sharded batch pipeline ==="
+    # Trimmed sweep (2k subs, 200ms/point, threads capped at nproc). The
+    # regression comparison — parallel points must not fall below the
+    # single-thread baseline — is only meaningful on hosts that can run the
+    # points in parallel, so it is skipped with a notice whenever the bench
+    # reports scaling_valid:false (the JSON then carries
+    # results_invalid_reason instead of speedups).
+    "$dir/bench/mt_throughput" 2000 200 "$(nproc)"
+    python3 - <<'PY'
+import json, sys
+data = json.load(open("BENCH_mt_throughput.json"))
+if not data["scaling_valid"]:
+    print(f"[perf] scaling_valid=false, skipping regression comparison: "
+          f"{data['results_invalid_reason']}")
+    sys.exit(0)
+regressed = [p for p in data["results"] if p.get("speedup_vs_1", 1.0) < 0.9]
+for p in regressed:
+    print(f"[perf] REGRESSION: {p['threads']} threads ran at "
+          f"{p['speedup_vs_1']:.2f}x the single-thread baseline", file=sys.stderr)
+sys.exit(1 if regressed else 0)
+PY
+    echo "perf artifacts: BENCH_micro_kernels.json BENCH_compiled_pst.json BENCH_mt_throughput.json"
+    return
+  fi
+
+  if [[ "$leg" == scaling ]]; then
+    # Multi-core scaling acceptance for the sharded batch data plane:
+    # >= 2x at 4 threads/4 shards, asserted only where the claim is
+    # honest — scaling_valid:true and at least 4 hardware threads. On
+    # smaller hosts the leg still runs the sweep (exercising the batch
+    # pipeline) but reports why no scaling claim is checked.
+    echo "=== [scaling] mt_throughput, threads capped at hardware concurrency ==="
+    "$dir/bench/mt_throughput" 5000 500 "$(nproc)"
+    python3 - <<'PY'
+import json, sys
+data = json.load(open("BENCH_mt_throughput.json"))
+hw = data["hardware_concurrency"]
+if not data["scaling_valid"]:
+    print(f"[scaling] no claim checked: {data['results_invalid_reason']}")
+    sys.exit(0)
+if hw < 4:
+    print(f"[scaling] no claim checked: only {hw} hardware threads (need >= 4 "
+          f"for the 4-shard acceptance point)")
+    sys.exit(0)
+point = next((p for p in data["results"] if p["threads"] == 4), None)
+if point is None:
+    print("[scaling] no 4-thread point in the sweep", file=sys.stderr)
+    sys.exit(1)
+speedup = point["speedup_vs_1"]
+print(f"[scaling] 4 threads / 4 shards: {speedup:.2f}x vs single thread "
+      f"(per-shard events: {point['per_shard_events']})")
+if speedup < 2.0:
+    print(f"[scaling] FAIL: expected >= 2.0x at 4 shards, got {speedup:.2f}x",
+          file=sys.stderr)
+    sys.exit(1)
+PY
     return
   fi
 

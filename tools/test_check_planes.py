@@ -21,8 +21,10 @@ CHECKER = pathlib.Path(__file__).resolve().parent / "check_planes.py"
 CLEAN_TREE = {
     "src/matching/compiled_pst.h": "struct CompiledPst { int match; };\n",
     "src/matching/compiled_pst.cpp": "int compiled_match() { return 1; }\n",
+    "src/matching/shard_router.h": "struct ShardRouter { int shard_of_key; };\n",
     "src/routing/compiled_annotation.h": "struct CompiledAnnotation {};\n",
     "src/routing/compiled_annotation.cpp": "int annotate() { return 2; }\n",
+    "src/broker/dispatch_batch.h": "struct DispatchBatch { int items; };\n",
     "src/broker/core_snapshot.h": (
         "struct CoreSnapshot { int version; };\n"
         "struct SnapshotBuilder { CoreSnapshot build(); };\n"
@@ -35,6 +37,7 @@ CLEAN_TREE = {
         "  if (event > 0) { return event; }\n"
         "  return 0;\n"
         "}\n"
+        "int BrokerCore::dispatch_pinned(int event) { return event; }\n"
         "int BrokerCore::match_all(int event) { return event; }\n"
         "void BrokerCore::add_subscription(int id) { registry_.insert(id); }\n"
     ),
@@ -101,6 +104,7 @@ class CheckPlanesTest(unittest.TestCase):
                     "  publish_snapshot(event);\n"
                     "  return 0;\n"
                     "}\n"
+                    "int BrokerCore::dispatch_pinned(int event) { return event; }\n"
                     "int BrokerCore::match_all(int event) { return event; }\n"
                 )
             },
@@ -184,6 +188,7 @@ class CheckPlanesTest(unittest.TestCase):
                 "src/broker/broker_core.cpp": (
                     "int BrokerCore::dispatch(int event);\n"
                     "int BrokerCore::dispatch(int event) { return event; }\n"
+                    "int BrokerCore::dispatch_pinned(int event) { return event; }\n"
                     "int BrokerCore::match_all(int event) { return event; }\n"
                 )
             },

@@ -142,4 +142,89 @@ std::size_t parse_thread_count(const std::string& spec) {
   return static_cast<std::size_t>(value);
 }
 
+BrokerConfig parse_broker_config(const std::vector<std::string>& args) {
+  BrokerConfig config;
+  int brokers = -1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument("missing value for " + arg);
+      }
+      return args[++i];
+    };
+    const auto next_positive = [&](const char* what) {
+      const int value = parse_int(next(), what);
+      if (value <= 0) {
+        throw std::invalid_argument(arg + " must be > 0, got " + std::to_string(value));
+      }
+      return value;
+    };
+    if (arg == "--id") {
+      config.id = parse_int(next(), "broker id");
+    } else if (arg == "--brokers") {
+      brokers = parse_int(next(), "broker count");
+    } else if (arg == "--links") {
+      config.links = next();
+    } else if (arg == "--listen") {
+      const int port = parse_int(next(), "port");
+      if (port < 0 || port > 65535) {
+        throw std::invalid_argument("--listen port must be in [0, 65535]");
+      }
+      config.listen_port = port;
+    } else if (arg == "--dial") {
+      config.dials.push_back(parse_dial_spec(next()));
+    } else if (arg == "--schema") {
+      config.schemas.push_back(parse_schema_spec(next()));
+    } else if (arg == "--gc-seconds") {
+      config.gc_seconds = next_positive("gc seconds");
+    } else if (arg == "--match-threads") {
+      config.match_threads = parse_thread_count(next());
+    } else if (arg == "--shards") {
+      config.shards = static_cast<std::size_t>(next_positive("shard count"));
+    } else if (arg == "--batch-max") {
+      config.batch_max = static_cast<std::size_t>(next_positive("batch size"));
+    } else if (arg == "--verbose") {
+      config.verbose = true;
+    } else if (arg == "--link-rto-ms") {
+      config.link_rto_ms = next_positive("retransmit timeout");
+    } else if (arg == "--link-heartbeat-ms") {
+      config.link_heartbeat_ms = next_positive("heartbeat interval");
+    } else if (arg == "--link-idle-timeout-ms") {
+      config.link_idle_timeout_ms = next_positive("idle timeout");
+    } else if (arg == "--redial-backoff-ms") {
+      config.redial_backoff_ms = next_positive("redial backoff");
+    } else if (arg == "--redial-backoff-max-ms") {
+      config.redial_backoff_max_ms = next_positive("redial backoff cap");
+    } else if (arg == "--redial-budget") {
+      const int budget = parse_int(next(), "redial budget");
+      if (budget < 0) throw std::invalid_argument("--redial-budget must be >= 0");
+      config.redial_budget = budget;
+    } else {
+      throw std::invalid_argument("unknown argument " + arg);
+    }
+  }
+  if (config.id < 0) throw std::invalid_argument("--id is required");
+  if (brokers <= 0) throw std::invalid_argument("--brokers is required");
+  config.brokers = static_cast<std::size_t>(brokers);
+  if (static_cast<std::size_t>(config.id) >= config.brokers) {
+    throw std::invalid_argument("--id must be < --brokers");
+  }
+  if (config.listen_port < 0) throw std::invalid_argument("--listen is required");
+  if (config.schemas.empty()) {
+    throw std::invalid_argument("at least one --schema is required");
+  }
+  if (config.redial_backoff_max_ms < config.redial_backoff_ms) {
+    throw std::invalid_argument("--redial-backoff-max-ms must be >= --redial-backoff-ms");
+  }
+  for (const DialTarget& dial : config.dials) {
+    if (static_cast<std::size_t>(dial.peer.value) >= config.brokers) {
+      throw std::invalid_argument("--dial peer " + std::to_string(dial.peer.value) +
+                                  " is not in the topology (brokers = " +
+                                  std::to_string(config.brokers) + ")");
+    }
+  }
+  return config;
+}
+
 }  // namespace gryphon::tools

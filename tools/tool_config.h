@@ -39,4 +39,48 @@ std::size_t parse_thread_count(const std::string& spec);
 /// Splits a host:port endpoint.
 void parse_endpoint(const std::string& spec, std::string& host, std::uint16_t& port);
 
+/// The full validated configuration of one brokerd process: every flag
+/// family (identity/topology, schemas, match pipeline, data-plane shards
+/// and batching, link-session timings, redial policy) behind a single
+/// parse + validate entry point, so the tool's main() does no flag
+/// plumbing of its own and every tool reusing brokers parses identically.
+struct BrokerConfig {
+  // Identity and topology (required).
+  int id{-1};
+  std::size_t brokers{0};
+  std::string links;          // "0-1:10,1-2:25"; parsed via parse_topology_spec
+  int listen_port{-1};        // 0 picks an ephemeral port
+  std::vector<DialTarget> dials;
+  std::vector<SchemaPtr> schemas;  // positional information spaces
+
+  // Match pipeline and the sharded, batched data plane.
+  std::size_t match_threads{0};   // 0 = synchronous matching
+  std::size_t shards{1};          // data-plane shards per factored space
+  std::size_t batch_max{32};      // events per worker DispatchBatch drain
+
+  // Maintenance.
+  int gc_seconds{3600};
+  bool verbose{false};
+
+  // Link-session timings (docs/fault-tolerance.md).
+  int link_rto_ms{50};
+  int link_heartbeat_ms{500};
+  int link_idle_timeout_ms{2000};
+  int redial_backoff_ms{20};
+  int redial_backoff_max_ms{5000};
+  int redial_budget{0};  // 0 = redial forever
+
+  /// The parsed topology (convenience over brokers + links).
+  [[nodiscard]] BrokerNetwork topology() const {
+    return parse_topology_spec(brokers, links);
+  }
+};
+
+/// Parses brokerd-style arguments (argv[1..argc), already split) into a
+/// validated BrokerConfig. Throws std::invalid_argument naming the
+/// offending flag on: unknown flags, missing values, missing required
+/// flags (--id, --brokers, --listen, at least one --schema), non-positive
+/// --shards/--batch-max, and non-positive link timings.
+BrokerConfig parse_broker_config(const std::vector<std::string>& args);
+
 }  // namespace gryphon::tools
