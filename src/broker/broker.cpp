@@ -26,7 +26,8 @@ std::uint64_t derive_session_epoch(BrokerId self) {
 
 Broker::Broker(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaPtr> spaces,
                Transport& transport, Options options)
-    : core_(self, topology, std::move(spaces), options.matcher, options.shards),
+    : core_(self, topology, std::move(spaces), options.matcher, options.shards,
+            options.control),
       transport_(&transport),
       options_(std::move(options)),
       session_epoch_(options_.session_epoch != 0 ? options_.session_epoch
@@ -756,7 +757,10 @@ void Broker::mark_link_dead(BrokerId peer) {
 
 Broker::Stats Broker::stats() const {
   MutexLock lock(mutex_);
-  return stats_;
+  core_.control_plane().assert_serialized();  // serialized by mutex_
+  Stats out = stats_;
+  out.control_plane = core_.control_plane_stats();
+  return out;
 }
 
 std::uint64_t Broker::client_log_size(const std::string& name) const {

@@ -73,6 +73,9 @@ class Broker : public TransportHandler {
     /// touch disjoint shard tables. Meaningless without factoring
     /// (Options::matcher.factoring_levels > 0).
     std::size_t shards{1};
+    /// Covering aggregation and delta-compilation behaviour of the core's
+    /// control plane (both on by default; see broker_core.h).
+    ControlPlaneOptions control{};
     /// Events a match worker drains per wakeup into one DispatchBatch
     /// (clamped to >= 1). The batch amortizes snapshot pinning, codec work,
     /// and the apply-side mutex over up to this many events.
@@ -168,6 +171,9 @@ class Broker : public TransportHandler {
     std::uint64_t link_flaps{0};             // broker-link disconnects observed
     std::uint64_t frames_rejected{0};        // malformed frames dropped
     std::uint64_t forwards_dropped_dead_link{0};  // forwards lost to a dead link
+    /// Control-plane churn counters (covering + delta compilation), read
+    /// from the core at stats() time.
+    ControlPlaneStats control_plane{};
   };
   [[nodiscard]] Stats stats() const EXCLUDES(mutex_);
 

@@ -1,13 +1,15 @@
 #include "broker/broker_core.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <stdexcept>
 
 namespace gryphon {
 
 BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
                        std::vector<SchemaPtr> spaces, PstMatcherOptions matcher_options,
-                       std::size_t data_plane_shards)
+                       std::size_t data_plane_shards, ControlPlaneOptions control)
     : self_(self), topology_(&topology), routing_(topology) {
   // Construction is single-threaded by the language; state that once for
   // the whole body so guarded members can be initialized.
@@ -16,6 +18,10 @@ BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
     throw std::invalid_argument("BrokerCore: bad self id");
   }
   if (spaces.empty()) throw std::invalid_argument("BrokerCore: need at least one space");
+  matcher_options_ = matcher_options;
+  control_options_ = control;
+  if (control_options_.delta_segment_target == 0) control_options_.delta_segment_target = 1;
+  if (control_options_.max_delta_segments == 0) control_options_.max_delta_segments = 1;
 
   const auto& ports = topology.ports(self);
   for (const auto& port : ports) {
@@ -78,7 +84,10 @@ BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
   for (SchemaPtr& schema : spaces) {
     Space space;
     if (!schema) throw std::invalid_argument("BrokerCore: null schema");
-    space.matcher = std::make_unique<PstMatcher>(schema, matcher_options);
+    space.segments.push_back(std::make_unique<PstMatcher>(schema, matcher_options_));
+    if (control_options_.covering) {
+      space.covering = std::make_unique<CoveringIndex>(schema, self_);
+    }
     space.schema = std::move(schema);
     spaces_.push_back(std::move(space));
   }
@@ -91,10 +100,10 @@ BrokerCore::BrokerCore(BrokerId self, const BrokerNetwork& topology,
                                                data_plane_shards);
 
   // Publish the initial (all-empty) snapshot.
-  std::vector<const PstMatcher*> matchers;
-  matchers.reserve(spaces_.size());
-  for (const Space& sp : spaces_) matchers.push_back(sp.matcher.get());
-  snapshot_.store(builder_->initial_snapshot(matchers));
+  std::vector<SnapshotBuilder::SpaceSources> sources;
+  sources.reserve(spaces_.size());
+  for (const Space& sp : spaces_) sources.push_back(sources_of(sp));
+  snapshot_.store(builder_->initial_snapshot(sources));
 }
 
 const BrokerCore::Space& BrokerCore::space_at(SpaceId space) const {
@@ -106,39 +115,210 @@ const BrokerCore::Space& BrokerCore::space_at(SpaceId space) const {
 
 const SchemaPtr& BrokerCore::schema(SpaceId space) const { return space_at(space).schema; }
 
+SnapshotBuilder::SpaceSources BrokerCore::sources_of(const Space& sp) const {
+  SnapshotBuilder::SpaceSources sources;
+  sources.segments.reserve(sp.segments.size());
+  for (const auto& matcher : sp.segments) sources.segments.push_back(matcher.get());
+  if (sp.covering != nullptr) sources.covering = sp.covering->snapshot();
+  return sources;
+}
+
 void BrokerCore::publish_snapshot(SpaceId touched) {
-  const auto current = snapshot_.load();
   const auto i = static_cast<std::size_t>(touched.value);
-  snapshot_.store(builder_->next_snapshot(*current, i, *spaces_[i].matcher));
+  Space& sp = spaces_[i];
+  const auto current = snapshot_.load();
+  CompileStats compile;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto next = builder_->next_snapshot(*current, i, sources_of(sp), &compile, !sp.force_full);
+  const auto elapsed_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            t0)
+          .count());
+  snapshot_.store(std::move(next));
+  sp.force_full = false;
+  sp.dirty = false;
+  stats_.segments_compiled += compile.segments_compiled;
+  stats_.segments_reused += compile.segments_reused;
+  if (compile.segments_reused > 0) {
+    ++stats_.delta_publishes;
+  } else {
+    ++stats_.full_publishes;
+  }
+  ++stats_.compile_publishes;
+  stats_.compile_us_total += elapsed_us;
+  const std::size_t bucket =
+      elapsed_us == 0 ? 0
+                      : std::min<std::size_t>(std::bit_width(elapsed_us) - 1,
+                                              ControlPlaneStats::kHistogramBuckets - 1);
+  ++stats_.compile_us_histogram[bucket];
+}
+
+void BrokerCore::publish_covering_only(SpaceId touched) {
+  const auto i = static_cast<std::size_t>(touched.value);
+  Space& sp = spaces_[i];
+  // Deferred tree churn must not ride out behind a table-sharing publish:
+  // flush it the slow way so the snapshot stays self-consistent.
+  if (sp.dirty || sp.force_full) {
+    publish_snapshot(touched);
+    return;
+  }
+  const auto current = snapshot_.load();
+  snapshot_.store(builder_->next_snapshot_covering_only(*current, i, sp.covering->snapshot()));
+  ++stats_.covering_only_publishes;
+}
+
+void BrokerCore::maybe_grow_segments(SpaceId space) {
+  const auto i = static_cast<std::size_t>(space.value);
+  Space& sp = spaces_[i];
+  if (sp.segments.size() >= control_options_.max_delta_segments) return;
+  std::size_t frontier = 0;
+  for (const auto& matcher : sp.segments) frontier += matcher->subscription_count();
+  if (frontier <= sp.segments.size() * control_options_.delta_segment_target) return;
+
+  // Double the slice count and redistribute. The old matchers (and their
+  // Pst trees) are destroyed, so every source-pointer reuse key in the
+  // published snapshot goes stale — force the next publish to compile from
+  // scratch rather than risk an address-reuse collision.
+  const std::size_t next_count =
+      std::min(control_options_.max_delta_segments, sp.segments.size() * 2);
+  std::vector<std::unique_ptr<PstMatcher>> next;
+  next.reserve(next_count);
+  for (std::size_t j = 0; j < next_count; ++j) {
+    next.push_back(std::make_unique<PstMatcher>(sp.schema, matcher_options_));
+  }
+  for (const auto& [id, reg] : registry_) {
+    if (static_cast<std::size_t>(reg.space.value) != i) continue;
+    if (sp.covering != nullptr && sp.covering->is_parked(id)) continue;
+    const Subscription* subscription = nullptr;
+    std::shared_ptr<const Subscription> held;
+    if (sp.covering != nullptr) {
+      held = sp.covering->find(id);
+      subscription = held.get();
+    } else {
+      subscription = sp.segments[segment_of(id, sp.segments.size())]->find_subscription(id);
+    }
+    next[segment_of(id, next_count)]->add(id, *subscription);
+  }
+  sp.segments = std::move(next);
+  sp.force_full = true;
 }
 
 void BrokerCore::add_subscription(SpaceId space, SubscriptionId id,
-                                  const Subscription& subscription, BrokerId owner) {
-  const Space& sp = space_at(space);
+                                  const Subscription& subscription, BrokerId owner,
+                                  SnapshotPolicy policy) {
+  const Space& checked = space_at(space);
+  Space& sp = spaces_[static_cast<std::size_t>(space.value)];
   if (registry_.contains(id)) throw std::invalid_argument("BrokerCore: duplicate subscription");
   if (!owner.valid() || static_cast<std::size_t>(owner.value) >= topology_->broker_count()) {
     throw std::invalid_argument("BrokerCore: bad owner broker");
   }
+  // Replicate the matcher's shape check up front: a parked subscription
+  // never reaches a matcher, and covering on/off must reject identically.
+  if (subscription.schema()->attribute_count() != checked.schema->attribute_count()) {
+    throw std::invalid_argument("BrokerCore: schema arity mismatch");
+  }
   registry_.emplace(id, Registered{space, owner});
+  bool covering_only = false;
   try {
-    sp.matcher->add(id, subscription);
+    if (sp.covering != nullptr) {
+      const CoveringIndex::AddResult result = sp.covering->add(id, subscription, owner);
+      if (result.parked) {
+        covering_only = true;
+      } else {
+        // The new subscription covers `demoted`: pull them out of their
+        // slices (they are parked under it now), then insert it.
+        for (const SubscriptionId demoted : result.demoted) {
+          sp.segments[segment_of(demoted, sp.segments.size())]->remove(demoted);
+        }
+        sp.segments[segment_of(id, sp.segments.size())]->add(id, subscription);
+      }
+    } else {
+      sp.segments[segment_of(id, sp.segments.size())]->add(id, subscription);
+    }
   } catch (...) {
     registry_.erase(id);
     throw;
   }
   ++space_counts_[static_cast<std::size_t>(space.value)];
-  publish_snapshot(space);
+  if (!covering_only) maybe_grow_segments(space);
+  if (policy == SnapshotPolicy::kDefer) {
+    sp.dirty = true;
+    return;
+  }
+  if (covering_only) {
+    publish_covering_only(space);
+  } else {
+    publish_snapshot(space);
+  }
 }
 
-bool BrokerCore::remove_subscription(SubscriptionId id) {
+bool BrokerCore::remove_subscription(SubscriptionId id, SnapshotPolicy policy) {
   const auto it = registry_.find(id);
   if (it == registry_.end()) return false;
   const Registered reg = it->second;
-  spaces_[static_cast<std::size_t>(reg.space.value)].matcher->remove(id);
+  Space& sp = spaces_[static_cast<std::size_t>(reg.space.value)];
+  bool covering_only = false;
+  if (sp.covering != nullptr) {
+    CoveringIndex::RemoveResult result = sp.covering->remove(id);
+    if (result.was_parked) {
+      covering_only = true;
+    } else {
+      sp.segments[segment_of(id, sp.segments.size())]->remove(id);
+      // Uncovering: children that no remaining frontier entry covers go
+      // back into the compiled plane.
+      for (const CoveringIndex::Promoted& promoted : result.promoted) {
+        sp.segments[segment_of(promoted.id, sp.segments.size())]->add(
+            promoted.id, *promoted.subscription);
+      }
+    }
+  } else {
+    sp.segments[segment_of(id, sp.segments.size())]->remove(id);
+  }
   registry_.erase(it);
   --space_counts_[static_cast<std::size_t>(reg.space.value)];
-  publish_snapshot(reg.space);
+  if (policy == SnapshotPolicy::kDefer) {
+    sp.dirty = true;
+    return true;
+  }
+  if (covering_only) {
+    publish_covering_only(reg.space);
+  } else {
+    publish_snapshot(reg.space);
+  }
   return true;
+}
+
+void BrokerCore::publish_space(SpaceId space) {
+  const Space& sp = space_at(space);
+  if (!sp.dirty && !sp.force_full) return;
+  publish_snapshot(space);
+}
+
+std::size_t BrokerCore::frontier_count(SpaceId space) const {
+  const Space& sp = space_at(space);
+  std::size_t n = 0;
+  for (const auto& matcher : sp.segments) n += matcher->subscription_count();
+  return n;
+}
+
+std::size_t BrokerCore::covered_count(SpaceId space) const {
+  const Space& sp = space_at(space);
+  return sp.covering == nullptr ? 0 : sp.covering->parked_count();
+}
+
+std::size_t BrokerCore::segment_count(SpaceId space) const {
+  return space_at(space).segments.size();
+}
+
+ControlPlaneStats BrokerCore::control_plane_stats() const {
+  ControlPlaneStats out = stats_;
+  for (const Space& sp : spaces_) {
+    for (const auto& matcher : sp.segments) {
+      out.frontier_subscriptions += matcher->subscription_count();
+    }
+    if (sp.covering != nullptr) out.covered_subscriptions += sp.covering->parked_count();
+  }
+  return out;
 }
 
 BrokerId BrokerCore::owner_of(SubscriptionId id) const {
@@ -160,12 +340,35 @@ void BrokerCore::dispatch_pinned(const CoreSnapshot& snapshot, SpaceId space, co
   // No bucket: nothing can match anywhere in the network.
   if (bucket == nullptr) return;
 
-  const CompiledDispatchResult result =
-      compiled_dispatch(*bucket->annotations, group_index_of_root_.at(tree_root), event,
-                        init_masks_.at(tree_root), scratch, &out.local_matches);
-  out.steps += result.steps;
+  // Walk every live delta segment of the bucket in slice order and union
+  // the refined masks (Parallel Combine) — exact, because the slices
+  // partition the frontier and a link is forwarded iff some frontier
+  // subscription behind it matches.
+  const std::size_t group = group_index_of_root_.at(tree_root);
+  const TritVector& init_mask = init_masks_.at(tree_root);
+  TritVector mask;
+  bool first = true;
+  for (const auto& segment : bucket->segments) {
+    if (segment == nullptr) continue;
+    CompiledDispatchResult result =
+        compiled_dispatch(*segment->annotations, group, event, init_mask, scratch,
+                          &out.local_matches);
+    out.steps += result.steps;
+    if (first) {
+      mask = std::move(result.mask);
+      first = false;
+    } else {
+      mask.parallel_with(result.mask);
+    }
+  }
+  if (first) return;  // no live segments
+
+  // No parked-child enumeration here: locally-owned subscriptions never
+  // park (CoveringIndex excludes the local broker), so local_matches is
+  // already complete, and remote parked children cannot change the mask —
+  // their same-owner coverer is live in the frontier behind the same links.
   out.deliver_locally = !out.local_matches.empty();
-  for (const LinkIndex link : result.mask.yes_links()) {
+  for (const LinkIndex link : mask.yes_links()) {
     if (link != local_link_) {
       out.forward.push_back(neighbors_[static_cast<std::size_t>(link.value)]);
     }
@@ -246,7 +449,18 @@ std::vector<SubscriptionId> BrokerCore::match_all(SpaceId space, const Event& ev
   const FrozenSpace& fs = *snapshot->spaces[static_cast<std::size_t>(space.value)];
   const FrozenBucket* bucket = fs.bucket_for(event, scratch.factoring_key());
   if (bucket == nullptr) return out;
-  bucket->kernel->match(event, out, scratch);
+  for (const auto& segment : bucket->segments) {
+    if (segment != nullptr) segment->kernel->match(event, out, scratch);
+  }
+  // Parked subscriptions of matched coverers (any owner), re-tested
+  // against the event; the frontier prefix is what the kernels produced.
+  const CoveringSnapshot* covering = fs.covering();
+  if (covering != nullptr && !covering->empty()) {
+    const std::size_t frontier_matches = out.size();
+    for (std::size_t m = 0; m < frontier_matches; ++m) {
+      covering->expand(out[m], event, [&](SubscriptionId child) { out.push_back(child); });
+    }
+  }
   return out;
 }
 

@@ -33,6 +33,7 @@
 // do). See docs/static-analysis.md.
 #pragma once
 
+#include <array>
 #include <map>
 #include <memory>
 #include <optional>
@@ -42,7 +43,9 @@
 
 #include "broker/core_snapshot.h"
 #include "broker/dispatch_batch.h"
+#include "common/hash.h"
 #include "common/thread_annotations.h"
+#include "matching/covering_index.h"
 #include "matching/match_scratch.h"
 #include "matching/pst_matcher.h"
 #include "routing/compiled_annotation.h"
@@ -51,6 +54,49 @@
 #include "topology/spanning_tree.h"
 
 namespace gryphon {
+
+/// Control-plane behaviour of one BrokerCore: subscription covering and
+/// incremental (delta) snapshot compilation. Both default on; the
+/// differential suites (tests/test_covering.cpp) hold the on/off configs to
+/// bit-identical match sets.
+struct ControlPlaneOptions {
+  /// Park covered subscriptions (matching/covering_index.h) instead of
+  /// inserting them into the PSTs.
+  bool covering{true};
+  /// Target frontier subscriptions per delta segment: a space's frontier
+  /// is sliced into independently compiled PstMatchers, doubling the slice
+  /// count whenever the frontier exceeds segments * target (so one churn
+  /// event recompiles ~target subscriptions, not the whole space). The
+  /// default keeps small/medium spaces in a single slice — identical to
+  /// the pre-delta layout.
+  std::size_t delta_segment_target{16384};
+  /// Upper bound on slices per space (growth stops here).
+  std::size_t max_delta_segments{64};
+};
+
+/// Control-plane observability counters (satellite of the covering/delta
+/// work): how churn was absorbed, exposed through Broker::Stats + brokerd.
+struct ControlPlaneStats {
+  /// log2-bucketed publish latency: bucket i counts publishes that took
+  /// [2^i, 2^(i+1)) microseconds (bucket 0 also takes sub-microsecond).
+  static constexpr std::size_t kHistogramBuckets = 20;
+
+  std::uint64_t frontier_subscriptions{0};  // live in compiled kernels
+  std::uint64_t covered_subscriptions{0};   // parked under coverers
+  std::uint64_t delta_publishes{0};         // >= 1 compiled segment reused
+  std::uint64_t full_publishes{0};          // nothing reusable
+  std::uint64_t covering_only_publishes{0};  // O(1) table-sharing publishes
+  std::uint64_t segments_compiled{0};
+  std::uint64_t segments_reused{0};
+  std::uint64_t compile_publishes{0};   // publishes that froze trees
+  std::uint64_t compile_us_total{0};
+  std::array<std::uint64_t, kHistogramBuckets> compile_us_histogram{};
+};
+
+/// Whether a control-plane mutation publishes a fresh snapshot before
+/// returning (the default) or defers publication until publish_space() —
+/// the bulk-load shape: pay one compile for a million subscribes.
+enum class SnapshotPolicy : std::uint8_t { kPublish = 0, kDefer = 1 };
 
 /// A zero-cost capability standing for "the BrokerCore control plane is
 /// serialized". BrokerCore owns no lock of its own: the real exclusion is
@@ -74,10 +120,11 @@ class BrokerCore {
   /// root (any broker may host publishers).
   /// `data_plane_shards` partitions each factored space's compiled buckets
   /// into that many independently matchable shards (clamped to >= 1);
-  /// unfactored spaces always have one effective shard.
+  /// unfactored spaces always have one effective shard. `control` selects
+  /// covering/delta-compilation behaviour (both on by default).
   BrokerCore(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaPtr> spaces,
              PstMatcherOptions matcher_options = PstMatcherOptions(),
-             std::size_t data_plane_shards = 1);
+             std::size_t data_plane_shards = 1, ControlPlaneOptions control = {});
 
   [[nodiscard]] BrokerId self() const { return self_; }
   [[nodiscard]] std::size_t space_count() const { return spaces_.size(); }
@@ -106,11 +153,18 @@ class BrokerCore {
 
   /// Registers a subscription replica. `owner` is the broker whose client
   /// created it. Throws on duplicate id / bad space / schema mismatch.
-  /// Publishes a new snapshot before returning.
+  /// Publishes a new snapshot before returning unless `policy` defers it.
   void add_subscription(SpaceId space, SubscriptionId id, const Subscription& subscription,
-                        BrokerId owner) REQUIRES(control_plane_);
-  /// Removes a replica; false when unknown. Publishes a new snapshot.
-  bool remove_subscription(SubscriptionId id) REQUIRES(control_plane_);
+                        BrokerId owner, SnapshotPolicy policy = SnapshotPolicy::kPublish)
+      REQUIRES(control_plane_);
+  /// Removes a replica; false when unknown. Publishes a new snapshot
+  /// unless `policy` defers it.
+  bool remove_subscription(SubscriptionId id,
+                           SnapshotPolicy policy = SnapshotPolicy::kPublish)
+      REQUIRES(control_plane_);
+  /// Publishes any churn deferred with SnapshotPolicy::kDefer for `space`.
+  /// No-op when nothing is pending.
+  void publish_space(SpaceId space) REQUIRES(control_plane_);
   [[nodiscard]] bool has_subscription(SubscriptionId id) const REQUIRES(control_plane_) {
     return registry_.contains(id);
   }
@@ -121,6 +175,14 @@ class BrokerCore {
   [[nodiscard]] std::size_t subscription_count(SpaceId space) const REQUIRES(control_plane_) {
     return space_counts_.at(static_cast<std::size_t>(space.value));
   }
+  /// Frontier subscriptions of one space — what the compiled kernels carry.
+  [[nodiscard]] std::size_t frontier_count(SpaceId space) const REQUIRES(control_plane_);
+  /// Subscriptions of one space parked under coverers (0 when covering off).
+  [[nodiscard]] std::size_t covered_count(SpaceId space) const REQUIRES(control_plane_);
+  /// Current delta-segment (frontier slice) count of one space.
+  [[nodiscard]] std::size_t segment_count(SpaceId space) const REQUIRES(control_plane_);
+  /// Control-plane churn counters, with the live/covered totals filled in.
+  [[nodiscard]] ControlPlaneStats control_plane_stats() const REQUIRES(control_plane_);
 
   /// The full outcome of dispatching one event at this broker. Defined in
   /// broker/dispatch_batch.h next to the batch context that carries it.
@@ -168,12 +230,21 @@ class BrokerCore {
 
   /// Iterates every registered subscription replica:
   /// fn(space, id, owner, subscription). Used for state synchronization
-  /// when a broker link is (re-)established.
+  /// when a broker link is (re-)established. Parked subscriptions are
+  /// included — covering is a local compilation strategy, not protocol
+  /// state, so peers see the full replica set.
   template <typename Fn>
   void for_each_subscription(Fn&& fn) const REQUIRES(control_plane_) {
     for (const auto& [id, reg] : registry_) {
+      const Space& sp = spaces_[static_cast<std::size_t>(reg.space.value)];
+      if (sp.covering != nullptr) {
+        if (const auto subscription = sp.covering->find(id)) {
+          fn(reg.space, id, reg.owner, *subscription);
+        }
+        continue;
+      }
       const Subscription* subscription =
-          spaces_[static_cast<std::size_t>(reg.space.value)].matcher->find_subscription(id);
+          sp.segments[segment_of(id, sp.segments.size())]->find_subscription(id);
       if (subscription != nullptr) fn(reg.space, id, reg.owner, *subscription);
     }
   }
@@ -185,17 +256,37 @@ class BrokerCore {
   };
   struct Space {
     SchemaPtr schema;
-    std::unique_ptr<PstMatcher> matcher;  // all subscriptions; writer-only
+    /// Frontier slices, indexed by segment_of(id); writer-only. One slice
+    /// until growth (see ControlPlaneOptions::delta_segment_target).
+    std::vector<std::unique_ptr<PstMatcher>> segments;
+    std::unique_ptr<CoveringIndex> covering;  // null when covering off
+    bool dirty{false};       // churn deferred with SnapshotPolicy::kDefer
+    bool force_full{false};  // slices rebuilt since last publish: no reuse
   };
   struct Registered {
     SpaceId space;
     BrokerId owner;
   };
 
+  /// The frontier slice a subscription id lives in — a pure function, so
+  /// add/remove/growth all agree.
+  [[nodiscard]] static std::size_t segment_of(SubscriptionId id, std::size_t count) {
+    return count <= 1 ? 0 : splitmix64(static_cast<std::uint64_t>(id.value)) % count;
+  }
+
   [[nodiscard]] const Space& space_at(SpaceId space) const;
-  /// Rebuilds the touched space's frozen state (reusing unchanged buckets)
-  /// and atomically publishes a new snapshot. Writer-side only.
+  [[nodiscard]] SnapshotBuilder::SpaceSources sources_of(const Space& sp) const
+      REQUIRES(control_plane_);
+  /// Recompiles the touched space's frozen state (reusing unchanged
+  /// segments) and atomically publishes a new snapshot. Writer-side only.
   void publish_snapshot(SpaceId touched) REQUIRES(control_plane_);
+  /// O(1) publish for covering-only churn: shares the compiled tables,
+  /// swaps the covering sidecar.
+  void publish_covering_only(SpaceId touched) REQUIRES(control_plane_);
+  /// Doubles the space's slice count when the frontier outgrows
+  /// delta_segment_target per slice, redistributing every frontier
+  /// subscription (forces the next publish to compile from scratch).
+  void maybe_grow_segments(SpaceId space) REQUIRES(control_plane_);
   /// Matches one event against an already-pinned snapshot and fills `out`.
   /// The shared hot path under both dispatch shapes; data-plane pure.
   void dispatch_pinned(const CoreSnapshot& snapshot, SpaceId space, const Event& event,
@@ -217,6 +308,9 @@ class BrokerCore {
   mutable ControlPlaneCapability control_plane_;
   std::unordered_map<SubscriptionId, Registered> registry_ GUARDED_BY(control_plane_);
   std::vector<std::size_t> space_counts_ GUARDED_BY(control_plane_);
+  PstMatcherOptions matcher_options_;  // slice shape, reused by growth
+  ControlPlaneOptions control_options_;
+  ControlPlaneStats stats_ GUARDED_BY(control_plane_);
   std::unique_ptr<SnapshotBuilder> builder_;
   SnapshotSlot snapshot_;
 };

@@ -2,85 +2,165 @@
 
 namespace gryphon {
 
-std::shared_ptr<const FrozenBucket> SnapshotBuilder::freeze_bucket(const Pst& tree) const {
-  auto bucket = std::make_shared<FrozenBucket>();
-  bucket->source = &tree;
-  bucket->epoch = tree.epoch();
-  bucket->subscriptions = tree.subscription_count();
+std::shared_ptr<const CompiledSegment> SnapshotBuilder::freeze_segment(const Pst& tree) const {
+  auto segment = std::make_shared<CompiledSegment>();
+  segment->source = &tree;
+  segment->epoch = tree.epoch();
+  segment->subscriptions = tree.subscription_count();
   // Compile: Pst -> FrozenPsg (structural optimization) -> CompiledPst
   // (flat kernel). The intermediate graph is discarded — readers only ever
   // see the compiled form.
   const FrozenPsg graph(tree);
-  bucket->kernel = std::make_unique<const CompiledPst>(graph);
-  bucket->annotations = std::make_unique<const CompiledAnnotation>(
-      *bucket->kernel, link_count_, std::span<const SubscriptionLinkFn>(group_link_fns_),
+  segment->kernel = std::make_unique<const CompiledPst>(graph);
+  segment->annotations = std::make_unique<const CompiledAnnotation>(
+      *segment->kernel, link_count_, std::span<const SubscriptionLinkFn>(group_link_fns_),
       local_link_);
-  return bucket;
+  return segment;
 }
 
-std::shared_ptr<const FrozenSpace> SnapshotBuilder::freeze(const PstMatcher& matcher,
-                                                           const FrozenSpace* previous) const {
+std::shared_ptr<const FrozenSpace> SnapshotBuilder::freeze(const SpaceSources& sources,
+                                                           const FrozenSpace* previous,
+                                                           CompileStats* stats) const {
   auto space = std::make_shared<FrozenSpace>();
-  space->factoring_ = matcher.factoring();
-  space->subscription_count_ = matcher.subscription_count();
+  const std::size_t seg_count = sources.segments.size();
+  space->factoring_ = sources.segments.front()->factoring();
   space->router_ = router_;
-  if (space->factoring_ != nullptr) {
-    space->shards_.resize(router_.shard_count());
+  space->covering_ = sources.covering;
+  auto table = std::make_shared<FrozenSpace::Table>();
+  if (space->factoring_ != nullptr) table->shards.resize(router_.shard_count());
+  for (const PstMatcher* segment : sources.segments) {
+    table->subscription_count += segment->subscription_count();
   }
-  matcher.for_each_bucket([&](const FactoringIndex::Key* key, const Pst& tree) {
-    // Empty bucket trees are dropped from the snapshot: a missing bucket
-    // already means "nothing can match", and skipping them keeps snapshots
-    // small after heavy unsubscribe churn.
-    if (tree.subscription_count() == 0) return;
-    // Shard placement is deterministic in the key, so both the reuse probe
-    // into `previous` and the emplace below land in the same shard index.
-    const std::size_t shard = key == nullptr ? 0 : router_.shard_of_key(*key);
-    std::shared_ptr<const FrozenBucket> bucket;
-    if (previous != nullptr) {
-      const FrozenBucket* old = nullptr;
+
+  // Aggregate the live trees per factoring key across every frontier
+  // slice: slice j contributes at most one tree per key, landing at index
+  // j of that key's FrozenBucket. Empty trees are dropped — a missing
+  // bucket/segment already means "nothing can match", and skipping them
+  // keeps snapshots small after heavy unsubscribe churn.
+  struct Contribution {
+    std::size_t segment;
+    const Pst* tree;
+  };
+  std::unordered_map<FactoringIndex::Key, std::vector<Contribution>, FactoringIndex::KeyHash>
+      by_key;
+  std::vector<Contribution> single;
+  for (std::size_t j = 0; j < seg_count; ++j) {
+    sources.segments[j]->for_each_bucket([&](const FactoringIndex::Key* key, const Pst& tree) {
+      if (tree.subscription_count() == 0) return;
       if (key == nullptr) {
-        old = previous->single_.get();
-      } else if (shard < previous->shards_.size()) {
-        const auto& old_buckets = previous->shards_[shard].buckets;
-        const auto it = old_buckets.find(*key);
-        if (it != old_buckets.end()) old = it->second.get();
+        single.push_back({j, &tree});
+      } else {
+        by_key[*key].push_back({j, &tree});
       }
-      // Reuse: same source tree, no mutations since it was frozen. Tree
-      // objects are never freed while the matcher lives, so pointer
-      // identity plus the mutation epoch is a sound key.
-      if (old != nullptr && old->source == &tree && old->epoch == tree.epoch()) {
-        bucket = key == nullptr ? previous->single_
-                                : previous->shards_[shard].buckets.at(*key);
+    });
+  }
+
+  // Reuse: same source tree, no mutations since it was frozen. Tree
+  // objects are never freed while their matcher lives (the caller passes
+  // reuse_previous=false across slice rebuilds), so pointer identity plus
+  // the mutation epoch is a sound key. A bucket whose every live segment
+  // is reusable keeps its FrozenBucket object outright.
+  const auto build_bucket = [&](const std::vector<Contribution>& contributions,
+                                const std::shared_ptr<const FrozenBucket>& old)
+      -> std::shared_ptr<const FrozenBucket> {
+    if (old != nullptr && old->segments.size() == seg_count) {
+      std::size_t live = 0;
+      for (const auto& segment : old->segments) {
+        if (segment != nullptr) ++live;
+      }
+      bool reusable = live == contributions.size();
+      for (const Contribution& c : contributions) {
+        if (!reusable) break;
+        const auto& segment = old->segments[c.segment];
+        reusable = segment != nullptr && segment->source == c.tree &&
+                   segment->epoch == c.tree->epoch();
+      }
+      if (reusable) {
+        if (stats != nullptr) stats->segments_reused += contributions.size();
+        return old;
       }
     }
-    if (!bucket) bucket = freeze_bucket(tree);
-    if (key == nullptr) {
-      space->single_ = std::move(bucket);
-    } else {
-      space->shards_[shard].subscription_count += tree.subscription_count();
-      space->shards_[shard].buckets.emplace(*key, std::move(bucket));
+    auto bucket = std::make_shared<FrozenBucket>();
+    bucket->segments.assign(seg_count, nullptr);
+    for (const Contribution& c : contributions) {
+      std::shared_ptr<const CompiledSegment> segment;
+      if (old != nullptr && c.segment < old->segments.size()) {
+        const auto& prev = old->segments[c.segment];
+        if (prev != nullptr && prev->source == c.tree && prev->epoch == c.tree->epoch()) {
+          segment = prev;
+          if (stats != nullptr) ++stats->segments_reused;
+        }
+      }
+      if (segment == nullptr) {
+        segment = freeze_segment(*c.tree);
+        if (stats != nullptr) ++stats->segments_compiled;
+      }
+      bucket->subscriptions += segment->subscriptions;
+      bucket->segments[c.segment] = std::move(segment);
     }
-  });
+    return bucket;
+  };
+
+  if (space->factoring_ == nullptr) {
+    if (!single.empty()) {
+      table->single =
+          build_bucket(single, previous != nullptr ? previous->table_->single : nullptr);
+    }
+  } else {
+    for (const auto& [key, contributions] : by_key) {
+      // Shard placement is deterministic in the key, so both the reuse
+      // probe into `previous` and the emplace below land in the same shard.
+      const std::size_t shard = router_.shard_of_key(key);
+      std::shared_ptr<const FrozenBucket> old;
+      if (previous != nullptr && shard < previous->table_->shards.size()) {
+        const auto& old_buckets = previous->table_->shards[shard].buckets;
+        const auto it = old_buckets.find(key);
+        if (it != old_buckets.end()) old = it->second;
+      }
+      auto bucket = build_bucket(contributions, old);
+      table->shards[shard].subscription_count += bucket->subscriptions;
+      table->shards[shard].buckets.emplace(key, std::move(bucket));
+    }
+  }
+  space->table_ = std::move(table);
   return space;
 }
 
 std::shared_ptr<const CoreSnapshot> SnapshotBuilder::initial_snapshot(
-    const std::vector<const PstMatcher*>& matchers) const {
+    const std::vector<SpaceSources>& spaces) const {
   auto snapshot = std::make_shared<CoreSnapshot>();
   snapshot->version = 0;
-  snapshot->spaces.reserve(matchers.size());
-  for (const PstMatcher* matcher : matchers) {
-    snapshot->spaces.push_back(freeze(*matcher, nullptr));
+  snapshot->spaces.reserve(spaces.size());
+  for (const SpaceSources& sources : spaces) {
+    snapshot->spaces.push_back(freeze(sources, nullptr, nullptr));
   }
   return snapshot;
 }
 
 std::shared_ptr<const CoreSnapshot> SnapshotBuilder::next_snapshot(
-    const CoreSnapshot& current, std::size_t touched, const PstMatcher& matcher) const {
+    const CoreSnapshot& current, std::size_t touched, const SpaceSources& sources,
+    CompileStats* stats, bool reuse_previous) const {
   auto next = std::make_shared<CoreSnapshot>();
   next->version = current.version + 1;
   next->spaces = current.spaces;  // untouched spaces carry over wholesale
-  next->spaces[touched] = freeze(matcher, current.spaces[touched].get());
+  next->spaces[touched] =
+      freeze(sources, reuse_previous ? current.spaces[touched].get() : nullptr, stats);
+  return next;
+}
+
+std::shared_ptr<const CoreSnapshot> SnapshotBuilder::next_snapshot_covering_only(
+    const CoreSnapshot& current, std::size_t touched,
+    std::shared_ptr<const CoveringSnapshot> covering) const {
+  auto next = std::make_shared<CoreSnapshot>();
+  next->version = current.version + 1;
+  next->spaces = current.spaces;
+  const FrozenSpace& old = *current.spaces[touched];
+  auto space = std::make_shared<FrozenSpace>();
+  space->factoring_ = old.factoring_;
+  space->router_ = old.router_;
+  space->table_ = old.table_;  // the whole compiled plane, shared
+  space->covering_ = std::move(covering);
+  next->spaces[touched] = std::move(space);
   return next;
 }
 

@@ -7,40 +7,51 @@
 // the derived read-side state after every control-plane change:
 //
 //   CoreSnapshot -> FrozenSpace (per information space)
-//                -> shard      (per factoring-key hash slice)
+//                -> Table       (the bucket tables; shared across
+//                                covering-only publishes)
+//                -> shard       (per factoring-key hash slice)
 //                -> FrozenBucket (per factoring bucket)
+//                -> CompiledSegment (per delta segment)
 //                -> CompiledPst + CompiledAnnotation (all groups).
 //
-// Freezing a bucket *compiles* its tree: the mutable Pst is snapshotted
-// into a FrozenPsg (star-chain collapse, hash-consing), flattened into a
+// Freezing *compiles* a tree: the mutable Pst is snapshotted into a
+// FrozenPsg (star-chain collapse, hash-consing), flattened into a
 // CompiledPst — the struct-of-arrays kernel with interned u64 equality
 // keys — and annotated with the flat per-group trit rows of
 // CompiledAnnotation. The intermediate FrozenPsg is discarded; readers only
 // ever touch the compiled form.
 //
-// Sharding: a factored space's buckets are partitioned into
-// `shard_count` independently matchable shards by hashing the factoring
-// key (matching/shard_router.h). Placement is a pure function of the key,
-// so the builder (distributing buckets below) and batch dispatch (grouping
+// Sharding: a factored space's buckets are partitioned into `shard_count`
+// independently matchable shards by hashing the factoring key
+// (matching/shard_router.h). Placement is a pure function of the key, so
+// the builder (distributing buckets below) and batch dispatch (grouping
 // events by serving shard) agree without coordination. An unfactored space
-// has one bucket and one effective shard. The two-level split mirrors the
-// control-plane/data-plane idiom of SNIPPETS.md's cuckoo router: the
-// mutable control plane assembles the shards, the immutable hot plane is
-// what the existing SnapshotSlot swap publishes.
+// has one bucket and one effective shard.
+//
+// Delta segmentation: the control plane slices each space's frontier into
+// `segments` independent PstMatchers by hashing the subscription id
+// (broker_core.h). A bucket therefore holds up to one CompiledSegment per
+// slice, and a churn event recompiles only the slices whose trees actually
+// mutated — every other CompiledSegment is carried into the next snapshot
+// byte-for-byte (shared_ptr), identified by its stable Pst pointer plus the
+// tree's mutation epoch. Dispatch walks a bucket's segments in slice order
+// and unions their refined masks (Parallel Combine), which is exact because
+// the slices partition the frontier. A whole unchanged space still carries
+// over wholesale, and a bucket whose every segment is reusable keeps its
+// FrozenBucket object too.
+//
+// Covering: the frontier is what the kernels match; subscriptions parked
+// under a coverer (matching/covering_index.h) live in the CoveringSnapshot
+// each FrozenSpace carries for dispatch-time enumeration. Covering-only
+// churn — parking or unparking a subscription without touching any tree —
+// publishes in O(1): the new FrozenSpace shares the previous Table and
+// swaps the covering pointer (next_snapshot_covering_only).
 //
 // The current snapshot hangs off a SnapshotSlot in BrokerCore; readers pin
 // it once per event batch and then touch only deeply-immutable objects, so
 // dispatch never blocks on subscription churn for longer than a pointer
 // copy and any number of threads can match concurrently (each with its own
 // MatchScratch).
-//
-// Rebuild (= recompile) cost is bounded by reuse: an unchanged space is
-// carried into the next snapshot wholesale (shared FrozenSpace), and within
-// a rebuilt space every bucket whose source tree is untouched — identified
-// by its stable Pst pointer plus the tree's mutation epoch — keeps its
-// compiled kernel and annotations (shared FrozenBucket). Shard placement is
-// deterministic, so the reuse probe looks in exactly one shard. A subscribe
-// therefore recompiles only the buckets its subscription actually lives in.
 #pragma once
 
 #include <memory>
@@ -49,18 +60,19 @@
 
 #include "common/mutex.h"
 #include "matching/compiled_pst.h"
+#include "matching/covering_snapshot.h"
 #include "matching/pst_matcher.h"
 #include "matching/shard_router.h"
 #include "routing/compiled_annotation.h"
 
 namespace gryphon {
 
-/// One factoring bucket, frozen and compiled: the flat match kernel of the
-/// bucket's tree and its trit annotations for every spanning-tree group of
-/// the owning broker. `source` + `epoch` identify the tree state this was
-/// compiled from; they are used only as a reuse key, never dereferenced by
-/// readers.
-struct FrozenBucket {
+/// One delta segment of one factoring bucket, frozen and compiled: the flat
+/// match kernel of the segment's tree and its trit annotations for every
+/// spanning-tree group of the owning broker. `source` + `epoch` identify
+/// the tree state this was compiled from; they are used only as a reuse
+/// key, never dereferenced by readers.
+struct CompiledSegment {
   const Pst* source{nullptr};
   std::uint64_t epoch{0};
   std::size_t subscriptions{0};
@@ -68,15 +80,23 @@ struct FrozenBucket {
   std::unique_ptr<const CompiledAnnotation> annotations;
 };
 
-/// One information space, frozen and sharded. Buckets holding no
-/// subscriptions are omitted: a missing bucket means nothing in the network
+/// One factoring bucket: the compiled segments of every frontier slice that
+/// has subscriptions in this bucket, indexed by slice (null entries mark
+/// slices empty here). Buckets with no subscriptions in any slice are
+/// omitted from the table: a missing bucket means nothing in the network
 /// can match.
+struct FrozenBucket {
+  std::size_t subscriptions{0};  // sum over segments
+  std::vector<std::shared_ptr<const CompiledSegment>> segments;
+};
+
+/// One information space, frozen and sharded.
 class FrozenSpace {
  public:
   /// Shards of this space: 1 for unfactored spaces, the builder's
   /// configured count otherwise.
   [[nodiscard]] std::size_t shard_count() const {
-    return factoring_ == nullptr ? 1 : shards_.size();
+    return factoring_ == nullptr ? 1 : table_->shards.size();
   }
 
   /// The shard that would serve `event`. Computes the factoring key into
@@ -93,13 +113,13 @@ class FrozenSpace {
   /// hot path: it assigns into the reused buffer instead of allocating a
   /// fresh vector of Value copies per event.
   [[nodiscard]] const FrozenBucket* bucket_for(const Event& event) const {
-    if (factoring_ == nullptr) return single_.get();
+    if (factoring_ == nullptr) return table_->single.get();
     FactoringIndex::Key key = factoring_->event_key(event);
     return find_bucket(key);
   }
   [[nodiscard]] const FrozenBucket* bucket_for(const Event& event,
                                                FactoringIndex::Key& scratch_key) const {
-    if (factoring_ == nullptr) return single_.get();
+    if (factoring_ == nullptr) return table_->single.get();
     factoring_->event_key_into(event, scratch_key);
     return find_bucket(scratch_key);
   }
@@ -109,24 +129,36 @@ class FrozenSpace {
   /// `scratch_key` must still hold the event's factoring key.
   [[nodiscard]] const FrozenBucket* bucket_in_shard(
       std::size_t shard, const FactoringIndex::Key& scratch_key) const {
-    if (factoring_ == nullptr) return single_.get();
-    const auto& buckets = shards_[shard].buckets;
+    if (factoring_ == nullptr) return table_->single.get();
+    const auto& buckets = table_->shards[shard].buckets;
     const auto it = buckets.find(scratch_key);
     return it == buckets.end() ? nullptr : it->second.get();
   }
 
+  /// The parked-subscription sidecar for dispatch-time enumeration, or
+  /// nullptr when covering is off for this core.
+  [[nodiscard]] const CoveringSnapshot* covering() const { return covering_.get(); }
+  /// Subscriptions parked under frontier coverers (not in any kernel).
+  [[nodiscard]] std::size_t covered_count() const {
+    return covering_ == nullptr ? 0 : covering_->parked_count();
+  }
+
   [[nodiscard]] bool factored() const { return factoring_ != nullptr; }
-  [[nodiscard]] std::size_t subscription_count() const { return subscription_count_; }
+  /// Frontier subscription replicas in the compiled tables (parked
+  /// subscriptions are counted by covered_count()).
+  [[nodiscard]] std::size_t subscription_count() const { return table_->subscription_count; }
   /// Subscription replicas living in one shard's buckets (replicated
   /// subscriptions count once per bucket they occupy).
   [[nodiscard]] std::size_t shard_subscription_count(std::size_t shard) const {
-    if (factoring_ == nullptr) return single_ != nullptr ? single_->subscriptions : 0;
-    return shards_[shard].subscription_count;
+    if (factoring_ == nullptr) {
+      return table_->single != nullptr ? table_->single->subscriptions : 0;
+    }
+    return table_->shards[shard].subscription_count;
   }
   [[nodiscard]] std::size_t bucket_count() const {
-    if (factoring_ == nullptr) return single_ != nullptr ? 1 : 0;
+    if (factoring_ == nullptr) return table_->single != nullptr ? 1 : 0;
     std::size_t n = 0;
-    for (const Shard& shard : shards_) n += shard.buckets.size();
+    for (const Shard& shard : table_->shards) n += shard.buckets.size();
     return n;
   }
 
@@ -142,17 +174,25 @@ class FrozenSpace {
     std::size_t subscription_count{0};
   };
 
+  /// The compiled bucket tables, split out behind a shared_ptr so a
+  /// covering-only publish can share them wholesale instead of re-walking
+  /// every bucket.
+  struct Table {
+    std::shared_ptr<const FrozenBucket> single;  // unfactored spaces only
+    std::vector<Shard> shards;                   // factored spaces only
+    std::size_t subscription_count{0};
+  };
+
   [[nodiscard]] const FrozenBucket* find_bucket(const FactoringIndex::Key& key) const {
-    const auto& buckets = shards_[router_.shard_of_key(key)].buckets;
+    const auto& buckets = table_->shards[router_.shard_of_key(key)].buckets;
     const auto it = buckets.find(key);
     return it == buckets.end() ? nullptr : it->second.get();
   }
 
   const FactoringIndex* factoring_{nullptr};  // owned by the core's matcher
   ShardRouter router_{1};
-  std::shared_ptr<const FrozenBucket> single_;  // unfactored spaces only
-  std::vector<Shard> shards_;                   // factored spaces only
-  std::size_t subscription_count_{0};
+  std::shared_ptr<const Table> table_;
+  std::shared_ptr<const CoveringSnapshot> covering_;  // null when covering off
 };
 
 /// The read-side state of a whole BrokerCore at one control-plane version.
@@ -183,6 +223,13 @@ class SnapshotSlot {
   std::shared_ptr<const CoreSnapshot> current_ GUARDED_BY(mutex_);
 };
 
+/// Compile work accounting for one freeze, so the control plane can expose
+/// delta- vs full-recompile behaviour (Broker::Stats, bench/churn_bench).
+struct CompileStats {
+  std::size_t segments_compiled{0};
+  std::size_t segments_reused{0};
+};
+
 /// Builds FrozenSpace instances and assembles CoreSnapshots for BrokerCore.
 /// Stateless besides the broker-shape parameters; call the build methods
 /// under the writer serialization. This is the *only* place CoreSnapshots
@@ -201,22 +248,46 @@ class SnapshotBuilder {
 
   [[nodiscard]] std::size_t shard_count() const { return router_.shard_count(); }
 
-  /// Freezes the current state of `matcher`, reusing buckets from
-  /// `previous` (may be null) whose source tree epoch is unchanged.
-  [[nodiscard]] std::shared_ptr<const FrozenSpace> freeze(const PstMatcher& matcher,
-                                                          const FrozenSpace* previous) const;
+  /// The mutable sources of one space at freeze time.
+  struct SpaceSources {
+    /// The frontier slices, indexed by segment id; at least one, all
+    /// sharing one schema/options shape. Segment 0's factoring index is
+    /// the space's event-key authority.
+    std::vector<const PstMatcher*> segments;
+    /// The parked-subscription view to publish alongside; null when
+    /// covering is off.
+    std::shared_ptr<const CoveringSnapshot> covering;
+  };
+
+  /// Freezes the current state of `sources`, reusing compiled segments
+  /// from `previous` (may be null) whose source tree epoch is unchanged.
+  /// `stats` (may be null) accumulates compile/reuse counts.
+  [[nodiscard]] std::shared_ptr<const FrozenSpace> freeze(const SpaceSources& sources,
+                                                          const FrozenSpace* previous,
+                                                          CompileStats* stats) const;
 
   /// The initial (version 0) snapshot: every space frozen from scratch.
   [[nodiscard]] std::shared_ptr<const CoreSnapshot> initial_snapshot(
-      const std::vector<const PstMatcher*>& matchers) const;
+      const std::vector<SpaceSources>& spaces) const;
 
   /// The successor of `current`: space `touched` is re-frozen (reusing its
-  /// unchanged buckets), every other space carries over wholesale.
+  /// unchanged segments unless `reuse_previous` is false — segment-count
+  /// growth rebuilds the slices, invalidating every source-pointer reuse
+  /// key), every other space carries over wholesale.
   [[nodiscard]] std::shared_ptr<const CoreSnapshot> next_snapshot(
-      const CoreSnapshot& current, std::size_t touched, const PstMatcher& matcher) const;
+      const CoreSnapshot& current, std::size_t touched, const SpaceSources& sources,
+      CompileStats* stats, bool reuse_previous = true) const;
+
+  /// The successor of `current` when only space `touched`'s covering state
+  /// changed (a subscription parked or unparked, no tree mutated): the new
+  /// FrozenSpace shares the previous compiled Table outright and swaps the
+  /// covering pointer. O(1) regardless of bucket count.
+  [[nodiscard]] std::shared_ptr<const CoreSnapshot> next_snapshot_covering_only(
+      const CoreSnapshot& current, std::size_t touched,
+      std::shared_ptr<const CoveringSnapshot> covering) const;
 
  private:
-  [[nodiscard]] std::shared_ptr<const FrozenBucket> freeze_bucket(const Pst& tree) const;
+  [[nodiscard]] std::shared_ptr<const CompiledSegment> freeze_segment(const Pst& tree) const;
 
   std::size_t link_count_;
   LinkIndex local_link_;

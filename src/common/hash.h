@@ -1,0 +1,21 @@
+// Shared integer hash finalizers.
+//
+// splitmix64 (Steele, Lea & Flood — the SplitMix64 output permutation) is a
+// full-avalanche bijection over 64-bit words: every input bit flips each
+// output bit with probability ~1/2. We use it wherever a raw hash or a
+// sequential id feeds a small modulo — FNV composites and dense ids have
+// weak low bits, and `x % n` only looks at those.
+#pragma once
+
+#include <cstdint>
+
+namespace gryphon {
+
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace gryphon

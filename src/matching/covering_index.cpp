@@ -1,0 +1,307 @@
+#include "matching/covering_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace gryphon {
+
+namespace {
+
+/// A range with both bounds absent accepts every value of the attribute.
+bool accepts_all(const AttributeTest& t) {
+  return t.kind == TestKind::kDontCare ||
+         (t.kind == TestKind::kRange && !t.lo.has_value() && !t.hi.has_value());
+}
+
+}  // namespace
+
+CoveringIndex::CoveringIndex(SchemaPtr schema, BrokerId local)
+    : schema_(std::move(schema)), local_(local) {
+  if (!schema_) throw std::invalid_argument("CoveringIndex: null schema");
+  snapshot_ = std::make_shared<const CoveringSnapshot>();
+}
+
+bool CoveringIndex::test_covers(const AttributeTest& a, const AttributeTest& b) {
+  if (accepts_all(a)) return true;
+  switch (b.kind) {
+    case TestKind::kDontCare:
+      return false;  // b accepts everything, a does not
+    case TestKind::kEquals:
+      // b accepts exactly one value; containment is a's acceptance of it.
+      return a.accepts(b.operand);
+    case TestKind::kNotEquals:
+      // b rejects exactly one value, so only the same co-set contains it.
+      return a.kind == TestKind::kNotEquals && a.operand == b.operand;
+    case TestKind::kRange:
+      if (a.kind == TestKind::kEquals) {
+        // Only the degenerate closed range [v, v] fits inside {v}.
+        return b.lo.has_value() && b.hi.has_value() && *b.lo == a.operand &&
+               *b.hi == a.operand && b.lo_inclusive && b.hi_inclusive;
+      }
+      if (a.kind == TestKind::kNotEquals) {
+        return !b.accepts(a.operand);  // the interval misses a's one hole
+      }
+      // Range in range: each present bound of a must pin b at least as
+      // tightly on that side.
+      if (a.lo.has_value()) {
+        if (!b.lo.has_value() || *b.lo < *a.lo) return false;
+        if (*b.lo == *a.lo && b.lo_inclusive && !a.lo_inclusive) return false;
+      }
+      if (a.hi.has_value()) {
+        if (!b.hi.has_value() || *b.hi > *a.hi) return false;
+        if (*b.hi == *a.hi && b.hi_inclusive && !a.hi_inclusive) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool CoveringIndex::covers(const Subscription& a, const Subscription& b) {
+  const auto& at = a.tests();
+  const auto& bt = b.tests();
+  if (at.size() != bt.size()) return false;
+  for (std::size_t i = 0; i < at.size(); ++i) {
+    if (!test_covers(at[i], bt[i])) return false;
+  }
+  return true;
+}
+
+std::size_t CoveringIndex::AnchorKeyHash::operator()(const AnchorKey& k) const noexcept {
+  std::uint64_t h = splitmix64(static_cast<std::uint64_t>(k.owner.value));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(k.attribute));
+  return static_cast<std::size_t>(splitmix64(h ^ k.value.hash()));
+}
+
+std::optional<std::pair<std::size_t, Value>> CoveringIndex::anchor_of(
+    const Subscription& subscription) {
+  const auto& tests = subscription.tests();
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    if (tests[i].kind == TestKind::kEquals) return std::make_pair(i, tests[i].operand);
+  }
+  return std::nullopt;
+}
+
+SubscriptionId CoveringIndex::find_coverer(const Subscription& subscription,
+                                           BrokerId owner) const {
+  // A frontier entry anchored at (attribute, value) can only cover
+  // subscriptions that pin that attribute to the same value, so probing the
+  // anchor index at each of this subscription's equality tests enumerates
+  // every anchored candidate. Unanchored frontier entries (no equality
+  // test) are few in equality-heavy workloads and are scanned directly.
+  const auto& tests = subscription.tests();
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    if (tests[i].kind != TestKind::kEquals) continue;
+    const auto it = anchored_.find(AnchorKey{owner, i, tests[i].operand});
+    if (it == anchored_.end()) continue;
+    for (const SubscriptionId candidate : it->second) {
+      if (covers(*frontier_.at(candidate).subscription, subscription)) return candidate;
+    }
+  }
+  const auto it = unanchored_.find(owner);
+  if (it != unanchored_.end()) {
+    for (const SubscriptionId candidate : it->second) {
+      if (covers(*frontier_.at(candidate).subscription, subscription)) return candidate;
+    }
+  }
+  return SubscriptionId{};
+}
+
+void CoveringIndex::index_frontier(SubscriptionId id, const Frontier& entry) {
+  if (entry.anchor.has_value()) {
+    anchored_[AnchorKey{entry.owner, entry.anchor->first, entry.anchor->second}].push_back(id);
+  } else {
+    unanchored_[entry.owner].push_back(id);
+  }
+}
+
+void CoveringIndex::unindex_frontier(SubscriptionId id, const Frontier& entry) {
+  std::vector<SubscriptionId>* bucket = nullptr;
+  if (entry.anchor.has_value()) {
+    const AnchorKey key{entry.owner, entry.anchor->first, entry.anchor->second};
+    bucket = &anchored_.at(key);
+    if (bucket->size() == 1) {
+      anchored_.erase(key);
+      return;
+    }
+  } else {
+    bucket = &unanchored_.at(entry.owner);
+    if (bucket->size() == 1) {
+      unanchored_.erase(entry.owner);
+      return;
+    }
+  }
+  bucket->erase(std::find(bucket->begin(), bucket->end(), id));
+}
+
+void CoveringIndex::publish_children(SubscriptionId coverer) {
+  const std::size_t si = CoveringSnapshot::slice_of(coverer);
+  auto next = std::make_shared<CoveringSnapshot>(*snapshot_);
+  auto slice = next->slices_[si] != nullptr
+                   ? std::make_shared<CoveringSnapshot::Slice>(*next->slices_[si])
+                   : std::make_shared<CoveringSnapshot::Slice>();
+  const auto it = frontier_.find(coverer);
+  if (it == frontier_.end() || it->second.children.empty()) {
+    slice->erase(coverer);
+  } else {
+    auto list = std::make_shared<CoveringSnapshot::ChildList>();
+    list->reserve(it->second.children.size());
+    for (const SubscriptionId child : it->second.children) {
+      list->push_back({child, parked_.at(child).subscription});
+    }
+    (*slice)[coverer] = std::move(list);
+  }
+  next->slices_[si] = std::move(slice);
+  next->parked_count_ = parked_.size();
+  snapshot_ = std::move(next);
+}
+
+CoveringIndex::AddResult CoveringIndex::add(SubscriptionId id,
+                                            const Subscription& subscription, BrokerId owner) {
+  if (frontier_.contains(id) || parked_.contains(id)) {
+    throw std::invalid_argument("CoveringIndex: duplicate subscription");
+  }
+  auto shared = std::make_shared<const Subscription>(subscription);
+
+  // Locally-owned subscriptions stay compiled (see the header): frontier
+  // membership without candidate indexing, so they neither park nor cover.
+  if (owner == local_) {
+    frontier_.emplace(
+        id, Frontier{std::move(shared), owner, subscription.specific_test_count(),
+                     std::nullopt, {}});
+    return AddResult{};
+  }
+
+  const SubscriptionId coverer = find_coverer(subscription, owner);
+  if (coverer.valid()) {
+    parked_.emplace(id, Parked{shared, owner, coverer});
+    frontier_.at(coverer).children.push_back(id);
+    publish_children(coverer);
+    AddResult result;
+    result.parked = true;
+    result.coverer = coverer;
+    return result;
+  }
+
+  // Entering the frontier: demote every same-owner frontier entry this
+  // subscription covers. The anchor probes run in reverse — at each of the
+  // *new* subscription's equality attributes, anchored entries pinning the
+  // same value are the only anchored entries it can cover. Demoted entries
+  // hand their children straight to the new coverer (parking stays flat).
+  AddResult result;
+  Frontier entry{shared, owner, subscription.specific_test_count(), anchor_of(subscription), {}};
+  const auto consider = [&](const SubscriptionId candidate) {
+    if (std::find(result.demoted.begin(), result.demoted.end(), candidate) !=
+        result.demoted.end()) {
+      return;
+    }
+    if (covers(subscription, *frontier_.at(candidate).subscription)) {
+      result.demoted.push_back(candidate);
+    }
+  };
+  const auto& tests = subscription.tests();
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    if (tests[i].kind != TestKind::kEquals) continue;
+    const auto it = anchored_.find(AnchorKey{owner, i, tests[i].operand});
+    if (it == anchored_.end()) continue;
+    for (const SubscriptionId candidate : it->second) consider(candidate);
+  }
+  if (const auto it = unanchored_.find(owner); it != unanchored_.end()) {
+    for (const SubscriptionId candidate : it->second) consider(candidate);
+  }
+
+  for (const SubscriptionId demoted : result.demoted) {
+    Frontier victim = std::move(frontier_.at(demoted));
+    unindex_frontier(demoted, victim);
+    frontier_.erase(demoted);
+    for (const SubscriptionId grandchild : victim.children) {
+      parked_.at(grandchild).coverer = id;
+      entry.children.push_back(grandchild);
+    }
+    parked_.emplace(demoted, Parked{std::move(victim.subscription), owner, id});
+    entry.children.push_back(demoted);
+  }
+  const bool had_children = !entry.children.empty();
+  index_frontier(id, entry);
+  frontier_.emplace(id, std::move(entry));
+  for (const SubscriptionId demoted : result.demoted) publish_children(demoted);
+  if (had_children) publish_children(id);
+  return result;
+}
+
+CoveringIndex::RemoveResult CoveringIndex::remove(SubscriptionId id) {
+  RemoveResult result;
+  if (const auto it = parked_.find(id); it != parked_.end()) {
+    const SubscriptionId coverer = it->second.coverer;
+    parked_.erase(it);
+    auto& children = frontier_.at(coverer).children;
+    children.erase(std::find(children.begin(), children.end(), id));
+    publish_children(coverer);
+    result.known = true;
+    result.was_parked = true;
+    return result;
+  }
+  const auto it = frontier_.find(id);
+  if (it == frontier_.end()) return result;
+  result.known = true;
+
+  Frontier removed = std::move(it->second);
+  if (removed.owner == local_) {
+    // Never indexed, never a coverer: nothing to unhook or re-home.
+    frontier_.erase(it);
+    return result;
+  }
+  unindex_frontier(id, removed);
+  frontier_.erase(it);
+  publish_children(id);  // erases the snapshot entry
+
+  // Re-home the orphaned children broadest-first: a promoted broad child
+  // immediately becomes a parking candidate for its tighter siblings, so
+  // the frontier grows by a minimal set.
+  std::sort(removed.children.begin(), removed.children.end(),
+            [this](SubscriptionId a, SubscriptionId b) {
+              const auto key = [this](SubscriptionId s) {
+                return std::make_pair(parked_.at(s).subscription->specific_test_count(),
+                                      s.value);
+              };
+              return key(a) < key(b);
+            });
+  std::vector<SubscriptionId> reparked_under;
+  for (const SubscriptionId child : removed.children) {
+    Parked orphan = std::move(parked_.at(child));
+    parked_.erase(child);
+    const SubscriptionId coverer = find_coverer(*orphan.subscription, orphan.owner);
+    if (coverer.valid()) {
+      frontier_.at(coverer).children.push_back(child);
+      orphan.coverer = coverer;
+      parked_.emplace(child, std::move(orphan));
+      reparked_under.push_back(coverer);
+    } else {
+      Frontier promoted{orphan.subscription, orphan.owner,
+                        orphan.subscription->specific_test_count(),
+                        anchor_of(*orphan.subscription), {}};
+      index_frontier(child, promoted);
+      frontier_.emplace(child, std::move(promoted));
+      result.promoted.push_back({child, std::move(orphan.subscription)});
+    }
+  }
+  std::sort(reparked_under.begin(), reparked_under.end());
+  reparked_under.erase(std::unique(reparked_under.begin(), reparked_under.end()),
+                       reparked_under.end());
+  for (const SubscriptionId coverer : reparked_under) publish_children(coverer);
+  if (!reparked_under.empty() || !removed.children.empty()) {
+    // Even when every child promoted (no re-parks), parked_count changed;
+    // publish_children above only ran for re-park targets.
+    publish_children(id);
+  }
+  return result;
+}
+
+std::shared_ptr<const Subscription> CoveringIndex::find(SubscriptionId id) const {
+  if (const auto it = frontier_.find(id); it != frontier_.end()) return it->second.subscription;
+  if (const auto it = parked_.find(id); it != parked_.end()) return it->second.subscription;
+  return nullptr;
+}
+
+}  // namespace gryphon

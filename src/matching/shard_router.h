@@ -18,6 +18,7 @@
 
 #include <cstddef>
 
+#include "common/hash.h"
 #include "matching/pst_matcher.h"
 
 namespace gryphon {
@@ -30,11 +31,15 @@ class ShardRouter {
 
   [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
 
-  /// The shard owning a factoring bucket. Uses the same hash the bucket
-  /// maps key on (FactoringIndex::KeyHash), so co-sharded buckets stay
-  /// cache-adjacent in the per-shard tables.
+  /// The shard owning a factoring bucket. FactoringIndex::KeyHash (FNV over
+  /// a handful of small-domain values) has poor low-bit avalanche, and the
+  /// modulo below only looks at low bits — taken raw it left entire shards
+  /// empty at 16 shards (BENCH_mt_throughput per_shard_events zeros). The
+  /// splitmix64 finalizer spreads every input bit across the word first.
+  /// Still a pure function of (key, shard_count), so SnapshotBuilder and
+  /// dispatch keep agreeing without coordination.
   [[nodiscard]] std::size_t shard_of_key(const FactoringIndex::Key& key) const {
-    return FactoringIndex::KeyHash{}(key) % shard_count_;
+    return splitmix64(FactoringIndex::KeyHash{}(key)) % shard_count_;
   }
 
  private:

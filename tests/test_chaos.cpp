@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -39,7 +40,9 @@ struct ChaosBed {
                                             Attribute{"volume", AttributeType::kInt, {}}});
   BrokerNetwork topo = make_line(kBrokers, 10, 0, 1);
   InProcNetwork net;
-  Ticks clock{0};
+  // Match workers read the clock through Options::clock while the test
+  // thread advances it between pumps, so the cell must be atomic.
+  std::atomic<Ticks> clock{0};
   std::vector<std::unique_ptr<FaultInjectingTransport>> faults;
   std::vector<std::unique_ptr<Broker>> brokers;
   std::vector<std::unique_ptr<Client>> clients;
@@ -67,7 +70,7 @@ struct ChaosBed {
       opts.link_retransmit_timeout = 50;
       opts.link_heartbeat_interval = 200;
       opts.match_threads = match_threads;
-      opts.clock = [this] { return clock; };
+      opts.clock = [this] { return clock.load(std::memory_order_relaxed); };
       brokers.push_back(std::make_unique<Broker>(BrokerId{b}, topo,
                                                  std::vector<SchemaPtr>{schema},
                                                  *faults.back(), opts));

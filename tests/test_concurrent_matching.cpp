@@ -213,6 +213,99 @@ TEST(ConcurrentMatching, ShardedBatchDispatchUnderChurn) {
   for (auto& r : readers) r.join();
 }
 
+// Covering + delta compilation under concurrent dispatch: the writer churns
+// a workload designed to park/promote constantly (broad coverers over a
+// stable covered set) against a core with aggressive slice growth, while
+// readers validate every reported id and the stable subscriptions' matches.
+// Covering-only publishes share the compiled tables between snapshots and
+// the expansion path reads the persistent CoveringSnapshot slices — this is
+// the TSan target for those structures.
+TEST(ConcurrentMatching, CoveringChurnKeepsSnapshotsConsistent) {
+  const auto schema = make_synthetic_schema(4, 3);
+  const BrokerNetwork topo = make_line(3, 10, 0, 1);
+  ControlPlaneOptions control;
+  control.delta_segment_target = 16;  // force multi-segment + growth early
+  control.max_delta_segments = 8;
+  BrokerCore core(BrokerId{1}, topo, {schema}, PstMatcherOptions(), 1, control);
+
+  Rng rng(60321);
+  SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.85, 0.6, 1.0});
+  constexpr std::int64_t kStableCount = 60;
+  constexpr std::int64_t kChurnCount = 30;
+  constexpr std::int64_t kChurnBase = 5000;
+  std::map<SubscriptionId, Subscription> oracle;
+  std::map<SubscriptionId, BrokerId> owner;
+  for (std::int64_t i = 0; i < kStableCount; ++i) {
+    const SubscriptionId id{i};
+    const BrokerId o{static_cast<BrokerId::rep_type>(i % 3)};
+    oracle.emplace(id, gen.generate(rng));
+    owner.emplace(id, o);
+    core.add_subscription(kSpace0, id, oracle.at(id), o);
+  }
+  // Churn set: all-don't-care coverers — every add demotes broad swathes of
+  // the stable set, every remove promotes them back.
+  for (std::int64_t k = 0; k < kChurnCount; ++k) {
+    const SubscriptionId id{kChurnBase + k};
+    oracle.emplace(id, Subscription::match_all(schema));
+    owner.emplace(id, BrokerId{static_cast<BrokerId::rep_type>(k % 3)});
+  }
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int round = 0; round < 120; ++round) {
+      for (std::int64_t k = 0; k < kChurnCount; ++k) {
+        const SubscriptionId id{kChurnBase + k};
+        core.add_subscription(kSpace0, id, oracle.at(id), owner.at(id));
+      }
+      for (std::int64_t k = 0; k < kChurnCount; ++k) {
+        ASSERT_TRUE(core.remove_subscription(SubscriptionId{kChurnBase + k}));
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  const auto reader = [&](unsigned seed) {
+    Rng thread_rng(seed);
+    EventGenerator events(schema);
+    MatchScratch scratch;
+    while (!done.load(std::memory_order_acquire)) {
+      const Event e = events.generate(thread_rng);
+      const BrokerId root{static_cast<BrokerId::rep_type>(thread_rng.below(3))};
+      const auto d = core.dispatch(kSpace0, e, root, scratch);
+      EXPECT_EQ(d.deliver_locally, !d.local_matches.empty());
+      std::set<SubscriptionId> seen;
+      for (const SubscriptionId id : d.local_matches) {
+        EXPECT_TRUE(seen.insert(id).second) << "duplicate local match " << id.value;
+        ASSERT_TRUE(oracle.contains(id));
+        EXPECT_EQ(owner.at(id), BrokerId{1}) << "non-local id " << id.value;
+        EXPECT_TRUE(oracle.at(id).matches(e)) << "false positive id " << id.value;
+      }
+      // A stable matching local subscription must be reported whether the
+      // pinned snapshot has it on the frontier or parked under a coverer.
+      for (std::int64_t i = 0; i < kStableCount; ++i) {
+        const SubscriptionId id{i};
+        if (owner.at(id) == BrokerId{1} && oracle.at(id).matches(e)) {
+          EXPECT_TRUE(seen.contains(id)) << "lost stable match " << id.value;
+        }
+      }
+      const auto all = core.match_all(kSpace0, e);
+      const std::set<SubscriptionId> all_set(all.begin(), all.end());
+      EXPECT_EQ(all_set.size(), all.size()) << "duplicate in match_all";
+      for (std::int64_t i = 0; i < kStableCount; ++i) {
+        const SubscriptionId id{i};
+        if (oracle.at(id).matches(e)) {
+          EXPECT_TRUE(all_set.contains(id)) << "lost stable match_all id " << id.value;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (unsigned t = 0; t < 4; ++t) readers.emplace_back(reader, 700 + t);
+  writer.join();
+  for (auto& r : readers) r.join();
+}
+
 TEST(ConcurrentMatching, SnapshotVersionMonotonicUnderWriters) {
   const auto schema = make_synthetic_schema(3, 3);
   const BrokerNetwork topo = make_line(2, 10, 0, 1);

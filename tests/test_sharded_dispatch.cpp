@@ -10,6 +10,7 @@
 
 #include "broker/broker_core.h"
 #include "common/rng.h"
+#include "matching/shard_router.h"
 #include "topology/builders.h"
 #include "workload/generators.h"
 
@@ -179,6 +180,34 @@ TEST_F(ShardedDispatchTest, UnfactoredSpaceCollapsesToOneShard) {
   DispatchBatch batch;
   for (const Event& e : pool) batch.add(kSpace0, e, BrokerId{0});
   for (const Decision& d : sharded.dispatch(batch)) EXPECT_EQ(d.shard, 0u);
+}
+
+TEST(ShardRouterBalance, SmallDomainKeysSpreadAcrossShards) {
+  // Regression for the FNV low-bit skew: factoring keys drawn from small
+  // integer domains (exactly what make_synthetic_schema produces) used to
+  // pile onto a fraction of the shards, leaving others empty at 16 shards.
+  // With the splitmix64 finalizer the population must hit every shard and
+  // stay within 3x of the mean.
+  std::vector<FactoringIndex::Key> keys;
+  for (std::int64_t a = 0; a < 12; ++a) {
+    for (std::int64_t b = 0; b < 12; ++b) {
+      keys.push_back({Value(a), Value(b)});
+    }
+  }
+  for (const std::size_t shards : {8u, 16u}) {
+    ShardRouter router(shards);
+    std::vector<std::size_t> counts(shards, 0);
+    for (const FactoringIndex::Key& key : keys) ++counts[router.shard_of_key(key)];
+    std::size_t min_count = keys.size();
+    std::size_t max_count = 0;
+    for (const std::size_t c : counts) {
+      min_count = std::min(min_count, c);
+      max_count = std::max(max_count, c);
+    }
+    EXPECT_GT(min_count, 0u) << shards << " shards: an empty shard serves no events";
+    // max <= 3 * mean, i.e. max * shards <= 3 * total.
+    EXPECT_LE(max_count * shards, 3 * keys.size()) << shards << " shards";
+  }
 }
 
 TEST_F(ShardedDispatchTest, BatchValidatesBeforeDispatching) {

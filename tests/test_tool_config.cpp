@@ -106,6 +106,9 @@ TEST(BrokerConfigSpec, MinimalDefaults) {
   EXPECT_EQ(config.match_threads, 0u);
   EXPECT_EQ(config.shards, 1u);
   EXPECT_EQ(config.batch_max, 32u);
+  EXPECT_TRUE(config.covering);
+  EXPECT_EQ(config.delta_segment_target, 16384u);
+  EXPECT_EQ(config.max_delta_segments, 64u);
   EXPECT_EQ(config.gc_seconds, 3600);
   EXPECT_FALSE(config.verbose);
   EXPECT_EQ(config.link_rto_ms, 50);
@@ -122,6 +125,7 @@ TEST(BrokerConfigSpec, AllFlagFamiliesParse) {
   for (const char* extra :
        {"--dial", "1=127.0.0.1:7001", "--schema", "u b:double", "--match-threads", "auto",
         "--shards", "4", "--batch-max", "64", "--gc-seconds", "60", "--verbose",
+        "--no-covering", "--delta-segment-target", "4096", "--max-delta-segments", "8",
         "--link-rto-ms", "25", "--link-heartbeat-ms", "100", "--link-idle-timeout-ms", "400",
         "--redial-backoff-ms", "10", "--redial-backoff-max-ms", "1000",
         "--redial-budget", "3"}) {
@@ -134,6 +138,9 @@ TEST(BrokerConfigSpec, AllFlagFamiliesParse) {
   EXPECT_GE(config.match_threads, 1u);  // "auto" resolves to >= 1
   EXPECT_EQ(config.shards, 4u);
   EXPECT_EQ(config.batch_max, 64u);
+  EXPECT_FALSE(config.covering);
+  EXPECT_EQ(config.delta_segment_target, 4096u);
+  EXPECT_EQ(config.max_delta_segments, 8u);
   EXPECT_EQ(config.gc_seconds, 60);
   EXPECT_TRUE(config.verbose);
   EXPECT_EQ(config.link_rto_ms, 25);
@@ -183,6 +190,10 @@ TEST(BrokerConfigSpec, RejectsInvalidValues) {
   EXPECT_THROW(parse_broker_config(with({"--shards", "0"})), std::invalid_argument);
   EXPECT_THROW(parse_broker_config(with({"--batch-max", "0"})), std::invalid_argument);
   EXPECT_THROW(parse_broker_config(with({"--batch-max", "-3"})), std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(with({"--delta-segment-target", "0"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(with({"--max-delta-segments", "0"})),
+               std::invalid_argument);
   EXPECT_THROW(parse_broker_config(with({"--link-rto-ms", "0"})), std::invalid_argument);
   EXPECT_THROW(parse_broker_config(with({"--listen", "70000"})), std::invalid_argument);
   EXPECT_THROW(parse_broker_config(with({"--redial-budget", "-1"})), std::invalid_argument);

@@ -71,6 +71,7 @@ struct Relay : TransportHandler {
                "          [--dial ID=HOST:PORT]... --schema \"NAME attr:type ...\" ...\n"
                "          [--gc-seconds N] [--match-threads N|auto] [--verbose]\n"
                "          [--shards N] [--batch-max N]\n"
+               "          [--no-covering] [--delta-segment-target N] [--max-delta-segments N]\n"
                "          [--link-rto-ms N] [--link-heartbeat-ms N]\n"
                "          [--link-idle-timeout-ms N] [--redial-backoff-ms N]\n"
                "          [--redial-backoff-max-ms N] [--redial-budget N]\n",
@@ -97,6 +98,9 @@ int main(int argc, char** argv) {
     options.match_threads = config.match_threads;
     options.shards = config.shards;
     options.match_batch_max = config.batch_max;
+    options.control.covering = config.covering;
+    options.control.delta_segment_target = config.delta_segment_target;
+    options.control.max_delta_segments = config.max_delta_segments;
     options.link_retransmit_timeout = ticks_from_millis(config.link_rto_ms);
     options.link_heartbeat_interval = ticks_from_millis(config.link_heartbeat_ms);
     Relay relay;
@@ -175,6 +179,31 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.link_flaps),
         static_cast<unsigned long long>(stats.frames_rejected),
         static_cast<unsigned long long>(stats.forwards_dropped_dead_link));
+    const auto& cp = stats.control_plane;
+    const unsigned long long compiles = cp.compile_publishes;
+    std::printf(
+        "brokerd: control plane (frontier=%llu covered=%llu delta=%llu full=%llu "
+        "covering_only=%llu segments_compiled=%llu segments_reused=%llu "
+        "avg_compile_us=%llu)\n",
+        static_cast<unsigned long long>(cp.frontier_subscriptions),
+        static_cast<unsigned long long>(cp.covered_subscriptions),
+        static_cast<unsigned long long>(cp.delta_publishes),
+        static_cast<unsigned long long>(cp.full_publishes),
+        static_cast<unsigned long long>(cp.covering_only_publishes),
+        static_cast<unsigned long long>(cp.segments_compiled),
+        static_cast<unsigned long long>(cp.segments_reused),
+        compiles == 0 ? 0ULL
+                      : static_cast<unsigned long long>(cp.compile_us_total) / compiles);
+    if (config.verbose) {
+      std::printf("brokerd: compile latency histogram (log2 us buckets):");
+      for (std::size_t b = 0; b < ControlPlaneStats::kHistogramBuckets; ++b) {
+        if (cp.compile_us_histogram[b] != 0) {
+          std::printf(" [%zu]=%llu", b,
+                      static_cast<unsigned long long>(cp.compile_us_histogram[b]));
+        }
+      }
+      std::printf("\n");
+    }
     transport.shutdown();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "brokerd: %s\n", e.what());

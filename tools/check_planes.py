@@ -11,7 +11,8 @@ analysis proves the locking side of that contract; this checker proves the
 Rule 1 — data-plane purity. Data-plane code must never reference a
     mutable-Pst write API or a control-plane member. Enforced over the
     fully data-plane translation units (the compiled kernel, its
-    annotations, the shard router, and the batch context) and over the
+    annotations, the shard router, the covering sidecar match_all
+    enumerates parked subscriptions from, and the batch context) and over the
     brace-extracted bodies of the mixed-TU data-plane entry points
     (BrokerCore::dispatch / dispatch_pinned / match_all,
     PstMatcher::match / match_into).
@@ -54,6 +55,7 @@ DATA_PLANE_FILES = [
     "src/matching/compiled_pst.h",
     "src/matching/compiled_pst.cpp",
     "src/matching/shard_router.h",
+    "src/matching/covering_snapshot.h",
     "src/routing/compiled_annotation.h",
     "src/routing/compiled_annotation.cpp",
     "src/broker/dispatch_batch.h",

@@ -22,6 +22,7 @@ CLEAN_TREE = {
     "src/matching/compiled_pst.h": "struct CompiledPst { int match; };\n",
     "src/matching/compiled_pst.cpp": "int compiled_match() { return 1; }\n",
     "src/matching/shard_router.h": "struct ShardRouter { int shard_of_key; };\n",
+    "src/matching/covering_snapshot.h": "struct CoveringSnapshot { int expand; };\n",
     "src/routing/compiled_annotation.h": "struct CompiledAnnotation {};\n",
     "src/routing/compiled_annotation.cpp": "int annotate() { return 2; }\n",
     "src/broker/dispatch_batch.h": "struct DispatchBatch { int items; };\n",
@@ -94,6 +95,22 @@ class CheckPlanesTest(unittest.TestCase):
         self.assertEqual(result.returncode, 1)
         self.assertIn("compiled_pst.cpp:1", result.stderr)
         self.assertIn("add_with_result", result.stderr)
+
+    def test_forbidden_token_in_covering_snapshot_rejected(self):
+        # The covering sidecar is read on every dispatch; it must never
+        # reach back into the control plane's registry.
+        write_tree(
+            self.root,
+            {
+                "src/matching/covering_snapshot.h": (
+                    "struct CoveringSnapshot { int n = registry_.size(); };\n"
+                )
+            },
+        )
+        result = run_checker(self.root)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("covering_snapshot.h:1", result.stderr)
+        self.assertIn("registry_", result.stderr)
 
     def test_forbidden_token_in_data_plane_function_body(self):
         write_tree(

@@ -184,6 +184,14 @@ BrokerConfig parse_broker_config(const std::vector<std::string>& args) {
       config.shards = static_cast<std::size_t>(next_positive("shard count"));
     } else if (arg == "--batch-max") {
       config.batch_max = static_cast<std::size_t>(next_positive("batch size"));
+    } else if (arg == "--no-covering") {
+      config.covering = false;
+    } else if (arg == "--covering") {
+      config.covering = true;
+    } else if (arg == "--delta-segment-target") {
+      config.delta_segment_target = static_cast<std::size_t>(next_positive("segment target"));
+    } else if (arg == "--max-delta-segments") {
+      config.max_delta_segments = static_cast<std::size_t>(next_positive("segment cap"));
     } else if (arg == "--verbose") {
       config.verbose = true;
     } else if (arg == "--link-rto-ms") {

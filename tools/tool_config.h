@@ -58,6 +58,11 @@ struct BrokerConfig {
   std::size_t shards{1};          // data-plane shards per factored space
   std::size_t batch_max{32};      // events per worker DispatchBatch drain
 
+  // Control plane: covering aggregation + delta compilation (broker_core.h).
+  bool covering{true};                      // --no-covering disables parking
+  std::size_t delta_segment_target{16384};  // frontier subs per delta segment
+  std::size_t max_delta_segments{64};       // slice-count growth cap
+
   // Maintenance.
   int gc_seconds{3600};
   bool verbose{false};
