@@ -4,6 +4,7 @@
 #include <bit>
 #include <chrono>
 #include <stdexcept>
+#include <tuple>
 
 namespace gryphon {
 
@@ -346,19 +347,21 @@ void BrokerCore::dispatch_pinned(const CoreSnapshot& snapshot, SpaceId space, co
   // subscription behind it matches.
   const std::size_t group = group_index_of_root_.at(tree_root);
   const TritVector& init_mask = init_masks_.at(tree_root);
-  TritVector mask;
+  // Per-segment masks accumulate in the scratch's caller byte slots (see
+  // kDispatchCallerSlots in routing/compiled_annotation.h) instead of
+  // TritVector temporaries, so a warm dispatch allocates nothing.
+  const MutableTritSpan acc = dispatch_mask_slot(scratch, 0, init_mask.size());
+  const MutableTritSpan seg = dispatch_mask_slot(scratch, 1, init_mask.size());
   bool first = true;
   for (const auto& segment : bucket->segments) {
     if (segment == nullptr) continue;
-    CompiledDispatchResult result =
-        compiled_dispatch(*segment->annotations, group, event, init_mask, scratch,
-                          &out.local_matches);
-    out.steps += result.steps;
+    const MutableTritSpan dst = first ? acc : seg;
+    out.steps += compiled_dispatch_into(*segment->annotations, group, event, init_mask.span(),
+                                        scratch, &out.local_matches, dst);
     if (first) {
-      mask = std::move(result.mask);
       first = false;
     } else {
-      mask.parallel_with(result.mask);
+      parallel_with(acc, seg);
     }
   }
   if (first) return;  // no live segments
@@ -368,15 +371,20 @@ void BrokerCore::dispatch_pinned(const CoreSnapshot& snapshot, SpaceId space, co
   // already complete, and remote parked children cannot change the mask —
   // their same-owner coverer is live in the frontier behind the same links.
   out.deliver_locally = !out.local_matches.empty();
-  for (const LinkIndex link : mask.yes_links()) {
-    if (link != local_link_) {
-      out.forward.push_back(neighbors_[static_cast<std::size_t>(link.value)]);
+  for (std::size_t l = 0; l < acc.size(); ++l) {
+    if (acc[l] != Trit::Yes) continue;
+    if (LinkIndex{static_cast<LinkIndex::rep_type>(l)} != local_link_) {
+      // gryphon-analyze: allow(alloc): forward staging reuses the
+      // Decision's capacity once the batch is warm.
+      out.forward.push_back(neighbors_[l]);
     }
   }
 }
 
 std::span<const BrokerCore::Decision> BrokerCore::dispatch(DispatchBatch& batch) const {
   const std::size_t n = batch.items_.size();
+  // gryphon-analyze: allow(alloc): decision storage grows to the largest
+  // batch seen, then every later dispatch reuses it.
   if (batch.decisions_.size() < n) batch.decisions_.resize(n);
   if (n == 0) return {};
   for (const DispatchBatch::Item& item : batch.items_) {
@@ -393,6 +401,8 @@ std::span<const BrokerCore::Decision> BrokerCore::dispatch(DispatchBatch& batch)
   // compiled tables stay hot across consecutive matches. The grouping key
   // is precomputed here; decisions are still written at each event's
   // staging index, so the result span is in add() order.
+  // gryphon-analyze: allow(alloc): visit-order buffer grows with the
+  // largest batch, then every later dispatch reuses it.
   batch.order_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     batch.order_[i] = static_cast<std::uint32_t>(i);
@@ -401,14 +411,17 @@ std::span<const BrokerCore::Decision> BrokerCore::dispatch(DispatchBatch& batch)
     batch.decisions_[i].shard =
         static_cast<std::uint32_t>(fs.shard_of(*item.event, batch.scratch_.factoring_key()));
   }
-  std::stable_sort(batch.order_.begin(), batch.order_.end(),
-                   [&batch](std::uint32_t a, std::uint32_t b) {
-                     const auto key = [&batch](std::uint32_t i) {
-                       return std::make_pair(batch.items_[i].space.value,
-                                             batch.decisions_[i].shard);
-                     };
-                     return key(a) < key(b);
-                   });
+  // The staging index breaks (space, shard) ties, so the in-place std::sort
+  // visits events in exactly the order the stable sort used to — without
+  // stable_sort's per-call temporary buffer.
+  std::sort(batch.order_.begin(), batch.order_.end(),
+            [&batch](std::uint32_t a, std::uint32_t b) {
+              const auto key = [&batch](std::uint32_t i) {
+                return std::make_tuple(batch.items_[i].space.value, batch.decisions_[i].shard,
+                                       i);
+              };
+              return key(a) < key(b);
+            });
   for (const std::uint32_t i : batch.order_) {
     const DispatchBatch::Item& item = batch.items_[i];
     dispatch_pinned(*snapshot, item.space, *item.event, item.tree_root, batch.scratch_,

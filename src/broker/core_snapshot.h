@@ -233,7 +233,8 @@ struct CompileStats {
 /// Builds FrozenSpace instances and assembles CoreSnapshots for BrokerCore.
 /// Stateless besides the broker-shape parameters; call the build methods
 /// under the writer serialization. This is the *only* place CoreSnapshots
-/// are constructed — tools/check_planes.py enforces that statically, so
+/// are constructed — gryphon-analyze (tools/analyze) enforces that
+/// statically, so
 /// every snapshot the data plane can ever pin went through the compile/reuse
 /// pipeline below.
 class SnapshotBuilder {

@@ -15,8 +15,9 @@
 // concurrently. Staged events are borrowed (const Event*): the caller
 // keeps them alive and unchanged until dispatch returns.
 //
-// This is a data-plane translation unit (tools/check_planes.py): nothing
-// here may reference mutable-matcher or control-plane state.
+// This is a data-plane translation unit (gryphon-analyze planes rule,
+// tools/analyze): nothing here may reference mutable-matcher or
+// control-plane state.
 #pragma once
 
 #include <cstddef>

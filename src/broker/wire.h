@@ -8,6 +8,7 @@
 // (subscription propagation and event forwarding) — paper Section 4.2.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -38,6 +39,13 @@ enum class FrameType : std::uint8_t {
   kBrokerAck = 15,       // broker -> broker: cumulative ack of forwards on a link
   kLinkHeartbeat = 16,   // broker -> broker: link liveness probe
 };
+
+/// Number of frame types in the protocol. Frame-type values are dense
+/// starting at 1, so this equals the highest enumerator. The wire
+/// robustness suite pins its frame table to this count, and gryphon-analyze
+/// cross-checks it against the enumerator list — adding a frame type
+/// without extending both trips the protocol rule.
+inline constexpr std::size_t kFrameTypeCount = 16;
 
 struct HelloClient {
   std::string name;

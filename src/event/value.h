@@ -21,12 +21,15 @@ const char* to_string(AttributeType type) noexcept;
 class Value {
  public:
   Value() = default;
-  Value(std::int64_t v) : data_(v) {}              // NOLINT(google-explicit-constructor)
-  Value(int v) : data_(std::int64_t{v}) {}         // NOLINT(google-explicit-constructor)
-  Value(double v) : data_(v) {}                    // NOLINT(google-explicit-constructor)
-  Value(std::string v) : data_(std::move(v)) {}    // NOLINT(google-explicit-constructor)
-  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(google-explicit-constructor)
-  Value(bool v) : data_(v) {}                      // NOLINT(google-explicit-constructor)
+  // Implicit by design: attribute literals read as values in tests and
+  // subscription builders (google-explicit-constructor is not part of the
+  // curated .clang-tidy check set).
+  Value(std::int64_t v) : data_(v) {}
+  Value(int v) : data_(std::int64_t{v}) {}
+  Value(double v) : data_(v) {}
+  Value(std::string v) : data_(std::move(v)) {}
+  Value(const char* v) : data_(std::string(v)) {}
+  Value(bool v) : data_(v) {}
 
   [[nodiscard]] bool is_set() const { return data_.index() != 0; }
   [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }

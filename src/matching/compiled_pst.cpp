@@ -142,6 +142,8 @@ std::uint64_t CompiledPst::key_of(const Value& v) const {
 }
 
 void CompiledPst::resolve(const Event& event, std::vector<std::uint64_t>& keys) const {
+  // gryphon-analyze: allow(alloc): the key buffer grows to the deepest
+  // level order seen, then every later resolve reuses it.
   keys.resize(order_.size());
   for (std::size_t d = 0; d < order_.size(); ++d) {
     const Value& v = event.value(order_[d]);

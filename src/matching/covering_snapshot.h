@@ -27,8 +27,9 @@
 // churn — parking or unparking without touching any tree — publishes in
 // O(1) by swapping this object alone (see broker/core_snapshot.h).
 //
-// This is a fully data-plane translation unit (tools/check_planes.py): it
-// must never reference mutable-matcher or control-plane state.
+// This is a fully data-plane translation unit (gryphon-analyze planes
+// rule, tools/analyze): it must never reference mutable-matcher or
+// control-plane state.
 #pragma once
 
 #include <array>

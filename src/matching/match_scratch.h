@@ -14,8 +14,10 @@
 // graph) can never leak into the current one.
 //
 // The scratch also owns the other per-dispatch buffers the compiled kernel
-// needs — the resolved equality-key vector, the factoring key, and the DFS
-// node stack — so a warm dispatch performs no heap allocation at all.
+// needs — the resolved equality-key vector, the factoring key, the DFS
+// node stack, and the dispatch search's per-level trit masks — so a warm
+// dispatch performs no heap allocation at all (enforced by gryphon-analyze
+// rule 3 over everything reachable from BrokerCore::dispatch).
 #pragma once
 
 #include <algorithm>
@@ -31,6 +33,8 @@ class MatchScratch {
   /// Starts a new match over a structure with `node_count` nodes. After this
   /// call every node reads as unvisited.
   void begin(std::size_t node_count) {
+    // gryphon-analyze: allow(alloc): stamp array grows to the largest graph
+    // seen, then every later begin() reuses it.
     if (stamps_.size() < node_count) stamps_.resize(node_count, 0);
     if (++current_ == 0) {  // stamp wrapped: reset the whole array once
       std::fill(stamps_.begin(), stamps_.end(), 0);
@@ -59,12 +63,27 @@ class MatchScratch {
   /// Reusable DFS stack for the compiled kernel's iterative walk.
   [[nodiscard]] std::vector<std::int32_t>& node_stack() { return node_stack_; }
 
+  /// Indexed reusable byte buffers — the compiled dispatch search keeps one
+  /// trit mask per recursion level here (slot layout defined in
+  /// routing/compiled_annotation.h), so a warm dispatch never allocates.
+  /// Growing the slot table moves the inner vectors but never their heap
+  /// blocks, so spans taken over a slot's data survive later claims.
+  [[nodiscard]] std::vector<std::uint8_t>& byte_slot(std::size_t slot) {
+    if (slot >= byte_slots_.size()) {
+      // gryphon-analyze: allow(alloc): cold-path arena growth, bounded by
+      // the deepest kernel level order; warm dispatches reuse every slot.
+      byte_slots_.resize(slot + 1);
+    }
+    return byte_slots_[slot];
+  }
+
  private:
   std::vector<std::uint32_t> stamps_;
   std::uint32_t current_{0};
   std::vector<std::uint64_t> value_keys_;
   std::vector<Value> factoring_key_;
   std::vector<std::int32_t> node_stack_;
+  std::vector<std::vector<std::uint8_t>> byte_slots_;
 };
 
 /// The calling thread's lazily-created scratch, for convenience overloads

@@ -30,6 +30,8 @@ FactoringIndex::Key FactoringIndex::event_key(const Event& event) const {
 }
 
 void FactoringIndex::event_key_into(const Event& event, Key& out) const {
+  // gryphon-analyze: allow(alloc): the scratch key grows once per factoring
+  // shape; element-wise assignment below reuses its capacity after that.
   out.resize(factored_.size());
   // Element-wise assignment: a string slot reuses its existing capacity,
   // so a warm scratch key allocates nothing.

@@ -12,8 +12,9 @@
 // Unfactored spaces have a single bucket and therefore a single effective
 // shard; shard_of_* returns 0 for them by construction (shard_count == 1).
 //
-// This is a fully data-plane translation unit (tools/check_planes.py): it
-// must never reference mutable-matcher or control-plane state.
+// This is a fully data-plane translation unit (gryphon-analyze planes
+// rule, tools/analyze): it must never reference mutable-matcher or
+// control-plane state.
 #pragma once
 
 #include <cstddef>

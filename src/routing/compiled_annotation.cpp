@@ -115,10 +115,14 @@ class CompiledDispatchSearch {
         local_(annotated.local_link()),
         delayed_star_(kernel_.delayed_star()) {}
 
-  TritVector run(CompiledPst::NodeId node, TritVector mask) {
+  /// Refines `mask` in place. Each recursion level copies the current mask
+  /// into its own scratch byte slot instead of a TritVector temporary, so
+  /// the search performs no per-event heap allocation (slot spans survive
+  /// deeper claims; see dispatch_mask_slot).
+  void run(CompiledPst::NodeId node, MutableTritSpan mask, std::size_t depth) {
     ++steps_;
     // Step 2: refinement against this node's annotation.
-    mask.refine_with(annotated_.annotation(group_, node));
+    refine_with(mask, annotated_.annotation(group_, node));
     // Stamping marks "local matches at or below this node are collected by
     // this call" — sound on the DAG because the leaf union below a shared
     // node is path-independent.
@@ -128,18 +132,24 @@ class CompiledDispatchSearch {
     if (kernel_.is_leaf(node)) {
       if (local_here) {
         const auto subs = annotated_.local_subscribers(node);
+        // gryphon-analyze: allow(alloc): local-match staging reuses the
+        // Decision's capacity once the batch is warm.
         local_out_->insert(local_out_->end(), subs.begin(), subs.end());
       }
-      mask.maybes_to_no();
-      return mask;
+      maybes_to_no(mask);
+      return;
     }
-    if (!mask.has_maybe() && !local_here) return mask;  // nothing left to decide below
+    if (!has_maybe(mask) && !local_here) return;  // nothing left to decide below
 
     // Step 3: perform the test, subsearch each selected child that can
     // still contribute — a Maybe to resolve, or uncollected local matches.
     const auto subsearch = [&](CompiledPst::NodeId child) {
-      if (!mask.has_maybe() && !(local_here && wants_local(child))) return;
-      mask.promote_yes_from(run(child, mask));
+      if (!has_maybe(mask) && !(local_here && wants_local(child))) return;
+      const MutableTritSpan child_mask =
+          dispatch_mask_slot(scratch_, kDispatchCallerSlots + depth, mask.size());
+      std::copy(mask.begin(), mask.end(), child_mask.begin());
+      run(child, child_mask, depth + 1);
+      promote_yes_from(mask, child_mask);
     };
 
     const CompiledPst::NodeId star = kernel_.star_child(node);
@@ -157,8 +167,7 @@ class CompiledDispatchSearch {
     if (eq != CompiledPst::kNoNode) subsearch(eq);
     if (delayed_star_ && star != CompiledPst::kNoNode) subsearch(star);
 
-    mask.maybes_to_no();
-    return mask;
+    maybes_to_no(mask);
   }
 
   [[nodiscard]] std::uint64_t steps() const { return steps_; }
@@ -185,35 +194,52 @@ class CompiledDispatchSearch {
 
 }  // namespace
 
-CompiledDispatchResult compiled_dispatch(const CompiledAnnotation& annotated, std::size_t group,
-                                         const Event& event,
-                                         const TritVector& initialization_mask,
-                                         MatchScratch& scratch,
-                                         std::vector<SubscriptionId>* local_out) {
-  if (initialization_mask.size() != annotated.link_count()) {
+MutableTritSpan dispatch_mask_slot(MatchScratch& scratch, std::size_t slot, std::size_t width) {
+  static_assert(sizeof(Trit) == sizeof(std::uint8_t) && alignof(Trit) == alignof(std::uint8_t));
+  std::vector<std::uint8_t>& raw = scratch.byte_slot(slot);
+  // gryphon-analyze: allow(alloc): cold-path slot growth; the resize is a
+  // no-op once the slot has seen this mask width.
+  raw.resize(width);
+  return MutableTritSpan(reinterpret_cast<Trit*>(raw.data()), width);
+}
+
+std::uint64_t compiled_dispatch_into(const CompiledAnnotation& annotated, std::size_t group,
+                                     const Event& event, TritSpan initialization_mask,
+                                     MatchScratch& scratch,
+                                     std::vector<SubscriptionId>* local_out,
+                                     MutableTritSpan out_mask) {
+  if (initialization_mask.size() != annotated.link_count() ||
+      out_mask.size() != annotated.link_count()) {
     throw std::invalid_argument("compiled_dispatch: mask width != link count");
   }
   if (group >= annotated.group_count()) {
     throw std::invalid_argument("compiled_dispatch: bad group index");
   }
-  CompiledDispatchResult result;
   const CompiledPst& kernel = annotated.kernel();
+  std::copy(initialization_mask.begin(), initialization_mask.end(), out_mask.begin());
   if (kernel.subscription_count() == 0 || kernel.root() < 0) {
-    result.mask = initialization_mask;
-    result.mask.maybes_to_no();  // nothing downstream can match
-    return result;
+    maybes_to_no(out_mask);  // nothing downstream can match
+    return 0;
   }
   const bool want_local = local_out != nullptr && annotated.local_link().valid();
-  if (!initialization_mask.has_maybe() && !want_local) {
-    result.mask = initialization_mask;  // already final, and no local work
-    return result;
-  }
+  if (!has_maybe(out_mask) && !want_local) return 0;  // already final, and no local work
   kernel.resolve(event, scratch.value_keys());
   scratch.begin(kernel.node_count());
   CompiledDispatchSearch search(annotated, group, event, scratch.value_keys().data(), scratch,
                                 local_out);
-  result.mask = search.run(kernel.root(), initialization_mask);
-  result.steps = search.steps();
+  search.run(kernel.root(), out_mask, 0);
+  return search.steps();
+}
+
+CompiledDispatchResult compiled_dispatch(const CompiledAnnotation& annotated, std::size_t group,
+                                         const Event& event,
+                                         const TritVector& initialization_mask,
+                                         MatchScratch& scratch,
+                                         std::vector<SubscriptionId>* local_out) {
+  CompiledDispatchResult result;
+  result.mask = TritVector(annotated.link_count());
+  result.steps = compiled_dispatch_into(annotated, group, event, initialization_mask.span(),
+                                        scratch, local_out, result.mask.mutable_span());
   return result;
 }
 

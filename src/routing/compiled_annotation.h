@@ -88,6 +88,19 @@ struct CompiledDispatchResult {
   std::uint64_t steps{0};
 };
 
+/// Scratch byte-slot layout for the allocation-free dispatch path
+/// (MatchScratch::byte_slot): slots [0, kDispatchCallerSlots) belong to the
+/// caller — BrokerCore::dispatch_pinned's per-segment accumulator pair —
+/// and compiled_dispatch_into claims slot kDispatchCallerSlots + depth for
+/// the search level at `depth`.
+inline constexpr std::size_t kDispatchCallerSlots = 2;
+
+/// A trit mask over scratch byte slot `slot`, sized to `width`. The
+/// returned span stays valid across later slot claims: growing the slot
+/// table moves the inner buffers' handles, never their heap blocks.
+[[nodiscard]] MutableTritSpan dispatch_mask_slot(MatchScratch& scratch, std::size_t slot,
+                                                 std::size_t width);
+
 /// The link-matching search of Section 3.3 over the compiled kernel,
 /// simultaneously enumerating local matches when `local_out` is non-null.
 /// Behaviour is bit-identical to psg_dispatch() over the equivalent
@@ -98,6 +111,19 @@ struct CompiledDispatchResult {
 /// The event is resolved to interned equality keys once (into
 /// `scratch.value_keys()`), not per node. Thread-safe: concurrent calls
 /// with distinct scratches share only the immutable annotation.
+///
+/// This form writes the refined mask into `out_mask` (width == link_count)
+/// and returns the step count. A warm scratch allocates nothing; a cold one
+/// grows the per-level mask arena once.
+std::uint64_t compiled_dispatch_into(const CompiledAnnotation& annotated, std::size_t group,
+                                     const Event& event, TritSpan initialization_mask,
+                                     MatchScratch& scratch,
+                                     std::vector<SubscriptionId>* local_out,
+                                     MutableTritSpan out_mask);
+
+/// Convenience wrapper over compiled_dispatch_into returning the mask by
+/// value — the differential-test and oracle entry point; the dispatch hot
+/// path calls the _into form to stay allocation-free.
 CompiledDispatchResult compiled_dispatch(const CompiledAnnotation& annotated, std::size_t group,
                                          const Event& event,
                                          const TritVector& initialization_mask,

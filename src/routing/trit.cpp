@@ -19,50 +19,66 @@ TritVector TritVector::from_string(std::string_view text) {
 }
 
 namespace {
-void check_same_size(const TritVector& a, TritSpan b) {
+void check_same_size(TritSpan a, TritSpan b) {
   if (a.size() != b.size()) throw std::invalid_argument("TritVector: size mismatch");
 }
 }  // namespace
 
-void TritVector::alternative_with(TritSpan other) {
-  check_same_size(*this, other);
-  for (std::size_t i = 0; i < trits_.size(); ++i) {
-    trits_[i] = alternative_combine(trits_[i], other[i]);
+void alternative_with(MutableTritSpan mask, TritSpan other) {
+  check_same_size(mask, other);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = alternative_combine(mask[i], other[i]);
   }
 }
 
-void TritVector::parallel_with(TritSpan other) {
-  check_same_size(*this, other);
-  for (std::size_t i = 0; i < trits_.size(); ++i) {
-    trits_[i] = parallel_combine(trits_[i], other[i]);
+void parallel_with(MutableTritSpan mask, TritSpan other) {
+  check_same_size(mask, other);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = parallel_combine(mask[i], other[i]);
   }
 }
 
-void TritVector::refine_with(TritSpan annotation) {
-  check_same_size(*this, annotation);
-  for (std::size_t i = 0; i < trits_.size(); ++i) {
-    if (trits_[i] == Trit::Maybe) trits_[i] = annotation[i];
+void refine_with(MutableTritSpan mask, TritSpan annotation) {
+  check_same_size(mask, annotation);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] == Trit::Maybe) mask[i] = annotation[i];
   }
 }
 
-void TritVector::promote_yes_from(const TritVector& subsearch_result) {
-  check_same_size(*this, subsearch_result);
-  for (std::size_t i = 0; i < trits_.size(); ++i) {
-    if (trits_[i] == Trit::Maybe && subsearch_result.trits_[i] == Trit::Yes) {
-      trits_[i] = Trit::Yes;
-    }
+void promote_yes_from(MutableTritSpan mask, TritSpan subsearch_result) {
+  check_same_size(mask, subsearch_result);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] == Trit::Maybe && subsearch_result[i] == Trit::Yes) mask[i] = Trit::Yes;
   }
 }
 
-void TritVector::maybes_to_no() {
-  for (Trit& t : trits_) {
+void maybes_to_no(MutableTritSpan mask) {
+  for (Trit& t : mask) {
     if (t == Trit::Maybe) t = Trit::No;
   }
 }
 
-bool TritVector::has_maybe() const {
-  return std::find(trits_.begin(), trits_.end(), Trit::Maybe) != trits_.end();
+bool has_maybe(TritSpan mask) {
+  return std::find(mask.begin(), mask.end(), Trit::Maybe) != mask.end();
 }
+
+void TritVector::alternative_with(TritSpan other) {
+  gryphon::alternative_with(mutable_span(), other);
+}
+
+void TritVector::parallel_with(TritSpan other) { gryphon::parallel_with(mutable_span(), other); }
+
+void TritVector::refine_with(TritSpan annotation) {
+  gryphon::refine_with(mutable_span(), annotation);
+}
+
+void TritVector::promote_yes_from(const TritVector& subsearch_result) {
+  gryphon::promote_yes_from(mutable_span(), subsearch_result.span());
+}
+
+void TritVector::maybes_to_no() { gryphon::maybes_to_no(mutable_span()); }
+
+bool TritVector::has_maybe() const { return gryphon::has_maybe(span()); }
 
 bool TritVector::any_yes() const {
   return std::find(trits_.begin(), trits_.end(), Trit::Yes) != trits_.end();

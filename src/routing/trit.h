@@ -29,6 +29,10 @@ enum class Trit : std::uint8_t { No = 0, Maybe = 1, Yes = 2 };
 /// one row per PST node, to keep per-node overhead at one byte per link).
 using TritSpan = std::span<const Trit>;
 
+/// Mutable view over a trit row owned elsewhere — the dispatch search's
+/// per-level scratch masks (routing/compiled_annotation.cpp).
+using MutableTritSpan = std::span<Trit>;
+
 constexpr Trit alternative_combine(Trit a, Trit b) noexcept {
   return a == b ? a : Trit::Maybe;
 }
@@ -38,6 +42,22 @@ constexpr Trit parallel_combine(Trit a, Trit b) noexcept { return a > b ? a : b;
 constexpr char to_char(Trit t) noexcept {
   return t == Trit::Yes ? 'Y' : (t == Trit::No ? 'N' : 'M');
 }
+
+/// Span forms of the mask operations, shared by TritVector and the
+/// allocation-free dispatch search, which keeps its masks in reusable
+/// scratch buffers instead of TritVector temporaries. Size mismatches
+/// throw std::invalid_argument, matching the TritVector methods.
+void alternative_with(MutableTritSpan mask, TritSpan other);
+void parallel_with(MutableTritSpan mask, TritSpan other);
+/// Mask refinement (Section 3.3, step 2): every Maybe in `mask` is replaced
+/// by the corresponding annotation trit.
+void refine_with(MutableTritSpan mask, TritSpan annotation);
+/// Subsearch merge (step 3): every Maybe in `mask` with a Yes in the
+/// subsearch result becomes Yes.
+void promote_yes_from(MutableTritSpan mask, TritSpan subsearch_result);
+/// Step 3 epilogue: remaining Maybes become No.
+void maybes_to_no(MutableTritSpan mask);
+[[nodiscard]] bool has_maybe(TritSpan mask);
 
 /// A fixed-width vector of trits, one per outgoing link of a broker.
 class TritVector {
@@ -59,7 +79,8 @@ class TritVector {
   void fill(Trit t) { std::fill(trits_.begin(), trits_.end(), t); }
 
   [[nodiscard]] TritSpan span() const { return TritSpan(trits_); }
-  operator TritSpan() const { return span(); }  // NOLINT(google-explicit-constructor)
+  [[nodiscard]] MutableTritSpan mutable_span() { return MutableTritSpan(trits_); }
+  operator TritSpan() const { return span(); }
 
   /// this[i] = Alternative(this[i], other[i]).
   void alternative_with(TritSpan other);

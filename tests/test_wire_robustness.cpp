@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,23 @@ namespace gryphon {
 namespace {
 
 using namespace wire;
+
+// Compile-visible table of every frame type in the protocol, pinned to
+// wire.h's kFrameTypeCount. Adding a FrameType without extending this table
+// (and the round-trip coverage below) fails the build here, and the
+// gryphon-analyze protocol rule cross-checks the same invariant in CI.
+constexpr FrameType kAllFrameTypes[] = {
+    FrameType::kHelloClient,    FrameType::kHelloBroker,
+    FrameType::kHelloAck,       FrameType::kSubscribe,
+    FrameType::kSubscribeAck,   FrameType::kUnsubscribe,
+    FrameType::kPublish,        FrameType::kDeliver,
+    FrameType::kAck,            FrameType::kSubPropagate,
+    FrameType::kUnsubPropagate, FrameType::kEventForward,
+    FrameType::kError,          FrameType::kQuench,
+    FrameType::kBrokerAck,      FrameType::kLinkHeartbeat,
+};
+static_assert(std::size(kAllFrameTypes) == kFrameTypeCount,
+              "frame table out of sync with wire.h FrameType");
 
 std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t max_len) {
   std::vector<std::uint8_t> out(rng.below(max_len + 1));
@@ -53,6 +71,19 @@ bool decode_by_type(const std::vector<std::uint8_t>& frame) {
     case FrameType::kLinkHeartbeat: (void)decode_link_heartbeat(frame); return true;
   }
   return false;
+}
+
+TEST(WireRobustness, FrameTableIsDenseAndExhaustive) {
+  // Frame-type values are dense starting at 1 (the length-prefixed framing
+  // relies on 0 never being a valid type byte).
+  std::vector<bool> seen(kFrameTypeCount + 1, false);
+  for (const FrameType type : kAllFrameTypes) {
+    const auto value = static_cast<std::size_t>(type);
+    ASSERT_GE(value, 1u);
+    ASSERT_LE(value, kFrameTypeCount);
+    EXPECT_FALSE(seen[value]) << "duplicate frame type value " << value;
+    seen[value] = true;
+  }
 }
 
 TEST(WireRobustness, RoundTripPropertyAllFrameTypes) {
@@ -232,7 +263,9 @@ TEST(WireRobustness, GarbageBuffersNeverCrash) {
     if (!buffer.empty()) {
       // Bias half the runs toward valid type bytes so the field decoders
       // actually get exercised instead of failing at the type check.
-      if (rng.chance(0.5)) buffer[0] = static_cast<std::uint8_t>(1 + rng.below(16));
+      if (rng.chance(0.5)) {
+        buffer[0] = static_cast<std::uint8_t>(1 + rng.below(kFrameTypeCount));
+      }
     }
     try {
       if (buffer.empty()) {

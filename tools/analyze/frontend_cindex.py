@@ -1,0 +1,304 @@
+"""libclang frontend for gryphon-analyze.
+
+Uses `clang.cindex` to lower the tree into the shared IR.  The AST supplies
+the brittle structural facts — class/namespace scopes, member lists, enum
+values, parameter types — while function *bodies* are analyzed with the
+same token-level engine as the fallback frontend (frontend_fallback's
+`_Parser._analyze_body` run over the body extent), so both frontends
+produce identical call/lock/alloc site streams and every rule verdict is
+frontend-independent.  Thread-safety annotation macros (ACQUIRED_BEFORE,
+REQUIRES, ...) vanish during preprocessing unless the build defines them,
+so they are recovered from each cursor's pre-expansion source tokens.
+
+Compile flags come from build/compile_commands.json when present
+(CMAKE_EXPORT_COMPILE_COMMANDS is on in this repo); otherwise a minimal
+`-std=c++20 -I<root>/src` invocation is used.  Files libclang cannot parse
+fall back to the token frontend so a partial toolchain never hides code
+from the rules.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Optional
+
+import frontend_fallback as fb
+from ir import ClassInfo, FileIR, Function, Model, MutexDecl, Param
+
+try:
+    from clang import cindex
+    _HAVE_CINDEX = True
+except ImportError:  # pragma: no cover - exercised only without libclang
+    cindex = None
+    _HAVE_CINDEX = False
+
+_ANNOT_ARG_RE = re.compile(r"(ACQUIRED_BEFORE|ACQUIRED_AFTER|REQUIRES|REQUIRES_SHARED)"
+                           r"\s*\(([^)]*)\)")
+
+
+def available() -> bool:
+    if not _HAVE_CINDEX:
+        return False
+    try:
+        cindex.Index.create()
+        return True
+    except Exception:  # pragma: no cover - broken libclang install
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Compile flags
+# ---------------------------------------------------------------------------
+
+
+def _compile_args(root: str) -> list[str]:
+    args = ["-xc++", "-std=c++20", "-ferror-limit=0",
+            "-I" + os.path.join(root, "src")]
+    cc_path = os.path.join(root, "build", "compile_commands.json")
+    try:
+        with open(cc_path, encoding="utf-8") as fh:
+            entries = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return args
+    if not entries:
+        return args
+    words = entries[0].get("command", "").split() or entries[0].get("arguments", [])
+    extra: list[str] = []
+    it = iter(range(len(words)))
+    for i in it:
+        w = words[i]
+        if w.startswith(("-I", "-D", "-std=")):
+            extra.append(w)
+        elif w in ("-I", "-D", "-isystem", "-include") and i + 1 < len(words):
+            extra.extend([w, words[i + 1]])
+            next(it, None)
+    seen = set(args)
+    for w in extra:
+        if w not in seen:
+            args.append(w)
+            seen.add(w)
+    return args
+
+
+# ---------------------------------------------------------------------------
+# Cursor helpers
+# ---------------------------------------------------------------------------
+
+
+def _qualified_class(cursor) -> str:
+    """Name with owning classes prepended ('Broker::Stats'); namespaces are
+    dropped, matching the fallback frontend's naming."""
+    parts = [cursor.spelling or f"<anon>@{cursor.location.line}"]
+    parent = cursor.semantic_parent
+    while parent is not None and parent.kind in (
+            cindex.CursorKind.CLASS_DECL, cindex.CursorKind.STRUCT_DECL,
+            cindex.CursorKind.UNION_DECL, cindex.CursorKind.CLASS_TEMPLATE):
+        parts.insert(0, parent.spelling)
+        parent = parent.semantic_parent
+    return "::".join(parts)
+
+
+def _type_tokens(type_spelling: str) -> list[str]:
+    return [t for t in re.findall(r"[A-Za-z_]\w*", type_spelling)
+            if t not in ("const", "volatile", "struct", "class", "std")]
+
+
+def _annotation_args(cursor, macro_names: tuple) -> list[str]:
+    """Pre-expansion source tokens of the cursor's extent, searched for
+    annotation macros (they are no-ops after preprocessing)."""
+    try:
+        text = " ".join(t.spelling for t in cursor.get_tokens())
+    except Exception:  # pragma: no cover - extent outside main file
+        return []
+    out: list[str] = []
+    for m in _ANNOT_ARG_RE.finditer(text):
+        if m.group(1) in macro_names:
+            out.extend(re.findall(r"[A-Za-z_]\w*", m.group(2)))
+    return out
+
+
+def _is_by_value(t) -> bool:
+    return t.kind not in (cindex.TypeKind.LVALUEREFERENCE,
+                          cindex.TypeKind.RVALUEREFERENCE,
+                          cindex.TypeKind.POINTER)
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+
+class _Lowerer:
+    def __init__(self, model: Model, root: str, rel: str, text: str) -> None:
+        self.model = model
+        self.root = root
+        self.rel = rel
+        self.text = text
+        self.lines = text.split("\n")
+
+    def _offset(self, location) -> Optional[int]:
+        try:
+            return location.offset
+        except Exception:  # pragma: no cover
+            return None
+
+    def lower(self, tu) -> None:
+        for cursor in tu.cursor.get_children():
+            self._walk(cursor, cls=None)
+
+    def _in_this_file(self, cursor) -> bool:
+        f = cursor.location.file
+        return f is not None and os.path.abspath(f.name) == \
+            os.path.abspath(os.path.join(self.root, self.rel))
+
+    def _walk(self, cursor, cls: Optional[ClassInfo]) -> None:
+        if not self._in_this_file(cursor):
+            return
+        kind = cursor.kind
+        if kind == cindex.CursorKind.NAMESPACE:
+            for child in cursor.get_children():
+                self._walk(child, cls=None)
+            return
+        if kind in (cindex.CursorKind.CLASS_DECL, cindex.CursorKind.STRUCT_DECL,
+                    cindex.CursorKind.UNION_DECL):
+            if cursor.is_definition():
+                self._lower_class(cursor)
+            return
+        if kind == cindex.CursorKind.ENUM_DECL:
+            self._lower_enum(cursor, cls)
+            return
+        if kind in (cindex.CursorKind.FUNCTION_DECL, cindex.CursorKind.CXX_METHOD,
+                    cindex.CursorKind.CONSTRUCTOR, cindex.CursorKind.DESTRUCTOR):
+            if cursor.is_definition():
+                self._lower_function(cursor)
+            return
+        if kind == cindex.CursorKind.VAR_DECL and cursor.semantic_parent is not None \
+                and cursor.semantic_parent.kind in (cindex.CursorKind.NAMESPACE,
+                                                    cindex.CursorKind.TRANSLATION_UNIT):
+            if "Mutex" in _type_tokens(cursor.type.spelling):
+                self.model.global_mutexes.append(MutexDecl(
+                    name=cursor.spelling, cls=None, file=self.rel,
+                    line=cursor.location.line,
+                    acquired_before=_annotation_args(cursor, ("ACQUIRED_BEFORE",)),
+                    acquired_after=_annotation_args(cursor, ("ACQUIRED_AFTER",))))
+            return
+
+    def _lower_class(self, cursor) -> None:
+        qual = _qualified_class(cursor)
+        info = ClassInfo(name=qual, file=self.rel, line=cursor.location.line)
+        for child in cursor.get_children():
+            ck = child.kind
+            if ck == cindex.CursorKind.CXX_BASE_SPECIFIER:
+                toks = _type_tokens(child.type.spelling)
+                if toks:
+                    info.bases.append(toks[-1])
+            elif ck == cindex.CursorKind.FIELD_DECL:
+                name = child.spelling
+                toks = _type_tokens(child.type.spelling)
+                if "Mutex" in toks and not any(t in ("MutexLock", "MutexUniqueLock")
+                                               for t in toks):
+                    info.mutexes[name] = MutexDecl(
+                        name=name, cls=qual, file=self.rel, line=child.location.line,
+                        acquired_before=_annotation_args(child, ("ACQUIRED_BEFORE",)),
+                        acquired_after=_annotation_args(child, ("ACQUIRED_AFTER",)))
+                else:
+                    if name not in info.fields:
+                        info.fields[name] = toks
+                        info.field_order.append(name)
+            elif ck in (cindex.CursorKind.CXX_METHOD, cindex.CursorKind.CONSTRUCTOR,
+                        cindex.CursorKind.DESTRUCTOR):
+                info.methods.add(child.spelling)
+                reqs = _annotation_args(child, ("REQUIRES", "REQUIRES_SHARED"))
+                if reqs and child.spelling not in info.method_requires:
+                    info.method_requires[child.spelling] = reqs
+                if child.is_definition():
+                    self._lower_function(child)
+            elif ck in (cindex.CursorKind.CLASS_DECL, cindex.CursorKind.STRUCT_DECL,
+                        cindex.CursorKind.UNION_DECL):
+                if child.is_definition():
+                    self._lower_class(child)
+            elif ck == cindex.CursorKind.ENUM_DECL:
+                self._lower_enum(child, info)
+        self.model.add_class(info)
+
+    def _lower_enum(self, cursor, cls: Optional[ClassInfo]) -> None:
+        name = cursor.spelling
+        if not name:
+            return
+        enumerators = [(c.spelling, c.enum_value) for c in cursor.get_children()
+                       if c.kind == cindex.CursorKind.ENUM_CONSTANT_DECL]
+        key = f"{cls.name}::{name}" if cls else name
+        self.model.enums[key] = enumerators
+        self.model.enums.setdefault(name, enumerators)
+
+    def _lower_function(self, cursor) -> None:
+        fn = Function(name=cursor.spelling, file=self.rel, line=cursor.location.line)
+        parent = cursor.semantic_parent
+        if parent is not None and parent.kind in (
+                cindex.CursorKind.CLASS_DECL, cindex.CursorKind.STRUCT_DECL,
+                cindex.CursorKind.UNION_DECL, cindex.CursorKind.CLASS_TEMPLATE):
+            fn.cls = _qualified_class(parent)
+        fn.return_type_tokens = _type_tokens(cursor.result_type.spelling)
+        fn.requires = _annotation_args(cursor, ("REQUIRES", "REQUIRES_SHARED"))
+        for arg in cursor.get_arguments():
+            fn.params.append(Param(
+                name=arg.spelling or "", type_tokens=_type_tokens(arg.type.spelling),
+                by_value=_is_by_value(arg.type), line=arg.location.line))
+
+        body = None
+        for child in cursor.get_children():
+            if child.kind == cindex.CursorKind.COMPOUND_STMT:
+                body = child
+        if body is None:
+            return
+        start = self._offset(body.extent.start)
+        end = self._offset(body.extent.end)
+        if start is None or end is None or end <= start:
+            return
+        snippet = self.text[start:end]
+        base_line = body.extent.start.line - 1
+        tokens, _, _ = fb.strip_and_tokenize(snippet)
+        tokens = [(k, t, line + base_line) for k, t, line in tokens]
+        # Reuse the shared body analyzer over the brace-delimited extent.
+        parser = fb._Parser(self.rel, tokens, self.model)
+        body_start = 1 if tokens and tokens[0][1] == "{" else 0
+        body_end = len(tokens) - 1 if tokens and tokens[-1][1] == "}" else len(tokens)
+        parser._analyze_body(fn, body_start, body_end)
+        self.model.functions.append(fn)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def build_model(root: str, rel_paths: list[str]) -> Model:
+    if not _HAVE_CINDEX:
+        raise RuntimeError("clang.cindex is not importable")
+    index = cindex.Index.create()
+    args = _compile_args(root)
+    model = Model()
+    for rel in rel_paths:
+        full = os.path.join(root, rel)
+        try:
+            with open(full, encoding="utf-8", errors="replace") as fh:
+                text = fh.read()
+        except OSError:
+            continue
+        tokens, suppressions, code_lines = fb.strip_and_tokenize(text)
+        model.files[rel] = FileIR(path=rel, tokens=tokens, suppressions=suppressions,
+                                  code_lines=code_lines)
+        try:
+            tu = index.parse(full, args=args)
+        except Exception:
+            tu = None
+        if tu is None:
+            # Unparseable through libclang: fall back to the token frontend
+            # for this file so nothing is hidden from the rules.
+            fb._Parser(rel, tokens, model).parse()
+            continue
+        _Lowerer(model, root, rel, text).lower(tu)
+    model.finalize()
+    return model

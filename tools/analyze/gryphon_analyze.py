@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""gryphon-analyze: whole-repo invariant checker for the Gryphon broker.
+
+Four rules over a shared IR of the C++ tree (see rules.py):
+
+  planes    data-plane purity + CoreSnapshot construction provenance
+  locks     lock-order cycle freedom + declared-order coverage
+  alloc     hot-path allocation freedom with a counted suppression list
+  protocol  FrameType / Broker::Stats exhaustiveness oracles
+
+Two frontends lower the sources into the IR: a libclang one
+(`clang.cindex`, steered by build/compile_commands.json when present) and
+a self-contained tokenizer/scope-parser fallback with no dependencies.
+`--frontend auto` prefers libclang and silently falls back; the fixture
+self-tests (tools/test_analyze.py) pin both to the same verdicts.
+
+Exit status: 0 clean, 1 findings, 2 configuration / usage error.
+
+Usage: gryphon_analyze.py [--root DIR] [--config FILE] [--json OUT]
+                          [--frontend auto|fallback|cindex]
+                          [--rules planes,locks,alloc,protocol]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import rules as rules_mod  # noqa: E402
+
+
+def collect_files(root: str, cfg: dict) -> list[str]:
+    rels: list[str] = []
+    for scan_dir in cfg.get("scan_dirs", ["src"]):
+        base = os.path.join(root, scan_dir)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            for fname in sorted(filenames):
+                if os.path.splitext(fname)[1] in (".h", ".hpp", ".cpp", ".cc"):
+                    full = os.path.join(dirpath, fname)
+                    rels.append(os.path.relpath(full, root).replace(os.sep, "/"))
+    for extra in cfg.get("extra_files", []):
+        if os.path.isfile(os.path.join(root, extra)) and extra not in rels:
+            rels.append(extra)
+    return rels
+
+
+def build_model(root: str, rels: list[str], frontend: str):
+    """Returns (model, frontend_actually_used)."""
+    if frontend in ("auto", "cindex"):
+        try:
+            import frontend_cindex
+
+            if frontend_cindex.available():
+                return frontend_cindex.build_model(root, rels), "cindex"
+            if frontend == "cindex":
+                raise RuntimeError("libclang (clang.cindex) is not available")
+        except ImportError:
+            if frontend == "cindex":
+                raise
+    import frontend_fallback
+
+    return frontend_fallback.build_model(root, rels), "fallback"
+
+
+def main(argv=None) -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=".", help="repository root to scan")
+    parser.add_argument("--config", default=os.path.join(here, "config.json"))
+    parser.add_argument("--frontend", choices=("auto", "fallback", "cindex"),
+                        default="auto")
+    parser.add_argument("--json", dest="json_out", default=None,
+                        help="write findings as JSON to this path")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated subset of: "
+                             + ",".join(rules_mod.ALL_RULES))
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.config, encoding="utf-8") as fh:
+            cfg = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"gryphon-analyze: cannot load config {args.config}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    selected = None
+    if args.rules:
+        selected = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in selected if r not in rules_mod.ALL_RULES]
+        if unknown:
+            print(f"gryphon-analyze: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    root = args.root
+    rels = collect_files(root, cfg)
+    if not rels:
+        print(f"gryphon-analyze: no sources found under {root}", file=sys.stderr)
+        return 2
+
+    try:
+        model, used = build_model(root, rels, args.frontend)
+    except Exception as exc:  # noqa: BLE001 - surfaced as a config error
+        print(f"gryphon-analyze: frontend '{args.frontend}' failed: {exc}",
+              file=sys.stderr)
+        return 2
+
+    findings = rules_mod.run_rules(model, cfg, root, selected)
+
+    if args.json_out:
+        payload = {
+            "frontend": used,
+            "files_scanned": len(rels),
+            "rules": selected or list(rules_mod.ALL_RULES),
+            "findings": [f.as_dict() for f in findings],
+        }
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+
+    for f in findings:
+        print(f.render(), file=sys.stderr)
+    ran = ", ".join(selected or list(rules_mod.ALL_RULES))
+    if findings:
+        print(f"gryphon-analyze: {len(findings)} violation(s) "
+              f"[frontend={used}, rules={ran}]", file=sys.stderr)
+        return 1
+    print(f"gryphon-analyze: all invariants hold "
+          f"[frontend={used}, {len(rels)} files, rules={ran}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

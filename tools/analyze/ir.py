@@ -1,0 +1,498 @@
+"""Shared intermediate representation for gryphon-analyze.
+
+Both frontends lower C++ translation units into this IR: the clang.cindex
+frontend when libclang is importable, and the self-contained tokenizer /
+scope-parser fallback otherwise.  Every rule consumes only the IR, so a
+verdict never depends on which frontend produced the model.
+
+The model is deliberately coarser than a full AST.  It captures exactly
+what the four rules need:
+
+  * functions with class membership, parameters, locals, call sites,
+    lock sites, allocation sites, and the raw body token stream;
+  * classes with fields (typed by token), mutex members (with declared
+    ACQUIRED_BEFORE / ACQUIRED_AFTER order), methods, and bases;
+  * enums with enumerator values;
+  * per-file token streams and `gryphon-analyze: allow(tag)` suppressions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Optional
+
+
+# ---------------------------------------------------------------------------
+# Leaf records
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    name: str  # rightmost identifier of the callee
+    line: int
+    depth: int  # brace depth inside the body at the site
+    explicit_chain: list[str] = dataclasses.field(default_factory=list)  # A::B::f -> [A, B]
+    receiver_chain: list[str] = dataclasses.field(default_factory=list)  # a.b_.f -> [a, b_]
+    receiver_is_this: bool = False
+    is_construct: bool = False  # `Type var(args)` local construction
+    in_lambda: bool = False  # site is inside a lambda body (may run deferred)
+
+
+@dataclasses.dataclass
+class LockSite:
+    """A guard declaration or a manual lock()/unlock() on a guard variable."""
+
+    kind: str  # "guard" | "lock" | "unlock"
+    target: list[str]  # identifiers of the mutex expression, or [guard_var]
+    guard_var: Optional[str]
+    depth: int
+    line: int
+
+
+@dataclasses.dataclass
+class AllocSite:
+    """A heap-allocating expression the hot-path rule cares about."""
+
+    kind: str  # "new" | "call" | "grow" | "algorithm"
+    detail: str
+    line: int
+
+
+@dataclasses.dataclass
+class Param:
+    name: str
+    type_tokens: list[str]
+    by_value: bool
+    line: int
+    type_class: Optional[str] = None  # resolved during Model.finalize
+
+
+@dataclasses.dataclass
+class LocalDecl:
+    name: str
+    type_tokens: list[str]
+    has_init: bool
+    init_call: Optional[str]  # callee name when initialized from one call
+    line: int
+    by_value: bool = True  # False for reference / pointer declarations
+    type_class: Optional[str] = None
+
+
+@dataclasses.dataclass
+class Function:
+    name: str
+    file: str  # repo-relative posix path
+    line: int
+    cls: Optional[str] = None  # owning class (qualified), resolved in finalize
+    qualifier_chain: list[str] = dataclasses.field(default_factory=list)  # X::Y::name -> [X, Y]
+    return_type_tokens: list[str] = dataclasses.field(default_factory=list)
+    params: list[Param] = dataclasses.field(default_factory=list)
+    locals: dict[str, LocalDecl] = dataclasses.field(default_factory=dict)
+    calls: list[CallSite] = dataclasses.field(default_factory=list)
+    locks: list[LockSite] = dataclasses.field(default_factory=list)
+    allocs: list[AllocSite] = dataclasses.field(default_factory=list)
+    idents: dict[str, int] = dataclasses.field(default_factory=dict)  # body ident -> first line
+    token_seq: list[tuple[str, int]] = dataclasses.field(default_factory=list)
+    # Ordered replay stream for the lock rule: ("lock", LockSite),
+    # ("call", CallSite), ("close", depth, line).
+    events: list[tuple] = dataclasses.field(default_factory=list)
+    requires: list[str] = dataclasses.field(default_factory=list)  # REQUIRES(...) args
+    is_definition: bool = True
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+
+@dataclasses.dataclass
+class MutexDecl:
+    name: str
+    cls: Optional[str]  # owning class (qualified); None for namespace-scope mutexes
+    file: str
+    line: int
+    acquired_before: list[str] = dataclasses.field(default_factory=list)
+    acquired_after: list[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def identity(self) -> str:
+        if self.cls:
+            return f"{self.cls}::{self.name}"
+        return f"{self.name}@{os.path.basename(self.file)}"
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    name: str  # qualified with the outer class for nested types ("Broker::Stats")
+    file: str
+    line: int
+    bases: list[str] = dataclasses.field(default_factory=list)
+    fields: dict[str, list[str]] = dataclasses.field(default_factory=dict)
+    field_order: list[str] = dataclasses.field(default_factory=list)
+    mutexes: dict[str, MutexDecl] = dataclasses.field(default_factory=dict)
+    methods: set = dataclasses.field(default_factory=set)
+    method_requires: dict[str, list[str]] = dataclasses.field(default_factory=dict)
+
+    @property
+    def plain(self) -> str:
+        return self.name.rsplit("::", 1)[-1]
+
+
+@dataclasses.dataclass
+class FileIR:
+    path: str  # repo-relative posix path
+    tokens: list[tuple[str, str, int]] = dataclasses.field(default_factory=list)
+    suppressions: list[tuple[int, str]] = dataclasses.field(default_factory=list)
+    code_lines: set = dataclasses.field(default_factory=set)
+
+    def suppressed(self, line: int, tag: str) -> bool:
+        """True when `line` is covered by an allow(tag) suppression.
+
+        A suppression covers its own line and the next line that carries
+        code, provided only comment/blank lines sit in between (the idiom
+        is a comment block directly above the allocating statement).
+        """
+        for s_line, s_tag in self.suppressions:
+            if s_tag != tag or s_line > line:
+                continue
+            if s_line == line:
+                return True
+            between = [l for l in self.code_lines if s_line <= l < line]
+            if not between:
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Model
+# ---------------------------------------------------------------------------
+
+_EXTERNAL = ("external", [])
+
+
+class Model:
+    """The merged whole-repo model plus the conservative call resolver."""
+
+    def __init__(self) -> None:
+        self.files: dict[str, FileIR] = {}
+        self.functions: list[Function] = []
+        self.classes: dict[str, ClassInfo] = {}  # qualified name -> info
+        self.enums: dict[str, list[tuple[str, int]]] = {}
+        self.global_mutexes: list[MutexDecl] = []
+        # Indices built by finalize():
+        self.by_qualname: dict[str, list[Function]] = {}
+        self.by_name: dict[str, list[Function]] = {}
+        self.plain_classes: dict[str, list[str]] = {}
+        self.derived: dict[str, set] = {}  # qualified base -> transitive derived set
+        self.field_types: dict[str, set] = {}  # field name -> set of resolved type classes
+        self.mutex_index: dict[str, MutexDecl] = {}  # identity -> decl
+
+    # -- construction -------------------------------------------------------
+
+    def add_class(self, info: ClassInfo) -> None:
+        existing = self.classes.get(info.name)
+        if existing is None:
+            self.classes[info.name] = info
+            return
+        # Merge redeclarations (e.g. a header seen from several TUs).
+        existing.bases = existing.bases or info.bases
+        for fname, ftoks in info.fields.items():
+            existing.fields.setdefault(fname, ftoks)
+            if fname not in existing.field_order:
+                existing.field_order.append(fname)
+        for mname, mdecl in info.mutexes.items():
+            existing.mutexes.setdefault(mname, mdecl)
+        existing.methods |= info.methods
+        for mname, reqs in info.method_requires.items():
+            existing.method_requires.setdefault(mname, reqs)
+
+    # -- finalize -----------------------------------------------------------
+
+    def finalize(self) -> None:
+        self.plain_classes = {}
+        for qual in self.classes:
+            self.plain_classes.setdefault(qual.rsplit("::", 1)[-1], []).append(qual)
+
+        # Transitive derived-class map (for virtual call unions).
+        direct: dict[str, set] = {}
+        for qual, info in self.classes.items():
+            for base in info.bases:
+                base_qual = self._resolve_class(base, context=qual)
+                if base_qual:
+                    direct.setdefault(base_qual, set()).add(qual)
+        self.derived = {}
+        for base in direct:
+            seen: set = set()
+            stack = list(direct.get(base, ()))
+            while stack:
+                d = stack.pop()
+                if d in seen:
+                    continue
+                seen.add(d)
+                stack.extend(direct.get(d, ()))
+            self.derived[base] = seen
+
+        # Attach out-of-line definitions to their classes and merge
+        # declaration-site REQUIRES annotations.
+        for fn in self.functions:
+            if fn.cls is None and fn.qualifier_chain:
+                fn.cls = self._resolve_class(fn.qualifier_chain[-1], context=None) \
+                    or "::".join(fn.qualifier_chain)
+            if fn.cls:
+                info = self.classes.get(fn.cls)
+                if info is not None:
+                    info.methods.add(fn.name)
+                    decl_reqs = info.method_requires.get(fn.name)
+                    if decl_reqs:
+                        for r in decl_reqs:
+                            if r not in fn.requires:
+                                fn.requires.append(r)
+
+        self.by_qualname = {}
+        self.by_name = {}
+        for fn in self.functions:
+            self.by_qualname.setdefault(fn.qualname, []).append(fn)
+            self.by_name.setdefault(fn.name, []).append(fn)
+
+        # Resolve declared types for params, locals and fields.
+        for fn in self.functions:
+            for p in fn.params:
+                p.type_class = self._resolve_type(p.type_tokens, context=fn.cls)
+            for loc in fn.locals.values():
+                loc.type_class = self._resolve_type(loc.type_tokens, context=fn.cls)
+        self.field_types = {}
+        for qual, info in self.classes.items():
+            for fname, ftoks in info.fields.items():
+                t = self._resolve_type(ftoks, context=qual)
+                if t:
+                    self.field_types.setdefault(fname, set()).add(t)
+
+        # `auto x = call(...)` typing via a unique return type.
+        for fn in self.functions:
+            for loc in fn.locals.values():
+                if loc.type_class is None and loc.init_call:
+                    rets = set()
+                    for cand in self.by_name.get(loc.init_call, []):
+                        r = self._resolve_type(cand.return_type_tokens, context=cand.cls)
+                        if r:
+                            rets.add(r)
+                    if len(rets) == 1:
+                        loc.type_class = next(iter(rets))
+
+        self.mutex_index = {}
+        for info in self.classes.values():
+            for mdecl in info.mutexes.values():
+                self.mutex_index[mdecl.identity] = mdecl
+        for mdecl in self.global_mutexes:
+            self.mutex_index[mdecl.identity] = mdecl
+
+    # -- type helpers -------------------------------------------------------
+
+    def _resolve_class(self, name: str, context: Optional[str]) -> Optional[str]:
+        """Map a plain class name to its qualified form."""
+        if name in self.classes:
+            return name
+        if context:
+            # Prefer a nested sibling: Broker::Stats from inside Broker.
+            outer = context
+            while True:
+                nested = f"{outer}::{name}"
+                if nested in self.classes:
+                    return nested
+                if "::" not in outer:
+                    break
+                outer = outer.rsplit("::", 1)[0]
+        cands = self.plain_classes.get(name, [])
+        if len(cands) == 1:
+            return cands[0]
+        return None
+
+    def _resolve_type(self, tokens: list[str], context: Optional[str]) -> Optional[str]:
+        """Pick the class a declaration's type tokens denote.
+
+        The rightmost token naming a known class wins, which handles both
+        plain declarations (`const FrozenBucket* b`) and smart-pointer /
+        container wrappers (`std::shared_ptr<const CompiledAnnotation>`).
+        """
+        for tok in reversed(tokens):
+            resolved = self._resolve_class(tok, context)
+            if resolved:
+                return resolved
+        return None
+
+    def class_methods(self, qual: str, name: str, virtual: bool = True) -> list[Function]:
+        """Methods `name` on `qual`, its bases, and (virtual) its overrides."""
+        out: list[Function] = []
+        seen_classes: set = set()
+        stack = [qual]
+        if virtual:
+            stack.extend(self.derived.get(qual, ()))
+        # Walk bases upward from every candidate class.
+        while stack:
+            c = stack.pop()
+            if c in seen_classes:
+                continue
+            seen_classes.add(c)
+            out.extend(self.by_qualname.get(f"{c}::{name}", []))
+            info = self.classes.get(c)
+            if info:
+                for base in info.bases:
+                    bq = self._resolve_class(base, context=c)
+                    if bq:
+                        stack.append(bq)
+        return out
+
+    # -- mutex resolution ---------------------------------------------------
+
+    def mutex_identity(self, fn: Function, expr: list[str]) -> Optional[str]:
+        """Resolve a lock-expression to a mutex identity, or None."""
+        if not expr:
+            return None
+        name = expr[-1]
+        # Member of the enclosing class (or an outer class for nested types).
+        ctx = fn.cls
+        while ctx:
+            info = self.classes.get(ctx)
+            if info and name in info.mutexes:
+                return info.mutexes[name].identity
+            ctx = ctx.rsplit("::", 1)[0] if "::" in ctx else None
+        # Qualified access `Other::mutex_` or member-of-member: unique owner.
+        owners = [
+            info.mutexes[name].identity
+            for info in self.classes.values()
+            if name in info.mutexes
+        ]
+        if len(owners) == 1 and len(expr) > 1:
+            return owners[0]
+        # Namespace-scope mutex in the same file.
+        for g in self.global_mutexes:
+            if g.name == name and g.file == fn.file:
+                return g.identity
+        for g in self.global_mutexes:
+            if g.name == name:
+                return g.identity
+        return None
+
+    # -- call resolution ----------------------------------------------------
+
+    def resolve_call(self, fn: Function, call: CallSite, never_traverse: set,
+                     call_aliases: dict[str, str]) -> tuple[str, list[Function]]:
+        """Conservatively resolve a call site to candidate functions.
+
+        Returns ("resolved", targets) or ("external", []).  The hierarchy:
+        explicit qualification, receiver typing through locals / params /
+        fields, unique field-name typing, enclosing-class methods, free
+        functions, configured macro aliases, then an all-functions-by-name
+        union.  Names in `never_traverse` (std container vocabulary) go
+        external when nothing typed them first.
+        """
+        name = call.name
+        if name in call_aliases:
+            name = call_aliases[name]
+            return ("resolved", [f for f in self.by_name.get(name, []) if f.cls is None]) \
+                if self.by_name.get(name) else _EXTERNAL
+
+        if call.explicit_chain:
+            if call.explicit_chain[0] == "std":
+                return _EXTERNAL
+            qual = self._resolve_class(call.explicit_chain[-1], context=fn.cls)
+            if qual:
+                targets = self.class_methods(qual, name, virtual=False)
+                return ("resolved", targets) if targets else _EXTERNAL
+            # Namespace qualification (gryphon::f, wire::f): free functions.
+            frees = [f for f in self.by_name.get(name, []) if f.cls is None]
+            if frees:
+                return ("resolved", frees)
+            return self._fallback(name, never_traverse)
+
+        if call.receiver_is_this and fn.cls:
+            targets = self.class_methods(fn.cls, name)
+            if targets:
+                return ("resolved", targets)
+            return self._fallback(name, never_traverse)
+
+        if call.receiver_chain:
+            cls = self._type_of_chain(fn, call.receiver_chain)
+            if cls:
+                targets = self.class_methods(cls, name)
+                if targets:
+                    return ("resolved", targets)
+                return _EXTERNAL  # typed receiver, unknown method: std/stdlib type
+            return self._fallback(name, never_traverse)
+
+        # Unqualified call.
+        if call.is_construct:
+            qual = self._resolve_class(name, context=fn.cls)
+            if qual:
+                return ("resolved", self.by_qualname.get(f"{qual}::{name.rsplit('::', 1)[-1]}",
+                                                         self.by_qualname.get(f"{qual}::{qual.rsplit('::', 1)[-1]}", [])))
+            return _EXTERNAL
+        if fn.cls:
+            targets = self.class_methods(fn.cls, name)
+            if targets:
+                return ("resolved", targets)
+        frees = [f for f in self.by_name.get(name, []) if f.cls is None]
+        if frees:
+            return ("resolved", frees)
+        qual = self._resolve_class(name, context=fn.cls)
+        if qual:  # unqualified constructor call `Type(...)`
+            ctor = self.by_qualname.get(f"{qual}::{qual.rsplit('::', 1)[-1]}", [])
+            return ("resolved", ctor) if ctor else _EXTERNAL
+        return self._fallback(name, never_traverse)
+
+    def _fallback(self, name: str, never_traverse: set) -> tuple[str, list[Function]]:
+        if name in never_traverse:
+            return _EXTERNAL
+        cands = self.by_name.get(name, [])
+        return ("resolved", cands) if cands else _EXTERNAL
+
+    def _type_of_chain(self, fn: Function, chain: list[str]) -> Optional[str]:
+        """Type the receiver chain root through locals/params/fields, then
+        walk member accesses; unique field-name typing is the last resort."""
+        root = chain[0]
+        cls: Optional[str] = None
+        if root == "this":
+            cls = fn.cls
+        elif root in fn.locals and fn.locals[root].type_class:
+            cls = fn.locals[root].type_class
+        else:
+            for p in fn.params:
+                if p.name == root and p.type_class:
+                    cls = p.type_class
+                    break
+        if cls is None and fn.cls:
+            ctx = fn.cls
+            while ctx and cls is None:
+                info = self.classes.get(ctx)
+                if info and root in info.fields:
+                    cls = self._resolve_type(info.fields[root], context=ctx)
+                    break
+                ctx = ctx.rsplit("::", 1)[0] if "::" in ctx else None
+        remaining = chain[1:]
+        if cls is None:
+            # Unique field-name typing: `segment->kernel->match` types via
+            # the one field type every `kernel` field shares.
+            for i in range(len(chain) - 1, -1, -1):
+                types = self.field_types.get(chain[i])
+                if types and len(types) == 1:
+                    cls = next(iter(types))
+                    remaining = chain[i + 1:]
+                    break
+            if cls is None:
+                return None
+        for elem in remaining:
+            info = self.classes.get(cls)
+            nxt: Optional[str] = None
+            if info and elem in info.fields:
+                nxt = self._resolve_type(info.fields[elem], context=cls)
+            if nxt is None:
+                types = self.field_types.get(elem)
+                if types and len(types) == 1:
+                    nxt = next(iter(types))
+            if nxt is None:
+                return None
+            cls = nxt
+        return cls

@@ -1,0 +1,660 @@
+"""Rule implementations for gryphon-analyze.
+
+Every rule consumes the shared IR (`ir.Model`) plus the JSON config and
+returns `Finding` records; nothing here touches the C++ source directly
+except the protocol rule's documentation check (docs are not C++).
+
+  planes   -- data-plane purity: token scans over the fully data-plane
+              TUs and the data-plane entry-point bodies (the retired
+              check_planes.py contract), call-graph reachability from the
+              dispatch roots (no mutex acquisition, no control-plane
+              writer, no registry/builder member), and CoreSnapshot
+              construction provenance.
+  locks    -- lock-order consistency: scope-accurate replay of guard
+              lifetimes per function, transitive may-acquire sets over
+              the call graph, cycle detection over observed + declared
+              edges, and a declared-order requirement for classes owning
+              several mutexes.
+  alloc    -- hot-path allocation freedom: allocation sites, by-value
+              parameters and locals of allocating types reachable from
+              the dispatch roots, with a counted `allow(alloc)`
+              suppression budget.
+  protocol -- exhaustiveness oracles: every FrameType enumerator has a
+              handler arm and wire-robustness coverage; every
+              Broker::Stats counter reaches the brokerd report and the
+              fault-tolerance doc.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Optional
+
+from ir import FileIR, Function, Model
+
+
+@dataclasses.dataclass
+class Finding:
+    file: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def compute_reachable(model: Model, roots: list[str], never_traverse: set,
+                      call_aliases: dict[str, str]):
+    """Breadth-first closure of the call graph from `roots` (qualnames).
+    Returns (functions in discovery order, parent map for path messages)."""
+    parent: dict[int, Optional[Function]] = {}
+    order: list[Function] = []
+    queue: list[Function] = []
+    for q in roots:
+        for fn in model.by_qualname.get(q, []):
+            if id(fn) not in parent:
+                parent[id(fn)] = None
+                order.append(fn)
+                queue.append(fn)
+    head = 0
+    while head < len(queue):
+        fn = queue[head]
+        head += 1
+        for call in fn.calls:
+            _, targets = model.resolve_call(fn, call, never_traverse, call_aliases)
+            for t in targets:
+                if id(t) not in parent:
+                    parent[id(t)] = fn
+                    order.append(t)
+                    queue.append(t)
+    return order, parent
+
+
+def _path(fn: Function, parent: dict) -> str:
+    names = []
+    cur: Optional[Function] = fn
+    while cur is not None:
+        names.append(cur.qualname)
+        cur = parent.get(id(cur))
+    names.reverse()
+    if len(names) > 5:
+        names = names[:2] + ["..."] + names[-2:]
+    return " -> ".join(names)
+
+
+def _split_forbidden(tokens: list[str]):
+    single = set()
+    multi = []
+    for t in tokens:
+        if "." in t:
+            multi.append(t.split("."))
+        else:
+            single.add(t)
+    return single, multi
+
+
+def _scan_texts(texts: list[tuple[str, int]], single: set, multi: list):
+    """Scan an ordered (text, line) stream for forbidden tokens; multi-part
+    entries like `snapshot_.store` match the `a . b` token sequence."""
+    hits = []
+    for i, (t, line) in enumerate(texts):
+        if t in single:
+            hits.append((line, t))
+        for parts in multi:
+            if t != parts[0]:
+                continue
+            j = i
+            ok = True
+            for part in parts[1:]:
+                if j + 2 >= len(texts) or texts[j + 1][0] not in (".", "->") \
+                        or texts[j + 2][0] != part:
+                    ok = False
+                    break
+                j += 2
+            if ok:
+                hits.append((line, ".".join(parts)))
+    return hits
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: plane purity
+# ---------------------------------------------------------------------------
+
+
+def rule_planes(model: Model, cfg: dict, root: str) -> list[Finding]:
+    pc = cfg.get("planes", {})
+    never = set(cfg.get("never_traverse", []))
+    aliases = cfg.get("call_aliases", {})
+    out: list[Finding] = []
+    single, multi = _split_forbidden(pc.get("forbidden_tokens", []))
+
+    # 1a: fully data-plane translation units.
+    for rel in pc.get("data_plane_files", []):
+        fir = model.files.get(rel)
+        if fir is None:
+            out.append(Finding(rel, 0, "planes",
+                               "data-plane file missing (stale analyzer config?)"))
+            continue
+        texts = [(t, line) for _, t, line in fir.tokens]
+        for line, token in _scan_texts(texts, single, multi):
+            out.append(Finding(rel, line, "planes",
+                               f"data-plane TU references control-plane token '{token}'"))
+
+    # 1b: data-plane function bodies inside mixed TUs.
+    for rel, qual in pc.get("data_plane_functions", []):
+        if model.files.get(rel) is None:
+            out.append(Finding(rel, 0, "planes",
+                               f"file with data-plane function {qual} missing"))
+            continue
+        fns = [f for f in model.functions if f.file == rel and f.qualname == qual]
+        if not fns:
+            out.append(Finding(rel, 0, "planes",
+                               f"no definition of data-plane function {qual} found"))
+        for fn in fns:
+            for line, token in _scan_texts(fn.token_seq, single, multi):
+                out.append(Finding(rel, line, "planes",
+                                   f"data-plane function {qual} references "
+                                   f"control-plane token '{token}'"))
+
+    # 1c: call-graph reachability from the dispatch roots.
+    roots = pc.get("reachability_roots", [])
+    allowed_locking = set(pc.get("allowed_locking", []))
+    forbidden_calls = pc.get("forbidden_calls", [])
+    forbidden_plain = {q.rsplit("::", 1)[-1] for q in forbidden_calls}
+    member_tokens = set()
+    for members in pc.get("forbidden_members", {}).values():
+        member_tokens.update(members)
+    order, parent = compute_reachable(model, roots, never, aliases)
+    for fn in order:
+        if fn.qualname not in allowed_locking:
+            for site in fn.locks:
+                if site.kind in ("guard", "lock"):
+                    out.append(Finding(fn.file, site.line, "planes",
+                                       f"mutex acquisition in data-plane reachable code "
+                                       f"({_path(fn, parent)})"))
+        for call in fn.calls:
+            if call.name not in forbidden_plain:
+                continue
+            hit = None
+            for q in forbidden_calls:
+                if "::" in q:
+                    if q.rsplit("::", 1)[-1] != call.name:
+                        continue
+                    _, targets = model.resolve_call(fn, call, never, aliases)
+                    if any(t.qualname == q for t in targets):
+                        hit = q
+                        break
+                elif q == call.name:
+                    hit = q
+                    break
+            if hit:
+                out.append(Finding(fn.file, call.line, "planes",
+                                   f"control-plane writer '{hit}' reachable from data "
+                                   f"plane ({_path(fn, parent)})"))
+        for tok in member_tokens:
+            if tok in fn.idents:
+                out.append(Finding(fn.file, fn.idents[tok], "planes",
+                                   f"control-plane member '{tok}' referenced in "
+                                   f"data-plane reachable code ({_path(fn, parent)})"))
+
+    # 1d: snapshot construction provenance.
+    snap = pc.get("snapshot")
+    if snap:
+        tname = snap["type"]
+        home = set(snap.get("home", []))
+        prefixes = tuple(snap.get("scan_prefixes", ["src/"]))
+        for rel, fir in sorted(model.files.items()):
+            if not rel.startswith(prefixes) or rel in home:
+                continue
+            toks = fir.tokens
+            for i, (_, t, line) in enumerate(toks):
+                if t != tname:
+                    continue
+                prev = toks[i - 1][1] if i > 0 else ""
+                nxt = toks[i + 1][1] if i + 1 < len(toks) else ""
+                back = i - 1
+                if prev == "const":
+                    back = i - 2
+                make_shared = (back >= 1 and toks[back][1] == "<"
+                               and toks[back - 1][1] == "make_shared")
+                if prev == "new" or nxt in ("(", "{") or make_shared:
+                    out.append(Finding(rel, line, "planes",
+                                       f"{tname} constructed outside "
+                                       f"{'/'.join(sorted(home))} (go through "
+                                       f"SnapshotBuilder)"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: lock order
+# ---------------------------------------------------------------------------
+
+
+def _replay_function(model: Model, fn: Function):
+    """Replay the ordered event stream, tracking guard lifetimes by brace
+    depth.  Returns (direct mutex ids, direct edges with lines, calls with
+    the held-set at the site)."""
+    entry = set()
+    for r in fn.requires:
+        mid = model.mutex_identity(fn, [r])
+        if mid:
+            entry.add(mid)
+    held: list[dict] = []
+    direct: set = set()
+    edges: list[tuple[str, str, int]] = []
+    calls_held: list[tuple] = []
+
+    def held_now() -> set:
+        return entry | {h["id"] for h in held if h["active"] and h["id"]}
+
+    def acquire(mid: Optional[str], depth: int, guard: Optional[str], line: int) -> None:
+        if mid:
+            for h in held_now():
+                if h != mid:
+                    edges.append((h, mid, line))
+            direct.add(mid)
+        held.append({"id": mid, "depth": depth, "guard": guard, "active": True})
+
+    for ev in fn.events:
+        if ev[0] == "lock":
+            site = ev[1]
+            if site.kind == "guard":
+                acquire(model.mutex_identity(fn, site.target), site.depth,
+                        site.guard_var, site.line)
+            elif site.kind == "lock":
+                name = site.target[-1] if site.target else ""
+                g = next((h for h in reversed(held) if h["guard"] == name), None)
+                if g is not None:
+                    g["active"] = True
+                    if g["id"]:
+                        for h in held_now() - {g["id"]}:
+                            edges.append((h, g["id"], site.line))
+                else:
+                    acquire(model.mutex_identity(fn, site.target), site.depth,
+                            None, site.line)
+            elif site.kind == "unlock":
+                name = site.target[-1] if site.target else ""
+                g = next((h for h in reversed(held) if h["guard"] == name), None)
+                if g is None:
+                    mid = model.mutex_identity(fn, site.target)
+                    g = next((h for h in reversed(held) if h["id"] == mid), None)
+                if g is not None:
+                    g["active"] = False
+        elif ev[0] == "call":
+            calls_held.append((ev[1], frozenset(held_now())))
+        elif ev[0] == "close":
+            depth = ev[1]
+            held = [h for h in held if h["depth"] <= depth]
+    return direct, edges, calls_held
+
+
+def rule_locks(model: Model, cfg: dict, root: str) -> list[Finding]:
+    lc = cfg.get("locks", {})
+    never = set(cfg.get("never_traverse", []))
+    aliases = cfg.get("call_aliases", {})
+    out: list[Finding] = []
+
+    summaries: dict[int, tuple] = {}
+    resolved_calls: dict[int, list] = {}
+    for fn in model.functions:
+        direct, edges, calls_held = _replay_function(model, fn)
+        summaries[id(fn)] = (fn, direct, edges, calls_held)
+        rc = []
+        for call, held in calls_held:
+            # Calls inside lambda bodies may run deferred (thread entry
+            # points, stored callbacks); attributing them to the enclosing
+            # held-set fabricates edges, so the lock rule skips them.
+            if call.in_lambda:
+                continue
+            _, targets = model.resolve_call(fn, call, never, aliases)
+            if targets:
+                rc.append((call, held, targets))
+        resolved_calls[id(fn)] = rc
+
+    # Transitive may-acquire sets (fixpoint over the call graph).
+    ta: dict[int, set] = {fid: set(s[1]) for fid, s in summaries.items()}
+    changed = True
+    while changed:
+        changed = False
+        for fid, rc in resolved_calls.items():
+            acc = ta[fid]
+            before = len(acc)
+            for _, _, targets in rc:
+                for t in targets:
+                    acc |= ta.get(id(t), set())
+            if len(acc) != before:
+                changed = True
+
+    # Observed edges: direct (replay) plus held-at-call-site x callee TA.
+    edge_where: dict[tuple, tuple] = {}
+    for fid, (fn, _, edges, _) in summaries.items():
+        for a, b, line in edges:
+            edge_where.setdefault((a, b), (fn.file, line, fn.qualname))
+        for call, held, targets in resolved_calls[fid]:
+            for t in targets:
+                for m in ta.get(id(t), set()):
+                    for h in held:
+                        if h != m:
+                            edge_where.setdefault(
+                                (h, m), (fn.file, call.line,
+                                         f"{fn.qualname} calls {t.qualname}"))
+
+    # Declared edges: ACQUIRED_BEFORE / ACQUIRED_AFTER plus the config's
+    # documented cross-class order.
+    declared: set = set()
+    for decl in model.mutex_index.values():
+        for arg in decl.acquired_before:
+            tgt = _declared_target(model, decl, arg)
+            if tgt:
+                declared.add((decl.identity, tgt))
+        for arg in decl.acquired_after:
+            src = _declared_target(model, decl, arg)
+            if src:
+                declared.add((src, decl.identity))
+    for entry in lc.get("declared_edges", []):
+        declared.add((entry["from"], entry["to"]))
+
+    graph: dict[str, set] = {}
+    for (a, b) in list(edge_where) + list(declared):
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+
+    for cyc in _find_cycles(graph):
+        parts = []
+        for a, b in zip(cyc, cyc[1:]):
+            where = edge_where.get((a, b))
+            if where:
+                parts.append(f"{a} -> {b} ({where[2]} at {where[0]}:{where[1]})")
+            else:
+                parts.append(f"{a} -> {b} (declared)")
+        anchor = next((edge_where[(a, b)] for a, b in zip(cyc, cyc[1:])
+                       if (a, b) in edge_where), None)
+        file, line = (anchor[0], anchor[1]) if anchor else ("", 0)
+        out.append(Finding(file, line, "locks",
+                           "lock-order cycle: " + "; ".join(parts)))
+
+    # Classes owning several mutexes must declare a total order.
+    closure = _transitive(declared)
+    for info in model.classes.values():
+        names = sorted(info.mutexes)
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                a = info.mutexes[names[i]].identity
+                b = info.mutexes[names[j]].identity
+                if (a, b) not in closure and (b, a) not in closure:
+                    out.append(Finding(
+                        info.file, info.mutexes[names[j]].line, "locks",
+                        f"class {info.name} owns mutexes '{names[i]}' and "
+                        f"'{names[j]}' with no declared acquisition order "
+                        f"(annotate with ACQUIRED_BEFORE / ACQUIRED_AFTER)"))
+    return out
+
+
+def _declared_target(model: Model, decl, arg: str) -> Optional[str]:
+    if decl.cls:
+        info = model.classes.get(decl.cls)
+        if info and arg in info.mutexes:
+            return info.mutexes[arg].identity
+    owners = [m.identity for m in model.mutex_index.values() if m.name == arg]
+    if len(owners) == 1:
+        return owners[0]
+    return None
+
+
+def _transitive(edges: set) -> set:
+    adj: dict[str, set] = {}
+    for a, b in edges:
+        adj.setdefault(a, set()).add(b)
+    closure = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for a, b in list(closure):
+            for c in adj.get(b, ()):  # noqa: B023
+                if (a, c) not in closure and a != c:
+                    closure.add((a, c))
+                    changed = True
+    return closure
+
+
+def _find_cycles(graph: dict[str, set]) -> list[list[str]]:
+    cycles: list[list[str]] = []
+    seen_sets: set = set()
+    color: dict[str, int] = {}
+    path: list[str] = []
+
+    def dfs(u: str) -> None:
+        color[u] = 1
+        path.append(u)
+        for v in sorted(graph.get(u, ())):
+            if color.get(v, 0) == 0:
+                dfs(v)
+            elif color.get(v) == 1:
+                cyc = path[path.index(v):] + [v]
+                key = frozenset(cyc)
+                if key not in seen_sets:
+                    seen_sets.add(key)
+                    cycles.append(cyc)
+        path.pop()
+        color[u] = 2
+
+    for node in sorted(graph):
+        if color.get(node, 0) == 0:
+            dfs(node)
+    return cycles
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: hot-path allocation freedom
+# ---------------------------------------------------------------------------
+
+
+def rule_alloc(model: Model, cfg: dict, root: str) -> list[Finding]:
+    ac = cfg.get("alloc", {})
+    never = set(cfg.get("never_traverse", []))
+    aliases = cfg.get("call_aliases", {})
+    alloc_types = set(ac.get("allocating_types", []))
+    out: list[Finding] = []
+
+    def is_allocating(type_class: Optional[str], type_tokens: list[str]) -> bool:
+        if type_class and type_class.rsplit("::", 1)[-1] in alloc_types:
+            return True
+        return any(t in alloc_types for t in type_tokens)
+
+    order, parent = compute_reachable(model, ac.get("roots", []), never, aliases)
+    for fn in order:
+        fir = model.files.get(fn.file)
+        for site in fn.allocs:
+            if fir and fir.suppressed(site.line, "alloc"):
+                continue
+            out.append(Finding(fn.file, site.line, "alloc",
+                               f"{site.kind} allocation '{site.detail}' reachable from "
+                               f"dispatch ({_path(fn, parent)})"))
+        for p in fn.params:
+            if p.by_value and is_allocating(p.type_class, p.type_tokens):
+                if fir and fir.suppressed(p.line, "alloc"):
+                    continue
+                out.append(Finding(fn.file, p.line, "alloc",
+                                   f"by-value parameter '{p.name}' of allocating type "
+                                   f"in {fn.qualname} ({_path(fn, parent)})"))
+        for loc in fn.locals.values():
+            if loc.by_value and loc.has_init and \
+                    is_allocating(loc.type_class, loc.type_tokens):
+                if fir and fir.suppressed(loc.line, "alloc"):
+                    continue
+                out.append(Finding(fn.file, loc.line, "alloc",
+                                   f"local '{loc.name}' of allocating type constructed "
+                                   f"in {fn.qualname} ({_path(fn, parent)})"))
+
+    total = sum(1 for fir in model.files.values()
+                for _, tag in fir.suppressions if tag == "alloc")
+    max_sup = ac.get("max_suppressions")
+    if max_sup is not None and total > max_sup:
+        out.append(Finding("", 0, "alloc",
+                           f"{total} allow(alloc) suppressions exceed the budget of "
+                           f"{max_sup}"))
+    expected = ac.get("expected_suppressions")
+    if expected is not None and total != expected:
+        out.append(Finding("", 0, "alloc",
+                           f"allow(alloc) suppression count drifted: {total} in tree, "
+                           f"baseline {expected} (re-audit, then update "
+                           f"alloc.expected_suppressions)"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rule 4: protocol exhaustiveness
+# ---------------------------------------------------------------------------
+
+
+def _case_arms(fir: FileIR) -> set:
+    arms = set()
+    toks = fir.tokens
+    for i, (_, t, _) in enumerate(toks):
+        if t != "case":
+            continue
+        last_id = None
+        j = i + 1
+        while j < len(toks):
+            kind, text, _ = toks[j]
+            if kind == "id":
+                last_id = text
+            elif text != "::":
+                break
+            j += 1
+        if last_id:
+            arms.add(last_id)
+    return arms
+
+
+def rule_protocol(model: Model, cfg: dict, root: str) -> list[Finding]:
+    pc = cfg.get("protocol", {})
+    out: list[Finding] = []
+    if not pc:
+        return out
+
+    enum_name = pc.get("enum", "FrameType")
+    enum_file = pc.get("enum_file", "")
+    enumerators = model.enums.get(enum_name)
+    if enumerators is None:
+        for key, vals in model.enums.items():
+            if key.endswith("::" + enum_name):
+                enumerators = vals
+                break
+    if enumerators is None:
+        out.append(Finding(enum_file, 0, "protocol",
+                           f"enum {enum_name} not found in the scanned tree"))
+        enumerators = []
+
+    arms: set = set()
+    for rel in pc.get("handler_files", []):
+        fir = model.files.get(rel)
+        if fir is None:
+            out.append(Finding(rel, 0, "protocol", "handler file missing"))
+            continue
+        arms |= _case_arms(fir)
+
+    test_rel = pc.get("test_file", "")
+    test_fir = model.files.get(test_rel)
+    test_tokens = {t for _, t, _ in test_fir.tokens} if test_fir else set()
+    if test_rel and test_fir is None:
+        out.append(Finding(test_rel, 0, "protocol", "wire robustness test file missing"))
+
+    for name, _ in enumerators:
+        if name not in arms:
+            out.append(Finding(enum_file, 0, "protocol",
+                               f"FrameType::{name} has no `case` arm in any handler "
+                               f"({', '.join(pc.get('handler_files', []))})"))
+        if test_fir is not None and name not in test_tokens:
+            out.append(Finding(test_rel, 0, "protocol",
+                               f"FrameType::{name} has no round-trip coverage in "
+                               f"{test_rel}"))
+
+    count_token = pc.get("count_token")
+    if count_token and test_fir is not None and count_token not in test_tokens:
+        out.append(Finding(test_rel, 0, "protocol",
+                           f"{count_token} is not referenced by {test_rel} (the frame "
+                           f"table must be pinned to the enum size)"))
+    if count_token and enum_file:
+        efir = model.files.get(enum_file)
+        if efir is not None:
+            declared = _constant_value(efir, count_token)
+            if declared is None:
+                out.append(Finding(enum_file, 0, "protocol",
+                                   f"{count_token} is not defined in {enum_file}"))
+            elif enumerators and declared != len(enumerators):
+                out.append(Finding(enum_file, 0, "protocol",
+                                   f"{count_token} = {declared} but {enum_name} has "
+                                   f"{len(enumerators)} enumerators"))
+
+    stats_class = pc.get("stats_class")
+    if stats_class:
+        info = model.classes.get(stats_class)
+        if info is None:
+            out.append(Finding("", 0, "protocol",
+                               f"stats class {stats_class} not found"))
+        else:
+            report_rel = pc.get("stats_report_file", "")
+            report_fir = model.files.get(report_rel)
+            report_tokens = {t for _, t, _ in report_fir.tokens} if report_fir else set()
+            doc_rel = pc.get("stats_doc_file", "")
+            doc_text = ""
+            if doc_rel:
+                try:
+                    with open(os.path.join(root, doc_rel), encoding="utf-8") as fh:
+                        doc_text = fh.read()
+                except OSError:
+                    out.append(Finding(doc_rel, 0, "protocol",
+                                       "stats documentation file missing"))
+            for field in info.field_order:
+                if report_fir is not None and field not in report_tokens:
+                    out.append(Finding(report_rel, 0, "protocol",
+                                       f"{stats_class}::{field} never reaches the "
+                                       f"shutdown report in {report_rel}"))
+                if doc_text and field not in doc_text:
+                    out.append(Finding(doc_rel, 0, "protocol",
+                                       f"{stats_class}::{field} is undocumented in "
+                                       f"{doc_rel}"))
+    return out
+
+
+def _constant_value(fir: FileIR, name: str) -> Optional[int]:
+    toks = fir.tokens
+    for i, (_, t, _) in enumerate(toks):
+        if t == name and i + 2 < len(toks) and toks[i + 1][1] == "=":
+            try:
+                return int(toks[i + 2][1], 0)
+            except ValueError:
+                return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+ALL_RULES = {
+    "planes": rule_planes,
+    "locks": rule_locks,
+    "alloc": rule_alloc,
+    "protocol": rule_protocol,
+}
+
+
+def run_rules(model: Model, cfg: dict, root: str,
+              rules: Optional[list[str]] = None) -> list[Finding]:
+    findings: list[Finding] = []
+    for name in rules or list(ALL_RULES):
+        findings.extend(ALL_RULES[name](model, cfg, root))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule, f.message))
+    return findings

@@ -165,12 +165,13 @@ int main(int argc, char** argv) {
     const auto stats = broker.stats();
     std::printf(
         "brokerd: shutting down (published=%llu relayed=%llu forwarded=%llu delivered=%llu "
-        "subscriptions=%llu)\n",
+        "subscriptions=%llu matching_steps=%llu)\n",
         static_cast<unsigned long long>(stats.events_published),
         static_cast<unsigned long long>(stats.events_relayed),
         static_cast<unsigned long long>(stats.events_forwarded),
         static_cast<unsigned long long>(stats.events_delivered),
-        static_cast<unsigned long long>(stats.subscriptions_active));
+        static_cast<unsigned long long>(stats.subscriptions_active),
+        static_cast<unsigned long long>(stats.matching_steps));
     std::printf(
         "brokerd: link health (retransmits=%llu duplicates_dropped=%llu link_flaps=%llu "
         "frames_rejected=%llu forwards_dropped_dead_link=%llu)\n",

@@ -2,17 +2,18 @@
 # Local CI: release build + full test suite, sanitizer passes (ASan, UBSan,
 # TSan — each pure, in its own build directory), a perf smoke over the
 # matching kernels, a multi-core scaling check over the sharded batch
-# dispatch pipeline, and the static-analysis lint leg (plane-separation
-# checker + clang-tidy). See docs/static-analysis.md for the full matrix.
+# dispatch pipeline, the gryphon-analyze invariant leg, and the lint leg
+# (clang-tidy). See docs/static-analysis.md for the full matrix.
 #
 #   tools/ci.sh             # release + asan + ubsan + tsan + chaos + perf +
-#                           # scaling + churn + lint
+#                           # scaling + churn + analyze + lint
 #   tools/ci.sh release     # just the release leg
 #   tools/ci.sh tsan        # just the ThreadSanitizer leg
 #   tools/ci.sh asan ubsan  # any subset, in order
 #   tools/ci.sh chaos       # fault-injection sweep over extra seeds
 #   tools/ci.sh scaling     # mt_throughput sharded-dispatch scaling check
 #   tools/ci.sh churn       # covering/delta control-plane churn check
+#   tools/ci.sh analyze     # gryphon-analyze self-test + live-tree run
 #
 # The TSan leg runs the tests labeled `concurrency` (the snapshot /
 # worker-pipeline races are what TSan is here to catch); the ASan, UBSan
@@ -20,9 +21,13 @@
 # run micro_bench on the compiled-vs-mutable kernel pair plus the
 # standalone compiled_pst_bench, leaving BENCH_micro_kernels.json and
 # BENCH_compiled_pst.json at the repo root as uploadable artifacts. The
-# lint leg always runs tools/check_planes.py and its self-test; clang-tidy
-# runs when the binary exists (any diagnostic fails) and is skipped with a
-# notice otherwise, so the leg degrades gracefully on GCC-only hosts.
+# analyze leg runs tools/analyze (plane purity, lock order, hot-path
+# allocations, protocol exhaustiveness) with its dependency-free fallback
+# frontend as the gate, repeats the run on the libclang frontend when
+# clang.cindex is importable, and leaves gryphon-analyze-findings.json as
+# an uploadable artifact. The lint leg runs clang-tidy when the binary
+# exists (any diagnostic fails) and is skipped with a notice otherwise, so
+# it degrades gracefully on GCC-only hosts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,25 +35,41 @@ JOBS="${JOBS:-$(nproc)}"
 if [[ $# -gt 0 ]]; then
   LEGS=("$@")
 else
-  LEGS=(release asan ubsan tsan chaos perf scaling churn lint)
+  LEGS=(release asan ubsan tsan chaos perf scaling churn analyze lint)
 fi
 
-# NOLINT budget enforced alongside clang-tidy (policy in .clang-tidy).
-NOLINT_BUDGET=10
+# NOLINT budget enforced alongside clang-tidy (policy in .clang-tidy). The
+# tree is currently NOLINT-free; raising this requires a written
+# justification next to the new marker.
+NOLINT_BUDGET=0
+
+run_analyze() {
+  echo "=== [analyze] gryphon-analyze fixture self-test ==="
+  python3 tools/test_analyze.py
+
+  echo "=== [analyze] gryphon-analyze over the live tree (fallback frontend) ==="
+  python3 tools/analyze/gryphon_analyze.py --root . --frontend fallback \
+    --json gryphon-analyze-findings.json
+
+  if python3 -c "import clang.cindex" >/dev/null 2>&1; then
+    echo "=== [analyze] gryphon-analyze over the live tree (libclang frontend) ==="
+    cmake -B build -S . >/dev/null  # compile_commands.json for the cindex args
+    python3 tools/analyze/gryphon_analyze.py --root . --frontend cindex \
+      --json gryphon-analyze-findings.json
+  else
+    echo "=== [analyze] clang.cindex not importable; libclang pass skipped ==="
+    echo "    (install python3-clang to run both frontends)"
+  fi
+  echo "analyze artifact: gryphon-analyze-findings.json"
+}
 
 run_lint() {
   echo "=== [lint] configure (compilation database) ==="
   cmake -B build -S . >/dev/null
 
-  echo "=== [lint] plane-separation checker self-test ==="
-  python3 tools/test_check_planes.py
-
-  echo "=== [lint] plane-separation checker ==="
-  python3 tools/check_planes.py --root .
-
   echo "=== [lint] NOLINT budget (max $NOLINT_BUDGET) ==="
   local nolints
-  nolints=$(grep -rn 'NOLINT' src/ --include='*.h' --include='*.cpp' | wc -l)
+  nolints=$(grep -rn 'NOLINT(' src/ --include='*.h' --include='*.cpp' | wc -l)
   echo "NOLINT markers in src/: $nolints"
   if (( nolints > NOLINT_BUDGET )); then
     echo "ci.sh: NOLINT budget exceeded ($nolints > $NOLINT_BUDGET)" >&2
@@ -83,9 +104,10 @@ run_leg() {
     perf)    dir=build          sanitize=""          ;;
     scaling) dir=build          sanitize=""          ;;
     churn)   dir=build          sanitize=""          ;;
+    analyze) run_analyze; return ;;
     lint)    run_lint; return ;;
     *)
-      echo "ci.sh: unknown leg '$leg' (release|asan|ubsan|tsan|chaos|perf|scaling|churn|lint)" >&2
+      echo "ci.sh: unknown leg '$leg' (release|asan|ubsan|tsan|chaos|perf|scaling|churn|analyze|lint)" >&2
       exit 2
       ;;
   esac
