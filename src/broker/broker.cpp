@@ -32,6 +32,8 @@ Broker::Broker(BrokerId self, const BrokerNetwork& topology, std::vector<SchemaP
       options_(std::move(options)),
       session_epoch_(options_.session_epoch != 0 ? options_.session_epoch
                                                  : derive_session_epoch(self)) {
+  standby_ = options_.standby;
+  repl_enabled_ = options_.replicate && !options_.standby;
   workers_.reserve(options_.match_threads);
   for (std::size_t i = 0; i < options_.match_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -64,7 +66,10 @@ void Broker::attach_broker_link(ConnId conn, BrokerId peer) {
   conns_[conn] = ConnState{ConnKind::kBroker, {}, peer};
   LinkSession& session = links_[peer];
   session.conn = conn;
-  session.dead = false;  // an explicit attach always revives the link
+  if (session.dead) {
+    session.dead = false;  // an explicit attach always revives the link
+    replicate({.kind = replication::UpdateKind::kLinkDead, .peer = peer, .dead = false});
+  }
   session.last_recv = now();
   transport_->send(conn, wire::encode(wire::HelloBroker{core_.self(), session_epoch_,
                                                         session.in_epoch, session.in_seq}));
@@ -111,6 +116,12 @@ void Broker::on_disconnect(ConnId conn) {
       link->second.conn = kInvalidConn;  // session survives; forwards queue up
       ++stats_.link_flaps;
     }
+  } else if (state.kind == ConnKind::kReplica) {
+    // Replication sessions survive the drop the same way link sessions do:
+    // the primary's update log keeps accumulating and the standby's next
+    // ReplHello resumes (or re-snapshots) from its applied cursor.
+    if (replica_.conn == conn) replica_.conn = kInvalidConn;
+    if (repl_conn_ == conn) repl_conn_ = kInvalidConn;
   }
 }
 
@@ -126,10 +137,31 @@ void Broker::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
         if (link != links_.end() && link->second.conn == conn) {
           link->second.last_recv = now();
         }
+      } else if (it != conns_.end() && it->second.kind == ConnKind::kReplica) {
+        if (conn == repl_conn_) repl_last_recv_ = now();  // primary liveness
       }
     }
     try {
-      switch (wire::peek_type(frame)) {
+      const wire::FrameType type = wire::peek_type(frame);
+      if (standby_) {
+        // A standby shadows its primary; it serves nobody until promoted.
+        // Only the replication stream (and its liveness heartbeats) and a
+        // promotion order are legitimate traffic — a client or broker that
+        // reaches a standby is misconfigured, and humoring it would fork
+        // the primary's state.
+        switch (type) {
+          case wire::FrameType::kStateSnapshot:
+          case wire::FrameType::kStateUpdate:
+          case wire::FrameType::kPromote:
+          case wire::FrameType::kLinkHeartbeat:
+            break;
+          default:
+            throw CodecError("standby: refusing frame type " +
+                             std::to_string(static_cast<unsigned>(frame[0])) +
+                             " before promotion");
+        }
+      }
+      switch (type) {
         case wire::FrameType::kHelloClient:
           handle_hello_client(conn, wire::decode_hello_client(frame));
           break;
@@ -163,6 +195,26 @@ void Broker::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
         case wire::FrameType::kLinkHeartbeat:
           handle_link_heartbeat(conn, wire::decode_link_heartbeat(frame));
           break;
+        case wire::FrameType::kReplHello:
+          handle_repl_hello(conn, wire::decode_repl_hello(frame));
+          break;
+        case wire::FrameType::kStateSnapshot:
+          handle_state_snapshot(conn, wire::decode_state_snapshot(frame));
+          break;
+        case wire::FrameType::kStateUpdate:
+          handle_state_update(conn, wire::decode_state_update(frame));
+          break;
+        case wire::FrameType::kReplAck:
+          handle_repl_ack(conn, wire::decode_repl_ack(frame));
+          break;
+        case wire::FrameType::kPromote: {
+          const wire::Promote order = wire::decode_promote(frame);
+          if (order.primary != core_.self()) {
+            throw CodecError("promote order for a different broker");
+          }
+          promote_locked();
+          break;
+        }
         default:
           // Unknown type byte, or a frame a broker must never receive
           // (kDeliver, kError, ...): a protocol violation, same as garbage.
@@ -211,12 +263,19 @@ void Broker::handle_hello_broker(ConnId conn, const wire::HelloBroker& hello) {
   conns_[conn] = ConnState{ConnKind::kBroker, {}, hello.broker};
   LinkSession& session = links_[hello.broker];
   session.conn = conn;
-  session.dead = false;  // the peer reached us: the link is back
+  if (session.dead) {
+    session.dead = false;  // the peer reached us: the link is back
+    replicate({.kind = replication::UpdateKind::kLinkDead, .peer = hello.broker, .dead = false});
+  }
   session.last_recv = now();
   if (hello.epoch != session.in_epoch) {
     // New peer incarnation: its forward numbering restarted.
     session.in_epoch = hello.epoch;
     session.in_seq = 0;
+    replicate({.kind = replication::UpdateKind::kLinkInSeq,
+               .peer = hello.broker,
+               .seq = 0,
+               .epoch = session.in_epoch});
   }
   if (responder) {
     transport_->send(conn, wire::encode(wire::HelloBroker{core_.self(), session_epoch_,
@@ -252,11 +311,28 @@ void Broker::replay_forwards_to(LinkSession& session, const wire::HelloBroker& h
   if (baseline > peer_known) {
     queue_link_frame(session, wire::encode(wire::LinkHeartbeat{session_epoch_, baseline}));
   }
+  // As in tick_links: a failover rebase leaves sequence gaps nothing can
+  // fill, so each one is bridged with a heartbeat floor — mid-replay if the
+  // gap sits between retained entries, and after the replay if it sits at
+  // the tail (last_seq was advanced past the final retained entry). The
+  // receiver consumes the retained forwards first, then rebases across the
+  // gap, so fresh post-promotion forwards flow without a go-back-N stall.
+  std::uint64_t expected = baseline;
   for (const EventLog::Entry* entry : session.out_log.unacknowledged(baseline)) {
+    if (entry->seq > expected + 1) {
+      queue_link_frame(session,
+                       wire::encode(wire::LinkHeartbeat{session_epoch_, entry->seq - 1}));
+    }
     queue_link_frame(session,
                      wire::encode(wire::EventForward{entry->origin, entry->space, entry->event,
                                                      session_epoch_, entry->seq}));
     ++stats_.retransmits;
+    expected = entry->seq;
+  }
+  if (session.out_log.last_seq() > expected) {
+    queue_link_frame(session,
+                     wire::encode(wire::LinkHeartbeat{session_epoch_,
+                                                      session.out_log.last_seq()}));
   }
   // One coalesced flush for the baseline + replay suffix.
   flush_link_egress();
@@ -287,6 +363,12 @@ void Broker::handle_subscribe(ConnId conn, const wire::SubscribeReq& req) {
   local_sub_space_[id] = req.space;
   ++stats_.subscriptions_active;
   transport_->send(conn, wire::encode(wire::SubscribeAck{req.token, id}));
+  replicate({.kind = replication::UpdateKind::kSubAdd,
+             .id = id,
+             .owner = core_.self(),
+             .client = it->second.client_name,
+             .space = req.space,
+             .payload = req.subscription});
   propagate_subscription(
       wire::SubPropagate{id, core_.self(), req.space, req.subscription}, kInvalidConn);
   maybe_broadcast_quench(req.space, count_before);
@@ -308,6 +390,7 @@ void Broker::handle_unsubscribe(ConnId conn, const wire::Unsubscribe& req) {
   subs.erase(std::remove(subs.begin(), subs.end(), req.id), subs.end());
   local_sub_client_.erase(req.id);
   local_sub_space_.erase(req.id);
+  replicate({.kind = replication::UpdateKind::kSubRemove, .id = req.id});
   propagate_unsubscription(wire::UnsubPropagate{req.id}, kInvalidConn);
   maybe_broadcast_quench(space, count_before);
 }
@@ -338,6 +421,9 @@ void Broker::handle_ack(ConnId conn, const wire::Ack& ack) {
   const auto it = conns_.find(conn);
   if (it == conns_.end() || it->second.kind != ConnKind::kClient) return;
   clients_.at(it->second.client_name)->log.acknowledge(ack.seq);
+  replicate({.kind = replication::UpdateKind::kClientAck,
+             .client = it->second.client_name,
+             .seq = ack.seq});
 }
 
 void Broker::handle_sub_propagate(ConnId conn, const wire::SubPropagate& prop) {
@@ -355,6 +441,11 @@ void Broker::handle_sub_propagate(ConnId conn, const wire::SubPropagate& prop) {
   const std::size_t count_before = core_.subscription_count(prop.space);
   core_.add_subscription(prop.space, prop.id, subscription, prop.owner);
   ++stats_.subscriptions_active;
+  replicate({.kind = replication::UpdateKind::kSubAdd,
+             .id = prop.id,
+             .owner = prop.owner,
+             .space = prop.space,
+             .payload = prop.subscription});
   propagate_subscription(prop, conn);
   maybe_broadcast_quench(prop.space, count_before);
 }
@@ -374,6 +465,7 @@ void Broker::handle_unsub_propagate(ConnId conn, const wire::UnsubPropagate& pro
     local_sub_client_.erase(prop.id);
     local_sub_space_.erase(prop.id);
   }
+  replicate({.kind = replication::UpdateKind::kSubRemove, .id = prop.id});
   propagate_unsubscription(prop, conn);
   maybe_broadcast_quench(*space, count_before);
 }
@@ -387,6 +479,10 @@ void Broker::handle_event_forward(ConnId conn, const wire::EventForward& fwd) {
     // numbering from scratch.
     session.in_epoch = fwd.epoch;
     session.in_seq = 0;
+    replicate({.kind = replication::UpdateKind::kLinkInSeq,
+               .peer = it->second.peer,
+               .seq = 0,
+               .epoch = session.in_epoch});
   }
   if (fwd.seq <= session.in_seq) {
     // Retransmission of something already consumed (our ack was lost or
@@ -403,6 +499,10 @@ void Broker::handle_event_forward(ConnId conn, const wire::EventForward& fwd) {
   }
   session.in_seq = fwd.seq;
   send_broker_ack(session);
+  replicate({.kind = replication::UpdateKind::kLinkInSeq,
+             .peer = it->second.peer,
+             .seq = session.in_seq,
+             .epoch = session.in_epoch});
   if (!core_.has_space(fwd.space)) return;
   ++stats_.events_relayed;
   process_event(fwd.space, fwd.event, fwd.tree_root);
@@ -418,6 +518,9 @@ void Broker::handle_broker_ack(ConnId conn, const wire::BrokerAck& ack) {
   if (ack.seq > session.out_log.acked_seq()) {
     session.out_log.acknowledge(ack.seq);
     session.last_resend = now();  // progress: restart the go-back-N timer
+    replicate({.kind = replication::UpdateKind::kLinkAck,
+               .peer = it->second.peer,
+               .seq = ack.seq});
   }
 }
 
@@ -425,6 +528,8 @@ void Broker::handle_link_heartbeat(ConnId conn, const wire::LinkHeartbeat& hb) {
   const auto it = conns_.find(conn);
   if (it == conns_.end() || it->second.kind != ConnKind::kBroker) return;
   LinkSession& session = links_[it->second.peer];
+  const std::uint64_t epoch_before = session.in_epoch;
+  const std::uint64_t seq_before = session.in_seq;
   if (hb.epoch != session.in_epoch) {
     session.in_epoch = hb.epoch;
     session.in_seq = 0;
@@ -439,6 +544,12 @@ void Broker::handle_link_heartbeat(ConnId conn, const wire::LinkHeartbeat& hb) {
                            << " (was " << session.in_seq << ")";
     session.in_seq = hb.truncated_through;
     send_broker_ack(session);
+  }
+  if (session.in_epoch != epoch_before || session.in_seq != seq_before) {
+    replicate({.kind = replication::UpdateKind::kLinkInSeq,
+               .peer = it->second.peer,
+               .seq = session.in_seq,
+               .epoch = session.in_epoch});
   }
 }
 
@@ -558,6 +669,12 @@ void Broker::apply_decision(SpaceId space, const std::vector<std::uint8_t>& enco
     const bool was_idle = session.out_log.empty();
     const std::uint64_t seq = session.out_log.append(space, encoded, now(), tree_root);
     if (was_idle) session.last_resend = now();  // window opened: arm the timer
+    replicate({.kind = replication::UpdateKind::kLinkForward,
+               .peer = peer,
+               .origin = tree_root,
+               .space = space,
+               .seq = seq,
+               .payload = encoded});
     if (session.conn == kInvalidConn) {
       GRYPHON_WARN("broker") << "broker " << core_.self() << ": link to " << peer
                              << " is down; forward " << seq << " queued for replay";
@@ -579,7 +696,7 @@ void Broker::apply_decision(SpaceId space, const std::vector<std::uint8_t>& enco
     std::sort(targets.begin(), targets.end());
     targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
     for (const std::string& name : targets) {
-      deliver_to_client(*clients_.at(name), space, encoded);
+      deliver_to_client(name, *clients_.at(name), space, encoded);
     }
   }
 }
@@ -601,10 +718,15 @@ void Broker::flush_link_egress() {
   }
 }
 
-void Broker::deliver_to_client(ClientRecord& client, SpaceId space,
+void Broker::deliver_to_client(const std::string& name, ClientRecord& client, SpaceId space,
                                std::vector<std::uint8_t> encoded) {
   const std::uint64_t seq = client.log.append(space, std::move(encoded), now());
   ++stats_.events_delivered;
+  replicate({.kind = replication::UpdateKind::kClientDeliver,
+             .client = name,
+             .space = space,
+             .seq = seq,
+             .payload = client.log.back().event});
   if (client.conn != kInvalidConn) {
     transport_->send(client.conn,
                      wire::encode(wire::Deliver{seq, space, client.log.back().event}));
@@ -632,6 +754,7 @@ void Broker::propagate_unsubscription(const wire::UnsubPropagate& prop, ConnId e
 void Broker::record_tombstone(SubscriptionId id) {
   if (options_.unsub_tombstone_cap == 0) return;
   if (!tombstones_.insert(id).second) return;
+  replicate({.kind = replication::UpdateKind::kTombstone, .id = id});
   tombstone_fifo_.push_back(id);
   while (tombstone_fifo_.size() > options_.unsub_tombstone_cap) {
     tombstones_.erase(tombstone_fifo_.front());
@@ -670,12 +793,34 @@ std::size_t Broker::collect_garbage() {
   std::size_t collected = 0;
   const Ticks t = now();
   for (auto& [name, client] : clients_) {
-    (void)name;
-    collected += client->log.collect(t, options_.log_retention);
+    const std::size_t dropped = client->log.collect(t, options_.log_retention);
+    collected += dropped;
+    if (dropped > 0) {
+      // Mirror the truncation so the standby's log never outgrows ours.
+      // Everything below the surviving front entry is gone here (dropped by
+      // this collection or retired by an earlier ack).
+      const auto unacked = client->log.unacknowledged();
+      const std::uint64_t drop_through =
+          unacked.empty() ? client->log.last_seq() : unacked.front()->seq - 1;
+      replicate({.kind = replication::UpdateKind::kClientTruncate,
+                 .client = name,
+                 .seq = drop_through,
+                 .truncated_through = client->log.truncated_through()});
+    }
   }
   for (auto& [peer, session] : links_) {
     const std::uint64_t before = session.out_log.truncated_through();
-    collected += session.out_log.collect(t, options_.log_retention);
+    const std::size_t dropped = session.out_log.collect(t, options_.log_retention);
+    collected += dropped;
+    if (dropped > 0) {
+      const auto unacked = session.out_log.unacknowledged();
+      const std::uint64_t drop_through =
+          unacked.empty() ? session.out_log.last_seq() : unacked.front()->seq - 1;
+      replicate({.kind = replication::UpdateKind::kLinkTruncate,
+                 .peer = peer,
+                 .seq = drop_through,
+                 .truncated_through = session.out_log.truncated_through()});
+    }
     if (session.out_log.truncated_through() > before) {
       GRYPHON_WARN("broker") << "broker " << core_.self() << ": retention GC truncated link "
                              << peer << " replay window through "
@@ -694,13 +839,24 @@ void Broker::tick_links(Ticks now_ticks) {
     if (!unacked.empty() &&
         now_ticks - session.last_resend >= options_.link_retransmit_timeout) {
       // Go-back-N: the whole unacked window goes again, staged and then
-      // flushed below as one coalesced write per neighbor.
+      // flushed below as one coalesced write per neighbor. The window can
+      // contain a sequence gap nothing will ever fill — the synthetic
+      // failover rebase (Options::failover_seq_gap) skips a range the dead
+      // primary may have used. Announce each such gap as a heartbeat floor
+      // first, or the receiver would wait forever for frames that never
+      // existed while rejecting everything above them.
+      std::uint64_t expected = session.out_log.acked_seq();
       for (const EventLog::Entry* entry : unacked) {
+        if (entry->seq > expected + 1) {
+          queue_link_frame(session, wire::encode(wire::LinkHeartbeat{session_epoch_,
+                                                                     entry->seq - 1}));
+        }
         queue_link_frame(session,
                          wire::encode(wire::EventForward{entry->origin, entry->space,
                                                          entry->event, session_epoch_,
                                                          entry->seq}));
         ++stats_.retransmits;
+        expected = entry->seq;
       }
       session.last_resend = now_ticks;
       session.last_send = now_ticks;
@@ -713,6 +869,29 @@ void Broker::tick_links(Ticks now_ticks) {
     }
   }
   flush_link_egress();
+  // The replication session is ticked with the same go-back-N machinery:
+  // unacked updates are re-streamed when the standby's ack stalls, and an
+  // idle stream carries heartbeats so the standby's deadman timer (brokerd's
+  // promote-on-silence loop) only fires when the primary is actually gone.
+  if (replica_.conn != kInvalidConn) {
+    const auto unacked = replica_.log.unacknowledged();
+    if (!unacked.empty() &&
+        now_ticks - replica_.last_resend >= options_.repl_retransmit_timeout) {
+      std::vector<std::vector<std::uint8_t>> frames;
+      frames.reserve(unacked.size());
+      for (const EventLog::Entry* entry : unacked) {
+        frames.push_back(wire::encode(wire::StateUpdate{entry->seq, entry->event}));
+        ++stats_.repl_updates_sent;
+      }
+      transport_->send_batch(replica_.conn, std::move(frames));
+      replica_.last_resend = now_ticks;
+      replica_.last_send = now_ticks;
+    }
+    if (now_ticks - replica_.last_send >= options_.link_heartbeat_interval) {
+      transport_->send(replica_.conn, wire::encode(wire::LinkHeartbeat{session_epoch_, 0}));
+      replica_.last_send = now_ticks;
+    }
+  }
 }
 
 bool Broker::link_up(BrokerId peer) const {
@@ -749,10 +928,391 @@ void Broker::mark_link_dead(BrokerId peer) {
     session.dead = true;
     const std::size_t lost = session.out_log.drop_all();
     stats_.forwards_dropped_dead_link += lost;
+    replicate({.kind = replication::UpdateKind::kLinkDead, .peer = peer, .dead = true});
     GRYPHON_WARN("broker") << "broker " << core_.self() << ": declaring link to " << peer
                            << " dead (" << lost << " queued forwards dropped)";
   }
   if (conn != kInvalidConn) transport_->close(conn);
+}
+
+// --- Replication (the Clone pattern; docs/fault-tolerance.md) -------------
+
+void Broker::replicate(const replication::Update& update) {
+  if (!repl_enabled_ || standby_) return;
+  const bool was_idle = replica_.log.empty();
+  const std::uint64_t seq =
+      replica_.log.append(SpaceId{0}, replication::encode_update(update), now());
+  if (was_idle) replica_.last_resend = now();  // window opened: arm the timer
+  if (replica_.log.size() > options_.repl_log_window) {
+    // Overflow: shed the oldest retained updates. A standby that has not
+    // applied past the new floor can no longer resume from the log — its
+    // next ack (or hello) below the floor triggers a full snapshot instead.
+    const std::uint64_t drop_through = seq - options_.repl_log_window;
+    replica_.log.truncate_to(drop_through, drop_through);
+  }
+  if (replica_.conn != kInvalidConn) {
+    transport_->send(replica_.conn,
+                     wire::encode(wire::StateUpdate{seq, replica_.log.back().event}));
+    replica_.last_send = now();
+    ++stats_.repl_updates_sent;
+  }
+}
+
+void Broker::handle_repl_hello(ConnId conn, const wire::ReplHello& hello) {
+  if (hello.primary != core_.self()) {
+    throw CodecError("replication hello addressed to a different primary");
+  }
+  conns_[conn] = ConnState{ConnKind::kReplica, {}, BrokerId{}};
+  replica_.conn = conn;
+  // The update log only covers history since replication was enabled; a log
+  // armed just now (Options::replicate unset) misses everything before this
+  // hello, so the resume path is only sound once the first snapshot (which
+  // carries the full state) has been sent. A standby that has never applied
+  // anything (applied_seq == 0) always gets a snapshot regardless: the
+  // session epoch and subscription-id counter travel only in snapshots, and
+  // promotion is identity takeover — the standby cannot come up on an epoch
+  // of its own.
+  const bool log_covers_history = repl_enabled_;
+  repl_enabled_ = true;
+  const std::uint64_t resume_floor =
+      std::max(replica_.log.acked_seq(), replica_.log.truncated_through());
+  const bool resumable = log_covers_history && hello.applied_seq > 0 &&
+                         hello.applied_seq >= resume_floor &&
+                         hello.applied_seq <= replica_.log.last_seq();
+  if (resumable) {
+    // The standby already holds everything through applied_seq: ship only
+    // the missing suffix.
+    replica_.log.acknowledge(hello.applied_seq);
+    std::vector<std::vector<std::uint8_t>> frames;
+    for (const EventLog::Entry* entry : replica_.log.unacknowledged()) {
+      frames.push_back(wire::encode(wire::StateUpdate{entry->seq, entry->event}));
+      ++stats_.repl_updates_sent;
+    }
+    if (!frames.empty()) transport_->send_batch(conn, std::move(frames));
+  } else {
+    // Fresh standby, or one from before the retained window: re-baseline
+    // with a full state image. Everything retained in the log is subsumed.
+    transport_->send(conn, wire::encode(wire::StateSnapshot{
+                               replica_.log.last_seq(),
+                               replication::encode_snapshot(build_snapshot_image())}));
+    replica_.log.acknowledge(replica_.log.last_seq());
+    ++stats_.repl_snapshots_sent;
+  }
+  replica_.last_send = now();
+  replica_.last_resend = now();
+}
+
+void Broker::handle_repl_ack(ConnId conn, const wire::ReplAck& ack) {
+  if (conn != replica_.conn) return;
+  if (ack.seq < replica_.log.truncated_through()) {
+    // The standby fell behind the retained update window (overflow shed the
+    // entries it still needs): re-baseline with a fresh snapshot — the Clone
+    // pattern's catch-up path.
+    transport_->send(conn, wire::encode(wire::StateSnapshot{
+                               replica_.log.last_seq(),
+                               replication::encode_snapshot(build_snapshot_image())}));
+    replica_.log.acknowledge(replica_.log.last_seq());
+    ++stats_.repl_snapshots_sent;
+    replica_.last_send = now();
+    replica_.last_resend = now();
+    return;
+  }
+  if (ack.seq > replica_.log.acked_seq()) {
+    replica_.log.acknowledge(ack.seq);
+    replica_.last_resend = now();  // progress: restart the go-back-N timer
+  }
+}
+
+void Broker::handle_state_snapshot(ConnId conn, const wire::StateSnapshot& snap) {
+  if (!standby_ || conn != repl_conn_) return;
+  install_snapshot(replication::decode_snapshot(snap.state));
+  repl_applied_seq_ = snap.through_seq;
+  ++stats_.repl_snapshots_applied;
+  send_repl_ack(conn);
+}
+
+void Broker::handle_state_update(ConnId conn, const wire::StateUpdate& update) {
+  if (!standby_ || conn != repl_conn_) return;
+  if (update.seq <= repl_applied_seq_) {
+    // Retransmission of an update already applied: re-ack so the primary's
+    // window advances.
+    send_repl_ack(conn);
+    return;
+  }
+  if (update.seq != repl_applied_seq_ + 1) {
+    // A gap: go-back-N, exactly as on broker links. Re-ack the cursor; the
+    // primary re-streams the suffix (or re-baselines with a snapshot if the
+    // missing updates were shed from its window).
+    send_repl_ack(conn);
+    return;
+  }
+  apply_update(replication::decode_update(update.update));
+  repl_applied_seq_ = update.seq;
+  ++stats_.repl_updates_applied;
+  send_repl_ack(conn);
+}
+
+void Broker::send_repl_ack(ConnId conn) {
+  transport_->send(conn, wire::encode(wire::ReplAck{repl_applied_seq_}));
+}
+
+void Broker::apply_update(const replication::Update& update) {
+  core_.control_plane().assert_serialized();  // serialized by mutex_
+  const Ticks t = now();  // local clock: replicated timestamps would skew GC
+  switch (update.kind) {
+    case replication::UpdateKind::kSubAdd: {
+      if (!core_.has_space(update.space) || core_.has_subscription(update.id)) break;
+      core_.add_subscription(update.space, update.id,
+                             decode_subscription(core_.schema(update.space), update.payload),
+                             update.owner);
+      ++stats_.subscriptions_active;
+      if (update.owner == core_.self()) {
+        // Track the primary's id counter (we shadow its identity), so ids
+        // assigned after promotion continue the sequence instead of
+        // colliding with replicated ones.
+        const std::uint64_t counter =
+            static_cast<std::uint64_t>(update.id.value) & ((std::uint64_t{1} << 40) - 1);
+        next_sub_counter_ = std::max(next_sub_counter_, counter + 1);
+      }
+      if (!update.client.empty()) {
+        auto& record = clients_[update.client];
+        if (!record) record = std::make_unique<ClientRecord>();
+        record->subscriptions.push_back(update.id);
+        local_sub_client_[update.id] = update.client;
+        local_sub_space_[update.id] = update.space;
+      }
+      break;
+    }
+    case replication::UpdateKind::kSubRemove: {
+      if (!core_.remove_subscription(update.id)) break;
+      --stats_.subscriptions_active;
+      const auto named = local_sub_client_.find(update.id);
+      if (named != local_sub_client_.end()) {
+        auto& subs = clients_.at(named->second)->subscriptions;
+        subs.erase(std::remove(subs.begin(), subs.end(), update.id), subs.end());
+        local_sub_client_.erase(update.id);
+        local_sub_space_.erase(update.id);
+      }
+      break;
+    }
+    case replication::UpdateKind::kTombstone:
+      record_tombstone(update.id);
+      break;
+    case replication::UpdateKind::kClientDeliver: {
+      auto& record = clients_[update.client];
+      if (!record) record = std::make_unique<ClientRecord>();
+      record->log.append_at(update.seq, update.space, update.payload, t);
+      break;
+    }
+    case replication::UpdateKind::kClientAck: {
+      const auto it = clients_.find(update.client);
+      if (it != clients_.end()) it->second->log.acknowledge(update.seq);
+      break;
+    }
+    case replication::UpdateKind::kClientTruncate: {
+      const auto it = clients_.find(update.client);
+      if (it != clients_.end()) {
+        it->second->log.truncate_to(update.seq, update.truncated_through);
+      }
+      break;
+    }
+    case replication::UpdateKind::kLinkForward:
+      links_[update.peer].out_log.append_at(update.seq, update.space, update.payload, t,
+                                            update.origin);
+      break;
+    case replication::UpdateKind::kLinkAck:
+      links_[update.peer].out_log.acknowledge(update.seq);
+      break;
+    case replication::UpdateKind::kLinkTruncate:
+      links_[update.peer].out_log.truncate_to(update.seq, update.truncated_through);
+      break;
+    case replication::UpdateKind::kLinkInSeq: {
+      LinkSession& session = links_[update.peer];
+      session.in_epoch = update.epoch;
+      session.in_seq = update.seq;
+      break;
+    }
+    case replication::UpdateKind::kLinkDead: {
+      LinkSession& session = links_[update.peer];
+      session.dead = update.dead;
+      if (update.dead) session.out_log.drop_all();
+      break;
+    }
+  }
+}
+
+replication::SnapshotImage Broker::build_snapshot_image() {
+  core_.control_plane().assert_serialized();  // serialized by mutex_
+  replication::SnapshotImage image;
+  image.session_epoch = session_epoch_;
+  image.next_sub_counter = next_sub_counter_;
+  core_.for_each_subscription([&](SpaceId space, SubscriptionId id, BrokerId owner,
+                                  const Subscription& subscription) {
+    replication::SubImage sub;
+    sub.id = id;
+    sub.owner = owner;
+    sub.space = space;
+    const auto named = local_sub_client_.find(id);
+    if (named != local_sub_client_.end()) sub.client = named->second;
+    sub.subscription = encode_subscription(subscription);
+    image.subscriptions.push_back(std::move(sub));
+  });
+  image.tombstones.assign(tombstone_fifo_.begin(), tombstone_fifo_.end());
+  for (const auto& [peer, session] : links_) {
+    replication::LinkImage link;
+    link.peer = peer;
+    link.dead = session.dead;
+    link.in_epoch = session.in_epoch;
+    link.in_seq = session.in_seq;
+    link.out_log.next_seq = session.out_log.last_seq() + 1;
+    link.out_log.acked = session.out_log.acked_seq();
+    link.out_log.truncated_through = session.out_log.truncated_through();
+    for (const EventLog::Entry* entry : session.out_log.unacknowledged()) {
+      link.out_log.entries.push_back(*entry);
+    }
+    image.links.push_back(std::move(link));
+  }
+  for (const auto& [name, client] : clients_) {
+    replication::ClientImage ci;
+    ci.name = name;
+    ci.log.next_seq = client->log.last_seq() + 1;
+    ci.log.acked = client->log.acked_seq();
+    ci.log.truncated_through = client->log.truncated_through();
+    for (const EventLog::Entry* entry : client->log.unacknowledged()) {
+      ci.log.entries.push_back(*entry);
+    }
+    image.clients.push_back(std::move(ci));
+  }
+  return image;
+}
+
+void Broker::install_snapshot(const replication::SnapshotImage& image) {
+  core_.control_plane().assert_serialized();  // serialized by mutex_
+  // Wholesale replacement: a snapshot re-baselines, it does not merge.
+  // (Pre-promotion a standby has no client or broker connections — the
+  // on_frame gate refuses them — so there is no live state to preserve.)
+  std::vector<SubscriptionId> existing;
+  core_.for_each_subscription(
+      [&](SpaceId, SubscriptionId id, BrokerId, const Subscription&) {
+        existing.push_back(id);
+      });
+  for (const SubscriptionId id : existing) {
+    core_.remove_subscription(id, SnapshotPolicy::kDefer);
+  }
+  clients_.clear();
+  local_sub_client_.clear();
+  local_sub_space_.clear();
+  links_.clear();
+  tombstones_.clear();
+  tombstone_fifo_.clear();
+  // Identity takeover includes the primary's link-session epoch and its
+  // subscription-id counter: after promotion, peers must see the same
+  // session continue, not a new incarnation.
+  session_epoch_ = image.session_epoch;
+  next_sub_counter_ = image.next_sub_counter;
+  stats_.subscriptions_active = 0;
+  const Ticks t = now();
+  for (const replication::SubImage& sub : image.subscriptions) {
+    if (!core_.has_space(sub.space) || core_.has_subscription(sub.id)) continue;
+    core_.add_subscription(sub.space, sub.id,
+                           decode_subscription(core_.schema(sub.space), sub.subscription),
+                           sub.owner, SnapshotPolicy::kDefer);
+    ++stats_.subscriptions_active;
+    if (!sub.client.empty()) {
+      auto& record = clients_[sub.client];
+      if (!record) record = std::make_unique<ClientRecord>();
+      record->subscriptions.push_back(sub.id);
+      local_sub_client_[sub.id] = sub.client;
+      local_sub_space_[sub.id] = sub.space;
+    }
+  }
+  for (std::size_t s = 0; s < core_.space_count(); ++s) {
+    core_.publish_space(SpaceId{static_cast<SpaceId::rep_type>(s)});
+  }
+  for (const SubscriptionId id : image.tombstones) record_tombstone(id);
+  for (const replication::LinkImage& link : image.links) {
+    LinkSession& session = links_[link.peer];
+    session.dead = link.dead;
+    session.in_epoch = link.in_epoch;
+    session.in_seq = link.in_seq;
+    std::deque<EventLog::Entry> entries = link.out_log.entries;
+    for (EventLog::Entry& entry : entries) entry.logged_at = t;  // re-stamp
+    session.out_log.restore(link.out_log.next_seq, link.out_log.acked,
+                            link.out_log.truncated_through, std::move(entries));
+  }
+  for (const replication::ClientImage& ci : image.clients) {
+    auto& record = clients_[ci.name];
+    if (!record) record = std::make_unique<ClientRecord>();
+    std::deque<EventLog::Entry> entries = ci.log.entries;
+    for (EventLog::Entry& entry : entries) entry.logged_at = t;  // re-stamp
+    record->log.restore(ci.log.next_seq, ci.log.acked, ci.log.truncated_through,
+                        std::move(entries));
+  }
+}
+
+void Broker::promote_locked() {
+  if (!standby_) return;
+  standby_ = false;
+  ++stats_.promotions;
+  // The dead primary may have assigned sequences past everything it
+  // replicated. Skip a gap no real assignment could have crossed, so
+  // nothing numbered after promotion can collide with something a peer or
+  // client already consumed. Link peers cross the gap via the heartbeat
+  // floor rule; clients see it reported as an honest truncation bound.
+  const std::uint64_t gap = options_.failover_seq_gap;
+  for (auto& [peer, session] : links_) {
+    (void)peer;
+    session.out_log.advance_next_seq(gap);
+    ++stats_.failover_seq_rebases;
+  }
+  for (auto& [name, client] : clients_) {
+    (void)name;
+    client->log.rebase_for_failover(gap);
+    ++stats_.failover_seq_rebases;
+  }
+  next_sub_counter_ += gap;
+  repl_conn_ = kInvalidConn;
+  GRYPHON_INFO("broker") << "broker " << core_.self() << ": standby promoted to primary ("
+                         << repl_applied_seq_ << " updates applied, epoch "
+                         << session_epoch_ << ")";
+}
+
+void Broker::promote() {
+  ConnId stale = kInvalidConn;
+  {
+    MutexLock lock(mutex_);
+    stale = repl_conn_;
+    promote_locked();
+  }
+  // Close outside the mutex (see on_frame); a dead primary's conn is
+  // usually already gone, but an operator-driven promotion may race one.
+  if (stale != kInvalidConn) transport_->close(stale);
+}
+
+Broker::Role Broker::role() const {
+  MutexLock lock(mutex_);
+  return standby_ ? Role::kStandby : Role::kPrimary;
+}
+
+void Broker::attach_replication_link(ConnId conn) {
+  MutexLock lock(mutex_);
+  if (!standby_) return;  // promoted (or never a standby): nothing to attach
+  conns_[conn] = ConnState{ConnKind::kReplica, {}, BrokerId{}};
+  repl_conn_ = conn;
+  repl_last_recv_ = now();
+  repl_attached_ = true;
+  transport_->send(conn, wire::encode(wire::ReplHello{core_.self(), repl_applied_seq_}));
+}
+
+std::optional<Ticks> Broker::replication_last_activity() const {
+  MutexLock lock(mutex_);
+  if (!repl_attached_) return std::nullopt;
+  return repl_last_recv_;
+}
+
+std::uint64_t Broker::replication_applied_seq() const {
+  MutexLock lock(mutex_);
+  return repl_applied_seq_;
 }
 
 Broker::Stats Broker::stats() const {

@@ -53,6 +53,7 @@
 
 #include "broker/broker_core.h"
 #include "broker/event_log.h"
+#include "broker/replication.h"
 #include "broker/transport.h"
 #include "broker/wire.h"
 #include "common/mutex.h"
@@ -93,6 +94,34 @@ class Broker : public TransportHandler {
     /// Unsubscribe tombstones retained (FIFO eviction); they stop a
     /// reconnect re-flood from resurrecting a removed subscription.
     std::size_t unsub_tombstone_cap{4096};
+    // Replication (docs/fault-tolerance.md § Replication).
+    /// Come up as a hot standby: refuse client/broker traffic, apply the
+    /// primary's state stream (attach_replication_link), and serve only
+    /// after promote(). The broker must be constructed with the primary's
+    /// BrokerId — promotion is identity takeover.
+    bool standby{false};
+    /// Primary side: append every durable mutation to the replication
+    /// update log from construction on (a standby attaching later resumes
+    /// without a snapshot). Off by default — a ReplHello enables streaming
+    /// dynamically either way; this flag only pre-arms the log.
+    bool replicate{false};
+    /// Primary side: retained updates in the replication log. This is the
+    /// snapshot cadence: a standby reattaching from further back than this
+    /// window gets a full StateSnapshot instead of an update replay, and
+    /// the log never holds more than this many unacknowledged updates.
+    std::size_t repl_log_window{4096};
+    /// Go-back-N retransmit timeout for the replication session (the same
+    /// machinery as broker links).
+    Ticks repl_retransmit_timeout{ticks_from_millis(50)};
+    /// Sequence-space gap a promoted standby inserts into every client
+    /// delivery log and link forward log (and the subscription-id
+    /// counter): the dead primary may have assigned up to this many
+    /// sequences that were never replicated, and the standby must not
+    /// reuse them. Clients see the skipped client-log range reported as
+    /// HelloAck::truncated_through — an honest possible-loss bound —
+    /// and link peers cross the link-log gap via the heartbeat floor rule
+    /// in tick_links.
+    std::uint64_t failover_seq_gap{1ull << 20};
     /// Test hook: overrides the broker's clock (ticks). Default: real
     /// steady-clock time since construction.
     std::function<Ticks()> clock;
@@ -158,6 +187,27 @@ class Broker : public TransportHandler {
   /// instead of retained. attach_broker_link() revives it.
   void mark_link_dead(BrokerId peer) EXCLUDES(mutex_);
 
+  // Replication (the Clone pattern; docs/fault-tolerance.md).
+  enum class Role : std::uint8_t { kPrimary, kStandby };
+  [[nodiscard]] Role role() const EXCLUDES(mutex_);
+  /// Standby side: registers the connection this standby dialed to its
+  /// primary and sends ReplHello (attach or resume — the hello reports the
+  /// last applied update, so a reattach replays only the missing suffix).
+  void attach_replication_link(ConnId conn) EXCLUDES(mutex_);
+  /// Standby -> primary: stop shadowing and assume the primary's role,
+  /// identity, and link-session epoch. Rebases every sequence space by
+  /// Options::failover_seq_gap past anything the dead primary might have
+  /// assigned but not replicated (see the option's comment for how peers
+  /// and clients cross the gap). No-op on a broker that is already
+  /// primary. Also triggered by a kPromote frame.
+  void promote() EXCLUDES(mutex_);
+  /// Standby side: ticks of the last frame seen on the replication link
+  /// (nullopt before the first attach). brokerd's standby loop promotes
+  /// when this goes idle past its promote timeout.
+  [[nodiscard]] std::optional<Ticks> replication_last_activity() const EXCLUDES(mutex_);
+  /// Standby side: the last state-update sequence applied (test hook).
+  [[nodiscard]] std::uint64_t replication_applied_seq() const EXCLUDES(mutex_);
+
   struct Stats {
     std::uint64_t events_published{0};   // local client publications
     std::uint64_t events_forwarded{0};   // copies sent to neighbor brokers
@@ -171,6 +221,13 @@ class Broker : public TransportHandler {
     std::uint64_t link_flaps{0};             // broker-link disconnects observed
     std::uint64_t frames_rejected{0};        // malformed frames dropped
     std::uint64_t forwards_dropped_dead_link{0};  // forwards lost to a dead link
+    // Replication counters (docs/fault-tolerance.md § Replication).
+    std::uint64_t repl_updates_sent{0};      // StateUpdate frames streamed to the standby
+    std::uint64_t repl_snapshots_sent{0};    // full StateSnapshot images sent
+    std::uint64_t repl_updates_applied{0};   // updates applied by this standby
+    std::uint64_t repl_snapshots_applied{0}; // snapshots installed by this standby
+    std::uint64_t promotions{0};             // standby -> primary takeovers
+    std::uint64_t failover_seq_rebases{0};   // logs gap-rebased at promotion
     /// Control-plane churn counters (covering + delta compilation), read
     /// from the core at stats() time.
     ControlPlaneStats control_plane{};
@@ -181,7 +238,7 @@ class Broker : public TransportHandler {
   [[nodiscard]] std::uint64_t client_log_size(const std::string& name) const EXCLUDES(mutex_);
 
  private:
-  enum class ConnKind : std::uint8_t { kUnknown, kClient, kBroker };
+  enum class ConnKind : std::uint8_t { kUnknown, kClient, kBroker, kReplica };
   struct ConnState {
     ConnKind kind{ConnKind::kUnknown};
     std::string client_name;  // kClient
@@ -214,6 +271,15 @@ class Broker : public TransportHandler {
     std::vector<std::uint8_t> encoded;
     BrokerId tree_root;
   };
+  /// Primary-side replication session: the sequenced update stream to the
+  /// hot standby, retransmitted go-back-N exactly like a link session
+  /// (each log entry's event bytes hold one encoded replication::Update).
+  struct ReplicaSession {
+    ConnId conn{kInvalidConn};  // kInvalidConn while no standby is attached
+    EventLog log;
+    Ticks last_send{0};
+    Ticks last_resend{0};
+  };
 
   [[nodiscard]] Ticks now() const;
   void handle_hello_client(ConnId conn, const wire::HelloClient& hello) REQUIRES(mutex_);
@@ -227,6 +293,26 @@ class Broker : public TransportHandler {
   void handle_event_forward(ConnId conn, const wire::EventForward& fwd) REQUIRES(mutex_);
   void handle_broker_ack(ConnId conn, const wire::BrokerAck& ack) REQUIRES(mutex_);
   void handle_link_heartbeat(ConnId conn, const wire::LinkHeartbeat& hb) REQUIRES(mutex_);
+  void handle_repl_hello(ConnId conn, const wire::ReplHello& hello) REQUIRES(mutex_);
+  void handle_state_snapshot(ConnId conn, const wire::StateSnapshot& snap) REQUIRES(mutex_);
+  void handle_state_update(ConnId conn, const wire::StateUpdate& update) REQUIRES(mutex_);
+  void handle_repl_ack(ConnId conn, const wire::ReplAck& ack) REQUIRES(mutex_);
+
+  // Replication plumbing (broker/replication.h holds the codecs).
+  /// Primary side: appends one durable mutation to the replication update
+  /// log (capped at Options::repl_log_window — overflow truncates, forcing
+  /// a snapshot on the standby's next attach) and streams it to the
+  /// attached standby. No-op until replication is enabled.
+  void replicate(const replication::Update& update) REQUIRES(mutex_);
+  /// Standby side: applies one decoded update to the shadowed state.
+  void apply_update(const replication::Update& update) REQUIRES(mutex_);
+  /// Primary side: the full durable-state image for a StateSnapshot.
+  [[nodiscard]] replication::SnapshotImage build_snapshot_image() REQUIRES(mutex_);
+  /// Standby side: replaces all durable state with the image.
+  void install_snapshot(const replication::SnapshotImage& image) REQUIRES(mutex_);
+  void send_repl_ack(ConnId conn) REQUIRES(mutex_);
+  /// promote() body; also invoked by a kPromote frame inside the handler.
+  void promote_locked() REQUIRES(mutex_);
 
   /// Shared by local publications and forwarded events. Synchronous mode:
   /// decode + dispatch + apply inline (mutex_ held by the caller). Pipeline
@@ -248,7 +334,7 @@ class Broker : public TransportHandler {
   /// Hands every session's staged egress to the transport as one
   /// send_batch per neighbor (the coalesced writev-style flush).
   void flush_link_egress() REQUIRES(mutex_);
-  void deliver_to_client(ClientRecord& client, SpaceId space,
+  void deliver_to_client(const std::string& name, ClientRecord& client, SpaceId space,
                          std::vector<std::uint8_t> encoded) REQUIRES(mutex_);
   void sync_subscriptions_to(ConnId conn) REQUIRES(mutex_);
   /// Replays the peer-unseen suffix of the link's forward log and updates
@@ -283,6 +369,16 @@ class Broker : public TransportHandler {
   std::unordered_set<SubscriptionId> tombstones_ GUARDED_BY(mutex_);
   std::deque<SubscriptionId> tombstone_fifo_ GUARDED_BY(mutex_);
   std::uint64_t next_sub_counter_ GUARDED_BY(mutex_){1};
+  // Replication state. standby_ flips exactly once (promote); session_epoch_
+  // is non-const only because a standby adopts the primary's epoch from the
+  // snapshot (identity takeover includes the epoch).
+  bool standby_ GUARDED_BY(mutex_){false};
+  bool repl_enabled_ GUARDED_BY(mutex_){false};    // primary: log mutations
+  ReplicaSession replica_ GUARDED_BY(mutex_);      // primary -> standby stream
+  ConnId repl_conn_ GUARDED_BY(mutex_){kInvalidConn};  // standby: link to primary
+  std::uint64_t repl_applied_seq_ GUARDED_BY(mutex_){0};  // standby cursor
+  Ticks repl_last_recv_ GUARDED_BY(mutex_){0};     // standby: primary liveness
+  bool repl_attached_ GUARDED_BY(mutex_){false};   // standby: ever attached
   Stats stats_ GUARDED_BY(mutex_);
   /// Batch context for the synchronous (match_threads == 0) path, so the
   /// deterministic mode exercises the same batch-first dispatch API as the

@@ -144,9 +144,13 @@ void Client::on_frame(ConnId conn, std::span<const std::uint8_t> frame) {
         MutexLock lock(mutex_);
         replay_truncated_through_ = ack.truncated_through;
         if (ack.truncated_through > last_seq_) {
+          // An upper bound, not a body count: retention GC reports exactly
+          // what it dropped, while a promoted standby reports the whole
+          // failover gap even though it still replays every delivery it
+          // retained. Deliveries in the window that do NOT arrive are gone.
           GRYPHON_WARN("client")
-              << name_ << ": broker lost deliveries (" << last_seq_ << ", "
-              << ack.truncated_through << "] to retention GC; replay has a hole";
+              << name_ << ": broker may have lost deliveries in (" << last_seq_ << ", "
+              << ack.truncated_through << "]; anything not replayed is gone";
         }
         break;
       }

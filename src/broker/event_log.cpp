@@ -14,6 +14,26 @@ std::uint64_t EventLog::append(SpaceId space, std::vector<std::uint8_t> event, T
   return entries_.back().seq;
 }
 
+void EventLog::append_at(std::uint64_t seq, SpaceId space, std::vector<std::uint8_t> event,
+                         Ticks now, BrokerId origin) {
+  if (seq <= acked_) return;  // already retired on this replica
+  next_seq_ = seq;
+  append(space, std::move(event), now, origin);
+}
+
+void EventLog::restore(std::uint64_t next_seq, std::uint64_t acked,
+                       std::uint64_t truncated_through, std::deque<Entry> entries) {
+  entries_ = std::move(entries);
+  next_seq_ = next_seq;
+  acked_ = acked;
+  truncated_through_ = truncated_through;
+}
+
+void EventLog::truncate_to(std::uint64_t drop_through, std::uint64_t truncated_through) {
+  while (!entries_.empty() && entries_.front().seq <= drop_through) entries_.pop_front();
+  if (truncated_through > truncated_through_) truncated_through_ = truncated_through;
+}
+
 void EventLog::acknowledge(std::uint64_t seq) {
   if (seq <= acked_) return;
   acked_ = seq;

@@ -47,6 +47,40 @@ class EventLog {
   std::uint64_t append(SpaceId space, std::vector<std::uint8_t> event, Ticks now,
                        BrokerId origin = BrokerId{});
 
+  /// Appends at an explicit sequence number (replication apply): forces the
+  /// next sequence to `seq` first, so a standby mirrors the primary's
+  /// numbering exactly even across rebases. No-op for seqs already retired.
+  void append_at(std::uint64_t seq, SpaceId space, std::vector<std::uint8_t> event, Ticks now,
+                 BrokerId origin = BrokerId{});
+
+  /// Installs replicated state wholesale (standby snapshot apply),
+  /// replacing whatever the log held.
+  void restore(std::uint64_t next_seq, std::uint64_t acked, std::uint64_t truncated_through,
+               std::deque<Entry> entries);
+
+  /// Replication apply of the primary's retention truncation: drops
+  /// entries with seq <= drop_through and adopts its truncation point.
+  void truncate_to(std::uint64_t drop_through, std::uint64_t truncated_through);
+
+  /// Failover rebase for broker-link logs: skips the sequence range the
+  /// dead primary may have assigned but never replicated, so post-promotion
+  /// appends can never collide with sequences the peer already consumed.
+  /// Retained entries keep their numbers and stay replayable; the receiver
+  /// crosses the synthetic gap via the heartbeat floor rule (see
+  /// Broker::tick_links).
+  void advance_next_seq(std::uint64_t gap) { next_seq_ += gap; }
+
+  /// Failover rebase for client logs: same sequence skip, plus an honest
+  /// truncation bound — the dead primary may have delivered up to `gap`
+  /// further events that were never replicated, so everything through the
+  /// post-gap last_seq() is reported as potentially lost. Retained entries
+  /// below the bound still replay; the bound promises no *silent* loss
+  /// above it.
+  void rebase_for_failover(std::uint64_t gap) {
+    next_seq_ += gap;
+    if (last_seq() > truncated_through_) truncated_through_ = last_seq();
+  }
+
   /// Cumulative acknowledgement: entries with seq <= acked are collected.
   void acknowledge(std::uint64_t seq);
 

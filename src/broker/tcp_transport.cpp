@@ -80,9 +80,9 @@ std::uint16_t TcpTransport::listen(std::uint16_t port) {
   ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   {
     MutexLock lock(mutex_);
-    listen_fd_ = fd;
+    listen_fds_.push_back(fd);
   }
-  acceptor_ = std::thread([this] { accept_loop(); });
+  acceptors_.emplace_back([this, fd] { accept_loop(fd); });
   return ntohs(addr.sin_port);
 }
 
@@ -115,13 +115,13 @@ ConnId TcpTransport::register_fd(int fd) {
   return id;
 }
 
-void TcpTransport::accept_loop() {
+void TcpTransport::accept_loop(int listen_fd) {
   while (true) {
     int fd;
     {
       MutexLock lock(mutex_);
-      if (stopping_ || listen_fd_ < 0) return;
-      fd = listen_fd_;
+      if (stopping_) return;
+      fd = listen_fd;
     }
     sockaddr_in addr{};
     socklen_t len = sizeof(addr);
@@ -264,11 +264,11 @@ void TcpTransport::shutdown() {
     MutexUniqueLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
-    if (listen_fd_ >= 0) {
-      ::shutdown(listen_fd_, SHUT_RDWR);
-      ::close(listen_fd_);
-      listen_fd_ = -1;
+    for (const int fd : listen_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
     }
+    listen_fds_.clear();
     for (auto& [id, conn] : conns_) {
       (void)id;
       conn->closed = true;
@@ -279,7 +279,9 @@ void TcpTransport::shutdown() {
   for (std::thread& t : senders_) {
     if (t.joinable()) t.join();
   }
-  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& t : acceptors_) {
+    if (t.joinable()) t.join();
+  }
   {
     MutexUniqueLock lock(mutex_);
     for (auto& [id, conn] : conns_) {

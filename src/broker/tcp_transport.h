@@ -39,6 +39,10 @@ class TcpTransport final : public Transport {
 
   /// Starts listening on 127.0.0.1:`port` (0 picks an ephemeral port).
   /// Returns the bound port. Throws std::runtime_error on failure.
+  /// May be called more than once to serve several ports from one
+  /// transport (each gets its own acceptor thread; connections share the
+  /// ConnId space) — brokerd uses a second port to keep replication
+  /// traffic off the client/broker endpoint.
   std::uint16_t listen(std::uint16_t port);
 
   /// Dials host:port; returns the connection id. Throws on failure.
@@ -68,7 +72,7 @@ class TcpTransport final : public Transport {
   ConnId register_fd(int fd) EXCLUDES(mutex_);
   void reader_loop(ConnId id, int fd);
   void sender_loop() EXCLUDES(mutex_);
-  void accept_loop() EXCLUDES(mutex_);
+  void accept_loop(int listen_fd) EXCLUDES(mutex_);
   void close_locked(ConnId id) REQUIRES(mutex_);
 
   TransportHandler* handler_;
@@ -81,8 +85,8 @@ class TcpTransport final : public Transport {
   ConnId next_conn_ GUARDED_BY(mutex_){1};
   bool stopping_ GUARDED_BY(mutex_){false};
 
-  int listen_fd_ GUARDED_BY(mutex_){-1};
-  std::thread acceptor_;
+  std::vector<int> listen_fds_ GUARDED_BY(mutex_);
+  std::vector<std::thread> acceptors_;
   std::vector<std::thread> senders_;
 };
 

@@ -139,6 +139,39 @@ std::vector<std::uint8_t> encode(const LinkHeartbeat& m) {
   return enc.take();
 }
 
+std::vector<std::uint8_t> encode(const ReplHello& m) {
+  Encoder enc = begin(FrameType::kReplHello);
+  enc.put_u32(static_cast<std::uint32_t>(m.primary.value));
+  enc.put_u64(m.applied_seq);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const StateSnapshot& m) {
+  Encoder enc = begin(FrameType::kStateSnapshot);
+  enc.put_u64(m.through_seq);
+  enc.put_bytes(m.state);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const StateUpdate& m) {
+  Encoder enc = begin(FrameType::kStateUpdate);
+  enc.put_u64(m.seq);
+  enc.put_bytes(m.update);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const ReplAck& m) {
+  Encoder enc = begin(FrameType::kReplAck);
+  enc.put_u64(m.seq);
+  return enc.take();
+}
+
+std::vector<std::uint8_t> encode(const Promote& m) {
+  Encoder enc = begin(FrameType::kPromote);
+  enc.put_u32(static_cast<std::uint32_t>(m.primary.value));
+  return enc.take();
+}
+
 std::vector<std::uint8_t> encode(const ErrorFrame& m) {
   Encoder enc = begin(FrameType::kError);
   enc.put_u64(m.token);
@@ -268,6 +301,44 @@ LinkHeartbeat decode_link_heartbeat(std::span<const std::uint8_t> frame) {
   LinkHeartbeat m;
   m.epoch = dec.get_u64();
   m.truncated_through = dec.get_u64();
+  return m;
+}
+
+ReplHello decode_repl_hello(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kReplHello);
+  ReplHello m;
+  m.primary = BrokerId{static_cast<BrokerId::rep_type>(dec.get_u32())};
+  m.applied_seq = dec.get_u64();
+  return m;
+}
+
+StateSnapshot decode_state_snapshot(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kStateSnapshot);
+  StateSnapshot m;
+  m.through_seq = dec.get_u64();
+  m.state = dec.get_bytes();
+  return m;
+}
+
+StateUpdate decode_state_update(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kStateUpdate);
+  StateUpdate m;
+  m.seq = dec.get_u64();
+  m.update = dec.get_bytes();
+  return m;
+}
+
+ReplAck decode_repl_ack(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kReplAck);
+  ReplAck m;
+  m.seq = dec.get_u64();
+  return m;
+}
+
+Promote decode_promote(std::span<const std::uint8_t> frame) {
+  Decoder dec = open(frame, FrameType::kPromote);
+  Promote m;
+  m.primary = BrokerId{static_cast<BrokerId::rep_type>(dec.get_u32())};
   return m;
 }
 

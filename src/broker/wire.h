@@ -38,6 +38,11 @@ enum class FrameType : std::uint8_t {
   kQuench = 14,          // broker -> client: space, whether any subscriber exists
   kBrokerAck = 15,       // broker -> broker: cumulative ack of forwards on a link
   kLinkHeartbeat = 16,   // broker -> broker: link liveness probe
+  kReplHello = 17,       // standby -> primary: attach/resume the state stream
+  kStateSnapshot = 18,   // primary -> standby: full durable-state image
+  kStateUpdate = 19,     // primary -> standby: one sequenced state mutation
+  kReplAck = 20,         // standby -> primary: cumulative ack of updates
+  kPromote = 21,         // operator -> standby: assume the primary's role
 };
 
 /// Number of frame types in the protocol. Frame-type values are dense
@@ -45,7 +50,7 @@ enum class FrameType : std::uint8_t {
 /// robustness suite pins its frame table to this count, and gryphon-analyze
 /// cross-checks it against the enumerator list — adding a frame type
 /// without extending both trips the protocol rule.
-inline constexpr std::size_t kFrameTypeCount = 16;
+inline constexpr std::size_t kFrameTypeCount = 21;
 
 struct HelloClient {
   std::string name;
@@ -65,9 +70,15 @@ struct HelloBroker {
 };
 struct HelloAck {
   std::uint64_t resume_from{0};
-  /// Highest delivery sequence lost to retention GC while unacknowledged
-  /// (0 = none). A client whose last seen seq is below this has a hole in
-  /// its replay: events in (last_seq, truncated_through] are gone for good.
+  /// Upper bound on delivery sequences the broker can no longer replay
+  /// (0 = none): retention GC dropped them while unacknowledged, or a
+  /// promoted standby rebased past the dead primary's possibly-unreplicated
+  /// tail. A client whose last seen seq is below this may have a hole in
+  /// its replay — events in (last_seq, truncated_through] not re-delivered
+  /// during resume are gone for good. It is a *bound*, not an exact count:
+  /// after failover the standby still replays every retained entry below
+  /// it, so the hole can be empty; what the bound promises is that nothing
+  /// above it was lost silently.
   std::uint64_t truncated_through{0};
 };
 struct SubscribeReq {
@@ -132,6 +143,44 @@ struct LinkHeartbeat {
   std::uint64_t epoch{0};
   std::uint64_t truncated_through{0};
 };
+/// Replication attach/resume (Clone pattern, docs/fault-tolerance.md): a
+/// standby dials its primary and reports the last state-update sequence it
+/// has durably applied. The primary resumes the update stream right after
+/// that point, or — when the requested point has been truncated out of its
+/// update log — sends a fresh StateSnapshot and streams from there.
+struct ReplHello {
+  BrokerId primary;  // who the standby believes it is shadowing
+  std::uint64_t applied_seq{0};
+};
+/// Full durable-state image: subscription registry (covering-parked
+/// replicas included), link-session counters, and every per-client
+/// EventLog window, as encoded by broker/replication.h. `through_seq` is
+/// the update-stream position the image captures; updates resume at
+/// through_seq + 1.
+struct StateSnapshot {
+  std::uint64_t through_seq{0};
+  std::vector<std::uint8_t> state;
+};
+/// One sequenced durable-state mutation (a replication::Update, encoded).
+/// Updates are numbered from 1 per primary and applied strictly in order;
+/// the standby acks cumulatively with ReplAck and drops duplicates and
+/// gaps exactly like the EventForward session does.
+struct StateUpdate {
+  std::uint64_t seq{0};
+  std::vector<std::uint8_t> update;
+};
+/// Cumulative acknowledgement of StateUpdate frames: "applied every update
+/// through seq". Retires the primary's replication log prefix.
+struct ReplAck {
+  std::uint64_t seq{0};
+};
+/// Promotion order: the standby stops shadowing and assumes `primary`'s
+/// spanning-tree role and identity (it must already be replicating that
+/// broker). Sent by an operator tool or generated internally when the
+/// replication link has been dead past the promote timeout.
+struct Promote {
+  BrokerId primary;
+};
 struct ErrorFrame {
   std::uint64_t token{0};
   std::string message;
@@ -164,6 +213,11 @@ std::vector<std::uint8_t> encode(const ErrorFrame&);
 std::vector<std::uint8_t> encode(const Quench&);
 std::vector<std::uint8_t> encode(const BrokerAck&);
 std::vector<std::uint8_t> encode(const LinkHeartbeat&);
+std::vector<std::uint8_t> encode(const ReplHello&);
+std::vector<std::uint8_t> encode(const StateSnapshot&);
+std::vector<std::uint8_t> encode(const StateUpdate&);
+std::vector<std::uint8_t> encode(const ReplAck&);
+std::vector<std::uint8_t> encode(const Promote&);
 
 /// Each decode throws CodecError on malformed input or type mismatch.
 HelloClient decode_hello_client(std::span<const std::uint8_t> frame);
@@ -182,5 +236,10 @@ ErrorFrame decode_error(std::span<const std::uint8_t> frame);
 Quench decode_quench(std::span<const std::uint8_t> frame);
 BrokerAck decode_broker_ack(std::span<const std::uint8_t> frame);
 LinkHeartbeat decode_link_heartbeat(std::span<const std::uint8_t> frame);
+ReplHello decode_repl_hello(std::span<const std::uint8_t> frame);
+StateSnapshot decode_state_snapshot(std::span<const std::uint8_t> frame);
+StateUpdate decode_state_update(std::span<const std::uint8_t> frame);
+ReplAck decode_repl_ack(std::span<const std::uint8_t> frame);
+Promote decode_promote(std::span<const std::uint8_t> frame);
 
 }  // namespace gryphon::wire

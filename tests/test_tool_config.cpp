@@ -117,6 +117,10 @@ TEST(BrokerConfigSpec, MinimalDefaults) {
   EXPECT_EQ(config.redial_backoff_ms, 20);
   EXPECT_EQ(config.redial_backoff_max_ms, 5000);
   EXPECT_EQ(config.redial_budget, 0);
+  EXPECT_FALSE(config.standby());
+  EXPECT_EQ(config.replica_listen_port, -1);
+  EXPECT_EQ(config.repl_window, 4096u);
+  EXPECT_EQ(config.promote_timeout_ms, 2000);
   EXPECT_EQ(config.topology().broker_count(), 2u);
 }
 
@@ -210,6 +214,57 @@ TEST(BrokerConfigSpec, RejectsInvalidValues) {
   // Unknown flags and missing values are named.
   EXPECT_THROW(parse_broker_config(with({"--bogus"})), std::invalid_argument);
   EXPECT_THROW(parse_broker_config(with({"--shards"})), std::invalid_argument);
+}
+
+TEST(BrokerConfigSpec, ReplicationFlagsParse) {
+  const auto with = [](std::initializer_list<const char*> extra) {
+    auto args = minimal_args();
+    for (const char* a : extra) args.emplace_back(a);
+    return args;
+  };
+  // Primary serving a standby.
+  const BrokerConfig primary = parse_broker_config(
+      with({"--replica-listen", "7100", "--repl-window", "512"}));
+  EXPECT_FALSE(primary.standby());
+  EXPECT_EQ(primary.replica_listen_port, 7100);
+  EXPECT_EQ(primary.repl_window, 512u);
+  // Standby shadowing it.
+  const BrokerConfig standby = parse_broker_config(
+      with({"--standby-of", "127.0.0.1:7100", "--promote-timeout-ms", "750"}));
+  EXPECT_TRUE(standby.standby());
+  EXPECT_EQ(standby.standby_host, "127.0.0.1");
+  EXPECT_EQ(standby.standby_port, 7100);
+  EXPECT_EQ(standby.promote_timeout_ms, 750);
+}
+
+TEST(BrokerConfigSpec, RejectsConflictingReplicationRoles) {
+  const auto with = [](std::initializer_list<const char*> extra) {
+    auto args = minimal_args();
+    for (const char* a : extra) args.emplace_back(a);
+    return args;
+  };
+  // A standby cannot also serve a replication stream...
+  try {
+    parse_broker_config(with({"--standby-of", "127.0.0.1:7100",
+                              "--replica-listen", "7200"}));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--standby-of"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("--replica-listen"), std::string::npos)
+        << e.what();
+  }
+  // ...and must not dial broker links before promotion.
+  EXPECT_THROW(parse_broker_config(with({"--standby-of", "127.0.0.1:7100",
+                                         "--dial", "1=127.0.0.1:7001"})),
+               std::invalid_argument);
+  // Malformed values are rejected like every other flag family.
+  EXPECT_THROW(parse_broker_config(with({"--standby-of", "localhost"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(with({"--replica-listen", "70000"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(with({"--repl-window", "0"})), std::invalid_argument);
+  EXPECT_THROW(parse_broker_config(with({"--promote-timeout-ms", "0"})),
+               std::invalid_argument);
 }
 
 }  // namespace

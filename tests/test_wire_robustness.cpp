@@ -32,6 +32,9 @@ constexpr FrameType kAllFrameTypes[] = {
     FrameType::kUnsubPropagate, FrameType::kEventForward,
     FrameType::kError,          FrameType::kQuench,
     FrameType::kBrokerAck,      FrameType::kLinkHeartbeat,
+    FrameType::kReplHello,      FrameType::kStateSnapshot,
+    FrameType::kStateUpdate,    FrameType::kReplAck,
+    FrameType::kPromote,
 };
 static_assert(std::size(kAllFrameTypes) == kFrameTypeCount,
               "frame table out of sync with wire.h FrameType");
@@ -69,6 +72,11 @@ bool decode_by_type(const std::vector<std::uint8_t>& frame) {
     case FrameType::kQuench: (void)decode_quench(frame); return true;
     case FrameType::kBrokerAck: (void)decode_broker_ack(frame); return true;
     case FrameType::kLinkHeartbeat: (void)decode_link_heartbeat(frame); return true;
+    case FrameType::kReplHello: (void)decode_repl_hello(frame); return true;
+    case FrameType::kStateSnapshot: (void)decode_state_snapshot(frame); return true;
+    case FrameType::kStateUpdate: (void)decode_state_update(frame); return true;
+    case FrameType::kReplAck: (void)decode_repl_ack(frame); return true;
+    case FrameType::kPromote: (void)decode_promote(frame); return true;
   }
   return false;
 }
@@ -197,6 +205,32 @@ TEST(WireRobustness, RoundTripPropertyAllFrameTypes) {
       EXPECT_EQ(out.space, in.space);
       EXPECT_EQ(out.has_subscribers, in.has_subscribers);
     }
+    {
+      const ReplHello in{broker(), u64()};
+      const auto out = decode_repl_hello(encode(in));
+      EXPECT_EQ(out.primary, in.primary);
+      EXPECT_EQ(out.applied_seq, in.applied_seq);
+    }
+    {
+      const StateSnapshot in{u64(), random_bytes(rng, 96)};
+      const auto out = decode_state_snapshot(encode(in));
+      EXPECT_EQ(out.through_seq, in.through_seq);
+      EXPECT_EQ(out.state, in.state);
+    }
+    {
+      const StateUpdate in{u64(), random_bytes(rng, 64)};
+      const auto out = decode_state_update(encode(in));
+      EXPECT_EQ(out.seq, in.seq);
+      EXPECT_EQ(out.update, in.update);
+    }
+    {
+      const ReplAck in{u64()};
+      EXPECT_EQ(decode_repl_ack(encode(in)).seq, in.seq);
+    }
+    {
+      const Promote in{broker()};
+      EXPECT_EQ(decode_promote(encode(in)).primary, in.primary);
+    }
   }
 }
 
@@ -220,6 +254,11 @@ TEST(WireRobustness, EveryStrictPrefixThrows) {
       encode(LinkHeartbeat{11, 3}),
       encode(ErrorFrame{1, "boom"}),
       encode(Quench{SpaceId{2}, true}),
+      encode(ReplHello{BrokerId{4}, 17}),
+      encode(StateSnapshot{42, {1, 2, 3, 4, 5}}),
+      encode(StateUpdate{43, {6, 7, 8}}),
+      encode(ReplAck{43}),
+      encode(Promote{BrokerId{4}}),
   };
   EXPECT_THROW(peek_type(std::span<const std::uint8_t>{}), CodecError);
   for (const auto& frame : frames) {

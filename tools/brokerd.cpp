@@ -10,6 +10,16 @@
 //           [--link-rto-ms 50] [--link-heartbeat-ms 500]
 //           [--link-idle-timeout-ms 2000] [--redial-backoff-ms 20]
 //           [--redial-backoff-max-ms 5000] [--redial-budget 0]
+//           [--replica-listen PORT] [--repl-window 4096]
+//           [--standby-of HOST:PORT] [--promote-timeout-ms 2000]
+//
+// Replication (docs/fault-tolerance.md § Replication): a primary started
+// with --replica-listen accepts a hot standby on a second port and streams
+// every durable mutation to it; the standby is started with --standby-of
+// pointing at that port (and no --dial — neighbors redial the standby after
+// promotion). The standby keeps redialing its primary while the link is
+// down, and promotes itself to the primary's role and identity once the
+// replication stream has been idle for --promote-timeout-ms.
 //
 // Flags are parsed and validated by tools::parse_broker_config (one entry
 // point for the whole flag surface; see tool_config.h), so every
@@ -59,9 +69,17 @@ void handle_signal(int) { g_stop.store(true); }
 
 struct Relay : TransportHandler {
   TransportHandler* target{nullptr};
+  // Standby side: the replication connection under watch, so the main loop
+  // can redial the primary when it drops (transport callbacks run on the
+  // reader thread).
+  std::atomic<ConnId> repl_watch{kInvalidConn};
+  std::atomic<bool> repl_down{false};
   void on_connect(ConnId c) override { target->on_connect(c); }
   void on_frame(ConnId c, std::span<const std::uint8_t> f) override { target->on_frame(c, f); }
-  void on_disconnect(ConnId c) override { target->on_disconnect(c); }
+  void on_disconnect(ConnId c) override {
+    if (c == repl_watch.load()) repl_down.store(true);
+    target->on_disconnect(c);
+  }
 };
 
 [[noreturn]] void usage(const char* argv0, const char* error) {
@@ -74,7 +92,9 @@ struct Relay : TransportHandler {
                "          [--no-covering] [--delta-segment-target N] [--max-delta-segments N]\n"
                "          [--link-rto-ms N] [--link-heartbeat-ms N]\n"
                "          [--link-idle-timeout-ms N] [--redial-backoff-ms N]\n"
-               "          [--redial-backoff-max-ms N] [--redial-budget N]\n",
+               "          [--redial-backoff-max-ms N] [--redial-budget N]\n"
+               "          [--replica-listen PORT] [--repl-window N]\n"
+               "          [--standby-of HOST:PORT] [--promote-timeout-ms N]\n",
                argv0);
   std::exit(2);
 }
@@ -103,6 +123,10 @@ int main(int argc, char** argv) {
     options.control.max_delta_segments = config.max_delta_segments;
     options.link_retransmit_timeout = ticks_from_millis(config.link_rto_ms);
     options.link_heartbeat_interval = ticks_from_millis(config.link_heartbeat_ms);
+    options.standby = config.standby();
+    options.replicate = config.replica_listen_port >= 0;
+    options.repl_log_window = config.repl_window;
+    options.repl_retransmit_timeout = ticks_from_millis(config.link_rto_ms);
     Relay relay;
     TcpTransport transport(relay);
     Broker broker(BrokerId{config.id}, topology, config.schemas, transport, options);
@@ -111,9 +135,15 @@ int main(int argc, char** argv) {
         transport.listen(static_cast<std::uint16_t>(config.listen_port));
     std::printf(
         "brokerd: broker %d listening on 127.0.0.1:%u (%zu spaces, %zu brokers, "
-        "%zu match threads, %zu shards, batch %zu)\n",
+        "%zu match threads, %zu shards, batch %zu)%s\n",
         config.id, port, config.schemas.size(), config.brokers, config.match_threads,
-        config.shards, config.batch_max);
+        config.shards, config.batch_max, config.standby() ? " [standby]" : "");
+    if (config.replica_listen_port >= 0) {
+      const std::uint16_t replica_port =
+          transport.listen(static_cast<std::uint16_t>(config.replica_listen_port));
+      std::printf("brokerd: replication stream on 127.0.0.1:%u (window %zu)\n",
+                  replica_port, config.repl_window);
+    }
 
     // Dialed links are owned by the supervisor: it makes the initial dial
     // on its first tick and keeps redialing (with backoff) whenever the
@@ -149,9 +179,45 @@ int main(int argc, char** argv) {
 
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
+    // Standby: dial the primary's replica listener (retried below while the
+    // link is down) and auto-promote once the stream has been idle past the
+    // promote timeout.
+    bool standby_active = config.standby();
+    const auto dial_primary = [&] {
+      try {
+        const ConnId conn = transport.connect(config.standby_host, config.standby_port);
+        relay.repl_down.store(false);
+        relay.repl_watch.store(conn);
+        broker.attach_replication_link(conn);
+        std::printf("brokerd: standby shadowing primary at %s:%u (promote after %d ms "
+                    "replication idle)\n",
+                    config.standby_host.c_str(), config.standby_port,
+                    config.promote_timeout_ms);
+        return true;
+      } catch (const std::exception& e) {
+        GRYPHON_WARN("brokerd") << "replication dial to " << config.standby_host << ":"
+                                << config.standby_port << " failed: " << e.what();
+        return false;
+      }
+    };
+    if (standby_active) dial_primary();
     auto last_gc = std::chrono::steady_clock::now();
     while (!g_stop.load()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      if (standby_active) {
+        const auto last = broker.replication_last_activity();
+        if (last && broker.clock_now() - *last >
+                        ticks_from_millis(config.promote_timeout_ms)) {
+          std::printf("brokerd: replication stream idle past %d ms -- promoting to "
+                      "primary\n",
+                      config.promote_timeout_ms);
+          broker.promote();
+          standby_active = false;
+        } else if (!last || relay.repl_down.load()) {
+          dial_primary();  // primary unreachable or the link dropped: redial
+        }
+        continue;  // pre-promotion the primary drives log truncation, not GC
+      }
       const auto now = std::chrono::steady_clock::now();
       if (now - last_gc > std::chrono::seconds(30)) {
         const std::size_t collected = broker.collect_garbage();
@@ -180,6 +246,16 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.link_flaps),
         static_cast<unsigned long long>(stats.frames_rejected),
         static_cast<unsigned long long>(stats.forwards_dropped_dead_link));
+    std::printf(
+        "brokerd: replication (repl_updates_sent=%llu repl_snapshots_sent=%llu "
+        "repl_updates_applied=%llu repl_snapshots_applied=%llu promotions=%llu "
+        "failover_seq_rebases=%llu)\n",
+        static_cast<unsigned long long>(stats.repl_updates_sent),
+        static_cast<unsigned long long>(stats.repl_snapshots_sent),
+        static_cast<unsigned long long>(stats.repl_updates_applied),
+        static_cast<unsigned long long>(stats.repl_snapshots_applied),
+        static_cast<unsigned long long>(stats.promotions),
+        static_cast<unsigned long long>(stats.failover_seq_rebases));
     const auto& cp = stats.control_plane;
     const unsigned long long compiles = cp.compile_publishes;
     std::printf(

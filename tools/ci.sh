@@ -5,12 +5,14 @@
 # dispatch pipeline, the gryphon-analyze invariant leg, and the lint leg
 # (clang-tidy). See docs/static-analysis.md for the full matrix.
 #
-#   tools/ci.sh             # release + asan + ubsan + tsan + chaos + perf +
-#                           # scaling + churn + analyze + lint
+#   tools/ci.sh             # release + asan + ubsan + tsan + chaos +
+#                           # failover + perf + scaling + churn + analyze +
+#                           # lint
 #   tools/ci.sh release     # just the release leg
 #   tools/ci.sh tsan        # just the ThreadSanitizer leg
 #   tools/ci.sh asan ubsan  # any subset, in order
 #   tools/ci.sh chaos       # fault-injection sweep over extra seeds
+#   tools/ci.sh failover    # broker-kill/promote sweep under ASan + bench gate
 #   tools/ci.sh scaling     # mt_throughput sharded-dispatch scaling check
 #   tools/ci.sh churn       # covering/delta control-plane churn check
 #   tools/ci.sh analyze     # gryphon-analyze self-test + live-tree run
@@ -35,7 +37,7 @@ JOBS="${JOBS:-$(nproc)}"
 if [[ $# -gt 0 ]]; then
   LEGS=("$@")
 else
-  LEGS=(release asan ubsan tsan chaos perf scaling churn analyze lint)
+  LEGS=(release asan ubsan tsan chaos failover perf scaling churn analyze lint)
 fi
 
 # NOLINT budget enforced alongside clang-tidy (policy in .clang-tidy). The
@@ -101,13 +103,14 @@ run_leg() {
     ubsan)   dir=build-ubsan    sanitize="undefined" ;;
     tsan)    dir=build-tsan     sanitize="thread"    ;;
     chaos)   dir=build          sanitize=""          ;;
+    failover) dir=build-asan    sanitize="address"   ;;
     perf)    dir=build          sanitize=""          ;;
     scaling) dir=build          sanitize=""          ;;
     churn)   dir=build          sanitize=""          ;;
     analyze) run_analyze; return ;;
     lint)    run_lint; return ;;
     *)
-      echo "ci.sh: unknown leg '$leg' (release|asan|ubsan|tsan|chaos|perf|scaling|churn|analyze|lint)" >&2
+      echo "ci.sh: unknown leg '$leg' (release|asan|ubsan|tsan|chaos|failover|perf|scaling|churn|analyze|lint)" >&2
       exit 2
       ;;
   esac
@@ -128,6 +131,39 @@ run_leg() {
       echo "=== [chaos] fault-injection suite, extra seed $seed ==="
       GRYPHON_CHAOS_SEED="$seed" "$dir/tests/chaos_tests"
     done
+    return
+  fi
+
+  if [[ "$leg" == failover ]]; then
+    # Broker-kill failover sweep (docs/fault-tolerance.md § Replication):
+    # kill the middle broker of the line mid-run with a hot standby
+    # attached, promote it, redial the neighbors, and hold the exactly-once
+    # multiset oracle. Runs under ASan so the promotion / log-rebase /
+    # identity-takeover paths are watched for lifetime bugs; the five
+    # baked-in seeds run in every suite pass and GRYPHON_CHAOS_SEED widens
+    # the sweep here (binary run directly, same reason as the chaos leg).
+    for seed in 7 1337 20260809; do
+      echo "=== [failover] broker-kill/promote sweep, extra seed $seed ==="
+      GRYPHON_CHAOS_SEED="$seed" "$dir/tests/chaos_tests" \
+        --gtest_filter='*FailoverChaosTest*'
+    done
+    echo "=== [failover] failover_bench: hot-path delta + promote cost ==="
+    # Trimmed point; the bench exits non-zero itself when a trial's
+    # redelivered multiset diverges from the retained-delivery oracle.
+    "$dir/bench/failover_bench" 300 10
+    python3 - <<'PY'
+import json, sys
+data = json.load(open("BENCH_failover.json"))
+fo = data["failover"]
+if not fo["valid"]:
+    print(f"[failover] FAIL: {fo['invalid_reason']}", file=sys.stderr)
+    sys.exit(1)
+print(f"[failover] {fo['trials']} trials: promote p50 "
+      f"{fo['promote_p50_us']:.1f} us, first redelivery p50 "
+      f"{fo['first_redelivery_p50_us']:.1f} us; publish-path p50 overhead "
+      f"{data['publish_path']['p50_overhead_ratio']:.2f}x")
+PY
+    echo "failover artifact: BENCH_failover.json"
     return
   fi
 

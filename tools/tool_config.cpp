@@ -208,6 +208,18 @@ BrokerConfig parse_broker_config(const std::vector<std::string>& args) {
       const int budget = parse_int(next(), "redial budget");
       if (budget < 0) throw std::invalid_argument("--redial-budget must be >= 0");
       config.redial_budget = budget;
+    } else if (arg == "--standby-of") {
+      parse_endpoint(next(), config.standby_host, config.standby_port);
+    } else if (arg == "--replica-listen") {
+      const int port = parse_int(next(), "port");
+      if (port < 0 || port > 65535) {
+        throw std::invalid_argument("--replica-listen port must be in [0, 65535]");
+      }
+      config.replica_listen_port = port;
+    } else if (arg == "--repl-window") {
+      config.repl_window = static_cast<std::size_t>(next_positive("replication window"));
+    } else if (arg == "--promote-timeout-ms") {
+      config.promote_timeout_ms = next_positive("promote timeout");
     } else {
       throw std::invalid_argument("unknown argument " + arg);
     }
@@ -230,6 +242,21 @@ BrokerConfig parse_broker_config(const std::vector<std::string>& args) {
       throw std::invalid_argument("--dial peer " + std::to_string(dial.peer.value) +
                                   " is not in the topology (brokers = " +
                                   std::to_string(config.brokers) + ")");
+    }
+  }
+  // Replication roles are exclusive: a standby shadows a primary; it does
+  // not serve a standby of its own, and it must not dial broker links —
+  // neighbors redial it after promotion.
+  if (config.standby()) {
+    if (config.replica_listen_port >= 0) {
+      throw std::invalid_argument(
+          "--standby-of conflicts with --replica-listen: a standby cannot "
+          "also serve a replication stream");
+    }
+    if (!config.dials.empty()) {
+      throw std::invalid_argument(
+          "--standby-of conflicts with --dial: a standby must not dial "
+          "broker links before promotion (neighbors redial it afterwards)");
     }
   }
   return config;

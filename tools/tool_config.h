@@ -75,6 +75,20 @@ struct BrokerConfig {
   int redial_backoff_max_ms{5000};
   int redial_budget{0};  // 0 = redial forever
 
+  // Replication (docs/fault-tolerance.md § Replication). A process is
+  // either a primary (optionally exposing --replica-listen for a hot
+  // standby to dial) or a standby (--standby-of pointing at its primary's
+  // replica listener); the two roles are mutually exclusive, and a standby
+  // must not dial broker links either — neighbors redial *it* after
+  // promotion.
+  std::string standby_host;       // --standby-of HOST:PORT (empty = primary)
+  std::uint16_t standby_port{0};
+  int replica_listen_port{-1};    // second listen port; -1 = no standby served
+  std::size_t repl_window{4096};  // update-log window = snapshot cadence
+  int promote_timeout_ms{2000};   // standby: repl idle before auto-promotion
+
+  [[nodiscard]] bool standby() const { return !standby_host.empty(); }
+
   /// The parsed topology (convenience over brokers + links).
   [[nodiscard]] BrokerNetwork topology() const {
     return parse_topology_spec(brokers, links);
