@@ -13,20 +13,14 @@ void run() {
   std::printf("%14s %15s %13s %13s %14s %12s %10s\n", "subscriptions", "protocol",
               "broker msgs", "client msgs", "bytes on wire", "match steps", "max util");
   for (const std::size_t subs : {500u, 2000u, 8000u}) {
-    bench::PaperWorkload workload(10, 5, 0.85, subs, 500, /*seed=*/42 + subs);
+    const SimSpec base = bench::paper_spec(10, 5, 0.85, subs, 500, /*seed=*/42 + subs);
     for (const Protocol protocol :
          {Protocol::kLinkMatching, Protocol::kFlooding, Protocol::kMatchFirst}) {
-      PstMatcherOptions matcher_options;
-      matcher_options.factoring_levels = 2;
-      SimConfig config;
-      config.protocol = protocol;
-      BrokerSimulation sim(workload.topo.network, workload.schema,
-                           workload.topo.publisher_brokers, workload.subscriptions,
-                           matcher_options, config);
-      Rng rng(3);
-      const auto schedule = make_poisson_schedule(workload.topo.publisher_brokers,
-                                                  workload.events.size(), 100.0, rng);
-      const SimResult result = sim.run(workload.events, schedule);
+      SimSpec spec = base;
+      spec.protocol = protocol;
+      spec.matcher.factoring_levels = 2;
+      spec.workload.rate_eps = 100.0;
+      const SimResult result = simulate(spec);
       std::printf("%14zu %15s %13llu %13llu %14llu %12llu %9.3f%s\n", subs,
                   to_string(protocol),
                   static_cast<unsigned long long>(result.broker_messages),

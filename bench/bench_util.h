@@ -4,13 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
-#include <vector>
 
-#include "common/rng.h"
-#include "common/zipf.h"
 #include "sim/simulation.h"
-#include "topology/builders.h"
-#include "workload/generators.h"
 
 namespace gryphon::bench {
 
@@ -26,37 +21,22 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// The paper's simulation workload (Section 4.1): random equality
-/// subscriptions over the synthetic schema, with per-region locality of
-/// interest on the Figure 6 topology, and zipf-valued events.
-struct PaperWorkload {
-  Figure6Topology topo;
-  SchemaPtr schema;
-  SubscriptionWorkloadConfig sub_config;
-  std::vector<SimSubscription> subscriptions;
-  std::vector<Event> events;
-
-  PaperWorkload(std::size_t attributes, std::size_t values, double decay,
-                std::size_t n_subscriptions, std::size_t n_events, std::uint64_t seed)
-      : topo(make_figure6()),
-        schema(make_synthetic_schema(attributes, values)),
-        sub_config{0.98, decay, 1.0} {
-    Rng rng(seed);
-    SubscriptionGenerator gen(schema, sub_config);
-    subscriptions.reserve(n_subscriptions);
-    for (std::size_t i = 0; i < n_subscriptions; ++i) {
-      const ClientId client = topo.subscribers[rng.below(topo.subscribers.size())];
-      const auto region = static_cast<std::uint32_t>(
-          topo.region_of[static_cast<std::size_t>(topo.network.client_home(client).value)]);
-      const auto perm = locality_permutation(values, region);
-      subscriptions.push_back(SimSubscription{SubscriptionId{static_cast<std::int64_t>(i)},
-                                              gen.generate(rng, &perm), client});
-    }
-    EventGenerator ev_gen(schema);
-    events.reserve(n_events);
-    for (std::size_t i = 0; i < n_events; ++i) events.push_back(ev_gen.generate(rng));
-  }
-};
+/// The paper's simulation workload (Section 4.1) as a declarative spec:
+/// random equality subscriptions over the synthetic schema, with per-region
+/// locality of interest on the Figure 6 topology, and zipf-valued events.
+inline SimSpec paper_spec(std::size_t attributes, std::size_t values, double decay,
+                          std::size_t n_subscriptions, std::size_t n_events,
+                          std::uint64_t seed) {
+  SimSpec spec;
+  spec.seed = seed;
+  spec.attributes = attributes;
+  spec.values_per_attribute = values;
+  spec.topology.kind = TopologyKind::kFigure6;
+  spec.workload.subscriptions = n_subscriptions;
+  spec.workload.events = n_events;
+  spec.workload.subscription_config = SubscriptionWorkloadConfig{0.98, decay, 1.0};
+  return spec;
+}
 
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

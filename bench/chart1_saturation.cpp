@@ -20,29 +20,20 @@
 namespace gryphon {
 namespace {
 
-using bench::PaperWorkload;
-
-double saturation_rate(const PaperWorkload& workload, Protocol protocol) {
-  PstMatcherOptions matcher_options;
-  matcher_options.factoring_levels = 2;
-  SimConfig config;
-  config.protocol = protocol;
-  config.verify_deliveries = false;
-  config.drain_limit = ticks_from_seconds(5);
-  BrokerSimulation sim(workload.topo.network, workload.schema,
-                       workload.topo.publisher_brokers, workload.subscriptions,
-                       matcher_options, config);
+double saturation_rate(SimSpec spec, Protocol protocol) {
+  spec.protocol = protocol;
+  spec.matcher.factoring_levels = 2;
+  spec.verify.verify_deliveries = false;
+  spec.limits.drain_limit = ticks_from_seconds(5);
+  Simulation sim(std::move(spec));
 
   SaturationConfig sat;
   sat.min_rate = 20.0;
   sat.max_rate = 4e6;
   sat.relative_tolerance = 0.06;
-  sat.events = workload.events.size();
+  sat.events = sim.events().size();
   const auto result = find_saturation_rate(sat, [&](double rate, std::uint64_t seed) {
-    Rng rng(seed);
-    const auto schedule = make_poisson_schedule(workload.topo.publisher_brokers,
-                                                workload.events.size(), rate, rng);
-    return sim.run(workload.events, schedule);
+    return sim.run_at_rate(rate, seed);
   });
   return result.saturation_rate;
 }
@@ -51,9 +42,9 @@ void sweep(const char* label, double decay) {
   bench::print_header(std::string("Chart 1: saturation publish rate (events/sec) — ") + label);
   std::printf("%14s %16s %16s %8s\n", "subscriptions", "flooding", "link-matching", "ratio");
   for (const std::size_t subs : {250u, 500u, 1000u, 2000u, 4000u, 8000u}) {
-    PaperWorkload workload(10, 5, decay, subs, 500, /*seed=*/1000 + subs);
-    const double flooding = saturation_rate(workload, Protocol::kFlooding);
-    const double link_matching = saturation_rate(workload, Protocol::kLinkMatching);
+    const SimSpec spec = bench::paper_spec(10, 5, decay, subs, 500, /*seed=*/1000 + subs);
+    const double flooding = saturation_rate(spec, Protocol::kFlooding);
+    const double link_matching = saturation_rate(spec, Protocol::kLinkMatching);
     std::printf("%14zu %16.0f %16.0f %7.1fx\n", subs, flooding, link_matching,
                 flooding > 0 ? link_matching / flooding : 0.0);
   }

@@ -8,59 +8,34 @@
 #include "bench_util.h"
 
 #include "sim/saturation.h"
-#include "workload/arrivals.h"
 
 namespace gryphon {
 namespace {
 
-std::vector<PublishRecord> make_schedule(ArrivalProcess& arrivals,
-                                         const std::vector<BrokerId>& publishers,
-                                         std::size_t count, Rng& rng) {
-  std::vector<PublishRecord> schedule;
-  schedule.reserve(count);
-  Ticks t = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    t += arrivals.next_gap(rng);
-    schedule.push_back(PublishRecord{t, publishers[i % publishers.size()], i});
-  }
-  return schedule;
-}
-
 void run() {
   bench::print_header("Extension: Poisson vs bursty (ON/OFF) arrivals, link matching");
-  bench::PaperWorkload workload(10, 5, 0.85, 2000, 500, /*seed=*/11);
-  PstMatcherOptions matcher_options;
-  matcher_options.factoring_levels = 2;
+  SimSpec base = bench::paper_spec(10, 5, 0.85, 2000, 500, /*seed=*/11);
+  base.matcher.factoring_levels = 2;
+  base.verify.verify_deliveries = false;
+  base.limits.drain_limit = ticks_from_seconds(10);
 
-  const auto run_at = [&](Protocol protocol, double mean_rate, bool bursty) {
-    SimConfig config;
-    config.protocol = protocol;
-    config.verify_deliveries = false;
-    config.drain_limit = ticks_from_seconds(10);
-    BrokerSimulation sim(workload.topo.network, workload.schema,
-                         workload.topo.publisher_brokers, workload.subscriptions,
-                         matcher_options, config);
-    Rng rng(5);
-    std::vector<PublishRecord> schedule;
-    if (bursty) {
-      // 20% duty cycle: the ON rate is 5x the mean rate.
-      BurstyArrivals arrivals(mean_rate * 5.0, 0.04, 0.16);
-      schedule = make_schedule(arrivals, workload.topo.publisher_brokers,
-                               workload.events.size(), rng);
-    } else {
-      PoissonArrivals arrivals(mean_rate);
-      schedule = make_schedule(arrivals, workload.topo.publisher_brokers,
-                               workload.events.size(), rng);
-    }
-    return sim.run(workload.events, schedule);
+  // One prepared simulation per (protocol, arrival process); rate sweeps
+  // reuse the instance via run_at_rate. 20% duty cycle: the spec's ON rate
+  // is mean_rate * (on + off) / on = 5x the mean rate.
+  const auto make_sim = [&](Protocol protocol, bool bursty) {
+    SimSpec spec = base;
+    spec.protocol = protocol;
+    if (bursty) spec.workload.arrivals = ArrivalSpec{ArrivalSpec::Kind::kBursty, 0.04, 0.16};
+    return Simulation(std::move(spec));
   };
 
   std::printf("%15s %12s %14s %14s %12s\n", "protocol", "mean rate", "arrivals",
               "max backlog", "overloaded");
   for (const Protocol protocol : {Protocol::kLinkMatching, Protocol::kFlooding}) {
-    for (const double rate : {500.0, 2000.0, 8000.0}) {
-      for (const bool bursty : {false, true}) {
-        const auto result = run_at(protocol, rate, bursty);
+    for (const bool bursty : {false, true}) {
+      Simulation sim = make_sim(protocol, bursty);
+      for (const double rate : {500.0, 2000.0, 8000.0}) {
+        const auto result = sim.run_at_rate(rate, /*salt=*/5);
         std::printf("%15s %12.0f %14s %14llu %12s\n", to_string(protocol), rate,
                     bursty ? "bursty 20%" : "poisson",
                     static_cast<unsigned long long>(result.max_backlog),
@@ -74,12 +49,14 @@ void run() {
   for (const Protocol protocol : {Protocol::kLinkMatching, Protocol::kFlooding}) {
     double thresholds[2] = {0, 0};
     for (const bool bursty : {false, true}) {
+      Simulation sim = make_sim(protocol, bursty);
       SaturationConfig sat;
       sat.min_rate = 20.0;
       sat.max_rate = 2e6;
       sat.relative_tolerance = 0.08;
-      const auto result = find_saturation_rate(sat, [&](double rate, std::uint64_t) {
-        return run_at(protocol, rate, bursty);
+      sat.events = sim.events().size();
+      const auto result = find_saturation_rate(sat, [&](double rate, std::uint64_t seed) {
+        return sim.run_at_rate(rate, seed);
       });
       thresholds[bursty ? 1 : 0] = result.saturation_rate;
     }

@@ -8,10 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "common/zipf.h"
 #include "sim/simulation.h"
-#include "topology/builders.h"
-#include "workload/generators.h"
 
 using namespace gryphon;
 
@@ -20,43 +17,33 @@ int main(int argc, char** argv) {
   const std::size_t n_events = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 500;
   const double rate = argc > 3 ? std::strtod(argv[3], nullptr) : 100.0;
 
-  const Figure6Topology topo = make_figure6();
-  const SchemaPtr schema = make_synthetic_schema(10, 5);
-  std::printf("Figure 6 WAN: %zu brokers, %zu subscribing clients, 3 publishers\n",
-              topo.network.broker_count(), topo.network.client_count());
+  SimSpec spec;
+  spec.seed = 2024;
+  spec.attributes = 10;
+  spec.values_per_attribute = 5;
+  spec.topology.kind = TopologyKind::kFigure6;
+  spec.workload.subscriptions = n_subscriptions;
+  spec.workload.events = n_events;
+  spec.workload.rate_eps = rate;
+  spec.workload.subscription_config = SubscriptionWorkloadConfig{0.98, 0.85, 1.0};
+  spec.matcher.factoring_levels = 2;
+
+  // One shared instance: every protocol replays the identical subscription
+  // set, event stream, and publish schedule.
+  Simulation sim(spec);
+  std::printf("Figure 6 WAN: %zu brokers, %zu subscribing clients, %zu publishers\n",
+              sim.network().broker_count(), sim.network().client_count(),
+              sim.publishers().size());
   std::printf("workload: %zu subscriptions (~0.1%% selectivity), %zu events @ %.0f/sec\n\n",
               n_subscriptions, n_events, rate);
-
-  Rng rng(2024);
-  SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.98, 0.85, 1.0});
-  std::vector<SimSubscription> subscriptions;
-  for (std::size_t i = 0; i < n_subscriptions; ++i) {
-    const ClientId client = topo.subscribers[rng.below(topo.subscribers.size())];
-    const auto region = static_cast<std::uint32_t>(
-        topo.region_of[static_cast<std::size_t>(topo.network.client_home(client).value)]);
-    const auto perm = locality_permutation(5, region);
-    subscriptions.push_back(SimSubscription{SubscriptionId{static_cast<std::int64_t>(i)},
-                                            gen.generate(rng, &perm), client});
-  }
-  EventGenerator ev_gen(schema);
-  std::vector<Event> events;
-  for (std::size_t i = 0; i < n_events; ++i) events.push_back(ev_gen.generate(rng));
-
-  PstMatcherOptions matcher_options;
-  matcher_options.factoring_levels = 2;
 
   std::printf("%15s %12s %12s %13s %12s %10s %10s\n", "protocol", "broker msgs",
               "client msgs", "bytes", "steps", "latency ms", "max util");
   for (const Protocol protocol :
        {Protocol::kLinkMatching, Protocol::kFlooding, Protocol::kMatchFirst}) {
-    SimConfig config;
-    config.protocol = protocol;
-    BrokerSimulation sim(topo.network, schema, topo.publisher_brokers, subscriptions,
-                         matcher_options, config);
-    Rng sched_rng(7);
-    const auto schedule =
-        make_poisson_schedule(topo.publisher_brokers, events.size(), rate, sched_rng);
-    const SimResult result = sim.run(events, schedule);
+    SimSpec run_spec = spec;
+    run_spec.protocol = protocol;
+    const SimResult result = simulate(run_spec);
     std::printf("%15s %12llu %12llu %13llu %12llu %10.1f %10.3f%s\n", to_string(protocol),
                 static_cast<unsigned long long>(result.broker_messages),
                 static_cast<unsigned long long>(result.client_messages),

@@ -1,0 +1,116 @@
+// Per-broker server state: a single-server FIFO queue (paper Section 4.1).
+//
+// Each broker owns its busy clock, backlog counter, a retirement heap of
+// service completion times, and its private background-load stream. All of
+// it is local to the partition that owns the broker, so the parallel engine
+// needs no synchronization here. Completions are retired lazily — any
+// service finishing at or before the arrival being admitted leaves the
+// queue first — which is locally computable and therefore identical under
+// serial and parallel execution.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace gryphon {
+
+class BrokerServer {
+ public:
+  /// `horizon` bounds the background stream (the last tracked publication:
+  /// background publishers stop when the tracked ones do).
+  void configure_background(std::uint64_t seed, double rate_per_tick, Ticks cost,
+                            Ticks horizon) {
+    background_rng_.reseed(seed);
+    background_rate_per_tick_ = rate_per_tick;
+    background_cost_ = cost;
+    background_horizon_ = horizon;
+    next_background_ = rate_per_tick > 0 ? draw_background(0) : kNever;
+  }
+
+  void set_overload_threshold(std::size_t threshold) { threshold_ = threshold; }
+
+  /// Admits a tracked arrival at `now`: consumes background arrivals due
+  /// first, retires finished service, then queues the arrival.
+  void admit(Ticks now) {
+    consume_background(now);
+    retire(now);
+    enqueue();
+  }
+
+  /// Serves the arrival admitted last; returns its completion time.
+  Ticks serve(Ticks now, double cost_ticks) {
+    const Ticks start = std::max(now, busy_until_);
+    const Ticks done = start + std::max<Ticks>(1, static_cast<Ticks>(cost_ticks + 0.5));
+    busy_until_ = done;
+    busy_accum_ += static_cast<double>(done - start);
+    completions_.push(done);
+    return done;
+  }
+
+  /// Consumes the rest of the background stream (end-of-run drain).
+  void finish_background() { consume_background(background_horizon_); }
+
+  [[nodiscard]] std::uint64_t max_backlog() const { return max_backlog_; }
+  [[nodiscard]] bool overloaded() const { return overloaded_; }
+  [[nodiscard]] double busy_accum() const { return busy_accum_; }
+  [[nodiscard]] std::uint64_t next_emit_sequence() { return emit_sequence_++; }
+
+ private:
+  static constexpr Ticks kNever = -1;
+
+  Ticks draw_background(Ticks from) {
+    const Ticks gap = std::max<Ticks>(
+        1, static_cast<Ticks>(background_rng_.exponential(background_rate_per_tick_)));
+    const Ticks next = from + gap;
+    return next > background_horizon_ ? kNever : next;
+  }
+
+  void retire(Ticks now) {
+    while (!completions_.empty() && completions_.top() <= now) {
+      completions_.pop();
+      --backlog_;
+    }
+  }
+
+  void enqueue() {
+    ++backlog_;
+    max_backlog_ = std::max<std::uint64_t>(max_backlog_, backlog_);
+    if (backlog_ >= threshold_) overloaded_ = true;
+  }
+
+  void consume_background(Ticks now) {
+    while (next_background_ != kNever && next_background_ <= now) {
+      const Ticks at = next_background_;
+      retire(at);
+      enqueue();
+      const Ticks start = std::max(at, busy_until_);
+      const Ticks done = start + std::max<Ticks>(1, background_cost_);
+      busy_until_ = done;
+      busy_accum_ += static_cast<double>(done - start);
+      completions_.push(done);
+      next_background_ = draw_background(at);
+    }
+  }
+
+  Ticks busy_until_{0};
+  double busy_accum_{0.0};
+  std::size_t backlog_{0};
+  std::uint64_t max_backlog_{0};
+  bool overloaded_{false};
+  std::size_t threshold_{static_cast<std::size_t>(-1)};
+  std::uint64_t emit_sequence_{0};
+  std::priority_queue<Ticks, std::vector<Ticks>, std::greater<>> completions_;
+  Rng background_rng_{0};
+  double background_rate_per_tick_{0.0};
+  Ticks background_cost_{1};
+  Ticks background_horizon_{0};
+  Ticks next_background_{kNever};
+};
+
+}  // namespace gryphon

@@ -1,0 +1,602 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "common/mutex.h"
+#include "sim/broker_server.h"
+#include "sim/event_queue.h"
+
+namespace gryphon {
+namespace {
+
+constexpr Ticks kNoPending = std::numeric_limits<Ticks>::max();
+
+struct PartitionStats {
+  std::uint64_t broker_messages{0};
+  std::uint64_t client_messages{0};
+  std::uint64_t bytes_on_wire{0};
+  std::uint64_t total_matching_steps{0};
+  std::uint64_t deliveries{0};
+  Ticks latency_ticks{0};
+  Ticks end_time{0};
+  std::map<int, HopStats> per_hop;
+  std::vector<std::pair<std::uint32_t, ClientId>> delivered;  // oracle-selected only
+  std::unordered_set<std::uint64_t> link_copies;
+  std::uint64_t duplicate_link_copies{0};
+};
+
+struct Partition {
+  std::size_t begin{0};
+  std::size_t end{0};  // broker id range [begin, end)
+  EventQueue queue;
+  std::vector<BrokerServer> servers;  // indexed by broker - begin
+  Ticks local_min{kNoPending};
+  PartitionStats stats;
+  std::exception_ptr error;
+
+  Mutex inbox_mutex;
+  std::vector<Arrival> inbox GUARDED_BY(inbox_mutex);
+};
+
+struct RoundPlan {
+  Ticks horizon{0};
+  bool done{false};
+  bool aborted{false};
+  Ticks abort_time{0};
+};
+
+struct Decision {
+  std::uint64_t steps{0};
+  double extra_cost{0.0};
+  std::vector<std::pair<LinkIndex, SimMessage>> forwards;
+  std::vector<ClientId> local;
+};
+
+class EngineRun {
+ public:
+  EngineRun(SimInstance& inst, const std::vector<PublishRecord>& schedule)
+      : inst_(inst), schedule_(schedule) {}
+
+  SimResult run();
+
+ private:
+  void setup_partitions();
+  void inject_schedule();
+  void plan_round();
+  void drain_and_report(Partition& part);
+  void process_round(Partition& part);
+  void process(Partition& part, Arrival arrival);
+  void decide(Partition& part, BrokerId broker, SimMessage& msg, Decision& d);
+  void note_copy(Partition& part, std::uint32_t event_index, BrokerId broker, LinkIndex port);
+  [[nodiscard]] std::shared_ptr<const std::vector<std::uint32_t>> homes_for(
+      std::uint32_t event_index, BrokerId tree_root, std::uint64_t* live_steps);
+  void finalize(SimResult& result);
+  void verify(SimResult& result);
+
+  SimInstance& inst_;
+  const std::vector<PublishRecord>& schedule_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::vector<std::uint32_t> part_of_;
+  Ticks last_publish_{0};
+  Ticks deadline_{0};
+  Ticks lookahead_{kNoPending};
+  RoundPlan plan_;
+  std::size_t churn_next_{0};
+  std::uint64_t churn_subscribes_{0};
+  std::uint64_t churn_unsubscribes_{0};
+};
+
+void EngineRun::setup_partitions() {
+  const std::size_t brokers = inst_.topo.network.broker_count();
+  const std::size_t want = std::max<std::size_t>(1, inst_.spec.engine.threads);
+  const std::size_t count = std::min(want, brokers);
+  partitions_.clear();
+  part_of_.assign(brokers, 0);
+  const double ticks_per_second = 1e6 / kMicrosPerTick;
+  const double bg_rate_per_tick =
+      inst_.spec.costs.background_rate_per_broker / ticks_per_second;
+  const Ticks bg_cost = std::max<Ticks>(
+      1, static_cast<Ticks>(inst_.spec.costs.background_cost_ticks + 0.5));
+  const std::uint64_t bg_seed = sim_stream_seed(inst_.spec.seed, SimStream::kBackground);
+  for (std::size_t p = 0; p < count; ++p) {
+    auto part = std::make_unique<Partition>();
+    part->begin = brokers * p / count;
+    part->end = brokers * (p + 1) / count;
+    part->servers.resize(part->end - part->begin);
+    for (std::size_t b = part->begin; b < part->end; ++b) {
+      part_of_[b] = static_cast<std::uint32_t>(p);
+      BrokerServer& server = part->servers[b - part->begin];
+      server.set_overload_threshold(inst_.spec.limits.overload_backlog_threshold);
+      if (inst_.spec.costs.background_rate_per_broker > 0) {
+        std::uint64_t mix = bg_seed ^ (0x9e3779b97f4a7c15ULL * (b + 1));
+        server.configure_background(splitmix64(mix), bg_rate_per_tick, bg_cost,
+                                    last_publish_);
+      }
+    }
+    partitions_.push_back(std::move(part));
+  }
+
+  // Conservative lookahead: the smallest delay of any link that crosses a
+  // partition boundary (kNoPending when nothing crosses, i.e. one
+  // partition — the horizon is then bounded by deadline/churn only).
+  lookahead_ = kNoPending;
+  for (std::size_t b = 0; b < brokers; ++b) {
+    const BrokerId broker{static_cast<BrokerId::rep_type>(b)};
+    for (const auto& port : inst_.topo.network.ports(broker)) {
+      if (port.kind != BrokerNetwork::PortKind::kBroker) continue;
+      const auto peer = static_cast<std::size_t>(port.peer_broker.value);
+      if (part_of_[b] != part_of_[peer]) lookahead_ = std::min(lookahead_, port.delay);
+    }
+  }
+}
+
+void EngineRun::inject_schedule() {
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    const PublishRecord& record = schedule_[i];
+    if (record.event_index >= inst_.events.size()) {
+      throw std::invalid_argument("simulation: bad event index in schedule");
+    }
+    SimMessage msg;
+    msg.event_index = static_cast<std::uint32_t>(record.event_index);
+    msg.tree_root = record.broker;
+    msg.publish_time = record.time;
+    Arrival arrival{EventKey{record.time, 0, i}, record.broker, std::move(msg)};
+    partitions_[part_of_[static_cast<std::size_t>(record.broker.value)]]->queue.push(
+        std::move(arrival));
+  }
+}
+
+void EngineRun::plan_round() {
+  Ticks global_min = kNoPending;
+  for (const auto& part : partitions_) global_min = std::min(global_min, part->local_min);
+  if (global_min == kNoPending) {
+    plan_.done = true;
+    return;
+  }
+  while (churn_next_ < inst_.churn.size() && inst_.churn[churn_next_].time <= global_min) {
+    const ChurnOp& op = inst_.churn[churn_next_];
+    inst_.apply_churn_op(op);
+    if (op.subscribe) {
+      ++churn_subscribes_;
+    } else {
+      ++churn_unsubscribes_;
+    }
+    ++churn_next_;
+  }
+  if (global_min > deadline_) {
+    plan_.done = true;
+    plan_.aborted = true;
+    plan_.abort_time = global_min;
+    return;
+  }
+  Ticks horizon = lookahead_ >= kNoPending - global_min ? kNoPending - 1
+                                                        : global_min + lookahead_;
+  horizon = std::min(horizon, deadline_);
+  if (churn_next_ < inst_.churn.size()) {
+    horizon = std::min(horizon, inst_.churn[churn_next_].time - 1);
+  }
+  plan_.horizon = horizon;
+}
+
+void EngineRun::drain_and_report(Partition& part) {
+  {
+    MutexLock lock(part.inbox_mutex);
+    for (Arrival& arrival : part.inbox) part.queue.push(std::move(arrival));
+    part.inbox.clear();
+  }
+  part.local_min = part.queue.empty() ? kNoPending : part.queue.top().key.time;
+}
+
+void EngineRun::process_round(Partition& part) {
+  if (part.error) {
+    while (!part.queue.empty()) part.queue.pop();
+    return;
+  }
+  try {
+    while (!part.queue.empty() && part.queue.top().key.time <= plan_.horizon) {
+      process(part, part.queue.pop());
+    }
+  } catch (...) {
+    if (!part.error) part.error = std::current_exception();
+    while (!part.queue.empty()) part.queue.pop();  // fail fast, keep the barrier protocol
+  }
+}
+
+void EngineRun::note_copy(Partition& part, std::uint32_t event_index, BrokerId broker,
+                          LinkIndex port) {
+  if (!inst_.spec.verify.verify_single_copy_per_link) return;
+  const std::uint64_t key = (static_cast<std::uint64_t>(event_index) << 40) |
+                            (static_cast<std::uint64_t>(broker.value) << 16) |
+                            static_cast<std::uint64_t>(port.value);
+  if (!part.stats.link_copies.insert(key).second) ++part.stats.duplicate_link_copies;
+}
+
+std::shared_ptr<const std::vector<std::uint32_t>> EngineRun::homes_for(
+    std::uint32_t event_index, BrokerId tree_root, std::uint64_t* live_steps) {
+  if (!inst_.churn_enabled) {
+    return inst_.event_homes.at({event_index, tree_root.value});
+  }
+  // Under churn the match set is computed when the publication is processed,
+  // against the control-plane state of the current round.
+  MatchStats stats;
+  std::vector<SubscriptionId> subs;
+  inst_.matcher().match_into(inst_.events[event_index], subs, &stats);
+  *live_steps += stats.nodes_visited;
+  const SimInstance::TreeAux& aux = inst_.tree_aux.at(tree_root);
+  auto homes = std::make_shared<std::vector<std::uint32_t>>();
+  homes->reserve(subs.size());
+  for (const SubscriptionId id : subs) {
+    const ClientId dest = inst_.destination_of(id);
+    const BrokerId home = inst_.topo.network.client_home(dest);
+    homes->push_back(aux.pre[static_cast<std::size_t>(home.value)]);
+  }
+  std::sort(homes->begin(), homes->end());
+  homes->erase(std::unique(homes->begin(), homes->end()), homes->end());
+  return homes;
+}
+
+void EngineRun::decide(Partition& part, BrokerId broker, SimMessage& msg, Decision& d) {
+  const Event& event = inst_.events[msg.event_index];
+  const auto b = static_cast<std::size_t>(broker.value);
+  const CostSpec& costs = inst_.spec.costs;
+
+  switch (inst_.spec.protocol) {
+    case Protocol::kLinkMatching: {
+      if (!inst_.aggregate) {
+        const auto route = inst_.crn->route(broker, event, msg.tree_root);
+        d.steps = route.steps;
+        const auto& ports = inst_.topo.network.ports(broker);
+        for (const LinkIndex link : route.links) {
+          const auto& port = ports[static_cast<std::size_t>(link.value)];
+          if (port.kind == BrokerNetwork::PortKind::kClient) {
+            d.local.push_back(port.peer_client);
+          } else {
+            d.forwards.emplace_back(link, msg);
+          }
+        }
+        break;
+      }
+      // Aggregate: forwarding from subtree membership of the matched homes.
+      if (msg.hops == 1) {
+        if (!inst_.churn_enabled) d.steps += inst_.event_match_steps[msg.event_index];
+        msg.homes = homes_for(msg.event_index, msg.tree_root, &d.steps);
+      }
+      const SimInstance::TreeAux& aux = inst_.tree_aux.at(msg.tree_root);
+      const std::vector<std::uint32_t>& homes = *msg.homes;
+      const auto& children = aux.children_ports[b];
+      d.steps += static_cast<std::uint64_t>(
+          costs.aggregate_probe_steps * static_cast<double>(children.size() + 1) + 0.5);
+      if (std::binary_search(homes.begin(), homes.end(), aux.pre[b])) {
+        MatchStats stats;
+        std::vector<SubscriptionId> matched;
+        inst_.local_matchers[b]->match_into(event, matched, &stats);
+        d.steps += stats.nodes_visited;
+        for (const SubscriptionId id : matched) d.local.push_back(inst_.destination_of(id));
+        std::sort(d.local.begin(), d.local.end());
+        d.local.erase(std::unique(d.local.begin(), d.local.end()), d.local.end());
+      }
+      for (const auto& [child, port] : children) {
+        const auto c = static_cast<std::size_t>(child.value);
+        const auto it = std::lower_bound(homes.begin(), homes.end(), aux.pre[c]);
+        if (it != homes.end() && *it < aux.post[c]) d.forwards.emplace_back(port, msg);
+      }
+      break;
+    }
+    case Protocol::kFlooding: {
+      MatchStats stats;
+      std::vector<SubscriptionId> matched;
+      inst_.local_matchers[b]->match_into(event, matched, &stats);
+      d.steps = stats.nodes_visited;
+      for (const SubscriptionId id : matched) d.local.push_back(inst_.destination_of(id));
+      std::sort(d.local.begin(), d.local.end());
+      d.local.erase(std::unique(d.local.begin(), d.local.end()), d.local.end());
+      const SimInstance::TreeAux& aux = inst_.tree_aux.at(msg.tree_root);
+      for (const auto& [child, port] : aux.children_ports[b]) {
+        (void)child;
+        d.forwards.emplace_back(port, msg);
+      }
+      break;
+    }
+    case Protocol::kMatchFirst: {
+      if (msg.hops == 1) {
+        // The publisher's broker computes and carries the full destination
+        // list; it pays the centralized matching cost.
+        if (!inst_.churn_enabled) {
+          d.steps = inst_.event_match_steps[msg.event_index];
+          msg.dests = inst_.event_dests[msg.event_index];
+        } else {
+          MatchStats stats;
+          std::vector<SubscriptionId> subs;
+          inst_.matcher().match_into(event, subs, &stats);
+          d.steps = stats.nodes_visited;
+          msg.dests.clear();
+          msg.dests.reserve(subs.size());
+          for (const SubscriptionId id : subs) msg.dests.push_back(inst_.destination_of(id));
+          std::sort(msg.dests.begin(), msg.dests.end());
+          msg.dests.erase(std::unique(msg.dests.begin(), msg.dests.end()), msg.dests.end());
+        }
+      } else {
+        d.extra_cost +=
+            costs.per_destination_cost_ticks * static_cast<double>(msg.dests.size());
+      }
+      // Split the destination list by next hop (ordered map: the forward
+      // emission order is part of the deterministic event order).
+      std::map<LinkIndex::rep_type, std::vector<ClientId>> split;
+      const RoutingTable& routing = inst_.routing_table();
+      for (const ClientId dest : msg.dests) {
+        if (inst_.topo.network.client_home(dest) == broker) {
+          d.local.push_back(dest);
+        } else {
+          split[routing.next_hop_to_client(broker, dest).value].push_back(dest);
+        }
+      }
+      for (auto& [link_value, dests] : split) {
+        SimMessage fwd = msg;
+        fwd.dests = std::move(dests);
+        d.forwards.emplace_back(LinkIndex{link_value}, std::move(fwd));
+      }
+      break;
+    }
+  }
+  (void)part;
+}
+
+void EngineRun::process(Partition& part, Arrival arrival) {
+  const auto b = static_cast<std::size_t>(arrival.broker.value);
+  BrokerServer& server = part.servers[b - part.begin];
+  const Ticks now = arrival.key.time;
+  server.admit(now);
+
+  SimMessage msg = std::move(arrival.message);
+  ++msg.hops;
+
+  Decision d;
+  decide(part, arrival.broker, msg, d);
+
+  const CostSpec& costs = inst_.spec.costs;
+  const double cost = costs.base_cost_ticks +
+                      costs.step_cost_ticks * static_cast<double>(d.steps) +
+                      costs.send_cost_ticks *
+                          static_cast<double>(d.forwards.size() + d.local.size()) +
+                      d.extra_cost;
+  const Ticks done = server.serve(now, cost);
+  part.stats.end_time = std::max(part.stats.end_time, done);
+  part.stats.total_matching_steps += d.steps;
+  msg.steps_acc += d.steps;
+
+  const auto& ports = inst_.topo.network.ports(arrival.broker);
+  for (auto& [link, fwd] : d.forwards) {
+    const auto& port = ports[static_cast<std::size_t>(link.value)];
+    fwd.steps_acc = msg.steps_acc;
+    note_copy(part, msg.event_index, arrival.broker, link);
+    part.stats.broker_messages += 1;
+    part.stats.bytes_on_wire += inst_.event_payload_bytes + 8 * fwd.dests.size();
+    const Ticks at = inst_.channels[b][static_cast<std::size_t>(link.value)].deliver_at(done);
+    Arrival out{EventKey{at, static_cast<std::uint32_t>(b) + 1, server.next_emit_sequence()},
+                port.peer_broker, std::move(fwd)};
+    const std::uint32_t target = part_of_[static_cast<std::size_t>(port.peer_broker.value)];
+    Partition& dest = *partitions_[target];
+    if (&dest == &part) {
+      part.queue.push(std::move(out));
+    } else {
+      MutexLock lock(dest.inbox_mutex);
+      dest.inbox.push_back(std::move(out));
+    }
+  }
+
+  const bool track = !inst_.oracle_selected.empty() &&
+                     inst_.oracle_selected[msg.event_index] != 0;
+  for (const ClientId client : d.local) {
+    note_copy(part, msg.event_index, arrival.broker, inst_.topo.network.client_port(client));
+    part.stats.client_messages += 1;
+    part.stats.bytes_on_wire += inst_.event_payload_bytes;
+    part.stats.deliveries += 1;
+    const Ticks at = done + inst_.topo.network.client_delay(client);
+    part.stats.latency_ticks += at - msg.publish_time;
+    HopStats& hop = part.stats.per_hop[msg.hops];
+    ++hop.deliveries;
+    hop.cumulative_steps += msg.steps_acc;
+    if (track) part.stats.delivered.emplace_back(msg.event_index, client);
+  }
+}
+
+void EngineRun::verify(SimResult& result) {
+  if (!inst_.spec.verify.verify_deliveries || inst_.oracle_fraction <= 0.0) return;
+  std::vector<std::pair<std::uint32_t, ClientId>> delivered;
+  for (const auto& part : partitions_) {
+    delivered.insert(delivered.end(), part->stats.delivered.begin(),
+                     part->stats.delivered.end());
+  }
+  std::sort(delivered.begin(), delivered.end());
+
+  std::vector<char> published(inst_.events.size(), 0);
+  for (const PublishRecord& record : schedule_) published[record.event_index] = 1;
+
+  std::size_t i = 0;
+  for (std::size_t e = 0; e < inst_.events.size(); ++e) {
+    if (published[e] == 0 || inst_.oracle_selected[e] == 0) continue;
+    // Collect this event's delivered clients from the sorted sample list.
+    while (i < delivered.size() && delivered[i].first < e) ++i;
+    std::vector<ClientId> got;
+    while (i < delivered.size() && delivered[i].first == e) {
+      got.push_back(delivered[i].second);
+      ++i;
+    }
+    for (std::size_t g = 1; g < got.size(); ++g) {
+      if (got[g] == got[g - 1]) ++result.duplicate_deliveries;
+    }
+    got.erase(std::unique(got.begin(), got.end()), got.end());
+    const std::vector<ClientId>& want = inst_.event_dests[e];
+    std::size_t gi = 0, wi = 0;
+    while (gi < got.size() || wi < want.size()) {
+      if (gi == got.size()) {
+        ++result.missing_deliveries;
+        ++wi;
+      } else if (wi == want.size()) {
+        ++result.spurious_deliveries;
+        ++gi;
+      } else if (got[gi] == want[wi]) {
+        ++gi;
+        ++wi;
+      } else if (got[gi] < want[wi]) {
+        ++result.spurious_deliveries;
+        ++gi;
+      } else {
+        ++result.missing_deliveries;
+        ++wi;
+      }
+    }
+  }
+  if (!result.drained) {
+    // An aborted run inevitably misses deliveries; make the count honest
+    // even when sampling happened to pick fully-delivered events.
+    result.missing_deliveries = std::max<std::uint64_t>(result.missing_deliveries, 1);
+  }
+}
+
+void EngineRun::finalize(SimResult& result) {
+  for (const auto& part : partitions_) {
+    const PartitionStats& s = part->stats;
+    result.broker_messages += s.broker_messages;
+    result.client_messages += s.client_messages;
+    result.bytes_on_wire += s.bytes_on_wire;
+    result.total_matching_steps += s.total_matching_steps;
+    result.deliveries += s.deliveries;
+    result.latency_ticks += s.latency_ticks;
+    result.end_time = std::max(result.end_time, s.end_time);
+    result.duplicate_link_copies += s.duplicate_link_copies;
+    for (const auto& [hops, stats] : s.per_hop) {
+      HopStats& hop = result.per_hop[hops];
+      hop.deliveries += stats.deliveries;
+      hop.cumulative_steps += stats.cumulative_steps;
+    }
+    for (const BrokerServer& server : part->servers) {
+      result.max_backlog = std::max(result.max_backlog, server.max_backlog());
+      if (server.overloaded()) result.overloaded = true;
+    }
+  }
+  if (plan_.aborted) {
+    result.overloaded = true;
+    result.drained = false;
+    result.end_time = plan_.abort_time;
+  }
+  const double window = static_cast<double>(std::max<Ticks>(1, last_publish_));
+  for (const auto& part : partitions_) {
+    for (const BrokerServer& server : part->servers) {
+      result.max_utilization = std::max(result.max_utilization, server.busy_accum() / window);
+    }
+  }
+  verify(result);
+  if (result.deliveries > 0) {
+    result.mean_delivery_latency_ms =
+        ticks_to_millis(result.latency_ticks) / static_cast<double>(result.deliveries);
+  }
+  result.churn_subscribes = churn_subscribes_;
+  result.churn_unsubscribes = churn_unsubscribes_;
+}
+
+SimResult EngineRun::run() {
+  SimResult result;
+  result.protocol = inst_.spec.protocol;
+  result.events_published = schedule_.size();
+  result.engine_threads = std::max<std::size_t>(1, inst_.spec.engine.threads);
+  result.control_plane = inst_.aggregate ? "aggregate" : "exact";
+  result.steps_exact = !(inst_.aggregate && inst_.spec.protocol == Protocol::kLinkMatching);
+  result.subscriptions = inst_.subscriptions.size();
+  result.broker_count = inst_.topo.network.broker_count();
+  result.oracle_sampled_fraction = inst_.oracle_fraction;
+  result.oracle_events_verified = inst_.oracle_events;
+  result.centralized_steps = inst_.centralized_steps;
+  result.link_outages = inst_.link_outages;
+  if (schedule_.empty()) return result;
+
+  if (inst_.spec.verify.verify_single_copy_per_link) {
+    if (inst_.events.size() >= (1ULL << 24) ||
+        inst_.topo.network.broker_count() >= (1ULL << 24)) {
+      throw std::invalid_argument(
+          "simulation: verify_single_copy_per_link supports < 2^24 events/brokers");
+    }
+  }
+
+  last_publish_ = 0;
+  for (const PublishRecord& record : schedule_) {
+    last_publish_ = std::max(last_publish_, record.time);
+  }
+  deadline_ = last_publish_ + inst_.spec.limits.drain_limit;
+
+  setup_partitions();
+  inject_schedule();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t count = partitions_.size();
+  if (count == 1) {
+    Partition& part = *partitions_[0];
+    while (true) {
+      drain_and_report(part);
+      plan_round();
+      if (plan_.done) break;
+      process_round(part);
+    }
+    if (!plan_.aborted) {
+      for (BrokerServer& server : part.servers) server.finish_background();
+    }
+  } else {
+    bool plan_phase = true;
+    std::barrier sync(static_cast<std::ptrdiff_t>(count), [this, &plan_phase]() noexcept {
+      if (plan_phase) plan_round();
+      plan_phase = !plan_phase;
+    });
+    std::vector<std::thread> workers;
+    workers.reserve(count);
+    for (std::size_t p = 0; p < count; ++p) {
+      workers.emplace_back([this, &sync, p]() {
+        Partition& part = *partitions_[p];
+        while (true) {
+          drain_and_report(part);
+          sync.arrive_and_wait();
+          if (plan_.done) break;
+          process_round(part);
+          sync.arrive_and_wait();
+        }
+        if (!plan_.aborted) {
+          for (BrokerServer& server : part.servers) server.finish_background();
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  for (const auto& part : partitions_) {
+    if (part->error) std::rethrow_exception(part->error);
+  }
+  finalize(result);
+  return result;
+}
+
+}  // namespace
+
+SimResult run_engine(SimInstance& inst, const std::vector<PublishRecord>& schedule) {
+  EngineRun engine(inst, schedule);
+  SimResult result;
+  try {
+    result = engine.run();
+  } catch (...) {
+    inst.rollback_churn();
+    throw;
+  }
+  inst.rollback_churn();
+  return result;
+}
+
+}  // namespace gryphon

@@ -1,0 +1,86 @@
+// The simulator's pending-event structure (the netsim decomposition: an
+// explicit event queue feeding per-broker servers over link channels).
+//
+// Ordering is the load-bearing part. Arrivals are keyed by
+// (time, source, per-source sequence): the source is the emitting broker
+// (0 for scheduled publications) and the sequence is that source's local
+// emission counter. Both are computable by whichever worker thread emits
+// the arrival, without any global coordination — unlike the classic single
+// global `seq++` tiebreak — so the serial engine and every parallel
+// partitioning pop arrivals in exactly the same total order and produce
+// bit-identical results.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace gryphon {
+
+/// Deterministic total order over arrivals.
+struct EventKey {
+  Ticks time{0};
+  /// Emitting broker id + 1; 0 for scheduled publications.
+  std::uint32_t source{0};
+  /// The source's local emission counter (schedule index for publications).
+  std::uint64_t sequence{0};
+
+  friend constexpr bool operator<(const EventKey& a, const EventKey& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.source != b.source) return a.source < b.source;
+    return a.sequence < b.sequence;
+  }
+  friend constexpr bool operator>(const EventKey& a, const EventKey& b) { return b < a; }
+};
+
+/// An event copy in flight toward a broker.
+struct SimMessage {
+  std::uint32_t event_index{0};
+  BrokerId tree_root;
+  int hops{0};                  // brokers visited once the receiver processes it
+  std::uint64_t steps_acc{0};   // matching steps accumulated upstream
+  Ticks publish_time{0};
+  std::vector<ClientId> dests;  // match-first only: the carried destination list
+  /// Aggregate link matching only: the event's matched home brokers as
+  /// sorted DFS indices of its spanning tree. A simulator-side accelerator
+  /// (the real protocol derives this from trit state hop by hop) — shared,
+  /// not copied, and never counted as wire bytes.
+  std::shared_ptr<const std::vector<std::uint32_t>> homes;
+};
+
+struct Arrival {
+  EventKey key;
+  BrokerId broker;  // receiving broker
+  SimMessage message;
+
+  friend bool operator>(const Arrival& a, const Arrival& b) { return a.key > b.key; }
+};
+
+/// Min-heap of pending arrivals for one partition of the broker set.
+class EventQueue {
+ public:
+  void push(Arrival arrival) {
+    heap_.push_back(std::move(arrival));
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] const Arrival& top() const { return heap_.front(); }
+
+  Arrival pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    Arrival out = std::move(heap_.back());
+    heap_.pop_back();
+    return out;
+  }
+
+ private:
+  std::vector<Arrival> heap_;
+};
+
+}  // namespace gryphon

@@ -1,0 +1,51 @@
+// Link channels: the delay (and availability) model between two brokers.
+//
+// A channel owns its propagation delay and an optional precomputed list of
+// [down, up) outage intervals drawn from the spec's link-fault sub-stream.
+// deliver_at() is a pure function of the send time: a frame sent while the
+// link is down is held and released when the link heals (the PR 4 reliable
+// session never loses frames, it retransmits them after reconnect), so
+// arrival_time >= send_time + delay always holds. That monotonicity is what
+// keeps the conservative lookahead of the parallel engine valid even with
+// link dynamics enabled — outages only push arrivals later.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace gryphon {
+
+class LinkChannel {
+ public:
+  LinkChannel() = default;
+  LinkChannel(Ticks delay, const std::vector<std::pair<Ticks, Ticks>>* outages)
+      : delay_(delay), outages_(outages) {}
+
+  [[nodiscard]] Ticks delay() const { return delay_; }
+
+  /// Arrival time at the far end for a frame handed to the link at `send`.
+  [[nodiscard]] Ticks deliver_at(Ticks send) const {
+    Ticks depart = send;
+    if (outages_ != nullptr && !outages_->empty()) {
+      // Find the last outage starting at or before `send`; if it is still
+      // in progress the frame departs at the heal time.
+      auto it = std::upper_bound(
+          outages_->begin(), outages_->end(), send,
+          [](Ticks t, const std::pair<Ticks, Ticks>& o) { return t < o.first; });
+      if (it != outages_->begin()) {
+        --it;
+        if (send < it->second) depart = it->second;
+      }
+    }
+    return depart + delay_;
+  }
+
+ private:
+  Ticks delay_{0};
+  const std::vector<std::pair<Ticks, Ticks>>* outages_{nullptr};
+};
+
+}  // namespace gryphon

@@ -1,0 +1,89 @@
+#include "sim/sim_spec.h"
+
+#include <stdexcept>
+
+namespace gryphon {
+
+const char* to_string(Protocol protocol) noexcept {
+  switch (protocol) {
+    case Protocol::kLinkMatching: return "link-matching";
+    case Protocol::kFlooding: return "flooding";
+    case Protocol::kMatchFirst: return "match-first";
+  }
+  return "?";
+}
+
+const char* to_string(TopologyKind kind) noexcept {
+  switch (kind) {
+    case TopologyKind::kFigure6: return "figure6";
+    case TopologyKind::kLine: return "line";
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kRandomTree: return "random-tree";
+    case TopologyKind::kFatTree: return "fat-tree";
+    case TopologyKind::kWaxman: return "waxman";
+    case TopologyKind::kWan: return "wan";
+  }
+  return "?";
+}
+
+std::uint64_t sim_stream_seed(std::uint64_t seed, SimStream stream) noexcept {
+  std::uint64_t state = seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(stream);
+  (void)splitmix64(state);
+  return splitmix64(state);
+}
+
+GeneratedTopology build_topology(const TopologySpec& topology, std::uint64_t seed) {
+  const std::uint64_t topo_seed = sim_stream_seed(seed, SimStream::kTopology);
+  switch (topology.kind) {
+    case TopologyKind::kFigure6: {
+      Figure6Topology fig = make_figure6(topology.figure6);
+      GeneratedTopology out;
+      out.network = std::move(fig.network);
+      out.region_of = std::move(fig.region_of);
+      out.region_count = 3;
+      out.subscribers = std::move(fig.subscribers);
+      out.default_publishers = std::move(fig.publisher_brokers);
+      for (std::size_t b = 0; b < out.network.broker_count(); ++b) {
+        const BrokerId id{static_cast<BrokerId::rep_type>(b)};
+        if (!out.network.clients_of(id).empty()) out.edge_brokers.push_back(id);
+      }
+      return out;
+    }
+    case TopologyKind::kLine:
+    case TopologyKind::kStar:
+    case TopologyKind::kRandomTree: {
+      const Ticks min_delay = std::max<Ticks>(1, ticks_from_millis(topology.min_delay_ms));
+      const Ticks max_delay = std::max(min_delay, ticks_from_millis(topology.max_delay_ms));
+      const Ticks client_delay = ticks_from_millis(topology.client_delay_ms);
+      GeneratedTopology out;
+      if (topology.kind == TopologyKind::kLine) {
+        out.network = make_line(topology.brokers, min_delay, topology.clients_per_broker,
+                                client_delay);
+      } else if (topology.kind == TopologyKind::kStar) {
+        out.network = make_star(topology.brokers, min_delay, topology.clients_per_broker,
+                                client_delay);
+      } else {
+        Rng rng(topo_seed);
+        out.network =
+            make_random_tree_like(topology.brokers, rng, min_delay, max_delay,
+                                  topology.clients_per_broker, client_delay,
+                                  topology.extra_links);
+      }
+      out.region_of.assign(out.network.broker_count(), 0);
+      out.region_count = 1;
+      for (std::size_t b = 0; b < out.network.broker_count(); ++b) {
+        const BrokerId id{static_cast<BrokerId::rep_type>(b)};
+        const auto& clients = out.network.clients_of(id);
+        if (!clients.empty()) out.edge_brokers.push_back(id);
+        out.subscribers.insert(out.subscribers.end(), clients.begin(), clients.end());
+      }
+      return out;
+    }
+    case TopologyKind::kFatTree: return make_fat_tree(topology.fat_tree);
+    case TopologyKind::kWaxman: return make_waxman(topology.waxman, topo_seed);
+    case TopologyKind::kWan: return make_wan(topology.wan, topo_seed);
+  }
+  throw std::invalid_argument("build_topology: unknown topology kind");
+}
+
+}  // namespace gryphon

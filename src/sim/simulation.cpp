@@ -1,373 +1,576 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
-#include <queue>
+#include <limits>
+#include <map>
 #include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
+
+#include "common/zipf.h"
+#include "sim/engine.h"
+#include "sim/sim_instance.h"
+#include "workload/arrivals.h"
 
 namespace gryphon {
-
-const char* to_string(Protocol protocol) noexcept {
-  switch (protocol) {
-    case Protocol::kLinkMatching: return "link-matching";
-    case Protocol::kFlooding: return "flooding";
-    case Protocol::kMatchFirst: return "match-first";
-  }
-  return "?";
-}
-
 namespace {
 
-struct SimMessage {
-  std::size_t event_index{0};
-  BrokerId tree_root;
-  int hops{0};                  // brokers visited once this broker processes it
-  std::uint64_t steps_acc{0};   // matching steps accumulated upstream
-  Ticks publish_time{0};
-  std::vector<ClientId> dests;  // match-first only
-};
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
 
-struct QueueEntry {
-  Ticks time{0};
-  std::uint64_t seq{0};
-  enum class Kind : std::uint8_t { kArrival, kCompletion, kBackground } kind{Kind::kArrival};
-  BrokerId broker;
-  SimMessage message;
-
-  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
-
-}  // namespace
-
-BrokerSimulation::BrokerSimulation(const BrokerNetwork& network, SchemaPtr schema,
-                                   std::vector<BrokerId> publisher_brokers,
-                                   const std::vector<SimSubscription>& subscriptions,
-                                   PstMatcherOptions matcher_options, SimConfig config)
-    : network_(&network),
-      schema_(std::move(schema)),
-      publisher_brokers_(std::move(publisher_brokers)),
-      config_(config) {
-  crn_ = std::make_unique<ContentRoutingNetwork>(network, schema_, publisher_brokers_,
-                                                 matcher_options);
-  for (const SimSubscription& s : subscriptions) {
-    crn_->subscribe(s.id, s.subscription, s.subscriber);
-  }
-  if (config_.protocol == Protocol::kFlooding) {
-    local_matchers_.resize(network.broker_count());
-    for (std::size_t b = 0; b < network.broker_count(); ++b) {
-      local_matchers_[b] = std::make_unique<PstMatcher>(schema_, matcher_options);
-    }
-    for (const SimSubscription& s : subscriptions) {
-      const BrokerId home = network.client_home(s.subscriber);
-      local_matchers_[static_cast<std::size_t>(home.value)]->add(s.id, s.subscription);
-    }
-  }
-  // Rough wire size of one event: 8 bytes per attribute plus a frame header.
-  event_payload_bytes_ = schema_->attribute_count() * 8 + 16;
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t label) {
+  std::uint64_t state = seed ^ (kGolden * (label + 1));
+  return splitmix64(state);
 }
 
-SimResult BrokerSimulation::run(const std::vector<Event>& events,
-                                const std::vector<PublishRecord>& schedule) {
-  SimResult result;
-  result.protocol = config_.protocol;
-  result.events_published = schedule.size();
-  if (schedule.empty()) return result;
-
-  const std::size_t broker_count = network_->broker_count();
-
-  // Expected destination set per event (centralized matching ground truth).
-  std::vector<std::vector<ClientId>> expected(events.size());
-  std::vector<std::vector<ClientId>> match_first_dests(events.size());
-  for (std::size_t e = 0; e < events.size(); ++e) {
-    MatchStats stats;
-    const auto subs = crn_->match(events[e], &stats);
-    result.centralized_steps += stats.nodes_visited;
-    std::vector<ClientId> dests;
-    dests.reserve(subs.size());
-    for (const SubscriptionId id : subs) dests.push_back(crn_->destination_of(id));
-    std::sort(dests.begin(), dests.end());
-    dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
-    expected[e] = dests;
-    if (config_.protocol == Protocol::kMatchFirst) match_first_dests[e] = dests;
-  }
-
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
-  std::uint64_t seq = 0;
-
-  Ticks last_publish = 0;
-  for (const PublishRecord& record : schedule) {
-    if (record.event_index >= events.size()) {
-      throw std::invalid_argument("BrokerSimulation::run: bad event index in schedule");
-    }
-    SimMessage msg;
-    msg.event_index = record.event_index;
-    msg.tree_root = record.broker;
-    msg.hops = 0;
-    msg.publish_time = record.time;
-    if (config_.protocol == Protocol::kMatchFirst) {
-      msg.dests = match_first_dests[record.event_index];
-    }
-    queue.push(QueueEntry{record.time, seq++, QueueEntry::Kind::kArrival, record.broker,
-                          std::move(msg)});
-    last_publish = std::max(last_publish, record.time);
-  }
-  const Ticks deadline = last_publish + config_.drain_limit;
-
-  // Background publishers: untracked messages that only burn broker CPU.
-  if (config_.background_rate_per_broker > 0) {
-    Rng bg_rng(config_.background_seed);
-    const double ticks_per_second = 1e6 / kMicrosPerTick;
-    const double rate_per_tick = config_.background_rate_per_broker / ticks_per_second;
-    for (std::size_t b = 0; b < broker_count; ++b) {
-      Ticks t = 0;
-      while (true) {
-        t += std::max<Ticks>(1, static_cast<Ticks>(bg_rng.exponential(rate_per_tick)));
-        if (t > last_publish) break;
-        queue.push(QueueEntry{t, seq++, QueueEntry::Kind::kBackground,
-                              BrokerId{static_cast<BrokerId::rep_type>(b)}, {}});
-      }
-    }
-  }
-
-  std::vector<Ticks> busy_until(broker_count, 0);
-  std::vector<double> busy_accum(broker_count, 0.0);
-  std::vector<std::size_t> backlog(broker_count, 0);
-
-  // Delivered clients per event (sorted later for verification).
-  std::vector<std::vector<ClientId>> delivered(events.size());
-  std::unordered_set<std::uint64_t> link_copies;  // (event, broker, port) keys
-
-  double latency_sum_ms = 0.0;
-
-  const auto deliver = [&](const SimMessage& msg, ClientId client, Ticks at) {
-    ++result.deliveries;
-    delivered[msg.event_index].push_back(client);
-    latency_sum_ms += ticks_to_millis(at - msg.publish_time);
-    auto& hop = result.per_hop[msg.hops];
-    ++hop.deliveries;
-    hop.cumulative_steps += msg.steps_acc;
-  };
-
-  const auto note_copy = [&](const SimMessage& msg, BrokerId broker, LinkIndex port) {
-    if (!config_.verify_single_copy_per_link) return;
-    const std::uint64_t key = (static_cast<std::uint64_t>(msg.event_index) << 24) ^
-                              (static_cast<std::uint64_t>(broker.value) << 8) ^
-                              static_cast<std::uint64_t>(port.value);
-    if (!link_copies.insert(key).second) ++result.duplicate_link_copies;
-  };
-
-  while (!queue.empty()) {
-    QueueEntry entry = queue.top();
-    queue.pop();
-    const std::size_t b = static_cast<std::size_t>(entry.broker.value);
-
-    if (entry.kind == QueueEntry::Kind::kCompletion) {
-      --backlog[b];
-      continue;
-    }
-    if (entry.time > deadline) {
-      result.overloaded = true;
-      result.drained = false;
-      result.end_time = entry.time;
-      break;
-    }
-
-    ++backlog[b];
-    result.max_backlog = std::max<std::uint64_t>(result.max_backlog, backlog[b]);
-    if (backlog[b] >= config_.overload_backlog_threshold) result.overloaded = true;
-
-    if (entry.kind == QueueEntry::Kind::kBackground) {
-      const Ticks start = std::max(entry.time, busy_until[b]);
-      const Ticks done =
-          start + std::max<Ticks>(1, static_cast<Ticks>(config_.background_cost_ticks + 0.5));
-      busy_until[b] = done;
-      busy_accum[b] += static_cast<double>(done - start);
-      queue.push(QueueEntry{done, seq++, QueueEntry::Kind::kCompletion, entry.broker, {}});
-      continue;
-    }
-
-    SimMessage msg = std::move(entry.message);
-    ++msg.hops;
-
-    // Decide forwarding and compute the CPU cost of this message.
-    double cost = config_.base_cost_ticks;
-    std::vector<std::pair<LinkIndex, SimMessage>> forwards;
-    std::vector<ClientId> local_deliveries;
-    std::uint64_t steps_here = 0;
-    const Event& event = events[msg.event_index];
-    const auto& ports = network_->ports(entry.broker);
-
-    switch (config_.protocol) {
-      case Protocol::kLinkMatching: {
-        const auto route = crn_->route(entry.broker, event, msg.tree_root);
-        steps_here = route.steps;
-        for (const LinkIndex link : route.links) {
-          const auto& port = ports[static_cast<std::size_t>(link.value)];
-          if (port.kind == BrokerNetwork::PortKind::kClient) {
-            local_deliveries.push_back(port.peer_client);
-          } else {
-            SimMessage fwd = msg;
-            fwd.steps_acc += steps_here;
-            forwards.emplace_back(link, std::move(fwd));
-          }
-        }
-        break;
-      }
-      case Protocol::kFlooding: {
-        const PstMatcher& local = *local_matchers_[b];
-        std::vector<SubscriptionId> matched;
-        MatchStats stats;
-        local.match_into(event, matched, &stats);
-        steps_here = stats.nodes_visited;
-        for (const SubscriptionId id : matched) {
-          local_deliveries.push_back(crn_->destination_of(id));
-        }
-        std::sort(local_deliveries.begin(), local_deliveries.end());
-        local_deliveries.erase(std::unique(local_deliveries.begin(), local_deliveries.end()),
-                               local_deliveries.end());
-        const SpanningTree& tree = crn_->spanning_tree(msg.tree_root);
-        for (const BrokerId child : tree.children(entry.broker)) {
-          SimMessage fwd = msg;
-          fwd.steps_acc += steps_here;
-          fwd.dests.clear();
-          forwards.emplace_back(network_->port_to_broker(entry.broker, child), std::move(fwd));
-        }
-        break;
-      }
-      case Protocol::kMatchFirst: {
-        if (msg.hops == 1) {
-          // The publisher's broker already carries the full destination
-          // list; it paid the centralized matching cost.
-          MatchStats stats;
-          std::vector<SubscriptionId> scratch;
-          crn_->matcher().match_into(event, scratch, &stats);
-          steps_here = stats.nodes_visited;
-        } else {
-          cost += config_.per_destination_cost_ticks * static_cast<double>(msg.dests.size());
-        }
-        // Split the destination list by next hop.
-        std::unordered_map<LinkIndex::rep_type, std::vector<ClientId>> split;
-        for (const ClientId dest : msg.dests) {
-          if (network_->client_home(dest) == entry.broker) {
-            local_deliveries.push_back(dest);
-          } else {
-            const LinkIndex hop = crn_->routing().next_hop_to_client(entry.broker, dest);
-            split[hop.value].push_back(dest);
-          }
-        }
-        for (auto& [link_value, dests] : split) {
-          SimMessage fwd = msg;
-          fwd.steps_acc += steps_here;
-          fwd.dests = std::move(dests);
-          forwards.emplace_back(LinkIndex{link_value}, std::move(fwd));
-        }
-        break;
-      }
-    }
-    result.total_matching_steps += steps_here;
-    cost += config_.step_cost_ticks * static_cast<double>(steps_here);
-    cost += config_.send_cost_ticks *
-            static_cast<double>(forwards.size() + local_deliveries.size());
-
-    const Ticks start = std::max(entry.time, busy_until[b]);
-    const Ticks done = start + std::max<Ticks>(1, static_cast<Ticks>(cost + 0.5));
-    busy_until[b] = done;
-    busy_accum[b] += static_cast<double>(done - start);
-    result.end_time = std::max(result.end_time, done);
-    queue.push(QueueEntry{done, seq++, QueueEntry::Kind::kCompletion, entry.broker, {}});
-
-    msg.steps_acc += steps_here;
-
-    for (auto& [link, fwd] : forwards) {
-      const auto& port = ports[static_cast<std::size_t>(link.value)];
-      note_copy(fwd, entry.broker, link);
-      result.broker_messages += 1;
-      result.bytes_on_wire += event_payload_bytes_ + 8 * fwd.dests.size();
-      queue.push(QueueEntry{done + port.delay, seq++, QueueEntry::Kind::kArrival,
-                            port.peer_broker, std::move(fwd)});
-    }
-    for (const ClientId client : local_deliveries) {
-      const LinkIndex port_index = network_->client_port(client);
-      note_copy(msg, entry.broker, port_index);
-      result.client_messages += 1;
-      result.bytes_on_wire += event_payload_bytes_;
-      deliver(msg, client, done + network_->client_delay(client));
-    }
-  }
-
-  // Verification against centralized matching (scheduled events only — the
-  // event list may contain entries no schedule row published).
-  std::vector<bool> published(events.size(), false);
-  for (const PublishRecord& record : schedule) published[record.event_index] = true;
-  if (config_.verify_deliveries) {
-    for (std::size_t e = 0; e < events.size(); ++e) {
-      if (!published[e]) continue;
-      auto& got = delivered[e];
-      std::sort(got.begin(), got.end());
-      for (std::size_t i = 1; i < got.size(); ++i) {
-        if (got[i] == got[i - 1]) ++result.duplicate_deliveries;
-      }
-      got.erase(std::unique(got.begin(), got.end()), got.end());
-      const auto& want = expected[e];
-      std::size_t gi = 0, wi = 0;
-      while (gi < got.size() || wi < want.size()) {
-        if (gi == got.size()) {
-          ++result.missing_deliveries;
-          ++wi;
-        } else if (wi == want.size()) {
-          ++result.spurious_deliveries;
-          ++gi;
-        } else if (got[gi] == want[wi]) {
-          ++gi;
-          ++wi;
-        } else if (got[gi] < want[wi]) {
-          ++result.spurious_deliveries;
-          ++gi;
-        } else {
-          ++result.missing_deliveries;
-          ++wi;
-        }
-      }
-    }
-    if (!result.drained) {
-      // An aborted run inevitably misses deliveries; they are counted above.
-      result.missing_deliveries = std::max<std::uint64_t>(result.missing_deliveries, 1);
-    }
-  }
-
-  if (result.deliveries > 0) {
-    result.mean_delivery_latency_ms = latency_sum_ms / static_cast<double>(result.deliveries);
-  }
-  const double window = static_cast<double>(std::max<Ticks>(1, last_publish));
-  for (std::size_t b = 0; b < broker_count; ++b) {
-    result.max_utilization = std::max(result.max_utilization, busy_accum[b] / window);
-  }
-  return result;
+double unit_double(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
 }
 
-std::vector<PublishRecord> make_poisson_schedule(const std::vector<BrokerId>& publisher_brokers,
-                                                 std::size_t count, double events_per_second,
-                                                 Rng& rng) {
-  if (publisher_brokers.empty()) {
-    throw std::invalid_argument("make_poisson_schedule: no publisher brokers");
+/// Per-region zipf rank permutations, or empty when locality does not apply
+/// (off, custom schema, or a single region).
+std::vector<std::vector<std::uint32_t>> region_permutations(const SimSpec& spec,
+                                                            std::size_t region_count) {
+  std::vector<std::vector<std::uint32_t>> perms;
+  if (!spec.workload.locality || spec.schema != nullptr || region_count <= 1) return perms;
+  perms.reserve(region_count);
+  for (std::size_t r = 0; r < region_count; ++r) {
+    perms.push_back(
+        locality_permutation(spec.values_per_attribute, static_cast<std::uint32_t>(r)));
   }
-  if (events_per_second <= 0) {
-    throw std::invalid_argument("make_poisson_schedule: rate must be > 0");
-  }
-  const double ticks_per_second = 1e6 / kMicrosPerTick;
-  const double rate_per_tick = events_per_second / ticks_per_second;
+  return perms;
+}
+
+const std::vector<std::uint32_t>* perm_for(
+    const std::vector<std::vector<std::uint32_t>>& perms, const SimInstance& inst,
+    BrokerId broker) {
+  if (perms.empty()) return nullptr;
+  const auto region =
+      static_cast<std::size_t>(inst.topo.region_of[static_cast<std::size_t>(broker.value)]);
+  return &perms[region % perms.size()];
+}
+
+std::vector<PublishRecord> make_schedule(const SimInstance& inst, double rate_eps,
+                                         std::uint64_t salt) {
+  const WorkloadSpec& w = inst.spec.workload;
   std::vector<PublishRecord> schedule;
+  const std::size_t count = inst.events.size();
+  if (count == 0) return schedule;
+  if (rate_eps <= 0.0) throw std::invalid_argument("simulation: publish rate must be > 0");
+  if (inst.publishers.empty()) {
+    throw std::invalid_argument("simulation: no publisher brokers available");
+  }
+
+  std::uint64_t seed = sim_stream_seed(inst.spec.seed, SimStream::kSchedule);
+  if (salt != 0) seed = mix_seed(seed, salt);
+  Rng rng(seed);
+
+  std::unique_ptr<ArrivalProcess> process;
+  if (w.arrivals.kind == ArrivalSpec::Kind::kBursty) {
+    const double on = std::max(1e-9, w.arrivals.mean_on_seconds);
+    const double on_rate = rate_eps * (on + w.arrivals.mean_off_seconds) / on;
+    process = std::make_unique<BurstyArrivals>(on_rate, w.arrivals.mean_on_seconds,
+                                               w.arrivals.mean_off_seconds);
+  } else {
+    process = std::make_unique<PoissonArrivals>(rate_eps);
+  }
+
   schedule.reserve(count);
   Ticks t = 0;
+  const std::size_t pubs = inst.publishers.size();
   for (std::size_t i = 0; i < count; ++i) {
-    t += std::max<Ticks>(1, static_cast<Ticks>(rng.exponential(rate_per_tick)));
-    schedule.push_back(PublishRecord{t, publisher_brokers[i % publisher_brokers.size()], i});
+    t += std::max<Ticks>(1, process->next_gap(rng));
+    const BrokerId broker = w.assignment == PublisherAssignment::kRoundRobin
+                                ? inst.publishers[i % pubs]
+                                : inst.publishers[rng.below(pubs)];
+    schedule.push_back(PublishRecord{t, broker, i});
   }
   return schedule;
 }
+
+/// Builds per-run link channels: one per port, broker links of both
+/// directions sharing one outage list drawn from the link-fault sub-stream.
+void build_channels(SimInstance& inst, const std::vector<PublishRecord>& schedule) {
+  const BrokerNetwork& net = inst.topo.network;
+  const std::size_t n = net.broker_count();
+  const WorkloadSpec& w = inst.spec.workload;
+
+  inst.outage_storage.clear();
+  inst.link_outages = 0;
+  std::map<std::pair<std::int32_t, std::int32_t>, std::size_t> outage_of;
+
+  if (w.link_mtbf_seconds > 0.0 && !schedule.empty()) {
+    Ticks last = 0;
+    for (const PublishRecord& record : schedule) last = std::max(last, record.time);
+    const Ticks horizon = last + inst.spec.limits.drain_limit;
+    const double mtbf_ticks = w.link_mtbf_seconds * 1e6 / kMicrosPerTick;
+    const double mttr_ticks = std::max(1.0, w.link_mttr_seconds * 1e6 / kMicrosPerTick);
+    const std::uint64_t faults_seed = sim_stream_seed(inst.spec.seed, SimStream::kLinkFaults);
+    for (std::size_t b = 0; b < n; ++b) {
+      for (const auto& port : net.ports(BrokerId{static_cast<std::int32_t>(b)})) {
+        if (port.kind != BrokerNetwork::PortKind::kBroker) continue;
+        const std::int32_t peer = port.peer_broker.value;
+        if (peer <= static_cast<std::int32_t>(b)) continue;
+        const std::pair<std::int32_t, std::int32_t> key{static_cast<std::int32_t>(b), peer};
+        if (outage_of.count(key) != 0) continue;
+        Rng rng(mix_seed(faults_seed, static_cast<std::uint64_t>(b) * n +
+                                          static_cast<std::uint64_t>(peer)));
+        std::vector<std::pair<Ticks, Ticks>> intervals;
+        Ticks t = 0;
+        while (true) {
+          const Ticks up =
+              std::max<Ticks>(1, static_cast<Ticks>(rng.exponential(1.0 / mtbf_ticks)));
+          const Ticks down_at = t + up;
+          if (down_at > horizon) break;
+          const Ticks repair =
+              std::max<Ticks>(1, static_cast<Ticks>(rng.exponential(1.0 / mttr_ticks)));
+          intervals.emplace_back(down_at, down_at + repair);
+          t = down_at + repair;
+        }
+        inst.link_outages += intervals.size();
+        outage_of[key] = inst.outage_storage.size();
+        inst.outage_storage.push_back(std::move(intervals));
+      }
+    }
+  }
+
+  inst.channels.assign(n, {});
+  for (std::size_t b = 0; b < n; ++b) {
+    const auto& ports = net.ports(BrokerId{static_cast<std::int32_t>(b)});
+    auto& row = inst.channels[b];
+    row.reserve(ports.size());
+    for (const auto& port : ports) {
+      const std::vector<std::pair<Ticks, Ticks>>* outages = nullptr;
+      if (port.kind == BrokerNetwork::PortKind::kBroker) {
+        const auto self = static_cast<std::int32_t>(b);
+        const auto it = outage_of.find(
+            {std::min(self, port.peer_broker.value), std::max(self, port.peer_broker.value)});
+        if (it != outage_of.end()) outages = &inst.outage_storage[it->second];
+      }
+      row.emplace_back(port.delay, outages);
+    }
+  }
+}
+
+void build_publishers(SimInstance& inst) {
+  const WorkloadSpec& w = inst.spec.workload;
+  const std::size_t want = std::max<std::size_t>(1, w.publishers);
+  if (!inst.topo.default_publishers.empty() && want == inst.topo.default_publishers.size()) {
+    inst.publishers = inst.topo.default_publishers;
+    return;
+  }
+  const auto& edge = inst.topo.edge_brokers;
+  if (edge.empty()) {
+    if (w.events == 0 && w.scripted.events.empty()) return;  // nothing to publish
+    throw std::invalid_argument("simulation: topology has no client-hosting brokers");
+  }
+  const std::size_t count = std::min(want, edge.size());
+  inst.publishers.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    inst.publishers.push_back(edge[i * edge.size() / count]);
+  }
+}
+
+void build_subscriptions(SimInstance& inst,
+                         const std::vector<std::vector<std::uint32_t>>& perms) {
+  const WorkloadSpec& w = inst.spec.workload;
+  if (!w.scripted.subscriptions.empty()) {
+    inst.subscriptions = w.scripted.subscriptions;
+    return;
+  }
+  if (w.subscriptions == 0) return;
+  if (inst.topo.subscribers.empty()) {
+    throw std::invalid_argument("simulation: topology has no clients to subscribe");
+  }
+  SubscriptionGenerator generator(inst.schema, w.subscription_config);
+  Rng rng(sim_stream_seed(inst.spec.seed, SimStream::kSubscriptions));
+  inst.subscriptions.reserve(w.subscriptions);
+  for (std::size_t i = 0; i < w.subscriptions; ++i) {
+    const ClientId subscriber = inst.topo.subscribers[i % inst.topo.subscribers.size()];
+    const auto* perm = perm_for(perms, inst, inst.topo.network.client_home(subscriber));
+    inst.subscriptions.push_back(
+        SimSubscription{SubscriptionId{static_cast<std::int64_t>(i)},
+                        generator.generate(rng, perm), subscriber});
+  }
+}
+
+void build_events(SimInstance& inst, const std::vector<std::vector<std::uint32_t>>& perms) {
+  const WorkloadSpec& w = inst.spec.workload;
+  if (!w.scripted.events.empty()) {
+    inst.events = w.scripted.events;
+    return;
+  }
+  if (w.events == 0) return;
+  EventGenerator generator(inst.schema, w.event_zipf_skew);
+  Rng rng(sim_stream_seed(inst.spec.seed, SimStream::kEvents));
+  inst.events.reserve(w.events);
+  const std::size_t pubs = std::max<std::size_t>(1, inst.publishers.size());
+  for (std::size_t i = 0; i < w.events; ++i) {
+    const auto* perm = inst.publishers.empty()
+                           ? nullptr
+                           : perm_for(perms, inst, inst.publishers[i % pubs]);
+    inst.events.push_back(generator.generate(rng, perm));
+  }
+}
+
+void build_control_plane(SimInstance& inst) {
+  const SimSpec& spec = inst.spec;
+  const BrokerNetwork& net = inst.topo.network;
+
+  switch (spec.engine.control_plane) {
+    case ControlPlaneMode::kExact:
+      inst.aggregate = false;
+      break;
+    case ControlPlaneMode::kAggregate:
+      inst.aggregate = true;
+      break;
+    case ControlPlaneMode::kAuto:
+      inst.aggregate = net.broker_count() > spec.engine.exact_max_brokers ||
+                       inst.subscriptions.size() > spec.engine.exact_max_subscriptions;
+      break;
+  }
+
+  // One spanning tree per broker that publishes (Section 3.2).
+  std::vector<BrokerId> roots = inst.publishers;
+  for (const PublishRecord& record : inst.base_schedule) roots.push_back(record.broker);
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  if (roots.empty() && net.broker_count() > 0) roots.push_back(BrokerId{0});
+
+  if (!inst.aggregate) {
+    inst.crn = std::make_unique<ContentRoutingNetwork>(net, inst.schema, roots, spec.matcher);
+    for (const SimSubscription& sub : inst.subscriptions) {
+      inst.crn->subscribe(sub.id, sub.subscription, sub.subscriber);
+    }
+  } else {
+    inst.routing = std::make_unique<RoutingTable>(net);
+    for (const BrokerId root : roots) {
+      inst.trees.emplace(root, std::make_unique<SpanningTree>(net, *inst.routing, root));
+    }
+    inst.shared_matcher = std::make_unique<PstMatcher>(inst.schema, spec.matcher);
+    for (const SimSubscription& sub : inst.subscriptions) {
+      inst.shared_matcher->add(sub.id, sub.subscription);
+      inst.destinations[sub.id] = sub.subscriber;
+    }
+  }
+
+  const bool need_local = spec.protocol == Protocol::kFlooding ||
+                          (spec.protocol == Protocol::kLinkMatching && inst.aggregate);
+  if (need_local) {
+    inst.local_matchers.reserve(net.broker_count());
+    for (std::size_t b = 0; b < net.broker_count(); ++b) {
+      inst.local_matchers.push_back(std::make_unique<PstMatcher>(inst.schema, spec.matcher));
+    }
+    for (const SimSubscription& sub : inst.subscriptions) {
+      const BrokerId home = net.client_home(sub.subscriber);
+      inst.local_matchers[static_cast<std::size_t>(home.value)]->add(sub.id,
+                                                                     sub.subscription);
+    }
+  }
+
+  // Per-tree acceleration: child ports for every broker, plus DFS pre/post
+  // indices (subtree membership tests for the aggregate link matcher).
+  for (const BrokerId root : roots) {
+    const SpanningTree& tree = inst.tree(root);
+    SimInstance::TreeAux aux;
+    const std::size_t n = net.broker_count();
+    aux.children_ports.resize(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      const BrokerId broker{static_cast<std::int32_t>(b)};
+      for (const BrokerId child : tree.children(broker)) {
+        aux.children_ports[b].emplace_back(child, net.port_to_broker(broker, child));
+      }
+    }
+    aux.pre.assign(n, 0);
+    aux.post.assign(n, 0);
+    std::uint32_t counter = 0;
+    std::vector<std::pair<BrokerId, std::size_t>> stack{{root, 0}};
+    aux.pre[static_cast<std::size_t>(root.value)] = counter++;
+    while (!stack.empty()) {
+      auto& [broker, next] = stack.back();
+      const auto b = static_cast<std::size_t>(broker.value);
+      if (next < aux.children_ports[b].size()) {
+        const BrokerId child = aux.children_ports[b][next].first;
+        ++next;
+        aux.pre[static_cast<std::size_t>(child.value)] = counter++;
+        stack.emplace_back(child, 0);
+      } else {
+        aux.post[b] = counter;
+        stack.pop_back();
+      }
+    }
+    inst.tree_aux.emplace(root, std::move(aux));
+  }
+}
+
+void build_churn(SimInstance& inst, const std::vector<std::vector<std::uint32_t>>& perms) {
+  const WorkloadSpec& w = inst.spec.workload;
+  inst.churn_enabled = w.churn_rate_eps > 0.0 && !inst.base_schedule.empty();
+  if (!inst.churn_enabled) return;
+  if (inst.topo.subscribers.empty()) {
+    throw std::invalid_argument("simulation: churn requires clients");
+  }
+  Ticks window = 0;
+  for (const PublishRecord& record : inst.base_schedule) {
+    window = std::max(window, record.time);
+  }
+  const double rate_per_tick = w.churn_rate_eps * kMicrosPerTick / 1e6;
+  Rng rng(sim_stream_seed(inst.spec.seed, SimStream::kChurn));
+  SubscriptionGenerator generator(inst.schema, w.subscription_config);
+
+  // Script the operations against a simulated live set so every unsubscribe
+  // names a subscription that is actually registered when it fires.
+  std::vector<SimSubscription> live = inst.subscriptions;
+  std::int64_t next_id = 0;
+  for (const SimSubscription& sub : inst.subscriptions) {
+    next_id = std::max(next_id, sub.id.value + 1);
+  }
+
+  Ticks t = 0;
+  while (true) {
+    t += std::max<Ticks>(1, static_cast<Ticks>(rng.exponential(rate_per_tick)));
+    if (t > window) break;
+    const bool unsubscribe = rng.chance(w.churn_unsubscribe_fraction) && !live.empty();
+    if (unsubscribe) {
+      const std::size_t pick = rng.below(live.size());
+      ChurnOp op{t, false, live[pick]};
+      live[pick] = std::move(live.back());
+      live.pop_back();
+      inst.churn.push_back(std::move(op));
+    } else {
+      const ClientId subscriber =
+          inst.topo.subscribers[rng.below(inst.topo.subscribers.size())];
+      const auto* perm = perm_for(perms, inst, inst.topo.network.client_home(subscriber));
+      SimSubscription sub{SubscriptionId{next_id++}, generator.generate(rng, perm),
+                          subscriber};
+      live.push_back(sub);
+      inst.churn.push_back(ChurnOp{t, true, std::move(sub)});
+    }
+  }
+}
+
+void build_oracle_and_precompute(SimInstance& inst) {
+  const SimSpec& spec = inst.spec;
+  const std::size_t count = inst.events.size();
+  const bool lm_aggregate = spec.protocol == Protocol::kLinkMatching && inst.aggregate;
+  const bool need_all = spec.protocol == Protocol::kMatchFirst || lm_aggregate;
+
+  if (inst.churn_enabled) {
+    // The publish-time oracle cannot account for in-flight events while the
+    // subscription set mutates; publishers match live instead (engine.cpp).
+    inst.oracle_fraction = 0.0;
+    return;
+  }
+
+  double fraction = 0.0;
+  if (spec.verify.verify_deliveries && count > 0) {
+    if (spec.verify.oracle_sample > 0.0) {
+      fraction = std::min(1.0, spec.verify.oracle_sample);
+    } else {
+      const double work = static_cast<double>(count) *
+                          static_cast<double>(inst.topo.network.client_count());
+      fraction = work <= 1e7 ? 1.0 : 1e7 / work;
+    }
+  }
+  inst.oracle_fraction = fraction;
+
+  if (fraction > 0.0) {
+    inst.oracle_selected.assign(count, 0);
+    const std::uint64_t oracle_seed = sim_stream_seed(spec.seed, SimStream::kOracle);
+    for (std::size_t e = 0; e < count; ++e) {
+      if (fraction >= 1.0 || unit_double(mix_seed(oracle_seed, e)) < fraction) {
+        inst.oracle_selected[e] = 1;
+        ++inst.oracle_events;
+      }
+    }
+    if (inst.oracle_events == 0) {
+      inst.oracle_selected[0] = 1;
+      inst.oracle_events = 1;
+    }
+  }
+
+  if (!need_all && fraction <= 0.0) return;
+  inst.event_match_steps.assign(count, 0);
+  inst.event_dests.resize(count);
+
+  std::vector<SubscriptionId> matched;
+  for (std::size_t e = 0; e < count; ++e) {
+    const bool selected = !inst.oracle_selected.empty() && inst.oracle_selected[e] != 0;
+    if (!need_all && !selected) continue;
+    matched.clear();
+    MatchStats stats;
+    inst.matcher().match_into(inst.events[e], matched, &stats);
+    inst.event_match_steps[e] = stats.nodes_visited;
+    if (selected) inst.centralized_steps += stats.nodes_visited;
+
+    std::vector<ClientId>& dests = inst.event_dests[e];
+    dests.reserve(matched.size());
+    for (const SubscriptionId id : matched) dests.push_back(inst.destination_of(id));
+    std::sort(dests.begin(), dests.end());
+    dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+
+    if (lm_aggregate) {
+      for (const auto& [root, aux] : inst.tree_aux) {
+        auto homes = std::make_shared<std::vector<std::uint32_t>>();
+        homes->reserve(dests.size());
+        for (const ClientId dest : dests) {
+          const BrokerId home = inst.topo.network.client_home(dest);
+          homes->push_back(aux.pre[static_cast<std::size_t>(home.value)]);
+        }
+        std::sort(homes->begin(), homes->end());
+        homes->erase(std::unique(homes->begin(), homes->end()), homes->end());
+        inst.event_homes.emplace(
+            std::make_pair(static_cast<std::uint32_t>(e), root.value), std::move(homes));
+      }
+    }
+  }
+}
+
+std::unique_ptr<SimInstance> build_instance(SimSpec spec) {
+  auto inst = std::make_unique<SimInstance>();
+  inst->spec = std::move(spec);
+  SimSpec& s = inst->spec;
+  if (s.engine.threads == 0) s.engine.threads = 1;
+  if (s.schema == nullptr && (s.attributes == 0 || s.values_per_attribute == 0)) {
+    throw std::invalid_argument("simulation: schema shape must be non-empty");
+  }
+
+  inst->schema =
+      s.schema ? s.schema : make_synthetic_schema(s.attributes, s.values_per_attribute);
+  inst->event_payload_bytes = inst->schema->attribute_count() * 8 + 16;
+  inst->topo = build_topology(s.topology, s.seed);
+  if (inst->topo.region_of.size() != inst->topo.network.broker_count()) {
+    throw std::logic_error("simulation: topology region map is inconsistent");
+  }
+
+  const auto perms = region_permutations(s, inst->topo.region_count);
+  build_publishers(*inst);
+  build_subscriptions(*inst, perms);
+  build_events(*inst, perms);
+  inst->base_schedule = s.workload.scripted.schedule.empty()
+                            ? make_schedule(*inst, s.workload.rate_eps, 0)
+                            : s.workload.scripted.schedule;
+  for (const PublishRecord& record : inst->base_schedule) {
+    if (record.event_index >= inst->events.size() ||
+        !record.broker.valid() ||
+        static_cast<std::size_t>(record.broker.value) >=
+            inst->topo.network.broker_count()) {
+      throw std::invalid_argument("simulation: scripted schedule is out of range");
+    }
+  }
+  build_control_plane(*inst);
+  build_churn(*inst, perms);
+  build_oracle_and_precompute(*inst);
+  return inst;
+}
+
+}  // namespace
+
+void SimInstance::apply_churn_op(const ChurnOp& op) {
+  const auto home =
+      static_cast<std::size_t>(topo.network.client_home(op.sub.subscriber).value);
+  if (op.subscribe) {
+    if (crn) {
+      crn->subscribe(op.sub.id, op.sub.subscription, op.sub.subscriber);
+    } else {
+      shared_matcher->add(op.sub.id, op.sub.subscription);
+      destinations[op.sub.id] = op.sub.subscriber;
+    }
+    if (!local_matchers.empty()) local_matchers[home]->add(op.sub.id, op.sub.subscription);
+  } else {
+    if (crn) {
+      crn->unsubscribe(op.sub.id);
+    } else {
+      shared_matcher->remove(op.sub.id);
+      destinations.erase(op.sub.id);
+    }
+    if (!local_matchers.empty()) local_matchers[home]->remove(op.sub.id);
+  }
+  rollback_log.push_back(op);
+}
+
+void SimInstance::rollback_churn() {
+  for (auto it = rollback_log.rbegin(); it != rollback_log.rend(); ++it) {
+    const ChurnOp& op = *it;
+    const auto home =
+        static_cast<std::size_t>(topo.network.client_home(op.sub.subscriber).value);
+    if (op.subscribe) {
+      if (crn) {
+        crn->unsubscribe(op.sub.id);
+      } else {
+        shared_matcher->remove(op.sub.id);
+        destinations.erase(op.sub.id);
+      }
+      if (!local_matchers.empty()) local_matchers[home]->remove(op.sub.id);
+    } else {
+      if (crn) {
+        crn->subscribe(op.sub.id, op.sub.subscription, op.sub.subscriber);
+      } else {
+        shared_matcher->add(op.sub.id, op.sub.subscription);
+        destinations[op.sub.id] = op.sub.subscriber;
+      }
+      if (!local_matchers.empty()) local_matchers[home]->add(op.sub.id, op.sub.subscription);
+    }
+  }
+  rollback_log.clear();
+}
+
+bool same_outcome(const SimResult& a, const SimResult& b) {
+  return a.protocol == b.protocol && a.events_published == b.events_published &&
+         a.deliveries == b.deliveries && a.duplicate_deliveries == b.duplicate_deliveries &&
+         a.missing_deliveries == b.missing_deliveries &&
+         a.spurious_deliveries == b.spurious_deliveries &&
+         a.broker_messages == b.broker_messages && a.client_messages == b.client_messages &&
+         a.bytes_on_wire == b.bytes_on_wire &&
+         a.total_matching_steps == b.total_matching_steps &&
+         a.centralized_steps == b.centralized_steps && a.max_backlog == b.max_backlog &&
+         a.max_utilization == b.max_utilization && a.overloaded == b.overloaded &&
+         a.drained == b.drained && a.end_time == b.end_time &&
+         a.latency_ticks == b.latency_ticks &&
+         a.mean_delivery_latency_ms == b.mean_delivery_latency_ms &&
+         a.per_hop == b.per_hop && a.duplicate_link_copies == b.duplicate_link_copies &&
+         a.churn_subscribes == b.churn_subscribes &&
+         a.churn_unsubscribes == b.churn_unsubscribes && a.link_outages == b.link_outages;
+}
+
+Simulation::Simulation(SimSpec spec) : inst_(build_instance(std::move(spec))) {}
+Simulation::~Simulation() = default;
+Simulation::Simulation(Simulation&&) noexcept = default;
+Simulation& Simulation::operator=(Simulation&&) noexcept = default;
+
+SimResult Simulation::run() {
+  build_channels(*inst_, inst_->base_schedule);
+  return run_engine(*inst_, inst_->base_schedule);
+}
+
+SimResult Simulation::run_with_threads(std::size_t threads) {
+  const std::size_t saved = inst_->spec.engine.threads;
+  inst_->spec.engine.threads = std::max<std::size_t>(1, threads);
+  SimResult result;
+  try {
+    result = run();
+  } catch (...) {
+    inst_->spec.engine.threads = saved;
+    throw;
+  }
+  inst_->spec.engine.threads = saved;
+  return result;
+}
+
+SimResult Simulation::run_at_rate(double events_per_second, std::uint64_t schedule_salt) {
+  const std::vector<PublishRecord> schedule =
+      make_schedule(*inst_, events_per_second, schedule_salt);
+  build_channels(*inst_, schedule);
+  return run_engine(*inst_, schedule);
+}
+
+const SimSpec& Simulation::spec() const { return inst_->spec; }
+const BrokerNetwork& Simulation::network() const { return inst_->topo.network; }
+const std::vector<PublishRecord>& Simulation::schedule() const {
+  return inst_->base_schedule;
+}
+const std::vector<BrokerId>& Simulation::publishers() const { return inst_->publishers; }
+const std::vector<Event>& Simulation::events() const { return inst_->events; }
+std::size_t Simulation::subscription_count() const { return inst_->subscriptions.size(); }
+
+SimResult simulate(const SimSpec& spec) { return Simulation(spec).run(); }
 
 }  // namespace gryphon

@@ -16,6 +16,11 @@
 //   * kMatchFirst   — the full destination list is computed at the
 //     publisher's broker and attached to the message; relays split the list
 //     by next hop (the "match-first" straw man of Sections 1 and 5).
+//
+// A run is described declaratively by a SimSpec (sim_spec.h) and executed
+// by the engine (engine.h): per-broker servers fed by an explicit event
+// queue over link channels, partitioned across worker threads with
+// conservative lookahead. Results are bit-identical across thread counts.
 #pragma once
 
 #include <cstdint>
@@ -24,64 +29,11 @@
 #include <vector>
 
 #include "common/ids.h"
-#include "common/rng.h"
 #include "common/time.h"
-#include "matching/pst_matcher.h"
-#include "routing/content_router.h"
+#include "sim/sim_spec.h"
 #include "topology/network.h"
 
 namespace gryphon {
-
-enum class Protocol : std::uint8_t { kLinkMatching = 0, kFlooding = 1, kMatchFirst = 2 };
-
-const char* to_string(Protocol protocol) noexcept;
-
-/// One subscription in a simulation setup.
-struct SimSubscription {
-  SubscriptionId id;
-  Subscription subscription;
-  ClientId subscriber;
-};
-
-/// One scheduled publication: `event_index` into the event list handed to
-/// run(), injected at the given broker at the given virtual time.
-struct PublishRecord {
-  Ticks time{0};
-  BrokerId broker;
-  std::size_t event_index{0};
-};
-
-struct SimConfig {
-  Protocol protocol{Protocol::kLinkMatching};
-  /// CPU cost, in ticks, of one matching step (node visitation). The paper
-  /// estimates "a few microseconds" per step; 0.25 ticks = 3 us.
-  double step_cost_ticks{0.25};
-  /// CPU cost of pushing one outgoing copy through the transport.
-  double send_cost_ticks{4.0};
-  /// Fixed per-message receive/parse cost. Calibrated so transport costs
-  /// outweigh matching (Section 4.2: a 200 MHz broker tops out near 14,000
-  /// events/sec, ~70 us per message; 6 ticks = 72 us).
-  double base_cost_ticks{6.0};
-  /// Match-first only: per-destination list handling cost at relays.
-  double per_destination_cost_ticks{0.25};
-  /// Background load (Section 4.1: besides the tracked publishers, other
-  /// publishing clients "simply load the brokers by publishing messages
-  /// that take up CPU time at the brokers"). Each broker additionally
-  /// receives untracked messages at this Poisson rate (events/second),
-  /// each consuming `background_cost_ticks` of CPU and nothing else.
-  double background_rate_per_broker{0.0};
-  double background_cost_ticks{8.0};
-  std::uint64_t background_seed{0xb0b0};
-  /// A broker whose input queue reaches this length is overloaded.
-  std::size_t overload_backlog_threshold{100};
-  /// Give the network this long after the last publication to drain;
-  /// failing to drain also marks the run overloaded.
-  Ticks drain_limit{ticks_from_seconds(60)};
-  /// Check the delivered set of every event against centralized matching.
-  bool verify_deliveries{true};
-  /// Check that no (event, link) pair ever carries two copies.
-  bool verify_single_copy_per_link{false};
-};
 
 struct HopStats {
   std::uint64_t deliveries{0};
@@ -91,6 +43,10 @@ struct HopStats {
     return deliveries == 0 ? 0.0
                            : static_cast<double>(cumulative_steps) /
                                  static_cast<double>(deliveries);
+  }
+
+  friend bool operator==(const HopStats& a, const HopStats& b) {
+    return a.deliveries == b.deliveries && a.cumulative_steps == b.cumulative_steps;
   }
 };
 
@@ -105,54 +61,84 @@ struct SimResult {
   std::uint64_t client_messages{0};     // broker-to-client copies sent
   std::uint64_t bytes_on_wire{0};       // sum over all copies (incl. dest lists)
   std::uint64_t total_matching_steps{0};
-  std::uint64_t centralized_steps{0};   // steps a pure central match would take
+  /// Steps a pure central match would take, summed over the verified
+  /// (oracle-sampled) events; normalize by oracle_events_verified.
+  std::uint64_t centralized_steps{0};
   std::uint64_t max_backlog{0};
   double max_utilization{0.0};          // busiest broker's busy fraction
   bool overloaded{false};
   bool drained{true};
   Ticks end_time{0};
+  /// Delivery latency summed in whole ticks (exact; order-independent).
+  Ticks latency_ticks{0};
   double mean_delivery_latency_ms{0.0};
   /// Chart 2: deliveries and cumulative matching steps keyed by hop count
   /// (number of brokers the event visited on its way to the subscriber).
   std::map<int, HopStats> per_hop;
   /// Single-copy violations found (only when verify_single_copy_per_link).
   std::uint64_t duplicate_link_copies{0};
+
+  // --- run provenance (excluded from same_outcome) ---
+  double wall_seconds{0.0};             // engine loop wall clock
+  std::size_t engine_threads{1};
+  const char* control_plane{"exact"};   // "exact" | "aggregate"
+  /// False when per-hop matching steps are modeled rather than measured
+  /// (link matching under the aggregate control plane).
+  bool steps_exact{true};
+  /// Fraction of events whose delivered set was checked against the oracle
+  /// (1.0 = full verification, 0.0 = verification off).
+  double oracle_sampled_fraction{1.0};
+  std::size_t oracle_events_verified{0};
+  std::size_t subscriptions{0};
+  std::size_t broker_count{0};
+  std::uint64_t churn_subscribes{0};
+  std::uint64_t churn_unsubscribes{0};
+  std::uint64_t link_outages{0};
 };
 
-class BrokerSimulation {
+/// True when two runs agree on every deterministic output — everything
+/// except wall clock and thread count. The serial-vs-parallel differential
+/// gate compares with this.
+bool same_outcome(const SimResult& a, const SimResult& b);
+
+struct SimInstance;
+
+/// A materialized simulation: topology, workload, and control plane built
+/// once from a SimSpec; run() executes the engine (repeatable — runs do not
+/// mutate the instance observably, churn is rolled back on completion).
+class Simulation {
  public:
-  /// Builds the full control plane: one shared PST with per-broker trit
-  /// annotations (link matching), per-broker local matchers (flooding), and
-  /// the routing table (match-first).
-  BrokerSimulation(const BrokerNetwork& network, SchemaPtr schema,
-                   std::vector<BrokerId> publisher_brokers,
-                   const std::vector<SimSubscription>& subscriptions,
-                   PstMatcherOptions matcher_options, SimConfig config);
+  explicit Simulation(SimSpec spec);
+  ~Simulation();
+  Simulation(Simulation&&) noexcept;
+  Simulation& operator=(Simulation&&) noexcept;
 
-  /// Runs one simulation. `schedule` entries must be sorted by time and
-  /// reference events in `events`; each publisher broker in the schedule
-  /// must be one of the configured publisher brokers.
-  SimResult run(const std::vector<Event>& events, const std::vector<PublishRecord>& schedule);
+  /// Runs the base schedule described by the spec.
+  SimResult run();
 
-  [[nodiscard]] const ContentRoutingNetwork& control_plane() const { return *crn_; }
-  [[nodiscard]] const SimConfig& config() const { return config_; }
+  /// Runs a fresh Poisson/bursty schedule at the given aggregate rate
+  /// (same events, same publishers). `schedule_salt` decorrelates repeated
+  /// probes at the same rate (saturation search).
+  SimResult run_at_rate(double events_per_second, std::uint64_t schedule_salt = 0);
+
+  /// Runs the base schedule with a temporary engine thread-count override:
+  /// the scale campaign's serial-vs-parallel differential reuses one
+  /// instance (and one control-plane build) across both runs. Outcome is
+  /// identical to run() with the same thread count in the spec.
+  SimResult run_with_threads(std::size_t threads);
+
+  [[nodiscard]] const SimSpec& spec() const;
+  [[nodiscard]] const BrokerNetwork& network() const;
+  [[nodiscard]] const std::vector<PublishRecord>& schedule() const;
+  [[nodiscard]] const std::vector<BrokerId>& publishers() const;
+  [[nodiscard]] const std::vector<Event>& events() const;
+  [[nodiscard]] std::size_t subscription_count() const;
 
  private:
-  const BrokerNetwork* network_;
-  SchemaPtr schema_;
-  std::vector<BrokerId> publisher_brokers_;
-  SimConfig config_;
-  std::unique_ptr<ContentRoutingNetwork> crn_;
-  /// Flooding: per-broker matcher over local clients' subscriptions only.
-  std::vector<std::unique_ptr<PstMatcher>> local_matchers_;
-  std::size_t event_payload_bytes_{0};
+  std::unique_ptr<SimInstance> inst_;
 };
 
-/// Generates a Poisson publication schedule: `count` events at mean
-/// aggregate rate `events_per_second`, each assigned round-robin to one of
-/// `publisher_brokers`.
-std::vector<PublishRecord> make_poisson_schedule(const std::vector<BrokerId>& publisher_brokers,
-                                                 std::size_t count, double events_per_second,
-                                                 Rng& rng);
+/// One-shot convenience: build and run.
+SimResult simulate(const SimSpec& spec);
 
 }  // namespace gryphon

@@ -1,6 +1,10 @@
 #include "topology/builders.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace gryphon {
 
@@ -135,6 +139,240 @@ BrokerNetwork make_random_tree_like(std::size_t n, Rng& rng, Ticks min_delay, Ti
     }
   }
   return net;
+}
+
+namespace {
+
+BrokerId nth_broker(std::size_t i) { return BrokerId{static_cast<BrokerId::rep_type>(i)}; }
+
+/// Attaches clients to every broker in `brokers` and records edge/subscriber
+/// metadata on `topo`.
+void attach_clients(GeneratedTopology& topo, const std::vector<BrokerId>& brokers,
+                    std::size_t clients_per_broker, Ticks client_delay) {
+  for (const BrokerId b : brokers) {
+    if (clients_per_broker > 0) topo.edge_brokers.push_back(b);
+    for (std::size_t c = 0; c < clients_per_broker; ++c) {
+      topo.subscribers.push_back(topo.network.add_client(b, client_delay));
+    }
+  }
+}
+
+}  // namespace
+
+GeneratedTopology make_fat_tree(const FatTreeOptions& options) {
+  const std::size_t k = options.pods;
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("make_fat_tree: pods must be even and >= 2");
+  }
+  const std::size_t half = k / 2;
+  const Ticks core_delay = ticks_from_millis(options.core_delay_ms);
+  const Ticks agg_delay = ticks_from_millis(options.agg_delay_ms);
+  const Ticks client_delay = ticks_from_millis(options.client_delay_ms);
+
+  GeneratedTopology topo;
+  BrokerNetwork& net = topo.network;
+
+  // Cores first: (k/2)^2 of them, then per pod k/2 aggregation + k/2 edge.
+  std::vector<BrokerId> cores(half * half);
+  for (std::size_t i = 0; i < cores.size(); ++i) cores[i] = net.add_broker();
+  std::vector<BrokerId> edges;
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    std::vector<BrokerId> aggs(half);
+    for (std::size_t j = 0; j < half; ++j) {
+      aggs[j] = net.add_broker();
+      for (std::size_t c = 0; c < half; ++c) {
+        net.connect(aggs[j], cores[j * half + c], core_delay);
+      }
+    }
+    for (std::size_t j = 0; j < half; ++j) {
+      const BrokerId edge = net.add_broker();
+      edges.push_back(edge);
+      for (std::size_t a = 0; a < half; ++a) net.connect(edge, aggs[a], agg_delay);
+    }
+  }
+
+  topo.region_count = k;
+  topo.region_of.resize(net.broker_count(), 0);
+  // Cores take region i % k (they host no clients; the value only has to be
+  // in range); pod brokers take their pod index.
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    topo.region_of[static_cast<std::size_t>(cores[i].value)] = static_cast<int>(i % k);
+  }
+  const std::size_t pod_base = cores.size();
+  for (std::size_t pod = 0; pod < k; ++pod) {
+    for (std::size_t j = 0; j < 2 * half; ++j) {
+      topo.region_of[pod_base + pod * 2 * half + j] = static_cast<int>(pod);
+    }
+  }
+
+  attach_clients(topo, edges, options.clients_per_edge, client_delay);
+  return topo;
+}
+
+GeneratedTopology make_waxman(const WaxmanOptions& options, std::uint64_t seed) {
+  const std::size_t n = options.brokers;
+  if (n == 0) throw std::invalid_argument("make_waxman: brokers must be >= 1");
+  if (options.regions == 0) throw std::invalid_argument("make_waxman: regions must be >= 1");
+  Rng rng(seed);
+
+  GeneratedTopology topo;
+  BrokerNetwork& net = topo.network;
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_broker();
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+
+  const double diagonal = std::sqrt(2.0);
+  const auto distance = [&](std::size_t a, std::size_t b) {
+    const double dx = x[a] - x[b];
+    const double dy = y[a] - y[b];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  const auto delay_for = [&](double d) {
+    const double ms = options.min_delay_ms +
+                      (options.max_delay_ms - options.min_delay_ms) * (d / diagonal);
+    return std::max<Ticks>(1, ticks_from_millis(ms));
+  };
+
+  std::vector<std::size_t> component(n);
+  for (std::size_t i = 0; i < n; ++i) component[i] = i;
+  const auto find = [&](std::size_t i) {
+    while (component[i] != i) {
+      component[i] = component[component[i]];
+      i = component[i];
+    }
+    return i;
+  };
+
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double d = distance(a, b);
+      const double p = options.alpha * std::exp(-d / (options.beta * diagonal));
+      if (!rng.chance(p)) continue;
+      net.connect(nth_broker(a), nth_broker(b), delay_for(d));
+      component[find(a)] = find(b);
+    }
+  }
+
+  // Stitch disconnected components together via their closest broker pair so
+  // the routing table never sees an unreachable destination.
+  while (true) {
+    const std::size_t root0 = find(0);
+    std::size_t best_a = n, best_b = n;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t b = 0; b < n; ++b) {
+      if (find(b) == root0) continue;
+      for (std::size_t a = 0; a < n; ++a) {
+        if (find(a) != root0) continue;
+        const double d = distance(a, b);
+        if (d < best_d) {
+          best_d = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_a == n) break;  // all connected
+    net.connect(nth_broker(best_a), nth_broker(best_b), delay_for(best_d));
+    component[find(best_a)] = find(best_b);
+  }
+
+  topo.region_count = options.regions;
+  topo.region_of.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto stripe = static_cast<std::size_t>(x[i] * static_cast<double>(options.regions));
+    topo.region_of[i] = static_cast<int>(std::min(stripe, options.regions - 1));
+  }
+
+  std::vector<BrokerId> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = nth_broker(i);
+  attach_clients(topo, all, options.clients_per_broker,
+                 ticks_from_millis(options.client_delay_ms));
+  return topo;
+}
+
+GeneratedTopology make_wan(const WanOptions& options, std::uint64_t seed) {
+  const std::size_t regions = options.regions;
+  const std::size_t per_region = options.brokers_per_region;
+  if (regions == 0 || per_region == 0) {
+    throw std::invalid_argument("make_wan: regions and brokers_per_region must be >= 1");
+  }
+  Rng rng(seed);
+
+  GeneratedTopology topo;
+  BrokerNetwork& net = topo.network;
+  topo.region_count = regions;
+
+  std::vector<BrokerId> gateways(regions);
+  for (std::size_t r = 0; r < regions; ++r) {
+    // Per-region delay band: the configured band scaled by a region factor.
+    const double spread = std::clamp(options.band_spread, 0.0, 0.95);
+    const double factor = 1.0 + spread * (2.0 * rng.uniform() - 1.0);
+    const Ticks intra_min =
+        std::max<Ticks>(1, ticks_from_millis(options.intra_min_delay_ms * factor));
+    const Ticks intra_max =
+        std::max(intra_min, ticks_from_millis(options.intra_max_delay_ms * factor));
+
+    const std::size_t base = net.broker_count();
+    gateways[r] = net.add_broker();  // region broker 0 doubles as the gateway
+    for (std::size_t i = 1; i < per_region; ++i) {
+      const BrokerId b = net.add_broker();
+      const BrokerId parent = nth_broker(base + rng.below(i));
+      net.connect(parent, b, rng.between(intra_min, intra_max));
+    }
+    std::size_t added = 0, attempts = 0;
+    while (per_region >= 2 && added < options.extra_intra_links &&
+           attempts < options.extra_intra_links * 20 + 100) {
+      ++attempts;
+      const BrokerId a = nth_broker(base + rng.below(per_region));
+      const BrokerId b = nth_broker(base + rng.below(per_region));
+      if (a == b) continue;
+      try {
+        net.connect(a, b, rng.between(intra_min, intra_max));
+        ++added;
+      } catch (const std::invalid_argument&) {
+        // duplicate link; try another pair
+      }
+    }
+  }
+
+  // Long-haul links: a gateway ring plus extra chords per region.
+  const Ticks inter_min = std::max<Ticks>(1, ticks_from_millis(options.inter_min_delay_ms));
+  const Ticks inter_max = std::max(inter_min, ticks_from_millis(options.inter_max_delay_ms));
+  if (regions >= 2) {
+    for (std::size_t r = 0; r < regions; ++r) {
+      if (regions == 2 && r == 1) break;  // avoid the duplicate 1->0 ring link
+      net.connect(gateways[r], gateways[(r + 1) % regions],
+                  rng.between(inter_min, inter_max));
+    }
+    for (std::size_t r = 0; r < regions; ++r) {
+      std::size_t added = 0, attempts = 0;
+      while (added + 1 < options.inter_links_per_region && attempts < 50) {
+        ++attempts;
+        const std::size_t other = rng.below(regions);
+        if (other == r) continue;
+        try {
+          net.connect(gateways[r], gateways[other], rng.between(inter_min, inter_max));
+          ++added;
+        } catch (const std::invalid_argument&) {
+          // ring/chord already present
+        }
+      }
+    }
+  }
+
+  topo.region_of.resize(net.broker_count());
+  for (std::size_t b = 0; b < net.broker_count(); ++b) {
+    topo.region_of[b] = static_cast<int>(b / per_region);
+  }
+
+  std::vector<BrokerId> all(net.broker_count());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = nth_broker(i);
+  attach_clients(topo, all, options.clients_per_broker,
+                 ticks_from_millis(options.client_delay_ms));
+  return topo;
 }
 
 }  // namespace gryphon

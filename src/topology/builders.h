@@ -67,4 +67,80 @@ BrokerNetwork make_random_tree_like(std::size_t n, Rng& rng, Ticks min_delay, Ti
                                     std::size_t clients_per_broker, Ticks client_delay,
                                     std::size_t extra_links);
 
+/// A generated topology with the metadata the simulator needs: locality
+/// regions (for the per-region zipf permutations of the workload
+/// generators), the client-hosting brokers (publisher candidates), and the
+/// attached subscribers. The scale generators below all return this shape;
+/// Figure 6 keeps its richer dedicated struct.
+struct GeneratedTopology {
+  BrokerNetwork network;
+  /// Locality region per broker (size broker_count; all 0 = one region).
+  std::vector<int> region_of;
+  std::size_t region_count{1};
+  /// Brokers hosting at least one client, in id order.
+  std::vector<BrokerId> edge_brokers;
+  /// All subscribing clients, ordered by broker.
+  std::vector<ClientId> subscribers;
+  /// Canonical publisher brokers, when the family defines them (Figure 6's
+  /// P1..P3); empty otherwise.
+  std::vector<BrokerId> default_publishers;
+};
+
+/// Three-tier k-ary fat-tree (the data-center shape): `pods` pods of
+/// pods/2 edge and pods/2 aggregation brokers each, plus (pods/2)^2 core
+/// brokers; every edge broker connects to every aggregation broker in its
+/// pod, and aggregation broker j of each pod connects to cores
+/// [j*pods/2, (j+1)*pods/2). Clients attach to edge brokers only; each pod
+/// is one locality region. `pods` must be even and >= 2. Deterministic (no
+/// randomness). Broker count = 5*pods^2/4.
+struct FatTreeOptions {
+  std::size_t pods{4};
+  double core_delay_ms{10.0};    // aggregation <-> core
+  double agg_delay_ms{2.0};      // edge <-> aggregation
+  double client_delay_ms{1.0};
+  std::size_t clients_per_edge{10};
+};
+GeneratedTopology make_fat_tree(const FatTreeOptions& options);
+
+/// Waxman random graph: brokers placed uniformly in the unit square; a link
+/// joins each pair with probability alpha * exp(-d / (beta * sqrt(2))).
+/// Components are stitched together afterward (closest inter-component
+/// pair) so the result is always connected. Link delay grows linearly with
+/// euclidean distance from min_delay_ms to max_delay_ms. Locality regions
+/// are `regions` vertical stripes of the square.
+struct WaxmanOptions {
+  std::size_t brokers{100};
+  double alpha{0.4};
+  double beta{0.14};
+  double min_delay_ms{2.0};
+  double max_delay_ms{50.0};
+  std::size_t clients_per_broker{10};
+  double client_delay_ms{1.0};
+  std::size_t regions{4};
+};
+GeneratedTopology make_waxman(const WaxmanOptions& options, std::uint64_t seed);
+
+/// Multi-region WAN: `regions` regional broker trees (random tree plus
+/// `extra_intra_links` lateral links each) joined by long-haul gateway
+/// links — a ring over the regional gateways plus extra chords per region.
+/// Each region draws its own intra-region delay band: the configured
+/// [intra_min, intra_max] scaled by a per-region factor in
+/// [1 - band_spread, 1 + band_spread]. Inter-region links draw from the
+/// [inter_min, inter_max] band. This generalizes the Figure 6 shape (three
+/// regional trees, intercontinental root links) to arbitrary scale.
+struct WanOptions {
+  std::size_t regions{8};
+  std::size_t brokers_per_region{25};
+  double intra_min_delay_ms{2.0};
+  double intra_max_delay_ms{15.0};
+  double inter_min_delay_ms{40.0};
+  double inter_max_delay_ms{120.0};
+  double band_spread{0.5};
+  std::size_t extra_intra_links{2};
+  std::size_t inter_links_per_region{2};
+  std::size_t clients_per_broker{10};
+  double client_delay_ms{1.0};
+};
+GeneratedTopology make_wan(const WanOptions& options, std::uint64_t seed);
+
 }  // namespace gryphon

@@ -1,0 +1,192 @@
+// Parallel discrete-event engine differentials: the conservative-lookahead
+// parallel run must produce a SimResult bit-identical to the serial run, and
+// the in-sim dynamics (churn, link faults, oracle sampling, aggregate
+// control plane) must keep their contracts.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace gryphon {
+namespace {
+
+SimSpec figure6_spec(std::uint64_t seed) {
+  SimSpec spec;
+  spec.seed = seed;
+  spec.topology.kind = TopologyKind::kFigure6;
+  spec.workload.subscriptions = 400;
+  spec.workload.events = 60;
+  spec.workload.rate_eps = 40.0;
+  spec.verify.verify_single_copy_per_link = true;
+  return spec;
+}
+
+TEST(EngineDifferential, ParallelIdenticalToSerialOnFigureSix) {
+  // The acceptance differential: identical SimSpec except engine.threads
+  // must yield the same SimResult in every deterministic field, for every
+  // protocol, across seeds.
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (const Protocol protocol :
+         {Protocol::kLinkMatching, Protocol::kFlooding, Protocol::kMatchFirst}) {
+      SimSpec serial = figure6_spec(seed);
+      serial.protocol = protocol;
+      SimSpec parallel = serial;
+      parallel.engine.threads = 4;
+      const SimResult s = simulate(serial);
+      const SimResult p = simulate(parallel);
+      EXPECT_EQ(p.engine_threads, 4u);
+      EXPECT_TRUE(same_outcome(s, p))
+          << "seed " << seed << " protocol " << to_string(protocol);
+      EXPECT_EQ(s.missing_deliveries, 0u);
+      EXPECT_EQ(s.duplicate_link_copies, 0u);
+    }
+  }
+}
+
+TEST(EngineDifferential, ThreadCountBeyondBrokersIsClamped) {
+  SimSpec serial = figure6_spec(5);
+  SimSpec wide = serial;
+  wide.engine.threads = 64;  // more workers than the 39 brokers
+  EXPECT_TRUE(same_outcome(simulate(serial), simulate(wide)));
+}
+
+TEST(EngineDifferential, RepeatedRunsAreBitIdentical) {
+  Simulation sim(figure6_spec(8));
+  const SimResult first = sim.run();
+  const SimResult second = sim.run();
+  EXPECT_TRUE(same_outcome(first, second));
+}
+
+TEST(EngineDynamics, ChurnAppliesOpsAndRunsStayRepeatable) {
+  SimSpec spec = figure6_spec(4);
+  spec.workload.churn_rate_eps = 200.0;
+  Simulation sim(spec);
+  const SimResult first = sim.run();
+  EXPECT_GT(first.churn_subscribes + first.churn_unsubscribes, 0u);
+  // The publish-time oracle cannot track in-flight churn: verification off.
+  EXPECT_EQ(first.oracle_sampled_fraction, 0.0);
+  EXPECT_EQ(first.oracle_events_verified, 0u);
+  // Churn is rolled back after the run, so a second run sees the same
+  // control-plane state and reproduces the outcome exactly.
+  EXPECT_TRUE(same_outcome(first, sim.run()));
+  // And the serial/parallel differential holds under churn too.
+  SimSpec parallel = spec;
+  parallel.engine.threads = 3;
+  EXPECT_TRUE(same_outcome(first, simulate(parallel)));
+}
+
+TEST(EngineDynamics, LinkFaultsDelayButNeverLoseDeliveries) {
+  SimSpec spec = figure6_spec(6);
+  spec.workload.link_mtbf_seconds = 0.4;  // frequent outages over a ~1.5s run
+  spec.workload.link_mttr_seconds = 0.3;
+  spec.limits.drain_limit = ticks_from_seconds(120);
+  const SimResult faulty = simulate(spec);
+  EXPECT_GT(faulty.link_outages, 0u);
+  // A downed link holds frames and releases them on heal: delayed, not lost.
+  EXPECT_EQ(faulty.missing_deliveries, 0u);
+  EXPECT_EQ(faulty.spurious_deliveries, 0u);
+  EXPECT_EQ(faulty.duplicate_deliveries, 0u);
+
+  SimSpec clean = spec;
+  clean.workload.link_mtbf_seconds = 0.0;
+  const SimResult baseline = simulate(clean);
+  EXPECT_EQ(baseline.link_outages, 0u);
+  EXPECT_EQ(faulty.deliveries, baseline.deliveries);
+  EXPECT_GT(faulty.latency_ticks, baseline.latency_ticks);
+
+  SimSpec parallel = spec;
+  parallel.engine.threads = 4;
+  EXPECT_TRUE(same_outcome(faulty, simulate(parallel)));
+}
+
+TEST(EngineControlPlane, AggregateMatchesExactTrafficOnLinkMatching) {
+  SimSpec exact = figure6_spec(7);
+  exact.engine.control_plane = ControlPlaneMode::kExact;
+  SimSpec aggregate = exact;
+  aggregate.engine.control_plane = ControlPlaneMode::kAggregate;
+  const SimResult e = simulate(exact);
+  const SimResult a = simulate(aggregate);
+  EXPECT_STREQ(e.control_plane, "exact");
+  EXPECT_STREQ(a.control_plane, "aggregate");
+  // Aggregate mode models matching steps but must reproduce the exact
+  // traffic: identical deliveries, copies, and bytes, with no oracle misses.
+  EXPECT_EQ(a.deliveries, e.deliveries);
+  EXPECT_EQ(a.broker_messages, e.broker_messages);
+  EXPECT_EQ(a.client_messages, e.client_messages);
+  EXPECT_EQ(a.bytes_on_wire, e.bytes_on_wire);
+  EXPECT_EQ(a.missing_deliveries, 0u);
+  EXPECT_EQ(a.spurious_deliveries, 0u);
+  EXPECT_EQ(a.duplicate_link_copies, 0u);
+  EXPECT_TRUE(e.steps_exact);
+  EXPECT_FALSE(a.steps_exact);
+}
+
+TEST(EngineControlPlane, AutoSwitchesOnThresholds) {
+  SimSpec spec = figure6_spec(9);
+  spec.engine.exact_max_brokers = 16;  // 39 brokers exceeds this
+  const SimResult a = simulate(spec);
+  EXPECT_STREQ(a.control_plane, "aggregate");
+  spec.engine.exact_max_brokers = 64;
+  const SimResult e = simulate(spec);
+  EXPECT_STREQ(e.control_plane, "exact");
+}
+
+TEST(EngineOracle, SamplingVerifiesAFractionAndReportsIt) {
+  SimSpec spec = figure6_spec(10);
+  spec.verify.oracle_sample = 0.25;
+  const SimResult result = simulate(spec);
+  EXPECT_EQ(result.oracle_sampled_fraction, 0.25);
+  EXPECT_GT(result.oracle_events_verified, 0u);
+  EXPECT_LT(result.oracle_events_verified, result.events_published);
+  EXPECT_EQ(result.missing_deliveries, 0u);
+  EXPECT_EQ(result.spurious_deliveries, 0u);
+}
+
+TEST(EngineScaleTopologies, ExactDeliveryOnGeneratedTopologies) {
+  // Small instances of each scale family must still deliver exactly (full
+  // oracle, single-copy check) and hold the serial/parallel differential.
+  const auto check = [](SimSpec spec) {
+    spec.workload.subscriptions = 200;
+    spec.workload.events = 40;
+    spec.workload.rate_eps = 50.0;
+    spec.verify.verify_single_copy_per_link = true;
+    const SimResult serial = simulate(spec);
+    EXPECT_EQ(serial.missing_deliveries, 0u) << to_string(spec.topology.kind);
+    EXPECT_EQ(serial.spurious_deliveries, 0u);
+    EXPECT_EQ(serial.duplicate_deliveries, 0u);
+    EXPECT_EQ(serial.duplicate_link_copies, 0u);
+    EXPECT_GT(serial.deliveries, 0u);
+    spec.engine.threads = 4;
+    EXPECT_TRUE(same_outcome(serial, simulate(spec))) << to_string(spec.topology.kind);
+  };
+
+  SimSpec fat_tree;
+  fat_tree.seed = 21;
+  fat_tree.topology.kind = TopologyKind::kFatTree;
+  fat_tree.topology.fat_tree.pods = 4;
+  check(fat_tree);
+
+  SimSpec waxman;
+  waxman.seed = 22;
+  waxman.topology.kind = TopologyKind::kWaxman;
+  waxman.topology.waxman.brokers = 30;
+  check(waxman);
+
+  SimSpec wan;
+  wan.seed = 23;
+  wan.topology.kind = TopologyKind::kWan;
+  wan.topology.wan.regions = 3;
+  wan.topology.wan.brokers_per_region = 8;
+  check(wan);
+}
+
+TEST(EngineResult, WallClockAndProvenancePopulated) {
+  const SimResult result = simulate(figure6_spec(12));
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_EQ(result.engine_threads, 1u);
+  EXPECT_EQ(result.broker_count, 39u);
+  EXPECT_EQ(result.subscriptions, 400u);
+  EXPECT_EQ(result.oracle_sampled_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace gryphon

@@ -4,51 +4,32 @@
 #include <gtest/gtest.h>
 
 #include "sim/simulation.h"
-#include "topology/builders.h"
-#include "workload/generators.h"
 
 namespace gryphon {
 namespace {
 
-struct SimBed {
-  Figure6Topology topo = make_figure6();
-  SchemaPtr schema = make_synthetic_schema(10, 5);
-  std::vector<SimSubscription> subscriptions;
-  std::vector<Event> events;
-  std::vector<PublishRecord> schedule;
+SimSpec bed_spec(std::size_t n_subs, std::size_t n_events, double rate,
+                 std::uint64_t seed = 1) {
+  SimSpec spec;
+  spec.seed = seed;
+  spec.topology.kind = TopologyKind::kFigure6;
+  spec.workload.subscriptions = n_subs;
+  spec.workload.events = n_events;
+  spec.workload.rate_eps = rate;
+  spec.verify.verify_single_copy_per_link = true;
+  return spec;
+}
 
-  explicit SimBed(std::size_t n_subs, std::size_t n_events, double rate, std::uint64_t seed = 1) {
-    Rng rng(seed);
-    SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.98, 0.85, 1.0});
-    for (std::size_t i = 0; i < n_subs; ++i) {
-      const ClientId client = topo.subscribers[rng.below(topo.subscribers.size())];
-      const auto region = static_cast<std::uint32_t>(
-          topo.region_of[static_cast<std::size_t>(topo.network.client_home(client).value)]);
-      const auto perm = locality_permutation(5, region);
-      subscriptions.push_back(
-          SimSubscription{SubscriptionId{static_cast<std::int64_t>(i)}, gen.generate(rng, &perm),
-                          client});
-    }
-    EventGenerator ev_gen(schema);
-    for (std::size_t i = 0; i < n_events; ++i) events.push_back(ev_gen.generate(rng));
-    schedule = make_poisson_schedule(topo.publisher_brokers, n_events, rate, rng);
-  }
-
-  SimResult run(Protocol protocol, bool verify_single_copy = true) {
-    SimConfig config;
-    config.protocol = protocol;
-    config.verify_single_copy_per_link = verify_single_copy;
-    BrokerSimulation sim(topo.network, schema, topo.publisher_brokers, subscriptions,
-                         PstMatcherOptions{}, config);
-    return sim.run(events, schedule);
-  }
-};
+SimResult run_bed(const SimSpec& base, Protocol protocol) {
+  SimSpec spec = base;
+  spec.protocol = protocol;
+  return simulate(spec);
+}
 
 class ProtocolCorrectness : public ::testing::TestWithParam<Protocol> {};
 
 TEST_P(ProtocolCorrectness, ExactDeliveryNoDuplicatesNoLoss) {
-  SimBed setup(400, 60, 50.0);
-  const SimResult result = setup.run(GetParam());
+  const SimResult result = run_bed(bed_spec(400, 60, 50.0), GetParam());
   EXPECT_TRUE(result.drained);
   EXPECT_FALSE(result.overloaded);
   EXPECT_EQ(result.missing_deliveries, 0u);
@@ -56,6 +37,10 @@ TEST_P(ProtocolCorrectness, ExactDeliveryNoDuplicatesNoLoss) {
   EXPECT_EQ(result.duplicate_deliveries, 0u);
   EXPECT_EQ(result.duplicate_link_copies, 0u) << "a link carried an event twice";
   EXPECT_EQ(result.events_published, 60u);
+  EXPECT_DOUBLE_EQ(result.oracle_sampled_fraction, 1.0);
+  EXPECT_EQ(result.oracle_events_verified, 60u);
+  EXPECT_STREQ(result.control_plane, "exact");
+  EXPECT_TRUE(result.steps_exact);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolCorrectness,
@@ -71,9 +56,9 @@ INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolCorrectness,
                          });
 
 TEST(ProtocolLoad, FloodingSendsFarMoreBrokerMessages) {
-  SimBed setup(600, 80, 50.0);
-  const auto lm = setup.run(Protocol::kLinkMatching);
-  const auto fl = setup.run(Protocol::kFlooding);
+  const SimSpec base = bed_spec(600, 80, 50.0);
+  const auto lm = run_bed(base, Protocol::kLinkMatching);
+  const auto fl = run_bed(base, Protocol::kFlooding);
   // Flooding pushes every event over every tree link (38 per event on the
   // Figure 6 spanning trees); link matching uses only links with matching
   // subscribers downstream. With 0.1%-selective subscriptions the gap must
@@ -86,9 +71,9 @@ TEST(ProtocolLoad, FloodingSendsFarMoreBrokerMessages) {
 }
 
 TEST(ProtocolLoad, MatchFirstCarriesDestinationListBytes) {
-  SimBed setup(600, 80, 50.0);
-  const auto lm = setup.run(Protocol::kLinkMatching);
-  const auto mf = setup.run(Protocol::kMatchFirst);
+  const SimSpec base = bed_spec(600, 80, 50.0);
+  const auto lm = run_bed(base, Protocol::kLinkMatching);
+  const auto mf = run_bed(base, Protocol::kMatchFirst);
   EXPECT_EQ(lm.deliveries, mf.deliveries);
   ASSERT_GT(mf.broker_messages, 0u);
   ASSERT_GT(lm.broker_messages, 0u);
@@ -106,15 +91,13 @@ TEST(ProtocolLoad, LinkMatchingStepsBoundedByCentralized) {
   // comparable to one centralized match. Check the aggregate over the run:
   // total link-matching steps across all brokers stays within a small
   // multiple of the pure centralized cost.
-  SimBed setup(1000, 60, 50.0);
-  const auto lm = setup.run(Protocol::kLinkMatching);
+  const auto lm = run_bed(bed_spec(1000, 60, 50.0), Protocol::kLinkMatching);
   ASSERT_GT(lm.centralized_steps, 0u);
   EXPECT_LT(lm.total_matching_steps, 8 * lm.centralized_steps);
 }
 
 TEST(ProtocolLatency, DeliveriesArriveWithinWanBudget) {
-  SimBed setup(300, 40, 20.0);
-  const auto lm = setup.run(Protocol::kLinkMatching);
+  const auto lm = run_bed(bed_spec(300, 40, 20.0), Protocol::kLinkMatching);
   if (lm.deliveries == 0) GTEST_SKIP() << "no matching subscriptions drawn";
   // Worst WAN path in Figure 6: ~10+25+65+25+10+1 ms plus queueing.
   EXPECT_GT(lm.mean_delivery_latency_ms, 1.0);
@@ -122,8 +105,7 @@ TEST(ProtocolLatency, DeliveriesArriveWithinWanBudget) {
 }
 
 TEST(ProtocolHops, PerHopStatsCoverFigureSixDepths) {
-  SimBed setup(800, 80, 50.0);
-  const auto lm = setup.run(Protocol::kLinkMatching);
+  const auto lm = run_bed(bed_spec(800, 80, 50.0), Protocol::kLinkMatching);
   ASSERT_FALSE(lm.per_hop.empty());
   // Publishers sit at leaf brokers; a subscriber in a remote region is 6-7
   // brokers away, so multiple hop classes must be populated.
@@ -141,28 +123,48 @@ TEST(ProtocolHops, PerHopStatsCoverFigureSixDepths) {
   EXPECT_GT(farthest.mean_steps(), nearest.mean_steps());
 }
 
-TEST(SimSchedule, PoissonScheduleShape) {
-  Rng rng(4);
-  const auto schedule = make_poisson_schedule({BrokerId{0}, BrokerId{1}}, 100, 1000.0, rng);
+TEST(SimSchedule, SpecScheduleIsStrictlyIncreasingAndRoundRobin) {
+  Simulation sim(bed_spec(10, 100, 1000.0, 4));
+  const auto& schedule = sim.schedule();
+  const auto& publishers = sim.publishers();
   ASSERT_EQ(schedule.size(), 100u);
-  for (std::size_t i = 1; i < schedule.size(); ++i) {
-    EXPECT_GT(schedule[i].time, schedule[i - 1].time);
+  ASSERT_EQ(publishers.size(), 3u);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (i > 0) EXPECT_GT(schedule[i].time, schedule[i - 1].time);
     EXPECT_EQ(schedule[i].event_index, i);
+    EXPECT_EQ(schedule[i].broker, publishers[i % publishers.size()]);
   }
-  EXPECT_EQ(schedule[0].broker, BrokerId{0});
-  EXPECT_EQ(schedule[1].broker, BrokerId{1});
-  EXPECT_THROW(make_poisson_schedule({}, 10, 100.0, rng), std::invalid_argument);
-  EXPECT_THROW(make_poisson_schedule({BrokerId{0}}, 10, 0.0, rng), std::invalid_argument);
+}
+
+TEST(SimSchedule, IdenticalAcrossProtocols) {
+  // The whole point of the sub-stream scheme: two specs differing only in
+  // protocol (or engine config) see bit-identical workloads and schedules.
+  SimSpec a = bed_spec(50, 40, 200.0, 9);
+  SimSpec b = a;
+  a.protocol = Protocol::kLinkMatching;
+  b.protocol = Protocol::kMatchFirst;
+  b.engine.threads = 4;
+  Simulation sim_a(a), sim_b(b);
+  ASSERT_EQ(sim_a.schedule().size(), sim_b.schedule().size());
+  for (std::size_t i = 0; i < sim_a.schedule().size(); ++i) {
+    EXPECT_EQ(sim_a.schedule()[i].time, sim_b.schedule()[i].time);
+    EXPECT_EQ(sim_a.schedule()[i].broker, sim_b.schedule()[i].broker);
+    EXPECT_EQ(sim_a.schedule()[i].event_index, sim_b.schedule()[i].event_index);
+  }
+}
+
+TEST(SimSchedule, BadRateThrows) {
+  SimSpec spec = bed_spec(10, 10, 100.0);
+  spec.workload.rate_eps = 0.0;
+  EXPECT_THROW(Simulation{spec}, std::invalid_argument);
 }
 
 TEST(SimMisc, EmptyScheduleIsNoOp) {
-  SimBed setup(10, 5, 100.0);
-  SimConfig config;
-  BrokerSimulation sim(setup.topo.network, setup.schema, setup.topo.publisher_brokers,
-                       setup.subscriptions, PstMatcherOptions{}, config);
-  const auto result = sim.run(setup.events, {});
+  SimSpec spec = bed_spec(10, 0, 100.0);
+  const auto result = simulate(spec);
   EXPECT_EQ(result.deliveries, 0u);
   EXPECT_FALSE(result.overloaded);
+  EXPECT_EQ(result.events_published, 0u);
 }
 
 }  // namespace

@@ -56,54 +56,48 @@ TEST(Saturation, SimulatedBrokerNetworkSaturatesMonotonically) {
   // (500 published events): at a modest rate the network drains, at an
   // extreme rate it overloads, and the searched saturation rate of link
   // matching exceeds flooding's (the Chart 1 ordering).
-  Figure6Topology topo = make_figure6();
-  const auto schema = make_synthetic_schema(10, 5);
-  Rng rng(9);
-  SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.98, 0.85, 1.0});
-  std::vector<SimSubscription> subs;
-  for (std::int64_t i = 0; i < 1000; ++i) {
-    const ClientId client = topo.subscribers[rng.below(topo.subscribers.size())];
-    subs.push_back(SimSubscription{SubscriptionId{i}, gen.generate(rng), client});
-  }
-  EventGenerator ev_gen(schema);
-  std::vector<Event> events;
-  for (int i = 0; i < 500; ++i) events.push_back(ev_gen.generate(rng));
-
+  SimSpec base;
+  base.seed = 9;
+  base.topology.kind = TopologyKind::kFigure6;
+  base.workload.subscriptions = 1000;
+  base.workload.events = 500;
   // The paper's Chart 1 parameters use 2 factoring levels (Section 4.1).
-  PstMatcherOptions matcher_options;
-  matcher_options.factoring_levels = 2;
+  base.matcher.factoring_levels = 2;
+  base.verify.verify_deliveries = false;
+  base.limits.drain_limit = ticks_from_seconds(5);
 
-  const auto run = [&](Protocol protocol, double rate, std::uint64_t seed) {
-    SimConfig config;
-    config.protocol = protocol;
-    config.verify_deliveries = false;
-    config.drain_limit = ticks_from_seconds(5);
-    Rng sched_rng(seed);
-    const auto schedule =
-        make_poisson_schedule(topo.publisher_brokers, events.size(), rate, sched_rng);
-    BrokerSimulation sim(topo.network, schema, topo.publisher_brokers, subs, matcher_options,
-                         config);
-    return sim.run(events, schedule);
+  Simulation lm_sim([&] {
+    SimSpec s = base;
+    s.protocol = Protocol::kLinkMatching;
+    return s;
+  }());
+  Simulation fl_sim([&] {
+    SimSpec s = base;
+    s.protocol = Protocol::kFlooding;
+    return s;
+  }());
+  const auto run = [&](Simulation& sim, double rate, std::uint64_t seed) {
+    return sim.run_at_rate(rate, seed);
   };
 
-  const auto lm_low = run(Protocol::kLinkMatching, 100.0, 7);
+  const auto lm_low = run(lm_sim, 100.0, 7);
   EXPECT_FALSE(lm_low.overloaded);
 
   // At an absurd rate every protocol overloads (inter-arrival ~ 1 tick,
   // well below any per-event service time).
-  const auto lm_extreme = run(Protocol::kLinkMatching, 2e6, 7);
+  const auto lm_extreme = run(lm_sim, 2e6, 7);
   EXPECT_TRUE(lm_extreme.overloaded);
 
   SaturationConfig sat;
   sat.min_rate = 50.0;
   sat.max_rate = 2e6;
   sat.relative_tolerance = 0.2;
-  sat.events = events.size();
+  sat.events = base.workload.events;
   const auto lm = find_saturation_rate(sat, [&](double rate, std::uint64_t seed) {
-    return run(Protocol::kLinkMatching, rate, seed);
+    return run(lm_sim, rate, seed);
   });
   const auto fl = find_saturation_rate(sat, [&](double rate, std::uint64_t seed) {
-    return run(Protocol::kFlooding, rate, seed);
+    return run(fl_sim, rate, seed);
   });
   ASSERT_GT(fl.saturation_rate, 0.0);
   EXPECT_GT(lm.saturation_rate, fl.saturation_rate)

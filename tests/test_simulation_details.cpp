@@ -4,67 +4,57 @@
 
 #include "sim/simulation.h"
 #include "topology/builders.h"
-#include "workload/generators.h"
 
 namespace gryphon {
 namespace {
 
-struct SmallBed {
-  BrokerNetwork net = make_line(3, ticks_from_millis(5), 2, ticks_from_millis(1));
-  SchemaPtr schema = make_synthetic_schema(4, 3);
-  std::vector<SimSubscription> subs;
-  std::vector<Event> events;
-
-  explicit SmallBed(std::size_t n_subs = 30, std::size_t n_events = 100) {
-    Rng rng(3);
-    SubscriptionGenerator gen(schema, SubscriptionWorkloadConfig{0.9, 0.9, 1.0});
-    for (std::size_t i = 0; i < n_subs; ++i) {
-      subs.push_back(SimSubscription{
-          SubscriptionId{static_cast<std::int64_t>(i)}, gen.generate(rng),
-          ClientId{static_cast<ClientId::rep_type>(rng.below(net.client_count()))}});
-    }
-    EventGenerator ev_gen(schema);
-    for (std::size_t i = 0; i < n_events; ++i) events.push_back(ev_gen.generate(rng));
-  }
-
-  SimResult run(SimConfig config, double rate, std::uint64_t seed = 1) {
-    BrokerSimulation sim(net, schema, {BrokerId{0}}, subs, PstMatcherOptions{}, config);
-    Rng rng(seed);
-    const auto schedule = make_poisson_schedule({BrokerId{0}}, events.size(), rate, rng);
-    return sim.run(events, schedule);
-  }
-};
+/// A 3-broker line with 2 clients per broker and a small schema; the
+/// publisher is broker 0 (the single-publisher spec default on a line).
+SimSpec small_spec(double rate, std::uint64_t seed = 3) {
+  SimSpec spec;
+  spec.seed = seed;
+  spec.attributes = 4;
+  spec.values_per_attribute = 3;
+  spec.topology.kind = TopologyKind::kLine;
+  spec.topology.brokers = 3;
+  spec.topology.clients_per_broker = 2;
+  spec.topology.min_delay_ms = 5.0;
+  spec.topology.client_delay_ms = 1.0;
+  spec.workload.subscriptions = 30;
+  spec.workload.events = 100;
+  spec.workload.publishers = 1;
+  spec.workload.rate_eps = rate;
+  spec.workload.subscription_config = SubscriptionWorkloadConfig{0.9, 0.9, 1.0};
+  return spec;
+}
 
 TEST(SimDetails, SustainableRateDrainsCompletely) {
-  SmallBed bed;
-  SimConfig config;
-  const auto result = bed.run(config, 100.0);
+  const auto result = simulate(small_spec(100.0));
   EXPECT_TRUE(result.drained);
   EXPECT_FALSE(result.overloaded);
   EXPECT_EQ(result.missing_deliveries, 0u);
-  EXPECT_EQ(result.events_published, bed.events.size());
+  EXPECT_EQ(result.events_published, 100u);
 }
 
 TEST(SimDetails, BacklogThresholdTriggersOverload) {
-  SmallBed bed;
-  SimConfig config;
-  config.overload_backlog_threshold = 10;
+  SimSpec spec = small_spec(5e6);
+  spec.limits.overload_backlog_threshold = 10;
   // 100 events in ~1 tick gaps: the publisher broker's queue must exceed 10.
-  const auto result = bed.run(config, 5e6);
+  const auto result = simulate(spec);
   EXPECT_TRUE(result.overloaded);
   EXPECT_GE(result.max_backlog, 10u);
 }
 
 TEST(SimDetails, OverloadIsMonotoneInRate) {
-  SmallBed bed;
-  SimConfig config;
-  config.verify_deliveries = false;
+  SimSpec spec = small_spec(100.0);
+  spec.verify.verify_deliveries = false;
   // Only 100 events are published, so the default threshold (100) can
   // never be reached even at infinite rate; use a smaller one.
-  config.overload_backlog_threshold = 25;
+  spec.limits.overload_backlog_threshold = 25;
+  Simulation sim(spec);
   bool seen_overload = false;
   for (const double rate : {50.0, 500.0, 5000.0, 50000.0, 500000.0, 5e6}) {
-    const bool overloaded = bed.run(config, rate).overloaded;
+    const bool overloaded = sim.run_at_rate(rate).overloaded;
     if (seen_overload) {
       EXPECT_TRUE(overloaded) << "non-monotone overload at rate " << rate;
     }
@@ -74,11 +64,12 @@ TEST(SimDetails, OverloadIsMonotoneInRate) {
 }
 
 TEST(SimDetails, DrainTimeoutMarksOverloadAndMissingDeliveries) {
-  SmallBed bed;
-  SimConfig config;
-  config.drain_limit = 1;  // one tick after the last publish: nothing can finish
-  config.overload_backlog_threshold = 1000000;  // only the timeout can trigger
-  const auto result = bed.run(config, 100.0);
+  // Publish fast enough that forwarded copies are always in flight when the
+  // last event is published; the 1-tick drain budget then must expire.
+  SimSpec spec = small_spec(5000.0);
+  spec.limits.drain_limit = 1;  // one tick after the last publish: nothing can finish
+  spec.limits.overload_backlog_threshold = 1000000;  // only the timeout can trigger
+  const auto result = simulate(spec);
   EXPECT_FALSE(result.drained);
   EXPECT_TRUE(result.overloaded);
   EXPECT_GT(result.missing_deliveries, 0u);
@@ -86,15 +77,20 @@ TEST(SimDetails, DrainTimeoutMarksOverloadAndMissingDeliveries) {
 
 TEST(SimDetails, LatencyReflectsHopDelays) {
   // A subscriber 2 brokers away: latency >= 2 * 5ms + 1ms client link.
-  BrokerNetwork net = make_line(3, ticks_from_millis(5), 1, ticks_from_millis(1));
-  const auto schema = make_synthetic_schema(2, 2);
-  const ClientId far_client = net.clients_of(BrokerId{2})[0];
-  std::vector<SimSubscription> subs{
-      {SubscriptionId{1}, Subscription::match_all(schema), far_client}};
-  std::vector<Event> events{Event(schema, {Value(0), Value(0)})};
-  SimConfig config;
-  BrokerSimulation sim(net, schema, {BrokerId{0}}, subs, PstMatcherOptions{}, config);
-  const auto result = sim.run(events, {PublishRecord{0, BrokerId{0}, 0}});
+  SimSpec spec;
+  spec.schema = make_synthetic_schema(2, 2);
+  spec.topology.kind = TopologyKind::kLine;
+  spec.topology.brokers = 3;
+  spec.topology.clients_per_broker = 1;
+  spec.topology.min_delay_ms = 5.0;
+  spec.topology.client_delay_ms = 1.0;
+  const GeneratedTopology preview = build_topology(spec.topology, spec.seed);
+  const ClientId far_client = preview.network.clients_of(BrokerId{2})[0];
+  spec.workload.scripted.subscriptions = {
+      {SubscriptionId{1}, Subscription::match_all(spec.schema), far_client}};
+  spec.workload.scripted.events = {Event(spec.schema, {Value(0), Value(0)})};
+  spec.workload.scripted.schedule = {PublishRecord{0, BrokerId{0}, 0}};
+  const auto result = simulate(spec);
   EXPECT_EQ(result.deliveries, 1u);
   EXPECT_GE(result.mean_delivery_latency_ms, 11.0);
   EXPECT_LT(result.mean_delivery_latency_ms, 20.0);
@@ -103,9 +99,7 @@ TEST(SimDetails, LatencyReflectsHopDelays) {
 }
 
 TEST(SimDetails, BytesAccountingScalesWithMessages) {
-  SmallBed bed;
-  SimConfig config;
-  const auto result = bed.run(config, 200.0);
+  const auto result = simulate(small_spec(200.0));
   const auto copies = result.broker_messages + result.client_messages;
   if (copies == 0) GTEST_SKIP() << "no traffic drawn";
   // Link matching carries no destination lists: bytes = payload * copies.
@@ -114,41 +108,33 @@ TEST(SimDetails, BytesAccountingScalesWithMessages) {
 }
 
 TEST(SimDetails, CentralizedStepsIndependentOfProtocol) {
-  SmallBed bed;
-  SimConfig lm_config;
-  SimConfig fl_config;
-  fl_config.protocol = Protocol::kFlooding;
-  const auto lm = bed.run(lm_config, 100.0);
-  const auto fl = bed.run(fl_config, 100.0);
+  SimSpec lm_spec = small_spec(100.0);
+  SimSpec fl_spec = lm_spec;
+  fl_spec.protocol = Protocol::kFlooding;
+  const auto lm = simulate(lm_spec);
+  const auto fl = simulate(fl_spec);
   EXPECT_EQ(lm.centralized_steps, fl.centralized_steps);
   EXPECT_EQ(lm.deliveries, fl.deliveries);
 }
 
 TEST(SimDetails, UtilizationBoundedAndPositive) {
-  SmallBed bed;
-  SimConfig config;
-  const auto result = bed.run(config, 500.0);
+  const auto result = simulate(small_spec(500.0));
   EXPECT_GT(result.max_utilization, 0.0);
   EXPECT_LE(result.max_utilization, 1.5);  // cannot exceed ~1 while draining
 }
 
 TEST(SimDetails, BadScheduleIndexThrows) {
-  SmallBed bed;
-  SimConfig config;
-  BrokerSimulation sim(bed.net, bed.schema, {BrokerId{0}}, bed.subs, PstMatcherOptions{},
-                       config);
-  EXPECT_THROW(sim.run(bed.events, {PublishRecord{0, BrokerId{0}, bed.events.size()}}),
-               std::invalid_argument);
+  SimSpec spec = small_spec(100.0);
+  spec.workload.scripted.schedule = {PublishRecord{0, BrokerId{0}, spec.workload.events}};
+  EXPECT_THROW(Simulation{spec}, std::invalid_argument);
 }
 
-
 TEST(SimDetails, BackgroundLoadConsumesCapacity) {
-  SmallBed bed;
-  SimConfig quiet;
-  SimConfig noisy;
-  noisy.background_rate_per_broker = 30000.0;  // heavy untracked load
-  const auto without = bed.run(quiet, 2000.0);
-  const auto with = bed.run(noisy, 2000.0);
+  SimSpec quiet = small_spec(2000.0);
+  SimSpec noisy = quiet;
+  noisy.costs.background_rate_per_broker = 30000.0;  // heavy untracked load
+  const auto without = simulate(quiet);
+  const auto with = simulate(noisy);
   // Background messages burn CPU at every broker: utilization rises, and
   // tracked deliveries stay identical (background is invisible traffic).
   EXPECT_GT(with.max_utilization, without.max_utilization);
@@ -157,17 +143,18 @@ TEST(SimDetails, BackgroundLoadConsumesCapacity) {
 }
 
 TEST(SimDetails, BackgroundLoadLowersSaturation) {
-  SmallBed bed;
-  SimConfig quiet;
-  quiet.verify_deliveries = false;
-  quiet.overload_backlog_threshold = 25;
-  SimConfig noisy = quiet;
-  noisy.background_rate_per_broker = 100000.0;
+  SimSpec quiet_spec = small_spec(100.0);
+  quiet_spec.verify.verify_deliveries = false;
+  quiet_spec.limits.overload_backlog_threshold = 25;
+  SimSpec noisy_spec = quiet_spec;
+  noisy_spec.costs.background_rate_per_broker = 100000.0;
+  Simulation quiet(quiet_spec);
+  Simulation noisy(noisy_spec);
   // A rate the quiet network sustains but the loaded one cannot.
   bool quiet_ok = false, noisy_died = false;
   for (const double rate : {2000.0, 8000.0, 32000.0}) {
-    const bool q = bed.run(quiet, rate).overloaded;
-    const bool n = bed.run(noisy, rate).overloaded;
+    const bool q = quiet.run_at_rate(rate).overloaded;
+    const bool n = noisy.run_at_rate(rate).overloaded;
     if (!q && n) {
       quiet_ok = true;
       noisy_died = true;
@@ -178,18 +165,14 @@ TEST(SimDetails, BackgroundLoadLowersSaturation) {
       << "background load should reduce the sustainable tracked rate";
 }
 
-
 TEST(SimDetails, PartialScheduleVerifiesOnlyPublishedEvents) {
-  SmallBed bed;
-  SimConfig config;
-  BrokerSimulation sim(bed.net, bed.schema, {BrokerId{0}}, bed.subs, PstMatcherOptions{},
-                       config);
+  SimSpec spec = small_spec(100.0);
   // Publish only the first 10 of the 100 generated events.
-  std::vector<PublishRecord> schedule;
   for (std::size_t i = 0; i < 10; ++i) {
-    schedule.push_back(PublishRecord{static_cast<Ticks>(1 + i * 1000), BrokerId{0}, i});
+    spec.workload.scripted.schedule.push_back(
+        PublishRecord{static_cast<Ticks>(1 + i * 1000), BrokerId{0}, i});
   }
-  const auto result = sim.run(bed.events, schedule);
+  const auto result = simulate(spec);
   EXPECT_EQ(result.events_published, 10u);
   EXPECT_EQ(result.missing_deliveries, 0u);
   EXPECT_EQ(result.spurious_deliveries, 0u);

@@ -1,0 +1,201 @@
+// Property tests for the scale topology generators (fat-tree, Waxman,
+// multi-region WAN) behind TopologySpec / build_topology.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/sim_spec.h"
+#include "topology/builders.h"
+
+namespace gryphon {
+namespace {
+
+std::size_t broker_link_count(const BrokerNetwork& net) {
+  std::size_t ports = 0;
+  for (std::size_t b = 0; b < net.broker_count(); ++b) {
+    for (const auto& port : net.ports(BrokerId{static_cast<std::int32_t>(b)})) {
+      if (port.kind == BrokerNetwork::PortKind::kBroker) ++ports;
+    }
+  }
+  EXPECT_EQ(ports % 2, 0u) << "every inter-broker link has a port on each side";
+  return ports / 2;
+}
+
+std::size_t broker_degree(const BrokerNetwork& net, std::size_t b) {
+  std::size_t degree = 0;
+  for (const auto& port : net.ports(BrokerId{static_cast<std::int32_t>(b)})) {
+    if (port.kind == BrokerNetwork::PortKind::kBroker) ++degree;
+  }
+  return degree;
+}
+
+bool connected(const BrokerNetwork& net) {
+  if (net.broker_count() == 0) return true;
+  std::vector<bool> seen(net.broker_count(), false);
+  std::queue<BrokerId> frontier;
+  frontier.push(BrokerId{0});
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const BrokerId b = frontier.front();
+    frontier.pop();
+    for (const auto& port : net.ports(b)) {
+      if (port.kind != BrokerNetwork::PortKind::kBroker) continue;
+      const auto peer = static_cast<std::size_t>(port.peer_broker.value);
+      if (!seen[peer]) {
+        seen[peer] = true;
+        ++reached;
+        frontier.push(port.peer_broker);
+      }
+    }
+  }
+  return reached == net.broker_count();
+}
+
+/// Flattened (broker, peer, delay) triples for determinism comparisons.
+std::vector<std::tuple<std::size_t, std::int32_t, Ticks>> link_fingerprint(
+    const BrokerNetwork& net) {
+  std::vector<std::tuple<std::size_t, std::int32_t, Ticks>> links;
+  for (std::size_t b = 0; b < net.broker_count(); ++b) {
+    for (const auto& port : net.ports(BrokerId{static_cast<std::int32_t>(b)})) {
+      if (port.kind == BrokerNetwork::PortKind::kBroker) {
+        links.emplace_back(b, port.peer_broker.value, port.delay);
+      }
+    }
+  }
+  return links;
+}
+
+TEST(FatTree, ExactCountsAndDegrees) {
+  for (const std::size_t pods : {2u, 4u, 8u}) {
+    FatTreeOptions options;
+    options.pods = pods;
+    const GeneratedTopology topo = make_fat_tree(options);
+    const std::size_t half = pods / 2;
+    // 5k^2/4 brokers: (k/2)^2 cores + k pods of k/2 agg + k/2 edge.
+    EXPECT_EQ(topo.network.broker_count(), 5 * pods * pods / 4) << "pods=" << pods;
+    // k^3/2 links: k(k/2)^2 edge-agg + k(k/2)^2 agg-core.
+    EXPECT_EQ(broker_link_count(topo.network), pods * pods * pods / 2);
+    EXPECT_TRUE(connected(topo.network));
+    // Cores come first and connect to one aggregation broker per pod.
+    for (std::size_t c = 0; c < half * half; ++c) {
+      EXPECT_EQ(broker_degree(topo.network, c), pods);
+    }
+    // Clients attach to edge brokers only; one region per pod.
+    EXPECT_EQ(topo.edge_brokers.size(), pods * half);
+    EXPECT_EQ(topo.network.client_count(), pods * half * options.clients_per_edge);
+    EXPECT_EQ(topo.region_count, pods);
+    for (const BrokerId edge : topo.edge_brokers) {
+      EXPECT_EQ(broker_degree(topo.network, static_cast<std::size_t>(edge.value)), half);
+      EXPECT_EQ(topo.network.clients_of(edge).size(), options.clients_per_edge);
+    }
+  }
+}
+
+TEST(FatTree, DeterministicAndValidated) {
+  const GeneratedTopology a = make_fat_tree(FatTreeOptions{});
+  const GeneratedTopology b = make_fat_tree(FatTreeOptions{});
+  EXPECT_EQ(link_fingerprint(a.network), link_fingerprint(b.network));
+  EXPECT_EQ(a.region_of, b.region_of);
+  FatTreeOptions odd;
+  odd.pods = 3;
+  EXPECT_THROW(make_fat_tree(odd), std::invalid_argument);
+}
+
+TEST(Waxman, ConnectedWithBoundedDelaysForAnySeed) {
+  WaxmanOptions options;
+  options.brokers = 60;
+  for (const std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    const GeneratedTopology topo = make_waxman(options, seed);
+    EXPECT_EQ(topo.network.broker_count(), options.brokers);
+    EXPECT_TRUE(connected(topo.network)) << "seed " << seed;
+    EXPECT_EQ(topo.network.client_count(), options.brokers * options.clients_per_broker);
+    for (const auto& [b, peer, delay] : link_fingerprint(topo.network)) {
+      EXPECT_GE(delay, 1);
+      EXPECT_LE(delay, ticks_from_millis(options.max_delay_ms) + 1);
+    }
+    EXPECT_EQ(topo.region_count, options.regions);
+    for (const int region : topo.region_of) {
+      EXPECT_GE(region, 0);
+      EXPECT_LT(region, static_cast<int>(options.regions));
+    }
+  }
+}
+
+TEST(Waxman, SeedDeterminesTheGraph) {
+  WaxmanOptions options;
+  options.brokers = 40;
+  const GeneratedTopology a = make_waxman(options, 5);
+  const GeneratedTopology b = make_waxman(options, 5);
+  const GeneratedTopology c = make_waxman(options, 6);
+  EXPECT_EQ(link_fingerprint(a.network), link_fingerprint(b.network));
+  EXPECT_NE(link_fingerprint(a.network), link_fingerprint(c.network));
+}
+
+TEST(Wan, RegionsGatewaysAndDelayBands) {
+  WanOptions options;
+  options.regions = 5;
+  options.brokers_per_region = 8;
+  const GeneratedTopology topo = make_wan(options, 11);
+  EXPECT_EQ(topo.network.broker_count(), options.regions * options.brokers_per_region);
+  EXPECT_TRUE(connected(topo.network));
+  EXPECT_EQ(topo.region_count, options.regions);
+  const Ticks inter_min = ticks_from_millis(options.inter_min_delay_ms);
+  const Ticks inter_max = ticks_from_millis(options.inter_max_delay_ms);
+  std::size_t inter_links = 0;
+  for (const auto& [b, peer, delay] : link_fingerprint(topo.network)) {
+    const int region_a = topo.region_of[b];
+    const int region_b = topo.region_of[static_cast<std::size_t>(peer)];
+    if (region_a == region_b) continue;
+    ++inter_links;
+    // Long-haul links join regional gateways (broker 0 of each region) and
+    // draw from the inter-region delay band.
+    EXPECT_EQ(b % options.brokers_per_region, 0u);
+    EXPECT_EQ(static_cast<std::size_t>(peer) % options.brokers_per_region, 0u);
+    EXPECT_GE(delay, inter_min);
+    EXPECT_LE(delay, inter_max);
+  }
+  // At least the gateway ring (counted once per direction above).
+  EXPECT_GE(inter_links, 2 * options.regions);
+  EXPECT_EQ(topo.network.client_count(),
+            topo.network.broker_count() * options.clients_per_broker);
+}
+
+TEST(Wan, SeedDeterminesTheGraph) {
+  WanOptions options;
+  options.regions = 3;
+  options.brokers_per_region = 6;
+  const GeneratedTopology a = make_wan(options, 2);
+  const GeneratedTopology b = make_wan(options, 2);
+  const GeneratedTopology c = make_wan(options, 3);
+  EXPECT_EQ(link_fingerprint(a.network), link_fingerprint(b.network));
+  EXPECT_NE(link_fingerprint(a.network), link_fingerprint(c.network));
+}
+
+TEST(TopologySpecBridge, BuildTopologyDispatchesOnKindAndSubStream) {
+  // build_topology must derive generator randomness from the spec seed's
+  // topology sub-stream: same seed -> same network, and the spec route must
+  // agree with calling the generator directly on that sub-stream seed.
+  TopologySpec spec;
+  spec.kind = TopologyKind::kWaxman;
+  spec.waxman.brokers = 30;
+  const GeneratedTopology via_spec = build_topology(spec, 77);
+  const GeneratedTopology again = build_topology(spec, 77);
+  EXPECT_EQ(link_fingerprint(via_spec.network), link_fingerprint(again.network));
+  const GeneratedTopology direct =
+      make_waxman(spec.waxman, sim_stream_seed(77, SimStream::kTopology));
+  EXPECT_EQ(link_fingerprint(via_spec.network), link_fingerprint(direct.network));
+
+  TopologySpec ft;
+  ft.kind = TopologyKind::kFatTree;
+  EXPECT_EQ(build_topology(ft, 1).network.broker_count(), 20u);
+  TopologySpec wan;
+  wan.kind = TopologyKind::kWan;
+  wan.wan.regions = 2;
+  wan.wan.brokers_per_region = 4;
+  EXPECT_EQ(build_topology(wan, 1).network.broker_count(), 8u);
+}
+
+}  // namespace
+}  // namespace gryphon

@@ -15,6 +15,7 @@
 #   tools/ci.sh failover    # broker-kill/promote sweep under ASan + bench gate
 #   tools/ci.sh scaling     # mt_throughput sharded-dispatch scaling check
 #   tools/ci.sh churn       # covering/delta control-plane churn check
+#   tools/ci.sh sim-scale   # parallel sim engine: equivalence + scale sweep
 #   tools/ci.sh analyze     # gryphon-analyze self-test + live-tree run
 #
 # The TSan leg runs the tests labeled `concurrency` (the snapshot /
@@ -37,7 +38,7 @@ JOBS="${JOBS:-$(nproc)}"
 if [[ $# -gt 0 ]]; then
   LEGS=("$@")
 else
-  LEGS=(release asan ubsan tsan chaos failover perf scaling churn analyze lint)
+  LEGS=(release asan ubsan tsan chaos failover perf scaling churn sim-scale analyze lint)
 fi
 
 # NOLINT budget enforced alongside clang-tidy (policy in .clang-tidy). The
@@ -107,10 +108,11 @@ run_leg() {
     perf)    dir=build          sanitize=""          ;;
     scaling) dir=build          sanitize=""          ;;
     churn)   dir=build          sanitize=""          ;;
+    sim-scale) dir=build        sanitize=""          ;;
     analyze) run_analyze; return ;;
     lint)    run_lint; return ;;
     *)
-      echo "ci.sh: unknown leg '$leg' (release|asan|ubsan|tsan|chaos|failover|perf|scaling|churn|analyze|lint)" >&2
+      echo "ci.sh: unknown leg '$leg' (release|asan|ubsan|tsan|chaos|failover|perf|scaling|churn|sim-scale|analyze|lint)" >&2
       exit 2
       ;;
   esac
@@ -295,6 +297,48 @@ print(f"[churn] full-recompile p50 {full_p50:.0f} us within 20% of the "
       f"baseline {base['full_compile_p50_us']:.0f} us")
 PY
     echo "churn artifact: BENCH_churn.json"
+    return
+  fi
+
+  if [[ "$leg" == sim-scale ]]; then
+    # Parallel discrete-event engine acceptance on the reduced (~200 broker)
+    # sweep: every (point, protocol) pair must report the serial and
+    # parallel engine runs bit-identical (same_outcome over all
+    # deterministic SimResult fields) and a clean delivery oracle. The
+    # >= 2x parallel speedup claim is asserted only where it is honest —
+    # scaling_valid:true, which the bench grants only on hosts with >= 4
+    # hardware threads; elsewhere the JSON records the reason instead.
+    echo "=== [sim-scale] sim_scale_bench reduced sweep ==="
+    "$dir/bench/sim_scale_bench" --ci --out BENCH_sim_scale.json
+    python3 - <<'PY'
+import json, sys
+data = json.load(open("BENCH_sim_scale.json"))
+rows = [(p["name"], r) for p in data["points"] for r in p["protocols"]]
+bad_eq = [(n, r["protocol"]) for n, r in rows if not r["serial_parallel_identical"]]
+bad_oracle = [(n, r["protocol"]) for n, r in rows
+              if r["missing_deliveries"] or r["spurious_deliveries"]
+              or r["duplicate_deliveries"]]
+for n, proto in bad_eq:
+    print(f"[sim-scale] FAIL: serial != parallel at {n}/{proto}", file=sys.stderr)
+for n, proto in bad_oracle:
+    print(f"[sim-scale] FAIL: delivery oracle violated at {n}/{proto}", file=sys.stderr)
+if bad_eq or bad_oracle:
+    sys.exit(1)
+print(f"[sim-scale] {len(rows)} (point, protocol) runs: serial/parallel identical, "
+      f"oracle clean")
+if not data["scaling_valid"]:
+    print(f"[sim-scale] speedup claim skipped: {data['scaling_reason']}")
+    sys.exit(0)
+wan = next(p for p in data["points"] if p["name"].startswith("wan"))
+lm = next(r for r in wan["protocols"] if r["protocol"] == "link-matching")
+print(f"[sim-scale] {wan['name']} link-matching: {lm['speedup']:.2f}x with "
+      f"{data['parallel_threads']} threads")
+if lm["speedup"] < 2.0:
+    print(f"[sim-scale] FAIL: expected >= 2.0x parallel speedup, got "
+          f"{lm['speedup']:.2f}x", file=sys.stderr)
+    sys.exit(1)
+PY
+    echo "sim-scale artifact: BENCH_sim_scale.json"
     return
   fi
 
